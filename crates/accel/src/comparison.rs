@@ -1,0 +1,304 @@
+//! Comparison harnesses: Table I, Table II, and the Figs. 10–12 sweeps.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::designs::{
+    Accelerator, CimFormerDesign, ConventionalDynamicCim, NoPruningCim, SprintDesign,
+    TranCimDesign, UniCaimCellKind, UniCaimDesign,
+};
+use crate::workload::{AttentionWorkload, PruningSpec};
+
+/// One row of the Table II reproduction: AEDP ratios of the baselines over
+/// UniCAIM at a given pruning ratio and cell kind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AedpRow {
+    /// Fraction of tokens pruned (the paper's "pruning ratio").
+    pub pruning_ratio: f64,
+    /// UniCAIM cell kind for this row.
+    pub cell: UniCaimCellKind,
+    /// UniCAIM's absolute AEDP (devices · J · s).
+    pub unicaim_aedp: f64,
+    /// `AEDP(Sprint) / AEDP(UniCAIM)`.
+    pub vs_sprint: f64,
+    /// `AEDP(TranCIM) / AEDP(UniCAIM)`.
+    pub vs_trancim: f64,
+    /// `AEDP(CIMFormer) / AEDP(UniCAIM)`.
+    pub vs_cimformer: f64,
+}
+
+/// Reproduces Table II: AEDP ratios at 50% / 80% pruning for the 1-bit and
+/// 3-bit UniCAIM cells.
+///
+/// Protocol (see EXPERIMENTS.md): every design prunes at the given ratio
+/// through *its own mechanism* — TranCIM via its fixed static pattern,
+/// CIMFormer/Sprint via dynamic selection; UniCAIM applies the ratio
+/// dynamically while operating at the paper's fixed 576-token cache
+/// (H = 512 heavy tokens from a 1024-token prompt + M = 64 reserved), the
+/// configuration Section IV.A states for all circuit evaluations.
+#[must_use]
+pub fn aedp_table(workload: &AttentionWorkload) -> Vec<AedpRow> {
+    let mut rows = Vec::new();
+    for &pruning_ratio in &[0.5, 0.8] {
+        let keep = 1.0 - pruning_ratio;
+        let base_spec = PruningSpec::uniform(keep, 64);
+        let uni_spec =
+            PruningSpec { static_keep: 0.5, dynamic_keep: keep, reserved_decode: 64 };
+        for cell in [UniCaimCellKind::OneBit, UniCaimCellKind::ThreeBit] {
+            let uni = match cell {
+                UniCaimCellKind::OneBit => UniCaimDesign::one_bit(),
+                UniCaimCellKind::ThreeBit => UniCaimDesign::three_bit(),
+            };
+            let uni_aedp = uni.evaluate(workload, &uni_spec).aedp();
+            rows.push(AedpRow {
+                pruning_ratio,
+                cell,
+                unicaim_aedp: uni_aedp,
+                vs_sprint: SprintDesign::default().evaluate(workload, &base_spec).aedp()
+                    / uni_aedp,
+                vs_trancim: TranCimDesign::default().evaluate(workload, &base_spec).aedp()
+                    / uni_aedp,
+                vs_cimformer: CimFormerDesign::default()
+                    .evaluate(workload, &base_spec)
+                    .aedp()
+                    / uni_aedp,
+            });
+        }
+    }
+    rows
+}
+
+/// The Table II workload: a 1024-token prompt statically pruned to the
+/// paper's 512 heavy tokens, 64 decode steps, d = 128, 3-bit keys.
+#[must_use]
+pub fn table2_workload() -> AttentionWorkload {
+    AttentionWorkload { input_len: 1024, output_len: 64, dim: 128, key_bits: 3 }
+}
+
+/// One point of a sequence-length sweep: the x value plus one y value per
+/// named series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The sweep variable (input or output sequence length).
+    pub x: usize,
+    /// Series name → value.
+    pub values: BTreeMap<String, f64>,
+}
+
+fn base_workload(input_len: usize, output_len: usize) -> AttentionWorkload {
+    AttentionWorkload { input_len, output_len, dim: 128, key_bits: 3 }
+}
+
+/// Fig. 10 reproduction: required device count vs sequence length under
+/// {no pruning, static pruning, static+dynamic (UniCAIM), UniCAIM with
+/// 3-bit cells}.
+#[must_use]
+pub fn area_sweep(seq_lens: &[usize], sweep_output: bool, keep: f64) -> Vec<SweepPoint> {
+    seq_lens
+        .iter()
+        .map(|&len| {
+            let w = if sweep_output { base_workload(2048, len) } else { base_workload(len, 64) };
+            let p = PruningSpec::uniform(keep, 64);
+            let mut values = BTreeMap::new();
+            values.insert(
+                "no_pruning".into(),
+                UniCaimDesign::one_bit().with_static(false).with_dynamic(false).devices(&w, &p),
+            );
+            values.insert(
+                "static_only".into(),
+                UniCaimDesign::one_bit().with_dynamic(false).devices(&w, &p),
+            );
+            values.insert("unicaim_1bit".into(), UniCaimDesign::one_bit().devices(&w, &p));
+            values.insert("unicaim_3bit".into(), UniCaimDesign::three_bit().devices(&w, &p));
+            SweepPoint { x: len, values }
+        })
+        .collect()
+}
+
+/// Fig. 11(b,c) reproduction: energy per decode step vs sequence length for
+/// {no pruning, conventional dynamic, UniCAIM}.
+#[must_use]
+pub fn energy_sweep(seq_lens: &[usize], sweep_output: bool, keep: f64) -> Vec<SweepPoint> {
+    seq_lens
+        .iter()
+        .map(|&len| {
+            let w = if sweep_output { base_workload(2048, len) } else { base_workload(len, 64) };
+            let p = PruningSpec::uniform(keep, 64);
+            let mut values = BTreeMap::new();
+            values.insert(
+                "no_pruning".into(),
+                NoPruningCim::default().evaluate(&w, &p).energy_per_step,
+            );
+            values.insert(
+                "conventional_dynamic".into(),
+                ConventionalDynamicCim::default().evaluate(&w, &p).energy_per_step,
+            );
+            values.insert(
+                "unicaim".into(),
+                UniCaimDesign::three_bit().evaluate(&w, &p).energy_per_step,
+            );
+            SweepPoint { x: len, values }
+        })
+        .collect()
+}
+
+/// Fig. 12(b) reproduction: latency per decode step vs sequence length for
+/// {no pruning, conventional dynamic, UniCAIM}.
+#[must_use]
+pub fn delay_sweep(seq_lens: &[usize], sweep_output: bool, keep: f64) -> Vec<SweepPoint> {
+    seq_lens
+        .iter()
+        .map(|&len| {
+            let w = if sweep_output { base_workload(2048, len) } else { base_workload(len, 64) };
+            let p = PruningSpec::uniform(keep, 64);
+            let mut values = BTreeMap::new();
+            values.insert(
+                "no_pruning".into(),
+                NoPruningCim::default().evaluate(&w, &p).delay_per_step,
+            );
+            values.insert(
+                "conventional_dynamic".into(),
+                ConventionalDynamicCim::default().evaluate(&w, &p).delay_per_step,
+            );
+            values.insert(
+                "unicaim".into(),
+                UniCaimDesign::three_bit().evaluate(&w, &p).delay_per_step,
+            );
+            SweepPoint { x: len, values }
+        })
+        .collect()
+}
+
+/// One row of the Table I qualitative comparison.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QualitativeRow {
+    /// Design name.
+    pub design: &'static str,
+    /// Memory technology.
+    pub technology: &'static str,
+    /// Static pruning support.
+    pub static_pruning: &'static str,
+    /// Dynamic pruning support.
+    pub dynamic_pruning: &'static str,
+    /// Top-k selection time complexity.
+    pub topk_complexity: &'static str,
+}
+
+/// Reproduces the paper's Table I feature matrix.
+#[must_use]
+pub fn qualitative_table() -> Vec<QualitativeRow> {
+    vec![
+        QualitativeRow {
+            design: "TranCIM",
+            technology: "SRAM (digital CIM)",
+            static_pruning: "fixed pattern only",
+            dynamic_pruning: "no",
+            topk_complexity: "-",
+        },
+        QualitativeRow {
+            design: "CIMFormer",
+            technology: "SRAM (digital CIM)",
+            static_pruning: "no",
+            dynamic_pruning: "top-k with dedicated unit",
+            topk_complexity: "O(n log n) / O(log n) + gather",
+        },
+        QualitativeRow {
+            design: "Sprint",
+            technology: "NVM (analog CIM)",
+            static_pruning: "no",
+            dynamic_pruning: "approximate in-memory",
+            topk_complexity: "O(n)",
+        },
+        QualitativeRow {
+            design: "UniCAIM (this work)",
+            technology: "FeFET (CAM + analog CIM)",
+            static_pruning: "accumulated-score, prefill + decode",
+            dynamic_pruning: "CAM-mode top-k",
+            topk_complexity: "O(1)",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_ratios_have_paper_shape() {
+        let rows = aedp_table(&table2_workload());
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            // Ordering: Sprint < TranCIM < CIMFormer (paper Table II).
+            assert!(row.vs_sprint > 1.0, "{row:?}");
+            assert!(row.vs_trancim > row.vs_sprint, "{row:?}");
+            assert!(row.vs_cimformer > row.vs_trancim, "{row:?}");
+        }
+        // The paper's headline span: 8.2x .. 831x. Accept the same order of
+        // magnitude at the extremes.
+        let min_ratio = rows.iter().map(|r| r.vs_sprint).fold(f64::INFINITY, f64::min);
+        let max_ratio = rows.iter().map(|r| r.vs_cimformer).fold(0.0, f64::max);
+        assert!((4.0..20.0).contains(&min_ratio), "min ratio {min_ratio}");
+        assert!((100.0..2000.0).contains(&max_ratio), "max ratio {max_ratio}");
+    }
+
+    #[test]
+    fn table2_3bit_rows_improve_over_1bit() {
+        let rows = aedp_table(&table2_workload());
+        for pair in rows.chunks(2) {
+            let (one, three) = (&pair[0], &pair[1]);
+            assert!(three.vs_sprint > one.vs_sprint);
+            assert!(three.vs_cimformer > one.vs_cimformer);
+        }
+    }
+
+    #[test]
+    fn table2_gap_grows_with_pruning_ratio() {
+        let rows = aedp_table(&table2_workload());
+        // rows: [50%/1bit, 50%/3bit, 80%/1bit, 80%/3bit]
+        assert!(rows[2].vs_sprint > rows[0].vs_sprint, "{rows:?}");
+        assert!(rows[2].vs_cimformer > rows[0].vs_cimformer, "{rows:?}");
+    }
+
+    #[test]
+    fn area_sweep_shows_static_pruning_savings() {
+        let pts = area_sweep(&[512, 1024, 2048, 4096], false, 0.25);
+        for p in &pts {
+            let full = p.values["no_pruning"];
+            let stat = p.values["static_only"];
+            let uni = p.values["unicaim_1bit"];
+            let uni3 = p.values["unicaim_3bit"];
+            assert!(stat < full, "static pruning must reduce devices at x={}", p.x);
+            // CAM periphery adds only marginal devices.
+            assert!((uni - stat) / stat < 0.02, "x={}", p.x);
+            assert!(uni3 < uni, "3-bit cells must reduce devices at x={}", p.x);
+        }
+        // Savings grow with input length (higher compression ratio).
+        let first = pts.first().unwrap();
+        let last = pts.last().unwrap();
+        let ratio_first = first.values["no_pruning"] / first.values["unicaim_1bit"];
+        let ratio_last = last.values["no_pruning"] / last.values["unicaim_1bit"];
+        assert!(ratio_last > ratio_first);
+    }
+
+    #[test]
+    fn energy_and_delay_sweeps_widen_with_length() {
+        let e = energy_sweep(&[512, 2048, 8192], false, 0.2);
+        let d = delay_sweep(&[512, 2048, 8192], false, 0.2);
+        for pts in [&e, &d] {
+            let improvement = |p: &SweepPoint| p.values["no_pruning"] / p.values["unicaim"];
+            let first = improvement(&pts[0]);
+            let last = improvement(&pts[pts.len() - 1]);
+            assert!(last > first, "improvement must grow with length: {first} -> {last}");
+            assert!(first > 1.0);
+        }
+    }
+
+    #[test]
+    fn qualitative_table_has_unicaim_last() {
+        let t = qualitative_table();
+        assert_eq!(t.len(), 4);
+        assert!(t.last().unwrap().design.contains("UniCAIM"));
+        assert_eq!(t.last().unwrap().topk_complexity, "O(1)");
+    }
+}

@@ -1,0 +1,539 @@
+//! The accelerator cost models: UniCAIM and its baselines.
+
+use serde::{Deserialize, Serialize};
+
+use crate::report::{CostReport, EnergyBreakdown};
+use crate::tech::Technology;
+use crate::workload::{AttentionWorkload, PruningSpec};
+
+/// An accelerator cost model.
+pub trait Accelerator {
+    /// Display name for tables.
+    fn name(&self) -> &'static str;
+
+    /// Evaluates the cost of running the decode workload under the given
+    /// pruning specification.
+    fn evaluate(&self, workload: &AttentionWorkload, pruning: &PruningSpec) -> CostReport;
+}
+
+fn div_ceil_f(a: usize, b: usize) -> f64 {
+    a.div_ceil(b.max(1)) as f64
+}
+
+fn log2f(n: usize) -> f64 {
+    (n.max(2) as f64).log2()
+}
+
+/// UniCAIM cell precision variant (Table II rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UniCaimCellKind {
+    /// Binary cells: a `key_bits`-bit key occupies `key_bits` bit-sliced
+    /// cells per dimension.
+    OneBit,
+    /// Multilevel (3-bit) cells: one cell stores the whole signed key digit
+    /// per dimension — the paper's in-situ multilevel storage.
+    ThreeBit,
+}
+
+/// The UniCAIM architecture cost model.
+///
+/// # Examples
+///
+/// ```
+/// use unicaim_accel::{Accelerator, AttentionWorkload, PruningSpec, UniCaimDesign};
+///
+/// let report = UniCaimDesign::three_bit()
+///     .evaluate(&AttentionWorkload::paper_default(), &PruningSpec::uniform(0.2, 64));
+/// // The ADC dominates the energy budget — the paper's premise.
+/// assert!(report.breakdown.adc > 0.5 * report.energy_per_step);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UniCaimDesign {
+    /// Cell precision variant.
+    pub cell: UniCaimCellKind,
+    /// CAM-mode dynamic pruning enabled.
+    pub dynamic: bool,
+    /// Static pruning (prefill + step-wise decode eviction) enabled.
+    pub static_prune: bool,
+    /// Technology constants.
+    pub tech: Technology,
+}
+
+impl UniCaimDesign {
+    /// The 1-bit-cell variant with both pruning modes.
+    #[must_use]
+    pub fn one_bit() -> Self {
+        Self {
+            cell: UniCaimCellKind::OneBit,
+            dynamic: true,
+            static_prune: true,
+            tech: Technology::default(),
+        }
+    }
+
+    /// The 3-bit-cell variant with both pruning modes.
+    #[must_use]
+    pub fn three_bit() -> Self {
+        Self { cell: UniCaimCellKind::ThreeBit, ..Self::one_bit() }
+    }
+
+    /// Disables/enables dynamic pruning (ablation).
+    #[must_use]
+    pub fn with_dynamic(mut self, dynamic: bool) -> Self {
+        self.dynamic = dynamic;
+        self
+    }
+
+    /// Disables/enables static pruning (ablation).
+    #[must_use]
+    pub fn with_static(mut self, static_prune: bool) -> Self {
+        self.static_prune = static_prune;
+        self
+    }
+
+    /// Bit-sliced cells per dimension for this cell kind.
+    #[must_use]
+    pub fn slices(&self, key_bits: usize) -> usize {
+        match self.cell {
+            UniCaimCellKind::OneBit => key_bits.max(1),
+            UniCaimCellKind::ThreeBit => key_bits.div_ceil(3).max(1),
+        }
+    }
+
+    fn cells_per_row(&self, w: &AttentionWorkload) -> usize {
+        w.dim * self.slices(w.key_bits)
+    }
+
+    fn rows(&self, w: &AttentionWorkload, p: &PruningSpec) -> usize {
+        if self.static_prune {
+            p.rows_static(w)
+        } else {
+            w.total_tokens()
+        }
+    }
+
+    /// Device count of this configuration (the Fig. 10 metric).
+    #[must_use]
+    pub fn devices(&self, w: &AttentionWorkload, p: &PruningSpec) -> f64 {
+        let t = &self.tech;
+        let rows = self.rows(w, p) as f64;
+        let cells = self.cells_per_row(w) as f64;
+        let row_periph = if self.dynamic { t.devices_per_row_periph } else { 4.0 };
+        rows * cells * t.devices_per_cell
+            + rows * row_periph
+            + t.n_adcs as f64 * t.devices_per_adc
+            + cells * t.devices_per_driver
+            + t.devices_control
+    }
+}
+
+impl Accelerator for UniCaimDesign {
+    fn name(&self) -> &'static str {
+        match self.cell {
+            UniCaimCellKind::OneBit => "unicaim_1bit",
+            UniCaimCellKind::ThreeBit => "unicaim_3bit",
+        }
+    }
+
+    fn evaluate(&self, w: &AttentionWorkload, p: &PruningSpec) -> CostReport {
+        let t = &self.tech;
+        let cells = self.cells_per_row(w);
+        let mut energy = EnergyBreakdown::default();
+        let mut delay = 0.0;
+        for step in 0..w.output_len {
+            let n = if self.static_prune {
+                p.resident_static(w, step)
+            } else {
+                PruningSpec::resident_full(w, step)
+            };
+            let k = if self.dynamic { p.selected(n) } else { n };
+            if self.dynamic {
+                energy.array += n as f64 * (t.e_cam_row(cells) + t.e_share);
+                delay += t.t_cam;
+            }
+            energy.array += k as f64 * t.e_row_read * t.low_current_read_factor;
+            energy.adc += k as f64 * t.e_adc10;
+            energy.write += 2.0 * cells as f64 * t.e_write_fefet;
+            delay += div_ceil_f(k, t.n_adcs) * t.t_adc10;
+        }
+        let steps = w.output_len.max(1);
+        let inv = 1.0 / steps as f64;
+        CostReport {
+            design: self.name().to_owned(),
+            devices: self.devices(w, p),
+            energy_per_step: energy.total() * inv,
+            delay_per_step: delay * inv,
+            breakdown: EnergyBreakdown {
+                array: energy.array * inv,
+                adc: energy.adc * inv,
+                topk: energy.topk * inv,
+                write: energy.write * inv,
+            },
+            steps,
+        }
+    }
+}
+
+/// Analog current-domain CIM with no pruning: every resident row is
+/// ADC-quantized at full precision every step.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct NoPruningCim {
+    /// Technology constants.
+    pub tech: Technology,
+}
+
+impl NoPruningCim {
+    fn cells_per_row(w: &AttentionWorkload) -> usize {
+        w.dim * w.key_bits.max(1)
+    }
+}
+
+impl Accelerator for NoPruningCim {
+    fn name(&self) -> &'static str {
+        "no_pruning_cim"
+    }
+
+    fn evaluate(&self, w: &AttentionWorkload, _p: &PruningSpec) -> CostReport {
+        let t = &self.tech;
+        let cells = Self::cells_per_row(w) as f64;
+        let rows = w.total_tokens() as f64;
+        let mut energy = EnergyBreakdown::default();
+        let mut delay = 0.0;
+        for step in 0..w.output_len {
+            let n = PruningSpec::resident_full(w, step);
+            energy.array += n as f64 * t.e_row_read;
+            energy.adc += n as f64 * t.e_adc10;
+            delay += div_ceil_f(n, t.n_adcs) * t.t_adc10;
+        }
+        let steps = w.output_len.max(1);
+        let inv = 1.0 / steps as f64;
+        CostReport {
+            design: self.name().to_owned(),
+            devices: rows * cells * t.devices_per_cell
+                + rows * 4.0
+                + t.n_adcs as f64 * t.devices_per_adc
+                + cells * t.devices_per_driver
+                + t.devices_control,
+            energy_per_step: energy.total() * inv,
+            delay_per_step: delay * inv,
+            breakdown: EnergyBreakdown {
+                array: energy.array * inv,
+                adc: energy.adc * inv,
+                topk: 0.0,
+                write: 0.0,
+            },
+            steps,
+        }
+    }
+}
+
+/// Analog CIM with *conventional* dynamic pruning: a low-precision
+/// approximate-score conversion of every resident row, a digital top-k
+/// unit, then full-precision conversions of the selected rows (the
+/// Figs. 11/12 "with conventional dynamic pruning" reference).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ConventionalDynamicCim {
+    /// Technology constants.
+    pub tech: Technology,
+}
+
+impl Accelerator for ConventionalDynamicCim {
+    fn name(&self) -> &'static str {
+        "conventional_dynamic_cim"
+    }
+
+    fn evaluate(&self, w: &AttentionWorkload, p: &PruningSpec) -> CostReport {
+        let t = &self.tech;
+        let cells = (w.dim * w.key_bits.max(1)) as f64;
+        let rows = w.total_tokens() as f64;
+        let mut energy = EnergyBreakdown::default();
+        let mut delay = 0.0;
+        for step in 0..w.output_len {
+            let n = PruningSpec::resident_full(w, step);
+            let k = p.selected(n);
+            energy.adc += n as f64 * t.e_adc_low + k as f64 * t.e_adc10;
+            energy.array += n as f64 * t.e_row_read_low + k as f64 * t.e_row_read;
+            energy.topk += n as f64 * log2f(n) * t.e_cmp_topk;
+            delay += div_ceil_f(n, t.n_adcs) * t.t_adc_low
+                + log2f(n) * t.t_topk_stage
+                + div_ceil_f(k, t.n_adcs) * t.t_adc10;
+        }
+        let steps = w.output_len.max(1);
+        let inv = 1.0 / steps as f64;
+        CostReport {
+            design: self.name().to_owned(),
+            devices: rows * cells * t.devices_per_cell
+                + rows * 4.0
+                + t.n_adcs as f64 * t.devices_per_adc
+                + cells * t.devices_per_driver
+                + 50_000.0 // top-k selection unit
+                + t.devices_control,
+            energy_per_step: energy.total() * inv,
+            delay_per_step: delay * inv,
+            breakdown: EnergyBreakdown {
+                array: energy.array * inv,
+                adc: energy.adc * inv,
+                topk: energy.topk * inv,
+                write: 0.0,
+            },
+            steps,
+        }
+    }
+}
+
+/// CIMFormer-class digital systolic CIM with token-pruning-aware top-k
+/// (Guo et al., JSSC 2024): 4-bit approximate "possibility gathering" over
+/// every resident token, a top-k unit, then 8-bit exact attention over the
+/// selected tokens. No static pruning — the cache grows with generation.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CimFormerDesign {
+    /// Technology constants.
+    pub tech: Technology,
+}
+
+impl Accelerator for CimFormerDesign {
+    fn name(&self) -> &'static str {
+        "cimformer"
+    }
+
+    fn evaluate(&self, w: &AttentionWorkload, p: &PruningSpec) -> CostReport {
+        let t = &self.tech;
+        let rows = w.total_tokens() as f64;
+        let store_bits = 8.0;
+        let mut energy = EnergyBreakdown::default();
+        let mut delay = 0.0;
+        for step in 0..w.output_len {
+            let n = PruningSpec::resident_full(w, step);
+            let k = p.selected(n);
+            energy.array += n as f64 * w.dim as f64 * t.e_mac_dig4
+                + k as f64 * w.dim as f64 * t.e_mac_dig8;
+            energy.topk += n as f64 * log2f(n) * t.e_cmp_topk;
+            delay += (n + k) as f64 * t.t_row_cimformer + log2f(n) * t.t_topk_stage;
+        }
+        let steps = w.output_len.max(1);
+        let inv = 1.0 / steps as f64;
+        CostReport {
+            design: self.name().to_owned(),
+            devices: rows * w.dim as f64 * store_bits * t.devices_per_sram_bit
+                + w.dim as f64 * t.devices_per_mac_lane
+                + 50_000.0
+                + t.devices_control,
+            energy_per_step: energy.total() * inv,
+            delay_per_step: delay * inv,
+            breakdown: EnergyBreakdown {
+                array: energy.array * inv,
+                adc: 0.0,
+                topk: energy.topk * inv,
+                write: 0.0,
+            },
+            steps,
+        }
+    }
+}
+
+/// TranCIM-class full-digital bitline-transpose CIM with a fixed
+/// StreamingLLM-style sparse pattern (Tu et al., JSSC 2022): computes 8-bit
+/// attention over the fixed `static_keep` fraction of tokens; no dynamic
+/// selection hardware at all.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TranCimDesign {
+    /// Technology constants.
+    pub tech: Technology,
+}
+
+impl Accelerator for TranCimDesign {
+    fn name(&self) -> &'static str {
+        "trancim"
+    }
+
+    fn evaluate(&self, w: &AttentionWorkload, p: &PruningSpec) -> CostReport {
+        let t = &self.tech;
+        let rows = w.total_tokens() as f64;
+        let store_bits = 8.0;
+        let mut energy = EnergyBreakdown::default();
+        let mut delay = 0.0;
+        for step in 0..w.output_len {
+            let n = PruningSpec::resident_full(w, step);
+            let window = ((n as f64 * p.static_keep).round() as usize).clamp(1, n);
+            energy.array += window as f64 * w.dim as f64 * t.e_mac_dig8;
+            delay += window as f64 * t.t_row_trancim;
+        }
+        let steps = w.output_len.max(1);
+        let inv = 1.0 / steps as f64;
+        CostReport {
+            design: self.name().to_owned(),
+            devices: rows * w.dim as f64 * store_bits * t.devices_per_sram_bit
+                + w.dim as f64 * t.devices_per_mac_lane
+                + t.devices_control,
+            energy_per_step: energy.total() * inv,
+            delay_per_step: delay * inv,
+            breakdown: EnergyBreakdown {
+                array: energy.array * inv,
+                adc: 0.0,
+                topk: 0.0,
+                write: 0.0,
+            },
+            steps,
+        }
+    }
+}
+
+/// Sprint-class NVM CIM (Yazdanbakhsh et al., MICRO 2022): low-precision
+/// in-memory pruning of every resident row, then on-chip digital
+/// recomputation (plus full-precision conversion) of the selected rows.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SprintDesign {
+    /// Technology constants.
+    pub tech: Technology,
+}
+
+impl Accelerator for SprintDesign {
+    fn name(&self) -> &'static str {
+        "sprint"
+    }
+
+    fn evaluate(&self, w: &AttentionWorkload, p: &PruningSpec) -> CostReport {
+        let t = &self.tech;
+        let rows = w.total_tokens() as f64;
+        let bit_slices = w.key_bits.max(1) as f64;
+        let mut energy = EnergyBreakdown::default();
+        let mut delay = 0.0;
+        for step in 0..w.output_len {
+            let n = PruningSpec::resident_full(w, step);
+            let k = p.selected(n);
+            energy.topk += n as f64 * t.e_sense_low;
+            energy.adc += k as f64 * t.e_adc10;
+            energy.array += k as f64 * t.e_row_read
+                + k as f64 * w.dim as f64 * t.e_mac_dig4;
+            delay += t.t_sense_low
+                + div_ceil_f(k, t.n_adcs) * t.t_adc10
+                + k as f64 * t.t_row_sprint;
+        }
+        let steps = w.output_len.max(1);
+        let inv = 1.0 / steps as f64;
+        CostReport {
+            design: self.name().to_owned(),
+            devices: rows * w.dim as f64 * 2.0 * bit_slices
+                + t.n_adcs as f64 * t.devices_per_adc
+                + w.dim as f64 * t.devices_per_mac_lane * 0.25
+                + t.devices_control,
+            energy_per_step: energy.total() * inv,
+            delay_per_step: delay * inv,
+            breakdown: EnergyBreakdown {
+                array: energy.array * inv,
+                adc: energy.adc * inv,
+                topk: energy.topk * inv,
+                write: 0.0,
+            },
+            steps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig11a_setup() -> (AttentionWorkload, PruningSpec) {
+        // Fig. 11a: 576 resident tokens, dynamic selection keeps 20%,
+        // no static pruning (isolates the dynamic-pruning comparison).
+        let w = AttentionWorkload { input_len: 576, output_len: 1, dim: 128, key_bits: 3 };
+        let p = PruningSpec { static_keep: 1.0, dynamic_keep: 0.2, reserved_decode: usize::MAX };
+        (w, p)
+    }
+
+    #[test]
+    fn fig11a_no_pruning_energy_matches_paper() {
+        let (w, p) = fig11a_setup();
+        let r = NoPruningCim::default().evaluate(&w, &p);
+        // Paper: ADC 6.51 nJ + CIM array 0.59 nJ = 7.1 nJ.
+        assert!((r.breakdown.adc - 6.51e-9).abs() / 6.51e-9 < 0.05, "{:?}", r.breakdown);
+        assert!((r.breakdown.array - 0.59e-9).abs() / 0.59e-9 < 0.05, "{:?}", r.breakdown);
+        assert!((r.energy_per_step - 7.1e-9).abs() / 7.1e-9 < 0.05);
+    }
+
+    #[test]
+    fn fig11a_conventional_dynamic_energy_matches_paper() {
+        let (w, p) = fig11a_setup();
+        let r = ConventionalDynamicCim::default().evaluate(&w, &p);
+        // Paper: total 6.49 nJ (0.91x), with ~1.29 nJ top-k.
+        assert!((r.energy_per_step - 6.49e-9).abs() / 6.49e-9 < 0.08, "{r:?}");
+        assert!((r.breakdown.topk - 1.29e-9).abs() / 1.29e-9 < 0.1, "{r:?}");
+    }
+
+    #[test]
+    fn fig11a_unicaim_energy_matches_paper() {
+        let (w, p) = fig11a_setup();
+        let r = UniCaimDesign::one_bit().with_static(false).evaluate(&w, &p);
+        // Paper: total 1.34 nJ (0.19x), ADC 1.29 nJ.
+        assert!((r.breakdown.adc - 1.29e-9).abs() / 1.29e-9 < 0.05, "{r:?}");
+        assert!((r.energy_per_step - 1.34e-9).abs() / 1.34e-9 < 0.1, "{r:?}");
+    }
+
+    #[test]
+    fn fig12a_delays_match_paper() {
+        let (w, p) = fig11a_setup();
+        // Paper: no pruning 90 ns; conventional ~104 ns; UniCAIM ~22 ns.
+        let no_prune = NoPruningCim::default().evaluate(&w, &p);
+        assert!((no_prune.delay_per_step - 90e-9).abs() / 90e-9 < 0.05, "{no_prune:?}");
+        let conv = ConventionalDynamicCim::default().evaluate(&w, &p);
+        assert!((conv.delay_per_step - 104e-9).abs() / 104e-9 < 0.08, "{conv:?}");
+        let uni = UniCaimDesign::one_bit().with_static(false).evaluate(&w, &p);
+        assert!((uni.delay_per_step - 22e-9).abs() / 22e-9 < 0.1, "{uni:?}");
+        // Conventional dynamic pruning alone *increases* latency over no
+        // pruning — the paper's Fig. 12a observation.
+        assert!(conv.delay_per_step > no_prune.delay_per_step);
+    }
+
+    #[test]
+    fn unicaim_beats_all_baselines_on_aedp() {
+        let w = AttentionWorkload::paper_default();
+        let p = PruningSpec::uniform(0.5, 64);
+        let uni = UniCaimDesign::one_bit().evaluate(&w, &p).aedp();
+        let sprint = SprintDesign::default().evaluate(&w, &p).aedp();
+        let trancim = TranCimDesign::default().evaluate(&w, &p).aedp();
+        let cimformer = CimFormerDesign::default().evaluate(&w, &p).aedp();
+        assert!(uni < sprint && sprint < trancim && trancim < cimformer,
+            "ordering violated: uni {uni:.3e}, sprint {sprint:.3e}, trancim {trancim:.3e}, cimformer {cimformer:.3e}");
+    }
+
+    #[test]
+    fn three_bit_cell_improves_aedp() {
+        let w = AttentionWorkload::paper_default();
+        let p = PruningSpec::uniform(0.5, 64);
+        let one = UniCaimDesign::one_bit().evaluate(&w, &p).aedp();
+        let three = UniCaimDesign::three_bit().evaluate(&w, &p).aedp();
+        assert!(three < one / 1.5, "3-bit cell must clearly reduce AEDP: {three:.3e} vs {one:.3e}");
+    }
+
+    #[test]
+    fn stronger_pruning_widens_the_gap() {
+        let w = AttentionWorkload::paper_default();
+        let p50 = PruningSpec::uniform(0.5, 64);
+        let p80 = PruningSpec::uniform(0.2, 64);
+        let ratio_50 = CimFormerDesign::default().evaluate(&w, &p50).aedp()
+            / UniCaimDesign::one_bit().evaluate(&w, &p50).aedp();
+        let ratio_80 = CimFormerDesign::default().evaluate(&w, &p80).aedp()
+            / UniCaimDesign::one_bit().evaluate(&w, &p80).aedp();
+        assert!(ratio_80 > ratio_50, "80% pruning must widen the AEDP gap");
+    }
+
+    #[test]
+    fn static_pruning_reduces_devices() {
+        let w = AttentionWorkload::paper_default();
+        let p = PruningSpec::uniform(0.25, 64);
+        let pruned = UniCaimDesign::one_bit().devices(&w, &p);
+        let unpruned = UniCaimDesign::one_bit().with_static(false).devices(&w, &p);
+        assert!(pruned < 0.6 * unpruned);
+    }
+
+    #[test]
+    fn dynamic_cam_periphery_is_cheap() {
+        let w = AttentionWorkload::paper_default();
+        let p = PruningSpec::uniform(0.25, 64);
+        let with_cam = UniCaimDesign::one_bit().devices(&w, &p);
+        let without = UniCaimDesign::one_bit().with_dynamic(false).devices(&w, &p);
+        let overhead = (with_cam - without) / without;
+        assert!(overhead < 0.02, "CAM periphery overhead {overhead:.4} must be ~negligible");
+    }
+}

@@ -1,0 +1,68 @@
+//! Architecture-level cost models for UniCAIM and the baseline CIM LLM
+//! accelerators it is compared against (paper Section IV.A).
+//!
+//! Each design implements [`Accelerator`]: given an attention decode
+//! workload and a pruning specification it returns a [`CostReport`] with
+//! device count (area proxy), per-step energy/delay, and the
+//! area-energy-delay product (AEDP) the paper's Table II ranks designs by.
+//!
+//! Models are analytic, with per-operation constants documented in
+//! [`Technology`] and taken from the components the paper cites (10-bit SAR
+//! ADC of Liu et al. ISSCC'10, SpAtten-style top-k, digital CIM MAC
+//! energies of TranCIM/CIMFormer class designs). Absolute numbers are
+//! simulator-grade; the *ratios* and their trends with pruning ratio,
+//! sequence length, and cell precision are the reproduction target.
+//!
+//! The designs:
+//!
+//! * [`UniCaimDesign`] — the paper's architecture: CAM-mode dynamic
+//!   pruning (no ADC), charge-domain static pruning, current-domain exact
+//!   attention on the selected k rows only.
+//! * [`NoPruningCim`] — analog current-domain CIM quantizing every row
+//!   (the "no pruning" reference of Figs. 11/12).
+//! * [`ConventionalDynamicCim`] — analog CIM with low-precision
+//!   approximate score ADCs on every row plus a digital top-k unit (the
+//!   "with conventional dynamic pruning" reference of Figs. 11/12).
+//! * [`CimFormerDesign`] — digital systolic CIM with top-k token pruning
+//!   (Guo et al., JSSC 2024).
+//! * [`TranCimDesign`] — full-digital bitline-transpose CIM with a fixed
+//!   StreamingLLM-style sparse pattern (Tu et al., JSSC 2022).
+//! * [`SprintDesign`] — analog CIM with low-precision in-memory pruning
+//!   and on-chip digital recomputation (Yazdanbakhsh et al., MICRO 2022).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use unicaim_accel::{
+//!     Accelerator, AttentionWorkload, PruningSpec, SprintDesign, UniCaimDesign,
+//! };
+//!
+//! let w = AttentionWorkload::paper_default();
+//! let p = PruningSpec::uniform(0.5, 64);
+//! let uni = UniCaimDesign::three_bit().evaluate(&w, &p);
+//! let sprint = SprintDesign::default().evaluate(&w, &p);
+//! assert!(sprint.aedp() / uni.aedp() > 1.0, "UniCAIM must win on AEDP");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod comparison;
+mod designs;
+mod measured;
+mod report;
+mod tech;
+mod workload;
+
+pub use comparison::{
+    aedp_table, area_sweep, delay_sweep, energy_sweep, qualitative_table, table2_workload,
+    AedpRow, QualitativeRow, SweepPoint,
+};
+pub use designs::{
+    Accelerator, CimFormerDesign, ConventionalDynamicCim, NoPruningCim, SprintDesign,
+    TranCimDesign, UniCaimCellKind, UniCaimDesign,
+};
+pub use measured::{cost_from_stats, devices_for_array};
+pub use report::{CostReport, EnergyBreakdown};
+pub use tech::Technology;
+pub use workload::{AttentionWorkload, PruningSpec};

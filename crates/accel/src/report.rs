@@ -1,0 +1,94 @@
+//! Cost reports: area (device count), energy, delay, AEDP.
+
+use serde::{Deserialize, Serialize};
+
+/// Energy breakdown per decode step, joules (Fig. 11a's bars).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Array access energy (CAM races, analog reads, digital MACs).
+    pub array: f64,
+    /// ADC conversion energy (exact + approximate).
+    pub adc: f64,
+    /// Dynamic-pruning selection energy (digital top-k or CAM detect).
+    pub topk: f64,
+    /// Write energy (key updates).
+    pub write: f64,
+}
+
+impl EnergyBreakdown {
+    /// Sum of all components.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.array + self.adc + self.topk + self.write
+    }
+}
+
+/// Aggregate cost of running a decode workload on a design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostReport {
+    /// Design display name.
+    pub design: String,
+    /// Device count (area proxy; the paper's Fig. 10 metric).
+    pub devices: f64,
+    /// Mean energy per decode step, joules.
+    pub energy_per_step: f64,
+    /// Mean latency per decode step, seconds.
+    pub delay_per_step: f64,
+    /// Mean per-step energy breakdown.
+    pub breakdown: EnergyBreakdown,
+    /// Decode steps evaluated.
+    pub steps: usize,
+}
+
+impl CostReport {
+    /// Total energy over the workload, joules.
+    #[must_use]
+    pub fn total_energy(&self) -> f64 {
+        self.energy_per_step * self.steps as f64
+    }
+
+    /// Total delay over the workload, seconds.
+    #[must_use]
+    pub fn total_delay(&self) -> f64 {
+        self.delay_per_step * self.steps as f64
+    }
+
+    /// Energy-delay product per step.
+    #[must_use]
+    pub fn edp(&self) -> f64 {
+        self.energy_per_step * self.delay_per_step
+    }
+
+    /// Area-energy-delay product (the paper's headline metric).
+    #[must_use]
+    pub fn aedp(&self) -> f64 {
+        self.devices * self.energy_per_step * self.delay_per_step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_total() {
+        let b = EnergyBreakdown { array: 1.0, adc: 2.0, topk: 3.0, write: 4.0 };
+        assert!((b.total() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aedp_multiplies() {
+        let r = CostReport {
+            design: "x".into(),
+            devices: 10.0,
+            energy_per_step: 2.0,
+            delay_per_step: 3.0,
+            breakdown: EnergyBreakdown::default(),
+            steps: 4,
+        };
+        assert!((r.aedp() - 60.0).abs() < 1e-12);
+        assert!((r.edp() - 6.0).abs() < 1e-12);
+        assert!((r.total_energy() - 8.0).abs() < 1e-12);
+        assert!((r.total_delay() - 12.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,176 @@
+//! Per-operation technology constants shared by the cost models.
+
+use serde::{Deserialize, Serialize};
+
+/// Technology constants (45 nm class unless noted).
+///
+/// Sources / reasoning for the defaults:
+///
+/// * `e_adc10`, `t_adc10` — Liu et al., ISSCC 2010: 10 b, 100 MS/s,
+///   1.13 mW ⇒ 11.3 pJ and 10 ns per conversion (the converter the paper
+///   cites for its current-domain mode).
+/// * `e_adc_low`, `t_adc_low` — a ~6 b approximate-score conversion as used
+///   by conventional dynamic-pruning CIMs; SAR energy scales roughly with
+///   2^bits·C·V² plus comparator costs, giving ≈half the 10 b figures.
+/// * `e_row_read` — analog array read energy per row per conversion
+///   (`I_row·V_DS·t_conv` at ~1 mA·0.1 V·10 ns class currents). This
+///   reproduces the paper's Fig. 11(a) CIM-array bar (0.59 nJ for 576
+///   rows).
+/// * `e_cmp_topk`, `t_topk_stage` — SpAtten-class digital top-k: ~0.24 pJ
+///   per compare, `log₂(n)` pipeline stages at 1.5 ns each.
+/// * `e_mac_dig8` — 28–45 nm digital CIM MAC at 8 b, ~50 fJ (TranCIM-class
+///   energy efficiency).
+/// * device counts — 4 devices per 1T1F-pair cell (2 FeFETs + 2 access
+///   transistors), ~3000 devices per 10 b SAR ADC (binary-scaled cap DAC +
+///   comparator + logic), 6 devices per SRAM bit for digital CIM arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Technology {
+    /// Energy per 10-bit SAR conversion, joules.
+    pub e_adc10: f64,
+    /// Time per 10-bit SAR conversion, seconds.
+    pub t_adc10: f64,
+    /// Energy per low-precision (approximate) conversion, joules.
+    pub e_adc_low: f64,
+    /// Time per low-precision conversion, seconds.
+    pub t_adc_low: f64,
+    /// Analog array read energy per row per full-precision conversion,
+    /// joules.
+    pub e_row_read: f64,
+    /// Analog array read energy per row during a *low-precision* approximate
+    /// phase (shorter integration), joules.
+    pub e_row_read_low: f64,
+    /// Read-energy factor for UniCAIM's selected rows: the top-k most
+    /// similar rows have, by cell design, the *smallest* sense currents, so
+    /// their precise reads are proportionally cheaper (paper III.B.5).
+    pub low_current_read_factor: f64,
+    /// Sense-line capacitance per cell, farads.
+    pub c_sl_per_cell: f64,
+    /// Fixed sense-line capacitance, farads.
+    pub c_sl_fixed: f64,
+    /// Supply voltage, volts.
+    pub vdd: f64,
+    /// Mean discharge fraction of a CAM race (fraction of `C·V²` spent per
+    /// row per search).
+    pub cam_discharge_fraction: f64,
+    /// Charge-sharing energy per row per step, joules.
+    pub e_share: f64,
+    /// Energy per digital top-k compare, joules.
+    pub e_cmp_topk: f64,
+    /// Latency per top-k pipeline stage, seconds.
+    pub t_topk_stage: f64,
+    /// Energy per 8-bit digital MAC, joules.
+    pub e_mac_dig8: f64,
+    /// Energy per 4-bit digital MAC, joules.
+    pub e_mac_dig4: f64,
+    /// Energy per FeFET program operation, joules.
+    pub e_write_fefet: f64,
+    /// CAM precharge + race latency per search, seconds.
+    pub t_cam: f64,
+    /// Low-precision in-memory sense energy per row (Sprint-style), joules.
+    pub e_sense_low: f64,
+    /// Latency of the Sprint-style in-memory sense phase, seconds.
+    pub t_sense_low: f64,
+    /// ADCs operating in parallel.
+    pub n_adcs: usize,
+    /// Devices per UniCAIM cell (2 FeFETs + 2 access transistors).
+    pub devices_per_cell: f64,
+    /// Peripheral devices per row (precharge, detector, FE-INV, switches).
+    pub devices_per_row_periph: f64,
+    /// Devices per 10-bit SAR ADC.
+    pub devices_per_adc: f64,
+    /// Devices per bit-line driver.
+    pub devices_per_driver: f64,
+    /// Devices per SRAM bit (digital CIM storage).
+    pub devices_per_sram_bit: f64,
+    /// Devices of a digital MAC lane.
+    pub devices_per_mac_lane: f64,
+    /// Fixed control/overhead devices per accelerator.
+    pub devices_control: f64,
+    /// Digital CIM row-processing time for TranCIM-class pipelines, s/row.
+    pub t_row_trancim: f64,
+    /// Digital systolic row-processing time for CIMFormer-class pipelines,
+    /// s/row.
+    pub t_row_cimformer: f64,
+    /// Digital recompute row time for Sprint-class pipelines, s/row.
+    pub t_row_sprint: f64,
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Self {
+            e_adc10: 11.3e-12,
+            t_adc10: 10e-9,
+            e_adc_low: 6.4e-12,
+            t_adc_low: 8e-9,
+            e_row_read: 1.0e-12,
+            e_row_read_low: 0.2e-12,
+            low_current_read_factor: 0.25,
+            c_sl_per_cell: 0.2e-15,
+            c_sl_fixed: 2e-15,
+            vdd: 1.0,
+            cam_discharge_fraction: 0.5,
+            e_share: 0.02e-12,
+            e_cmp_topk: 0.24e-12,
+            t_topk_stage: 1.5e-9,
+            e_mac_dig8: 50e-15,
+            e_mac_dig4: 12.5e-15,
+            e_write_fefet: 2e-15,
+            t_cam: 2e-9,
+            e_sense_low: 0.6e-12,
+            t_sense_low: 5e-9,
+            n_adcs: 64,
+            devices_per_cell: 4.0,
+            devices_per_row_periph: 12.0,
+            devices_per_adc: 1500.0,
+            devices_per_driver: 8.0,
+            devices_per_sram_bit: 6.0,
+            devices_per_mac_lane: 5000.0,
+            devices_control: 20_000.0,
+            t_row_trancim: 0.3e-9,
+            t_row_cimformer: 0.3e-9,
+            t_row_sprint: 0.15e-9,
+        }
+    }
+}
+
+impl Technology {
+    /// Sense-line capacitance of a row with `cells` cells, farads.
+    #[must_use]
+    pub fn c_sl(&self, cells: usize) -> f64 {
+        self.c_sl_fixed + self.c_sl_per_cell * cells as f64
+    }
+
+    /// CAM race energy per row per search, joules.
+    #[must_use]
+    pub fn e_cam_row(&self, cells: usize) -> f64 {
+        self.c_sl(cells) * self.vdd * self.vdd * self.cam_discharge_fraction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adc_energy_matches_cited_converter() {
+        let t = Technology::default();
+        assert!((t.e_adc10 - 11.3e-12).abs() < 1e-18);
+        assert!((t.t_adc10 - 10e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cam_row_energy_is_femtojoule_scale() {
+        let t = Technology::default();
+        let e = t.e_cam_row(384);
+        assert!(e > 1e-15 && e < 1e-12, "CAM row energy {e:.3e} out of range");
+        // Orders of magnitude below one ADC conversion — the architectural
+        // point of the CAM mode.
+        assert!(e < t.e_adc10 / 100.0);
+    }
+
+    #[test]
+    fn sense_line_capacitance_scales() {
+        let t = Technology::default();
+        assert!(t.c_sl(512) > t.c_sl(128));
+    }
+}

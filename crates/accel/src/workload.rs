@@ -1,0 +1,124 @@
+//! Workload and pruning specifications for the cost models.
+
+use serde::{Deserialize, Serialize};
+
+/// An attention decode workload (shape only — the cost models are
+/// data-independent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttentionWorkload {
+    /// Prefill (input) length in tokens.
+    pub input_len: usize,
+    /// Number of decode (output) steps.
+    pub output_len: usize,
+    /// Key dimension.
+    pub dim: usize,
+    /// Key precision in bits (storage/compute precision of the KV cache).
+    pub key_bits: usize,
+}
+
+impl AttentionWorkload {
+    /// The paper's circuit-evaluation operating point: 512 input tokens,
+    /// 64 output tokens, d = 128, 3-bit keys.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self { input_len: 512, output_len: 64, dim: 128, key_bits: 3 }
+    }
+
+    /// Total tokens an unpruned cache holds at the end of decoding.
+    #[must_use]
+    pub fn total_tokens(&self) -> usize {
+        self.input_len + self.output_len
+    }
+}
+
+/// Pruning configuration, applied identically to every design for fair
+/// comparison (paper Section IV.A.4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PruningSpec {
+    /// Fraction of tokens *kept* by static pruning (prefill stage).
+    pub static_keep: f64,
+    /// Fraction of resident tokens *selected* by dynamic pruning per step.
+    pub dynamic_keep: f64,
+    /// Rows reserved for newly generated tokens (the paper's `M`).
+    pub reserved_decode: usize,
+}
+
+impl PruningSpec {
+    /// Uniform keep ratio for both static and dynamic pruning: a paper
+    /// "pruning ratio" of p keeps `1 − p` of the tokens.
+    #[must_use]
+    pub fn uniform(keep: f64, reserved_decode: usize) -> Self {
+        Self { static_keep: keep, dynamic_keep: keep, reserved_decode }
+    }
+
+    /// No pruning at all.
+    #[must_use]
+    pub fn none() -> Self {
+        Self { static_keep: 1.0, dynamic_keep: 1.0, reserved_decode: usize::MAX }
+    }
+
+    /// Resident tokens at decode step `s` *with* static pruning: `H` heavy
+    /// prefill tokens plus up to `reserved_decode` generated ones.
+    #[must_use]
+    pub fn resident_static(&self, w: &AttentionWorkload, step: usize) -> usize {
+        let h = (w.input_len as f64 * self.static_keep).round() as usize;
+        h + step.min(self.reserved_decode)
+    }
+
+    /// Resident tokens at decode step `s` *without* static pruning.
+    #[must_use]
+    pub fn resident_full(w: &AttentionWorkload, step: usize) -> usize {
+        w.input_len + step
+    }
+
+    /// Tokens selected by dynamic pruning out of `resident`.
+    #[must_use]
+    pub fn selected(&self, resident: usize) -> usize {
+        ((resident as f64 * self.dynamic_keep).round() as usize).clamp(1, resident)
+    }
+
+    /// Physical rows a statically pruned cache needs (`H + M`).
+    #[must_use]
+    pub fn rows_static(&self, w: &AttentionWorkload) -> usize {
+        let h = (w.input_len as f64 * self.static_keep).round() as usize;
+        h + self.reserved_decode.min(w.output_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_shape() {
+        let w = AttentionWorkload::paper_default();
+        assert_eq!(w.total_tokens(), 576);
+    }
+
+    #[test]
+    fn resident_counts() {
+        let w = AttentionWorkload::paper_default();
+        let p = PruningSpec::uniform(0.5, 64);
+        assert_eq!(p.resident_static(&w, 0), 256);
+        assert_eq!(p.resident_static(&w, 10), 266);
+        assert_eq!(p.resident_static(&w, 100), 320, "reserved rows cap growth");
+        assert_eq!(PruningSpec::resident_full(&w, 10), 522);
+    }
+
+    #[test]
+    fn selection_clamps() {
+        let p = PruningSpec::uniform(0.25, 64);
+        assert_eq!(p.selected(400), 100);
+        assert_eq!(p.selected(1), 1);
+        assert_eq!(p.selected(2), 1);
+    }
+
+    #[test]
+    fn rows_static_is_h_plus_m() {
+        let w = AttentionWorkload::paper_default();
+        let p = PruningSpec::uniform(1.0, 64);
+        assert_eq!(p.rows_static(&w), 576);
+        let p50 = PruningSpec::uniform(0.5, 64);
+        assert_eq!(p50.rows_static(&w), 320);
+    }
+}

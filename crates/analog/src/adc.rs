@@ -1,0 +1,232 @@
+//! Successive-approximation (SAR) ADC model.
+//!
+//! Current-domain CIM readout quantizes sense-line currents with 10-bit SAR
+//! ADCs (the paper cites the 10 b 100 MS/s 1.13 mW converter of Liu et al.,
+//! ISSCC 2010, which works out to ≈11.3 pJ per conversion). The ADC is by
+//! far the dominant energy term of analog CIM — which is exactly why
+//! UniCAIM's CAM mode avoids it during pruning.
+
+use serde::{Deserialize, Serialize};
+
+use crate::AnalogError;
+
+/// SAR ADC configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SarAdcParams {
+    /// Resolution in bits.
+    pub bits: u32,
+    /// Full-scale input (amps for current-input use), mapped to the top code.
+    pub full_scale: f64,
+    /// Energy per conversion, joules.
+    pub energy_per_conversion: f64,
+    /// Time per conversion, seconds (sampling + `bits` bit-cycles).
+    pub conversion_time: f64,
+}
+
+impl Default for SarAdcParams {
+    fn default() -> Self {
+        Self {
+            bits: 10,
+            full_scale: 100e-6,
+            // Liu et al., ISSCC 2010: 1.13 mW at 100 MS/s.
+            energy_per_conversion: 11.3e-12,
+            conversion_time: 10e-9,
+        }
+    }
+}
+
+/// One quantization result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdcReading {
+    /// Output code in `[0, 2^bits − 1]`.
+    pub code: u32,
+}
+
+/// An N-bit successive-approximation ADC.
+///
+/// # Examples
+///
+/// ```
+/// use unicaim_analog::SarAdc;
+///
+/// let adc = SarAdc::paper_default(); // 10-bit, 11.3 pJ, 10 ns
+/// let reading = adc.quantize(50e-6);
+/// let estimate = adc.reconstruct(reading);
+/// assert!((estimate - 50e-6).abs() <= adc.lsb());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SarAdc {
+    params: SarAdcParams,
+}
+
+impl SarAdc {
+    /// Creates an ADC from validated parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for zero bits, more than 24
+    /// bits, or non-positive full scale / energy / time.
+    pub fn new(params: SarAdcParams) -> Result<Self, AnalogError> {
+        if params.bits == 0 || params.bits > 24 {
+            return Err(AnalogError::InvalidParameter {
+                name: "bits",
+                reason: format!("must be in 1..=24, got {}", params.bits),
+            });
+        }
+        for (name, v) in [
+            ("full_scale", params.full_scale),
+            ("energy_per_conversion", params.energy_per_conversion),
+            ("conversion_time", params.conversion_time),
+        ] {
+            if !(v > 0.0) {
+                return Err(AnalogError::InvalidParameter {
+                    name,
+                    reason: format!("must be positive, got {v}"),
+                });
+            }
+        }
+        Ok(Self { params })
+    }
+
+    /// The paper's default 10-bit converter.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::new(SarAdcParams::default()).expect("default params are valid")
+    }
+
+    /// The ADC parameters.
+    #[must_use]
+    pub fn params(&self) -> &SarAdcParams {
+        &self.params
+    }
+
+    /// Number of output codes, `2^bits`.
+    #[must_use]
+    pub fn n_codes(&self) -> u32 {
+        1u32 << self.params.bits
+    }
+
+    /// One least-significant-bit step in input units.
+    #[must_use]
+    pub fn lsb(&self) -> f64 {
+        self.params.full_scale / f64::from(self.n_codes())
+    }
+
+    /// Quantizes an input via an explicit successive-approximation loop.
+    /// Inputs are clamped to `[0, full_scale]`.
+    #[must_use]
+    pub fn quantize(&self, input: f64) -> AdcReading {
+        let x = input.clamp(0.0, self.params.full_scale);
+        let mut code: u32 = 0;
+        let mut dac = 0.0;
+        // Binary search from the MSB down, exactly like SAR hardware.
+        for bit in (0..self.params.bits).rev() {
+            let trial = dac + self.lsb() * f64::from(1u32 << bit);
+            if x >= trial {
+                code |= 1 << bit;
+                dac = trial;
+            }
+        }
+        AdcReading { code }
+    }
+
+    /// Reconstructs the input estimate for a code (mid-tread: code·LSB).
+    #[must_use]
+    pub fn reconstruct(&self, reading: AdcReading) -> f64 {
+        f64::from(reading.code) * self.lsb()
+    }
+
+    /// Quantization round trip: input → code → estimate.
+    #[must_use]
+    pub fn quantize_value(&self, input: f64) -> f64 {
+        self.reconstruct(self.quantize(input))
+    }
+
+    /// Energy for `n` conversions, joules.
+    #[must_use]
+    pub fn energy(&self, n_conversions: u64) -> f64 {
+        self.params.energy_per_conversion * n_conversions as f64
+    }
+
+    /// Time for `n` sequential conversions on one ADC, seconds.
+    #[must_use]
+    pub fn time_sequential(&self, n_conversions: u64) -> f64 {
+        self.params.conversion_time * n_conversions as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_cover_range() {
+        let adc = SarAdc::paper_default();
+        assert_eq!(adc.quantize(0.0).code, 0);
+        assert_eq!(adc.quantize(adc.params().full_scale).code, adc.n_codes() - 1);
+    }
+
+    #[test]
+    fn quantization_error_within_one_lsb() {
+        let adc = SarAdc::paper_default();
+        let fs = adc.params().full_scale;
+        for i in 0..1000 {
+            let x = fs * f64::from(i) / 1000.0;
+            let err = (adc.quantize_value(x) - x).abs();
+            assert!(err <= adc.lsb(), "error {err} exceeds one LSB {}", adc.lsb());
+        }
+    }
+
+    #[test]
+    fn quantizer_is_monotone() {
+        let adc = SarAdc::paper_default();
+        let fs = adc.params().full_scale;
+        let mut last = 0;
+        for i in 0..2000 {
+            let code = adc.quantize(fs * f64::from(i) / 2000.0).code;
+            assert!(code >= last, "non-monotone at step {i}");
+            last = code;
+        }
+    }
+
+    #[test]
+    fn out_of_range_inputs_clamp() {
+        let adc = SarAdc::paper_default();
+        assert_eq!(adc.quantize(-1.0).code, 0);
+        assert_eq!(adc.quantize(1.0).code, adc.n_codes() - 1);
+    }
+
+    #[test]
+    fn sar_loop_matches_rounding() {
+        let adc = SarAdc::paper_default();
+        let fs = adc.params().full_scale;
+        for i in 0..500 {
+            let x = fs * f64::from(i) / 500.0;
+            let expect = ((x / adc.lsb()).floor() as u32).min(adc.n_codes() - 1);
+            assert_eq!(adc.quantize(x).code, expect, "at input {x}");
+        }
+    }
+
+    #[test]
+    fn energy_and_time_scale_linearly() {
+        let adc = SarAdc::paper_default();
+        assert!((adc.energy(100) - 100.0 * 11.3e-12).abs() < 1e-18);
+        assert!((adc.time_sequential(7) - 70e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn rejects_invalid_params() {
+        let bad = SarAdcParams { bits: 0, ..SarAdcParams::default() };
+        assert!(SarAdc::new(bad).is_err());
+        let bad = SarAdcParams { bits: 30, ..SarAdcParams::default() };
+        assert!(SarAdc::new(bad).is_err());
+        let bad = SarAdcParams { full_scale: 0.0, ..SarAdcParams::default() };
+        assert!(SarAdc::new(bad).is_err());
+    }
+
+    #[test]
+    fn ten_bits_give_1024_codes() {
+        let adc = SarAdc::paper_default();
+        assert_eq!(adc.n_codes(), 1024);
+    }
+}

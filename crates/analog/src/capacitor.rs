@@ -1,0 +1,204 @@
+//! Capacitive charge sharing and the per-row accumulation capacitor.
+
+use serde::{Deserialize, Serialize};
+
+use crate::AnalogError;
+
+/// Energy drawn from a supply at `v_dd` to precharge capacitance `c` from
+/// `v_from` up to `v_dd`, joules. (The supply delivers `C·V_DD·ΔV`; half of
+/// the delta is stored, half dissipated in the precharge switch.)
+#[must_use]
+pub fn precharge_energy(c: f64, v_dd: f64, v_from: f64) -> f64 {
+    c * v_dd * (v_dd - v_from).max(0.0)
+}
+
+/// Result of one capacitive charge-sharing event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChargeShare {
+    /// Common voltage after the switch closes, volts.
+    pub v_final: f64,
+    /// Energy dissipated in the switch, joules:
+    /// `½·(C₁C₂/(C₁+C₂))·(V₁−V₂)²`.
+    pub dissipated: f64,
+}
+
+impl ChargeShare {
+    /// Shares charge between capacitor 1 (`c1` at `v1`) and capacitor 2
+    /// (`c2` at `v2`).
+    ///
+    /// Total charge is conserved: `c1·v1 + c2·v2 = (c1+c2)·v_final`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] if either capacitance is
+    /// non-positive.
+    pub fn between(c1: f64, v1: f64, c2: f64, v2: f64) -> Result<Self, AnalogError> {
+        for (name, c) in [("c1", c1), ("c2", c2)] {
+            if !(c > 0.0) {
+                return Err(AnalogError::InvalidParameter {
+                    name,
+                    reason: format!("capacitance must be positive, got {c}"),
+                });
+            }
+        }
+        let v_final = (c1 * v1 + c2 * v2) / (c1 + c2);
+        let series = c1 * c2 / (c1 + c2);
+        let dissipated = 0.5 * series * (v1 - v2) * (v1 - v2);
+        Ok(Self { v_final, dissipated })
+    }
+}
+
+/// A per-row accumulation capacitor (`C_Acc` in paper Fig. 8a).
+///
+/// In the charge-domain CIM mode, each CAM search leaves the sense line at a
+/// voltage proportional to the row's similarity; closing switch `S₁` shares
+/// that charge into `C_Acc`, so over decode steps the accumulator voltage
+/// becomes a running (exponentially weighted) proxy of the accumulated
+/// attention score. The row whose accumulator is lowest is the static
+/// eviction candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccumulatorCap {
+    capacitance: f64,
+    voltage: f64,
+}
+
+impl AccumulatorCap {
+    /// Creates an accumulator of the given capacitance, initialized to `v0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for a non-positive
+    /// capacitance or a negative initial voltage.
+    pub fn new(capacitance: f64, v0: f64) -> Result<Self, AnalogError> {
+        if !(capacitance > 0.0) {
+            return Err(AnalogError::InvalidParameter {
+                name: "capacitance",
+                reason: format!("must be positive, got {capacitance}"),
+            });
+        }
+        if v0 < 0.0 {
+            return Err(AnalogError::InvalidParameter {
+                name: "v0",
+                reason: format!("must be non-negative, got {v0}"),
+            });
+        }
+        Ok(Self { capacitance, voltage: v0 })
+    }
+
+    /// Current accumulator voltage, volts.
+    #[must_use]
+    pub fn voltage(&self) -> f64 {
+        self.voltage
+    }
+
+    /// The accumulator capacitance, farads.
+    #[must_use]
+    pub fn capacitance(&self) -> f64 {
+        self.capacitance
+    }
+
+    /// Shares charge from a sense line (`c_sl` at `v_sl`) into this
+    /// accumulator, updating the stored voltage. Returns the share event
+    /// (common final voltage and dissipated energy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for a non-positive `c_sl`.
+    pub fn share_from(&mut self, c_sl: f64, v_sl: f64) -> Result<ChargeShare, AnalogError> {
+        let share = ChargeShare::between(c_sl, v_sl, self.capacitance, self.voltage)?;
+        self.voltage = share.v_final;
+        Ok(share)
+    }
+
+    /// Resets the accumulator to the given voltage (used when a row is
+    /// overwritten with a fresh token).
+    pub fn reset(&mut self, v0: f64) {
+        self.voltage = v0.max(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_is_conserved() {
+        let s = ChargeShare::between(2e-15, 1.0, 6e-15, 0.2).unwrap();
+        let q_before = 2e-15 * 1.0 + 6e-15 * 0.2;
+        let q_after = (2e-15 + 6e-15) * s.v_final;
+        assert!((q_before - q_after).abs() < 1e-30);
+    }
+
+    #[test]
+    fn final_voltage_between_inputs() {
+        let s = ChargeShare::between(1e-15, 0.9, 3e-15, 0.3).unwrap();
+        assert!(s.v_final > 0.3 && s.v_final < 0.9);
+    }
+
+    #[test]
+    fn equal_voltages_dissipate_nothing() {
+        let s = ChargeShare::between(1e-15, 0.5, 2e-15, 0.5).unwrap();
+        assert_eq!(s.dissipated, 0.0);
+        assert!((s.v_final - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn dissipation_matches_energy_balance() {
+        let (c1, v1, c2, v2) = (2e-15, 1.0, 5e-15, 0.1);
+        let s = ChargeShare::between(c1, v1, c2, v2).unwrap();
+        let e_before = 0.5 * c1 * v1 * v1 + 0.5 * c2 * v2 * v2;
+        let e_after = 0.5 * (c1 + c2) * s.v_final * s.v_final;
+        assert!((e_before - e_after - s.dissipated).abs() < 1e-30);
+    }
+
+    #[test]
+    fn accumulator_tracks_repeated_shares() {
+        let mut acc = AccumulatorCap::new(8e-15, 0.0).unwrap();
+        // Repeatedly share from a line held near 1.0 V: accumulator rises
+        // toward 1.0, monotonically.
+        let mut last = 0.0;
+        for _ in 0..20 {
+            acc.share_from(2e-15, 1.0).unwrap();
+            assert!(acc.voltage() > last);
+            last = acc.voltage();
+        }
+        assert!(last > 0.9, "accumulator should approach the line voltage, got {last}");
+    }
+
+    #[test]
+    fn accumulator_orders_by_average_similarity() {
+        // Row A repeatedly sees high SL voltage (high similarity); row B low.
+        let mut a = AccumulatorCap::new(8e-15, 0.5).unwrap();
+        let mut b = AccumulatorCap::new(8e-15, 0.5).unwrap();
+        for _ in 0..10 {
+            a.share_from(2e-15, 0.9).unwrap();
+            b.share_from(2e-15, 0.2).unwrap();
+        }
+        assert!(a.voltage() > b.voltage());
+    }
+
+    #[test]
+    fn reset_clamps_to_zero() {
+        let mut acc = AccumulatorCap::new(1e-15, 0.7).unwrap();
+        acc.reset(-0.2);
+        assert_eq!(acc.voltage(), 0.0);
+        acc.reset(0.4);
+        assert!((acc.voltage() - 0.4).abs() < 1e-15);
+    }
+
+    #[test]
+    fn precharge_energy_basics() {
+        assert_eq!(precharge_energy(1e-15, 1.0, 1.0), 0.0);
+        let e = precharge_energy(1e-15, 1.0, 0.0);
+        assert!((e - 1e-15).abs() < 1e-27);
+        // Precharging from above v_dd costs nothing.
+        assert_eq!(precharge_energy(1e-15, 1.0, 1.2), 0.0);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(ChargeShare::between(0.0, 1.0, 1e-15, 0.0).is_err());
+        assert!(AccumulatorCap::new(-1e-15, 0.0).is_err());
+        assert!(AccumulatorCap::new(1e-15, -0.1).is_err());
+    }
+}

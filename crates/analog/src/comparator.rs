@@ -1,0 +1,219 @@
+//! Threshold elements: the programmable-switching-voltage FeFET inverter and
+//! the current-sum comparator.
+
+use serde::{Deserialize, Serialize};
+
+use crate::AnalogError;
+
+/// An inverter whose switching voltage `V_S` is programmable (realized with
+/// an FeFET pull-up/pull-down in hardware, paper Fig. 8a "FE-INV").
+///
+/// Used in the charge-domain CIM mode: the first accumulator node to
+/// discharge below `V_S` flips its inverter, flagging the static-eviction
+/// candidate without an ADC. Optional hysteresis makes the trip a clean,
+/// non-chattering event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeInverter {
+    switching_voltage: f64,
+    hysteresis: f64,
+}
+
+impl FeInverter {
+    /// Creates an inverter with the given switching voltage (volts) and no
+    /// hysteresis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for a non-positive
+    /// switching voltage.
+    pub fn new(switching_voltage: f64) -> Result<Self, AnalogError> {
+        Self::with_hysteresis(switching_voltage, 0.0)
+    }
+
+    /// Creates an inverter with hysteresis: it trips high when the input
+    /// falls below `V_S − h/2` and returns low above `V_S + h/2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for a non-positive
+    /// switching voltage or a negative hysteresis.
+    pub fn with_hysteresis(switching_voltage: f64, hysteresis: f64) -> Result<Self, AnalogError> {
+        if !(switching_voltage > 0.0) {
+            return Err(AnalogError::InvalidParameter {
+                name: "switching_voltage",
+                reason: format!("must be positive, got {switching_voltage}"),
+            });
+        }
+        if hysteresis < 0.0 {
+            return Err(AnalogError::InvalidParameter {
+                name: "hysteresis",
+                reason: format!("must be non-negative, got {hysteresis}"),
+            });
+        }
+        Ok(Self { switching_voltage, hysteresis })
+    }
+
+    /// The programmed switching voltage, volts.
+    #[must_use]
+    pub fn switching_voltage(&self) -> f64 {
+        self.switching_voltage
+    }
+
+    /// Output is high (eviction flag raised) when the input has fallen below
+    /// the lower trip point.
+    #[must_use]
+    pub fn output_high(&self, v_in: f64) -> bool {
+        v_in < self.switching_voltage - 0.5 * self.hysteresis
+    }
+
+    /// Reprograms the switching voltage (a single FeFET write in hardware).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for a non-positive voltage.
+    pub fn program(&mut self, switching_voltage: f64) -> Result<(), AnalogError> {
+        if !(switching_voltage > 0.0) {
+            return Err(AnalogError::InvalidParameter {
+                name: "switching_voltage",
+                reason: format!("must be positive, got {switching_voltage}"),
+            });
+        }
+        self.switching_voltage = switching_voltage;
+        Ok(())
+    }
+}
+
+/// A comparator on a *summed* current against a programmable reference.
+///
+/// UniCAIM's CAM mode wires one detector FeFET (`F_dyn`, current `I_dyn`)
+/// per still-high sense line into a common node; setting the reference to
+/// `(k+1)·I_dyn` makes the comparator trip exactly when `≤ k` lines remain
+/// high — the O(1) top-k stop condition (paper Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CurrentComparator {
+    i_ref: f64,
+    /// Absolute input-referred offset, amps (models comparator offset).
+    offset: f64,
+}
+
+impl CurrentComparator {
+    /// Creates a comparator with reference current `i_ref` (amps).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for a non-positive
+    /// reference.
+    pub fn new(i_ref: f64) -> Result<Self, AnalogError> {
+        Self::with_offset(i_ref, 0.0)
+    }
+
+    /// Creates a comparator with a static input-referred offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for a non-positive
+    /// reference.
+    pub fn with_offset(i_ref: f64, offset: f64) -> Result<Self, AnalogError> {
+        if !(i_ref > 0.0) {
+            return Err(AnalogError::InvalidParameter {
+                name: "i_ref",
+                reason: format!("must be positive, got {i_ref}"),
+            });
+        }
+        Ok(Self { i_ref, offset })
+    }
+
+    /// The reference current, amps.
+    #[must_use]
+    pub fn i_ref(&self) -> f64 {
+        self.i_ref
+    }
+
+    /// Trips (asserts its output) when the summed input current falls below
+    /// the reference.
+    #[must_use]
+    pub fn trips_below(&self, i_sum: f64) -> bool {
+        i_sum + self.offset < self.i_ref
+    }
+
+    /// Trips when the summed input current rises above the reference (used
+    /// by the static-pruning control `Ctrl₂`, paper Fig. 8).
+    #[must_use]
+    pub fn trips_above(&self, i_sum: f64) -> bool {
+        i_sum + self.offset > self.i_ref
+    }
+
+    /// Reference for top-k detection: `(k+1)·i_unit`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for a non-positive unit
+    /// current.
+    pub fn top_k_reference(k: usize, i_unit: f64) -> Result<Self, AnalogError> {
+        Self::new((k as f64 + 1.0) * i_unit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverter_trips_below_switching_voltage() {
+        let inv = FeInverter::new(0.4).unwrap();
+        assert!(!inv.output_high(0.8));
+        assert!(!inv.output_high(0.4));
+        assert!(inv.output_high(0.39));
+    }
+
+    #[test]
+    fn inverter_hysteresis_widens_trip_points() {
+        let inv = FeInverter::with_hysteresis(0.4, 0.1).unwrap();
+        assert!(!inv.output_high(0.36)); // above lower trip 0.35
+        assert!(inv.output_high(0.34));
+    }
+
+    #[test]
+    fn inverter_reprogramming() {
+        let mut inv = FeInverter::new(0.4).unwrap();
+        inv.program(0.6).unwrap();
+        assert!(inv.output_high(0.5));
+        assert!(inv.program(0.0).is_err());
+    }
+
+    #[test]
+    fn comparator_top_k_semantics() {
+        // 9 lines, each contributing 1 µA while high; k = 3.
+        let i_dyn = 1e-6;
+        let cmp = CurrentComparator::top_k_reference(3, i_dyn).unwrap();
+        // With 4 or more lines high the comparator must not trip...
+        assert!(!cmp.trips_below(4.0 * i_dyn));
+        assert!(!cmp.trips_below(9.0 * i_dyn));
+        // ...with exactly 3 it must.
+        assert!(cmp.trips_below(3.0 * i_dyn));
+        assert!(cmp.trips_below(0.0));
+    }
+
+    #[test]
+    fn comparator_above_direction() {
+        let cmp = CurrentComparator::new(2e-6).unwrap();
+        assert!(cmp.trips_above(3e-6));
+        assert!(!cmp.trips_above(1e-6));
+    }
+
+    #[test]
+    fn comparator_offset_shifts_decision() {
+        let cmp = CurrentComparator::with_offset(2e-6, 0.5e-6).unwrap();
+        // Effective input = i + offset.
+        assert!(!cmp.trips_below(1.6e-6)); // 2.1 µA ≥ 2 µA
+        assert!(cmp.trips_below(1.4e-6)); // 1.9 µA < 2 µA
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(FeInverter::new(0.0).is_err());
+        assert!(FeInverter::with_hysteresis(0.4, -0.1).is_err());
+        assert!(CurrentComparator::new(0.0).is_err());
+        assert!(CurrentComparator::top_k_reference(3, 0.0).is_err());
+    }
+}

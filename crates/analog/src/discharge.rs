@@ -1,0 +1,311 @@
+//! Sense-line discharge dynamics and multi-node discharge races.
+
+use serde::{Deserialize, Serialize};
+
+use crate::AnalogError;
+
+/// How a node's pull-down current depends on its instantaneous voltage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DischargeMode {
+    /// Triode-like pull-down: `I(v) = G·v` with `G = I₀/V₀`, giving an
+    /// exponential decay `v(t) = V₀·e^{−t/τ}`, `τ = C/G`. This matches the
+    /// small-`V_DS` operating region of the UniCAIM cells.
+    Ohmic,
+    /// Saturation-like pull-down: constant current `I₀`, giving a linear
+    /// ramp `v(t) = V₀ − I₀·t/C`.
+    ConstantCurrent,
+}
+
+/// A race between `n` precharged capacitive nodes, each discharged by its
+/// own static pull-down current.
+///
+/// This is the analog core of UniCAIM's CAM mode: every KV-cache row is a
+/// sense line whose discharge rate encodes (inverted) similarity, and the
+/// *order in which lines cross a threshold* is the similarity ranking —
+/// obtained without ever computing the scores (paper Fig. 7b).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DischargeRace {
+    v0: f64,
+    capacitance: f64,
+    currents: Vec<f64>,
+    /// Reference voltage at which `currents` were characterized (Ohmic mode).
+    v_ref: f64,
+    mode: DischargeMode,
+}
+
+impl DischargeRace {
+    /// Creates an ohmic-mode race.
+    ///
+    /// * `v0` — precharge voltage (volts),
+    /// * `capacitance` — per-node capacitance (farads),
+    /// * `currents` — per-node pull-down current measured at `v_ref` (amps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v0`, `capacitance` or `v_ref` are not positive, or if any
+    /// current is negative. Use [`DischargeRace::try_new`] for fallible
+    /// construction.
+    #[must_use]
+    pub fn ohmic(v0: f64, capacitance: f64, currents: &[f64], v_ref: f64) -> Self {
+        Self::try_new(v0, capacitance, currents, v_ref, DischargeMode::Ohmic)
+            .expect("invalid DischargeRace parameters")
+    }
+
+    /// Creates a constant-current-mode race (`v_ref` is ignored but kept for
+    /// symmetry; pass the precharge voltage).
+    #[must_use]
+    pub fn constant_current(v0: f64, capacitance: f64, currents: &[f64]) -> Self {
+        Self::try_new(v0, capacitance, currents, v0, DischargeMode::ConstantCurrent)
+            .expect("invalid DischargeRace parameters")
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for non-positive `v0`,
+    /// `capacitance` or `v_ref`, or any negative current.
+    pub fn try_new(
+        v0: f64,
+        capacitance: f64,
+        currents: &[f64],
+        v_ref: f64,
+        mode: DischargeMode,
+    ) -> Result<Self, AnalogError> {
+        for (name, v) in [("v0", v0), ("capacitance", capacitance), ("v_ref", v_ref)] {
+            if !(v > 0.0) {
+                return Err(AnalogError::InvalidParameter {
+                    name,
+                    reason: format!("must be positive, got {v}"),
+                });
+            }
+        }
+        if let Some(bad) = currents.iter().find(|&&i| i < 0.0 || !i.is_finite()) {
+            return Err(AnalogError::InvalidParameter {
+                name: "currents",
+                reason: format!("currents must be finite and non-negative, got {bad}"),
+            });
+        }
+        Ok(Self { v0, capacitance, currents: currents.to_vec(), v_ref, mode })
+    }
+
+    /// Number of racing nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.currents.len()
+    }
+
+    /// True when the race has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.currents.is_empty()
+    }
+
+    /// The precharge voltage.
+    #[must_use]
+    pub fn v0(&self) -> f64 {
+        self.v0
+    }
+
+    /// Voltage of node `node` after discharging for `t` seconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::NodeOutOfRange`] for a bad index.
+    pub fn voltage_at(&self, node: usize, t: f64) -> Result<f64, AnalogError> {
+        let i0 = self.current_of(node)?;
+        let t = t.max(0.0);
+        Ok(match self.mode {
+            DischargeMode::Ohmic => {
+                if i0 == 0.0 {
+                    self.v0
+                } else {
+                    let g = i0 / self.v_ref;
+                    self.v0 * (-t * g / self.capacitance).exp()
+                }
+            }
+            DischargeMode::ConstantCurrent => (self.v0 - i0 * t / self.capacitance).max(0.0),
+        })
+    }
+
+    /// Time for node `node` to fall to `v_threshold`, seconds.
+    /// `f64::INFINITY` when the node never crosses (zero current).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::NodeOutOfRange`] for a bad index, or
+    /// [`AnalogError::InvalidParameter`] for a threshold outside
+    /// `(0, v0]`.
+    pub fn crossing_time(&self, node: usize, v_threshold: f64) -> Result<f64, AnalogError> {
+        if !(v_threshold > 0.0 && v_threshold <= self.v0) {
+            return Err(AnalogError::InvalidParameter {
+                name: "v_threshold",
+                reason: format!("must lie in (0, {}], got {v_threshold}", self.v0),
+            });
+        }
+        let i0 = self.current_of(node)?;
+        if i0 == 0.0 {
+            return Ok(f64::INFINITY);
+        }
+        Ok(match self.mode {
+            DischargeMode::Ohmic => {
+                let g = i0 / self.v_ref;
+                (self.capacitance / g) * (self.v0 / v_threshold).ln()
+            }
+            DischargeMode::ConstantCurrent => self.capacitance * (self.v0 - v_threshold) / i0,
+        })
+    }
+
+    /// Node indices sorted by crossing time of `v_threshold`, fastest
+    /// (highest current) first. Ties break toward the lower index, making
+    /// the race deterministic.
+    #[must_use]
+    pub fn order_by_crossing(&self, v_threshold: f64) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.sort_by(|&a, &b| {
+            let ta = self.crossing_time(a, v_threshold).unwrap_or(f64::INFINITY);
+            let tb = self.crossing_time(b, v_threshold).unwrap_or(f64::INFINITY);
+            ta.partial_cmp(&tb).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        });
+        order
+    }
+
+    /// The `k` *slowest* nodes — the CAM-mode winners (highest similarity ⇒
+    /// lowest current ⇒ last to discharge). Returns all nodes if `k ≥ n`.
+    #[must_use]
+    pub fn slowest(&self, k: usize, v_threshold: f64) -> Vec<usize> {
+        let order = self.order_by_crossing(v_threshold);
+        let n = order.len();
+        let k = k.min(n);
+        order[n - k..].to_vec()
+    }
+
+    /// Time at which exactly `k` nodes remain above `v_threshold`, i.e. the
+    /// crossing time of the `(n−k)`-th fastest node. This is when the CAM
+    /// stop comparator trips and the discharge is frozen. Returns `None`
+    /// when `k >= n` (the race never needs to run).
+    #[must_use]
+    pub fn freeze_time(&self, k: usize, v_threshold: f64) -> Option<f64> {
+        let n = self.len();
+        if k >= n {
+            return None;
+        }
+        let order = self.order_by_crossing(v_threshold);
+        let idx = order[n - k - 1];
+        self.crossing_time(idx, v_threshold).ok()
+    }
+
+    /// Energy drawn from the precharge supply to recharge all nodes back to
+    /// `v0` after the race ran until `t_freeze`, joules.
+    #[must_use]
+    pub fn recharge_energy(&self, t_freeze: f64) -> f64 {
+        (0..self.len())
+            .map(|i| {
+                let v = self.voltage_at(i, t_freeze).unwrap_or(self.v0);
+                self.capacitance * self.v0 * (self.v0 - v)
+            })
+            .sum()
+    }
+
+    fn current_of(&self, node: usize) -> Result<f64, AnalogError> {
+        self.currents
+            .get(node)
+            .copied()
+            .ok_or(AnalogError::NodeOutOfRange { node, n_nodes: self.currents.len() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn race() -> DischargeRace {
+        DischargeRace::ohmic(1.0, 10e-15, &[1e-6, 2e-6, 4e-6, 0.5e-6], 1.0)
+    }
+
+    #[test]
+    fn higher_current_discharges_faster() {
+        let r = race();
+        let t0 = r.crossing_time(0, 0.5).unwrap();
+        let t2 = r.crossing_time(2, 0.5).unwrap();
+        assert!(t2 < t0);
+        // Ohmic: crossing time scales as 1/I.
+        assert!((t0 / t2 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_current_never_crosses() {
+        let r = DischargeRace::ohmic(1.0, 10e-15, &[0.0, 1e-6], 1.0);
+        assert_eq!(r.crossing_time(0, 0.5).unwrap(), f64::INFINITY);
+        assert_eq!(r.order_by_crossing(0.5), vec![1, 0]);
+    }
+
+    #[test]
+    fn voltage_decays_monotonically() {
+        let r = race();
+        let mut last = f64::INFINITY;
+        for step in 0..50 {
+            let v = r.voltage_at(1, step as f64 * 1e-9).unwrap();
+            assert!(v <= last);
+            assert!(v >= 0.0);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn slowest_returns_lowest_current_nodes() {
+        let r = race();
+        // Currents: [1, 2, 4, 0.5] µA. Slowest two = nodes 3 and 0.
+        let mut winners = r.slowest(2, 0.5);
+        winners.sort_unstable();
+        assert_eq!(winners, vec![0, 3]);
+    }
+
+    #[test]
+    fn freeze_time_is_crossing_of_kplus1th_slowest() {
+        let r = race();
+        // k=2: freeze when node 1 (third slowest) crosses.
+        let tf = r.freeze_time(2, 0.5).unwrap();
+        let t1 = r.crossing_time(1, 0.5).unwrap();
+        assert!((tf - t1).abs() < 1e-18);
+        assert!(r.freeze_time(4, 0.5).is_none());
+    }
+
+    #[test]
+    fn constant_current_mode_ramps_linearly() {
+        let r = DischargeRace::constant_current(1.0, 10e-15, &[1e-6]);
+        let v_half = r.voltage_at(0, 5e-9).unwrap();
+        assert!((v_half - 0.5).abs() < 1e-9);
+        let t = r.crossing_time(0, 0.5).unwrap();
+        assert!((t - 5e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn recharge_energy_grows_with_time() {
+        let r = race();
+        let e1 = r.recharge_energy(1e-9);
+        let e2 = r.recharge_energy(5e-9);
+        assert!(e2 > e1);
+        assert!(e1 > 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(DischargeRace::try_new(0.0, 1e-15, &[1e-6], 1.0, DischargeMode::Ohmic).is_err());
+        assert!(DischargeRace::try_new(1.0, 1e-15, &[-1e-6], 1.0, DischargeMode::Ohmic).is_err());
+        assert!(DischargeRace::try_new(1.0, -1e-15, &[1e-6], 1.0, DischargeMode::Ohmic).is_err());
+    }
+
+    #[test]
+    fn node_out_of_range_reported() {
+        let r = race();
+        assert!(matches!(r.voltage_at(9, 0.0), Err(AnalogError::NodeOutOfRange { node: 9, .. })));
+    }
+
+    #[test]
+    fn bad_threshold_rejected() {
+        let r = race();
+        assert!(r.crossing_time(0, 0.0).is_err());
+        assert!(r.crossing_time(0, 1.5).is_err());
+    }
+}

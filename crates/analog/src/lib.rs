@@ -1,0 +1,85 @@
+//! Behavioral analog circuit primitives for in-memory computing.
+//!
+//! The UniCAIM paper evaluates its circuits in HSPICE; this crate provides
+//! the event-level behavioral equivalents that the architecture simulation
+//! is built on:
+//!
+//! * [`DischargeRace`] — N sense lines precharged to `V_DD` discharging at
+//!   rates set by their cell currents; crossing-time queries drive the CAM
+//!   mode's O(1) top-k selection (paper Fig. 7).
+//! * [`ChargeShare`] / [`AccumulatorCap`] — capacitive charge sharing between
+//!   the sense-line capacitor `C_SL` and the per-row accumulation capacitor
+//!   `C_Acc` used by the charge-domain CIM mode for static pruning
+//!   (paper Fig. 8).
+//! * [`FeInverter`] — an inverter with a programmable switching voltage
+//!   `V_S` (realized with an FeFET in hardware) that flags the first
+//!   accumulator to run empty.
+//! * [`CurrentComparator`] — compares a summed current against a programmable
+//!   reference (`I_Ref1 = (k+1)·I_dyn` implements the top-k stop signal).
+//! * [`SarAdc`] — an N-bit successive-approximation ADC with per-conversion
+//!   energy and latency, the dominant cost of current-domain CIM readout.
+//! * [`WireParasitics`] — sense-line/bit-line capacitance aggregation.
+//!
+//! All quantities are SI (volts, amps, farads, seconds, joules).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use unicaim_analog::{DischargeMode, DischargeRace};
+//!
+//! // Three sense lines; the *lowest-current* line discharges slowest.
+//! let race = DischargeRace::ohmic(1.0, 10e-15, &[1e-6, 2e-6, 4e-6], 1.0);
+//! let order = race.order_by_crossing(0.5);
+//! assert_eq!(order, vec![2, 1, 0]); // fastest (highest current) first
+//! assert!(race.crossing_time(0, 0.5).unwrap() > race.crossing_time(2, 0.5).unwrap());
+//! # let _ = DischargeMode::Ohmic;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adc;
+mod capacitor;
+mod comparator;
+mod discharge;
+mod wire;
+
+pub use adc::{AdcReading, SarAdc, SarAdcParams};
+pub use capacitor::{precharge_energy, AccumulatorCap, ChargeShare};
+pub use comparator::{CurrentComparator, FeInverter};
+pub use discharge::{DischargeMode, DischargeRace};
+pub use wire::WireParasitics;
+
+/// Errors reported by the analog primitive layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalogError {
+    /// A parameter failed validation.
+    InvalidParameter {
+        /// The name of the offending parameter.
+        name: &'static str,
+        /// Why the value was rejected.
+        reason: String,
+    },
+    /// A node index was out of range.
+    NodeOutOfRange {
+        /// The requested node.
+        node: usize,
+        /// The number of nodes.
+        n_nodes: usize,
+    },
+}
+
+impl core::fmt::Display for AnalogError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AnalogError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            AnalogError::NodeOutOfRange { node, n_nodes } => {
+                write!(f, "node {node} out of range ({n_nodes} nodes)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalogError {}

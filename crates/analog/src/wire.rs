@@ -1,0 +1,59 @@
+//! Wire parasitic capacitance aggregation for sense lines and bit lines.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-cell and fixed parasitic capacitances of the array wiring.
+///
+/// The paper extracts parasitic wire capacitance following Bhardwaj et al.
+/// (Measurement: Sensors, 2022); here we keep the standard linear model:
+/// a line touching `n` cells has `C = C_fixed + n·C_per_cell`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WireParasitics {
+    /// Fixed line capacitance (driver + sense circuit loading), farads.
+    pub c_fixed: f64,
+    /// Incremental capacitance contributed by each attached cell, farads.
+    pub c_per_cell: f64,
+}
+
+impl Default for WireParasitics {
+    fn default() -> Self {
+        // 45 nm-class: ~0.2 fF per cell on the sense line, 2 fF fixed.
+        Self { c_fixed: 2e-15, c_per_cell: 0.2e-15 }
+    }
+}
+
+impl WireParasitics {
+    /// Capacitance of a line attached to `n_cells` cells, farads.
+    #[must_use]
+    pub fn line_capacitance(&self, n_cells: usize) -> f64 {
+        self.c_fixed + self.c_per_cell * n_cells as f64
+    }
+
+    /// Total capacitance across `n_lines` identical lines, farads.
+    #[must_use]
+    pub fn total_capacitance(&self, n_lines: usize, cells_per_line: usize) -> f64 {
+        self.line_capacitance(cells_per_line) * n_lines as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacitance_grows_linearly() {
+        let w = WireParasitics::default();
+        let c0 = w.line_capacitance(0);
+        let c128 = w.line_capacitance(128);
+        assert!((c0 - 2e-15).abs() < 1e-30);
+        assert!((c128 - (2e-15 + 128.0 * 0.2e-15)).abs() < 1e-30);
+    }
+
+    #[test]
+    fn total_scales_with_lines() {
+        let w = WireParasitics::default();
+        assert!(
+            (w.total_capacitance(64, 128) - 64.0 * w.line_capacitance(128)).abs() < 1e-27
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests of the analog primitive invariants.
+
+use proptest::prelude::*;
+use unicaim_analog::{
+    precharge_energy, AccumulatorCap, ChargeShare, CurrentComparator, DischargeMode,
+    DischargeRace, FeInverter, SarAdc, SarAdcParams,
+};
+
+proptest! {
+    /// Charge sharing conserves charge and dissipates non-negative energy.
+    #[test]
+    fn charge_conservation(
+        c1 in 1e-16f64..1e-12,
+        v1 in 0.0f64..1.2,
+        c2 in 1e-16f64..1e-12,
+        v2 in 0.0f64..1.2,
+    ) {
+        let s = ChargeShare::between(c1, v1, c2, v2).unwrap();
+        let q_before = c1 * v1 + c2 * v2;
+        let q_after = (c1 + c2) * s.v_final;
+        prop_assert!((q_before - q_after).abs() <= 1e-12 * q_before.max(1e-30));
+        prop_assert!(s.dissipated >= 0.0);
+        let lo = v1.min(v2);
+        let hi = v1.max(v2);
+        prop_assert!(s.v_final >= lo - 1e-15 && s.v_final <= hi + 1e-15);
+    }
+
+    /// Discharge crossing order equals descending current order (ohmic mode).
+    #[test]
+    fn crossing_order_matches_current_order(
+        currents in proptest::collection::vec(1e-9f64..1e-4, 2..32),
+        threshold in 0.1f64..0.9,
+    ) {
+        let race = DischargeRace::ohmic(1.0, 10e-15, &currents, 1.0);
+        let order = race.order_by_crossing(threshold);
+        for pair in order.windows(2) {
+            prop_assert!(
+                currents[pair[0]] >= currents[pair[1]],
+                "order not descending in current: {:?}", pair
+            );
+        }
+    }
+
+    /// Crossing times are positive, and decreasing the threshold only
+    /// increases them.
+    #[test]
+    fn crossing_time_monotone_in_threshold(
+        current in 1e-9f64..1e-4,
+        t1 in 0.15f64..0.5,
+        dt in 0.01f64..0.4,
+    ) {
+        let race = DischargeRace::ohmic(1.0, 10e-15, &[current], 1.0);
+        let hi = race.crossing_time(0, t1 + dt).unwrap();
+        let lo = race.crossing_time(0, t1).unwrap();
+        prop_assert!(hi > 0.0);
+        prop_assert!(lo >= hi, "lower threshold must take longer");
+    }
+
+    /// Constant-current and ohmic modes agree on ranking.
+    #[test]
+    fn modes_agree_on_ranking(
+        currents in proptest::collection::vec(1e-9f64..1e-4, 2..16),
+    ) {
+        let ohmic = DischargeRace::ohmic(1.0, 10e-15, &currents, 1.0);
+        let cc = DischargeRace::try_new(1.0, 10e-15, &currents, 1.0, DischargeMode::ConstantCurrent).unwrap();
+        prop_assert_eq!(ohmic.order_by_crossing(0.5), cc.order_by_crossing(0.5));
+    }
+
+    /// The slowest-k winners always have the k smallest currents.
+    #[test]
+    fn slowest_k_are_smallest_currents(
+        currents in proptest::collection::vec(1e-9f64..1e-4, 3..24),
+        k in 1usize..8,
+    ) {
+        let race = DischargeRace::ohmic(1.0, 10e-15, &currents, 1.0);
+        let k = k.min(currents.len());
+        let winners = race.slowest(k, 0.5);
+        prop_assert_eq!(winners.len(), k);
+        let max_winner = winners.iter().map(|&i| currents[i]).fold(0.0f64, f64::max);
+        let mut others: Vec<f64> = (0..currents.len())
+            .filter(|i| !winners.contains(i))
+            .map(|i| currents[i])
+            .collect();
+        others.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        if let Some(&min_other) = others.first() {
+            prop_assert!(max_winner <= min_other + 1e-18);
+        }
+    }
+
+    /// ADC: quantization is monotone and within one LSB.
+    #[test]
+    fn adc_monotone_within_lsb(
+        bits in 4u32..14,
+        x1 in 0.0f64..1.0,
+        x2 in 0.0f64..1.0,
+    ) {
+        let adc = SarAdc::new(SarAdcParams {
+            bits,
+            full_scale: 1.0,
+            ..SarAdcParams::default()
+        }).unwrap();
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        prop_assert!(adc.quantize(lo).code <= adc.quantize(hi).code);
+        prop_assert!((adc.quantize_value(x1) - x1).abs() <= adc.lsb());
+    }
+
+    /// Accumulator voltage always stays inside [min, max] of its history.
+    #[test]
+    fn accumulator_bounded_by_inputs(
+        v0 in 0.0f64..1.0,
+        shares in proptest::collection::vec(0.0f64..1.2, 1..30),
+    ) {
+        let mut acc = AccumulatorCap::new(8e-15, v0).unwrap();
+        let mut lo = v0;
+        let mut hi = v0;
+        for v in shares {
+            lo = lo.min(v);
+            hi = hi.max(v);
+            acc.share_from(2e-15, v).unwrap();
+            prop_assert!(acc.voltage() >= lo - 1e-12 && acc.voltage() <= hi + 1e-12);
+        }
+    }
+
+    /// Comparator top-k reference semantics: trips iff at most k lines high.
+    #[test]
+    fn comparator_topk_boundary(k in 0usize..64, high in 0usize..128) {
+        let i_dyn = 1e-6;
+        let cmp = CurrentComparator::top_k_reference(k, i_dyn).unwrap();
+        let i_sum = high as f64 * i_dyn;
+        prop_assert_eq!(cmp.trips_below(i_sum), high <= k);
+    }
+
+    /// FeInverter decision is monotone in the input.
+    #[test]
+    fn inverter_monotone(vs in 0.1f64..1.0, v_lo in 0.0f64..1.2, dv in 0.0f64..0.5) {
+        let inv = FeInverter::new(vs).unwrap();
+        // If the lower input doesn't trip it, the higher certainly doesn't.
+        if !inv.output_high(v_lo) {
+            prop_assert!(!inv.output_high(v_lo + dv));
+        }
+    }
+
+    /// Precharge energy is non-negative and zero at/above vdd.
+    #[test]
+    fn precharge_energy_sane(c in 1e-16f64..1e-12, vdd in 0.5f64..1.2, v_from in 0.0f64..1.5) {
+        let e = precharge_energy(c, vdd, v_from);
+        prop_assert!(e >= 0.0);
+        if v_from >= vdd {
+            prop_assert_eq!(e, 0.0);
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Fixed-capacity KV storage with in-slot overwrite.
+//!
+//! UniCAIM keeps the KV cache at a fixed physical size (`H + M` rows): a
+//! statically evicted token's row is directly overwritten by the newly
+//! generated token (paper Fig. 3b, "directly fill with newly-generated KV in
+//! the statically evicted position"). [`KvStore`] models exactly that slot
+//! discipline and is shared by the software policies and the hardware
+//! engine.
+
+use serde::{Deserialize, Serialize};
+
+use crate::AttentionError;
+
+/// One stored token: key and value vectors plus the logical token id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KvEntry {
+    /// Logical token position in the original sequence (0-based).
+    pub token_id: usize,
+    /// Key vector.
+    pub key: Vec<f32>,
+    /// Value vector.
+    pub value: Vec<f32>,
+}
+
+/// A fixed-capacity KV cache addressed by physical slot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KvStore {
+    dim: usize,
+    capacity: usize,
+    slots: Vec<Option<KvEntry>>,
+}
+
+impl KvStore {
+    /// Creates an empty store with `capacity` physical slots for vectors of
+    /// dimension `dim`.
+    #[must_use]
+    pub fn new(capacity: usize, dim: usize) -> Self {
+        Self { dim, capacity, slots: vec![None; capacity] }
+    }
+
+    /// Vector dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of physical slots.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of occupied slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// True when no slot is occupied.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(Option::is_none)
+    }
+
+    /// The first free slot index, if any.
+    #[must_use]
+    pub fn first_free_slot(&self) -> Option<usize> {
+        self.slots.iter().position(Option::is_none)
+    }
+
+    /// Writes an entry into `slot`, overwriting whatever was there
+    /// (single-write-cycle in-place update). Returns the previous occupant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttentionError::IndexOutOfRange`] for a bad slot and
+    /// [`AttentionError::ShapeMismatch`] for wrong vector dimensions.
+    pub fn write_slot(
+        &mut self,
+        slot: usize,
+        entry: KvEntry,
+    ) -> Result<Option<KvEntry>, AttentionError> {
+        if slot >= self.capacity {
+            return Err(AttentionError::IndexOutOfRange { index: slot, len: self.capacity });
+        }
+        if entry.key.len() != self.dim || entry.value.len() != self.dim {
+            return Err(AttentionError::ShapeMismatch {
+                context: format!(
+                    "kv entry dims ({}, {}) do not match store dim {}",
+                    entry.key.len(),
+                    entry.value.len(),
+                    self.dim
+                ),
+            });
+        }
+        Ok(self.slots[slot].replace(entry))
+    }
+
+    /// Appends into the first free slot, returning its index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttentionError::IndexOutOfRange`] when the store is full
+    /// (index = capacity), or [`AttentionError::ShapeMismatch`] for wrong
+    /// dimensions.
+    pub fn append(&mut self, entry: KvEntry) -> Result<usize, AttentionError> {
+        let slot = self
+            .first_free_slot()
+            .ok_or(AttentionError::IndexOutOfRange { index: self.capacity, len: self.capacity })?;
+        self.write_slot(slot, entry)?;
+        Ok(slot)
+    }
+
+    /// Clears a slot, returning its occupant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttentionError::IndexOutOfRange`] for a bad slot.
+    pub fn evict_slot(&mut self, slot: usize) -> Result<Option<KvEntry>, AttentionError> {
+        if slot >= self.capacity {
+            return Err(AttentionError::IndexOutOfRange { index: slot, len: self.capacity });
+        }
+        Ok(self.slots[slot].take())
+    }
+
+    /// The entry in `slot`, if occupied.
+    #[must_use]
+    pub fn slot(&self, slot: usize) -> Option<&KvEntry> {
+        self.slots.get(slot).and_then(Option::as_ref)
+    }
+
+    /// Iterator over `(slot, entry)` for occupied slots.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &KvEntry)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| s.as_ref().map(|e| (i, e)))
+    }
+
+    /// The physical slot currently holding the given logical token, if any.
+    #[must_use]
+    pub fn slot_of_token(&self, token_id: usize) -> Option<usize> {
+        self.iter().find(|(_, e)| e.token_id == token_id).map(|(i, _)| i)
+    }
+
+    /// All occupied slots' token ids, in slot order.
+    #[must_use]
+    pub fn token_ids(&self) -> Vec<usize> {
+        self.iter().map(|(_, e)| e.token_id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(token_id: usize, dim: usize, fill: f32) -> KvEntry {
+        KvEntry { token_id, key: vec![fill; dim], value: vec![fill + 0.5; dim] }
+    }
+
+    #[test]
+    fn append_fills_slots_in_order() {
+        let mut store = KvStore::new(3, 4);
+        assert_eq!(store.append(entry(10, 4, 0.1)).unwrap(), 0);
+        assert_eq!(store.append(entry(11, 4, 0.2)).unwrap(), 1);
+        assert_eq!(store.append(entry(12, 4, 0.3)).unwrap(), 2);
+        assert_eq!(store.len(), 3);
+        assert!(store.append(entry(13, 4, 0.4)).is_err(), "full store must reject appends");
+    }
+
+    #[test]
+    fn overwrite_returns_previous() {
+        let mut store = KvStore::new(2, 4);
+        store.append(entry(1, 4, 0.1)).unwrap();
+        let prev = store.write_slot(0, entry(2, 4, 0.2)).unwrap();
+        assert_eq!(prev.unwrap().token_id, 1);
+        assert_eq!(store.slot(0).unwrap().token_id, 2);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn evict_then_reuse_slot() {
+        let mut store = KvStore::new(2, 4);
+        store.append(entry(1, 4, 0.1)).unwrap();
+        store.append(entry(2, 4, 0.2)).unwrap();
+        let evicted = store.evict_slot(0).unwrap().unwrap();
+        assert_eq!(evicted.token_id, 1);
+        assert_eq!(store.first_free_slot(), Some(0));
+        assert_eq!(store.append(entry(3, 4, 0.3)).unwrap(), 0);
+        let mut ids = store.token_ids();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![2, 3]);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let mut store = KvStore::new(2, 4);
+        assert!(store.append(entry(1, 3, 0.1)).is_err());
+    }
+
+    #[test]
+    fn slot_of_token_finds_physical_position() {
+        let mut store = KvStore::new(3, 2);
+        store.append(entry(100, 2, 0.0)).unwrap();
+        store.append(entry(200, 2, 0.0)).unwrap();
+        assert_eq!(store.slot_of_token(200), Some(1));
+        assert_eq!(store.slot_of_token(300), None);
+    }
+
+    #[test]
+    fn out_of_range_slot_rejected() {
+        let mut store = KvStore::new(2, 2);
+        assert!(store.write_slot(2, entry(1, 2, 0.0)).is_err());
+        assert!(store.evict_slot(5).is_err());
+        assert!(store.slot(9).is_none());
+    }
+}

@@ -1,0 +1,172 @@
+//! Analytic Llama-2-7B memory/latency model (paper Fig. 1b).
+//!
+//! Fig. 1b motivates the work: as the sequence grows, the KV cache
+//! overtakes the parameter size and attention becomes the latency
+//! bottleneck. Both curves follow from the model shape and memory
+//! bandwidth alone, so they are reproduced analytically here.
+
+use serde::{Deserialize, Serialize};
+
+/// Shape and deployment parameters of a decoder-only LLM.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LlmConfig {
+    /// Transformer layers.
+    pub n_layers: usize,
+    /// Attention heads (per layer).
+    pub n_heads: usize,
+    /// Per-head dimension.
+    pub d_head: usize,
+    /// Total parameter count.
+    pub n_params: u64,
+    /// Bytes per stored element (2 for fp16).
+    pub bytes_per_element: usize,
+    /// Accelerator memory bandwidth, bytes/second (drives the memory-bound
+    /// decode latency estimate).
+    pub mem_bandwidth: f64,
+}
+
+impl LlmConfig {
+    /// Llama-2-7B served in fp16 on an A100-class accelerator (≈1.5 TB/s).
+    #[must_use]
+    pub fn llama2_7b() -> Self {
+        Self {
+            n_layers: 32,
+            n_heads: 32,
+            d_head: 128,
+            n_params: 6_738_000_000,
+            bytes_per_element: 2,
+            mem_bandwidth: 1.5e12,
+        }
+    }
+
+    /// Hidden size `n_heads · d_head`.
+    #[must_use]
+    pub fn hidden(&self) -> usize {
+        self.n_heads * self.d_head
+    }
+
+    /// Parameter (weight) bytes.
+    #[must_use]
+    pub fn weight_bytes(&self) -> u64 {
+        self.n_params * self.bytes_per_element as u64
+    }
+
+    /// KV-cache bytes for one sequence of the given length:
+    /// `2 (K and V) · layers · hidden · seq · bytes`.
+    #[must_use]
+    pub fn kv_cache_bytes(&self, seq_len: usize) -> u64 {
+        2 * self.n_layers as u64
+            * self.hidden() as u64
+            * seq_len as u64
+            * self.bytes_per_element as u64
+    }
+
+    /// Sequence length at which the KV cache equals the parameter size.
+    #[must_use]
+    pub fn kv_crossover_seq(&self) -> usize {
+        let per_token = self.kv_cache_bytes(1);
+        (self.weight_bytes() / per_token) as usize
+    }
+
+    /// Memory-bound latency of one decode step's *attention* (reading the
+    /// whole KV cache), seconds.
+    #[must_use]
+    pub fn attention_latency(&self, seq_len: usize) -> f64 {
+        self.kv_cache_bytes(seq_len) as f64 / self.mem_bandwidth
+    }
+
+    /// Memory-bound latency of one decode step's *weight* reads, seconds —
+    /// the sequence-independent floor attention is compared against.
+    #[must_use]
+    pub fn weight_latency(&self) -> f64 {
+        self.weight_bytes() as f64 / self.mem_bandwidth
+    }
+
+    /// Fraction of a decode step spent on attention (KV reads) at the given
+    /// sequence length.
+    #[must_use]
+    pub fn attention_fraction(&self, seq_len: usize) -> f64 {
+        let a = self.attention_latency(seq_len);
+        a / (a + self.weight_latency())
+    }
+}
+
+/// One row of the Fig. 1b sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MotivationPoint {
+    /// Sequence length.
+    pub seq_len: usize,
+    /// KV-cache size, bytes.
+    pub kv_bytes: u64,
+    /// KV cache / weight size ratio.
+    pub kv_over_weights: f64,
+    /// Attention latency per decode step, seconds.
+    pub attention_latency: f64,
+    /// Fraction of decode latency spent in attention.
+    pub attention_fraction: f64,
+}
+
+/// Sweeps sequence lengths, producing the Fig. 1b series.
+#[must_use]
+pub fn motivation_sweep(config: &LlmConfig, seq_lens: &[usize]) -> Vec<MotivationPoint> {
+    seq_lens
+        .iter()
+        .map(|&seq_len| MotivationPoint {
+            seq_len,
+            kv_bytes: config.kv_cache_bytes(seq_len),
+            kv_over_weights: config.kv_cache_bytes(seq_len) as f64 / config.weight_bytes() as f64,
+            attention_latency: config.attention_latency(seq_len),
+            attention_fraction: config.attention_fraction(seq_len),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn llama2_7b_kv_is_half_megabyte_per_token() {
+        let c = LlmConfig::llama2_7b();
+        // 2 * 32 layers * 4096 hidden * 2 bytes = 512 KiB per token.
+        assert_eq!(c.kv_cache_bytes(1), 524_288);
+    }
+
+    #[test]
+    fn kv_cache_overtakes_weights_in_tens_of_k_tokens() {
+        let c = LlmConfig::llama2_7b();
+        let crossover = c.kv_crossover_seq();
+        // 13.5 GB of weights / 0.5 MB per token ≈ 25.7k tokens.
+        assert!(
+            (20_000..32_000).contains(&crossover),
+            "crossover {crossover} outside the expected range"
+        );
+    }
+
+    #[test]
+    fn attention_latency_grows_linearly() {
+        let c = LlmConfig::llama2_7b();
+        let l1 = c.attention_latency(4096);
+        let l2 = c.attention_latency(8192);
+        assert!((l2 / l1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn attention_fraction_approaches_one() {
+        let c = LlmConfig::llama2_7b();
+        assert!(c.attention_fraction(1024) < 0.1);
+        assert!(c.attention_fraction(262_144) > 0.9);
+    }
+
+    #[test]
+    fn sweep_produces_monotone_series() {
+        let c = LlmConfig::llama2_7b();
+        let pts = motivation_sweep(&c, &[1024, 4096, 16_384, 65_536]);
+        assert_eq!(pts.len(), 4);
+        for w in pts.windows(2) {
+            assert!(w[1].kv_bytes > w[0].kv_bytes);
+            assert!(w[1].attention_latency > w[0].attention_latency);
+            assert!(w[1].attention_fraction > w[0].attention_fraction);
+        }
+    }
+}

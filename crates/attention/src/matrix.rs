@@ -1,0 +1,365 @@
+//! Minimal row-major dense matrix with the handful of kernels attention
+//! needs: matmul, transpose, row softmax, top-k.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::AttentionError;
+
+/// A row-major dense `f32` matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// An all-zeros matrix of the given shape.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds a matrix from explicit rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have unequal lengths.
+    #[must_use]
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        let n_rows = rows.len();
+        let n_cols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(n_rows * n_cols);
+        for r in rows {
+            assert_eq!(r.len(), n_cols, "all rows must have equal length");
+            data.extend_from_slice(r);
+        }
+        Self { rows: n_rows, cols: n_cols, data }
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttentionError::ShapeMismatch`] when `data.len() != rows*cols`.
+    pub fn from_flat(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, AttentionError> {
+        if data.len() != rows * cols {
+            return Err(AttentionError::ShapeMismatch {
+                context: format!("flat buffer of {} elements cannot be {rows}x{cols}", data.len()),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// A matrix with i.i.d. entries uniform in `[-scale, scale]`, seeded.
+    #[must_use]
+    pub fn random_uniform(rows: usize, cols: usize, scale: f32, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let data = (0..rows * cols).map(|_| rng.gen_range(-scale..=scale)).collect();
+        Self { rows, cols, data }
+    }
+
+    /// A matrix with i.i.d. standard-normal entries scaled by `scale`, seeded.
+    #[must_use]
+    pub fn random_normal(rows: usize, cols: usize, scale: f32, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let data = (0..rows * cols)
+            .map(|_| {
+                let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                let u2: f32 = rng.gen_range(0.0..1.0);
+                scale * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+            })
+            .collect();
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row {r} out of range ({} rows)", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    #[must_use]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row {r} out of range ({} rows)", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// The flat row-major data.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttentionError::ShapeMismatch`] when inner dimensions
+    /// disagree.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix, AttentionError> {
+        if self.cols != other.rows {
+            return Err(AttentionError::ShapeMismatch {
+                context: format!(
+                    "matmul {}x{} by {}x{}",
+                    self.rows, self.cols, other.rows, other.cols
+                ),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let row_out = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                let row_b = &other.data[k * other.cols..(k + 1) * other.cols];
+                for (o, &b) in row_out.iter_mut().zip(row_b) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transposed copy.
+    #[must_use]
+    pub fn transposed(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Dot product of two equal-length slices (helper used across crates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    #[must_use]
+    pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+        assert_eq!(a.len(), b.len(), "dot of unequal lengths");
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    /// L2 norm of a slice.
+    #[must_use]
+    pub fn norm(a: &[f32]) -> f32 {
+        Matrix::dot(a, a).sqrt()
+    }
+}
+
+/// Numerically stable in-place softmax of one slice.
+pub fn softmax_in_place(xs: &mut [f32]) {
+    if xs.is_empty() {
+        return;
+    }
+    let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for v in xs.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in xs.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+/// Applies [`softmax_in_place`] to every row of the matrix.
+pub fn softmax_rows(m: &mut Matrix) {
+    for r in 0..m.rows() {
+        softmax_in_place(m.row_mut(r));
+    }
+}
+
+/// In-place layer normalization of one slice: zero mean, unit variance,
+/// with `eps` guarding degenerate variance.
+pub fn layer_norm_in_place(xs: &mut [f32], eps: f32) {
+    if xs.is_empty() {
+        return;
+    }
+    let n = xs.len() as f32;
+    let mean: f32 = xs.iter().sum::<f32>() / n;
+    let var: f32 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n;
+    let inv = 1.0 / (var + eps).sqrt();
+    for x in xs.iter_mut() {
+        *x = (*x - mean) * inv;
+    }
+}
+
+/// Indices of the `k` largest values, in descending value order. Ties break
+/// toward the lower index (deterministic). Returns all indices if `k >= len`.
+#[must_use]
+pub fn argtop_k(values: &[f32], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| {
+        values[b]
+            .partial_cmp(&values[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.row(0), &[19.0, 22.0]);
+        assert_eq!(c.row(1), &[43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch_rejected() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::random_uniform(3, 5, 1.0, 7);
+        let t = a.transposed().transposed();
+        assert_eq!(a, t);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut m = Matrix::random_uniform(4, 9, 3.0, 11);
+        softmax_rows(&mut m);
+        for r in 0..4 {
+            let s: f32 = m.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(m.row(r).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let mut a = vec![1.0f32, 2.0, 3.0];
+        let mut b = vec![101.0f32, 102.0, 103.0];
+        softmax_in_place(&mut a);
+        softmax_in_place(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_extremes() {
+        let mut xs = vec![f32::NEG_INFINITY, 0.0, 1000.0];
+        softmax_in_place(&mut xs);
+        assert!((xs[2] - 1.0).abs() < 1e-6);
+        assert_eq!(xs[0], 0.0);
+    }
+
+    #[test]
+    fn layer_norm_normalizes() {
+        let mut xs = vec![1.0f32, 2.0, 3.0, 4.0];
+        layer_norm_in_place(&mut xs, 1e-6);
+        let mean: f32 = xs.iter().sum::<f32>() / 4.0;
+        let var: f32 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn layer_norm_handles_constant_input() {
+        let mut xs = vec![5.0f32; 8];
+        layer_norm_in_place(&mut xs, 1e-6);
+        assert!(xs.iter().all(|x| x.abs() < 1e-2));
+    }
+
+    #[test]
+    fn argtop_k_orders_and_breaks_ties() {
+        let v = vec![0.1, 0.9, 0.5, 0.9, 0.2];
+        assert_eq!(argtop_k(&v, 3), vec![1, 3, 2]);
+        assert_eq!(argtop_k(&v, 10).len(), 5);
+        assert_eq!(argtop_k(&v, 0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn random_matrices_are_seeded() {
+        let a = Matrix::random_normal(4, 4, 1.0, 42);
+        let b = Matrix::random_normal(4, 4, 1.0, 42);
+        let c = Matrix::random_normal(4, 4, 1.0, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn from_flat_validates_shape() {
+        assert!(Matrix::from_flat(2, 3, vec![0.0; 6]).is_ok());
+        assert!(Matrix::from_flat(2, 3, vec![0.0; 5]).is_err());
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(Matrix::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert!((Matrix::norm(&[3.0, 4.0]) - 5.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,184 @@
+//! Evaluation metrics: set retrieval precision/recall/F1 and vector
+//! fidelity measures.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+/// Precision / recall / F1 of a predicted index set against a ground-truth
+/// set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SetF1 {
+    /// |predicted ∩ truth| / |predicted| (1.0 for an empty prediction of an
+    /// empty truth).
+    pub precision: f64,
+    /// |predicted ∩ truth| / |truth| (1.0 for an empty truth).
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+/// Computes [`SetF1`] between a predicted and a ground-truth index set.
+#[must_use]
+pub fn set_f1(predicted: &BTreeSet<usize>, truth: &BTreeSet<usize>) -> SetF1 {
+    let hits = predicted.intersection(truth).count() as f64;
+    let precision = if predicted.is_empty() {
+        if truth.is_empty() { 1.0 } else { 0.0 }
+    } else {
+        hits / predicted.len() as f64
+    };
+    let recall = if truth.is_empty() { 1.0 } else { hits / truth.len() as f64 };
+    let f1 = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    SetF1 { precision, recall, f1 }
+}
+
+/// Cosine similarity between two vectors (0 when either norm vanishes).
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[must_use]
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "cosine of unequal lengths");
+    let dot: f64 = a.iter().zip(b).map(|(&x, &y)| f64::from(x) * f64::from(y)).sum();
+    let na: f64 = a.iter().map(|&x| f64::from(x) * f64::from(x)).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|&y| f64::from(y) * f64::from(y)).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// Relative L2 error `‖a − b‖ / ‖b‖` of an approximation `a` against a
+/// reference `b` (returns `‖a‖` when the reference is zero).
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[must_use]
+pub fn relative_l2_error(approx: &[f32], reference: &[f32]) -> f64 {
+    assert_eq!(approx.len(), reference.len(), "relative error of unequal lengths");
+    let num: f64 = approx
+        .iter()
+        .zip(reference)
+        .map(|(&x, &y)| {
+            let d = f64::from(x) - f64::from(y);
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt();
+    let den: f64 =
+        reference.iter().map(|&y| f64::from(y) * f64::from(y)).sum::<f64>().sqrt();
+    if den == 0.0 {
+        num
+    } else {
+        num / den
+    }
+}
+
+/// Running mean helper for aggregating per-step metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Mean {
+    sum: f64,
+    n: u64,
+}
+
+impl Mean {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.sum += x;
+        self.n += 1;
+    }
+
+    /// The mean so far (0.0 when empty).
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(xs: &[usize]) -> BTreeSet<usize> {
+        xs.iter().copied().collect()
+    }
+
+    #[test]
+    fn f1_perfect_match() {
+        let s = set_f1(&set(&[1, 2, 3]), &set(&[1, 2, 3]));
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 1.0);
+        assert_eq!(s.f1, 1.0);
+    }
+
+    #[test]
+    fn f1_disjoint_sets() {
+        let s = set_f1(&set(&[1, 2]), &set(&[3, 4]));
+        assert_eq!(s.f1, 0.0);
+    }
+
+    #[test]
+    fn f1_partial_overlap() {
+        // predicted {1,2,3,4}, truth {3,4,5}: P=0.5, R=2/3.
+        let s = set_f1(&set(&[1, 2, 3, 4]), &set(&[3, 4, 5]));
+        assert!((s.precision - 0.5).abs() < 1e-12);
+        assert!((s.recall - 2.0 / 3.0).abs() < 1e-12);
+        let expect = 2.0 * 0.5 * (2.0 / 3.0) / (0.5 + 2.0 / 3.0);
+        assert!((s.f1 - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_empty_edge_cases() {
+        assert_eq!(set_f1(&set(&[]), &set(&[])).f1, 1.0);
+        assert_eq!(set_f1(&set(&[1]), &set(&[])).recall, 1.0);
+        assert_eq!(set_f1(&set(&[]), &set(&[1])).f1, 0.0);
+    }
+
+    #[test]
+    fn cosine_basics() {
+        assert!((cosine_similarity(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-12);
+        assert!((cosine_similarity(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn relative_error_basics() {
+        assert_eq!(relative_l2_error(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        let e = relative_l2_error(&[2.0, 0.0], &[1.0, 0.0]);
+        assert!((e - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_accumulates() {
+        let mut m = Mean::new();
+        assert_eq!(m.value(), 0.0);
+        m.push(1.0);
+        m.push(3.0);
+        assert_eq!(m.value(), 2.0);
+        assert_eq!(m.count(), 2);
+    }
+}

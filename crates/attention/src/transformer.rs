@@ -1,0 +1,359 @@
+//! A deterministic tiny transformer used to produce realistically
+//! structured attention for policy evaluation.
+//!
+//! This is *not* a trained language model: its weights are seeded random.
+//! What matters for KV-cache pruning experiments is the *shape* of the
+//! attention distributions it produces — softmax concentration, causal
+//! masking, head diversity — which random projections already exhibit, and
+//! which the synthetic [`crate::workloads`] then augment with controlled
+//! sink/locality/heavy-hitter structure.
+
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::{layer_norm_in_place, Matrix};
+use crate::mha::{AttentionConfig, MultiHeadAttention};
+use crate::AttentionError;
+
+/// Shape of the tiny transformer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransformerConfig {
+    /// Vocabulary size for the embedding table.
+    pub vocab: usize,
+    /// Model dimension.
+    pub d_model: usize,
+    /// Attention heads per layer.
+    pub n_heads: usize,
+    /// Number of attention layers.
+    pub n_layers: usize,
+    /// Include a ReLU MLP block (expansion 2×) after each attention block.
+    pub use_mlp: bool,
+    /// Apply layer normalization after each residual block.
+    pub use_layer_norm: bool,
+}
+
+impl Default for TransformerConfig {
+    fn default() -> Self {
+        Self { vocab: 256, d_model: 64, n_heads: 4, n_layers: 2, use_mlp: true, use_layer_norm: true }
+    }
+}
+
+/// A deterministic, seeded decoder-only transformer (attention + optional
+/// MLP/LayerNorm blocks; no trained parameters).
+///
+/// # Examples
+///
+/// ```
+/// use unicaim_attention::{TinyTransformer, TransformerConfig};
+///
+/// # fn main() -> Result<(), unicaim_attention::AttentionError> {
+/// let model = TinyTransformer::new(TransformerConfig::default(), 42)?;
+/// let tokens: Vec<usize> = (0..12).collect();
+/// let probs = model.attention_matrix(&tokens, 0)?;
+/// let row: f32 = probs.row(11).iter().sum();
+/// assert!((row - 1.0).abs() < 1e-4); // causal softmax rows are stochastic
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TinyTransformer {
+    config: TransformerConfig,
+    embedding: Matrix,
+    positional: Matrix,
+    layers: Vec<MultiHeadAttention>,
+    /// Per-layer MLP weights `(W_up: d×2d, W_down: 2d×d)` when enabled.
+    mlps: Vec<(Matrix, Matrix)>,
+}
+
+impl TinyTransformer {
+    /// Maximum sequence length supported by the positional table.
+    pub const MAX_SEQ: usize = 4096;
+
+    /// Builds the model with seeded random parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttentionError::ShapeMismatch`] for an invalid head/model
+    /// combination.
+    pub fn new(config: TransformerConfig, seed: u64) -> Result<Self, AttentionError> {
+        let attn_cfg = AttentionConfig { d_model: config.d_model, n_heads: config.n_heads };
+        attn_cfg.validate()?;
+        let scale = 1.0 / (config.d_model as f32).sqrt();
+        let embedding = Matrix::random_normal(config.vocab, config.d_model, 1.0, seed ^ 0xE3B0);
+        let mut positional = Matrix::zeros(Self::MAX_SEQ, config.d_model);
+        for t in 0..Self::MAX_SEQ {
+            for i in 0..config.d_model {
+                let rate = 10_000f32.powf(-(2.0 * (i / 2) as f32) / config.d_model as f32);
+                let angle = t as f32 * rate;
+                let v = if i % 2 == 0 { angle.sin() } else { angle.cos() };
+                positional.set(t, i, v * scale);
+            }
+        }
+        let layers = (0..config.n_layers)
+            .map(|l| MultiHeadAttention::new(attn_cfg, seed.wrapping_add(101 * l as u64 + 1)))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mlps = if config.use_mlp {
+            (0..config.n_layers)
+                .map(|l| {
+                    let d = config.d_model;
+                    let s = seed.wrapping_add(7919 * l as u64 + 13);
+                    (
+                        Matrix::random_normal(d, 2 * d, scale, s),
+                        Matrix::random_normal(2 * d, d, scale, s ^ 0xFFFF),
+                    )
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Ok(Self { config, embedding, positional, layers, mlps })
+    }
+
+    /// Applies one post-attention block (MLP with ReLU + residual, then
+    /// optional layer norm) to the hidden states in place.
+    fn post_block(&self, layer: usize, hidden: &mut Matrix) -> Result<(), AttentionError> {
+        if self.config.use_mlp {
+            let (w_up, w_down) = &self.mlps[layer];
+            let mut up = hidden.matmul(w_up)?;
+            for r in 0..up.rows() {
+                for v in up.row_mut(r) {
+                    *v = v.max(0.0); // ReLU
+                }
+            }
+            let down = up.matmul(w_down)?;
+            for r in 0..hidden.rows() {
+                let row = hidden.row_mut(r);
+                for (h, &d) in row.iter_mut().zip(down.row(r)) {
+                    *h += d;
+                }
+            }
+        }
+        if self.config.use_layer_norm {
+            for r in 0..hidden.rows() {
+                layer_norm_in_place(hidden.row_mut(r), 1e-6);
+            }
+        }
+        Ok(())
+    }
+
+    /// The model configuration.
+    #[must_use]
+    pub fn config(&self) -> TransformerConfig {
+        self.config
+    }
+
+    /// Embeds a token sequence (token id modulo vocab) with positional
+    /// encoding added.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttentionError::IndexOutOfRange`] when the sequence exceeds
+    /// [`TinyTransformer::MAX_SEQ`].
+    pub fn embed(&self, tokens: &[usize]) -> Result<Matrix, AttentionError> {
+        if tokens.len() > Self::MAX_SEQ {
+            return Err(AttentionError::IndexOutOfRange {
+                index: tokens.len(),
+                len: Self::MAX_SEQ,
+            });
+        }
+        let mut hidden = Matrix::zeros(tokens.len(), self.config.d_model);
+        for (t, &tok) in tokens.iter().enumerate() {
+            let e = self.embedding.row(tok % self.config.vocab);
+            let p = self.positional.row(t);
+            let row = hidden.row_mut(t);
+            for ((h, &ev), &pv) in row.iter_mut().zip(e).zip(p) {
+                *h = ev + pv;
+            }
+        }
+        Ok(hidden)
+    }
+
+    /// Runs all layers with residual connections, returning the final hidden
+    /// states (`seq × d_model`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from embedding/attention.
+    pub fn forward(&self, tokens: &[usize]) -> Result<Matrix, AttentionError> {
+        let mut hidden = self.embed(tokens)?;
+        for (l, layer) in self.layers.iter().enumerate() {
+            let attn = layer.forward(&hidden)?;
+            for r in 0..hidden.rows() {
+                let row = hidden.row_mut(r);
+                for (h, &a) in row.iter_mut().zip(attn.row(r)) {
+                    *h += a;
+                }
+            }
+            self.post_block(l, &mut hidden)?;
+        }
+        Ok(hidden)
+    }
+
+    /// Queries and keys of one head of the *last* layer for the given token
+    /// sequence — the realistic Q/K streams used to drive pruning policies.
+    ///
+    /// Returns `(queries, keys)`, each `seq × d_head`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors; rejects a bad head index.
+    pub fn last_layer_qk(
+        &self,
+        tokens: &[usize],
+        head: usize,
+    ) -> Result<(Matrix, Matrix), AttentionError> {
+        let n_heads = self.config.n_heads;
+        if head >= n_heads {
+            return Err(AttentionError::IndexOutOfRange { index: head, len: n_heads });
+        }
+        let mut hidden = self.embed(tokens)?;
+        for (l, layer) in
+            self.layers[..self.layers.len().saturating_sub(1)].iter().enumerate()
+        {
+            let attn = layer.forward(&hidden)?;
+            for r in 0..hidden.rows() {
+                let row = hidden.row_mut(r);
+                for (h, &a) in row.iter_mut().zip(attn.row(r)) {
+                    *h += a;
+                }
+            }
+            self.post_block(l, &mut hidden)?;
+        }
+        let last = self.layers.last().expect("at least one layer");
+        let q = last.project_q(&hidden)?;
+        let k = last.project_k(&hidden)?;
+        let dh = self.config.d_model / n_heads;
+        let lo = head * dh;
+        let mut qs = Matrix::zeros(tokens.len(), dh);
+        let mut ks = Matrix::zeros(tokens.len(), dh);
+        for t in 0..tokens.len() {
+            qs.row_mut(t).copy_from_slice(&q.row(t)[lo..lo + dh]);
+            ks.row_mut(t).copy_from_slice(&k.row(t)[lo..lo + dh]);
+        }
+        Ok((qs, ks))
+    }
+
+    /// The last layer's causal attention-probability matrix for `head`
+    /// (convenience for accumulated-score experiments).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors; rejects a bad head index.
+    pub fn attention_matrix(
+        &self,
+        tokens: &[usize],
+        head: usize,
+    ) -> Result<Matrix, AttentionError> {
+        let mut hidden = self.embed(tokens)?;
+        for (l, layer) in
+            self.layers[..self.layers.len().saturating_sub(1)].iter().enumerate()
+        {
+            let attn = layer.forward(&hidden)?;
+            for r in 0..hidden.rows() {
+                let row = hidden.row_mut(r);
+                for (h, &a) in row.iter_mut().zip(attn.row(r)) {
+                    *h += a;
+                }
+            }
+            self.post_block(l, &mut hidden)?;
+        }
+        self.layers.last().expect("at least one layer").attention_matrix(&hidden, head)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> TinyTransformer {
+        TinyTransformer::new(TransformerConfig::default(), 7).unwrap()
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let m = model();
+        let tokens: Vec<usize> = (0..20).map(|i| (i * 37) % 256).collect();
+        let a = m.forward(&tokens).unwrap();
+        let b = m.forward(&tokens).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_give_different_models() {
+        let a = TinyTransformer::new(TransformerConfig::default(), 1).unwrap();
+        let b = TinyTransformer::new(TransformerConfig::default(), 2).unwrap();
+        let tokens = vec![1, 2, 3, 4];
+        assert_ne!(a.forward(&tokens).unwrap(), b.forward(&tokens).unwrap());
+    }
+
+    #[test]
+    fn qk_shapes_match_head_dim() {
+        let m = model();
+        let tokens = vec![5; 12];
+        let (q, k) = m.last_layer_qk(&tokens, 1).unwrap();
+        assert_eq!(q.rows(), 12);
+        assert_eq!(q.cols(), 16); // 64 / 4 heads
+        assert_eq!(k.rows(), 12);
+        assert_eq!(k.cols(), 16);
+    }
+
+    #[test]
+    fn attention_matrix_rows_sum_to_one() {
+        let m = model();
+        let tokens: Vec<usize> = (0..10).collect();
+        let probs = m.attention_matrix(&tokens, 0).unwrap();
+        for t in 0..10 {
+            let s: f32 = probs.row(t).iter().sum();
+            assert!((s - 1.0).abs() < 1e-4, "row {t} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn bad_head_rejected() {
+        let m = model();
+        assert!(m.last_layer_qk(&[1, 2, 3], 4).is_err());
+    }
+
+    #[test]
+    fn too_long_sequence_rejected() {
+        let m = model();
+        let tokens = vec![0usize; TinyTransformer::MAX_SEQ + 1];
+        assert!(m.embed(&tokens).is_err());
+    }
+
+    #[test]
+    fn mlp_and_layernorm_change_the_computation() {
+        let tokens: Vec<usize> = (0..16).map(|i| (i * 11) % 256).collect();
+        let base = TinyTransformer::new(TransformerConfig::default(), 7).unwrap();
+        let plain = TinyTransformer::new(
+            TransformerConfig { use_mlp: false, use_layer_norm: false, ..TransformerConfig::default() },
+            7,
+        )
+        .unwrap();
+        assert_ne!(base.forward(&tokens).unwrap(), plain.forward(&tokens).unwrap());
+    }
+
+    #[test]
+    fn layernorm_bounds_hidden_norms() {
+        let tokens: Vec<usize> = (0..32).map(|i| (i * 13) % 256).collect();
+        let m = TinyTransformer::new(TransformerConfig::default(), 9).unwrap();
+        let h = m.forward(&tokens).unwrap();
+        for r in 0..h.rows() {
+            let norm = Matrix::norm(h.row(r));
+            let expect = (m.config().d_model as f32).sqrt();
+            assert!(
+                (norm - expect).abs() / expect < 0.05,
+                "layer-normed row norm {norm} should be ~sqrt(d)={expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn positional_encoding_differentiates_positions() {
+        let m = model();
+        // Same token at two positions must embed differently.
+        let h = m.embed(&[42, 42]).unwrap();
+        let r0 = h.row(0).to_vec();
+        let r1 = h.row(1).to_vec();
+        assert_ne!(r0, r1);
+    }
+}

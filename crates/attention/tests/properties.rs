@@ -1,0 +1,155 @@
+//! Property-based tests of the attention substrate invariants.
+
+use proptest::prelude::*;
+use unicaim_attention::metrics::{cosine_similarity, relative_l2_error, set_f1};
+use unicaim_attention::{
+    argtop_k, attention_output, attention_scores, softmax_in_place, KvEntry, KvStore, Matrix,
+};
+
+proptest! {
+    /// Softmax outputs are a probability distribution, invariant to shifts.
+    #[test]
+    fn softmax_distribution(mut xs in proptest::collection::vec(-30.0f32..30.0, 1..64)) {
+        let mut shifted: Vec<f32> = xs.iter().map(|x| x + 13.5).collect();
+        softmax_in_place(&mut xs);
+        softmax_in_place(&mut shifted);
+        let sum: f32 = xs.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        for (a, b) in xs.iter().zip(&shifted) {
+            prop_assert!((a - b).abs() < 1e-4, "shift invariance violated");
+        }
+        prop_assert!(xs.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    /// Attention output is a convex combination of the values.
+    #[test]
+    fn attention_output_in_convex_hull(
+        dim in 2usize..8,
+        n in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let keys = Matrix::random_normal(n, dim, 1.0, seed);
+        let values = Matrix::random_normal(n, dim, 1.0, seed ^ 1);
+        let query = Matrix::random_normal(1, dim, 1.0, seed ^ 2);
+        let kr: Vec<&[f32]> = (0..n).map(|i| keys.row(i)).collect();
+        let vr: Vec<&[f32]> = (0..n).map(|i| values.row(i)).collect();
+        let out = attention_output(query.row(0), &kr, &vr);
+        for d in 0..dim {
+            let lo = (0..n).map(|i| values.get(i, d)).fold(f32::INFINITY, f32::min);
+            let hi = (0..n).map(|i| values.get(i, d)).fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(out[d] >= lo - 1e-4 && out[d] <= hi + 1e-4,
+                "output {} outside hull [{lo}, {hi}]", out[d]);
+        }
+    }
+
+    /// Scores scale linearly with the query.
+    #[test]
+    fn scores_linear_in_query(dim in 2usize..8, seed in 0u64..1000, scale in 0.1f32..4.0) {
+        let key = Matrix::random_normal(1, dim, 1.0, seed);
+        let query = Matrix::random_normal(1, dim, 1.0, seed ^ 3);
+        let scaled: Vec<f32> = query.row(0).iter().map(|x| x * scale).collect();
+        let s1 = attention_scores(query.row(0), &[key.row(0)])[0];
+        let s2 = attention_scores(&scaled, &[key.row(0)])[0];
+        prop_assert!((s2 - s1 * scale).abs() < 1e-3 * s1.abs().max(1.0));
+    }
+
+    /// Matmul distributes over addition: (A+B)C = AC + BC.
+    #[test]
+    fn matmul_distributes(seed in 0u64..500) {
+        let a = Matrix::random_uniform(3, 4, 1.0, seed);
+        let b = Matrix::random_uniform(3, 4, 1.0, seed ^ 5);
+        let c = Matrix::random_uniform(4, 2, 1.0, seed ^ 9);
+        let mut ab = Matrix::zeros(3, 4);
+        for r in 0..3 {
+            for col in 0..4 {
+                ab.set(r, col, a.get(r, col) + b.get(r, col));
+            }
+        }
+        let lhs = ab.matmul(&c).unwrap();
+        let ac = a.matmul(&c).unwrap();
+        let bc = b.matmul(&c).unwrap();
+        for r in 0..3 {
+            for col in 0..2 {
+                prop_assert!((lhs.get(r, col) - ac.get(r, col) - bc.get(r, col)).abs() < 1e-4);
+            }
+        }
+    }
+
+    /// argtop_k returns k distinct indices in descending value order.
+    #[test]
+    fn argtopk_sound(values in proptest::collection::vec(-10.0f32..10.0, 1..64), k in 1usize..16) {
+        let top = argtop_k(&values, k);
+        prop_assert_eq!(top.len(), k.min(values.len()));
+        let mut seen = std::collections::BTreeSet::new();
+        for w in top.windows(2) {
+            prop_assert!(values[w[0]] >= values[w[1]], "not descending");
+        }
+        for &i in &top {
+            prop_assert!(seen.insert(i), "duplicate index");
+        }
+        // Nothing outside the selection beats the selection minimum.
+        if let Some(&last) = top.last() {
+            let min_sel = values[last];
+            for (i, &v) in values.iter().enumerate() {
+                if !top.contains(&i) {
+                    prop_assert!(v <= min_sel + 1e-6);
+                }
+            }
+        }
+    }
+
+    /// Cosine similarity is bounded and symmetric; relative error is zero
+    /// only for identical vectors.
+    #[test]
+    fn metric_properties(
+        a in proptest::collection::vec(-5.0f32..5.0, 4..16),
+    ) {
+        let b: Vec<f32> = a.iter().map(|x| x * 2.0).collect();
+        let cs = cosine_similarity(&a, &b);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&cs));
+        prop_assert!((cosine_similarity(&a, &b) - cosine_similarity(&b, &a)).abs() < 1e-12);
+        prop_assert!(relative_l2_error(&a, &a) == 0.0);
+    }
+
+    /// Set F1 is symmetric in P/R exchange and bounded.
+    #[test]
+    fn f1_bounds(
+        pred in proptest::collection::btree_set(0usize..32, 0..16),
+        truth in proptest::collection::btree_set(0usize..32, 0..16),
+    ) {
+        let s = set_f1(&pred, &truth);
+        prop_assert!((0.0..=1.0).contains(&s.precision));
+        prop_assert!((0.0..=1.0).contains(&s.recall));
+        prop_assert!((0.0..=1.0).contains(&s.f1));
+        prop_assert!(s.f1 <= s.precision.max(s.recall) + 1e-12);
+        // Swapping prediction and truth swaps precision and recall.
+        let t = set_f1(&truth, &pred);
+        if !pred.is_empty() && !truth.is_empty() {
+            prop_assert!((s.precision - t.recall).abs() < 1e-12);
+            prop_assert!((s.f1 - t.f1).abs() < 1e-12);
+        }
+    }
+
+    /// KvStore: writes and evictions keep len consistent with occupancy.
+    #[test]
+    fn kvstore_len_consistency(
+        ops in proptest::collection::vec((0usize..6, proptest::bool::ANY), 1..50),
+    ) {
+        let mut store = KvStore::new(6, 2);
+        let mut expect = 0usize;
+        for (i, (slot, write)) in ops.iter().enumerate() {
+            if *write {
+                let was = store.slot(*slot).is_some();
+                store.write_slot(*slot, KvEntry {
+                    token_id: i,
+                    key: vec![0.0; 2],
+                    value: vec![0.0; 2],
+                }).unwrap();
+                if !was { expect += 1; }
+            } else if store.evict_slot(*slot).unwrap().is_some() {
+                expect -= 1;
+            }
+            prop_assert_eq!(store.len(), expect);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Criterion benches of the figure/table regeneration harnesses themselves
+//! (how long each paper artifact takes to recompute).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use unicaim_accel::{aedp_table, area_sweep, delay_sweep, energy_sweep, table2_workload};
+use unicaim_attention::llama::{motivation_sweep, LlmConfig};
+use unicaim_fefet::{id_vg_sweep, pv_loop, FeFetModel, FeFetParams};
+
+fn bench_table2(c: &mut Criterion) {
+    c.bench_function("table2_aedp", |b| {
+        b.iter(|| black_box(aedp_table(&table2_workload())));
+    });
+}
+
+fn bench_sweeps(c: &mut Criterion) {
+    c.bench_function("fig10_area_sweep", |b| {
+        b.iter(|| black_box(area_sweep(&[512, 1024, 2048, 4096, 8192], false, 0.25)));
+    });
+    c.bench_function("fig11_energy_sweep", |b| {
+        b.iter(|| black_box(energy_sweep(&[512, 1024, 2048, 4096, 8192], false, 0.2)));
+    });
+    c.bench_function("fig12_delay_sweep", |b| {
+        b.iter(|| black_box(delay_sweep(&[512, 1024, 2048, 4096, 8192], false, 0.2)));
+    });
+}
+
+fn bench_device_sweeps(c: &mut Criterion) {
+    let model = FeFetModel::new(FeFetParams::default());
+    c.bench_function("fig02_pv_loop", |b| {
+        b.iter(|| black_box(pv_loop(&model, 4.0, 80)));
+    });
+    c.bench_function("fig02_idvg", |b| {
+        b.iter(|| black_box(id_vg_sweep(&model, &[-1.0, 0.0, 1.0], 0.0, 1.6, 40)));
+    });
+}
+
+fn bench_motivation(c: &mut Criterion) {
+    let config = LlmConfig::llama2_7b();
+    c.bench_function("fig01_motivation", |b| {
+        b.iter(|| black_box(motivation_sweep(&config, &[1024, 4096, 16384, 65536])));
+    });
+}
+
+criterion_group!(benches, bench_table2, bench_sweeps, bench_device_sweeps, bench_motivation);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Criterion benches of the hot simulation kernels: CAM search, exact
+//! current-domain scoring, device evaluation, and ADC quantization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use unicaim_analog::{SarAdc, SarAdcParams};
+use unicaim_core::{
+    ArrayConfig, CellPrecision, KeyLevel, QueryEncoder, QueryLevel, QueryPrecision, UniCaimArray,
+};
+use unicaim_fefet::{FeFet, FeFetModel, FeFetParams};
+
+fn filled_array(rows: usize, dim: usize, behavioral: bool) -> UniCaimArray {
+    let mut array = UniCaimArray::new(ArrayConfig {
+        rows,
+        dim,
+        cell_precision: CellPrecision::ThreeBit,
+        query_precision: QueryPrecision::OneBit,
+        behavioral,
+        ..ArrayConfig::default()
+    });
+    let levels = [
+        KeyLevel::NegOne,
+        KeyLevel::NegHalf,
+        KeyLevel::Zero,
+        KeyLevel::PosHalf,
+        KeyLevel::PosOne,
+    ];
+    for row in 0..rows {
+        let key: Vec<KeyLevel> = (0..dim).map(|d| levels[(row * 7 + d * 3) % 5]).collect();
+        array.write_row(row, row, &key).unwrap();
+    }
+    array
+}
+
+fn query(dim: usize) -> Vec<QueryLevel> {
+    let levels = [QueryLevel::NegOne, QueryLevel::Zero, QueryLevel::PosOne];
+    (0..dim).map(|d| levels[(d * 5) % 3]).collect()
+}
+
+fn bench_cam_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cam_top_k");
+    for &rows in &[64usize, 256, 576] {
+        let mut array = filled_array(rows, 128, true);
+        let q = query(128);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| black_box(array.cam_top_k(black_box(&q), 64).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_scores(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_scores");
+    for &k in &[16usize, 64, 128] {
+        let mut array = filled_array(576, 128, true);
+        let q = query(128);
+        let rows: Vec<usize> = (0..k).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| black_box(array.exact_scores(black_box(&q), &rows).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_device_vs_behavioral(c: &mut Criterion) {
+    let mut group = c.benchmark_group("row_current_mode");
+    let enc = QueryEncoder::new(QueryPrecision::OneBit);
+    let drives = enc.encode(&query(128));
+    let behavioral = filled_array(64, 128, true);
+    let device = filled_array(64, 128, false);
+    group.bench_function("behavioral", |b| {
+        b.iter(|| black_box(behavioral.row_current(black_box(7), &drives).unwrap()));
+    });
+    group.bench_function("device_accurate", |b| {
+        b.iter(|| black_box(device.row_current(black_box(7), &drives).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_fefet_eval(c: &mut Criterion) {
+    let model = FeFetModel::new(FeFetParams::default());
+    let mut dev = FeFet::fresh();
+    model.program_polarization(&mut dev, 0.3);
+    c.bench_function("fefet_drain_current", |b| {
+        b.iter(|| black_box(model.drain_current(black_box(&dev), 1.4, 0.1)));
+    });
+}
+
+fn bench_adc(c: &mut Criterion) {
+    let adc = SarAdc::new(SarAdcParams::default()).unwrap();
+    c.bench_function("sar_adc_quantize", |b| {
+        b.iter(|| black_box(adc.quantize(black_box(37.3e-6))));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cam_search,
+    bench_exact_scores,
+    bench_device_vs_behavioral,
+    bench_fefet_eval,
+    bench_adc
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benches of the KV-cache policy simulation: per-policy decode
+//! throughput and the hardware engine's full decode loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use unicaim_attention::workloads::needle_task;
+use unicaim_core::{ArrayConfig, EngineConfig, UniCaimEngine};
+use unicaim_kvcache::{
+    simulate_decode, FullCache, HybridStaticDynamic, OracleTopK, Policy, SimConfig, SnapKv,
+    StreamingLlm, H2O,
+};
+
+fn bench_policy_decode(c: &mut Criterion) {
+    let workload = needle_task(256, 32, 5);
+    let capacity = 96;
+    let mut group = c.benchmark_group("policy_decode");
+    let factories: Vec<(&str, Box<dyn Fn() -> Box<dyn Policy>>)> = vec![
+        ("full", Box::new(|| Box::new(FullCache::new()))),
+        ("hybrid", Box::new(move || Box::new(HybridStaticDynamic::new(80, 16, 32)))),
+        ("snapkv", Box::new(|| Box::new(SnapKv::new(16)))),
+        ("streaming", Box::new(|| Box::new(StreamingLlm::new(4)))),
+        ("h2o", Box::new(|| Box::new(H2O::new(16)))),
+        ("oracle_topk", Box::new(|| Box::new(OracleTopK::new()))),
+    ];
+    for (name, factory) in &factories {
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            b.iter(|| {
+                let mut policy = factory();
+                let cap = if *name == "full" { workload.total_tokens() } else { capacity };
+                black_box(simulate_decode(
+                    &workload,
+                    policy.as_mut(),
+                    &SimConfig::new(cap, 32),
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_decode(c: &mut Criterion) {
+    let workload = needle_task(256, 32, 5);
+    c.bench_function("unicaim_engine_run", |b| {
+        b.iter(|| {
+            let mut engine = UniCaimEngine::new(
+                ArrayConfig { dim: workload.dim, sigma_vth: 0.0, ..ArrayConfig::default() },
+                EngineConfig { h: 80, m: 16, k: 32 },
+            )
+            .unwrap();
+            black_box(engine.run(&workload).unwrap())
+        });
+    });
+}
+
+criterion_group!(benches, bench_policy_decode, bench_engine_decode);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Fig. 1(b): KV-cache size and attention latency vs sequence length for
+//! Llama-2-7B (analytic motivation sweep).
+
+use unicaim_attention::llama::{motivation_sweep, LlmConfig};
+use unicaim_bench::{banner, dump_json, eng, json_output_path};
+
+fn main() {
+    banner("Fig. 1(b)", "Llama-2-7B KV cache and attention latency vs sequence length");
+    let config = LlmConfig::llama2_7b();
+    let seq_lens: Vec<usize> = (0..8).map(|i| 1024usize << i).collect();
+    let points = motivation_sweep(&config, &seq_lens);
+
+    println!(
+        "{:>10} {:>12} {:>14} {:>16} {:>14}",
+        "seq_len", "kv_GB", "kv/weights", "attn_latency_ms", "attn_fraction"
+    );
+    for p in &points {
+        println!(
+            "{:>10} {:>12} {:>14} {:>16} {:>14}",
+            p.seq_len,
+            eng(p.kv_bytes as f64 / 1e9),
+            eng(p.kv_over_weights),
+            eng(p.attention_latency * 1e3),
+            eng(p.attention_fraction),
+        );
+    }
+    println!(
+        "\nKV cache overtakes the {} GB weights at ~{} tokens (paper: tens of k).",
+        eng(config.weight_bytes() as f64 / 1e9),
+        config.kv_crossover_seq()
+    );
+    if let Some(path) = json_output_path() {
+        dump_json(&path, &points);
+    }
+}

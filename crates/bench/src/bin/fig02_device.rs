@@ -1,0 +1,41 @@
+//! Fig. 2(b,c): FeFET polarization–voltage loops (multilevel polarization)
+//! and gradually modulated I_D–V_G transfer curves.
+
+use unicaim_bench::{banner, dump_json, eng, json_output_path};
+use unicaim_fefet::{id_vg_sweep, pv_loop, FeFetModel, FeFetParams};
+
+fn main() {
+    banner("Fig. 2(b,c)", "FeFET P-V hysteresis loops and multilevel ID-VG curves");
+    let model = FeFetModel::new(FeFetParams::default());
+
+    println!("-- P-V loops (remanent polarization at loop extremes) --");
+    println!("{:>12} {:>10} {:>10}", "amplitude_V", "P_max", "P_min");
+    let mut loops = Vec::new();
+    for amp in [2.8, 3.2, 3.6, 4.0, 4.5] {
+        let l = pv_loop(&model, amp, 80);
+        println!("{:>12} {:>10} {:>10}", eng(amp), eng(l.p_max()), eng(l.p_min()));
+        loops.push(l);
+    }
+    println!("(nested minor loops = gradually modulated multilevel polarization)");
+
+    println!("\n-- ID-VG transfer curves per programmed level --");
+    let levels = [-1.0, -0.5, 0.0, 0.5, 1.0];
+    let curves = id_vg_sweep(&model, &levels, 0.0, 1.6, 9);
+    print!("{:>8}", "V_G");
+    for c in &curves {
+        print!(" {:>12}", format!("P={:+.1}", c.polarization));
+    }
+    println!();
+    for i in 0..9 {
+        print!("{:>8}", eng(curves[0].points[i].v_g));
+        for c in &curves {
+            print!(" {:>12}", eng(c.points[i].i_d * 1e6)); // µA
+        }
+        println!();
+    }
+    println!("(currents in µA; V_TH shifts: {} V memory window)", eng(model.params().memory_window()));
+
+    if let Some(path) = json_output_path() {
+        dump_json(&path, &(&loops, &curves));
+    }
+}

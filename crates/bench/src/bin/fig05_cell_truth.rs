@@ -1,0 +1,33 @@
+//! Fig. 5(d): the 1-bit UniCAIM cell truth table — sense currents for every
+//! signed key × query combination (higher attention ⇒ lower current).
+
+use unicaim_bench::{banner, eng};
+use unicaim_core::{CellDrive, KeyLevel, UniCaimCell};
+use unicaim_fefet::{FeFet, FeFetModel, FeFetParams};
+
+fn main() {
+    banner("Fig. 5(d)", "1-bit UniCAIM cell truth table (I_SL per key x query)");
+    let model = FeFetModel::new(FeFetParams::default());
+    let keys = [KeyLevel::PosOne, KeyLevel::Zero, KeyLevel::NegOne];
+    let queries = [("+1", CellDrive::Plus), ("-1", CellDrive::Minus)];
+
+    println!("{:>8} {:>8} {:>10} {:>14} {:>12}", "key", "query", "attn", "I_SL(µA)", "behavioral");
+    for &key in &keys {
+        for &(qname, drive) in &queries {
+            let mut cell = UniCaimCell::new(&model, FeFet::fresh(), FeFet::fresh());
+            cell.program(&model, key);
+            let i_dev = cell.sl_current(&model, drive) * 1e6;
+            let i_beh = UniCaimCell::behavioral_current(&model, key, drive) * 1e6;
+            let attn = key.weight() * drive.sign();
+            println!(
+                "{:>8} {:>8} {:>10} {:>14} {:>12}",
+                format!("{:+.0}", key.weight()),
+                qname,
+                format!("{attn:+.0}"),
+                eng(i_dev),
+                eng(i_beh)
+            );
+        }
+    }
+    println!("\nOrdering check: I(attn=+1) < I(attn=0) < I(attn=-1)  (paper Fig. 5d)");
+}

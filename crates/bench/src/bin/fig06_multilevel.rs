@@ -1,0 +1,81 @@
+//! Fig. 6(b,d): multilevel truth tables — 3-bit signed keys × 1-bit queries
+//! and 2-bit queries via the 4-cell bitwise expansion of Fig. 6(c).
+
+use unicaim_bench::{banner, eng};
+use unicaim_core::{expand_query_level, KeyLevel, QueryLevel, QueryPrecision, UniCaimCell};
+use unicaim_fefet::{FeFet, FeFetModel, FeFetParams};
+
+fn cell(model: &FeFetModel, key: KeyLevel) -> UniCaimCell {
+    let mut c = UniCaimCell::new(model, FeFet::fresh(), FeFet::fresh());
+    c.program(model, key);
+    c
+}
+
+fn main() {
+    banner("Fig. 6(b,d)", "multilevel signed multiplication truth tables");
+    let model = FeFetModel::new(FeFetParams::default());
+    let keys = [
+        KeyLevel::PosOne,
+        KeyLevel::PosHalf,
+        KeyLevel::Zero,
+        KeyLevel::NegHalf,
+        KeyLevel::NegOne,
+    ];
+
+    println!("-- Fig. 6(b): 3-bit signed key x 1-bit query, single cell --");
+    println!("{:>8} {:>8} {:>8} {:>12}", "key", "query", "w*q", "I_SL(µA)");
+    for &key in &keys {
+        for (qname, drive) in
+            [("+1", unicaim_core::CellDrive::Plus), ("-1", unicaim_core::CellDrive::Minus)]
+        {
+            let c = cell(&model, key);
+            let i = c.sl_current(&model, drive) * 1e6;
+            println!(
+                "{:>8} {:>8} {:>8} {:>12}",
+                format!("{:+.1}", key.weight()),
+                qname,
+                format!("{:+.1}", key.weight() * if qname == "+1" { 1.0 } else { -1.0 }),
+                eng(i)
+            );
+        }
+    }
+
+    println!("\n-- Fig. 6(c): query expansion over 4 cells --");
+    let q_levels = [
+        QueryLevel::PosOne,
+        QueryLevel::PosHalf,
+        QueryLevel::Zero,
+        QueryLevel::NegHalf,
+        QueryLevel::NegOne,
+    ];
+    for &q in &q_levels {
+        let drives = expand_query_level(q, QueryPrecision::TwoBit);
+        let pattern: Vec<&str> = drives
+            .iter()
+            .map(|d| match d {
+                unicaim_core::CellDrive::Plus => "(0,VQ)",
+                unicaim_core::CellDrive::Minus => "(VQ,0)",
+                unicaim_core::CellDrive::Off => "(0,0)",
+            })
+            .collect();
+        println!("query {:+.1}: {}", q.value(), pattern.join(" "));
+    }
+
+    println!("\n-- Fig. 6(d): 2-bit signed key x 2-bit query (4-cell sum, µA) --");
+    print!("{:>8}", "key\\q");
+    for &q in &q_levels {
+        print!(" {:>10}", format!("{:+.1}", q.value()));
+    }
+    println!();
+    for &key in &keys {
+        print!("{:>8}", format!("{:+.1}", key.weight()));
+        for &q in &q_levels {
+            let drives = expand_query_level(q, QueryPrecision::TwoBit);
+            let c = cell(&model, key);
+            let total: f64 = drives.iter().map(|&d| c.sl_current(&model, d)).sum();
+            print!(" {:>10}", eng(total * 1e6));
+        }
+        println!();
+    }
+    println!("\n(each row decreases left to right: I_SL affine-decreasing in w*q)");
+}

@@ -1,0 +1,68 @@
+//! Fig. 7(b,c): CAM-mode sense-line discharge curves per attention score
+//! (d = 4, scores −4..+4) and the top-3-of-9 selection race.
+
+use unicaim_bench::{banner, dump_json, eng, json_output_path};
+use unicaim_core::{ArrayConfig, CellPrecision, KeyLevel, QueryLevel, QueryPrecision, UniCaimArray};
+
+fn key_for_score(score: i32) -> Vec<KeyLevel> {
+    // Query will be all +1; choose 4 ternary weights summing to `score`.
+    let mut key = Vec::with_capacity(4);
+    let mut remaining = score;
+    for _ in 0..4 {
+        if remaining > 0 {
+            key.push(KeyLevel::PosOne);
+            remaining -= 1;
+        } else if remaining < 0 {
+            key.push(KeyLevel::NegOne);
+            remaining += 1;
+        } else {
+            key.push(KeyLevel::Zero);
+        }
+    }
+    key
+}
+
+fn main() {
+    banner("Fig. 7(b,c)", "CAM-mode discharge race and O(1) top-k selection");
+    let config = ArrayConfig {
+        rows: 9,
+        dim: 4,
+        cell_precision: CellPrecision::OneBit,
+        query_precision: QueryPrecision::OneBit,
+        sigma_vth: 0.0,
+        ..ArrayConfig::default()
+    };
+    let mut array = UniCaimArray::new(config);
+    // 9 keys with attention scores −4 .. +4 against the all-+1 query.
+    for (row, score) in (-4..=4).enumerate() {
+        array.write_row(row, row, &key_for_score(score)).unwrap();
+    }
+    let query = vec![QueryLevel::PosOne; 4];
+
+    println!("-- Fig. 7(b): SL voltage vs time per attention score --");
+    let search_all = array.cam_top_k(&query, 9).unwrap();
+    drop(search_all);
+    array.reset_stats();
+    let search = array.cam_top_k(&query, 3).unwrap();
+    println!("freeze time (comparator trip): {} ns", eng(search.freeze_time * 1e9));
+    println!("{:>8} {:>8} {:>16}", "row", "score", "V_SL@freeze (V)");
+    for &(row, v) in &search.sl_voltages {
+        let score = row as i32 - 4;
+        println!("{:>8} {:>8} {:>16}", row, format!("{score:+}"), eng(v));
+    }
+
+    println!("\n-- Fig. 7(c): top-3 of 9 selection --");
+    println!("selected rows (highest scores): {:?}", search.selected_rows);
+    assert_eq!(search.selected_rows, vec![6, 7, 8], "top-3 must be the scores +2,+3,+4");
+    println!("scores of selected rows: +2, +3, +4  ✓ (O(1) single charge-discharge cycle)");
+    println!(
+        "stats: {} precharges, {} comparator evals, {} ADC conversions (none during pruning)",
+        array.stats().sl_precharges,
+        array.stats().comparator_evals,
+        array.stats().adc_conversions
+    );
+
+    if let Some(path) = json_output_path() {
+        dump_json(&path, &search);
+    }
+}

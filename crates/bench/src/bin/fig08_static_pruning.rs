@@ -1,0 +1,63 @@
+//! Fig. 8(b): charge-domain static pruning — accumulation of similarity via
+//! charge sharing and selection of the eviction candidate (first
+//! accumulator to the FE-INV switching voltage).
+
+use unicaim_bench::{banner, dump_json, eng, json_output_path};
+use unicaim_core::{ArrayConfig, CellPrecision, KeyLevel, QueryLevel, QueryPrecision, UniCaimArray};
+
+fn main() {
+    banner("Fig. 8(b)", "charge-domain accumulation and static eviction candidate");
+    let config = ArrayConfig {
+        rows: 4,
+        dim: 8,
+        cell_precision: CellPrecision::ThreeBit,
+        query_precision: QueryPrecision::OneBit,
+        sigma_vth: 0.0,
+        ..ArrayConfig::default()
+    };
+    let mut array = UniCaimArray::new(config);
+    // Row profiles: persistently similar / mildly similar / neutral /
+    // persistently dissimilar to the all-+1 query.
+    let profiles: [(&str, KeyLevel); 4] = [
+        ("always similar", KeyLevel::PosOne),
+        ("mildly similar", KeyLevel::PosHalf),
+        ("neutral", KeyLevel::Zero),
+        ("dissimilar", KeyLevel::NegOne),
+    ];
+    for (row, (_, level)) in profiles.iter().enumerate() {
+        array.write_row(row, row, &vec![*level; 8]).unwrap();
+    }
+    let query = vec![QueryLevel::PosOne; 8];
+
+    println!(
+        "{:>6} {:>16} {:>16} {:>16} {:>16}",
+        "step", profiles[0].0, profiles[1].0, profiles[2].0, profiles[3].0
+    );
+    let mut history = Vec::new();
+    let mut candidate = None;
+    for step in 0..8 {
+        let search = array.cam_top_k(&query, 2).unwrap();
+        candidate = array.accumulate_and_candidate(&search);
+        let voltages: Vec<f64> = (0..4).map(|r| array.acc_voltage(r)).collect();
+        println!(
+            "{:>6} {:>16} {:>16} {:>16} {:>16}",
+            step,
+            eng(voltages[0]),
+            eng(voltages[1]),
+            eng(voltages[2]),
+            eng(voltages[3])
+        );
+        history.push(voltages);
+    }
+    println!(
+        "\neviction candidate after accumulation: row {} ({})",
+        candidate.unwrap(),
+        profiles[candidate.unwrap()].1.weight()
+    );
+    assert_eq!(candidate, Some(3), "the persistently dissimilar row must be evicted");
+    println!("✓ lowest accumulated similarity is evicted, in-cycle with dynamic pruning");
+
+    if let Some(path) = json_output_path() {
+        dump_json(&path, &history);
+    }
+}

@@ -1,0 +1,53 @@
+//! Fig. 10(a,b): required device count vs input/output sequence length
+//! under different pruning conditions and cell precisions.
+
+use unicaim_bench::{banner, dump_json, eng, json_output_path};
+use unicaim_accel::area_sweep;
+
+fn print_sweep(points: &[unicaim_accel::SweepPoint], x_name: &str) {
+    println!(
+        "{:>10} {:>14} {:>14} {:>14} {:>14} {:>9} {:>9}",
+        x_name, "no_pruning", "static_only", "uni_1bit", "uni_3bit", "static/x", "3bit/1bit"
+    );
+    for p in points {
+        let full = p.values["no_pruning"];
+        let stat = p.values["static_only"];
+        let uni1 = p.values["unicaim_1bit"];
+        let uni3 = p.values["unicaim_3bit"];
+        println!(
+            "{:>10} {:>14} {:>14} {:>14} {:>14} {:>9} {:>9}",
+            p.x,
+            eng(full),
+            eng(stat),
+            eng(uni1),
+            eng(uni3),
+            format!("{:.2}x", stat / full),
+            format!("{:.2}x", uni3 / uni1),
+        );
+    }
+}
+
+fn main() {
+    banner("Fig. 10(a,b)", "required device count vs sequence length");
+    let keep = 0.25; // static keep ratio for the sweep
+
+    println!("-- (a) vs input sequence length (output = 64) --");
+    let a = area_sweep(&[512, 1024, 2048, 4096, 8192], false, keep);
+    print_sweep(&a, "input_len");
+
+    println!("\n-- (b) vs output sequence length (input = 2048) --");
+    let b = area_sweep(&[64, 128, 256, 512, 1024], true, keep);
+    print_sweep(&b, "output_len");
+
+    let last = a.last().unwrap();
+    println!(
+        "\nimprovement at the longest input: {:.1}x without dynamic periphery, {:.1}x with \
+         (paper: 15x -> 14.7x, i.e. the CAM periphery is nearly free)",
+        last.values["no_pruning"] / last.values["static_only"],
+        last.values["no_pruning"] / last.values["unicaim_1bit"],
+    );
+
+    if let Some(path) = json_output_path() {
+        dump_json(&path, &(&a, &b));
+    }
+}

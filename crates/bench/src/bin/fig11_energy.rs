@@ -1,0 +1,74 @@
+//! Fig. 11(a,b,c): energy breakdown at a 20% dynamic keep ratio, and energy
+//! vs input/output sequence length.
+
+use unicaim_accel::{
+    energy_sweep, Accelerator, AttentionWorkload, ConventionalDynamicCim, NoPruningCim,
+    PruningSpec, UniCaimDesign,
+};
+use unicaim_bench::{banner, dump_json, eng, json_output_path};
+
+fn main() {
+    banner("Fig. 11", "energy breakdown and energy vs sequence length");
+
+    println!("-- (a) breakdown at 576 tokens, dynamic keep 20% (nJ/step) --");
+    let w = AttentionWorkload { input_len: 576, output_len: 1, dim: 128, key_bits: 3 };
+    let p = PruningSpec { static_keep: 1.0, dynamic_keep: 0.2, reserved_decode: usize::MAX };
+    let designs: Vec<(&str, Box<dyn Accelerator>)> = vec![
+        ("no pruning", Box::new(NoPruningCim::default())),
+        ("conventional dynamic", Box::new(ConventionalDynamicCim::default())),
+        ("UniCAIM", Box::new(UniCaimDesign::one_bit().with_static(false))),
+    ];
+    println!(
+        "{:>24} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "design", "array", "adc", "topk", "write", "total", "vs none"
+    );
+    let mut reports = Vec::new();
+    let baseline = NoPruningCim::default().evaluate(&w, &p).energy_per_step;
+    for (name, d) in &designs {
+        let r = d.evaluate(&w, &p);
+        println!(
+            "{:>24} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8}",
+            name,
+            eng(r.breakdown.array * 1e9),
+            eng(r.breakdown.adc * 1e9),
+            eng(r.breakdown.topk * 1e9),
+            eng(r.breakdown.write * 1e9),
+            eng(r.energy_per_step * 1e9),
+            format!("{:.2}x", r.energy_per_step / baseline),
+        );
+        reports.push(r);
+    }
+    println!("(paper: 7.1 nJ / 6.49 nJ (0.91x) / 1.34 nJ (0.19x))");
+
+    println!("\n-- (b) energy vs input length (output 64, keep 20%) --");
+    let b = energy_sweep(&[512, 1024, 2048, 4096, 8192], false, 0.2);
+    print_sweep(&b, "input_len");
+
+    println!("\n-- (c) energy vs output length (input 2048, keep 20%) --");
+    let c = energy_sweep(&[64, 128, 256, 512, 1024], true, 0.2);
+    print_sweep(&c, "output_len");
+
+    if let Some(path) = json_output_path() {
+        dump_json(&path, &(&reports, &b, &c));
+    }
+}
+
+fn print_sweep(points: &[unicaim_accel::SweepPoint], x_name: &str) {
+    println!(
+        "{:>10} {:>16} {:>16} {:>14} {:>12}",
+        x_name, "no_pruning(nJ)", "conventional(nJ)", "unicaim(nJ)", "improvement"
+    );
+    for p in points {
+        let full = p.values["no_pruning"];
+        let conv = p.values["conventional_dynamic"];
+        let uni = p.values["unicaim"];
+        println!(
+            "{:>10} {:>16} {:>16} {:>14} {:>12}",
+            p.x,
+            eng(full * 1e9),
+            eng(conv * 1e9),
+            eng(uni * 1e9),
+            format!("{:.1}x", full / uni),
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Fig. 12(a,b): per-step latency at the 576-token operating point and
+//! latency vs sequence length (64 parallel ADCs).
+
+use unicaim_accel::{
+    delay_sweep, Accelerator, AttentionWorkload, ConventionalDynamicCim, NoPruningCim,
+    PruningSpec, UniCaimDesign,
+};
+use unicaim_bench::{banner, dump_json, eng, json_output_path};
+
+fn main() {
+    banner("Fig. 12", "attention latency with 64 ADCs");
+
+    println!("-- (a) latency at 576 tokens, dynamic keep 20% --");
+    let w = AttentionWorkload { input_len: 576, output_len: 1, dim: 128, key_bits: 3 };
+    let p = PruningSpec { static_keep: 1.0, dynamic_keep: 0.2, reserved_decode: usize::MAX };
+    let no_prune = NoPruningCim::default().evaluate(&w, &p);
+    let conv = ConventionalDynamicCim::default().evaluate(&w, &p);
+    let uni = UniCaimDesign::one_bit().with_static(false).evaluate(&w, &p);
+    println!("{:>24} {:>12} {:>10}", "design", "delay (ns)", "vs none");
+    for (name, r) in
+        [("no pruning", &no_prune), ("conventional dynamic", &conv), ("UniCAIM", &uni)]
+    {
+        println!(
+            "{:>24} {:>12} {:>10}",
+            name,
+            eng(r.delay_per_step * 1e9),
+            format!("{:.2}x", r.delay_per_step / no_prune.delay_per_step)
+        );
+    }
+    println!("(paper: 90 ns / ~104 ns / ~22 ns — conventional dynamic pruning INCREASES latency)");
+
+    println!("\n-- (b) latency vs input length (output 64, keep 20%) --");
+    let b = delay_sweep(&[512, 1024, 2048, 4096, 8192], false, 0.2);
+    print_sweep(&b, "input_len");
+
+    println!("\n-- latency vs output length (input 2048, keep 20%) --");
+    let c = delay_sweep(&[64, 128, 256, 512, 1024], true, 0.2);
+    print_sweep(&c, "output_len");
+
+    if let Some(path) = json_output_path() {
+        dump_json(&path, &(&b, &c));
+    }
+}
+
+fn print_sweep(points: &[unicaim_accel::SweepPoint], x_name: &str) {
+    println!(
+        "{:>10} {:>16} {:>16} {:>14} {:>10}",
+        x_name, "no_pruning(ns)", "conventional(ns)", "unicaim(ns)", "speedup"
+    );
+    for p in points {
+        let full = p.values["no_pruning"];
+        let conv = p.values["conventional_dynamic"];
+        let uni = p.values["unicaim"];
+        println!(
+            "{:>10} {:>16} {:>16} {:>14} {:>10}",
+            p.x,
+            eng(full * 1e9),
+            eng(conv * 1e9),
+            eng(uni * 1e9),
+            format!("{:.1}x", full / uni),
+        );
+    }
+}

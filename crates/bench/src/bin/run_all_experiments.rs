@@ -1,0 +1,47 @@
+//! Runs every figure/table regeneration binary in sequence, teeing each
+//! one's JSON results into `results/`.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "fig01_motivation",
+    "fig02_device",
+    "fig05_cell_truth",
+    "fig06_multilevel",
+    "fig07_cam_topk",
+    "fig08_static_pruning",
+    "fig09_linearity",
+    "fig10_area",
+    "fig11_energy",
+    "fig12_delay",
+    "table1_qualitative",
+    "table2_aedp",
+    "fig13_accuracy",
+    "ablation_study",
+    "pareto_k_sweep",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("current exe path");
+    let bin_dir = exe.parent().expect("bin dir").to_path_buf();
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        println!("\n########## {name} ##########");
+        let status = Command::new(bin_dir.join(name))
+            .args(["--json", &format!("results/{name}.json")])
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            other => {
+                eprintln!("experiment {name} failed: {other:?}");
+                failures.push(*name);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall {} experiments completed; JSON in ./results/", EXPERIMENTS.len());
+    } else {
+        eprintln!("\nFAILED experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,21 @@
+//! Table I: qualitative comparison of UniCAIM with state-of-the-art
+//! CIM-based LLM accelerators.
+
+use unicaim_accel::qualitative_table;
+use unicaim_bench::banner;
+
+fn main() {
+    banner("Table I", "qualitative comparison with CIM-based LLM accelerators");
+    let rows = qualitative_table();
+    println!(
+        "{:<22} {:<26} {:<36} {:<30} {:<28}",
+        "design", "technology", "static pruning", "dynamic pruning", "top-k complexity"
+    );
+    println!("{}", "-".repeat(142));
+    for r in rows {
+        println!(
+            "{:<22} {:<26} {:<36} {:<30} {:<28}",
+            r.design, r.technology, r.static_pruning, r.dynamic_pruning, r.topk_complexity
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Table II: quantitative AEDP comparison with Sprint, TranCIM, and
+//! CIMFormer at 50% / 80% pruning, 1-bit and 3-bit UniCAIM cells.
+
+use unicaim_accel::{aedp_table, table2_workload, UniCaimCellKind};
+use unicaim_bench::{banner, dump_json, eng, json_output_path};
+
+fn main() {
+    banner("Table II", "AEDP reduction vs state-of-the-art CIM LLM accelerators");
+    let rows = aedp_table(&table2_workload());
+    println!(
+        "{:>14} {:>10} {:>16} {:>12} {:>12} {:>14}",
+        "pruning ratio", "cell", "UniCAIM AEDP", "vs Sprint", "vs TranCIM", "vs CIMFormer"
+    );
+    for r in &rows {
+        let cell = match r.cell {
+            UniCaimCellKind::OneBit => "1-bit",
+            UniCaimCellKind::ThreeBit => "3-bit",
+        };
+        println!(
+            "{:>14} {:>10} {:>16} {:>12} {:>12} {:>14}",
+            format!("{:.0}%", r.pruning_ratio * 100.0),
+            cell,
+            eng(r.unicaim_aedp),
+            format!("{:.1}x", r.vs_sprint),
+            format!("{:.1}x", r.vs_trancim),
+            format!("{:.1}x", r.vs_cimformer),
+        );
+    }
+    println!("\npaper reference:");
+    println!("  50% 1-bit:  8.2x / 13.9x / 124x      80% 1-bit: 11.5x / 19x / 277x");
+    println!("  50% 3-bit: 24.8x / 41.7x / 372x      80% 3-bit: 34.6x / 56.9x / 831x");
+
+    if let Some(path) = json_output_path() {
+        dump_json(&path, &rows);
+    }
+}

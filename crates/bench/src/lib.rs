@@ -1,0 +1,68 @@
+//! Shared helpers for the figure/table regeneration binaries and the
+//! Criterion benches.
+//!
+//! Every table and figure of the UniCAIM paper's evaluation has a binary in
+//! `src/bin/` that regenerates it (`cargo run -p unicaim-bench --bin
+//! fig10_area`, ...). The binaries print the paper's rows/series to stdout
+//! and, when `--json <path>` is given, also dump machine-readable results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Parses the common `--json <path>` CLI option.
+#[must_use]
+pub fn json_output_path() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1)).map(PathBuf::from)
+}
+
+/// Writes `value` as pretty JSON to `path` (creating parent directories).
+///
+/// # Panics
+///
+/// Panics on I/O errors — acceptable for experiment binaries.
+pub fn dump_json<T: serde::Serialize>(path: &std::path::Path, value: &T) {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).expect("create results directory");
+    }
+    let mut f = std::fs::File::create(path).expect("create results file");
+    let s = serde_json::to_string_pretty(value).expect("serialize results");
+    f.write_all(s.as_bytes()).expect("write results");
+    eprintln!("(wrote {})", path.display());
+}
+
+/// Formats a float with engineering-style precision for table printing.
+#[must_use]
+pub fn eng(x: f64) -> String {
+    if x == 0.0 {
+        return "0".to_owned();
+    }
+    let a = x.abs();
+    if a >= 1e-2 && a < 1e4 {
+        format!("{x:.3}")
+    } else {
+        format!("{x:.3e}")
+    }
+}
+
+/// Prints a header banner for an experiment binary.
+pub fn banner(id: &str, title: &str) {
+    println!("================================================================");
+    println!("{id} — {title}");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eng_formats() {
+        assert_eq!(eng(0.0), "0");
+        assert_eq!(eng(1.5), "1.500");
+        assert_eq!(eng(1.23e-9), "1.230e-9");
+    }
+}

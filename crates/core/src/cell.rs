@@ -1,0 +1,245 @@
+//! The FeFET-based UniCAIM cell (paper Fig. 5/6).
+//!
+//! A cell is two 1-transistor-1-FeFET (1T1F) units storing a signed key
+//! level as a complementary threshold-voltage pair:
+//! `V_TH1 = V_mid − w·MW/2`, `V_TH1b = V_mid + w·MW/2` (MW = memory
+//! window). The query drives the bit-line pair: a "+1" drive reads the
+//! complementary device (`BLb = V_R`), a "−1" drive the true device.
+//!
+//! With the read voltage at the top of the memory window and the FeFET in
+//! its triode region, the cell current is **affine in the product `w·q`**
+//! and *decreasing* in it:
+//!
+//! `I(w, +1) = I_unit·(1 − w)`, `I(w, −1) = I_unit·(1 + w)`  ⇒
+//! `I(w, d) = I_unit·(1 − w·d)` for active drives.
+//!
+//! That deliberate inversion — higher similarity ⇒ lower current — is what
+//! makes the CAM race select top-k *slowest* lines and makes the selected
+//! rows the cheapest to quantize (paper Section III.B.5).
+
+use serde::{Deserialize, Serialize};
+
+use unicaim_fefet::{FeFet, FeFetModel};
+
+use crate::encoder::CellDrive;
+use crate::levels::KeyLevel;
+
+/// One UniCAIM cell: two FeFETs with complementary programming.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UniCaimCell {
+    f1: FeFet,
+    f1b: FeFet,
+    level: KeyLevel,
+}
+
+impl UniCaimCell {
+    /// Creates a cell from two (possibly variation-offset) devices, erased
+    /// and programmed to level zero.
+    #[must_use]
+    pub fn new(model: &FeFetModel, mut f1: FeFet, mut f1b: FeFet) -> Self {
+        model.program_polarization(&mut f1, 0.0);
+        model.program_polarization(&mut f1b, 0.0);
+        Self { f1, f1b, level: KeyLevel::Zero }
+    }
+
+    /// The stored key level.
+    #[must_use]
+    pub fn level(&self) -> KeyLevel {
+        self.level
+    }
+
+    /// Programs the signed key level: the true device to polarization `+w`
+    /// (lower `V_TH` for positive weights) and the complementary device to
+    /// `−w`. One erase+write cycle per device.
+    pub fn program(&mut self, model: &FeFetModel, level: KeyLevel) {
+        let w = level.weight();
+        model.program_polarization(&mut self.f1, w);
+        model.program_polarization(&mut self.f1b, -w);
+        self.level = level;
+    }
+
+    /// Device-accurate sense current for a drive, amps: the two 1T1F units'
+    /// channel currents at `V_DS = vds_read`, with the driven bit line at
+    /// the read voltage and the other grounded.
+    #[must_use]
+    pub fn sl_current(&self, model: &FeFetModel, drive: CellDrive) -> f64 {
+        let p = model.params();
+        let (v_bl, v_blb) = match drive {
+            CellDrive::Plus => (0.0, p.read_voltage),
+            CellDrive::Minus => (p.read_voltage, 0.0),
+            CellDrive::Off => (0.0, 0.0),
+        };
+        model.drain_current(&self.f1, v_bl, p.vds_read)
+            + model.drain_current(&self.f1b, v_blb, p.vds_read)
+    }
+
+    /// The behavioral (fast-path) affine cell current, amps:
+    /// `I_unit − I_slope·w·d` for active drives (clamped at 0), `0` for off
+    /// drives, with `I_unit`/`I_slope` calibrated from two device
+    /// measurements (see [`unit_current`] and [`score_slope_current`]).
+    /// Matches [`UniCaimCell::sl_current`] up to the sub-threshold rounding
+    /// at the fully matching end and device variation (asserted in tests).
+    #[must_use]
+    pub fn behavioral_current(model: &FeFetModel, level: KeyLevel, drive: CellDrive) -> f64 {
+        match drive {
+            CellDrive::Off => 0.0,
+            d => (unit_current(model)
+                - score_slope_current(model) * level.weight() * d.sign())
+            .max(0.0),
+        }
+    }
+
+    /// The intrinsic threshold voltages `(V_TH1, V_TH1b)` this cell is
+    /// programmed to (including each device's variation offset).
+    #[must_use]
+    pub fn vth_pair(&self, model: &FeFetModel) -> (f64, f64) {
+        (model.vth(&self.f1), model.vth(&self.f1b))
+    }
+}
+
+/// The per-cell unit current `I_unit = I(V_G = V_R, V_TH = V_mid)`: the
+/// current of one device programmed to the zero level under an active
+/// drive. All behavioral array arithmetic is in units of this current.
+#[must_use]
+pub fn unit_current(model: &FeFetModel) -> f64 {
+    let p = model.params();
+    model.drain_current_at_vth(p.vth_mid(), p.read_voltage, p.vds_read)
+}
+
+/// The calibrated current swing per unit of `w·d`:
+/// `I_slope = I(V_TH = V_TH,low) − I(V_TH = V_mid)` — a secant fit through
+/// two device measurements. In the deep-triode region the device curve is
+/// exactly affine, so this fit reproduces the device currents at every
+/// half-level; only the fully matching end (`w·d = +1`, current → 0)
+/// deviates by the sub-threshold floor.
+#[must_use]
+pub fn score_slope_current(model: &FeFetModel) -> f64 {
+    let p = model.params();
+    model.drain_current_at_vth(p.vth_low, p.read_voltage, p.vds_read) - unit_current(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicaim_fefet::FeFetParams;
+
+    fn model() -> FeFetModel {
+        FeFetModel::new(FeFetParams::default())
+    }
+
+    fn cell_at(model: &FeFetModel, level: KeyLevel) -> UniCaimCell {
+        let mut c = UniCaimCell::new(model, FeFet::fresh(), FeFet::fresh());
+        c.program(model, level);
+        c
+    }
+
+    /// Paper Fig. 5(d): the 1-bit truth table orders currents as
+    /// `I(+1) < I(0) < I(−1)` for a matching query, and is symmetric for
+    /// the opposite query.
+    #[test]
+    fn one_bit_truth_table_ordering() {
+        let m = model();
+        let i_pos = cell_at(&m, KeyLevel::PosOne).sl_current(&m, CellDrive::Plus);
+        let i_zero = cell_at(&m, KeyLevel::Zero).sl_current(&m, CellDrive::Plus);
+        let i_neg = cell_at(&m, KeyLevel::NegOne).sl_current(&m, CellDrive::Plus);
+        assert!(
+            i_pos < i_zero && i_zero < i_neg,
+            "attn +1 must give the lowest current: {i_pos:.3e} < {i_zero:.3e} < {i_neg:.3e}"
+        );
+
+        // Opposite query flips the ordering.
+        let j_pos = cell_at(&m, KeyLevel::PosOne).sl_current(&m, CellDrive::Minus);
+        let j_neg = cell_at(&m, KeyLevel::NegOne).sl_current(&m, CellDrive::Minus);
+        assert!(j_neg < i_zero && i_zero < j_pos);
+    }
+
+    /// Paper Fig. 6(b): with 3-bit keys the five currents are ordered and
+    /// nearly equally spaced (affine in w·q).
+    #[test]
+    fn three_bit_truth_table_is_affine() {
+        let m = model();
+        let levels = [
+            KeyLevel::PosOne,
+            KeyLevel::PosHalf,
+            KeyLevel::Zero,
+            KeyLevel::NegHalf,
+            KeyLevel::NegOne,
+        ];
+        let currents: Vec<f64> =
+            levels.iter().map(|&l| cell_at(&m, l).sl_current(&m, CellDrive::Plus)).collect();
+        for w in currents.windows(2) {
+            assert!(w[0] < w[1], "currents must be strictly ordered: {currents:?}");
+        }
+        // Equal spacing in the triode region (all steps except the one
+        // touching the fully matching end, which is compressed by the
+        // sub-threshold floor).
+        let steps: Vec<f64> = currents.windows(2).map(|w| w[1] - w[0]).collect();
+        let mean_mid = (steps[1] + steps[2] + steps[3]) / 3.0;
+        for s in &steps[1..] {
+            assert!(
+                ((s - mean_mid) / mean_mid).abs() < 0.05,
+                "triode-region spacing must be near-uniform: {steps:?}"
+            );
+        }
+        assert!(
+            steps[0] > 0.6 * mean_mid,
+            "endpoint compression should stay mild: {steps:?}"
+        );
+    }
+
+    /// The behavioral fast path matches the device-accurate path within
+    /// leakage-level tolerance.
+    #[test]
+    fn behavioral_matches_device_accurate() {
+        let m = model();
+        let i_unit = unit_current(&m);
+        for level in KeyLevel::levels_for(crate::CellPrecision::ThreeBit) {
+            for drive in [CellDrive::Plus, CellDrive::Minus, CellDrive::Off] {
+                let dev = cell_at(&m, *level).sl_current(&m, drive);
+                let beh = UniCaimCell::behavioral_current(&m, *level, drive);
+                let err = (dev - beh).abs() / i_unit;
+                assert!(
+                    err < 0.02,
+                    "level {level:?} drive {drive:?}: device {dev:.3e} vs behavioral {beh:.3e} (err {err:.3})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn off_drive_draws_only_leakage() {
+        let m = model();
+        let i = cell_at(&m, KeyLevel::PosOne).sl_current(&m, CellDrive::Off);
+        // Grounded gates leave only sub-threshold leakage — orders of
+        // magnitude below the unit read current.
+        assert!(i < 1e-3 * unit_current(&m), "off cell current {i:.3e} too high");
+    }
+
+    #[test]
+    fn vth_pair_is_complementary() {
+        let m = model();
+        let c = cell_at(&m, KeyLevel::PosHalf);
+        let (v1, v1b) = c.vth_pair(&m);
+        let mid = m.params().vth_mid();
+        assert!((v1 - (mid - 0.3)).abs() < 1e-9, "v1 {v1}");
+        assert!((v1b - (mid + 0.3)).abs() < 1e-9, "v1b {v1b}");
+    }
+
+    #[test]
+    fn reprogramming_changes_level() {
+        let m = model();
+        let mut c = cell_at(&m, KeyLevel::PosOne);
+        assert_eq!(c.level(), KeyLevel::PosOne);
+        c.program(&m, KeyLevel::NegHalf);
+        assert_eq!(c.level(), KeyLevel::NegHalf);
+        let (v1, v1b) = c.vth_pair(&m);
+        assert!(v1 > v1b, "negative weight must raise the true device's vth");
+    }
+
+    #[test]
+    fn unit_current_is_microamp_scale() {
+        let m = model();
+        let i = unit_current(&m);
+        assert!(i > 1e-7 && i < 1e-4, "unit current {i:.3e} out of plausible range");
+    }
+}

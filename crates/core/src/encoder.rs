@@ -1,0 +1,180 @@
+//! Multilevel query expansion (paper Fig. 6c).
+//!
+//! A 2-bit signed query level is applied as complementary read voltages on
+//! *four* cells storing the same key: level `q` maps to `n_pos` cells driven
+//! "+1" (`(0, V_Q)`) and `4 − n_pos` driven "−1" (`(V_Q, 0)`), with
+//! `n_pos − n_neg = 4q`. Summing the four cell currents then yields a sense
+//! current affine in `w·q` exactly (see `cell.rs` for the per-cell affine
+//! form).
+
+use serde::{Deserialize, Serialize};
+
+use crate::levels::{QueryLevel, QueryPrecision};
+
+/// The drive applied to a single cell's bit-line pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellDrive {
+    /// `(BL, BLb) = (0, V_Q)` — the "+1" drive.
+    Plus,
+    /// `(BL, BLb) = (V_Q, 0)` — the "−1" drive.
+    Minus,
+    /// Both bit lines grounded (only used by ternary queries for level 0).
+    Off,
+}
+
+impl CellDrive {
+    /// Numeric sign of the drive (0 for [`CellDrive::Off`]).
+    #[must_use]
+    pub fn sign(self) -> f64 {
+        match self {
+            CellDrive::Plus => 1.0,
+            CellDrive::Minus => -1.0,
+            CellDrive::Off => 0.0,
+        }
+    }
+}
+
+/// Expands one query level into per-cell drives per Fig. 6c.
+///
+/// * 1-bit (ternary) queries drive a single cell: `+1 → Plus`, `−1 → Minus`,
+///   `0 → Off`.
+/// * 2-bit queries drive four cells, `n_pos = 2(q+1)` of them positive:
+///   `+1 → [+,+,+,+]`, `+0.5 → [−,+,+,+]`, `0 → [−,−,+,+]`,
+///   `−0.5 → [−,−,−,+]`, `−1 → [−,−,−,−]` (matching the paper's table with
+///   cell 1 the first to flip).
+///
+/// # Panics
+///
+/// Panics if a half-level is used at 1-bit precision (the quantizer never
+/// produces one).
+#[must_use]
+pub fn expand_query_level(level: QueryLevel, precision: QueryPrecision) -> Vec<CellDrive> {
+    match precision {
+        QueryPrecision::OneBit => match level {
+            QueryLevel::PosOne => vec![CellDrive::Plus],
+            QueryLevel::NegOne => vec![CellDrive::Minus],
+            QueryLevel::Zero => vec![CellDrive::Off],
+            QueryLevel::PosHalf | QueryLevel::NegHalf => {
+                panic!("half query levels require 2-bit query precision")
+            }
+        },
+        QueryPrecision::TwoBit => {
+            let n_pos = match level {
+                QueryLevel::PosOne => 4,
+                QueryLevel::PosHalf => 3,
+                QueryLevel::Zero => 2,
+                QueryLevel::NegHalf => 1,
+                QueryLevel::NegOne => 0,
+            };
+            (0..4)
+                .map(|i| if i < 4 - n_pos { CellDrive::Minus } else { CellDrive::Plus })
+                .collect()
+        }
+    }
+}
+
+/// Expands an entire query vector into per-dimension cell drives.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryEncoder {
+    precision: QueryPrecision,
+}
+
+impl QueryEncoder {
+    /// Creates an encoder for the given query precision.
+    #[must_use]
+    pub fn new(precision: QueryPrecision) -> Self {
+        Self { precision }
+    }
+
+    /// The query precision.
+    #[must_use]
+    pub fn precision(&self) -> QueryPrecision {
+        self.precision
+    }
+
+    /// Cells per key dimension this encoding requires.
+    #[must_use]
+    pub fn cells_per_dim(&self) -> usize {
+        self.precision.cells_per_dim()
+    }
+
+    /// Expands a query vector: `dim × cells_per_dim` drives, row-major per
+    /// dimension.
+    #[must_use]
+    pub fn encode(&self, query: &[QueryLevel]) -> Vec<Vec<CellDrive>> {
+        query.iter().map(|&l| expand_query_level(l, self.precision)).collect()
+    }
+
+    /// Number of *active* (non-[`CellDrive::Off`]) cells the encoded query
+    /// activates per row — the constant current offset the readout
+    /// calibration subtracts.
+    #[must_use]
+    pub fn active_cells(&self, query: &[QueryLevel]) -> usize {
+        self.encode(query).iter().flatten().filter(|d| !matches!(d, CellDrive::Off)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ternary_expansion() {
+        assert_eq!(
+            expand_query_level(QueryLevel::PosOne, QueryPrecision::OneBit),
+            vec![CellDrive::Plus]
+        );
+        assert_eq!(
+            expand_query_level(QueryLevel::Zero, QueryPrecision::OneBit),
+            vec![CellDrive::Off]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "half query levels")]
+    fn ternary_rejects_halves() {
+        let _ = expand_query_level(QueryLevel::PosHalf, QueryPrecision::OneBit);
+    }
+
+    #[test]
+    fn two_bit_expansion_matches_paper_table() {
+        // Fig. 6c: "+1" = 4 positive drives ... "−1" = 4 negative drives.
+        let cases = [
+            (QueryLevel::PosOne, 4),
+            (QueryLevel::PosHalf, 3),
+            (QueryLevel::Zero, 2),
+            (QueryLevel::NegHalf, 1),
+            (QueryLevel::NegOne, 0),
+        ];
+        for (level, n_pos) in cases {
+            let drives = expand_query_level(level, QueryPrecision::TwoBit);
+            assert_eq!(drives.len(), 4);
+            let pos = drives.iter().filter(|d| matches!(d, CellDrive::Plus)).count();
+            assert_eq!(pos, n_pos, "level {level:?}");
+            // Net drive encodes the level: (n_pos − n_neg)/4 = q.
+            let net: f64 = drives.iter().map(|d| d.sign()).sum();
+            assert!((net / 4.0 - level.value()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn encoder_counts_active_cells() {
+        let enc = QueryEncoder::new(QueryPrecision::OneBit);
+        let q = vec![QueryLevel::PosOne, QueryLevel::Zero, QueryLevel::NegOne];
+        assert_eq!(enc.active_cells(&q), 2);
+
+        let enc2 = QueryEncoder::new(QueryPrecision::TwoBit);
+        let q2 = vec![QueryLevel::PosOne, QueryLevel::Zero];
+        // Every cell is driven in 2-bit mode.
+        assert_eq!(enc2.active_cells(&q2), 8);
+    }
+
+    #[test]
+    fn encode_shape() {
+        let enc = QueryEncoder::new(QueryPrecision::TwoBit);
+        let q = vec![QueryLevel::Zero; 5];
+        let drives = enc.encode(&q);
+        assert_eq!(drives.len(), 5);
+        assert!(drives.iter().all(|d| d.len() == 4));
+    }
+}

@@ -1,0 +1,281 @@
+//! Signed multilevel key/query domains and quantizers.
+//!
+//! The paper's cell stores a *signed* key level as a complementary
+//! `(V_TH1, V_TH1b)` pair (Fig. 6a). The "1-bit" cell stores {−1, +1}
+//! (plus 0 via both-medium programming); the "3-bit" cell exploits
+//! multilevel FeFET programming for {−1, −0.5, 0, +0.5, +1}. Queries are
+//! 1-bit ternary {−1, 0, +1} or 2-bit {−1, −0.5, 0, +0.5, +1} via the
+//! bitwise expansion of Fig. 6c.
+
+use serde::{Deserialize, Serialize};
+
+/// A signed multilevel key weight stored in one UniCAIM cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KeyLevel {
+    /// −1.0
+    NegOne,
+    /// −0.5 (3-bit cells only)
+    NegHalf,
+    /// 0.0
+    Zero,
+    /// +0.5 (3-bit cells only)
+    PosHalf,
+    /// +1.0
+    PosOne,
+}
+
+impl KeyLevel {
+    /// Numeric weight of the level.
+    #[must_use]
+    pub fn weight(self) -> f64 {
+        match self {
+            KeyLevel::NegOne => -1.0,
+            KeyLevel::NegHalf => -0.5,
+            KeyLevel::Zero => 0.0,
+            KeyLevel::PosHalf => 0.5,
+            KeyLevel::PosOne => 1.0,
+        }
+    }
+
+    /// All levels representable at the given cell precision, ascending.
+    #[must_use]
+    pub fn levels_for(precision: CellPrecision) -> &'static [KeyLevel] {
+        match precision {
+            CellPrecision::OneBit => &[KeyLevel::NegOne, KeyLevel::Zero, KeyLevel::PosOne],
+            CellPrecision::ThreeBit => &[
+                KeyLevel::NegOne,
+                KeyLevel::NegHalf,
+                KeyLevel::Zero,
+                KeyLevel::PosHalf,
+                KeyLevel::PosOne,
+            ],
+        }
+    }
+}
+
+/// A signed multilevel query value applied on the bit lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QueryLevel {
+    /// −1.0
+    NegOne,
+    /// −0.5 (2-bit queries only)
+    NegHalf,
+    /// 0.0
+    Zero,
+    /// +0.5 (2-bit queries only)
+    PosHalf,
+    /// +1.0
+    PosOne,
+}
+
+impl QueryLevel {
+    /// Numeric value of the level.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        match self {
+            QueryLevel::NegOne => -1.0,
+            QueryLevel::NegHalf => -0.5,
+            QueryLevel::Zero => 0.0,
+            QueryLevel::PosHalf => 0.5,
+            QueryLevel::PosOne => 1.0,
+        }
+    }
+
+    /// All levels representable at the given query precision, ascending.
+    #[must_use]
+    pub fn levels_for(precision: QueryPrecision) -> &'static [QueryLevel] {
+        match precision {
+            QueryPrecision::OneBit => &[QueryLevel::NegOne, QueryLevel::Zero, QueryLevel::PosOne],
+            QueryPrecision::TwoBit => &[
+                QueryLevel::NegOne,
+                QueryLevel::NegHalf,
+                QueryLevel::Zero,
+                QueryLevel::PosHalf,
+                QueryLevel::PosOne,
+            ],
+        }
+    }
+}
+
+/// Storage precision of a UniCAIM cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellPrecision {
+    /// Binary signed storage {−1, 0, +1} (two `V_TH` extremes + medium).
+    OneBit,
+    /// Multilevel signed storage {−1, −0.5, 0, +0.5, +1} (paper's 3-bit
+    /// cell, Fig. 6a/6b).
+    ThreeBit,
+}
+
+/// Precision of the applied query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QueryPrecision {
+    /// Ternary query {−1, 0, +1} on a single cell per dimension.
+    OneBit,
+    /// 5-level query via the 4-cell bitwise expansion of Fig. 6c.
+    TwoBit,
+}
+
+impl QueryPrecision {
+    /// Physical cells per key dimension required by this query precision.
+    #[must_use]
+    pub fn cells_per_dim(self) -> usize {
+        match self {
+            QueryPrecision::OneBit => 1,
+            QueryPrecision::TwoBit => 4,
+        }
+    }
+}
+
+fn nearest_level(x: f64, levels: &[f64]) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, &l) in levels.iter().enumerate() {
+        let d = (x - l).abs();
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Quantizes a real-valued key vector to cell levels with per-vector
+/// max-abs scaling. Returns the levels and the scale such that
+/// `key[i] ≈ scale · levels[i].weight()`.
+#[must_use]
+pub fn quantize_key(key: &[f32], precision: CellPrecision) -> (Vec<KeyLevel>, f64) {
+    let scale = key.iter().fold(0.0f32, |m, &x| m.max(x.abs())) as f64;
+    let levels = KeyLevel::levels_for(precision);
+    let weights: Vec<f64> = levels.iter().map(|l| l.weight()).collect();
+    let q = key
+        .iter()
+        .map(|&x| {
+            if scale == 0.0 {
+                KeyLevel::Zero
+            } else {
+                levels[nearest_level(f64::from(x) / scale, &weights)]
+            }
+        })
+        .collect();
+    (q, scale)
+}
+
+/// Quantizes a real-valued query vector to query levels with per-vector
+/// max-abs scaling. Returns the levels and the scale.
+#[must_use]
+pub fn quantize_query(query: &[f32], precision: QueryPrecision) -> (Vec<QueryLevel>, f64) {
+    let scale = query.iter().fold(0.0f32, |m, &x| m.max(x.abs())) as f64;
+    let levels = QueryLevel::levels_for(precision);
+    let values: Vec<f64> = levels.iter().map(|l| l.value()).collect();
+    let q = query
+        .iter()
+        .map(|&x| {
+            if scale == 0.0 {
+                QueryLevel::Zero
+            } else {
+                levels[nearest_level(f64::from(x) / scale, &values)]
+            }
+        })
+        .collect();
+    (q, scale)
+}
+
+/// The quantized similarity `Σ wᵢ·qᵢ` of level vectors (the attention score
+/// the hardware measures, in level units).
+///
+/// # Panics
+///
+/// Panics if the vectors' lengths differ.
+#[must_use]
+pub fn level_score(key: &[KeyLevel], query: &[QueryLevel]) -> f64 {
+    assert_eq!(key.len(), query.len(), "level vectors must have equal length");
+    key.iter().zip(query).map(|(w, q)| w.weight() * q.value()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_and_values_are_symmetric() {
+        assert_eq!(KeyLevel::NegOne.weight(), -KeyLevel::PosOne.weight());
+        assert_eq!(KeyLevel::NegHalf.weight(), -KeyLevel::PosHalf.weight());
+        assert_eq!(QueryLevel::NegOne.value(), -QueryLevel::PosOne.value());
+    }
+
+    #[test]
+    fn one_bit_levels_are_ternary() {
+        assert_eq!(KeyLevel::levels_for(CellPrecision::OneBit).len(), 3);
+        assert_eq!(QueryLevel::levels_for(QueryPrecision::OneBit).len(), 3);
+        assert_eq!(KeyLevel::levels_for(CellPrecision::ThreeBit).len(), 5);
+    }
+
+    #[test]
+    fn quantize_key_rounds_to_nearest() {
+        let (q, scale) = quantize_key(&[1.0, -1.0, 0.1, 0.6, -0.4], CellPrecision::ThreeBit);
+        assert!((scale - 1.0).abs() < 1e-9);
+        assert_eq!(
+            q,
+            vec![
+                KeyLevel::PosOne,
+                KeyLevel::NegOne,
+                KeyLevel::Zero,
+                KeyLevel::PosHalf,
+                KeyLevel::NegHalf
+            ]
+        );
+    }
+
+    #[test]
+    fn quantize_key_one_bit_has_no_halves() {
+        let (q, _) = quantize_key(&[1.0, 0.6, -0.6, 0.1], CellPrecision::OneBit);
+        assert_eq!(q, vec![KeyLevel::PosOne, KeyLevel::PosOne, KeyLevel::NegOne, KeyLevel::Zero]);
+    }
+
+    #[test]
+    fn quantize_scales_by_max_abs() {
+        let (q, scale) = quantize_key(&[4.0, -2.0], CellPrecision::ThreeBit);
+        assert!((scale - 4.0).abs() < 1e-9);
+        assert_eq!(q, vec![KeyLevel::PosOne, KeyLevel::NegHalf]);
+    }
+
+    #[test]
+    fn quantize_zero_vector() {
+        let (q, scale) = quantize_key(&[0.0, 0.0], CellPrecision::ThreeBit);
+        assert_eq!(scale, 0.0);
+        assert_eq!(q, vec![KeyLevel::Zero, KeyLevel::Zero]);
+    }
+
+    #[test]
+    fn quantize_query_two_bit() {
+        let (q, _) = quantize_query(&[1.0, -0.5, 0.0], QueryPrecision::TwoBit);
+        assert_eq!(q, vec![QueryLevel::PosOne, QueryLevel::NegHalf, QueryLevel::Zero]);
+    }
+
+    #[test]
+    fn level_score_matches_dot_product() {
+        let key = vec![KeyLevel::PosOne, KeyLevel::NegHalf, KeyLevel::Zero];
+        let query = vec![QueryLevel::PosOne, QueryLevel::PosOne, QueryLevel::NegOne];
+        assert!((level_score(&key, &query) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn score_range_for_paper_operating_point() {
+        // d = 128, ternary levels: score range is −128..+128 per unit scale;
+        // with 3-bit cells and 2-bit queries the paper quotes −512..+512 in
+        // quarter-steps, i.e. 128·(±1)·(±1) in 0.25 increments = ±128 in
+        // level units (±512 quarter-units).
+        let key = vec![KeyLevel::PosOne; 128];
+        let q_pos = vec![QueryLevel::PosOne; 128];
+        let q_neg = vec![QueryLevel::NegOne; 128];
+        assert_eq!(level_score(&key, &q_pos), 128.0);
+        assert_eq!(level_score(&key, &q_neg), -128.0);
+    }
+
+    #[test]
+    fn cells_per_dim() {
+        assert_eq!(QueryPrecision::OneBit.cells_per_dim(), 1);
+        assert_eq!(QueryPrecision::TwoBit.cells_per_dim(), 4);
+    }
+}

@@ -1,0 +1,193 @@
+//! Multi-head deployment: one UniCAIM array per attention head.
+//!
+//! The paper's similarity (Eq. 1) is per head — `q ∈ R^{h×1×d}`,
+//! `K ∈ R^{h×N×d}` — and KV-cache pruning decisions are made per head:
+//! each head's array races, accumulates, and evicts independently, which is
+//! exactly how the physical banks would be replicated. This module manages
+//! `h` single-head engines, runs them over per-head workloads, and
+//! aggregates quality metrics and operation statistics.
+
+use serde::{Deserialize, Serialize};
+
+use unicaim_attention::workloads::DecodeWorkload;
+use unicaim_kvcache::SimResult;
+
+use crate::array::ArrayConfig;
+use crate::engine::{EngineConfig, HardwareRunResult, UniCaimEngine};
+use crate::stats::OpStats;
+use crate::CoreError;
+
+/// Result of a multi-head hardware run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiHeadRunResult {
+    /// Per-head results, in head order.
+    pub per_head: Vec<HardwareRunResult>,
+    /// Sum of all heads' operation statistics.
+    pub combined_stats: OpStats,
+    /// Mean of the per-head quality metrics (head-uniform workload shapes).
+    pub mean_metrics: SimResult,
+}
+
+/// `h` independent UniCAIM arrays, one per attention head.
+#[derive(Debug, Clone)]
+pub struct MultiHeadEngine {
+    heads: Vec<UniCaimEngine>,
+}
+
+impl MultiHeadEngine {
+    /// Creates `n_heads` identical engines (separate variation seeds per
+    /// head, as separate physical banks would have).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for zero heads or an invalid
+    /// per-head configuration.
+    pub fn new(
+        array_config: ArrayConfig,
+        engine_config: EngineConfig,
+        n_heads: usize,
+    ) -> Result<Self, CoreError> {
+        if n_heads == 0 {
+            return Err(CoreError::InvalidConfig { reason: "need at least one head".into() });
+        }
+        let heads = (0..n_heads)
+            .map(|h| {
+                let mut cfg = array_config.clone();
+                cfg.variation_seed = array_config.variation_seed.wrapping_add(h as u64);
+                UniCaimEngine::new(cfg, engine_config)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { heads })
+    }
+
+    /// Number of heads.
+    #[must_use]
+    pub fn n_heads(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// Access a head's engine.
+    #[must_use]
+    pub fn head(&self, h: usize) -> Option<&UniCaimEngine> {
+        self.heads.get(h)
+    }
+
+    /// Runs one workload per head (all heads share token positions but have
+    /// their own key/query streams, as in real attention).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when the workload count differs
+    /// from the head count or shapes disagree across heads; propagates
+    /// per-head run errors.
+    pub fn run(&mut self, workloads: &[DecodeWorkload]) -> Result<MultiHeadRunResult, CoreError> {
+        if workloads.len() != self.heads.len() {
+            return Err(CoreError::InvalidConfig {
+                reason: format!(
+                    "expected {} per-head workloads, got {}",
+                    self.heads.len(),
+                    workloads.len()
+                ),
+            });
+        }
+        let steps = workloads[0].decode_queries.len();
+        if workloads.iter().any(|w| w.decode_queries.len() != steps) {
+            return Err(CoreError::InvalidConfig {
+                reason: "all heads must decode the same number of steps".into(),
+            });
+        }
+        let mut per_head = Vec::with_capacity(self.heads.len());
+        for (engine, workload) in self.heads.iter_mut().zip(workloads) {
+            per_head.push(engine.run(workload)?);
+        }
+        let mut combined_stats = OpStats::new();
+        for r in &per_head {
+            combined_stats.merge(&r.stats);
+        }
+        let n = per_head.len() as f64;
+        let mean = |f: fn(&SimResult) -> f64| per_head.iter().map(|r| f(&r.metrics)).sum::<f64>() / n;
+        let mean_metrics = SimResult {
+            policy: "unicaim_multihead".to_owned(),
+            workload: workloads[0].name.clone(),
+            output_cosine: mean(|m| m.output_cosine),
+            output_rel_error: mean(|m| m.output_rel_error),
+            salient_recall: mean(|m| m.salient_recall),
+            salient_f1: mean(|m| m.salient_f1),
+            retrieval_accuracy: mean(|m| m.retrieval_accuracy),
+            mean_selected: mean(|m| m.mean_selected),
+            mean_resident: mean(|m| m.mean_resident),
+            steps,
+        };
+        Ok(MultiHeadRunResult { per_head, combined_stats, mean_metrics })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicaim_attention::workloads::needle_task;
+
+    fn per_head_workloads(n_heads: usize, seed: u64) -> Vec<DecodeWorkload> {
+        // Same task shape, different key/query streams per head.
+        (0..n_heads).map(|h| needle_task(128, 16, seed + 1000 * h as u64)).collect()
+    }
+
+    fn engine(n_heads: usize) -> MultiHeadEngine {
+        MultiHeadEngine::new(
+            ArrayConfig { dim: 64, sigma_vth: 0.0, ..ArrayConfig::default() },
+            EngineConfig { h: 48, m: 8, k: 16 },
+            n_heads,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn multihead_run_aggregates_stats() {
+        let mut e = engine(4);
+        let r = e.run(&per_head_workloads(4, 5)).unwrap();
+        assert_eq!(r.per_head.len(), 4);
+        // Combined stats are the sum of the per-head stats.
+        assert_eq!(r.combined_stats.cam_searches, 4 * 16);
+        assert_eq!(
+            r.combined_stats.adc_conversions,
+            r.per_head.iter().map(|h| h.stats.adc_conversions).sum::<u64>()
+        );
+        assert!(r.mean_metrics.salient_recall > 0.9, "{:?}", r.mean_metrics);
+    }
+
+    #[test]
+    fn heads_make_independent_selections() {
+        let mut e = engine(2);
+        let w = per_head_workloads(2, 9);
+        let r = e.run(&w).unwrap();
+        // Different key streams ⇒ different energies with near certainty.
+        assert_ne!(
+            r.per_head[0].stats.e_precharge, r.per_head[1].stats.e_precharge,
+            "heads with different streams should not behave identically"
+        );
+    }
+
+    #[test]
+    fn rejects_mismatched_workload_count() {
+        let mut e = engine(3);
+        assert!(e.run(&per_head_workloads(2, 5)).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_heads() {
+        assert!(MultiHeadEngine::new(
+            ArrayConfig::default(),
+            EngineConfig { h: 8, m: 4, k: 4 },
+            0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_mismatched_step_counts() {
+        let mut e = engine(2);
+        let mut ws = per_head_workloads(2, 5);
+        ws[1] = needle_task(128, 8, 7);
+        assert!(e.run(&ws).is_err());
+    }
+}

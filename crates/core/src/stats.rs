@@ -1,0 +1,141 @@
+//! Operation statistics accumulated by the array/engine, consumed by the
+//! architecture-level cost models in `unicaim-accel`.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters and analog energy totals for a run (or a single step).
+///
+/// Counts capture *what the hardware did*; the architecture models in
+/// `unicaim-accel` turn them into energy/delay/area. Energies that are
+/// intrinsically analog (precharge, charge sharing, ADC) are additionally
+/// accumulated here in joules because the array knows its own capacitances
+/// and converter parameters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct OpStats {
+    /// CAM searches performed (one per decode step).
+    pub cam_searches: u64,
+    /// Sense-line precharge events (one per occupied row per search).
+    pub sl_precharges: u64,
+    /// Cell activations (active drives × occupied rows) across searches.
+    pub cell_activations: u64,
+    /// Current-comparator evaluations (top-k stop detection).
+    pub comparator_evals: u64,
+    /// Charge-sharing events into accumulation capacitors.
+    pub charge_shares: u64,
+    /// FE-inverter eviction-candidate evaluations.
+    pub fe_inv_evals: u64,
+    /// SAR ADC conversions.
+    pub adc_conversions: u64,
+    /// ADC conversion rounds (groups limited by the number of ADCs) — the
+    /// delay-relevant count.
+    pub adc_rounds: u64,
+    /// FeFET program (erase+write) operations, counted per device.
+    pub fefet_writes: u64,
+    /// Row writes (one token key written into one row).
+    pub row_writes: u64,
+    /// Decode steps executed.
+    pub decode_steps: u64,
+
+    /// Energy drawn by sense-line precharge/recharge, joules.
+    pub e_precharge: f64,
+    /// Energy dissipated in charge sharing, joules.
+    pub e_share: f64,
+    /// ADC conversion energy, joules.
+    pub e_adc: f64,
+    /// FeFET write energy, joules.
+    pub e_write: f64,
+    /// Total analog discharge time spent in CAM searches, seconds.
+    pub t_cam: f64,
+    /// Total ADC conversion time (sequentialized by rounds), seconds.
+    pub t_adc: f64,
+    /// Total write time, seconds.
+    pub t_write: f64,
+}
+
+impl OpStats {
+    /// An all-zero stats record.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Field-wise sum of two records.
+    #[must_use]
+    pub fn merged(&self, other: &OpStats) -> OpStats {
+        OpStats {
+            cam_searches: self.cam_searches + other.cam_searches,
+            sl_precharges: self.sl_precharges + other.sl_precharges,
+            cell_activations: self.cell_activations + other.cell_activations,
+            comparator_evals: self.comparator_evals + other.comparator_evals,
+            charge_shares: self.charge_shares + other.charge_shares,
+            fe_inv_evals: self.fe_inv_evals + other.fe_inv_evals,
+            adc_conversions: self.adc_conversions + other.adc_conversions,
+            adc_rounds: self.adc_rounds + other.adc_rounds,
+            fefet_writes: self.fefet_writes + other.fefet_writes,
+            row_writes: self.row_writes + other.row_writes,
+            decode_steps: self.decode_steps + other.decode_steps,
+            e_precharge: self.e_precharge + other.e_precharge,
+            e_share: self.e_share + other.e_share,
+            e_adc: self.e_adc + other.e_adc,
+            e_write: self.e_write + other.e_write,
+            t_cam: self.t_cam + other.t_cam,
+            t_adc: self.t_adc + other.t_adc,
+            t_write: self.t_write + other.t_write,
+        }
+    }
+
+    /// Adds another record into this one.
+    pub fn merge(&mut self, other: &OpStats) {
+        *self = self.merged(other);
+    }
+
+    /// Total analog energy tracked by the array, joules.
+    #[must_use]
+    pub fn total_energy(&self) -> f64 {
+        self.e_precharge + self.e_share + self.e_adc + self.e_write
+    }
+
+    /// Total analog time tracked by the array, seconds.
+    #[must_use]
+    pub fn total_time(&self) -> f64 {
+        self.t_cam + self.t_adc + self.t_write
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_fieldwise_addition() {
+        let a = OpStats { cam_searches: 2, e_adc: 1.0, t_cam: 0.5, ..OpStats::new() };
+        let b = OpStats { cam_searches: 3, e_adc: 2.0, t_cam: 0.25, ..OpStats::new() };
+        let c = a.merged(&b);
+        assert_eq!(c.cam_searches, 5);
+        assert!((c.e_adc - 3.0).abs() < 1e-12);
+        assert!((c.t_cam - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn totals_sum_components() {
+        let s = OpStats {
+            e_precharge: 1.0,
+            e_share: 2.0,
+            e_adc: 3.0,
+            e_write: 4.0,
+            t_cam: 0.1,
+            t_adc: 0.2,
+            t_write: 0.3,
+            ..OpStats::new()
+        };
+        assert!((s.total_energy() - 10.0).abs() < 1e-12);
+        assert!((s.total_time() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        let s = OpStats::new();
+        assert_eq!(s.total_energy(), 0.0);
+        assert_eq!(s.decode_steps, 0);
+    }
+}

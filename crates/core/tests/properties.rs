@@ -1,0 +1,258 @@
+//! Property-based tests: the CAM mode must agree with exact software top-k
+//! under ideal conditions, and degrade gracefully under device variation.
+
+use proptest::prelude::*;
+use unicaim_core::{
+    ArrayConfig, CellPrecision, KeyLevel, QueryLevel, QueryPrecision, UniCaimArray,
+};
+
+fn key_levels() -> impl Strategy<Value = KeyLevel> {
+    prop_oneof![
+        Just(KeyLevel::NegOne),
+        Just(KeyLevel::NegHalf),
+        Just(KeyLevel::Zero),
+        Just(KeyLevel::PosHalf),
+        Just(KeyLevel::PosOne),
+    ]
+}
+
+/// Keys restricted to half-levels keep every cell out of the sub-threshold
+/// floor (the analog current is exactly affine in the score there).
+fn linear_key_levels() -> impl Strategy<Value = KeyLevel> {
+    prop_oneof![Just(KeyLevel::NegHalf), Just(KeyLevel::Zero), Just(KeyLevel::PosHalf)]
+}
+
+fn query_levels() -> impl Strategy<Value = QueryLevel> {
+    prop_oneof![
+        Just(QueryLevel::NegOne),
+        Just(QueryLevel::NegHalf),
+        Just(QueryLevel::Zero),
+        Just(QueryLevel::PosHalf),
+        Just(QueryLevel::PosOne),
+    ]
+}
+
+fn ideal_config(rows: usize, dim: usize) -> ArrayConfig {
+    ArrayConfig {
+        rows,
+        dim,
+        sigma_vth: 0.0,
+        cell_precision: CellPrecision::ThreeBit,
+        query_precision: QueryPrecision::TwoBit,
+        behavioral: true,
+        ..ArrayConfig::default()
+    }
+}
+
+fn exact_top_k(scores: &[(usize, f64)], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .1
+            .partial_cmp(&scores[a].1)
+            .unwrap()
+            .then(scores[a].0.cmp(&scores[b].0))
+    });
+    let mut sel: Vec<usize> = idx[..k.min(scores.len())].iter().map(|&i| scores[i].0).collect();
+    sel.sort_unstable();
+    sel
+}
+
+fn level_score(key: &[KeyLevel], query: &[QueryLevel]) -> f64 {
+    key.iter().zip(query).map(|(w, q)| w.weight() * q.value()).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Under zero variation and linear-regime keys, the CAM race selects a
+    /// top-k *score set* equal to exact software top-k (row identities may
+    /// differ only inside exact-score ties). Full-range keys touch the
+    /// sub-threshold floor and are covered by the tolerance property below.
+    #[test]
+    fn cam_topk_matches_exact_topk(
+        keys in proptest::collection::vec(
+            proptest::collection::vec(linear_key_levels(), 6), 3..12),
+        query in proptest::collection::vec(query_levels(), 6),
+        k in 1usize..6,
+    ) {
+        let mut array = UniCaimArray::new(ideal_config(keys.len(), 6));
+        for (row, key) in keys.iter().enumerate() {
+            array.write_row(row, row, key).unwrap();
+        }
+        let search = array.cam_top_k(&query, k).unwrap();
+        let scores: Vec<(usize, f64)> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, key)| (i, level_score(key, &query)))
+            .collect();
+        let expect = exact_top_k(&scores, k);
+        // Compare score multisets (discharge ties between equal scores may
+        // resolve to different-but-equivalent rows).
+        let got_scores: Vec<f64> = {
+            let mut v: Vec<f64> = search.selected_rows.iter().map(|&r| scores[r].1).collect();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v
+        };
+        let want_scores: Vec<f64> = {
+            let mut v: Vec<f64> = expect.iter().map(|&r| scores[r].1).collect();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v
+        };
+        prop_assert_eq!(search.selected_rows.len(), k.min(keys.len()));
+        for (g, w) in got_scores.iter().zip(&want_scores) {
+            prop_assert!((g - w).abs() < 1e-9,
+                "selected score set {:?} != exact {:?}", got_scores, want_scores);
+        }
+    }
+
+    /// With full-range keys the CAM selection tracks exact top-k within the
+    /// sub-threshold compression margin (~0.1 level units per fully
+    /// matching dimension).
+    #[test]
+    fn cam_topk_tracks_exact_topk_full_range(
+        keys in proptest::collection::vec(
+            proptest::collection::vec(key_levels(), 6), 3..12),
+        query in proptest::collection::vec(query_levels(), 6),
+        k in 1usize..6,
+    ) {
+        let mut array = UniCaimArray::new(ideal_config(keys.len(), 6));
+        for (row, key) in keys.iter().enumerate() {
+            array.write_row(row, row, key).unwrap();
+        }
+        let search = array.cam_top_k(&query, k).unwrap();
+        let scores: Vec<(usize, f64)> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, key)| (i, level_score(key, &query)))
+            .collect();
+        let expect = exact_top_k(&scores, k);
+        let cutoff = expect.iter().map(|&r| scores[r].1).fold(f64::INFINITY, f64::min);
+        // 6 dims, worst case every dim fully matching: margin 0.12 * 6.
+        let margin = 0.12 * 6.0;
+        prop_assert_eq!(search.selected_rows.len(), k.min(keys.len()));
+        for &row in &search.selected_rows {
+            prop_assert!(
+                scores[row].1 >= cutoff - margin,
+                "selected row {} score {} below cutoff {} - margin",
+                row, scores[row].1, cutoff
+            );
+        }
+    }
+
+    /// The de-quantized current-domain score ordering agrees with the true
+    /// level-score ordering whenever scores differ by more than the
+    /// endpoint-compression bound.
+    #[test]
+    fn exact_scores_preserve_ordering(
+        keys in proptest::collection::vec(
+            proptest::collection::vec(key_levels(), 8), 2..8),
+        query in proptest::collection::vec(query_levels(), 8),
+    ) {
+        let mut array = UniCaimArray::new(ideal_config(keys.len(), 8));
+        for (row, key) in keys.iter().enumerate() {
+            array.write_row(row, row, key).unwrap();
+        }
+        let rows: Vec<usize> = (0..keys.len()).collect();
+        let measured = array.exact_scores(&query, &rows).unwrap();
+        for i in 0..keys.len() {
+            for j in 0..keys.len() {
+                let si = level_score(&keys[i], &query);
+                let sj = level_score(&keys[j], &query);
+                // Worst-case readout distortion: full-match compression
+                // (~0.12/dim) plus one ADC LSB on each row.
+                let margin = 0.12 * 8.0 + 2.0 * array.score_lsb();
+                if si > sj + margin {
+                    prop_assert!(
+                        measured[i].1 > measured[j].1,
+                        "score order violated: true {si} vs {sj}, measured {} vs {}",
+                        measured[i].1, measured[j].1
+                    );
+                }
+            }
+        }
+    }
+
+    /// Writing then clearing rows always restores an empty array, and the
+    /// occupancy bookkeeping never lies.
+    #[test]
+    fn occupancy_bookkeeping(
+        ops in proptest::collection::vec((0usize..8, proptest::bool::ANY), 1..40),
+    ) {
+        let mut array = UniCaimArray::new(ideal_config(8, 4));
+        let key = vec![KeyLevel::PosOne, KeyLevel::Zero, KeyLevel::NegHalf, KeyLevel::NegOne];
+        let mut occupied = std::collections::BTreeSet::new();
+        for (i, (row, write)) in ops.iter().enumerate() {
+            if *write {
+                array.write_row(*row, 1000 + i, &key).unwrap();
+                occupied.insert(*row);
+            } else {
+                array.clear_row(*row).unwrap();
+                occupied.remove(row);
+            }
+            prop_assert_eq!(
+                array.occupied_rows(),
+                occupied.iter().copied().collect::<Vec<_>>()
+            );
+        }
+    }
+}
+
+/// With the paper's σ = 54 mV device variation, CAM top-k recall against
+/// the ideal selection stays high (the Fig. 9 robustness claim).
+#[test]
+fn cam_topk_recall_under_variation() {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+    let dim = 64;
+    let rows = 64;
+    let k = 8;
+    let mut total_recall = 0.0;
+    let trials = 10;
+    for trial in 0..trials {
+        let mut ideal = UniCaimArray::new(ArrayConfig {
+            rows,
+            dim,
+            sigma_vth: 0.0,
+            ..ideal_config(rows, dim)
+        });
+        let mut noisy = UniCaimArray::new(ArrayConfig {
+            rows,
+            dim,
+            sigma_vth: 0.054,
+            variation_seed: trial,
+            ..ideal_config(rows, dim)
+        });
+        let all_levels = [
+            KeyLevel::NegOne,
+            KeyLevel::NegHalf,
+            KeyLevel::Zero,
+            KeyLevel::PosHalf,
+            KeyLevel::PosOne,
+        ];
+        for row in 0..rows {
+            let key: Vec<KeyLevel> =
+                (0..dim).map(|_| all_levels[rng.gen_range(0..5)]).collect();
+            ideal.write_row(row, row, &key).unwrap();
+            noisy.write_row(row, row, &key).unwrap();
+        }
+        let q_levels = [
+            QueryLevel::NegOne,
+            QueryLevel::NegHalf,
+            QueryLevel::Zero,
+            QueryLevel::PosHalf,
+            QueryLevel::PosOne,
+        ];
+        let query: Vec<QueryLevel> = (0..dim).map(|_| q_levels[rng.gen_range(0..5)]).collect();
+        let want: std::collections::BTreeSet<usize> =
+            ideal.cam_top_k(&query, k).unwrap().selected_rows.into_iter().collect();
+        let got: std::collections::BTreeSet<usize> =
+            noisy.cam_top_k(&query, k).unwrap().selected_rows.into_iter().collect();
+        total_recall += want.intersection(&got).count() as f64 / k as f64;
+    }
+    let mean_recall = total_recall / trials as f64;
+    assert!(
+        mean_recall >= 0.8,
+        "CAM top-k recall under 54 mV variation too low: {mean_recall}"
+    );
+}

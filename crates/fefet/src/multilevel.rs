@@ -1,0 +1,205 @@
+//! Multilevel `V_TH` programming: evenly spaced level grids and the
+//! programmer that writes them.
+//!
+//! UniCAIM's 3-bit cell stores signed keys {−1, −0.5, 0, +0.5, +1} as
+//! complementary `(V_TH1, V_TH1b)` pairs on the two FeFETs of a cell
+//! (paper Fig. 6a). This module provides the level grid shared by both.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{FeFet, FeFetError, FeFetModel};
+
+/// An evenly spaced grid of `n_levels` threshold voltages spanning the
+/// memory window, used for multilevel storage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VthGrid {
+    levels: Vec<f64>,
+}
+
+impl VthGrid {
+    /// Builds an `n_levels`-point grid spanning `[vth_low, vth_high]`.
+    ///
+    /// Level `0` is the *lowest* `V_TH` (strongest conduction), level
+    /// `n_levels − 1` the highest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeFetError::InvalidParameter`] if `n_levels < 2`.
+    pub fn new(model: &FeFetModel, n_levels: usize) -> Result<Self, FeFetError> {
+        if n_levels < 2 {
+            return Err(FeFetError::InvalidParameter {
+                name: "n_levels",
+                reason: format!("need at least 2 levels, got {n_levels}"),
+            });
+        }
+        let p = model.params();
+        let step = p.memory_window() / (n_levels as f64 - 1.0);
+        let levels = (0..n_levels).map(|i| p.vth_low + step * i as f64).collect();
+        Ok(Self { levels })
+    }
+
+    /// The number of levels.
+    #[must_use]
+    pub fn n_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Threshold voltage of the given level, volts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeFetError::LevelOutOfRange`] for an invalid index.
+    pub fn vth_of(&self, level: usize) -> Result<f64, FeFetError> {
+        self.levels
+            .get(level)
+            .copied()
+            .ok_or(FeFetError::LevelOutOfRange { level, n_levels: self.levels.len() })
+    }
+
+    /// All level voltages, lowest first.
+    #[must_use]
+    pub fn levels(&self) -> &[f64] {
+        &self.levels
+    }
+
+    /// Index of the grid level nearest to the given threshold voltage.
+    #[must_use]
+    pub fn nearest_level(&self, vth: f64) -> usize {
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (i, &l) in self.levels.iter().enumerate() {
+            let d = (l - vth).abs();
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+/// Programs devices onto a [`VthGrid`] via calibrated erase+write pulses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelProgrammer {
+    grid: VthGrid,
+}
+
+impl LevelProgrammer {
+    /// Creates a programmer for the given grid.
+    #[must_use]
+    pub fn new(grid: VthGrid) -> Self {
+        Self { grid }
+    }
+
+    /// The underlying level grid.
+    #[must_use]
+    pub fn grid(&self) -> &VthGrid {
+        &self.grid
+    }
+
+    /// Programs `dev` to the grid level `level`.
+    ///
+    /// The device's *intrinsic* `V_TH` (without its variation offset) lands
+    /// on the grid point; real read currents then see the offset, exactly as
+    /// in hardware.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeFetError::LevelOutOfRange`] for an invalid index.
+    pub fn program(
+        &self,
+        model: &FeFetModel,
+        dev: &mut FeFet,
+        level: usize,
+    ) -> Result<(), FeFetError> {
+        let vth = self.grid.vth_of(level)?;
+        let p = model.params();
+        // Invert the linear polarization->vth map.
+        let target_p = (p.vth_mid() - vth) / (0.5 * p.memory_window());
+        model.program_polarization(dev, target_p);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FeFetParams;
+
+    fn model() -> FeFetModel {
+        FeFetModel::new(FeFetParams::default())
+    }
+
+    #[test]
+    fn grid_spans_window_evenly() {
+        let m = model();
+        let g = VthGrid::new(&m, 5).unwrap();
+        let l = g.levels();
+        assert_eq!(l.len(), 5);
+        assert!((l[0] - 0.2).abs() < 1e-12);
+        assert!((l[4] - 1.4).abs() < 1e-12);
+        let step = l[1] - l[0];
+        for w in l.windows(2) {
+            assert!((w[1] - w[0] - step).abs() < 1e-12, "grid must be even");
+        }
+    }
+
+    #[test]
+    fn grid_rejects_single_level() {
+        let m = model();
+        assert!(VthGrid::new(&m, 1).is_err());
+    }
+
+    #[test]
+    fn programmer_lands_on_grid() {
+        let m = model();
+        let g = VthGrid::new(&m, 5).unwrap();
+        let prog = LevelProgrammer::new(g.clone());
+        let mut dev = FeFet::fresh();
+        for level in 0..5 {
+            prog.program(&m, &mut dev, level).unwrap();
+            let vth = m.vth(&dev);
+            let want = g.vth_of(level).unwrap();
+            assert!((vth - want).abs() < 1e-9, "level {level}: vth {vth} want {want}");
+        }
+    }
+
+    #[test]
+    fn programmer_rejects_out_of_range() {
+        let m = model();
+        let g = VthGrid::new(&m, 5).unwrap();
+        let prog = LevelProgrammer::new(g);
+        let mut dev = FeFet::fresh();
+        assert!(matches!(
+            prog.program(&m, &mut dev, 5),
+            Err(FeFetError::LevelOutOfRange { level: 5, n_levels: 5 })
+        ));
+    }
+
+    #[test]
+    fn nearest_level_roundtrips() {
+        let m = model();
+        let g = VthGrid::new(&m, 8).unwrap();
+        for level in 0..8 {
+            let vth = g.vth_of(level).unwrap();
+            assert_eq!(g.nearest_level(vth + 0.01), level);
+            assert_eq!(g.nearest_level(vth - 0.01), level);
+        }
+    }
+
+    #[test]
+    fn programmed_levels_have_ordered_read_currents() {
+        let m = model();
+        let g = VthGrid::new(&m, 5).unwrap();
+        let prog = LevelProgrammer::new(g);
+        let mut dev = FeFet::fresh();
+        let p = *m.params();
+        let mut last = f64::INFINITY;
+        for level in 0..5 {
+            prog.program(&m, &mut dev, level).unwrap();
+            let i = m.drain_current(&dev, p.read_voltage, p.vds_read);
+            assert!(i < last, "higher level (higher vth) must conduct less");
+            last = i;
+        }
+    }
+}

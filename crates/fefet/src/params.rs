@@ -1,0 +1,192 @@
+//! Device parameter set for the behavioral FeFET model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::FeFetError;
+
+/// Parameters of the behavioral FeFET model.
+///
+/// Defaults describe a 45 nm-class HfO₂ FeFET consistent with the operating
+/// points in the UniCAIM paper: a ~1.2 V memory window, a coercive voltage
+/// around 2.5 V (so reads far below it are non-destructive), and µA-scale on
+/// currents. Every field is public because this is a passive parameter
+/// record; [`FeFetParams::validate`] checks cross-field consistency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeFetParams {
+    /// Lowest achievable threshold voltage (fully "program" polarized), volts.
+    pub vth_low: f64,
+    /// Highest achievable threshold voltage (fully "erase" polarized), volts.
+    pub vth_high: f64,
+    /// Coercive voltage of the ferroelectric layer, volts. Gate pulses with
+    /// magnitude below this leave the polarization essentially unchanged.
+    pub coercive_voltage: f64,
+    /// Width of the Preisach saturation curve (how gradually the saturated
+    /// polarization approaches ±1 around the coercive voltage), volts.
+    pub preisach_width: f64,
+    /// Nucleation time constant at the coercive voltage, seconds. Together
+    /// with `switching_voltage_scale` it sets how much of the remaining
+    /// polarization a pulse switches. The default is much longer than the
+    /// default pulse width so that the switching branch rises gradually over
+    /// ~1 V above the coercive voltage (multilevel programming window).
+    pub tau0: f64,
+    /// Voltage scale of switching-time acceleration, volts. Larger overdrive
+    /// above the coercive voltage exponentially speeds up switching.
+    pub switching_voltage_scale: f64,
+    /// Default program pulse width, seconds.
+    pub pulse_width: f64,
+    /// Transconductance factor β = µ·C_ox·W/L of the underlying MOSFET, A/V².
+    pub beta: f64,
+    /// Subthreshold slope factor (n ≳ 1).
+    pub slope_factor: f64,
+    /// Thermal voltage kT/q, volts.
+    pub thermal_voltage: f64,
+    /// Gate voltage used for non-destructive reads, volts.
+    pub read_voltage: f64,
+    /// Drain–source voltage applied during CIM reads, volts. Small enough to
+    /// keep the device in the triode region where current is linear in the
+    /// gate overdrive.
+    pub vds_read: f64,
+    /// Leakage floor added to every drain current, amps.
+    pub leakage: f64,
+    /// Standard deviation of device-to-device threshold-voltage variation,
+    /// volts. The paper adopts 54 mV.
+    pub sigma_vth: f64,
+}
+
+impl Default for FeFetParams {
+    fn default() -> Self {
+        Self {
+            vth_low: 0.2,
+            vth_high: 1.4,
+            coercive_voltage: 2.5,
+            preisach_width: 0.6,
+            tau0: 10e-6,
+            switching_voltage_scale: 0.25,
+            pulse_width: 100e-9,
+            beta: 120e-6,
+            slope_factor: 1.25,
+            thermal_voltage: 0.02585,
+            // Read at the top of the memory window: the strongest stored
+            // "+1" key then sits exactly at zero overdrive, which is what
+            // makes the per-cell current affine in (key x query); see
+            // `unicaim-core::cell`.
+            read_voltage: 1.4,
+            vds_read: 0.1,
+            leakage: 1e-12,
+            sigma_vth: 0.054,
+        }
+    }
+}
+
+impl FeFetParams {
+    /// Memory window: the full programmable `V_TH` range, volts.
+    #[must_use]
+    pub fn memory_window(&self) -> f64 {
+        self.vth_high - self.vth_low
+    }
+
+    /// Midpoint of the memory window, volts. A device programmed to zero net
+    /// polarization sits here.
+    #[must_use]
+    pub fn vth_mid(&self) -> f64 {
+        0.5 * (self.vth_high + self.vth_low)
+    }
+
+    /// Checks cross-field consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeFetError::InvalidParameter`] when the memory window is
+    /// empty or inverted, when the read voltage would disturb the stored
+    /// polarization (|V_R| ≥ coercive voltage), or when any physical scale
+    /// (β, τ₀, thermal voltage, pulse width) is non-positive.
+    pub fn validate(&self) -> Result<(), FeFetError> {
+        if !(self.vth_high > self.vth_low) {
+            return Err(FeFetError::InvalidParameter {
+                name: "vth_high",
+                reason: format!(
+                    "memory window must be positive (vth_low={}, vth_high={})",
+                    self.vth_low, self.vth_high
+                ),
+            });
+        }
+        if self.read_voltage.abs() >= self.coercive_voltage {
+            return Err(FeFetError::InvalidParameter {
+                name: "read_voltage",
+                reason: format!(
+                    "read voltage {} V would disturb polarization (coercive voltage {} V)",
+                    self.read_voltage, self.coercive_voltage
+                ),
+            });
+        }
+        for (name, v) in [
+            ("beta", self.beta),
+            ("tau0", self.tau0),
+            ("thermal_voltage", self.thermal_voltage),
+            ("pulse_width", self.pulse_width),
+            ("preisach_width", self.preisach_width),
+            ("switching_voltage_scale", self.switching_voltage_scale),
+            ("slope_factor", self.slope_factor),
+        ] {
+            if !(v > 0.0) {
+                return Err(FeFetError::InvalidParameter {
+                    name,
+                    reason: format!("must be positive, got {v}"),
+                });
+            }
+        }
+        if self.sigma_vth < 0.0 {
+            return Err(FeFetError::InvalidParameter {
+                name: "sigma_vth",
+                reason: format!("must be non-negative, got {}", self.sigma_vth),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_are_valid() {
+        FeFetParams::default().validate().expect("defaults must validate");
+    }
+
+    #[test]
+    fn memory_window_and_midpoint() {
+        let p = FeFetParams::default();
+        assert!((p.memory_window() - 1.2).abs() < 1e-12);
+        assert!((p.vth_mid() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_window_rejected() {
+        let p = FeFetParams { vth_low: 1.5, vth_high: 0.2, ..FeFetParams::default() };
+        assert!(matches!(p.validate(), Err(FeFetError::InvalidParameter { name: "vth_high", .. })));
+    }
+
+    #[test]
+    fn destructive_read_rejected() {
+        let p = FeFetParams { read_voltage: 3.0, ..FeFetParams::default() };
+        assert!(matches!(
+            p.validate(),
+            Err(FeFetError::InvalidParameter { name: "read_voltage", .. })
+        ));
+    }
+
+    #[test]
+    fn nonpositive_scale_rejected() {
+        let p = FeFetParams { beta: 0.0, ..FeFetParams::default() };
+        assert!(p.validate().is_err());
+        let p = FeFetParams { tau0: -1.0, ..FeFetParams::default() };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn negative_sigma_rejected() {
+        let p = FeFetParams { sigma_vth: -0.01, ..FeFetParams::default() };
+        assert!(p.validate().is_err());
+    }
+}

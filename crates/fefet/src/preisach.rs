@@ -1,0 +1,157 @@
+//! Ferroelectric switching kinetics (nucleation-limited-switching flavor of
+//! the Preisach picture).
+//!
+//! The full Preisach model integrates a distribution of elementary square
+//! hysteresis operators. For the UniCAIM architecture only three
+//! consequences matter:
+//!
+//! 1. pulses drive the polarization *toward the pole of their sign* and never
+//!    away from it (minor loops are nested — real hysteresis);
+//! 2. a finite pulse switches only a fraction of the remaining
+//!    un-switched domains, with a rate that accelerates exponentially in the
+//!    overdrive above the coercive voltage (nucleation-limited switching) —
+//!    this is what yields gradually modulated multilevel `V_TH` (Fig. 2b/2c);
+//! 3. sub-coercive pulses (all reads) switch exactly nothing.
+
+use serde::{Deserialize, Serialize};
+
+use crate::FeFetParams;
+
+/// A gate program pulse: signed amplitude and duration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PulseSpec {
+    /// Pulse amplitude, volts. Positive pulses drive the polarization toward
+    /// +1 (low `V_TH`); negative pulses toward −1 (high `V_TH`).
+    pub amplitude: f64,
+    /// Pulse width, seconds.
+    pub width: f64,
+}
+
+impl PulseSpec {
+    /// Creates a pulse with the model's default width.
+    #[must_use]
+    pub fn with_default_width(amplitude: f64, params: &FeFetParams) -> Self {
+        Self { amplitude, width: params.pulse_width }
+    }
+}
+
+/// Fraction of the *remaining* polarization distance a single pulse switches.
+///
+/// Nucleation-limited switching: `1 − exp(−t_pulse/τ(v))` with
+/// `τ(v) = τ₀ · exp(−(|v| − V_c)/v₀)`. Sub-coercive pulses return exactly
+/// `0.0` (non-destructive read guarantee).
+#[must_use]
+pub fn switching_fraction(params: &FeFetParams, pulse: PulseSpec) -> f64 {
+    let overdrive = pulse.amplitude.abs() - params.coercive_voltage;
+    if overdrive <= 0.0 || pulse.width <= 0.0 {
+        return 0.0;
+    }
+    let tau = params.tau0 * (-overdrive / params.switching_voltage_scale).exp();
+    1.0 - (-pulse.width / tau).exp()
+}
+
+/// Polarization reached from the **opposite** fully poled state by a single
+/// default-width pulse of the given amplitude — the quasi-static switching
+/// branch of the P–V loop (Fig. 2b).
+///
+/// For a positive amplitude the device starts at −1 and lands at
+/// `2·s(v) − 1`; sub-coercive amplitudes land back at ∓1 (nothing switches).
+/// Odd in the amplitude by construction.
+#[must_use]
+pub fn saturation_polarization(params: &FeFetParams, amplitude: f64) -> f64 {
+    if amplitude == 0.0 {
+        return 0.0;
+    }
+    let s = switching_fraction(params, PulseSpec::with_default_width(amplitude.abs(), params));
+    amplitude.signum() * (2.0 * s - 1.0)
+}
+
+/// Pulse width (seconds) needed to switch the given fraction of the remaining
+/// polarization at the given amplitude.
+///
+/// Inverse of [`switching_fraction`] in the width argument. Returns `None`
+/// for sub-coercive amplitudes (no width suffices) or for `fraction`
+/// outside `[0, 1)`.
+#[must_use]
+pub fn width_for_fraction(params: &FeFetParams, amplitude: f64, fraction: f64) -> Option<f64> {
+    let overdrive = amplitude.abs() - params.coercive_voltage;
+    if overdrive <= 0.0 || !(0.0..1.0).contains(&fraction) {
+        return None;
+    }
+    let tau = params.tau0 * (-overdrive / params.switching_voltage_scale).exp();
+    Some(-tau * (1.0 - fraction).ln())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> FeFetParams {
+        FeFetParams::default()
+    }
+
+    #[test]
+    fn saturation_is_odd() {
+        let params = p();
+        for v in [0.5, 2.6, 3.0, 3.5, 4.0, 6.0] {
+            let pos = saturation_polarization(&params, v);
+            let neg = saturation_polarization(&params, -v);
+            assert!((pos + neg).abs() < 1e-12, "odd symmetry violated at {v}");
+        }
+    }
+
+    #[test]
+    fn saturation_monotone_and_bounded() {
+        let params = p();
+        let mut last = -1.0;
+        for i in 0..200 {
+            let v = 0.02 * f64::from(i) + 0.01;
+            let s = saturation_polarization(&params, v);
+            assert!(s >= last - 1e-12, "branch curve must be non-decreasing");
+            assert!((-1.0..=1.0).contains(&s));
+            last = s;
+        }
+        assert!(last > 0.95, "strong pulses must nearly fully switch, got {last}");
+    }
+
+    #[test]
+    fn subcoercive_pulse_switches_nothing() {
+        let params = p();
+        assert_eq!(saturation_polarization(&params, 1.0), -1.0);
+        let frac =
+            switching_fraction(&params, PulseSpec { amplitude: params.read_voltage, width: 1.0 });
+        assert_eq!(frac, 0.0, "read voltage must never switch polarization");
+    }
+
+    #[test]
+    fn switching_fraction_increases_with_amplitude_and_width() {
+        let params = p();
+        let f1 = switching_fraction(&params, PulseSpec { amplitude: 2.8, width: 100e-9 });
+        let f2 = switching_fraction(&params, PulseSpec { amplitude: 3.2, width: 100e-9 });
+        let f3 = switching_fraction(&params, PulseSpec { amplitude: 2.8, width: 400e-9 });
+        assert!(f2 > f1, "stronger pulses switch more");
+        assert!(f3 > f1, "longer pulses switch more");
+        assert!(f1 > 0.0 && f2 <= 1.0 && f3 <= 1.0);
+    }
+
+    #[test]
+    fn width_for_fraction_inverts_kinetics() {
+        let params = p();
+        for fraction in [0.01, 0.25, 0.5, 0.9, 0.999] {
+            let w = width_for_fraction(&params, 3.0, fraction).expect("over-coercive");
+            let got = switching_fraction(&params, PulseSpec { amplitude: 3.0, width: w });
+            assert!(
+                (got - fraction).abs() < 1e-9,
+                "inversion failed: fraction {fraction}, width {w}, got {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn width_for_fraction_rejects_bad_inputs() {
+        let params = p();
+        assert!(width_for_fraction(&params, 1.0, 0.5).is_none(), "sub-coercive");
+        assert!(width_for_fraction(&params, 3.0, 1.0).is_none(), "fraction 1 needs infinite width");
+        assert!(width_for_fraction(&params, 3.0, -0.1).is_none());
+    }
+}

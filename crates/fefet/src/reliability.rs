@@ -1,0 +1,169 @@
+//! Reliability effects: polarization retention loss and program/erase
+//! endurance degradation.
+//!
+//! The UniCAIM architecture leans on FeFET non-volatility (keys persist
+//! between decode steps without refresh) and on frequent in-place key
+//! rewrites (one row per decode step). This module provides behavioral
+//! models of the two corresponding wear-out axes so their architectural
+//! impact can be ablated:
+//!
+//! * **Retention** — remanent polarization relaxes toward zero with a
+//!   stretched-exponential law `P(t) = P₀·exp(−(t/τ)^β)`; HfO₂ FeFETs
+//!   typically extrapolate to 10-year retention, so decode-scale times
+//!   (ns–ms) lose nothing.
+//! * **Endurance** — repeated program/erase cycling degrades the memory
+//!   window logarithmically: `MW(N) = MW₀·(1 − α·log₁₀(1 + N/N₀))`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{FeFet, FeFetModel};
+
+/// Retention model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetentionModel {
+    /// Relaxation time constant, seconds (default ≈10 years).
+    pub tau: f64,
+    /// Stretching exponent β in `exp(−(t/τ)^β)`.
+    pub beta: f64,
+}
+
+impl Default for RetentionModel {
+    fn default() -> Self {
+        Self { tau: 3.15e8, beta: 0.5 }
+    }
+}
+
+impl RetentionModel {
+    /// Fraction of polarization surviving after `seconds` of storage.
+    #[must_use]
+    pub fn survival(&self, seconds: f64) -> f64 {
+        if seconds <= 0.0 {
+            return 1.0;
+        }
+        (-(seconds / self.tau).powf(self.beta)).exp()
+    }
+
+    /// Relaxes a device's polarization in place.
+    pub fn age(&self, model: &FeFetModel, dev: &mut FeFet, seconds: f64) {
+        let survive = self.survival(seconds);
+        let target = dev.polarization() * survive;
+        // Reprogram the state directly: retention loss is not a field-driven
+        // switching event, so bypass the pulse path.
+        model.set_polarization(dev, target);
+    }
+}
+
+/// Endurance model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnduranceModel {
+    /// Window-narrowing coefficient α per decade of cycles.
+    pub alpha: f64,
+    /// Cycle count where degradation onsets.
+    pub n0: f64,
+    /// Cycles at which the device is considered failed (window below the
+    /// sensing margin).
+    pub n_fail: u64,
+}
+
+impl Default for EnduranceModel {
+    fn default() -> Self {
+        // HfO2 FeFET-class: ~1e10 cycle endurance, mild narrowing onset
+        // beyond ~1e6 cycles.
+        Self { alpha: 0.04, n0: 1e6, n_fail: 10_000_000_000 }
+    }
+}
+
+impl EnduranceModel {
+    /// Remaining memory-window fraction after `cycles` program/erase
+    /// cycles (clamped to ≥ 0).
+    #[must_use]
+    pub fn window_fraction(&self, cycles: u64) -> f64 {
+        let decades = (1.0 + cycles as f64 / self.n0).log10();
+        (1.0 - self.alpha * decades).max(0.0)
+    }
+
+    /// Whether the device still meets its sensing margin.
+    #[must_use]
+    pub fn alive(&self, cycles: u64) -> bool {
+        cycles < self.n_fail
+    }
+
+    /// Cycles consumed by an array that rewrites one row (of `cells_per_row`
+    /// cells, 2 FeFETs each) per decode step, expressed as per-device
+    /// cycles after `steps` decode steps with `rows` rows (uniform wear).
+    #[must_use]
+    pub fn per_device_cycles(&self, steps: u64, rows: u64) -> u64 {
+        if rows == 0 {
+            return 0;
+        }
+        steps.div_ceil(rows)
+    }
+
+    /// Decode steps until the most-worn device fails, assuming one row
+    /// write per step spread uniformly over `rows` rows (the paper's
+    /// in-place eviction naturally wear-levels across the reserved rows).
+    #[must_use]
+    pub fn steps_until_failure(&self, rows: u64) -> u64 {
+        self.n_fail.saturating_mul(rows.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FeFetParams;
+
+    #[test]
+    fn retention_is_negligible_at_decode_timescales() {
+        let r = RetentionModel::default();
+        // A full decode of 1M steps at 100 ns/step = 0.1 s.
+        let s = r.survival(0.1);
+        assert!(s > 0.999, "decode-scale retention loss must be negligible, got {s}");
+    }
+
+    #[test]
+    fn retention_decays_toward_zero_at_year_scale() {
+        let r = RetentionModel::default();
+        let ten_years = 3.15e8;
+        let s = r.survival(ten_years);
+        assert!(s < 0.5 && s > 0.1, "10-year survival should be partial, got {s}");
+        assert!(r.survival(100.0 * ten_years) < s);
+        assert_eq!(r.survival(0.0), 1.0);
+    }
+
+    #[test]
+    fn aging_relaxes_polarization_in_place() {
+        let model = FeFetModel::new(FeFetParams::default());
+        let retention = RetentionModel::default();
+        let mut dev = crate::FeFet::fresh();
+        model.program_polarization(&mut dev, 0.8);
+        retention.age(&model, &mut dev, 3.15e8);
+        assert!(dev.polarization() < 0.8 && dev.polarization() > 0.0);
+    }
+
+    #[test]
+    fn endurance_window_narrows_logarithmically() {
+        let e = EnduranceModel::default();
+        assert!((e.window_fraction(0) - 1.0).abs() < 1e-12);
+        let w6 = e.window_fraction(1_000_000);
+        let w9 = e.window_fraction(1_000_000_000);
+        assert!(w9 < w6 && w6 < 1.0);
+        assert!(w9 > 0.8, "1e9 cycles should keep most of the window, got {w9}");
+    }
+
+    #[test]
+    fn in_place_eviction_wear_levels() {
+        let e = EnduranceModel::default();
+        // 64 reserved rows, one write per step: each row is rewritten every
+        // 64 steps, so endurance translates to 64x more decode steps.
+        assert_eq!(e.per_device_cycles(6400, 64), 100);
+        assert_eq!(e.steps_until_failure(64), 64 * e.n_fail);
+    }
+
+    #[test]
+    fn failure_threshold() {
+        let e = EnduranceModel::default();
+        assert!(e.alive(1_000_000));
+        assert!(!e.alive(e.n_fail));
+    }
+}

@@ -1,0 +1,184 @@
+//! Characterization sweeps reproducing the device plots of paper Fig. 2.
+
+use serde::{Deserialize, Serialize};
+
+use crate::preisach::PulseSpec;
+use crate::{FeFet, FeFetModel};
+
+/// One point of a polarization–voltage loop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PvPoint {
+    /// Applied gate voltage, volts.
+    pub voltage: f64,
+    /// Resulting normalized remanent polarization.
+    pub polarization: f64,
+}
+
+/// A quasi-static polarization–voltage hysteresis loop (paper Fig. 2b).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PvLoop {
+    /// Peak sweep amplitude, volts.
+    pub amplitude: f64,
+    /// Loop points in sweep order (up then down).
+    pub points: Vec<PvPoint>,
+}
+
+impl PvLoop {
+    /// Maximum polarization reached on this loop.
+    #[must_use]
+    pub fn p_max(&self) -> f64 {
+        self.points.iter().map(|p| p.polarization).fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Minimum polarization reached on this loop.
+    #[must_use]
+    pub fn p_min(&self) -> f64 {
+        self.points.iter().map(|p| p.polarization).fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Sweeps a device around a voltage loop of the given peak amplitude,
+/// recording the remanent polarization after each step (one default-width
+/// pulse per step). One unrecorded conditioning cycle is run first so the
+/// recorded loop is the stabilized one; multiple amplitudes then give the
+/// nested minor loops of Fig. 2b that demonstrate multilevel polarization.
+#[must_use]
+pub fn pv_loop(model: &FeFetModel, amplitude: f64, steps_per_branch: usize) -> PvLoop {
+    let steps = steps_per_branch.max(2);
+    let mut dev = FeFet::fresh();
+    let width = model.params().pulse_width; // one default-width pulse per step
+    let sweep = |from: f64, to: f64, dev: &mut FeFet, points: &mut Vec<PvPoint>| {
+        for i in 0..steps {
+            let v = from + (to - from) * i as f64 / (steps - 1) as f64;
+            model.apply_pulse(dev, PulseSpec { amplitude: v, width });
+            points.push(PvPoint { voltage: v, polarization: dev.polarization() });
+        }
+    };
+    // Conditioning cycle (discarded).
+    let mut scratch = Vec::new();
+    sweep(-amplitude, amplitude, &mut dev, &mut scratch);
+    sweep(amplitude, -amplitude, &mut dev, &mut scratch);
+    // Recorded, stabilized cycle.
+    let mut points = Vec::with_capacity(2 * steps);
+    sweep(-amplitude, amplitude, &mut dev, &mut points);
+    sweep(amplitude, -amplitude, &mut dev, &mut points);
+    PvLoop { amplitude, points }
+}
+
+/// One point of an I_D–V_G transfer curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IdVgPoint {
+    /// Gate voltage, volts.
+    pub v_g: f64,
+    /// Drain current, amps.
+    pub i_d: f64,
+}
+
+/// An I_D–V_G transfer curve for one programmed state (paper Fig. 2c).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IdVgCurve {
+    /// Normalized polarization the device was programmed to.
+    pub polarization: f64,
+    /// Threshold voltage of the programmed state, volts.
+    pub vth: f64,
+    /// Transfer-curve points in increasing `v_g` order.
+    pub points: Vec<IdVgPoint>,
+}
+
+/// Programs a device to each polarization in `levels` and sweeps `v_g` over
+/// `[vg_min, vg_max]`, producing the gradually modulated transfer-curve
+/// family of Fig. 2c.
+#[must_use]
+pub fn id_vg_sweep(
+    model: &FeFetModel,
+    levels: &[f64],
+    vg_min: f64,
+    vg_max: f64,
+    n_points: usize,
+) -> Vec<IdVgCurve> {
+    let n = n_points.max(2);
+    levels
+        .iter()
+        .map(|&pol| {
+            let mut dev = FeFet::fresh();
+            model.program_polarization(&mut dev, pol);
+            let vth = model.vth(&dev);
+            let points = (0..n)
+                .map(|i| {
+                    let v_g = vg_min + (vg_max - vg_min) * i as f64 / (n - 1) as f64;
+                    IdVgPoint { v_g, i_d: model.drain_current(&dev, v_g, model.params().vds_read) }
+                })
+                .collect();
+            IdVgCurve { polarization: pol, vth, points }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preisach::saturation_polarization;
+    use crate::FeFetParams;
+
+    fn model() -> FeFetModel {
+        FeFetModel::new(FeFetParams::default())
+    }
+
+    #[test]
+    fn full_loop_shows_hysteresis() {
+        let m = model();
+        let loop_ = pv_loop(&m, 4.0, 60);
+        assert!(loop_.p_max() > 0.8, "p_max {}", loop_.p_max());
+        assert!(loop_.p_min() < -0.8, "p_min {}", loop_.p_min());
+        // Hysteresis: polarization at V=0 differs between the two branches.
+        let up = loop_.points.iter().take(60).min_by(|a, b| {
+            (a.voltage.abs()).partial_cmp(&b.voltage.abs()).unwrap()
+        });
+        let down = loop_.points.iter().skip(60).min_by(|a, b| {
+            (a.voltage.abs()).partial_cmp(&b.voltage.abs()).unwrap()
+        });
+        let (up, down) = (up.unwrap(), down.unwrap());
+        assert!(
+            (up.polarization - down.polarization).abs() > 0.5,
+            "no hysteresis: up branch {} vs down branch {}",
+            up.polarization,
+            down.polarization
+        );
+    }
+
+    #[test]
+    fn minor_loops_are_nested() {
+        let m = model();
+        let small = pv_loop(&m, 3.0, 60);
+        let large = pv_loop(&m, 4.5, 60);
+        assert!(small.p_max() < large.p_max());
+        assert!(small.p_min() > large.p_min());
+        // Sequential sweep pulses accumulate at least as much switching as a
+        // single branch pulse of the peak amplitude.
+        assert!(large.p_max() >= saturation_polarization(m.params(), 4.5) - 0.05);
+    }
+
+    #[test]
+    fn idvg_family_is_ordered() {
+        let m = model();
+        let curves = id_vg_sweep(&m, &[-1.0, -0.5, 0.0, 0.5, 1.0], 0.0, 1.6, 40);
+        assert_eq!(curves.len(), 5);
+        // At a fixed mid-range gate voltage, current must increase with
+        // programmed polarization (lower vth conducts more).
+        let idx = 30;
+        let mut last = 0.0;
+        for c in &curves {
+            let i = c.points[idx].i_d;
+            assert!(i >= last, "family must be ordered by polarization");
+            last = i;
+        }
+    }
+
+    #[test]
+    fn idvg_vth_shift_spans_memory_window() {
+        let m = model();
+        let curves = id_vg_sweep(&m, &[-1.0, 1.0], 0.0, 1.6, 10);
+        let shift = curves[0].vth - curves[1].vth;
+        assert!((shift - m.params().memory_window()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests of the FeFET device model invariants.
+
+use proptest::prelude::*;
+use unicaim_fefet::{
+    saturation_polarization, switching_fraction, FeFet, FeFetModel, FeFetParams, LevelProgrammer,
+    PulseSpec, VariationModel, VthGrid,
+};
+
+fn model() -> FeFetModel {
+    FeFetModel::new(FeFetParams::default())
+}
+
+proptest! {
+    /// Polarization never leaves [-1, 1] no matter what pulse train is applied.
+    #[test]
+    fn polarization_stays_bounded(pulses in proptest::collection::vec((-6.0f64..6.0, 1e-9f64..1e-6), 1..40)) {
+        let m = model();
+        let mut dev = FeFet::fresh();
+        for (amplitude, width) in pulses {
+            m.apply_pulse(&mut dev, PulseSpec { amplitude, width });
+            prop_assert!((-1.0..=1.0).contains(&dev.polarization()));
+        }
+    }
+
+    /// Sub-coercive pulses never change state (non-destructive read).
+    #[test]
+    fn subcoercive_never_disturbs(amp in -2.4f64..2.4, width in 1e-9f64..1e-3, target in -1.0f64..1.0) {
+        let m = model();
+        let mut dev = FeFet::fresh();
+        m.program_polarization(&mut dev, target);
+        let before = dev.polarization();
+        m.apply_pulse(&mut dev, PulseSpec { amplitude: amp, width });
+        prop_assert_eq!(dev.polarization(), before);
+    }
+
+    /// Saturation polarization is odd and bounded by [-1, 1].
+    #[test]
+    fn saturation_odd_bounded(v in -8.0f64..8.0) {
+        let p = FeFetParams::default();
+        let s = saturation_polarization(&p, v);
+        let s_neg = saturation_polarization(&p, -v);
+        prop_assert!((s + s_neg).abs() < 1e-12);
+        prop_assert!(s.abs() <= 1.0);
+    }
+
+    /// Switching fraction lies in [0, 1] and is monotone in pulse width.
+    #[test]
+    fn switching_fraction_bounds(amp in 0.0f64..8.0, w1 in 1e-10f64..1e-4, scale in 1.0f64..100.0) {
+        let p = FeFetParams::default();
+        let f1 = switching_fraction(&p, PulseSpec { amplitude: amp, width: w1 });
+        let f2 = switching_fraction(&p, PulseSpec { amplitude: amp, width: w1 * scale });
+        prop_assert!((0.0..=1.0).contains(&f1));
+        prop_assert!((0.0..=1.0).contains(&f2));
+        prop_assert!(f2 >= f1);
+    }
+
+    /// Programming any target polarization lands the intrinsic vth on the
+    /// linear map of that target.
+    #[test]
+    fn program_then_vth_roundtrip(target in -1.0f64..1.0) {
+        let m = model();
+        let p = *m.params();
+        let mut dev = FeFet::fresh();
+        m.program_polarization(&mut dev, target);
+        let want = p.vth_mid() - 0.5 * p.memory_window() * target;
+        prop_assert!((m.vth(&dev) - want).abs() < 1e-9);
+    }
+
+    /// Drain current is monotone non-decreasing in gate voltage.
+    #[test]
+    fn current_monotone_vg(vth in 0.2f64..1.4, vg_lo in -0.5f64..1.5, dv in 0.001f64..0.5, vds in 0.01f64..1.0) {
+        let m = model();
+        let i_lo = m.drain_current_at_vth(vth, vg_lo, vds);
+        let i_hi = m.drain_current_at_vth(vth, vg_lo + dv, vds);
+        prop_assert!(i_hi >= i_lo);
+    }
+
+    /// Drain current is monotone non-increasing in threshold voltage.
+    #[test]
+    fn current_monotone_vth(vth_lo in 0.2f64..1.3, dv in 0.001f64..0.1, vg in 0.0f64..1.6, vds in 0.01f64..1.0) {
+        let m = model();
+        let i_lo_vth = m.drain_current_at_vth(vth_lo, vg, vds);
+        let i_hi_vth = m.drain_current_at_vth(vth_lo + dv, vg, vds);
+        prop_assert!(i_hi_vth <= i_lo_vth);
+    }
+
+    /// Drain current is always at least the leakage floor and finite.
+    #[test]
+    fn current_positive_finite(vth in 0.0f64..2.0, vg in -1.0f64..2.0, vds in 0.0f64..1.2) {
+        let m = model();
+        let i = m.drain_current_at_vth(vth, vg, vds);
+        prop_assert!(i >= m.params().leakage);
+        prop_assert!(i.is_finite());
+    }
+
+    /// Level programming is idempotent: programming the same level twice
+    /// gives the same vth.
+    #[test]
+    fn level_programming_idempotent(level in 0usize..5) {
+        let m = model();
+        let grid = VthGrid::new(&m, 5).unwrap();
+        let prog = LevelProgrammer::new(grid);
+        let mut dev = FeFet::fresh();
+        prog.program(&m, &mut dev, level).unwrap();
+        let first = m.vth(&dev);
+        prog.program(&m, &mut dev, level).unwrap();
+        prop_assert!((m.vth(&dev) - first).abs() < 1e-12);
+    }
+
+    /// Variation offsets are deterministic and independent of call order.
+    #[test]
+    fn variation_deterministic(seed in 0u64..1000, idx in 0u64..10_000) {
+        let v1 = VariationModel::paper_default(seed);
+        let v2 = VariationModel::paper_default(seed);
+        prop_assert_eq!(v1.offset(idx), v2.offset(idx));
+    }
+}

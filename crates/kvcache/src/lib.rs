@@ -1,0 +1,69 @@
+//! KV-cache pruning policies for long-context LLM inference.
+//!
+//! This crate implements the *algorithm* side of the UniCAIM paper —
+//! the hybrid static-dynamic KV-cache pruning framework of Section III.A —
+//! together with the baselines it is compared against:
+//!
+//! | Policy | Kind | Reference |
+//! |---|---|---|
+//! | [`HybridStaticDynamic`] | static (prefill + decode) **and** dynamic top-k | this paper |
+//! | [`StreamingLlm`] | static, fixed pattern (sinks + recent window) | Xiao et al. 2023 |
+//! | [`SnapKv`] | static, one-shot prefill compression via observation window | Li et al. 2024 |
+//! | [`H2O`] | static, accumulated-attention heavy hitters + recents | Zhang et al. 2024 |
+//! | [`OracleTopK`] | dynamic, exact per-step top-k (upper bound) | Quest-style |
+//! | [`FullCache`] | none (exact attention reference) | — |
+//!
+//! Policies are driven by the [`simulate_decode`] harness over the synthetic
+//! long-context workloads of [`unicaim_attention::workloads`], producing
+//! retrieval and output-fidelity metrics (the Fig. 13 substitution — see
+//! DESIGN.md).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use unicaim_attention::workloads::needle_task;
+//! use unicaim_kvcache::{simulate_decode, HybridStaticDynamic, SimConfig};
+//!
+//! let workload = needle_task(128, 16, 7);
+//! let mut policy = HybridStaticDynamic::new(48, 16, 8);
+//! let result = simulate_decode(&workload, &mut policy, &SimConfig::new(64, 8));
+//! assert!(result.salient_recall > 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod policy;
+mod score;
+mod sim;
+
+pub mod policies;
+
+pub use policies::{
+    BlockTopK, FullCache, H2O, HybridStaticDynamic, OracleTopK, SnapKv, StreamingLlm,
+};
+pub use policy::{accumulated_prefill_scores, top_indices_by_score, Policy, StepDecision};
+pub use score::ScoreTable;
+pub use sim::{
+    prefill_attention_matrix, ratio_capacity, simulate_decode, SimConfig, SimResult,
+};
+
+/// Errors reported by the KV-cache policy layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KvCacheError {
+    /// A configuration value failed validation.
+    InvalidConfig {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl core::fmt::Display for KvCacheError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            KvCacheError::InvalidConfig { reason } => write!(f, "invalid config: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for KvCacheError {}

@@ -1,0 +1,644 @@
+//! Policy implementations: the paper's hybrid scheme and the baselines.
+
+use unicaim_attention::Matrix;
+
+use crate::policy::{accumulated_prefill_scores, top_indices_by_score, Policy, StepDecision};
+use crate::score::ScoreTable;
+
+fn select_all(scored: &[(usize, f32)]) -> StepDecision {
+    StepDecision { selected: scored.iter().map(|&(t, _)| t).collect() }
+}
+
+fn select_top_k(scored: &[(usize, f32)], k: usize) -> StepDecision {
+    let mut idx: Vec<usize> = (0..scored.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scored[b]
+            .1
+            .partial_cmp(&scored[a].1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(scored[a].0.cmp(&scored[b].0))
+    });
+    idx.truncate(k);
+    let mut selected: Vec<usize> = idx.into_iter().map(|i| scored[i].0).collect();
+    selected.sort_unstable();
+    StepDecision { selected }
+}
+
+/// No pruning: every token is kept and attended to (the exact-attention
+/// reference).
+#[derive(Debug, Clone, Default)]
+pub struct FullCache;
+
+impl FullCache {
+    /// Creates the policy.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Policy for FullCache {
+    fn name(&self) -> &'static str {
+        "full"
+    }
+
+    fn prefill_keep(&mut self, attn: &Matrix, budget: usize) -> Vec<usize> {
+        (0..attn.rows().min(budget)).collect()
+    }
+
+    fn select(&mut self, _step: usize, scored: &[(usize, f32)], _k: usize) -> StepDecision {
+        select_all(scored)
+    }
+
+    fn observe(&mut self, _step: usize, _weights: &[(usize, f32)]) {}
+
+    fn evict(&mut self, _step: usize, _resident: &[usize]) -> Option<usize> {
+        None
+    }
+}
+
+/// StreamingLLM (Xiao et al., 2023): a fixed sparse pattern keeping the
+/// first `n_sinks` attention-sink tokens plus a recency window. Static, no
+/// score bookkeeping — the pattern the TranCIM-style CIM baseline supports.
+#[derive(Debug, Clone)]
+pub struct StreamingLlm {
+    n_sinks: usize,
+}
+
+impl StreamingLlm {
+    /// Creates the policy with the given number of protected sink tokens.
+    #[must_use]
+    pub fn new(n_sinks: usize) -> Self {
+        Self { n_sinks }
+    }
+}
+
+impl Policy for StreamingLlm {
+    fn name(&self) -> &'static str {
+        "streaming_llm"
+    }
+
+    fn prefill_keep(&mut self, attn: &Matrix, budget: usize) -> Vec<usize> {
+        let seq = attn.rows();
+        let sinks = self.n_sinks.min(budget).min(seq);
+        let recent = budget - sinks;
+        let mut keep: Vec<usize> = (0..sinks).collect();
+        keep.extend(seq.saturating_sub(recent)..seq);
+        keep.sort_unstable();
+        keep.dedup();
+        keep
+    }
+
+    fn select(&mut self, _step: usize, scored: &[(usize, f32)], _k: usize) -> StepDecision {
+        select_all(scored)
+    }
+
+    fn observe(&mut self, _step: usize, _weights: &[(usize, f32)]) {}
+
+    fn evict(&mut self, _step: usize, resident: &[usize]) -> Option<usize> {
+        // Evict the oldest non-sink token (the window slides).
+        resident.iter().copied().find(|&t| t >= self.n_sinks)
+    }
+}
+
+/// H2O (Zhang et al., 2024): keeps "heavy hitters" by accumulated attention
+/// plus a protected recency budget.
+#[derive(Debug, Clone)]
+pub struct H2O {
+    recent_budget: usize,
+    table: ScoreTable,
+}
+
+impl H2O {
+    /// Creates the policy; `recent_budget` tokens are protected from
+    /// eviction by recency.
+    #[must_use]
+    pub fn new(recent_budget: usize) -> Self {
+        Self { recent_budget, table: ScoreTable::accumulating() }
+    }
+}
+
+impl Policy for H2O {
+    fn name(&self) -> &'static str {
+        "h2o"
+    }
+
+    fn prefill_keep(&mut self, attn: &Matrix, budget: usize) -> Vec<usize> {
+        let seq = attn.rows();
+        let acc = accumulated_prefill_scores(attn, None);
+        let recent = self.recent_budget.min(budget).min(seq);
+        let recent_set: Vec<usize> = (seq - recent..seq).collect();
+        let mut masked = acc.clone();
+        for &t in &recent_set {
+            masked[t] = f64::NEG_INFINITY; // already kept via recency
+        }
+        let mut keep = top_indices_by_score(&masked, budget - recent);
+        keep.extend(recent_set);
+        keep.sort_unstable();
+        keep.dedup();
+        for &t in &keep {
+            self.table.insert(t, acc[t]);
+        }
+        keep
+    }
+
+    fn select(&mut self, _step: usize, scored: &[(usize, f32)], _k: usize) -> StepDecision {
+        select_all(scored)
+    }
+
+    fn observe(&mut self, _step: usize, weights: &[(usize, f32)]) {
+        for &(t, w) in weights {
+            self.table.observe(t, f64::from(w));
+        }
+    }
+
+    fn evict(&mut self, _step: usize, resident: &[usize]) -> Option<usize> {
+        if resident.is_empty() {
+            return None;
+        }
+        // Protect the most recent `recent_budget` tokens.
+        let mut sorted = resident.to_vec();
+        sorted.sort_unstable();
+        let cutoff = sorted.len().saturating_sub(self.recent_budget);
+        let candidates = &sorted[..cutoff.max(1).min(sorted.len())];
+        self.table.min_among(candidates)
+    }
+}
+
+/// SnapKV (Li et al., 2024): one-shot prefill compression ranking tokens by
+/// the attention they receive from the last `obs_window` prompt queries
+/// (the "observation window"), which is also kept verbatim. No decode-time
+/// bookkeeping.
+#[derive(Debug, Clone)]
+pub struct SnapKv {
+    obs_window: usize,
+}
+
+impl SnapKv {
+    /// Creates the policy with the given observation-window length.
+    #[must_use]
+    pub fn new(obs_window: usize) -> Self {
+        Self { obs_window }
+    }
+}
+
+impl Policy for SnapKv {
+    fn name(&self) -> &'static str {
+        "snapkv"
+    }
+
+    fn prefill_keep(&mut self, attn: &Matrix, budget: usize) -> Vec<usize> {
+        let seq = attn.rows();
+        let window = self.obs_window.min(budget).min(seq);
+        let window_set: Vec<usize> = (seq - window..seq).collect();
+        let acc = accumulated_prefill_scores(attn, Some(window));
+        let mut masked = acc;
+        for &t in &window_set {
+            masked[t] = f64::NEG_INFINITY;
+        }
+        let mut keep = top_indices_by_score(&masked, budget - window);
+        keep.extend(window_set);
+        keep.sort_unstable();
+        keep.dedup();
+        keep
+    }
+
+    fn select(&mut self, _step: usize, scored: &[(usize, f32)], _k: usize) -> StepDecision {
+        select_all(scored)
+    }
+
+    fn observe(&mut self, _step: usize, _weights: &[(usize, f32)]) {}
+
+    fn evict(&mut self, _step: usize, resident: &[usize]) -> Option<usize> {
+        // SnapKV's cache grows during decode; the harness sizes its capacity
+        // so this path is cold. Under a hard cap, shed the oldest resident.
+        resident.first().copied()
+    }
+}
+
+/// Oracle per-step dynamic top-k (Quest-style upper bound): exact scores,
+/// exact top-k, no static pruning.
+#[derive(Debug, Clone)]
+pub struct OracleTopK;
+
+impl OracleTopK {
+    /// Creates the policy.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Default for OracleTopK {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Policy for OracleTopK {
+    fn name(&self) -> &'static str {
+        "oracle_topk"
+    }
+
+    fn prefill_keep(&mut self, attn: &Matrix, budget: usize) -> Vec<usize> {
+        (0..attn.rows().min(budget)).collect()
+    }
+
+    fn select(&mut self, _step: usize, scored: &[(usize, f32)], k: usize) -> StepDecision {
+        select_top_k(scored, k)
+    }
+
+    fn observe(&mut self, _step: usize, _weights: &[(usize, f32)]) {}
+
+    fn evict(&mut self, _step: usize, resident: &[usize]) -> Option<usize> {
+        resident.first().copied()
+    }
+}
+
+/// InfLLM/Quest-style block-based dynamic pruning: the cache is viewed in
+/// contiguous token blocks; each block is ranked by its best (maximum)
+/// token score and blocks are selected until the top-k token budget is
+/// covered. Block granularity makes the lookup cheap on conventional
+/// hardware but coarser than per-token top-k.
+#[derive(Debug, Clone)]
+pub struct BlockTopK {
+    block: usize,
+}
+
+impl BlockTopK {
+    /// Creates the policy with the given block size (tokens per block).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is zero.
+    #[must_use]
+    pub fn new(block: usize) -> Self {
+        assert!(block > 0, "block size must be nonzero");
+        Self { block }
+    }
+
+    /// The block size.
+    #[must_use]
+    pub fn block(&self) -> usize {
+        self.block
+    }
+}
+
+impl Policy for BlockTopK {
+    fn name(&self) -> &'static str {
+        "block_topk"
+    }
+
+    fn prefill_keep(&mut self, attn: &Matrix, budget: usize) -> Vec<usize> {
+        (0..attn.rows().min(budget)).collect()
+    }
+
+    fn select(&mut self, _step: usize, scored: &[(usize, f32)], k: usize) -> StepDecision {
+        if scored.is_empty() || k == 0 {
+            return StepDecision { selected: Vec::new() };
+        }
+        // Group resident tokens into blocks by token id.
+        let mut blocks: std::collections::BTreeMap<usize, (f32, Vec<usize>)> =
+            std::collections::BTreeMap::new();
+        for &(token, score) in scored {
+            let entry = blocks
+                .entry(token / self.block)
+                .or_insert((f32::NEG_INFINITY, Vec::new()));
+            entry.0 = entry.0.max(score);
+            entry.1.push(token);
+        }
+        // Rank blocks by representative (max) score.
+        let mut ranked: Vec<(f32, Vec<usize>)> = blocks.into_values().collect();
+        ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut selected = Vec::new();
+        for (_, tokens) in ranked {
+            if selected.len() >= k {
+                break;
+            }
+            selected.extend(tokens);
+        }
+        selected.truncate(k.max(self.block));
+        selected.sort_unstable();
+        StepDecision { selected }
+    }
+
+    fn observe(&mut self, _step: usize, _weights: &[(usize, f32)]) {}
+
+    fn evict(&mut self, _step: usize, resident: &[usize]) -> Option<usize> {
+        resident.first().copied()
+    }
+}
+
+/// The paper's hybrid static-dynamic policy (Section III.A):
+///
+/// * **prefill**: keep the `H` tokens with the highest accumulated
+///   attention scores (one-shot static pruning);
+/// * **decode**: select the top-`k` resident tokens by similarity for exact
+///   attention (dynamic pruning), maintain a table of accumulated attention
+///   scores over *all* residents, and when the cache is full evict the
+///   resident with the lowest accumulated score, writing the new token into
+///   its slot (step-wise static pruning, fixed `H+M` cache).
+///
+/// # Examples
+///
+/// ```
+/// use unicaim_attention::workloads::needle_task;
+/// use unicaim_kvcache::{simulate_decode, HybridStaticDynamic, SimConfig};
+///
+/// let workload = needle_task(128, 16, 1);
+/// let mut policy = HybridStaticDynamic::new(48, 16, 16); // H, M, k
+/// let result = simulate_decode(
+///     &workload,
+///     &mut policy,
+///     &SimConfig::new(64, 16).with_prefill_budget(48),
+/// );
+/// assert!(result.salient_recall > 0.9); // the needle survives pruning
+/// ```
+#[derive(Debug, Clone)]
+pub struct HybridStaticDynamic {
+    h: usize,
+    m: usize,
+    k: usize,
+    protect_recent: usize,
+    table: ScoreTable,
+    newest: Vec<usize>,
+}
+
+impl HybridStaticDynamic {
+    /// Creates the policy with `h` heavy prefill tokens, `m` reserved decode
+    /// slots, and top-`k` dynamic selection. One most-recent generated token
+    /// is protected from eviction (`protect_recent = 1`); use
+    /// [`HybridStaticDynamic::with_options`] to change that or the
+    /// accumulation semantics.
+    #[must_use]
+    pub fn new(h: usize, m: usize, k: usize) -> Self {
+        Self::with_options(h, m, k, 1, None)
+    }
+
+    /// Full-control constructor. `ewma_alpha = Some(α)` switches the
+    /// accumulated-score table to the charge-sharing (EWMA) semantics the
+    /// FeFET hardware physically computes; `None` is the paper's plain
+    /// running sum.
+    #[must_use]
+    pub fn with_options(
+        h: usize,
+        m: usize,
+        k: usize,
+        protect_recent: usize,
+        ewma_alpha: Option<f64>,
+    ) -> Self {
+        let table = match ewma_alpha {
+            Some(a) => ScoreTable::ewma(a),
+            None => ScoreTable::accumulating(),
+        };
+        Self { h, m, k, protect_recent, table, newest: Vec::new() }
+    }
+
+    /// The prefill heavy-token budget `H`.
+    #[must_use]
+    pub fn h(&self) -> usize {
+        self.h
+    }
+
+    /// The reserved decode budget `M`.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The dynamic top-k width.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Read access to the accumulated-score table (used by the hardware
+    /// engine cross-validation).
+    #[must_use]
+    pub fn score_table(&self) -> &ScoreTable {
+        &self.table
+    }
+}
+
+impl Policy for HybridStaticDynamic {
+    fn name(&self) -> &'static str {
+        "hybrid_static_dynamic"
+    }
+
+    fn prefill_keep(&mut self, attn: &Matrix, budget: usize) -> Vec<usize> {
+        let acc = accumulated_prefill_scores(attn, None);
+        let keep = top_indices_by_score(&acc, self.h.min(budget));
+        for &t in &keep {
+            self.table.insert(t, acc[t]);
+        }
+        keep
+    }
+
+    fn select(&mut self, _step: usize, scored: &[(usize, f32)], k: usize) -> StepDecision {
+        select_top_k(scored, k.min(self.k.max(1)))
+    }
+
+    fn observe(&mut self, _step: usize, weights: &[(usize, f32)]) {
+        for &(t, w) in weights {
+            self.table.observe(t, f64::from(w));
+        }
+    }
+
+    fn evict(&mut self, _step: usize, resident: &[usize]) -> Option<usize> {
+        if resident.is_empty() {
+            return None;
+        }
+        let protected: Vec<usize> = self
+            .newest
+            .iter()
+            .rev()
+            .take(self.protect_recent)
+            .copied()
+            .collect();
+        let candidates: Vec<usize> =
+            resident.iter().copied().filter(|t| !protected.contains(t)).collect();
+        let victim = if candidates.is_empty() { resident.to_vec() } else { candidates };
+        let evicted = self.table.min_among(&victim);
+        if let Some(t) = evicted {
+            self.table.remove(t);
+        }
+        evicted
+    }
+
+    fn note_inserted(&mut self, token: usize) {
+        self.table.insert(token, 0.0);
+        self.newest.push(token);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sinky_attn(seq: usize) -> Matrix {
+        // Column 0 is a strong sink; everything else uniform.
+        let mut rows = Vec::with_capacity(seq);
+        for t in 0..seq {
+            let mut row = vec![0.0f32; seq];
+            let rest = t as f32;
+            row[0] = 0.6;
+            if t > 0 {
+                for (s, item) in row.iter_mut().enumerate().take(t + 1).skip(1) {
+                    let _ = s;
+                    *item = 0.4 / rest;
+                }
+            } else {
+                row[0] = 1.0;
+            }
+            rows.push(row);
+        }
+        Matrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn full_cache_keeps_everything() {
+        let mut p = FullCache::new();
+        let keep = p.prefill_keep(&sinky_attn(8), 100);
+        assert_eq!(keep, (0..8).collect::<Vec<_>>());
+        let d = p.select(0, &[(0, 0.5), (3, 0.1)], 1);
+        assert_eq!(d.selected, vec![0, 3]);
+        assert_eq!(p.evict(0, &[0, 3]), None);
+    }
+
+    #[test]
+    fn streaming_keeps_sinks_and_recents() {
+        let mut p = StreamingLlm::new(2);
+        let keep = p.prefill_keep(&sinky_attn(10), 5);
+        assert_eq!(keep, vec![0, 1, 7, 8, 9]);
+        // Evicts oldest non-sink.
+        assert_eq!(p.evict(0, &[0, 1, 7, 8, 9]), Some(7));
+    }
+
+    #[test]
+    fn h2o_keeps_heavy_hitters() {
+        let mut p = H2O::new(2);
+        let keep = p.prefill_keep(&sinky_attn(10), 4);
+        assert!(keep.contains(&0), "sink must be kept as a heavy hitter");
+        assert!(keep.contains(&9) && keep.contains(&8), "recents protected");
+        assert_eq!(keep.len(), 4);
+    }
+
+    #[test]
+    fn h2o_evicts_lowest_accumulated_protecting_recents() {
+        let mut p = H2O::new(1);
+        p.observe(0, &[(0, 0.9), (1, 0.05), (2, 0.05)]);
+        p.observe(1, &[(0, 0.8), (1, 0.15), (2, 0.05)]);
+        // Token 2 has the lowest accumulated score and 2 is protected as the
+        // most recent -> candidates are [0, 1], lowest is 1.
+        assert_eq!(p.evict(2, &[0, 1, 2]), Some(1));
+    }
+
+    #[test]
+    fn snapkv_uses_observation_window() {
+        // Build attention where token 3 is heavy ONLY for early queries and
+        // token 1 heavy for late queries.
+        let mut rows = vec![vec![0.0f32; 8]; 8];
+        for (t, row) in rows.iter_mut().enumerate() {
+            if t < 4 {
+                row[3.min(t)] = 1.0;
+            } else {
+                row[1] = 0.8;
+                row[0] = 0.2;
+            }
+        }
+        let attn = Matrix::from_rows(&rows);
+        let mut p = SnapKv::new(3);
+        let keep = p.prefill_keep(&attn, 5);
+        // Window = {5,6,7}; window queries attend to 1 (and a bit of 0).
+        assert!(keep.contains(&1), "late-window heavy token must be kept: {keep:?}");
+        assert!(keep.contains(&5) && keep.contains(&6) && keep.contains(&7));
+        assert!(
+            !keep.contains(&3),
+            "token heavy only for early queries must be dropped: {keep:?}"
+        );
+    }
+
+    #[test]
+    fn oracle_selects_exact_top_k() {
+        let mut p = OracleTopK::new();
+        let d = p.select(0, &[(10, 0.1), (11, 0.9), (12, 0.5), (13, 0.8)], 2);
+        assert_eq!(d.selected, vec![11, 13]);
+    }
+
+    #[test]
+    fn block_topk_selects_whole_blocks() {
+        let mut p = BlockTopK::new(4);
+        // Tokens 0..8 in two blocks; token 6 has the best score.
+        let scored: Vec<(usize, f32)> =
+            (0..8).map(|t| (t, if t == 6 { 0.9 } else { 0.1 })).collect();
+        let d = p.select(0, &scored, 4);
+        assert_eq!(d.selected, vec![4, 5, 6, 7], "the whole hot block is selected");
+    }
+
+    #[test]
+    fn block_topk_covers_budget_with_multiple_blocks() {
+        let mut p = BlockTopK::new(2);
+        let scored: Vec<(usize, f32)> = vec![
+            (0, 0.9),
+            (1, 0.1),
+            (2, 0.8),
+            (3, 0.1),
+            (4, 0.0),
+            (5, 0.0),
+        ];
+        let d = p.select(0, &scored, 4);
+        assert_eq!(d.selected, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must be nonzero")]
+    fn block_topk_rejects_zero_block() {
+        let _ = BlockTopK::new(0);
+    }
+
+    #[test]
+    fn hybrid_prefill_keeps_top_h() {
+        let mut p = HybridStaticDynamic::new(3, 2, 2);
+        let keep = p.prefill_keep(&sinky_attn(10), 100);
+        assert_eq!(keep.len(), 3);
+        assert!(keep.contains(&0), "sink has the highest accumulated score");
+    }
+
+    #[test]
+    fn hybrid_selects_top_k_by_score() {
+        let mut p = HybridStaticDynamic::new(4, 2, 2);
+        let d = p.select(0, &[(0, 0.3), (1, 0.9), (2, 0.8), (3, 0.1)], 2);
+        assert_eq!(d.selected, vec![1, 2]);
+    }
+
+    #[test]
+    fn hybrid_evicts_lowest_accumulated() {
+        let mut p = HybridStaticDynamic::with_options(4, 2, 2, 0, None);
+        p.observe(0, &[(0, 0.7), (1, 0.1), (2, 0.2)]);
+        p.observe(1, &[(0, 0.6), (1, 0.05), (2, 0.35)]);
+        assert_eq!(p.evict(2, &[0, 1, 2]), Some(1));
+        // Evicted token's score is forgotten.
+        assert_eq!(p.score_table().get(1), None);
+    }
+
+    #[test]
+    fn hybrid_protects_newest_token() {
+        let mut p = HybridStaticDynamic::with_options(4, 2, 2, 1, None);
+        p.observe(0, &[(0, 0.9), (1, 0.1)]);
+        p.note_inserted(5); // newest token, accumulated score 0
+        // Without protection 5 would be evicted (score 0); with protection
+        // the lowest non-protected is 1.
+        assert_eq!(p.evict(1, &[0, 1, 5]), Some(1));
+    }
+
+    #[test]
+    fn hybrid_ewma_mode_tracks_recent_behaviour() {
+        let mut p = HybridStaticDynamic::with_options(4, 2, 2, 0, Some(0.5));
+        // Token 0 was heavy long ago, token 1 heavy recently.
+        p.observe(0, &[(0, 1.0), (1, 0.0)]);
+        for step in 1..6 {
+            p.observe(step, &[(0, 0.0), (1, 0.6)]);
+        }
+        assert_eq!(p.evict(6, &[0, 1]), Some(0), "EWMA must favor the recently heavy token");
+    }
+}

@@ -1,0 +1,170 @@
+//! Accumulated attention-score tables.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A table of accumulated attention scores per logical token.
+///
+/// Supports both plain accumulation (H2O-style running sums, what the
+/// paper's Fig. 3 "accumulated attention scores" table does) and
+/// exponentially weighted accumulation (what the charge-sharing hardware of
+/// Fig. 8 physically computes, with `α = C_SL/(C_SL+C_Acc)`).
+///
+/// # Examples
+///
+/// ```
+/// use unicaim_kvcache::ScoreTable;
+///
+/// let mut table = ScoreTable::accumulating();
+/// table.observe(0, 0.9); // sink token, heavy
+/// table.observe(1, 0.05);
+/// table.observe(2, 0.05);
+/// // The eviction candidate is the lowest-accumulated token.
+/// assert_eq!(table.min_among(&[0, 1, 2]), Some(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoreTable {
+    scores: BTreeMap<usize, f64>,
+    /// `None` = plain sum; `Some(alpha)` = EWMA with the given mixing factor.
+    ewma_alpha: Option<f64>,
+}
+
+impl ScoreTable {
+    /// A plain accumulating (running-sum) table.
+    #[must_use]
+    pub fn accumulating() -> Self {
+        Self { scores: BTreeMap::new(), ewma_alpha: None }
+    }
+
+    /// An exponentially weighted table with mixing factor `alpha ∈ (0, 1]`:
+    /// `score' = (1−α)·score + α·observation` (charge-sharing semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    #[must_use]
+    pub fn ewma(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1], got {alpha}");
+        Self { scores: BTreeMap::new(), ewma_alpha: Some(alpha) }
+    }
+
+    /// Registers a token with an initial score (used when a token enters the
+    /// cache). Overwrites any previous entry.
+    pub fn insert(&mut self, token: usize, initial: f64) {
+        self.scores.insert(token, initial);
+    }
+
+    /// Records an observation for `token`. Unknown tokens are implicitly
+    /// inserted at 0 first.
+    pub fn observe(&mut self, token: usize, value: f64) {
+        let entry = self.scores.entry(token).or_insert(0.0);
+        match self.ewma_alpha {
+            None => *entry += value,
+            Some(a) => *entry = (1.0 - a) * *entry + a * value,
+        }
+    }
+
+    /// Removes a token, returning its accumulated score.
+    pub fn remove(&mut self, token: usize) -> Option<f64> {
+        self.scores.remove(&token)
+    }
+
+    /// The accumulated score of a token.
+    #[must_use]
+    pub fn get(&self, token: usize) -> Option<f64> {
+        self.scores.get(&token).copied()
+    }
+
+    /// Number of tracked tokens.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// True when no token is tracked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+
+    /// The token with the lowest accumulated score among `candidates`
+    /// (ties break toward the lower token id; candidates missing from the
+    /// table count as 0).
+    #[must_use]
+    pub fn min_among(&self, candidates: &[usize]) -> Option<usize> {
+        candidates
+            .iter()
+            .map(|&t| (t, self.get(t).unwrap_or(0.0)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)))
+            .map(|(t, _)| t)
+    }
+
+    /// Tokens sorted by descending accumulated score (ties toward lower id).
+    #[must_use]
+    pub fn ranked_desc(&self) -> Vec<usize> {
+        let mut v: Vec<(usize, f64)> = self.scores.iter().map(|(&t, &s)| (t, s)).collect();
+        v.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        });
+        v.into_iter().map(|(t, _)| t).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulating_sums() {
+        let mut t = ScoreTable::accumulating();
+        t.observe(5, 0.25);
+        t.observe(5, 0.5);
+        assert!((t.get(5).unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ewma_mixes() {
+        let mut t = ScoreTable::ewma(0.5);
+        t.observe(1, 1.0); // 0.5
+        t.observe(1, 1.0); // 0.75
+        assert!((t.get(1).unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0,1]")]
+    fn ewma_rejects_bad_alpha() {
+        let _ = ScoreTable::ewma(0.0);
+    }
+
+    #[test]
+    fn min_among_finds_lowest_and_breaks_ties() {
+        let mut t = ScoreTable::accumulating();
+        t.insert(1, 0.3);
+        t.insert(2, 0.1);
+        t.insert(3, 0.1);
+        assert_eq!(t.min_among(&[1, 2, 3]), Some(2));
+        assert_eq!(t.min_among(&[1, 3]), Some(3));
+        assert_eq!(t.min_among(&[]), None);
+        // Unknown candidates count as zero.
+        assert_eq!(t.min_among(&[1, 99]), Some(99));
+    }
+
+    #[test]
+    fn ranked_desc_orders() {
+        let mut t = ScoreTable::accumulating();
+        t.insert(10, 0.5);
+        t.insert(20, 0.9);
+        t.insert(30, 0.1);
+        assert_eq!(t.ranked_desc(), vec![20, 10, 30]);
+    }
+
+    #[test]
+    fn remove_returns_score() {
+        let mut t = ScoreTable::accumulating();
+        t.insert(7, 0.7);
+        assert_eq!(t.remove(7), Some(0.7));
+        assert_eq!(t.remove(7), None);
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,408 @@
+//! The decode simulation harness: drives any [`Policy`] over a
+//! [`DecodeWorkload`], computing retrieval and fidelity metrics.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+use unicaim_attention::metrics::{cosine_similarity, relative_l2_error, set_f1, Mean};
+use unicaim_attention::workloads::DecodeWorkload;
+use unicaim_attention::{attention_output, softmax_in_place, KvEntry, KvStore, Matrix};
+
+use crate::policy::Policy;
+
+/// Harness configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Physical KV-cache capacity in tokens (slots).
+    pub capacity: usize,
+    /// Dynamic top-k width passed to the policy each step.
+    pub k: usize,
+    /// Prefill keep budget handed to the policy (usually `capacity` minus
+    /// the reserved decode slots).
+    pub prefill_budget: usize,
+}
+
+impl SimConfig {
+    /// A config with `capacity` slots and top-`k` selection; the prefill
+    /// budget defaults to `capacity`.
+    #[must_use]
+    pub fn new(capacity: usize, k: usize) -> Self {
+        Self { capacity, k, prefill_budget: capacity }
+    }
+
+    /// Sets the prefill budget (builder-style).
+    #[must_use]
+    pub fn with_prefill_budget(mut self, budget: usize) -> Self {
+        self.prefill_budget = budget;
+        self
+    }
+}
+
+/// Capacity for a relative cache-size sweep: `ratio` of the workload's total
+/// token count, floored at 8 tokens.
+#[must_use]
+pub fn ratio_capacity(workload: &DecodeWorkload, ratio: f64) -> usize {
+    ((workload.total_tokens() as f64 * ratio).round() as usize).max(8)
+}
+
+/// Aggregate result of one simulated decode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Policy display name.
+    pub policy: String,
+    /// Workload name.
+    pub workload: String,
+    /// Mean cosine similarity between pruned and full attention outputs.
+    pub output_cosine: f64,
+    /// Mean relative L2 error of the pruned attention output.
+    pub output_rel_error: f64,
+    /// Mean recall of ground-truth salient tokens among *selected* tokens at
+    /// answer steps.
+    pub salient_recall: f64,
+    /// Mean F1 of selected-vs-salient restricted to the salient universe.
+    pub salient_f1: f64,
+    /// Fraction of answer steps at which *every* salient token was selected.
+    pub retrieval_accuracy: f64,
+    /// Mean number of tokens selected per step.
+    pub mean_selected: f64,
+    /// Mean resident tokens across steps.
+    pub mean_resident: f64,
+    /// Number of decode steps simulated.
+    pub steps: usize,
+}
+
+/// Runs `policy` over `workload` with the given configuration.
+///
+/// The harness owns the KV store and all attention math; the policy only
+/// decides what to keep, select, and evict (see [`Policy`]). The decode-step
+/// order mirrors the UniCAIM hardware flow: score residents → select →
+/// exact attention over the selection → observe weights over all residents
+/// → insert the newly generated token (evicting on overflow).
+///
+/// # Panics
+///
+/// Panics if the policy's prefill keep set exceeds the cache capacity or if
+/// it evicts a token that is not resident.
+#[must_use]
+pub fn simulate_decode(
+    workload: &DecodeWorkload,
+    policy: &mut dyn Policy,
+    config: &SimConfig,
+) -> SimResult {
+    let dim = workload.dim;
+    let prefill_len = workload.prefill_keys.len();
+
+    // --- Prefill: causal attention matrix and static keep decision --------
+    let attn = prefill_attention_matrix(workload);
+    let keep = policy.prefill_keep(&attn, config.prefill_budget.min(prefill_len));
+    let mut store = KvStore::new(config.capacity, dim);
+    for &t in &keep {
+        store
+            .append(KvEntry {
+                token_id: t,
+                key: workload.prefill_keys[t].clone(),
+                value: workload.prefill_values[t].clone(),
+            })
+            .expect("prefill keep set must fit the cache capacity");
+    }
+
+    // --- Decode loop -------------------------------------------------------
+    let reference = workload.full_attention_reference();
+    let mut cos = Mean::new();
+    let mut rel = Mean::new();
+    let mut recall = Mean::new();
+    let mut f1 = Mean::new();
+    let mut hits = Mean::new();
+    let mut n_selected = Mean::new();
+    let mut n_resident = Mean::new();
+    let salient_universe: BTreeSet<usize> =
+        workload.salient_at.iter().flat_map(|s| s.iter().copied()).collect();
+
+    for (step, query) in workload.decode_queries.iter().enumerate() {
+        // 1. Score every resident token.
+        let mut scored: Vec<(usize, f32)> = store
+            .iter()
+            .map(|(_, e)| (e.token_id, Matrix::dot(query, &e.key) / (dim as f32).sqrt()))
+            .collect();
+        scored.sort_by_key(|&(t, _)| t);
+        n_resident.push(scored.len() as f64);
+
+        // 2. Dynamic selection.
+        let decision = policy.select(step, &scored, config.k);
+        n_selected.push(decision.selected.len() as f64);
+
+        // 3. Exact attention over the selection.
+        let output = attention_over(&store, &decision.selected, query);
+        cos.push(cosine_similarity(&output, &reference[step]));
+        rel.push(relative_l2_error(&output, &reference[step]));
+
+        // 4. Salience metrics at answer steps.
+        let salient = &workload.salient_at[step];
+        if !salient.is_empty() {
+            let selected_set: BTreeSet<usize> = decision.selected.iter().copied().collect();
+            let s = set_f1(&(&selected_set & salient), salient);
+            recall.push(s.recall);
+            let predicted: BTreeSet<usize> =
+                selected_set.intersection(&salient_universe).copied().collect();
+            f1.push(set_f1(&predicted, salient).f1);
+            hits.push(if s.recall >= 1.0 { 1.0 } else { 0.0 });
+        }
+
+        // 5. Observe weights over all residents (charge-domain accumulation
+        //    sees every row).
+        let mut weights: Vec<f32> = scored.iter().map(|&(_, s)| s).collect();
+        softmax_in_place(&mut weights);
+        let observed: Vec<(usize, f32)> =
+            scored.iter().map(|&(t, _)| t).zip(weights.iter().copied()).collect();
+        policy.observe(step, &observed);
+
+        // 6. Insert the newly generated token, evicting on overflow.
+        let new_token = prefill_len + step;
+        let entry = KvEntry {
+            token_id: new_token,
+            key: workload.decode_keys[step].clone(),
+            value: workload.decode_values[step].clone(),
+        };
+        if let Some(slot) = store.first_free_slot() {
+            store.write_slot(slot, entry).expect("slot in range");
+            policy.note_inserted(new_token);
+        } else {
+            let resident: Vec<usize> = {
+                let mut r = store.token_ids();
+                r.sort_unstable();
+                r
+            };
+            if let Some(victim) = policy.evict(step, &resident) {
+                let slot =
+                    store.slot_of_token(victim).expect("policy must evict a resident token");
+                store.write_slot(slot, entry).expect("slot in range");
+                policy.note_inserted(new_token);
+            }
+            // None: the incoming token is dropped (policy refused to evict).
+        }
+    }
+
+    SimResult {
+        policy: policy.name().to_owned(),
+        workload: workload.name.clone(),
+        output_cosine: cos.value(),
+        output_rel_error: rel.value(),
+        salient_recall: recall.value(),
+        salient_f1: f1.value(),
+        retrieval_accuracy: hits.value(),
+        mean_selected: n_selected.value(),
+        mean_resident: n_resident.value(),
+        steps: workload.decode_queries.len(),
+    }
+}
+
+/// The causal prefill attention-probability matrix of a workload (what the
+/// prefill static-pruning stage ranks tokens with).
+#[must_use]
+pub fn prefill_attention_matrix(workload: &DecodeWorkload) -> Matrix {
+    let seq = workload.prefill_keys.len();
+    let dim = workload.dim as f32;
+    let mut rows = Vec::with_capacity(seq);
+    for t in 0..seq {
+        let q = &workload.prefill_queries[t];
+        let mut row = vec![0.0f32; seq];
+        for s in 0..=t {
+            row[s] = Matrix::dot(q, &workload.prefill_keys[s]) / dim.sqrt();
+        }
+        // Mask the future by excluding it from the softmax.
+        let (past, _) = row.split_at_mut(t + 1);
+        softmax_in_place(past);
+        rows.push(row);
+    }
+    Matrix::from_rows(&rows)
+}
+
+fn attention_over(store: &KvStore, selected: &[usize], query: &[f32]) -> Vec<f32> {
+    let mut keys: Vec<&[f32]> = Vec::with_capacity(selected.len());
+    let mut values: Vec<&[f32]> = Vec::with_capacity(selected.len());
+    for &t in selected {
+        if let Some(slot) = store.slot_of_token(t) {
+            let e = store.slot(slot).expect("occupied");
+            keys.push(&e.key);
+            values.push(&e.value);
+        }
+    }
+    attention_output(query, &keys, &values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::{
+        FullCache, H2O, HybridStaticDynamic, OracleTopK, SnapKv, StreamingLlm,
+    };
+    use unicaim_attention::workloads::{multi_hop_task, needle_task, summary_task};
+
+    #[test]
+    fn full_cache_is_exact() {
+        let w = needle_task(96, 12, 1);
+        let mut p = FullCache::new();
+        let r = simulate_decode(&w, &mut p, &SimConfig::new(w.total_tokens(), usize::MAX));
+        assert!(r.output_cosine > 0.999, "full cache must match the reference, {r:?}");
+        assert!(r.output_rel_error < 1e-3);
+        assert!((r.salient_recall - 1.0).abs() < 1e-12);
+        assert!((r.retrieval_accuracy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oracle_topk_tracks_reference_closely() {
+        let w = needle_task(128, 16, 2);
+        let mut p = OracleTopK::new();
+        let r = simulate_decode(&w, &mut p, &SimConfig::new(w.total_tokens(), 16));
+        assert!(r.output_cosine > 0.95, "{r:?}");
+        assert!(r.salient_recall > 0.99, "{r:?}");
+        assert!((r.mean_selected - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hybrid_beats_streaming_on_mid_context_needle() {
+        let w = needle_task(256, 32, 3);
+        let capacity = 96;
+        let mut hybrid = HybridStaticDynamic::new(capacity - 16, 16, 24);
+        let r_h = simulate_decode(
+            &w,
+            &mut hybrid,
+            &SimConfig::new(capacity, 24).with_prefill_budget(capacity - 16),
+        );
+        let mut streaming = StreamingLlm::new(4);
+        let r_s = simulate_decode(
+            &w,
+            &mut streaming,
+            &SimConfig::new(capacity, 24).with_prefill_budget(capacity),
+        );
+        assert!(
+            r_h.salient_recall > r_s.salient_recall + 0.3,
+            "hybrid {:.2} must clearly beat streaming {:.2} on a mid-context needle",
+            r_h.salient_recall,
+            r_s.salient_recall
+        );
+    }
+
+    #[test]
+    fn hybrid_matches_or_beats_snapkv_on_multihop() {
+        let w = multi_hop_task(384, 48, 4);
+        let capacity = 128;
+        let mut hybrid = HybridStaticDynamic::new(capacity - 16, 16, 32);
+        let r_h = simulate_decode(
+            &w,
+            &mut hybrid,
+            &SimConfig::new(capacity, 32).with_prefill_budget(capacity - 16),
+        );
+        let mut snap = SnapKv::new(16);
+        let r_s = simulate_decode(
+            &w,
+            &mut snap,
+            &SimConfig::new(capacity + 48, 32).with_prefill_budget(capacity),
+        );
+        assert!(
+            r_h.salient_recall >= r_s.salient_recall - 1e-9,
+            "hybrid {:.3} must be at least as good as snapkv {:.3}",
+            r_h.salient_recall,
+            r_s.salient_recall
+        );
+    }
+
+    #[test]
+    fn h2o_runs_on_summary_task() {
+        let w = summary_task(192, 32, 5);
+        let mut p = H2O::new(8);
+        let r = simulate_decode(&w, &mut p, &SimConfig::new(96, 32).with_prefill_budget(96));
+        assert!(r.steps == 32);
+        assert!(r.output_cosine > 0.3);
+    }
+
+    #[test]
+    fn capacity_is_never_exceeded() {
+        let w = needle_task(128, 32, 6);
+        let mut p = HybridStaticDynamic::new(40, 8, 16);
+        let cfg = SimConfig::new(48, 16).with_prefill_budget(40);
+        let r = simulate_decode(&w, &mut p, &cfg);
+        assert!(r.mean_resident <= 48.0 + 1e-9, "{r:?}");
+    }
+
+    #[test]
+    fn block_topk_sits_between_streaming_and_oracle() {
+        use crate::policies::BlockTopK;
+        let w = needle_task(256, 32, 11);
+        let k = 24;
+        let run = |policy: &mut dyn crate::Policy, cap: usize| {
+            simulate_decode(&w, policy, &SimConfig::new(cap, k))
+        };
+        let cap = w.total_tokens();
+        let mut oracle = OracleTopK::new();
+        let r_oracle = run(&mut oracle, cap);
+        let mut block = BlockTopK::new(8);
+        let r_block = run(&mut block, cap);
+        // Block granularity can only lose fidelity relative to exact top-k.
+        assert!(r_block.output_cosine <= r_oracle.output_cosine + 0.02);
+        // But it still retrieves the needle (the hot block is selected).
+        assert!(r_block.salient_recall > 0.9, "{r_block:?}");
+    }
+
+    #[test]
+    fn distractors_waste_static_budget_but_dynamic_selection_recovers() {
+        use unicaim_attention::workloads::distractor_task;
+        let w = distractor_task(256, 32, 5, 10);
+        // Generous capacity: the true needle survives static pruning even
+        // next to heavily mentioned distractors, and top-k finds it.
+        let mut p = HybridStaticDynamic::new(112, 16, 32);
+        let r = simulate_decode(
+            &w,
+            &mut p,
+            &SimConfig::new(128, 32).with_prefill_budget(112),
+        );
+        assert!(
+            r.salient_recall > 0.9,
+            "hybrid must retrieve the true needle despite distractors: {r:?}"
+        );
+    }
+
+    #[test]
+    fn policies_run_on_transformer_traces() {
+        use unicaim_attention::workloads::transformer_trace;
+        let w = transformer_trace(96, 12, 3);
+        let mut full = FullCache::new();
+        let r = simulate_decode(&w, &mut full, &SimConfig::new(w.total_tokens(), usize::MAX));
+        assert!(r.output_cosine > 0.999, "full cache must be exact on real traces: {r:?}");
+        let mut hybrid = HybridStaticDynamic::new(48, 12, 24);
+        let r2 = simulate_decode(&w, &mut hybrid, &SimConfig::new(60, 24).with_prefill_budget(48));
+        assert!(r2.output_cosine.is_finite());
+        assert!(r2.mean_resident <= 60.0 + 1e-9);
+    }
+
+    #[test]
+    fn ratio_capacity_floors() {
+        let w = needle_task(64, 8, 7);
+        assert_eq!(ratio_capacity(&w, 1.0), 72);
+        assert_eq!(ratio_capacity(&w, 0.5), 36);
+        assert_eq!(ratio_capacity(&w, 0.001), 8);
+    }
+
+    #[test]
+    fn prefill_attention_matrix_is_causal_stochastic() {
+        let w = needle_task(48, 4, 8);
+        let attn = prefill_attention_matrix(&w);
+        for t in 0..48 {
+            let sum: f32 = attn.row(t).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-4, "row {t} sums to {sum}");
+            for s in (t + 1)..48 {
+                assert_eq!(attn.get(t, s), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_resident_set_is_sinks_plus_window() {
+        let w = needle_task(128, 24, 9);
+        let mut p = StreamingLlm::new(4);
+        let cfg = SimConfig::new(32, 32);
+        let _ = simulate_decode(&w, &mut p, &cfg);
+        // After the run the policy survived; the capacity test above covers
+        // the invariant. (Resident tracking is internal to the harness.)
+    }
+}

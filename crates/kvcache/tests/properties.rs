@@ -1,0 +1,144 @@
+//! Property-based tests of the policy/simulation invariants.
+
+use proptest::prelude::*;
+use unicaim_attention::workloads::{generate, NeedleSpec, WorkloadSpec};
+use unicaim_kvcache::{
+    simulate_decode, BlockTopK, FullCache, HybridStaticDynamic, OracleTopK, Policy, ScoreTable,
+    SimConfig, SnapKv, StreamingLlm, H2O,
+};
+
+fn small_workload(seed: u64, prefill: usize, decode: usize) -> unicaim_attention::workloads::DecodeWorkload {
+    let spec = WorkloadSpec {
+        name: "prop".into(),
+        dim: 16,
+        prefill_len: prefill,
+        decode_len: decode,
+        n_sinks: 2,
+        sink_strength: 0.5,
+        locality_strength: 0.4,
+        needle_strength: 1.4,
+        noise: 0.5,
+        sharpness: 10.0,
+        needles: vec![NeedleSpec {
+            position: prefill / 2,
+            prefill_mentions: vec![prefill / 2 + 1, (prefill * 3 / 4).min(prefill - 1)],
+            answer_steps: vec![decode / 2],
+        }],
+        diffuse_salient: Vec::new(),
+        seed,
+    };
+    generate(&spec)
+}
+
+fn run_policy(
+    policy: &mut dyn Policy,
+    seed: u64,
+    capacity: usize,
+    k: usize,
+) -> unicaim_kvcache::SimResult {
+    let w = small_workload(seed, 48, 12);
+    simulate_decode(&w, policy, &SimConfig::new(capacity, k))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// No policy can ever exceed the physical cache capacity or select more
+    /// than the resident set.
+    #[test]
+    fn capacity_and_selection_invariants(
+        seed in 0u64..500,
+        capacity in 12usize..48,
+        k in 1usize..32,
+    ) {
+        let mut policies: Vec<Box<dyn Policy>> = vec![
+            Box::new(FullCache::new()),
+            Box::new(HybridStaticDynamic::new(capacity.saturating_sub(4).max(1), 4, k)),
+            Box::new(StreamingLlm::new(2)),
+            Box::new(H2O::new(4)),
+            Box::new(SnapKv::new(4)),
+            Box::new(OracleTopK::new()),
+            Box::new(BlockTopK::new(4)),
+        ];
+        for policy in &mut policies {
+            let r = run_policy(policy.as_mut(), seed, capacity, k);
+            prop_assert!(r.mean_resident <= capacity as f64 + 1e-9,
+                "{}: resident {} > capacity {capacity}", r.policy, r.mean_resident);
+            prop_assert!(r.mean_selected <= r.mean_resident + 1e-9,
+                "{}: selected more than resident", r.policy);
+            prop_assert!(r.output_cosine.is_finite());
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&r.salient_recall));
+        }
+    }
+
+    /// Oracle top-k recall is monotone in k, and selecting everything makes
+    /// it exact. (Note: at equal k a *pruned* cache can beat the oracle on
+    /// a full cache — static pruning removes distractors — so no dominance
+    /// over the hybrid is asserted.)
+    #[test]
+    fn oracle_recall_monotone_in_k(seed in 0u64..200, k in 4usize..20) {
+        let w = small_workload(seed, 48, 12);
+        let cap = w.total_tokens();
+        let recall_at = |k: usize| {
+            let mut oracle = OracleTopK::new();
+            simulate_decode(&w, &mut oracle, &SimConfig::new(cap, k)).salient_recall
+        };
+        let narrow = recall_at(k);
+        let wide = recall_at(2 * k);
+        let all = recall_at(cap);
+        prop_assert!(wide + 1e-9 >= narrow, "recall not monotone: {narrow} -> {wide}");
+        prop_assert!((all - 1.0).abs() < 1e-9, "full-width oracle must be exact, got {all}");
+    }
+
+    /// Full cache with full capacity is the exact reference: cosine 1.
+    #[test]
+    fn full_cache_is_exact_for_any_seed(seed in 0u64..300) {
+        let w = small_workload(seed, 32, 8);
+        let mut full = FullCache::new();
+        let r = simulate_decode(&w, &mut full, &SimConfig::new(w.total_tokens(), usize::MAX));
+        prop_assert!(r.output_cosine > 0.9999, "cosine {}", r.output_cosine);
+        prop_assert!(r.output_rel_error < 1e-3, "rel err {}", r.output_rel_error);
+    }
+
+    /// ScoreTable: accumulation only grows with non-negative observations,
+    /// and min_among always returns a candidate.
+    #[test]
+    fn score_table_invariants(
+        observations in proptest::collection::vec((0usize..16, 0.0f64..1.0), 1..100),
+    ) {
+        let mut table = ScoreTable::accumulating();
+        let mut last: std::collections::BTreeMap<usize, f64> = Default::default();
+        for (token, w) in observations {
+            table.observe(token, w);
+            let now = table.get(token).unwrap();
+            let before = last.insert(token, now).unwrap_or(0.0);
+            prop_assert!(now >= before - 1e-12, "accumulated score decreased");
+        }
+        let tokens: Vec<usize> = last.keys().copied().collect();
+        prop_assert!(table.min_among(&tokens).is_some());
+    }
+
+    /// EWMA tables stay within the observation range.
+    #[test]
+    fn ewma_bounded(
+        alpha in 0.05f64..1.0,
+        observations in proptest::collection::vec(0.0f64..1.0, 1..60),
+    ) {
+        let mut table = ScoreTable::ewma(alpha);
+        for &w in &observations {
+            table.observe(7, w);
+            let v = table.get(7).unwrap();
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&v), "EWMA out of range: {v}");
+        }
+    }
+
+    /// Policies are deterministic: same seed, same result.
+    #[test]
+    fn simulation_deterministic(seed in 0u64..100) {
+        let run = || {
+            let mut p = HybridStaticDynamic::new(24, 8, 12);
+            run_policy(&mut p, seed, 32, 12)
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,62 @@
+//! Long-context decode scenario: run the paper's hybrid static-dynamic
+//! pruning policy against the baselines on a multi-hop retrieval task and
+//! compare retrieval quality and output fidelity.
+//!
+//! Run with: `cargo run --release --example long_context_decode`
+
+use unicaim_repro::attention::workloads::multi_hop_task;
+use unicaim_repro::kvcache::{
+    simulate_decode, FullCache, HybridStaticDynamic, OracleTopK, Policy, SimConfig, SnapKv,
+    StreamingLlm, H2O,
+};
+
+fn main() {
+    // A 512-token prompt with two facts planted in different regions; 48
+    // decode steps; the final answer needs both facts (multi-hop).
+    let workload = multi_hop_task(512, 48, 7);
+    let capacity = 160; // ~28% of the full cache
+    let m = 16;
+    let k = 64;
+
+    println!(
+        "workload: {} prompt tokens, {} decode steps, cache capacity {capacity} ({}%)",
+        512,
+        48,
+        100 * capacity / workload.total_tokens()
+    );
+    println!(
+        "\n{:<24} {:>12} {:>12} {:>12} {:>12}",
+        "policy", "retrieval%", "accuracy%", "out-cosine", "rel-error"
+    );
+
+    let mut policies: Vec<(Box<dyn Policy>, usize, usize)> = vec![
+        (Box::new(FullCache::new()), workload.total_tokens(), workload.total_tokens()),
+        (Box::new(HybridStaticDynamic::new(capacity - m, m, k)), capacity, capacity - m),
+        (Box::new(H2O::new(16)), capacity, capacity),
+        (Box::new(SnapKv::new(16)), capacity + 48, capacity),
+        (Box::new(StreamingLlm::new(4)), capacity, capacity),
+        (Box::new(OracleTopK::new()), workload.total_tokens(), workload.total_tokens()),
+    ];
+
+    for (policy, cap, budget) in &mut policies {
+        let r = simulate_decode(
+            &workload,
+            policy.as_mut(),
+            &SimConfig::new(*cap, k).with_prefill_budget(*budget),
+        );
+        println!(
+            "{:<24} {:>12.1} {:>12.1} {:>12.3} {:>12.3}",
+            r.policy,
+            100.0 * r.salient_recall,
+            100.0 * r.retrieval_accuracy,
+            r.output_cosine,
+            r.output_rel_error
+        );
+    }
+
+    println!(
+        "\nThe hybrid policy retrieves both facts at a fraction of the cache, while\n\
+         StreamingLLM's fixed pattern misses mid-context facts and SnapKV's\n\
+         observation window misses facts mentioned only early in the prompt."
+    );
+}

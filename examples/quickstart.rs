@@ -1,0 +1,69 @@
+//! Quickstart: build a UniCAIM array, store a few quantized keys, and run
+//! one decode step through all three hardware modes.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use unicaim_repro::core::{
+    quantize_key, quantize_query, ArrayConfig, CellPrecision, QueryPrecision, UniCaimArray,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small array: 8 rows (KV slots), 16-dimensional keys, the paper's
+    // 3-bit multilevel cells and 2-bit queries.
+    let mut array = UniCaimArray::try_new(ArrayConfig {
+        rows: 8,
+        dim: 16,
+        cell_precision: CellPrecision::ThreeBit,
+        query_precision: QueryPrecision::TwoBit,
+        sigma_vth: 0.0, // no device variation for this demo
+        ..ArrayConfig::default()
+    })?;
+
+    // Store four keys. Row 2 is deliberately made similar to the query
+    // we'll search with.
+    let keys: Vec<Vec<f32>> = vec![
+        (0..16).map(|i| ((i * 7 % 5) as f32 - 2.0) / 2.0).collect(),
+        (0..16).map(|i| ((i * 3 % 7) as f32 - 3.0) / 3.0).collect(),
+        (0..16).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect(),
+        (0..16).map(|i| (i % 3) as f32 - 1.0).collect(),
+    ];
+    for (token, key) in keys.iter().enumerate() {
+        let (levels, scale) = quantize_key(key, CellPrecision::ThreeBit);
+        let row = array.free_row().expect("array has free rows");
+        array.write_row_scaled(row, token, &levels, scale)?;
+    }
+    println!("stored {} keys in the array", array.occupied_rows().len());
+
+    // A query close to token 2's key.
+    let query_vec: Vec<f32> =
+        (0..16).map(|i| if i % 2 == 0 { 0.9 } else { -0.9 }).collect();
+    let (query, _scale) = quantize_query(&query_vec, QueryPrecision::TwoBit);
+
+    // 1) CAM mode: O(1) top-2 selection via the discharge race.
+    let search = array.cam_top_k(&query, 2)?;
+    println!("CAM top-2 rows: {:?} (freeze after {:.4} ns)",
+        search.selected_rows, search.freeze_time * 1e9);
+
+    // 2) Charge-domain mode: accumulate similarity, get the eviction
+    //    candidate for static pruning.
+    let candidate = array.accumulate_and_candidate(&search);
+    println!("static-eviction candidate row: {candidate:?}");
+
+    // 3) Current-domain mode: exact (ADC-quantized) scores for the
+    //    selected rows only.
+    let scores = array.exact_scores(&query, &search.selected_rows)?;
+    for (row, score) in &scores {
+        println!("row {row}: exact attention score {score:+.2} (level units)");
+    }
+    assert!(search.selected_rows.contains(&2), "the matching key must be selected");
+
+    let stats = array.stats();
+    println!(
+        "\nhardware ops: {} precharges, {} ADC conversions, {} writes, {:.3} pJ analog energy",
+        stats.sl_precharges,
+        stats.adc_conversions,
+        stats.row_writes,
+        stats.total_energy() * 1e12
+    );
+    Ok(())
+}

@@ -1,0 +1,22 @@
+//! Umbrella crate for the UniCAIM reproduction workspace.
+//!
+//! This crate re-exports the public surfaces of the member crates so that the
+//! examples and integration tests in the repository root can exercise the
+//! whole system through a single dependency. Library users should depend on
+//! the individual crates (`unicaim-core`, `unicaim-kvcache`, ...) directly.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use unicaim_repro::core::{ArrayConfig, UniCaimArray};
+//!
+//! let array = UniCaimArray::new(ArrayConfig::default());
+//! assert!(array.rows() > 0);
+//! ```
+
+pub use unicaim_accel as accel;
+pub use unicaim_analog as analog;
+pub use unicaim_attention as attention;
+pub use unicaim_core as core;
+pub use unicaim_fefet as fefet;
+pub use unicaim_kvcache as kvcache;

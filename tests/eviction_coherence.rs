@@ -1,0 +1,107 @@
+//! Eviction coherence: the charge-domain static-eviction candidate must be
+//! consistent with the CAM-mode dynamic selection — the architecture's two
+//! similarity measurements come from the *same* sense-line physics, so a
+//! token selected as top-k "most relevant" this step should essentially
+//! never be the one evicted as "least useful" in the same cycle.
+
+use unicaim_repro::attention::workloads::{needle_task, summary_task};
+use unicaim_repro::core::{ArrayConfig, EngineConfig, UniCaimEngine};
+
+fn eviction_vs_selection_conflicts(
+    workload: &unicaim_repro::attention::workloads::DecodeWorkload,
+    h: usize,
+    m: usize,
+    k: usize,
+) -> (usize, usize) {
+    let mut engine = UniCaimEngine::new(
+        ArrayConfig { dim: workload.dim, sigma_vth: 0.0, ..ArrayConfig::default() },
+        EngineConfig { h, m, k },
+    )
+    .expect("engine");
+    engine.load_prefill(workload).expect("prefill");
+    let prefill_len = workload.prefill_keys.len();
+    let mut conflicts = 0;
+    let mut evictions = 0;
+    for step in 0..workload.decode_queries.len() {
+        let report = engine
+            .decode_step(
+                prefill_len + step,
+                &workload.decode_queries[step],
+                &workload.decode_keys[step],
+                &workload.decode_values[step],
+            )
+            .expect("step");
+        if let Some(evicted) = report.evicted_token {
+            evictions += 1;
+            if report.selected_tokens.contains(&evicted) {
+                conflicts += 1;
+            }
+        }
+    }
+    (conflicts, evictions)
+}
+
+#[test]
+fn evicted_tokens_are_rarely_selected_in_the_same_step() {
+    let w = needle_task(192, 48, 41);
+    let (conflicts, evictions) = eviction_vs_selection_conflicts(&w, 64, 8, 16);
+    assert!(evictions >= 30, "expected eviction pressure, got {evictions}");
+    assert!(
+        conflicts * 5 <= evictions,
+        "selected-and-evicted conflicts too frequent: {conflicts}/{evictions}"
+    );
+}
+
+#[test]
+fn needle_is_never_evicted_while_sought() {
+    // The needle keeps receiving attention, so its accumulated similarity
+    // stays high and static eviction must not remove it before the last
+    // answer step.
+    let w = needle_task(192, 48, 42);
+    let needle = 96;
+    let last_answer = *w.answer_steps.last().unwrap();
+    let mut engine = UniCaimEngine::new(
+        ArrayConfig { dim: w.dim, sigma_vth: 0.0, ..ArrayConfig::default() },
+        EngineConfig { h: 64, m: 8, k: 16 },
+    )
+    .expect("engine");
+    engine.load_prefill(&w).expect("prefill");
+    for step in 0..=last_answer {
+        let report = engine
+            .decode_step(192 + step, &w.decode_queries[step], &w.decode_keys[step], &w.decode_values[step])
+            .expect("step");
+        assert_ne!(
+            report.evicted_token,
+            Some(needle),
+            "the sought needle was statically evicted at step {step}"
+        );
+    }
+}
+
+#[test]
+fn diffuse_salient_tokens_survive_summary_decode() {
+    let w = summary_task(256, 48, 43);
+    let salient: std::collections::BTreeSet<usize> =
+        w.salient_at.iter().flat_map(|s| s.iter().copied()).collect();
+    let mut engine = UniCaimEngine::new(
+        ArrayConfig { dim: w.dim, sigma_vth: 0.0, ..ArrayConfig::default() },
+        EngineConfig { h: 96, m: 12, k: 32 },
+    )
+    .expect("engine");
+    engine.load_prefill(&w).expect("prefill");
+    let resident_before: std::collections::BTreeSet<usize> =
+        engine.resident_tokens().into_iter().collect();
+    let kept_before = salient.intersection(&resident_before).count();
+    for step in 0..w.decode_queries.len() {
+        engine
+            .decode_step(256 + step, &w.decode_queries[step], &w.decode_keys[step], &w.decode_values[step])
+            .expect("step");
+    }
+    let resident_after: std::collections::BTreeSet<usize> =
+        engine.resident_tokens().into_iter().collect();
+    let kept_after = salient.intersection(&resident_after).count();
+    assert!(
+        kept_after * 10 >= kept_before * 8,
+        "decode-stage eviction lost too many salient tokens: {kept_before} -> {kept_after}"
+    );
+}

@@ -1,0 +1,193 @@
+//! Hardware/software equivalence: under ideal devices the analog CAM race
+//! must reproduce exact software top-k on the quantized scores, and the
+//! current-domain readout must preserve score ordering.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use unicaim_repro::core::{
+    level_score, quantize_key, quantize_query, ArrayConfig, CellPrecision, KeyLevel,
+    QueryPrecision, UniCaimArray,
+};
+
+fn random_vec(rng: &mut ChaCha8Rng, dim: usize) -> Vec<f32> {
+    (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+}
+
+#[test]
+fn cam_topk_equals_software_topk_in_the_linear_regime() {
+    // Keys restricted to half-levels keep every cell out of the
+    // sub-threshold floor, so the analog similarity is *exactly* affine in
+    // the level score and the CAM race must match software top-k exactly
+    // (up to ties).
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+    let dim = 64;
+    let rows = 48;
+    let k = 8;
+    for trial in 0..5 {
+        let mut array = UniCaimArray::new(ArrayConfig {
+            rows,
+            dim,
+            sigma_vth: 0.0,
+            variation_seed: trial,
+            cell_precision: CellPrecision::ThreeBit,
+            query_precision: QueryPrecision::TwoBit,
+            ..ArrayConfig::default()
+        });
+        let mut keys = Vec::new();
+        for row in 0..rows {
+            // Construct half-range level vectors directly: {−0.5, 0, +0.5}.
+            let levels: Vec<KeyLevel> = (0..dim)
+                .map(|_| match rng.gen_range(0..3) {
+                    0 => KeyLevel::NegHalf,
+                    1 => KeyLevel::Zero,
+                    _ => KeyLevel::PosHalf,
+                })
+                .collect();
+            array.write_row_scaled(row, row, &levels, 1.0).unwrap();
+            keys.push(levels);
+        }
+        let query_vec = random_vec(&mut rng, dim);
+        let (query, _) = quantize_query(&query_vec, QueryPrecision::TwoBit);
+
+        let search = array.cam_top_k(&query, k).unwrap();
+        let mut scores: Vec<(usize, f64)> =
+            (0..rows).map(|r| (r, level_score(&keys[r], &query))).collect();
+        scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        let cutoff = scores[k - 1].1;
+        for &row in &search.selected_rows {
+            let s = level_score(&keys[row], &query);
+            assert!(
+                s >= cutoff - 1e-9,
+                "trial {trial}: selected row {row} with score {s} below cutoff {cutoff}"
+            );
+        }
+        assert_eq!(search.selected_rows.len(), k);
+    }
+}
+
+#[test]
+fn cam_topk_tracks_software_topk_with_full_range_keys() {
+    // Full-range keys hit the sub-threshold floor on perfectly matching
+    // dimensions, compressing their analog score by ≈0.1 level units per
+    // full match; the CAM selection therefore matches software top-k up to
+    // that physical margin.
+    let mut rng = ChaCha8Rng::seed_from_u64(78);
+    let dim = 64;
+    let rows = 48;
+    let k = 8;
+    for trial in 0..5 {
+        let mut array = UniCaimArray::new(ArrayConfig {
+            rows,
+            dim,
+            sigma_vth: 0.0,
+            variation_seed: trial,
+            cell_precision: CellPrecision::ThreeBit,
+            query_precision: QueryPrecision::TwoBit,
+            ..ArrayConfig::default()
+        });
+        let mut keys = Vec::new();
+        for row in 0..rows {
+            let key = random_vec(&mut rng, dim);
+            let (levels, scale) = quantize_key(&key, CellPrecision::ThreeBit);
+            array.write_row_scaled(row, row, &levels, scale).unwrap();
+            keys.push(levels);
+        }
+        let (query, _) = quantize_query(&random_vec(&mut rng, dim), QueryPrecision::TwoBit);
+
+        let search = array.cam_top_k(&query, k).unwrap();
+        let mut scores: Vec<(usize, f64)> =
+            (0..rows).map(|r| (r, level_score(&keys[r], &query))).collect();
+        scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        let cutoff = scores[k - 1].1;
+        for &row in &search.selected_rows {
+            let s = level_score(&keys[row], &query);
+            assert!(
+                s >= cutoff - 1.0,
+                "trial {trial}: selected row {row} with score {s} far below cutoff {cutoff}"
+            );
+        }
+        assert_eq!(search.selected_rows.len(), k);
+    }
+}
+
+#[test]
+fn adc_scores_preserve_ranking_of_well_separated_rows() {
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    let dim = 64;
+    let mut array = UniCaimArray::new(ArrayConfig {
+        rows: 16,
+        dim,
+        sigma_vth: 0.0,
+        cell_precision: CellPrecision::ThreeBit,
+        query_precision: QueryPrecision::TwoBit,
+        ..ArrayConfig::default()
+    });
+    let mut keys = Vec::new();
+    for row in 0..16 {
+        let key = random_vec(&mut rng, dim);
+        let (levels, scale) = quantize_key(&key, CellPrecision::ThreeBit);
+        array.write_row_scaled(row, row, &levels, scale).unwrap();
+        keys.push(levels);
+    }
+    let (query, _) = quantize_query(&random_vec(&mut rng, dim), QueryPrecision::TwoBit);
+    let rows: Vec<usize> = (0..16).collect();
+    let measured = array.exact_scores(&query, &rows).unwrap();
+
+    let margin = 0.12 * dim as f64 * 0.25 + 2.0 * array.score_lsb();
+    for i in 0..16 {
+        for j in 0..16 {
+            let si = level_score(&keys[i], &query);
+            let sj = level_score(&keys[j], &query);
+            if si > sj + margin {
+                assert!(
+                    measured[i].1 > measured[j].1,
+                    "ordering violated: true {si:.2} vs {sj:.2}, measured {:.2} vs {:.2}",
+                    measured[i].1,
+                    measured[j].1
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn variation_only_perturbs_marginal_selections() {
+    let mut rng = ChaCha8Rng::seed_from_u64(123);
+    let dim = 128;
+    let rows = 64;
+    let k = 8;
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for trial in 0..8u64 {
+        let mk = |sigma: f64| {
+            UniCaimArray::new(ArrayConfig {
+                rows,
+                dim,
+                sigma_vth: sigma,
+                variation_seed: trial,
+                cell_precision: CellPrecision::ThreeBit,
+                query_precision: QueryPrecision::TwoBit,
+                ..ArrayConfig::default()
+            })
+        };
+        let mut ideal = mk(0.0);
+        let mut noisy = mk(0.054);
+        let mut quantized_keys = Vec::new();
+        for row in 0..rows {
+            let key = random_vec(&mut rng, dim);
+            let (levels, scale) = quantize_key(&key, CellPrecision::ThreeBit);
+            ideal.write_row_scaled(row, row, &levels, scale).unwrap();
+            noisy.write_row_scaled(row, row, &levels, scale).unwrap();
+            quantized_keys.push(levels);
+        }
+        let (query, _) = quantize_query(&random_vec(&mut rng, dim), QueryPrecision::TwoBit);
+        let want: std::collections::BTreeSet<usize> =
+            ideal.cam_top_k(&query, k).unwrap().selected_rows.into_iter().collect();
+        let got: std::collections::BTreeSet<usize> =
+            noisy.cam_top_k(&query, k).unwrap().selected_rows.into_iter().collect();
+        agree += want.intersection(&got).count();
+        total += k;
+    }
+    let recall = agree as f64 / total as f64;
+    assert!(recall >= 0.75, "variation recall too low: {recall:.2}");
+}
