@@ -43,8 +43,11 @@ pub fn aedp_table(workload: &AttentionWorkload) -> Vec<AedpRow> {
     for &pruning_ratio in &[0.5, 0.8] {
         let keep = 1.0 - pruning_ratio;
         let base_spec = PruningSpec::uniform(keep, 64);
-        let uni_spec =
-            PruningSpec { static_keep: 0.5, dynamic_keep: keep, reserved_decode: 64 };
+        let uni_spec = PruningSpec {
+            static_keep: 0.5,
+            dynamic_keep: keep,
+            reserved_decode: 64,
+        };
         for cell in [UniCaimCellKind::OneBit, UniCaimCellKind::ThreeBit] {
             let uni = match cell {
                 UniCaimCellKind::OneBit => UniCaimDesign::one_bit(),
@@ -55,9 +58,13 @@ pub fn aedp_table(workload: &AttentionWorkload) -> Vec<AedpRow> {
                 pruning_ratio,
                 cell,
                 unicaim_aedp: uni_aedp,
-                vs_sprint: SprintDesign::default().evaluate(workload, &base_spec).aedp()
+                vs_sprint: SprintDesign::default()
+                    .evaluate(workload, &base_spec)
+                    .aedp()
                     / uni_aedp,
-                vs_trancim: TranCimDesign::default().evaluate(workload, &base_spec).aedp()
+                vs_trancim: TranCimDesign::default()
+                    .evaluate(workload, &base_spec)
+                    .aedp()
                     / uni_aedp,
                 vs_cimformer: CimFormerDesign::default()
                     .evaluate(workload, &base_spec)
@@ -73,7 +80,12 @@ pub fn aedp_table(workload: &AttentionWorkload) -> Vec<AedpRow> {
 /// paper's 512 heavy tokens, 64 decode steps, d = 128, 3-bit keys.
 #[must_use]
 pub fn table2_workload() -> AttentionWorkload {
-    AttentionWorkload { input_len: 1024, output_len: 64, dim: 128, key_bits: 3 }
+    AttentionWorkload {
+        input_len: 1024,
+        output_len: 64,
+        dim: 128,
+        key_bits: 3,
+    }
 }
 
 /// One point of a sequence-length sweep: the x value plus one y value per
@@ -87,7 +99,12 @@ pub struct SweepPoint {
 }
 
 fn base_workload(input_len: usize, output_len: usize) -> AttentionWorkload {
-    AttentionWorkload { input_len, output_len, dim: 128, key_bits: 3 }
+    AttentionWorkload {
+        input_len,
+        output_len,
+        dim: 128,
+        key_bits: 3,
+    }
 }
 
 /// Fig. 10 reproduction: required device count vs sequence length under
@@ -98,19 +115,32 @@ pub fn area_sweep(seq_lens: &[usize], sweep_output: bool, keep: f64) -> Vec<Swee
     seq_lens
         .iter()
         .map(|&len| {
-            let w = if sweep_output { base_workload(2048, len) } else { base_workload(len, 64) };
+            let w = if sweep_output {
+                base_workload(2048, len)
+            } else {
+                base_workload(len, 64)
+            };
             let p = PruningSpec::uniform(keep, 64);
             let mut values = BTreeMap::new();
             values.insert(
                 "no_pruning".into(),
-                UniCaimDesign::one_bit().with_static(false).with_dynamic(false).devices(&w, &p),
+                UniCaimDesign::one_bit()
+                    .with_static(false)
+                    .with_dynamic(false)
+                    .devices(&w, &p),
             );
             values.insert(
                 "static_only".into(),
                 UniCaimDesign::one_bit().with_dynamic(false).devices(&w, &p),
             );
-            values.insert("unicaim_1bit".into(), UniCaimDesign::one_bit().devices(&w, &p));
-            values.insert("unicaim_3bit".into(), UniCaimDesign::three_bit().devices(&w, &p));
+            values.insert(
+                "unicaim_1bit".into(),
+                UniCaimDesign::one_bit().devices(&w, &p),
+            );
+            values.insert(
+                "unicaim_3bit".into(),
+                UniCaimDesign::three_bit().devices(&w, &p),
+            );
             SweepPoint { x: len, values }
         })
         .collect()
@@ -123,7 +153,11 @@ pub fn energy_sweep(seq_lens: &[usize], sweep_output: bool, keep: f64) -> Vec<Sw
     seq_lens
         .iter()
         .map(|&len| {
-            let w = if sweep_output { base_workload(2048, len) } else { base_workload(len, 64) };
+            let w = if sweep_output {
+                base_workload(2048, len)
+            } else {
+                base_workload(len, 64)
+            };
             let p = PruningSpec::uniform(keep, 64);
             let mut values = BTreeMap::new();
             values.insert(
@@ -132,7 +166,9 @@ pub fn energy_sweep(seq_lens: &[usize], sweep_output: bool, keep: f64) -> Vec<Sw
             );
             values.insert(
                 "conventional_dynamic".into(),
-                ConventionalDynamicCim::default().evaluate(&w, &p).energy_per_step,
+                ConventionalDynamicCim::default()
+                    .evaluate(&w, &p)
+                    .energy_per_step,
             );
             values.insert(
                 "unicaim".into(),
@@ -150,7 +186,11 @@ pub fn delay_sweep(seq_lens: &[usize], sweep_output: bool, keep: f64) -> Vec<Swe
     seq_lens
         .iter()
         .map(|&len| {
-            let w = if sweep_output { base_workload(2048, len) } else { base_workload(len, 64) };
+            let w = if sweep_output {
+                base_workload(2048, len)
+            } else {
+                base_workload(len, 64)
+            };
             let p = PruningSpec::uniform(keep, 64);
             let mut values = BTreeMap::new();
             values.insert(
@@ -159,7 +199,9 @@ pub fn delay_sweep(seq_lens: &[usize], sweep_output: bool, keep: f64) -> Vec<Swe
             );
             values.insert(
                 "conventional_dynamic".into(),
-                ConventionalDynamicCim::default().evaluate(&w, &p).delay_per_step,
+                ConventionalDynamicCim::default()
+                    .evaluate(&w, &p)
+                    .delay_per_step,
             );
             values.insert(
                 "unicaim".into(),
@@ -236,10 +278,16 @@ mod tests {
         }
         // The paper's headline span: 8.2x .. 831x. Accept the same order of
         // magnitude at the extremes.
-        let min_ratio = rows.iter().map(|r| r.vs_sprint).fold(f64::INFINITY, f64::min);
+        let min_ratio = rows
+            .iter()
+            .map(|r| r.vs_sprint)
+            .fold(f64::INFINITY, f64::min);
         let max_ratio = rows.iter().map(|r| r.vs_cimformer).fold(0.0, f64::max);
         assert!((4.0..20.0).contains(&min_ratio), "min ratio {min_ratio}");
-        assert!((100.0..2000.0).contains(&max_ratio), "max ratio {max_ratio}");
+        assert!(
+            (100.0..2000.0).contains(&max_ratio),
+            "max ratio {max_ratio}"
+        );
     }
 
     #[test]
@@ -268,7 +316,11 @@ mod tests {
             let stat = p.values["static_only"];
             let uni = p.values["unicaim_1bit"];
             let uni3 = p.values["unicaim_3bit"];
-            assert!(stat < full, "static pruning must reduce devices at x={}", p.x);
+            assert!(
+                stat < full,
+                "static pruning must reduce devices at x={}",
+                p.x
+            );
             // CAM periphery adds only marginal devices.
             assert!((uni - stat) / stat < 0.02, "x={}", p.x);
             assert!(uni3 < uni, "3-bit cells must reduce devices at x={}", p.x);
@@ -289,7 +341,10 @@ mod tests {
             let improvement = |p: &SweepPoint| p.values["no_pruning"] / p.values["unicaim"];
             let first = improvement(&pts[0]);
             let last = improvement(&pts[pts.len() - 1]);
-            assert!(last > first, "improvement must grow with length: {first} -> {last}");
+            assert!(
+                last > first,
+                "improvement must grow with length: {first} -> {last}"
+            );
             assert!(first > 1.0);
         }
     }

@@ -74,7 +74,10 @@ impl UniCaimDesign {
     /// The 3-bit-cell variant with both pruning modes.
     #[must_use]
     pub fn three_bit() -> Self {
-        Self { cell: UniCaimCellKind::ThreeBit, ..Self::one_bit() }
+        Self {
+            cell: UniCaimCellKind::ThreeBit,
+            ..Self::one_bit()
+        }
     }
 
     /// Disables/enables dynamic pruning (ablation).
@@ -118,7 +121,11 @@ impl UniCaimDesign {
         let t = &self.tech;
         let rows = self.rows(w, p) as f64;
         let cells = self.cells_per_row(w) as f64;
-        let row_periph = if self.dynamic { t.devices_per_row_periph } else { 4.0 };
+        let row_periph = if self.dynamic {
+            t.devices_per_row_periph
+        } else {
+            4.0
+        };
         rows * cells * t.devices_per_cell
             + rows * row_periph
             + t.n_adcs as f64 * t.devices_per_adc
@@ -305,8 +312,8 @@ impl Accelerator for CimFormerDesign {
         for step in 0..w.output_len {
             let n = PruningSpec::resident_full(w, step);
             let k = p.selected(n);
-            energy.array += n as f64 * w.dim as f64 * t.e_mac_dig4
-                + k as f64 * w.dim as f64 * t.e_mac_dig8;
+            energy.array +=
+                n as f64 * w.dim as f64 * t.e_mac_dig4 + k as f64 * w.dim as f64 * t.e_mac_dig8;
             energy.topk += n as f64 * log2f(n) * t.e_cmp_topk;
             delay += (n + k) as f64 * t.t_row_cimformer + log2f(n) * t.t_topk_stage;
         }
@@ -403,11 +410,9 @@ impl Accelerator for SprintDesign {
             let k = p.selected(n);
             energy.topk += n as f64 * t.e_sense_low;
             energy.adc += k as f64 * t.e_adc10;
-            energy.array += k as f64 * t.e_row_read
-                + k as f64 * w.dim as f64 * t.e_mac_dig4;
-            delay += t.t_sense_low
-                + div_ceil_f(k, t.n_adcs) * t.t_adc10
-                + k as f64 * t.t_row_sprint;
+            energy.array += k as f64 * t.e_row_read + k as f64 * w.dim as f64 * t.e_mac_dig4;
+            delay +=
+                t.t_sense_low + div_ceil_f(k, t.n_adcs) * t.t_adc10 + k as f64 * t.t_row_sprint;
         }
         let steps = w.output_len.max(1);
         let inv = 1.0 / steps as f64;
@@ -437,8 +442,17 @@ mod tests {
     fn fig11a_setup() -> (AttentionWorkload, PruningSpec) {
         // Fig. 11a: 576 resident tokens, dynamic selection keeps 20%,
         // no static pruning (isolates the dynamic-pruning comparison).
-        let w = AttentionWorkload { input_len: 576, output_len: 1, dim: 128, key_bits: 3 };
-        let p = PruningSpec { static_keep: 1.0, dynamic_keep: 0.2, reserved_decode: usize::MAX };
+        let w = AttentionWorkload {
+            input_len: 576,
+            output_len: 1,
+            dim: 128,
+            key_bits: 3,
+        };
+        let p = PruningSpec {
+            static_keep: 1.0,
+            dynamic_keep: 0.2,
+            reserved_decode: usize::MAX,
+        };
         (w, p)
     }
 
@@ -447,8 +461,16 @@ mod tests {
         let (w, p) = fig11a_setup();
         let r = NoPruningCim::default().evaluate(&w, &p);
         // Paper: ADC 6.51 nJ + CIM array 0.59 nJ = 7.1 nJ.
-        assert!((r.breakdown.adc - 6.51e-9).abs() / 6.51e-9 < 0.05, "{:?}", r.breakdown);
-        assert!((r.breakdown.array - 0.59e-9).abs() / 0.59e-9 < 0.05, "{:?}", r.breakdown);
+        assert!(
+            (r.breakdown.adc - 6.51e-9).abs() / 6.51e-9 < 0.05,
+            "{:?}",
+            r.breakdown
+        );
+        assert!(
+            (r.breakdown.array - 0.59e-9).abs() / 0.59e-9 < 0.05,
+            "{:?}",
+            r.breakdown
+        );
         assert!((r.energy_per_step - 7.1e-9).abs() / 7.1e-9 < 0.05);
     }
 
@@ -457,7 +479,10 @@ mod tests {
         let (w, p) = fig11a_setup();
         let r = ConventionalDynamicCim::default().evaluate(&w, &p);
         // Paper: total 6.49 nJ (0.91x), with ~1.29 nJ top-k.
-        assert!((r.energy_per_step - 6.49e-9).abs() / 6.49e-9 < 0.08, "{r:?}");
+        assert!(
+            (r.energy_per_step - 6.49e-9).abs() / 6.49e-9 < 0.08,
+            "{r:?}"
+        );
         assert!((r.breakdown.topk - 1.29e-9).abs() / 1.29e-9 < 0.1, "{r:?}");
     }
 
@@ -475,9 +500,15 @@ mod tests {
         let (w, p) = fig11a_setup();
         // Paper: no pruning 90 ns; conventional ~104 ns; UniCAIM ~22 ns.
         let no_prune = NoPruningCim::default().evaluate(&w, &p);
-        assert!((no_prune.delay_per_step - 90e-9).abs() / 90e-9 < 0.05, "{no_prune:?}");
+        assert!(
+            (no_prune.delay_per_step - 90e-9).abs() / 90e-9 < 0.05,
+            "{no_prune:?}"
+        );
         let conv = ConventionalDynamicCim::default().evaluate(&w, &p);
-        assert!((conv.delay_per_step - 104e-9).abs() / 104e-9 < 0.08, "{conv:?}");
+        assert!(
+            (conv.delay_per_step - 104e-9).abs() / 104e-9 < 0.08,
+            "{conv:?}"
+        );
         let uni = UniCaimDesign::one_bit().with_static(false).evaluate(&w, &p);
         assert!((uni.delay_per_step - 22e-9).abs() / 22e-9 < 0.1, "{uni:?}");
         // Conventional dynamic pruning alone *increases* latency over no
@@ -503,7 +534,10 @@ mod tests {
         let p = PruningSpec::uniform(0.5, 64);
         let one = UniCaimDesign::one_bit().evaluate(&w, &p).aedp();
         let three = UniCaimDesign::three_bit().evaluate(&w, &p).aedp();
-        assert!(three < one / 1.5, "3-bit cell must clearly reduce AEDP: {three:.3e} vs {one:.3e}");
+        assert!(
+            three < one / 1.5,
+            "3-bit cell must clearly reduce AEDP: {three:.3e} vs {one:.3e}"
+        );
     }
 
     #[test]
@@ -534,6 +568,9 @@ mod tests {
         let with_cam = UniCaimDesign::one_bit().devices(&w, &p);
         let without = UniCaimDesign::one_bit().with_dynamic(false).devices(&w, &p);
         let overhead = (with_cam - without) / without;
-        assert!(overhead < 0.02, "CAM periphery overhead {overhead:.4} must be ~negligible");
+        assert!(
+            overhead < 0.02,
+            "CAM periphery overhead {overhead:.4} must be ~negligible"
+        );
     }
 }

@@ -55,8 +55,8 @@ mod tech;
 mod workload;
 
 pub use comparison::{
-    aedp_table, area_sweep, delay_sweep, energy_sweep, qualitative_table, table2_workload,
-    AedpRow, QualitativeRow, SweepPoint,
+    aedp_table, area_sweep, delay_sweep, energy_sweep, qualitative_table, table2_workload, AedpRow,
+    QualitativeRow, SweepPoint,
 };
 pub use designs::{
     Accelerator, CimFormerDesign, ConventionalDynamicCim, NoPruningCim, SprintDesign,

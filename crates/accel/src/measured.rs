@@ -60,14 +60,27 @@ mod tests {
     #[test]
     fn devices_count_matches_analytic_model_shape() {
         let tech = Technology::default();
-        let config = ArrayConfig { rows: 576, dim: 128, ..ArrayConfig::default() };
+        let config = ArrayConfig {
+            rows: 576,
+            dim: 128,
+            ..ArrayConfig::default()
+        };
         let measured = devices_for_array(&tech, &config);
         // Same workload through the analytic model: 3-bit cell, H+M = 576.
         // The analytic model's cells/row = dim (ThreeBit, no expansion),
         // the concrete array uses 2-bit queries (4x cells), so it sits
         // between the analytic 3-bit and 1-bit variants.
-        let w = AttentionWorkload { input_len: 1024, output_len: 64, dim: 128, key_bits: 3 };
-        let p = PruningSpec { static_keep: 0.5, dynamic_keep: 0.5, reserved_decode: 64 };
+        let w = AttentionWorkload {
+            input_len: 1024,
+            output_len: 64,
+            dim: 128,
+            key_bits: 3,
+        };
+        let p = PruningSpec {
+            static_keep: 0.5,
+            dynamic_keep: 0.5,
+            reserved_decode: 64,
+        };
         let three = UniCaimDesign::three_bit();
         assert_eq!(three.cell, UniCaimCellKind::ThreeBit);
         let analytic_3bit = three.devices(&w, &p);
@@ -132,13 +145,20 @@ mod tests {
     fn adc_dominates_measured_energy() {
         let workload = needle_task(128, 16, 32);
         let mut engine = UniCaimEngine::new(
-            ArrayConfig { dim: workload.dim, sigma_vth: 0.0, ..ArrayConfig::default() },
+            ArrayConfig {
+                dim: workload.dim,
+                sigma_vth: 0.0,
+                ..ArrayConfig::default()
+            },
             EngineConfig { h: 64, m: 8, k: 24 },
         )
         .unwrap();
         let run = engine.run(&workload).unwrap();
         let tech = Technology::default();
-        let mut sized = ArrayConfig { dim: workload.dim, ..ArrayConfig::default() };
+        let mut sized = ArrayConfig {
+            dim: workload.dim,
+            ..ArrayConfig::default()
+        };
         sized.rows = 72;
         let report = cost_from_stats("unicaim_measured", &tech, &sized, &run.stats);
         assert!(report.breakdown.adc > 0.5 * report.energy_per_step);

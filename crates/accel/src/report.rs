@@ -72,7 +72,12 @@ mod tests {
 
     #[test]
     fn breakdown_total() {
-        let b = EnergyBreakdown { array: 1.0, adc: 2.0, topk: 3.0, write: 4.0 };
+        let b = EnergyBreakdown {
+            array: 1.0,
+            adc: 2.0,
+            topk: 3.0,
+            write: 4.0,
+        };
         assert!((b.total() - 10.0).abs() < 1e-12);
     }
 

@@ -162,7 +162,10 @@ mod tests {
     fn cam_row_energy_is_femtojoule_scale() {
         let t = Technology::default();
         let e = t.e_cam_row(384);
-        assert!(e > 1e-15 && e < 1e-12, "CAM row energy {e:.3e} out of range");
+        assert!(
+            e > 1e-15 && e < 1e-12,
+            "CAM row energy {e:.3e} out of range"
+        );
         // Orders of magnitude below one ADC conversion — the architectural
         // point of the CAM mode.
         assert!(e < t.e_adc10 / 100.0);

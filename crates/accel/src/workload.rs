@@ -21,7 +21,12 @@ impl AttentionWorkload {
     /// 64 output tokens, d = 128, 3-bit keys.
     #[must_use]
     pub fn paper_default() -> Self {
-        Self { input_len: 512, output_len: 64, dim: 128, key_bits: 3 }
+        Self {
+            input_len: 512,
+            output_len: 64,
+            dim: 128,
+            key_bits: 3,
+        }
     }
 
     /// Total tokens an unpruned cache holds at the end of decoding.
@@ -48,13 +53,21 @@ impl PruningSpec {
     /// "pruning ratio" of p keeps `1 − p` of the tokens.
     #[must_use]
     pub fn uniform(keep: f64, reserved_decode: usize) -> Self {
-        Self { static_keep: keep, dynamic_keep: keep, reserved_decode }
+        Self {
+            static_keep: keep,
+            dynamic_keep: keep,
+            reserved_decode,
+        }
     }
 
     /// No pruning at all.
     #[must_use]
     pub fn none() -> Self {
-        Self { static_keep: 1.0, dynamic_keep: 1.0, reserved_decode: usize::MAX }
+        Self {
+            static_keep: 1.0,
+            dynamic_keep: 1.0,
+            reserved_decode: usize::MAX,
+        }
     }
 
     /// Resident tokens at decode step `s` *with* static pruning: `H` heavy

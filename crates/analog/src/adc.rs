@@ -78,7 +78,7 @@ impl SarAdc {
             ("energy_per_conversion", params.energy_per_conversion),
             ("conversion_time", params.conversion_time),
         ] {
-            if !(v > 0.0) {
+            if !crate::is_strictly_positive(v) {
                 return Err(AnalogError::InvalidParameter {
                     name,
                     reason: format!("must be positive, got {v}"),
@@ -163,7 +163,10 @@ mod tests {
     fn codes_cover_range() {
         let adc = SarAdc::paper_default();
         assert_eq!(adc.quantize(0.0).code, 0);
-        assert_eq!(adc.quantize(adc.params().full_scale).code, adc.n_codes() - 1);
+        assert_eq!(
+            adc.quantize(adc.params().full_scale).code,
+            adc.n_codes() - 1
+        );
     }
 
     #[test]
@@ -173,7 +176,11 @@ mod tests {
         for i in 0..1000 {
             let x = fs * f64::from(i) / 1000.0;
             let err = (adc.quantize_value(x) - x).abs();
-            assert!(err <= adc.lsb(), "error {err} exceeds one LSB {}", adc.lsb());
+            assert!(
+                err <= adc.lsb(),
+                "error {err} exceeds one LSB {}",
+                adc.lsb()
+            );
         }
     }
 
@@ -216,11 +223,20 @@ mod tests {
 
     #[test]
     fn rejects_invalid_params() {
-        let bad = SarAdcParams { bits: 0, ..SarAdcParams::default() };
+        let bad = SarAdcParams {
+            bits: 0,
+            ..SarAdcParams::default()
+        };
         assert!(SarAdc::new(bad).is_err());
-        let bad = SarAdcParams { bits: 30, ..SarAdcParams::default() };
+        let bad = SarAdcParams {
+            bits: 30,
+            ..SarAdcParams::default()
+        };
         assert!(SarAdc::new(bad).is_err());
-        let bad = SarAdcParams { full_scale: 0.0, ..SarAdcParams::default() };
+        let bad = SarAdcParams {
+            full_scale: 0.0,
+            ..SarAdcParams::default()
+        };
         assert!(SarAdc::new(bad).is_err());
     }
 

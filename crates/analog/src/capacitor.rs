@@ -34,7 +34,7 @@ impl ChargeShare {
     /// non-positive.
     pub fn between(c1: f64, v1: f64, c2: f64, v2: f64) -> Result<Self, AnalogError> {
         for (name, c) in [("c1", c1), ("c2", c2)] {
-            if !(c > 0.0) {
+            if !crate::is_strictly_positive(c) {
                 return Err(AnalogError::InvalidParameter {
                     name,
                     reason: format!("capacitance must be positive, got {c}"),
@@ -44,7 +44,10 @@ impl ChargeShare {
         let v_final = (c1 * v1 + c2 * v2) / (c1 + c2);
         let series = c1 * c2 / (c1 + c2);
         let dissipated = 0.5 * series * (v1 - v2) * (v1 - v2);
-        Ok(Self { v_final, dissipated })
+        Ok(Self {
+            v_final,
+            dissipated,
+        })
     }
 }
 
@@ -70,7 +73,7 @@ impl AccumulatorCap {
     /// Returns [`AnalogError::InvalidParameter`] for a non-positive
     /// capacitance or a negative initial voltage.
     pub fn new(capacitance: f64, v0: f64) -> Result<Self, AnalogError> {
-        if !(capacitance > 0.0) {
+        if !crate::is_strictly_positive(capacitance) {
             return Err(AnalogError::InvalidParameter {
                 name: "capacitance",
                 reason: format!("must be positive, got {capacitance}"),
@@ -82,7 +85,10 @@ impl AccumulatorCap {
                 reason: format!("must be non-negative, got {v0}"),
             });
         }
-        Ok(Self { capacitance, voltage: v0 })
+        Ok(Self {
+            capacitance,
+            voltage: v0,
+        })
     }
 
     /// Current accumulator voltage, volts.
@@ -162,7 +168,10 @@ mod tests {
             assert!(acc.voltage() > last);
             last = acc.voltage();
         }
-        assert!(last > 0.9, "accumulator should approach the line voltage, got {last}");
+        assert!(
+            last > 0.9,
+            "accumulator should approach the line voltage, got {last}"
+        );
     }
 
     #[test]

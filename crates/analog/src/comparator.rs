@@ -38,7 +38,7 @@ impl FeInverter {
     /// Returns [`AnalogError::InvalidParameter`] for a non-positive
     /// switching voltage or a negative hysteresis.
     pub fn with_hysteresis(switching_voltage: f64, hysteresis: f64) -> Result<Self, AnalogError> {
-        if !(switching_voltage > 0.0) {
+        if !crate::is_strictly_positive(switching_voltage) {
             return Err(AnalogError::InvalidParameter {
                 name: "switching_voltage",
                 reason: format!("must be positive, got {switching_voltage}"),
@@ -50,7 +50,10 @@ impl FeInverter {
                 reason: format!("must be non-negative, got {hysteresis}"),
             });
         }
-        Ok(Self { switching_voltage, hysteresis })
+        Ok(Self {
+            switching_voltage,
+            hysteresis,
+        })
     }
 
     /// The programmed switching voltage, volts.
@@ -72,7 +75,7 @@ impl FeInverter {
     ///
     /// Returns [`AnalogError::InvalidParameter`] for a non-positive voltage.
     pub fn program(&mut self, switching_voltage: f64) -> Result<(), AnalogError> {
-        if !(switching_voltage > 0.0) {
+        if !crate::is_strictly_positive(switching_voltage) {
             return Err(AnalogError::InvalidParameter {
                 name: "switching_voltage",
                 reason: format!("must be positive, got {switching_voltage}"),
@@ -114,7 +117,7 @@ impl CurrentComparator {
     /// Returns [`AnalogError::InvalidParameter`] for a non-positive
     /// reference.
     pub fn with_offset(i_ref: f64, offset: f64) -> Result<Self, AnalogError> {
-        if !(i_ref > 0.0) {
+        if !crate::is_strictly_positive(i_ref) {
             return Err(AnalogError::InvalidParameter {
                 name: "i_ref",
                 reason: format!("must be positive, got {i_ref}"),

@@ -55,8 +55,14 @@ impl DischargeRace {
     /// symmetry; pass the precharge voltage).
     #[must_use]
     pub fn constant_current(v0: f64, capacitance: f64, currents: &[f64]) -> Self {
-        Self::try_new(v0, capacitance, currents, v0, DischargeMode::ConstantCurrent)
-            .expect("invalid DischargeRace parameters")
+        Self::try_new(
+            v0,
+            capacitance,
+            currents,
+            v0,
+            DischargeMode::ConstantCurrent,
+        )
+        .expect("invalid DischargeRace parameters")
     }
 
     /// Fallible constructor.
@@ -73,7 +79,7 @@ impl DischargeRace {
         mode: DischargeMode,
     ) -> Result<Self, AnalogError> {
         for (name, v) in [("v0", v0), ("capacitance", capacitance), ("v_ref", v_ref)] {
-            if !(v > 0.0) {
+            if !crate::is_strictly_positive(v) {
                 return Err(AnalogError::InvalidParameter {
                     name,
                     reason: format!("must be positive, got {v}"),
@@ -86,7 +92,13 @@ impl DischargeRace {
                 reason: format!("currents must be finite and non-negative, got {bad}"),
             });
         }
-        Ok(Self { v0, capacitance, currents: currents.to_vec(), v_ref, mode })
+        Ok(Self {
+            v0,
+            capacitance,
+            currents: currents.to_vec(),
+            v_ref,
+            mode,
+        })
     }
 
     /// Number of racing nodes.
@@ -165,7 +177,9 @@ impl DischargeRace {
         order.sort_by(|&a, &b| {
             let ta = self.crossing_time(a, v_threshold).unwrap_or(f64::INFINITY);
             let tb = self.crossing_time(b, v_threshold).unwrap_or(f64::INFINITY);
-            ta.partial_cmp(&tb).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+            ta.partial_cmp(&tb)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
         });
         order
     }
@@ -211,7 +225,10 @@ impl DischargeRace {
         self.currents
             .get(node)
             .copied()
-            .ok_or(AnalogError::NodeOutOfRange { node, n_nodes: self.currents.len() })
+            .ok_or(AnalogError::NodeOutOfRange {
+                node,
+                n_nodes: self.currents.len(),
+            })
     }
 }
 
@@ -299,7 +316,10 @@ mod tests {
     #[test]
     fn node_out_of_range_reported() {
         let r = race();
-        assert!(matches!(r.voltage_at(9, 0.0), Err(AnalogError::NodeOutOfRange { node: 9, .. })));
+        assert!(matches!(
+            r.voltage_at(9, 0.0),
+            Err(AnalogError::NodeOutOfRange { node: 9, .. })
+        ));
     }
 
     #[test]

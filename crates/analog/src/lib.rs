@@ -50,6 +50,13 @@ pub use comparator::{CurrentComparator, FeInverter};
 pub use discharge::{DischargeMode, DischargeRace};
 pub use wire::WireParasitics;
 
+/// Strict positivity check for physical parameters. `NaN` compares false,
+/// so non-finite garbage fails validation along with zeros and negatives.
+#[must_use]
+pub fn is_strictly_positive(v: f64) -> bool {
+    v > 0.0
+}
+
 /// Errors reported by the analog primitive layer.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AnalogError {

@@ -18,7 +18,10 @@ pub struct WireParasitics {
 impl Default for WireParasitics {
     fn default() -> Self {
         // 45 nm-class: ~0.2 fF per cell on the sense line, 2 fF fixed.
-        Self { c_fixed: 2e-15, c_per_cell: 0.2e-15 }
+        Self {
+            c_fixed: 2e-15,
+            c_per_cell: 0.2e-15,
+        }
     }
 }
 
@@ -52,8 +55,6 @@ mod tests {
     #[test]
     fn total_scales_with_lines() {
         let w = WireParasitics::default();
-        assert!(
-            (w.total_capacitance(64, 128) - 64.0 * w.line_capacitance(128)).abs() < 1e-27
-        );
+        assert!((w.total_capacitance(64, 128) - 64.0 * w.line_capacitance(128)).abs() < 1e-27);
     }
 }

@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use unicaim_analog::{
-    precharge_energy, AccumulatorCap, ChargeShare, CurrentComparator, DischargeMode,
-    DischargeRace, FeInverter, SarAdc, SarAdcParams,
+    precharge_energy, AccumulatorCap, ChargeShare, CurrentComparator, DischargeMode, DischargeRace,
+    FeInverter, SarAdc, SarAdcParams,
 };
 
 proptest! {

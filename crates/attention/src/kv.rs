@@ -35,7 +35,11 @@ impl KvStore {
     /// dimension `dim`.
     #[must_use]
     pub fn new(capacity: usize, dim: usize) -> Self {
-        Self { dim, capacity, slots: vec![None; capacity] }
+        Self {
+            dim,
+            capacity,
+            slots: vec![None; capacity],
+        }
     }
 
     /// Vector dimension.
@@ -81,7 +85,10 @@ impl KvStore {
         entry: KvEntry,
     ) -> Result<Option<KvEntry>, AttentionError> {
         if slot >= self.capacity {
-            return Err(AttentionError::IndexOutOfRange { index: slot, len: self.capacity });
+            return Err(AttentionError::IndexOutOfRange {
+                index: slot,
+                len: self.capacity,
+            });
         }
         if entry.key.len() != self.dim || entry.value.len() != self.dim {
             return Err(AttentionError::ShapeMismatch {
@@ -106,7 +113,10 @@ impl KvStore {
     pub fn append(&mut self, entry: KvEntry) -> Result<usize, AttentionError> {
         let slot = self
             .first_free_slot()
-            .ok_or(AttentionError::IndexOutOfRange { index: self.capacity, len: self.capacity })?;
+            .ok_or(AttentionError::IndexOutOfRange {
+                index: self.capacity,
+                len: self.capacity,
+            })?;
         self.write_slot(slot, entry)?;
         Ok(slot)
     }
@@ -118,7 +128,10 @@ impl KvStore {
     /// Returns [`AttentionError::IndexOutOfRange`] for a bad slot.
     pub fn evict_slot(&mut self, slot: usize) -> Result<Option<KvEntry>, AttentionError> {
         if slot >= self.capacity {
-            return Err(AttentionError::IndexOutOfRange { index: slot, len: self.capacity });
+            return Err(AttentionError::IndexOutOfRange {
+                index: slot,
+                len: self.capacity,
+            });
         }
         Ok(self.slots[slot].take())
     }
@@ -131,13 +144,18 @@ impl KvStore {
 
     /// Iterator over `(slot, entry)` for occupied slots.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &KvEntry)> {
-        self.slots.iter().enumerate().filter_map(|(i, s)| s.as_ref().map(|e| (i, e)))
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|e| (i, e)))
     }
 
     /// The physical slot currently holding the given logical token, if any.
     #[must_use]
     pub fn slot_of_token(&self, token_id: usize) -> Option<usize> {
-        self.iter().find(|(_, e)| e.token_id == token_id).map(|(i, _)| i)
+        self.iter()
+            .find(|(_, e)| e.token_id == token_id)
+            .map(|(i, _)| i)
     }
 
     /// All occupied slots' token ids, in slot order.
@@ -152,7 +170,11 @@ mod tests {
     use super::*;
 
     fn entry(token_id: usize, dim: usize, fill: f32) -> KvEntry {
-        KvEntry { token_id, key: vec![fill; dim], value: vec![fill + 0.5; dim] }
+        KvEntry {
+            token_id,
+            key: vec![fill; dim],
+            value: vec![fill + 0.5; dim],
+        }
     }
 
     #[test]
@@ -162,7 +184,10 @@ mod tests {
         assert_eq!(store.append(entry(11, 4, 0.2)).unwrap(), 1);
         assert_eq!(store.append(entry(12, 4, 0.3)).unwrap(), 2);
         assert_eq!(store.len(), 3);
-        assert!(store.append(entry(13, 4, 0.4)).is_err(), "full store must reject appends");
+        assert!(
+            store.append(entry(13, 4, 0.4)).is_err(),
+            "full store must reject appends"
+        );
     }
 
     #[test]

@@ -19,7 +19,11 @@ impl Matrix {
     /// An all-zeros matrix of the given shape.
     #[must_use]
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Builds a matrix from explicit rows.
@@ -36,7 +40,11 @@ impl Matrix {
             assert_eq!(r.len(), n_cols, "all rows must have equal length");
             data.extend_from_slice(r);
         }
-        Self { rows: n_rows, cols: n_cols, data }
+        Self {
+            rows: n_rows,
+            cols: n_cols,
+            data,
+        }
     }
 
     /// Builds a matrix from a flat row-major buffer.
@@ -47,7 +55,10 @@ impl Matrix {
     pub fn from_flat(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, AttentionError> {
         if data.len() != rows * cols {
             return Err(AttentionError::ShapeMismatch {
-                context: format!("flat buffer of {} elements cannot be {rows}x{cols}", data.len()),
+                context: format!(
+                    "flat buffer of {} elements cannot be {rows}x{cols}",
+                    data.len()
+                ),
             });
         }
         Ok(Self { rows, cols, data })
@@ -57,7 +68,9 @@ impl Matrix {
     #[must_use]
     pub fn random_uniform(rows: usize, cols: usize, scale: f32, seed: u64) -> Self {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let data = (0..rows * cols).map(|_| rng.gen_range(-scale..=scale)).collect();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-scale..=scale))
+            .collect();
         Self { rows, cols, data }
     }
 

@@ -23,17 +23,29 @@ pub struct SetF1 {
 pub fn set_f1(predicted: &BTreeSet<usize>, truth: &BTreeSet<usize>) -> SetF1 {
     let hits = predicted.intersection(truth).count() as f64;
     let precision = if predicted.is_empty() {
-        if truth.is_empty() { 1.0 } else { 0.0 }
+        if truth.is_empty() {
+            1.0
+        } else {
+            0.0
+        }
     } else {
         hits / predicted.len() as f64
     };
-    let recall = if truth.is_empty() { 1.0 } else { hits / truth.len() as f64 };
+    let recall = if truth.is_empty() {
+        1.0
+    } else {
+        hits / truth.len() as f64
+    };
     let f1 = if precision + recall > 0.0 {
         2.0 * precision * recall / (precision + recall)
     } else {
         0.0
     };
-    SetF1 { precision, recall, f1 }
+    SetF1 {
+        precision,
+        recall,
+        f1,
+    }
 }
 
 /// Cosine similarity between two vectors (0 when either norm vanishes).
@@ -44,9 +56,21 @@ pub fn set_f1(predicted: &BTreeSet<usize>, truth: &BTreeSet<usize>) -> SetF1 {
 #[must_use]
 pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f64 {
     assert_eq!(a.len(), b.len(), "cosine of unequal lengths");
-    let dot: f64 = a.iter().zip(b).map(|(&x, &y)| f64::from(x) * f64::from(y)).sum();
-    let na: f64 = a.iter().map(|&x| f64::from(x) * f64::from(x)).sum::<f64>().sqrt();
-    let nb: f64 = b.iter().map(|&y| f64::from(y) * f64::from(y)).sum::<f64>().sqrt();
+    let dot: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| f64::from(x) * f64::from(y))
+        .sum();
+    let na: f64 = a
+        .iter()
+        .map(|&x| f64::from(x) * f64::from(x))
+        .sum::<f64>()
+        .sqrt();
+    let nb: f64 = b
+        .iter()
+        .map(|&y| f64::from(y) * f64::from(y))
+        .sum::<f64>()
+        .sqrt();
     if na == 0.0 || nb == 0.0 {
         0.0
     } else {
@@ -62,7 +86,11 @@ pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f64 {
 /// Panics if lengths differ.
 #[must_use]
 pub fn relative_l2_error(approx: &[f32], reference: &[f32]) -> f64 {
-    assert_eq!(approx.len(), reference.len(), "relative error of unequal lengths");
+    assert_eq!(
+        approx.len(),
+        reference.len(),
+        "relative error of unequal lengths"
+    );
     let num: f64 = approx
         .iter()
         .zip(reference)
@@ -72,8 +100,11 @@ pub fn relative_l2_error(approx: &[f32], reference: &[f32]) -> f64 {
         })
         .sum::<f64>()
         .sqrt();
-    let den: f64 =
-        reference.iter().map(|&y| f64::from(y) * f64::from(y)).sum::<f64>().sqrt();
+    let den: f64 = reference
+        .iter()
+        .map(|&y| f64::from(y) * f64::from(y))
+        .sum::<f64>()
+        .sqrt();
     if den == 0.0 {
         num
     } else {

@@ -66,7 +66,7 @@ impl AttentionConfig {
     ///
     /// Returns [`AttentionError::ShapeMismatch`] otherwise.
     pub fn validate(&self) -> Result<(), AttentionError> {
-        if self.n_heads == 0 || self.d_model % self.n_heads != 0 {
+        if self.n_heads == 0 || !self.d_model.is_multiple_of(self.n_heads) {
             return Err(AttentionError::ShapeMismatch {
                 context: format!(
                     "n_heads {} must be nonzero and divide d_model {}",
@@ -248,14 +248,32 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(AttentionConfig { d_model: 64, n_heads: 4 }.validate().is_ok());
-        assert!(AttentionConfig { d_model: 64, n_heads: 5 }.validate().is_err());
-        assert!(AttentionConfig { d_model: 64, n_heads: 0 }.validate().is_err());
+        assert!(AttentionConfig {
+            d_model: 64,
+            n_heads: 4
+        }
+        .validate()
+        .is_ok());
+        assert!(AttentionConfig {
+            d_model: 64,
+            n_heads: 5
+        }
+        .validate()
+        .is_err());
+        assert!(AttentionConfig {
+            d_model: 64,
+            n_heads: 0
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
     fn forward_preserves_shape_and_is_deterministic() {
-        let cfg = AttentionConfig { d_model: 32, n_heads: 4 };
+        let cfg = AttentionConfig {
+            d_model: 32,
+            n_heads: 4,
+        };
         let layer = MultiHeadAttention::new(cfg, 5).unwrap();
         let hidden = Matrix::random_normal(6, 32, 1.0, 9);
         let out1 = layer.forward(&hidden).unwrap();
@@ -267,7 +285,10 @@ mod tests {
 
     #[test]
     fn attention_matrix_is_causal_stochastic() {
-        let cfg = AttentionConfig { d_model: 16, n_heads: 2 };
+        let cfg = AttentionConfig {
+            d_model: 16,
+            n_heads: 2,
+        };
         let layer = MultiHeadAttention::new(cfg, 3).unwrap();
         let hidden = Matrix::random_normal(5, 16, 1.0, 4);
         let probs = layer.attention_matrix(&hidden, 1).unwrap();
@@ -275,14 +296,21 @@ mod tests {
             let row_sum: f32 = probs.row(t).iter().sum();
             assert!((row_sum - 1.0).abs() < 1e-5, "row {t} sums to {row_sum}");
             for s in (t + 1)..5 {
-                assert_eq!(probs.get(t, s), 0.0, "future position ({t},{s}) must be masked");
+                assert_eq!(
+                    probs.get(t, s),
+                    0.0,
+                    "future position ({t},{s}) must be masked"
+                );
             }
         }
     }
 
     #[test]
     fn attention_matrix_bad_head_rejected() {
-        let cfg = AttentionConfig { d_model: 16, n_heads: 2 };
+        let cfg = AttentionConfig {
+            d_model: 16,
+            n_heads: 2,
+        };
         let layer = MultiHeadAttention::new(cfg, 3).unwrap();
         let hidden = Matrix::random_normal(3, 16, 1.0, 4);
         assert!(layer.attention_matrix(&hidden, 2).is_err());

@@ -33,7 +33,14 @@ pub struct TransformerConfig {
 
 impl Default for TransformerConfig {
     fn default() -> Self {
-        Self { vocab: 256, d_model: 64, n_heads: 4, n_layers: 2, use_mlp: true, use_layer_norm: true }
+        Self {
+            vocab: 256,
+            d_model: 64,
+            n_heads: 4,
+            n_layers: 2,
+            use_mlp: true,
+            use_layer_norm: true,
+        }
     }
 }
 
@@ -75,7 +82,10 @@ impl TinyTransformer {
     /// Returns [`AttentionError::ShapeMismatch`] for an invalid head/model
     /// combination.
     pub fn new(config: TransformerConfig, seed: u64) -> Result<Self, AttentionError> {
-        let attn_cfg = AttentionConfig { d_model: config.d_model, n_heads: config.n_heads };
+        let attn_cfg = AttentionConfig {
+            d_model: config.d_model,
+            n_heads: config.n_heads,
+        };
         attn_cfg.validate()?;
         let scale = 1.0 / (config.d_model as f32).sqrt();
         let embedding = Matrix::random_normal(config.vocab, config.d_model, 1.0, seed ^ 0xE3B0);
@@ -105,7 +115,13 @@ impl TinyTransformer {
         } else {
             Vec::new()
         };
-        Ok(Self { config, embedding, positional, layers, mlps })
+        Ok(Self {
+            config,
+            embedding,
+            positional,
+            layers,
+            mlps,
+        })
     }
 
     /// Applies one post-attention block (MLP with ReLU + residual, then
@@ -203,11 +219,15 @@ impl TinyTransformer {
     ) -> Result<(Matrix, Matrix), AttentionError> {
         let n_heads = self.config.n_heads;
         if head >= n_heads {
-            return Err(AttentionError::IndexOutOfRange { index: head, len: n_heads });
+            return Err(AttentionError::IndexOutOfRange {
+                index: head,
+                len: n_heads,
+            });
         }
         let mut hidden = self.embed(tokens)?;
-        for (l, layer) in
-            self.layers[..self.layers.len().saturating_sub(1)].iter().enumerate()
+        for (l, layer) in self.layers[..self.layers.len().saturating_sub(1)]
+            .iter()
+            .enumerate()
         {
             let attn = layer.forward(&hidden)?;
             for r in 0..hidden.rows() {
@@ -244,8 +264,9 @@ impl TinyTransformer {
         head: usize,
     ) -> Result<Matrix, AttentionError> {
         let mut hidden = self.embed(tokens)?;
-        for (l, layer) in
-            self.layers[..self.layers.len().saturating_sub(1)].iter().enumerate()
+        for (l, layer) in self.layers[..self.layers.len().saturating_sub(1)]
+            .iter()
+            .enumerate()
         {
             let attn = layer.forward(&hidden)?;
             for r in 0..hidden.rows() {
@@ -256,7 +277,10 @@ impl TinyTransformer {
             }
             self.post_block(l, &mut hidden)?;
         }
-        self.layers.last().expect("at least one layer").attention_matrix(&hidden, head)
+        self.layers
+            .last()
+            .expect("at least one layer")
+            .attention_matrix(&hidden, head)
     }
 }
 
@@ -325,11 +349,18 @@ mod tests {
         let tokens: Vec<usize> = (0..16).map(|i| (i * 11) % 256).collect();
         let base = TinyTransformer::new(TransformerConfig::default(), 7).unwrap();
         let plain = TinyTransformer::new(
-            TransformerConfig { use_mlp: false, use_layer_norm: false, ..TransformerConfig::default() },
+            TransformerConfig {
+                use_mlp: false,
+                use_layer_norm: false,
+                ..TransformerConfig::default()
+            },
             7,
         )
         .unwrap();
-        assert_ne!(base.forward(&tokens).unwrap(), plain.forward(&tokens).unwrap());
+        assert_ne!(
+            base.forward(&tokens).unwrap(),
+            plain.forward(&tokens).unwrap()
+        );
     }
 
     #[test]

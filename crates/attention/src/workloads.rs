@@ -167,7 +167,10 @@ fn add_scaled(dst: &mut [f32], src: &[f32], s: f32) {
 #[must_use]
 pub fn generate(spec: &WorkloadSpec) -> DecodeWorkload {
     for n in &spec.needles {
-        assert!(n.position < spec.prefill_len, "needle position out of range");
+        assert!(
+            n.position < spec.prefill_len,
+            "needle position out of range"
+        );
         assert!(
             n.prefill_mentions.iter().all(|&m| m < spec.prefill_len),
             "needle mention out of range"
@@ -203,10 +206,16 @@ pub fn generate(spec: &WorkloadSpec) -> DecodeWorkload {
 
     let needle_dirs: Vec<Vec<f32>> = spec.needles.iter().map(|_| unit(&mut rng, dim)).collect();
     let needle_vals: Vec<Vec<f32>> = spec.needles.iter().map(|_| unit(&mut rng, dim)).collect();
-    let diffuse_dirs: Vec<Vec<f32>> =
-        spec.diffuse_salient.iter().map(|_| unit(&mut rng, dim)).collect();
-    let diffuse_vals: Vec<Vec<f32>> =
-        spec.diffuse_salient.iter().map(|_| unit(&mut rng, dim)).collect();
+    let diffuse_dirs: Vec<Vec<f32>> = spec
+        .diffuse_salient
+        .iter()
+        .map(|_| unit(&mut rng, dim))
+        .collect();
+    let diffuse_vals: Vec<Vec<f32>> = spec
+        .diffuse_salient
+        .iter()
+        .map(|_| unit(&mut rng, dim))
+        .collect();
 
     // --- Prefill keys & values -------------------------------------------
     let mut prefill_keys = Vec::with_capacity(spec.prefill_len);
@@ -305,8 +314,9 @@ pub fn generate(spec: &WorkloadSpec) -> DecodeWorkload {
         decode_values.push(unit(&mut rng, dim).iter().map(|x| x * 0.3).collect());
     }
 
-    let answer_steps: Vec<usize> =
-        (0..spec.decode_len).filter(|&s| !salient_at[s].is_empty()).collect();
+    let answer_steps: Vec<usize> = (0..spec.decode_len)
+        .filter(|&s| !salient_at[s].is_empty())
+        .collect();
 
     DecodeWorkload {
         name: spec.name.clone(),
@@ -393,8 +403,9 @@ pub fn multi_hop_task(prefill_len: usize, decode_len: usize, seed: u64) -> Decod
 pub fn summary_task(prefill_len: usize, decode_len: usize, seed: u64) -> DecodeWorkload {
     let mut spec = base_spec("summary", prefill_len, decode_len, seed);
     let n_facts = 24.min(prefill_len / 8).max(1);
-    spec.diffuse_salient =
-        (0..n_facts).map(|i| spec.n_sinks + i * (prefill_len - spec.n_sinks - 1) / n_facts).collect();
+    spec.diffuse_salient = (0..n_facts)
+        .map(|i| spec.n_sinks + i * (prefill_len - spec.n_sinks - 1) / n_facts)
+        .collect();
     generate(&spec)
 }
 
@@ -527,10 +538,7 @@ mod tests {
             let q = &w.decode_queries[step];
             let keys: Vec<&[f32]> = w.prefill_keys.iter().map(Vec::as_slice).collect();
             let scores = attention_scores(q, &keys);
-            let rank = scores
-                .iter()
-                .filter(|&&s| s > scores[needle_pos])
-                .count();
+            let rank = scores.iter().filter(|&&s| s > scores[needle_pos]).count();
             assert!(
                 rank < 8,
                 "needle must rank near the top at answer step {step}, rank {rank}"
@@ -542,8 +550,10 @@ mod tests {
     fn non_answer_queries_do_not_seek_needle() {
         let w = needle_task(256, 32, 3);
         let needle_pos = 128;
-        let unscored: Vec<usize> =
-            (0..32).filter(|s| !w.answer_steps.contains(s)).take(4).collect();
+        let unscored: Vec<usize> = (0..32)
+            .filter(|s| !w.answer_steps.contains(s))
+            .take(4)
+            .collect();
         for step in unscored {
             let q = &w.decode_queries[step];
             let keys: Vec<&[f32]> = w.prefill_keys.iter().map(Vec::as_slice).collect();
@@ -578,16 +588,27 @@ mod tests {
     fn multi_hop_final_answer_needs_both_needles() {
         let w = multi_hop_task(512, 64, 5);
         let last_answer = *w.answer_steps.last().unwrap();
-        assert_eq!(w.salient_at[last_answer].len(), 2, "multi-hop step must need two facts");
+        assert_eq!(
+            w.salient_at[last_answer].len(),
+            2,
+            "multi-hop step must need two facts"
+        );
     }
 
     #[test]
     fn summary_task_has_diffuse_salience() {
         let w = summary_task(512, 64, 6);
         assert!(w.answer_steps.len() >= 8);
-        let all: BTreeSet<usize> =
-            w.salient_at.iter().flat_map(|s| s.iter().copied()).collect();
-        assert!(all.len() >= 10, "salient mass must be diffuse, got {}", all.len());
+        let all: BTreeSet<usize> = w
+            .salient_at
+            .iter()
+            .flat_map(|s| s.iter().copied())
+            .collect();
+        assert!(
+            all.len() >= 10,
+            "salient mass must be diffuse, got {}",
+            all.len()
+        );
     }
 
     #[test]
@@ -597,7 +618,10 @@ mod tests {
         let needle_value = &w.prefill_values[128];
         let step = w.answer_steps[0];
         let sim = cosine_similarity(&reference[step], needle_value);
-        assert!(sim > 0.5, "reference output must carry the needle value, sim {sim}");
+        assert!(
+            sim > 0.5,
+            "reference output must carry the needle value, sim {sim}"
+        );
     }
 
     #[test]
@@ -616,8 +640,11 @@ mod tests {
     #[test]
     fn distractor_task_has_single_true_needle() {
         let w = distractor_task(256, 32, 4, 12);
-        let all: BTreeSet<usize> =
-            w.salient_at.iter().flat_map(|s| s.iter().copied()).collect();
+        let all: BTreeSet<usize> = w
+            .salient_at
+            .iter()
+            .flat_map(|s| s.iter().copied())
+            .collect();
         assert_eq!(all.len(), 1, "only the true needle is ever salient");
         assert_eq!(all.iter().next().copied(), Some(128));
         assert_eq!(w.answer_steps.len(), 2);

@@ -34,11 +34,11 @@ proptest! {
         let kr: Vec<&[f32]> = (0..n).map(|i| keys.row(i)).collect();
         let vr: Vec<&[f32]> = (0..n).map(|i| values.row(i)).collect();
         let out = attention_output(query.row(0), &kr, &vr);
-        for d in 0..dim {
+        for (d, out_d) in out.iter().enumerate().take(dim) {
             let lo = (0..n).map(|i| values.get(i, d)).fold(f32::INFINITY, f32::min);
             let hi = (0..n).map(|i| values.get(i, d)).fold(f32::NEG_INFINITY, f32::max);
-            prop_assert!(out[d] >= lo - 1e-4 && out[d] <= hi + 1e-4,
-                "output {} outside hull [{lo}, {hi}]", out[d]);
+            prop_assert!(*out_d >= lo - 1e-4 && *out_d <= hi + 1e-4,
+                "output {} outside hull [{lo}, {hi}]", out_d);
         }
     }
 

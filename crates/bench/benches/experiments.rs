@@ -42,5 +42,11 @@ fn bench_motivation(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_table2, bench_sweeps, bench_device_sweeps, bench_motivation);
+criterion_group!(
+    benches,
+    bench_table2,
+    bench_sweeps,
+    bench_device_sweeps,
+    bench_motivation
+);
 criterion_main!(benches);

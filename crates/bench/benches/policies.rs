@@ -10,13 +10,18 @@ use unicaim_kvcache::{
     StreamingLlm, H2O,
 };
 
+type PolicyFactory = Box<dyn Fn() -> Box<dyn Policy>>;
+
 fn bench_policy_decode(c: &mut Criterion) {
     let workload = needle_task(256, 32, 5);
     let capacity = 96;
     let mut group = c.benchmark_group("policy_decode");
-    let factories: Vec<(&str, Box<dyn Fn() -> Box<dyn Policy>>)> = vec![
+    let factories: Vec<(&str, PolicyFactory)> = vec![
         ("full", Box::new(|| Box::new(FullCache::new()))),
-        ("hybrid", Box::new(move || Box::new(HybridStaticDynamic::new(80, 16, 32)))),
+        (
+            "hybrid",
+            Box::new(move || Box::new(HybridStaticDynamic::new(80, 16, 32))),
+        ),
         ("snapkv", Box::new(|| Box::new(SnapKv::new(16)))),
         ("streaming", Box::new(|| Box::new(StreamingLlm::new(4)))),
         ("h2o", Box::new(|| Box::new(H2O::new(16)))),
@@ -26,7 +31,11 @@ fn bench_policy_decode(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
             b.iter(|| {
                 let mut policy = factory();
-                let cap = if *name == "full" { workload.total_tokens() } else { capacity };
+                let cap = if *name == "full" {
+                    workload.total_tokens()
+                } else {
+                    capacity
+                };
                 black_box(simulate_decode(
                     &workload,
                     policy.as_mut(),
@@ -43,8 +52,16 @@ fn bench_engine_decode(c: &mut Criterion) {
     c.bench_function("unicaim_engine_run", |b| {
         b.iter(|| {
             let mut engine = UniCaimEngine::new(
-                ArrayConfig { dim: workload.dim, sigma_vth: 0.0, ..ArrayConfig::default() },
-                EngineConfig { h: 80, m: 16, k: 32 },
+                ArrayConfig {
+                    dim: workload.dim,
+                    sigma_vth: 0.0,
+                    ..ArrayConfig::default()
+                },
+                EngineConfig {
+                    h: 80,
+                    m: 16,
+                    k: 32,
+                },
             )
             .unwrap();
             black_box(engine.run(&workload).unwrap())

@@ -10,9 +10,7 @@ use serde::Serialize;
 use unicaim_accel::{Accelerator, AttentionWorkload, PruningSpec, UniCaimDesign};
 use unicaim_attention::workloads::needle_task;
 use unicaim_bench::{banner, dump_json, eng, json_output_path};
-use unicaim_core::{
-    ArrayConfig, CellPrecision, EngineConfig, QueryPrecision, UniCaimEngine,
-};
+use unicaim_core::{ArrayConfig, CellPrecision, EngineConfig, QueryPrecision, UniCaimEngine};
 
 #[derive(Debug, Serialize)]
 struct CostRow {
@@ -32,21 +30,43 @@ struct AccuracyRow {
 
 fn cost_ablation(rows: &mut Vec<CostRow>) {
     println!("-- cost ablation (input 2048, output 128, keep 25%) --");
-    let w = AttentionWorkload { input_len: 2048, output_len: 128, dim: 128, key_bits: 3 };
+    let w = AttentionWorkload {
+        input_len: 2048,
+        output_len: 128,
+        dim: 128,
+        key_bits: 3,
+    };
     let p = PruningSpec::uniform(0.25, 64);
     let variants: Vec<(&str, UniCaimDesign)> = vec![
         ("hybrid, 3-bit cell", UniCaimDesign::three_bit()),
         ("hybrid, 1-bit cell", UniCaimDesign::one_bit()),
-        ("static only, 3-bit", UniCaimDesign::three_bit().with_dynamic(false)),
-        ("dynamic only, 3-bit", UniCaimDesign::three_bit().with_static(false)),
-        ("no pruning, 3-bit", UniCaimDesign::three_bit().with_static(false).with_dynamic(false)),
+        (
+            "static only, 3-bit",
+            UniCaimDesign::three_bit().with_dynamic(false),
+        ),
+        (
+            "dynamic only, 3-bit",
+            UniCaimDesign::three_bit().with_static(false),
+        ),
+        (
+            "no pruning, 3-bit",
+            UniCaimDesign::three_bit()
+                .with_static(false)
+                .with_dynamic(false),
+        ),
     ];
     println!(
         "{:<24} {:>12} {:>10} {:>10} {:>12} {:>8}",
         "variant", "devices", "nJ/step", "ns/step", "AEDP", "vs best"
     );
-    let reports: Vec<_> = variants.iter().map(|(n, d)| (n, d.evaluate(&w, &p))).collect();
-    let best = reports.iter().map(|(_, r)| r.aedp()).fold(f64::INFINITY, f64::min);
+    let reports: Vec<_> = variants
+        .iter()
+        .map(|(n, d)| (n, d.evaluate(&w, &p)))
+        .collect();
+    let best = reports
+        .iter()
+        .map(|(_, r)| r.aedp())
+        .fold(f64::INFINITY, f64::min);
     for (name, r) in &reports {
         println!(
             "{:<24} {:>12} {:>10} {:>10} {:>12} {:>8}",
@@ -105,34 +125,100 @@ fn accuracy_ablation(rows: &mut Vec<AccuracyRow>) {
     println!("\n-- accuracy ablation (needle task, engine end-to-end, 3 seeds) --");
     let seeds = [3, 5, 8];
     let cases: Vec<(String, CellPrecision, QueryPrecision, usize, f64, f64)> = vec![
-        ("3-bit cell, 2-bit query (default)".into(),
-            CellPrecision::ThreeBit, QueryPrecision::TwoBit, 24, 0.0, 0.0),
-        ("1-bit cell, 2-bit query".into(),
-            CellPrecision::OneBit, QueryPrecision::TwoBit, 24, 0.0, 0.0),
-        ("3-bit cell, 1-bit query".into(),
-            CellPrecision::ThreeBit, QueryPrecision::OneBit, 24, 0.0, 0.0),
-        ("k = 8".into(), CellPrecision::ThreeBit, QueryPrecision::TwoBit, 8, 0.0, 0.0),
-        ("k = 48".into(), CellPrecision::ThreeBit, QueryPrecision::TwoBit, 48, 0.0, 0.0),
-        ("σ_VTH = 54 mV".into(),
-            CellPrecision::ThreeBit, QueryPrecision::TwoBit, 24, 0.054, 0.0),
-        ("σ_VTH = 108 mV".into(),
-            CellPrecision::ThreeBit, QueryPrecision::TwoBit, 24, 0.108, 0.0),
-        ("read noise 2%".into(),
-            CellPrecision::ThreeBit, QueryPrecision::TwoBit, 24, 0.0, 0.02),
-        ("σ 54 mV + noise 2%".into(),
-            CellPrecision::ThreeBit, QueryPrecision::TwoBit, 24, 0.054, 0.02),
+        (
+            "3-bit cell, 2-bit query (default)".into(),
+            CellPrecision::ThreeBit,
+            QueryPrecision::TwoBit,
+            24,
+            0.0,
+            0.0,
+        ),
+        (
+            "1-bit cell, 2-bit query".into(),
+            CellPrecision::OneBit,
+            QueryPrecision::TwoBit,
+            24,
+            0.0,
+            0.0,
+        ),
+        (
+            "3-bit cell, 1-bit query".into(),
+            CellPrecision::ThreeBit,
+            QueryPrecision::OneBit,
+            24,
+            0.0,
+            0.0,
+        ),
+        (
+            "k = 8".into(),
+            CellPrecision::ThreeBit,
+            QueryPrecision::TwoBit,
+            8,
+            0.0,
+            0.0,
+        ),
+        (
+            "k = 48".into(),
+            CellPrecision::ThreeBit,
+            QueryPrecision::TwoBit,
+            48,
+            0.0,
+            0.0,
+        ),
+        (
+            "σ_VTH = 54 mV".into(),
+            CellPrecision::ThreeBit,
+            QueryPrecision::TwoBit,
+            24,
+            0.054,
+            0.0,
+        ),
+        (
+            "σ_VTH = 108 mV".into(),
+            CellPrecision::ThreeBit,
+            QueryPrecision::TwoBit,
+            24,
+            0.108,
+            0.0,
+        ),
+        (
+            "read noise 2%".into(),
+            CellPrecision::ThreeBit,
+            QueryPrecision::TwoBit,
+            24,
+            0.0,
+            0.02,
+        ),
+        (
+            "σ 54 mV + noise 2%".into(),
+            CellPrecision::ThreeBit,
+            QueryPrecision::TwoBit,
+            24,
+            0.054,
+            0.02,
+        ),
     ];
-    println!("{:<36} {:>12} {:>12}", "variant", "retrieval%", "out-cosine");
+    println!(
+        "{:<36} {:>12} {:>12}",
+        "variant", "retrieval%", "out-cosine"
+    );
     for (name, cell, query, k, sigma, noise) in cases {
         let (retrieval, cosine) = engine_accuracy(cell, query, k, sigma, noise, &seeds);
         println!("{name:<36} {retrieval:>12.1} {cosine:>12.3}");
-        rows.push(AccuracyRow { variant: name, retrieval, output_cosine: cosine });
+        rows.push(AccuracyRow {
+            variant: name,
+            retrieval,
+            output_cosine: cosine,
+        });
     }
     println!("(retrieval is robust to precision and realistic non-idealities; fidelity\n degrades gracefully — the paper's robustness claims)");
 }
 
 fn main() {
-    banner("Ablation", "UniCAIM design-choice ablations (cost and accuracy)");
+    banner(
+        "Ablation",
+        "UniCAIM design-choice ablations (cost and accuracy)",
+    );
     let mut cost_rows = Vec::new();
     let mut acc_rows = Vec::new();
     cost_ablation(&mut cost_rows);

@@ -5,7 +5,10 @@ use unicaim_attention::llama::{motivation_sweep, LlmConfig};
 use unicaim_bench::{banner, dump_json, eng, json_output_path};
 
 fn main() {
-    banner("Fig. 1(b)", "Llama-2-7B KV cache and attention latency vs sequence length");
+    banner(
+        "Fig. 1(b)",
+        "Llama-2-7B KV cache and attention latency vs sequence length",
+    );
     let config = LlmConfig::llama2_7b();
     let seq_lens: Vec<usize> = (0..8).map(|i| 1024usize << i).collect();
     let points = motivation_sweep(&config, &seq_lens);

@@ -5,7 +5,10 @@ use unicaim_bench::{banner, dump_json, eng, json_output_path};
 use unicaim_fefet::{id_vg_sweep, pv_loop, FeFetModel, FeFetParams};
 
 fn main() {
-    banner("Fig. 2(b,c)", "FeFET P-V hysteresis loops and multilevel ID-VG curves");
+    banner(
+        "Fig. 2(b,c)",
+        "FeFET P-V hysteresis loops and multilevel ID-VG curves",
+    );
     let model = FeFetModel::new(FeFetParams::default());
 
     println!("-- P-V loops (remanent polarization at loop extremes) --");
@@ -13,7 +16,12 @@ fn main() {
     let mut loops = Vec::new();
     for amp in [2.8, 3.2, 3.6, 4.0, 4.5] {
         let l = pv_loop(&model, amp, 80);
-        println!("{:>12} {:>10} {:>10}", eng(amp), eng(l.p_max()), eng(l.p_min()));
+        println!(
+            "{:>12} {:>10} {:>10}",
+            eng(amp),
+            eng(l.p_max()),
+            eng(l.p_min())
+        );
         loops.push(l);
     }
     println!("(nested minor loops = gradually modulated multilevel polarization)");
@@ -33,7 +41,10 @@ fn main() {
         }
         println!();
     }
-    println!("(currents in µA; V_TH shifts: {} V memory window)", eng(model.params().memory_window()));
+    println!(
+        "(currents in µA; V_TH shifts: {} V memory window)",
+        eng(model.params().memory_window())
+    );
 
     if let Some(path) = json_output_path() {
         dump_json(&path, &(&loops, &curves));

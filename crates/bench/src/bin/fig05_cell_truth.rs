@@ -6,12 +6,18 @@ use unicaim_core::{CellDrive, KeyLevel, UniCaimCell};
 use unicaim_fefet::{FeFet, FeFetModel, FeFetParams};
 
 fn main() {
-    banner("Fig. 5(d)", "1-bit UniCAIM cell truth table (I_SL per key x query)");
+    banner(
+        "Fig. 5(d)",
+        "1-bit UniCAIM cell truth table (I_SL per key x query)",
+    );
     let model = FeFetModel::new(FeFetParams::default());
     let keys = [KeyLevel::PosOne, KeyLevel::Zero, KeyLevel::NegOne];
     let queries = [("+1", CellDrive::Plus), ("-1", CellDrive::Minus)];
 
-    println!("{:>8} {:>8} {:>10} {:>14} {:>12}", "key", "query", "attn", "I_SL(µA)", "behavioral");
+    println!(
+        "{:>8} {:>8} {:>10} {:>14} {:>12}",
+        "key", "query", "attn", "I_SL(µA)", "behavioral"
+    );
     for &key in &keys {
         for &(qname, drive) in &queries {
             let mut cell = UniCaimCell::new(&model, FeFet::fresh(), FeFet::fresh());

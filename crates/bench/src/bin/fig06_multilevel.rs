@@ -12,7 +12,10 @@ fn cell(model: &FeFetModel, key: KeyLevel) -> UniCaimCell {
 }
 
 fn main() {
-    banner("Fig. 6(b,d)", "multilevel signed multiplication truth tables");
+    banner(
+        "Fig. 6(b,d)",
+        "multilevel signed multiplication truth tables",
+    );
     let model = FeFetModel::new(FeFetParams::default());
     let keys = [
         KeyLevel::PosOne,
@@ -23,18 +26,25 @@ fn main() {
     ];
 
     println!("-- Fig. 6(b): 3-bit signed key x 1-bit query, single cell --");
-    println!("{:>8} {:>8} {:>8} {:>12}", "key", "query", "w*q", "I_SL(µA)");
+    println!(
+        "{:>8} {:>8} {:>8} {:>12}",
+        "key", "query", "w*q", "I_SL(µA)"
+    );
     for &key in &keys {
-        for (qname, drive) in
-            [("+1", unicaim_core::CellDrive::Plus), ("-1", unicaim_core::CellDrive::Minus)]
-        {
+        for (qname, drive) in [
+            ("+1", unicaim_core::CellDrive::Plus),
+            ("-1", unicaim_core::CellDrive::Minus),
+        ] {
             let c = cell(&model, key);
             let i = c.sl_current(&model, drive) * 1e6;
             println!(
                 "{:>8} {:>8} {:>8} {:>12}",
                 format!("{:+.1}", key.weight()),
                 qname,
-                format!("{:+.1}", key.weight() * if qname == "+1" { 1.0 } else { -1.0 }),
+                format!(
+                    "{:+.1}",
+                    key.weight() * if qname == "+1" { 1.0 } else { -1.0 }
+                ),
                 eng(i)
             );
         }

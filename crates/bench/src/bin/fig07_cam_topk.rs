@@ -2,7 +2,9 @@
 //! (d = 4, scores −4..+4) and the top-3-of-9 selection race.
 
 use unicaim_bench::{banner, dump_json, eng, json_output_path};
-use unicaim_core::{ArrayConfig, CellPrecision, KeyLevel, QueryLevel, QueryPrecision, UniCaimArray};
+use unicaim_core::{
+    ArrayConfig, CellPrecision, KeyLevel, QueryLevel, QueryPrecision, UniCaimArray,
+};
 
 fn key_for_score(score: i32) -> Vec<KeyLevel> {
     // Query will be all +1; choose 4 ternary weights summing to `score`.
@@ -23,7 +25,10 @@ fn key_for_score(score: i32) -> Vec<KeyLevel> {
 }
 
 fn main() {
-    banner("Fig. 7(b,c)", "CAM-mode discharge race and O(1) top-k selection");
+    banner(
+        "Fig. 7(b,c)",
+        "CAM-mode discharge race and O(1) top-k selection",
+    );
     let config = ArrayConfig {
         rows: 9,
         dim: 4,
@@ -44,7 +49,10 @@ fn main() {
     drop(search_all);
     array.reset_stats();
     let search = array.cam_top_k(&query, 3).unwrap();
-    println!("freeze time (comparator trip): {} ns", eng(search.freeze_time * 1e9));
+    println!(
+        "freeze time (comparator trip): {} ns",
+        eng(search.freeze_time * 1e9)
+    );
     println!("{:>8} {:>8} {:>16}", "row", "score", "V_SL@freeze (V)");
     for &(row, v) in &search.sl_voltages {
         let score = row as i32 - 4;
@@ -53,7 +61,11 @@ fn main() {
 
     println!("\n-- Fig. 7(c): top-3 of 9 selection --");
     println!("selected rows (highest scores): {:?}", search.selected_rows);
-    assert_eq!(search.selected_rows, vec![6, 7, 8], "top-3 must be the scores +2,+3,+4");
+    assert_eq!(
+        search.selected_rows,
+        vec![6, 7, 8],
+        "top-3 must be the scores +2,+3,+4"
+    );
     println!("scores of selected rows: +2, +3, +4  ✓ (O(1) single charge-discharge cycle)");
     println!(
         "stats: {} precharges, {} comparator evals, {} ADC conversions (none during pruning)",

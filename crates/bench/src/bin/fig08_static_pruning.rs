@@ -3,10 +3,15 @@
 //! accumulator to the FE-INV switching voltage).
 
 use unicaim_bench::{banner, dump_json, eng, json_output_path};
-use unicaim_core::{ArrayConfig, CellPrecision, KeyLevel, QueryLevel, QueryPrecision, UniCaimArray};
+use unicaim_core::{
+    ArrayConfig, CellPrecision, KeyLevel, QueryLevel, QueryPrecision, UniCaimArray,
+};
 
 fn main() {
-    banner("Fig. 8(b)", "charge-domain accumulation and static eviction candidate");
+    banner(
+        "Fig. 8(b)",
+        "charge-domain accumulation and static eviction candidate",
+    );
     let config = ArrayConfig {
         rows: 4,
         dim: 8,
@@ -25,7 +30,7 @@ fn main() {
         ("dissimilar", KeyLevel::NegOne),
     ];
     for (row, (_, level)) in profiles.iter().enumerate() {
-        array.write_row(row, row, &vec![*level; 8]).unwrap();
+        array.write_row(row, row, &[*level; 8]).unwrap();
     }
     let query = vec![QueryLevel::PosOne; 8];
 
@@ -54,7 +59,11 @@ fn main() {
         candidate.unwrap(),
         profiles[candidate.unwrap()].1.weight()
     );
-    assert_eq!(candidate, Some(3), "the persistently dissimilar row must be evicted");
+    assert_eq!(
+        candidate,
+        Some(3),
+        "the persistently dissimilar row must be evicted"
+    );
     println!("✓ lowest accumulated similarity is evicted, in-cycle with dynamic pruning");
 
     if let Some(path) = json_output_path() {

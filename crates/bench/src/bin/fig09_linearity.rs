@@ -10,7 +10,10 @@ use unicaim_core::{
 use unicaim_fefet::VariationModel;
 
 fn main() {
-    banner("Fig. 9(a,b)", "V_TH variation histogram and I_SL vs MAC linearity (d=128)");
+    banner(
+        "Fig. 9(a,b)",
+        "V_TH variation histogram and I_SL vs MAC linearity (d=128)",
+    );
 
     println!("-- Fig. 9(a): V_TH offsets of 128 devices (σ = 54 mV) --");
     let variation = VariationModel::paper_default(9);
@@ -22,11 +25,14 @@ fn main() {
     }
     for (i, count) in bins.iter().enumerate() {
         let lo = -135.0 + 30.0 * i as f64;
-        println!("{:>12} mV: {}", format!("{:.0}..{:.0}", lo, lo + 30.0), "#".repeat(*count));
+        println!(
+            "{:>12} mV: {}",
+            format!("{:.0}..{:.0}", lo, lo + 30.0),
+            "#".repeat(*count)
+        );
     }
     let mean = offsets.iter().sum::<f64>() / offsets.len() as f64;
-    let sd = (offsets.iter().map(|o| (o - mean) * (o - mean)).sum::<f64>()
-        / offsets.len() as f64)
+    let sd = (offsets.iter().map(|o| (o - mean) * (o - mean)).sum::<f64>() / offsets.len() as f64)
         .sqrt();
     println!("sample σ = {} mV (target 54 mV)", eng(sd * 1e3));
 
@@ -52,7 +58,13 @@ fn main() {
     for (row, &mac) in macs.iter().enumerate() {
         let n_pos = ((128 + mac) / 2) as usize;
         let mut key: Vec<KeyLevel> = (0..128)
-            .map(|i| if i < n_pos { KeyLevel::PosOne } else { KeyLevel::NegOne })
+            .map(|i| {
+                if i < n_pos {
+                    KeyLevel::PosOne
+                } else {
+                    KeyLevel::NegOne
+                }
+            })
             .collect();
         // Shuffle so variation isn't spatially correlated with the sign.
         for i in (1..key.len()).rev() {
@@ -68,11 +80,20 @@ fn main() {
     let n = points.len() as f64;
     let mx = points.iter().map(|&(m, _)| f64::from(m)).sum::<f64>() / n;
     let my = points.iter().map(|&(_, i)| i).sum::<f64>() / n;
-    let sxy: f64 = points.iter().map(|&(m, i)| (f64::from(m) - mx) * (i - my)).sum();
-    let sxx: f64 = points.iter().map(|&(m, _)| (f64::from(m) - mx).powi(2)).sum();
+    let sxy: f64 = points
+        .iter()
+        .map(|&(m, i)| (f64::from(m) - mx) * (i - my))
+        .sum();
+    let sxx: f64 = points
+        .iter()
+        .map(|&(m, _)| (f64::from(m) - mx).powi(2))
+        .sum();
     let syy: f64 = points.iter().map(|&(_, i)| (i - my).powi(2)).sum();
     let r2 = sxy * sxy / (sxx * syy);
-    println!("\nlinear fit R² = {} (paper: robust linearity under 54 mV variation)", eng(r2));
+    println!(
+        "\nlinear fit R² = {} (paper: robust linearity under 54 mV variation)",
+        eng(r2)
+    );
     assert!(r2 > 0.99, "linearity degraded: R² = {r2}");
 
     if let Some(path) = json_output_path() {

@@ -1,8 +1,8 @@
 //! Fig. 10(a,b): required device count vs input/output sequence length
 //! under different pruning conditions and cell precisions.
 
-use unicaim_bench::{banner, dump_json, eng, json_output_path};
 use unicaim_accel::area_sweep;
+use unicaim_bench::{banner, dump_json, eng, json_output_path};
 
 fn print_sweep(points: &[unicaim_accel::SweepPoint], x_name: &str) {
     println!(

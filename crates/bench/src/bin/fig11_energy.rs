@@ -11,12 +11,27 @@ fn main() {
     banner("Fig. 11", "energy breakdown and energy vs sequence length");
 
     println!("-- (a) breakdown at 576 tokens, dynamic keep 20% (nJ/step) --");
-    let w = AttentionWorkload { input_len: 576, output_len: 1, dim: 128, key_bits: 3 };
-    let p = PruningSpec { static_keep: 1.0, dynamic_keep: 0.2, reserved_decode: usize::MAX };
+    let w = AttentionWorkload {
+        input_len: 576,
+        output_len: 1,
+        dim: 128,
+        key_bits: 3,
+    };
+    let p = PruningSpec {
+        static_keep: 1.0,
+        dynamic_keep: 0.2,
+        reserved_decode: usize::MAX,
+    };
     let designs: Vec<(&str, Box<dyn Accelerator>)> = vec![
         ("no pruning", Box::new(NoPruningCim::default())),
-        ("conventional dynamic", Box::new(ConventionalDynamicCim::default())),
-        ("UniCAIM", Box::new(UniCaimDesign::one_bit().with_static(false))),
+        (
+            "conventional dynamic",
+            Box::new(ConventionalDynamicCim::default()),
+        ),
+        (
+            "UniCAIM",
+            Box::new(UniCaimDesign::one_bit().with_static(false)),
+        ),
     ];
     println!(
         "{:>24} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8}",

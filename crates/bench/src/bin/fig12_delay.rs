@@ -2,8 +2,8 @@
 //! latency vs sequence length (64 parallel ADCs).
 
 use unicaim_accel::{
-    delay_sweep, Accelerator, AttentionWorkload, ConventionalDynamicCim, NoPruningCim,
-    PruningSpec, UniCaimDesign,
+    delay_sweep, Accelerator, AttentionWorkload, ConventionalDynamicCim, NoPruningCim, PruningSpec,
+    UniCaimDesign,
 };
 use unicaim_bench::{banner, dump_json, eng, json_output_path};
 
@@ -11,15 +11,26 @@ fn main() {
     banner("Fig. 12", "attention latency with 64 ADCs");
 
     println!("-- (a) latency at 576 tokens, dynamic keep 20% --");
-    let w = AttentionWorkload { input_len: 576, output_len: 1, dim: 128, key_bits: 3 };
-    let p = PruningSpec { static_keep: 1.0, dynamic_keep: 0.2, reserved_decode: usize::MAX };
+    let w = AttentionWorkload {
+        input_len: 576,
+        output_len: 1,
+        dim: 128,
+        key_bits: 3,
+    };
+    let p = PruningSpec {
+        static_keep: 1.0,
+        dynamic_keep: 0.2,
+        reserved_decode: usize::MAX,
+    };
     let no_prune = NoPruningCim::default().evaluate(&w, &p);
     let conv = ConventionalDynamicCim::default().evaluate(&w, &p);
     let uni = UniCaimDesign::one_bit().with_static(false).evaluate(&w, &p);
     println!("{:>24} {:>12} {:>10}", "design", "delay (ns)", "vs none");
-    for (name, r) in
-        [("no pruning", &no_prune), ("conventional dynamic", &conv), ("UniCAIM", &uni)]
-    {
+    for (name, r) in [
+        ("no pruning", &no_prune),
+        ("conventional dynamic", &conv),
+        ("UniCAIM", &uni),
+    ] {
         println!(
             "{:>24} {:>12} {:>10}",
             name,

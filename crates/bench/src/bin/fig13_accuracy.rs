@@ -30,7 +30,11 @@ struct Row {
 fn policies_for(capacity: usize, m: usize, k: usize) -> Vec<Box<dyn Policy>> {
     vec![
         Box::new(FullCache::new()),
-        Box::new(HybridStaticDynamic::new(capacity.saturating_sub(m).max(1), m, k)),
+        Box::new(HybridStaticDynamic::new(
+            capacity.saturating_sub(m).max(1),
+            m,
+            k,
+        )),
         Box::new(SnapKv::new(16)),
         Box::new(StreamingLlm::new(4)),
     ]
@@ -53,8 +57,11 @@ fn run_task(
         let mut acc: Vec<(String, f64, f64, f64, usize)> = Vec::new();
         for &seed in seeds {
             let w = make(seed);
-            let capacity =
-                if ratio >= 1.0 { w.total_tokens() } else { ratio_capacity(&w, ratio) };
+            let capacity = if ratio >= 1.0 {
+                w.total_tokens()
+            } else {
+                ratio_capacity(&w, ratio)
+            };
             let m = (capacity / 8).clamp(4, w.decode_queries.len());
             let k = (capacity / 2).max(8);
             for mut policy in policies_for(capacity, m, k) {
@@ -114,7 +121,10 @@ fn run_task(
 }
 
 fn main() {
-    banner("Fig. 13", "accuracy vs KV-cache ratio (retrieval-score substitution)");
+    banner(
+        "Fig. 13",
+        "accuracy vs KV-cache ratio (retrieval-score substitution)",
+    );
     let ratios = [0.05, 0.1, 0.2, 0.4, 1.0];
     let seeds = [11, 23, 37];
     let mut rows = Vec::new();

@@ -19,7 +19,10 @@ struct ParetoPoint {
 }
 
 fn main() {
-    banner("Pareto", "retrieval vs energy/delay over the dynamic top-k width");
+    banner(
+        "Pareto",
+        "retrieval vs energy/delay over the dynamic top-k width",
+    );
     let seeds = [2u64, 4, 6];
     let (h, m) = (160, 16);
     let tech = Technology::default();
@@ -35,8 +38,12 @@ fn main() {
         let mut delay = 0.0;
         for &seed in &seeds {
             let w = multi_hop_task(384, 32, seed);
-            let array_config =
-                ArrayConfig { dim: w.dim, sigma_vth: 0.054, variation_seed: seed, ..ArrayConfig::default() };
+            let array_config = ArrayConfig {
+                dim: w.dim,
+                sigma_vth: 0.054,
+                variation_seed: seed,
+                ..ArrayConfig::default()
+            };
             let mut engine =
                 UniCaimEngine::new(array_config.clone(), EngineConfig { h, m, k }).expect("engine");
             let r = engine.run(&w).expect("run");

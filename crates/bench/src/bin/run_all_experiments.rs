@@ -39,7 +39,10 @@ fn main() {
         }
     }
     if failures.is_empty() {
-        println!("\nall {} experiments completed; JSON in ./results/", EXPERIMENTS.len());
+        println!(
+            "\nall {} experiments completed; JSON in ./results/",
+            EXPERIMENTS.len()
+        );
     } else {
         eprintln!("\nFAILED experiments: {failures:?}");
         std::process::exit(1);

@@ -5,7 +5,10 @@ use unicaim_accel::qualitative_table;
 use unicaim_bench::banner;
 
 fn main() {
-    banner("Table I", "qualitative comparison with CIM-based LLM accelerators");
+    banner(
+        "Table I",
+        "qualitative comparison with CIM-based LLM accelerators",
+    );
     let rows = qualitative_table();
     println!(
         "{:<22} {:<26} {:<36} {:<30} {:<28}",

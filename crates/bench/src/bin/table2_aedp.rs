@@ -5,7 +5,10 @@ use unicaim_accel::{aedp_table, table2_workload, UniCaimCellKind};
 use unicaim_bench::{banner, dump_json, eng, json_output_path};
 
 fn main() {
-    banner("Table II", "AEDP reduction vs state-of-the-art CIM LLM accelerators");
+    banner(
+        "Table II",
+        "AEDP reduction vs state-of-the-art CIM LLM accelerators",
+    );
     let rows = aedp_table(&table2_workload());
     println!(
         "{:>14} {:>10} {:>16} {:>12} {:>12} {:>14}",

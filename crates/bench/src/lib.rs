@@ -16,7 +16,10 @@ use std::path::PathBuf;
 #[must_use]
 pub fn json_output_path() -> Option<PathBuf> {
     let args: Vec<String> = std::env::args().collect();
-    args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1)).map(PathBuf::from)
+    args.iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
 }
 
 /// Writes `value` as pretty JSON to `path` (creating parent directories).
@@ -41,7 +44,7 @@ pub fn eng(x: f64) -> String {
         return "0".to_owned();
     }
     let a = x.abs();
-    if a >= 1e-2 && a < 1e4 {
+    if (1e-2..1e4).contains(&a) {
         format!("{x:.3}")
     } else {
         format!("{x:.3e}")

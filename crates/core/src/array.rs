@@ -6,7 +6,7 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use unicaim_analog::{
-    AccumulatorCap, DischargeRace, SarAdc, SarAdcParams, WireParasitics,
+    is_strictly_positive, AccumulatorCap, DischargeRace, SarAdc, SarAdcParams, WireParasitics,
 };
 use unicaim_fefet::{FeFetModel, FeFetParams, VariationModel};
 
@@ -101,10 +101,14 @@ impl ArrayConfig {
     /// physical scales.
     pub fn validate(&self) -> Result<(), CoreError> {
         if self.rows == 0 || self.dim == 0 {
-            return Err(CoreError::InvalidConfig { reason: "rows and dim must be nonzero".into() });
+            return Err(CoreError::InvalidConfig {
+                reason: "rows and dim must be nonzero".into(),
+            });
         }
         if self.n_adcs == 0 {
-            return Err(CoreError::InvalidConfig { reason: "need at least one ADC".into() });
+            return Err(CoreError::InvalidConfig {
+                reason: "need at least one ADC".into(),
+            });
         }
         for (name, v) in [
             ("vdd", self.vdd),
@@ -113,7 +117,7 @@ impl ArrayConfig {
             ("write_time", self.write_time),
             ("precharge_time", self.precharge_time),
         ] {
-            if !(v > 0.0) {
+            if !is_strictly_positive(v) {
                 return Err(CoreError::InvalidConfig {
                     reason: format!("{name} must be positive, got {v}"),
                 });
@@ -129,7 +133,9 @@ impl ArrayConfig {
         }
         self.fefet
             .validate()
-            .map_err(|e| CoreError::InvalidConfig { reason: e.to_string() })?;
+            .map_err(|e| CoreError::InvalidConfig {
+                reason: e.to_string(),
+            })?;
         Ok(())
     }
 }
@@ -203,7 +209,12 @@ impl UniCaimArray {
         let n_cells = config.rows * config.cells_per_row();
         let variation = VariationModel::new(config.sigma_vth, config.variation_seed);
         let offsets = (0..n_cells)
-            .map(|i| (variation.offset(2 * i as u64), variation.offset(2 * i as u64 + 1)))
+            .map(|i| {
+                (
+                    variation.offset(2 * i as u64),
+                    variation.offset(2 * i as u64 + 1),
+                )
+            })
             .collect();
         let i_unit = unit_current(&model);
         let i_score = score_slope_current(&model);
@@ -214,8 +225,9 @@ impl UniCaimArray {
         let max_active = config.cells_per_row();
         let mut adc_params = config.adc;
         adc_params.full_scale = 1.1 * (i_unit + i_score) * max_active as f64;
-        let adc = SarAdc::new(adc_params)
-            .map_err(|e| CoreError::InvalidConfig { reason: e.to_string() })?;
+        let adc = SarAdc::new(adc_params).map_err(|e| CoreError::InvalidConfig {
+            reason: e.to_string(),
+        })?;
         let acc = (0..config.rows)
             .map(|_| AccumulatorCap::new(config.c_acc, config.acc_init).expect("validated"))
             .collect();
@@ -287,7 +299,9 @@ impl UniCaimArray {
     /// Occupied rows in ascending order.
     #[must_use]
     pub fn occupied_rows(&self) -> Vec<usize> {
-        (0..self.config.rows).filter(|&r| self.tokens[r].is_some()).collect()
+        (0..self.config.rows)
+            .filter(|&r| self.tokens[r].is_some())
+            .collect()
     }
 
     /// The first free row, if any.
@@ -334,10 +348,16 @@ impl UniCaimArray {
         scale: f64,
     ) -> Result<(), CoreError> {
         if row >= self.config.rows {
-            return Err(CoreError::RowOutOfRange { row, rows: self.config.rows });
+            return Err(CoreError::RowOutOfRange {
+                row,
+                rows: self.config.rows,
+            });
         }
         if key.len() != self.config.dim {
-            return Err(CoreError::DimMismatch { got: key.len(), expected: self.config.dim });
+            return Err(CoreError::DimMismatch {
+                got: key.len(),
+                expected: self.config.dim,
+            });
         }
         let base = row * self.config.dim;
         self.levels[base..base + self.config.dim].copy_from_slice(key);
@@ -361,7 +381,10 @@ impl UniCaimArray {
     /// Returns [`CoreError::RowOutOfRange`] for a bad row.
     pub fn clear_row(&mut self, row: usize) -> Result<(), CoreError> {
         if row >= self.config.rows {
-            return Err(CoreError::RowOutOfRange { row, rows: self.config.rows });
+            return Err(CoreError::RowOutOfRange {
+                row,
+                rows: self.config.rows,
+            });
         }
         self.tokens[row] = None;
         self.scales[row] = 0.0;
@@ -375,16 +398,18 @@ impl UniCaimArray {
     ///
     /// Returns [`CoreError::RowOutOfRange`] / [`CoreError::DimMismatch`] on
     /// bad arguments.
-    pub fn row_current(
-        &self,
-        row: usize,
-        drives: &[Vec<CellDrive>],
-    ) -> Result<f64, CoreError> {
+    pub fn row_current(&self, row: usize, drives: &[Vec<CellDrive>]) -> Result<f64, CoreError> {
         if row >= self.config.rows {
-            return Err(CoreError::RowOutOfRange { row, rows: self.config.rows });
+            return Err(CoreError::RowOutOfRange {
+                row,
+                rows: self.config.rows,
+            });
         }
         if drives.len() != self.config.dim {
-            return Err(CoreError::DimMismatch { got: drives.len(), expected: self.config.dim });
+            return Err(CoreError::DimMismatch {
+                got: drives.len(),
+                expected: self.config.dim,
+            });
         }
         let cells_per_dim = self.config.query_precision.cells_per_dim();
         let p = self.model.params();
@@ -394,8 +419,7 @@ impl UniCaimArray {
             let vth1 = p.vth_mid() - 0.5 * p.memory_window() * w;
             let vth1b = p.vth_mid() + 0.5 * p.memory_window() * w;
             for (c, &drive) in dim_drives.iter().enumerate() {
-                let (off1, off1b) =
-                    self.offsets[(row * self.config.dim + d) * cells_per_dim + c];
+                let (off1, off1b) = self.offsets[(row * self.config.dim + d) * cells_per_dim + c];
                 if self.config.behavioral {
                     total += match drive {
                         CellDrive::Off => 0.0,
@@ -412,8 +436,12 @@ impl UniCaimArray {
                         CellDrive::Minus => (p.read_voltage, 0.0),
                         CellDrive::Off => (0.0, 0.0),
                     };
-                    total += self.model.drain_current_at_vth(vth1 + off1, v_bl, p.vds_read)
-                        + self.model.drain_current_at_vth(vth1b + off1b, v_blb, p.vds_read);
+                    total += self
+                        .model
+                        .drain_current_at_vth(vth1 + off1, v_bl, p.vds_read)
+                        + self
+                            .model
+                            .drain_current_at_vth(vth1b + off1b, v_blb, p.vds_read);
                 }
             }
         }
@@ -428,13 +456,12 @@ impl UniCaimArray {
     /// # Errors
     ///
     /// Returns [`CoreError::DimMismatch`] for a wrong-sized query.
-    pub fn cam_top_k(
-        &mut self,
-        query: &[QueryLevel],
-        k: usize,
-    ) -> Result<CamSearch, CoreError> {
+    pub fn cam_top_k(&mut self, query: &[QueryLevel], k: usize) -> Result<CamSearch, CoreError> {
         if query.len() != self.config.dim {
-            return Err(CoreError::DimMismatch { got: query.len(), expected: self.config.dim });
+            return Err(CoreError::DimMismatch {
+                got: query.len(),
+                expected: self.config.dim,
+            });
         }
         let drives = self.encoder.encode(query);
         let occupied = self.occupied_rows();
@@ -454,13 +481,12 @@ impl UniCaimArray {
                 self.apply_read_noise(i, r, nonce)
             })
             .collect();
-        let c_sl = self.config.wire.line_capacitance(self.config.cells_per_row());
-        let race = DischargeRace::ohmic(
-            self.config.vdd,
-            c_sl,
-            &currents,
-            self.config.fefet.vds_read,
-        );
+        let c_sl = self
+            .config
+            .wire
+            .line_capacitance(self.config.cells_per_row());
+        let race =
+            DischargeRace::ohmic(self.config.vdd, c_sl, &currents, self.config.fefet.vds_read);
         let threshold = 0.5 * self.config.vdd;
 
         let (winners_local, freeze_time) = if k >= n {
@@ -488,7 +514,11 @@ impl UniCaimArray {
         self.stats.e_precharge += race.recharge_energy(freeze_time);
         self.stats.t_cam += self.config.precharge_time + freeze_time;
 
-        Ok(CamSearch { selected_rows, freeze_time, sl_voltages })
+        Ok(CamSearch {
+            selected_rows,
+            freeze_time,
+            sl_voltages,
+        })
     }
 
     /// **Charge-domain CIM mode** (paper Fig. 8): shares every occupied
@@ -496,10 +526,15 @@ impl UniCaimArray {
     /// returns the static-eviction candidate — the occupied row whose
     /// accumulated similarity is lowest (first FE-INV to trip).
     pub fn accumulate_and_candidate(&mut self, search: &CamSearch) -> Option<usize> {
-        let c_sl = self.config.wire.line_capacitance(self.config.cells_per_row());
+        let c_sl = self
+            .config
+            .wire
+            .line_capacitance(self.config.cells_per_row());
         let mut candidate: Option<(usize, f64)> = None;
         for &(row, v_sl) in &search.sl_voltages {
-            let share = self.acc[row].share_from(c_sl, v_sl).expect("positive capacitances");
+            let share = self.acc[row]
+                .share_from(c_sl, v_sl)
+                .expect("positive capacitances");
             self.stats.charge_shares += 1;
             self.stats.e_share += share.dissipated;
             let v = self.acc[row].voltage();
@@ -539,7 +574,10 @@ impl UniCaimArray {
         rows: &[usize],
     ) -> Result<Vec<(usize, f64)>, CoreError> {
         if query.len() != self.config.dim {
-            return Err(CoreError::DimMismatch { got: query.len(), expected: self.config.dim });
+            return Err(CoreError::DimMismatch {
+                got: query.len(),
+                expected: self.config.dim,
+            });
         }
         let drives = self.encoder.encode(query);
         let active = self.encoder.active_cells(query) as f64;
@@ -587,7 +625,10 @@ impl UniCaimArray {
         rows: &[usize],
     ) -> Result<Vec<(usize, f64)>, CoreError> {
         if query.len() != self.config.dim {
-            return Err(CoreError::DimMismatch { got: query.len(), expected: self.config.dim });
+            return Err(CoreError::DimMismatch {
+                got: query.len(),
+                expected: self.config.dim,
+            });
         }
         let drives = self.encoder.encode(query);
         let active = self.encoder.active_cells(query) as f64;
@@ -691,8 +732,7 @@ mod tests {
         let enc = QueryEncoder::new(QueryPrecision::TwoBit);
         let query = vec![QueryLevel::PosOne; 8];
         let drives = enc.encode(&query);
-        let currents: Vec<f64> =
-            (0..4).map(|r| a.row_current(r, &drives).unwrap()).collect();
+        let currents: Vec<f64> = (0..4).map(|r| a.row_current(r, &drives).unwrap()).collect();
         // Higher similarity => lower current.
         for w in currents.windows(2) {
             assert!(w[1] < w[0], "{currents:?}");
@@ -710,19 +750,34 @@ mod tests {
         let mut a = UniCaimArray::new(small_config());
         let target = [1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0];
         a.write_row(0, 0, &key_from(&target)).unwrap();
-        a.write_row(1, 1, &key_from(&[1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, 1.0])).unwrap();
+        a.write_row(
+            1,
+            1,
+            &key_from(&[1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, 1.0]),
+        )
+        .unwrap();
         a.write_row(2, 2, &key_from(&[0.0; 8])).unwrap();
-        a.write_row(3, 3, &key_from(&[-1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0])).unwrap();
+        a.write_row(
+            3,
+            3,
+            &key_from(&[-1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0]),
+        )
+        .unwrap();
         let query: Vec<QueryLevel> = target
             .iter()
-            .map(|&v| if v > 0.0 { QueryLevel::PosOne } else { QueryLevel::NegOne })
+            .map(|&v| {
+                if v > 0.0 {
+                    QueryLevel::PosOne
+                } else {
+                    QueryLevel::NegOne
+                }
+            })
             .collect();
         let search = a.cam_top_k(&query, 2).unwrap();
         assert_eq!(search.selected_rows, vec![0, 1]);
         assert!(search.freeze_time > 0.0);
         // Selected rows keep the highest residual voltages.
-        let v: std::collections::HashMap<usize, f64> =
-            search.sl_voltages.iter().copied().collect();
+        let v: std::collections::HashMap<usize, f64> = search.sl_voltages.iter().copied().collect();
         assert!(v[&0] > v[&2] && v[&1] > v[&2] && v[&2] > 0.0);
         assert!(v[&2] >= v[&3]);
     }
@@ -759,8 +814,11 @@ mod tests {
         let got = scores[0].1;
         // Dims 0, 4, 5 match the query perfectly (w·q = +1); each reads
         // compressed by ≈0.1 level units at the sub-threshold floor.
-        let n_full_match =
-            key_vals.iter().zip(&query).filter(|(&w, q)| (w * q.value()) >= 1.0).count();
+        let n_full_match = key_vals
+            .iter()
+            .zip(&query)
+            .filter(|(&w, q)| (w * q.value()) >= 1.0)
+            .count();
         let tolerance = 2.0 * a.score_lsb() + 0.15 * n_full_match as f64;
         assert_eq!(n_full_match, 3);
         assert!(
@@ -784,14 +842,21 @@ mod tests {
             a.score_lsb()
         );
         // And the ideal path consumed no ADC conversions.
-        assert_eq!(a.stats().adc_conversions, 1, "only the quantized read pays the ADC");
+        assert_eq!(
+            a.stats().adc_conversions,
+            1,
+            "only the quantized read pays the ADC"
+        );
     }
 
     #[test]
     fn exact_scores_reject_empty_rows() {
         let mut a = UniCaimArray::new(small_config());
         let query = vec![QueryLevel::PosOne; 8];
-        assert!(matches!(a.exact_scores(&query, &[1]), Err(CoreError::EmptyRow { row: 1 })));
+        assert!(matches!(
+            a.exact_scores(&query, &[1]),
+            Err(CoreError::EmptyRow { row: 1 })
+        ));
     }
 
     #[test]
@@ -806,7 +871,11 @@ mod tests {
             let search = a.cam_top_k(&query, 1).unwrap();
             candidate = a.accumulate_and_candidate(&search);
         }
-        assert_eq!(candidate, Some(1), "persistently dissimilar row must be the candidate");
+        assert_eq!(
+            candidate,
+            Some(1),
+            "persistently dissimilar row must be the candidate"
+        );
         assert!(a.acc_voltage(0) > a.acc_voltage(2));
         assert!(a.acc_voltage(2) > a.acc_voltage(1));
     }
@@ -852,7 +921,10 @@ mod tests {
         let mut cfg = small_config();
         cfg.behavioral = false;
         let mut dev = UniCaimArray::new(cfg.clone());
-        let mut beh = UniCaimArray::new(ArrayConfig { behavioral: true, ..cfg });
+        let mut beh = UniCaimArray::new(ArrayConfig {
+            behavioral: true,
+            ..cfg
+        });
         let keys = [
             key_from(&[1.0; 8]),
             key_from(&[0.5; 8]),
@@ -871,11 +943,21 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        assert!(UniCaimArray::try_new(ArrayConfig { rows: 0, ..ArrayConfig::default() }).is_err());
-        assert!(
-            UniCaimArray::try_new(ArrayConfig { n_adcs: 0, ..ArrayConfig::default() }).is_err()
-        );
-        assert!(UniCaimArray::try_new(ArrayConfig { vdd: -1.0, ..ArrayConfig::default() }).is_err());
+        assert!(UniCaimArray::try_new(ArrayConfig {
+            rows: 0,
+            ..ArrayConfig::default()
+        })
+        .is_err());
+        assert!(UniCaimArray::try_new(ArrayConfig {
+            n_adcs: 0,
+            ..ArrayConfig::default()
+        })
+        .is_err());
+        assert!(UniCaimArray::try_new(ArrayConfig {
+            vdd: -1.0,
+            ..ArrayConfig::default()
+        })
+        .is_err());
         assert!(UniCaimArray::try_new(ArrayConfig {
             read_noise_rel: -0.1,
             ..ArrayConfig::default()
@@ -897,7 +979,11 @@ mod tests {
         let query = vec![QueryLevel::PosOne; 8];
         for _ in 0..10 {
             let s = noisy.cam_top_k(&query, 1).unwrap();
-            assert_eq!(s.selected_rows, vec![0], "2% noise must not flip a 16-level gap");
+            assert_eq!(
+                s.selected_rows,
+                vec![0],
+                "2% noise must not flip a 16-level gap"
+            );
         }
         // Noise actually changes the measured score across repeated reads
         // (checked on the high-current anti-matching row, where the
@@ -907,7 +993,10 @@ mod tests {
         let c = ideal.exact_scores(&query, &[1]).unwrap()[0].1;
         let d = ideal.exact_scores(&query, &[1]).unwrap()[0].1;
         assert_eq!(c, d, "ideal reads are repeatable");
-        assert!((a - b).abs() > 0.0, "noisy reads must fluctuate: {a} vs {b}");
+        assert!(
+            (a - b).abs() > 0.0,
+            "noisy reads must fluctuate: {a} vs {b}"
+        );
     }
 
     #[test]

@@ -39,7 +39,11 @@ impl UniCaimCell {
     pub fn new(model: &FeFetModel, mut f1: FeFet, mut f1b: FeFet) -> Self {
         model.program_polarization(&mut f1, 0.0);
         model.program_polarization(&mut f1b, 0.0);
-        Self { f1, f1b, level: KeyLevel::Zero }
+        Self {
+            f1,
+            f1b,
+            level: KeyLevel::Zero,
+        }
     }
 
     /// The stored key level.
@@ -83,9 +87,8 @@ impl UniCaimCell {
     pub fn behavioral_current(model: &FeFetModel, level: KeyLevel, drive: CellDrive) -> f64 {
         match drive {
             CellDrive::Off => 0.0,
-            d => (unit_current(model)
-                - score_slope_current(model) * level.weight() * d.sign())
-            .max(0.0),
+            d => (unit_current(model) - score_slope_current(model) * level.weight() * d.sign())
+                .max(0.0),
         }
     }
 
@@ -165,10 +168,15 @@ mod tests {
             KeyLevel::NegHalf,
             KeyLevel::NegOne,
         ];
-        let currents: Vec<f64> =
-            levels.iter().map(|&l| cell_at(&m, l).sl_current(&m, CellDrive::Plus)).collect();
+        let currents: Vec<f64> = levels
+            .iter()
+            .map(|&l| cell_at(&m, l).sl_current(&m, CellDrive::Plus))
+            .collect();
         for w in currents.windows(2) {
-            assert!(w[0] < w[1], "currents must be strictly ordered: {currents:?}");
+            assert!(
+                w[0] < w[1],
+                "currents must be strictly ordered: {currents:?}"
+            );
         }
         // Equal spacing in the triode region (all steps except the one
         // touching the fully matching end, which is compressed by the
@@ -212,7 +220,10 @@ mod tests {
         let i = cell_at(&m, KeyLevel::PosOne).sl_current(&m, CellDrive::Off);
         // Grounded gates leave only sub-threshold leakage — orders of
         // magnitude below the unit read current.
-        assert!(i < 1e-3 * unit_current(&m), "off cell current {i:.3e} too high");
+        assert!(
+            i < 1e-3 * unit_current(&m),
+            "off cell current {i:.3e} too high"
+        );
     }
 
     #[test]
@@ -240,6 +251,9 @@ mod tests {
     fn unit_current_is_microamp_scale() {
         let m = model();
         let i = unit_current(&m);
-        assert!(i > 1e-7 && i < 1e-4, "unit current {i:.3e} out of plausible range");
+        assert!(
+            i > 1e-7 && i < 1e-4,
+            "unit current {i:.3e} out of plausible range"
+        );
     }
 }

@@ -67,7 +67,13 @@ pub fn expand_query_level(level: QueryLevel, precision: QueryPrecision) -> Vec<C
                 QueryLevel::NegOne => 0,
             };
             (0..4)
-                .map(|i| if i < 4 - n_pos { CellDrive::Minus } else { CellDrive::Plus })
+                .map(|i| {
+                    if i < 4 - n_pos {
+                        CellDrive::Minus
+                    } else {
+                        CellDrive::Plus
+                    }
+                })
                 .collect()
         }
     }
@@ -102,7 +108,10 @@ impl QueryEncoder {
     /// dimension.
     #[must_use]
     pub fn encode(&self, query: &[QueryLevel]) -> Vec<Vec<CellDrive>> {
-        query.iter().map(|&l| expand_query_level(l, self.precision)).collect()
+        query
+            .iter()
+            .map(|&l| expand_query_level(l, self.precision))
+            .collect()
     }
 
     /// Number of *active* (non-[`CellDrive::Off`]) cells the encoded query
@@ -110,7 +119,11 @@ impl QueryEncoder {
     /// calibration subtracts.
     #[must_use]
     pub fn active_cells(&self, query: &[QueryLevel]) -> usize {
-        self.encode(query).iter().flatten().filter(|d| !matches!(d, CellDrive::Off)).count()
+        self.encode(query)
+            .iter()
+            .flatten()
+            .filter(|d| !matches!(d, CellDrive::Off))
+            .count()
     }
 }
 
@@ -149,7 +162,10 @@ mod tests {
         for (level, n_pos) in cases {
             let drives = expand_query_level(level, QueryPrecision::TwoBit);
             assert_eq!(drives.len(), 4);
-            let pos = drives.iter().filter(|d| matches!(d, CellDrive::Plus)).count();
+            let pos = drives
+                .iter()
+                .filter(|d| matches!(d, CellDrive::Plus))
+                .count();
             assert_eq!(pos, n_pos, "level {level:?}");
             // Net drive encodes the level: (n_pos − n_neg)/4 = q.
             let net: f64 = drives.iter().map(|d| d.sign()).sum();

@@ -9,8 +9,8 @@ use std::collections::BTreeSet;
 use serde::{Deserialize, Serialize};
 
 use unicaim_attention::metrics::{cosine_similarity, relative_l2_error, set_f1, Mean};
-use unicaim_attention::workloads::DecodeWorkload;
 use unicaim_attention::softmax_in_place;
+use unicaim_attention::workloads::DecodeWorkload;
 use unicaim_kvcache::{
     accumulated_prefill_scores, prefill_attention_matrix, top_indices_by_score, SimResult,
 };
@@ -36,7 +36,11 @@ impl EngineConfig {
     /// top-64 selection.
     #[must_use]
     pub fn paper_default() -> Self {
-        Self { h: 512, m: 64, k: 64 }
+        Self {
+            h: 512,
+            m: 64,
+            k: 64,
+        }
     }
 
     /// Total rows the engine's array needs.
@@ -117,7 +121,12 @@ impl UniCaimEngine {
         array_config.rows = config.rows();
         let array = UniCaimArray::try_new(array_config)?;
         let query_scale_dim = (array.dim() as f64).sqrt();
-        Ok(Self { array, config, values: BTreeMap::new(), query_scale_dim })
+        Ok(Self {
+            array,
+            config,
+            values: BTreeMap::new(),
+            query_scale_dim,
+        })
     }
 
     /// The engine configuration.
@@ -135,8 +144,12 @@ impl UniCaimEngine {
     /// Tokens currently resident in the array, ascending.
     #[must_use]
     pub fn resident_tokens(&self) -> Vec<usize> {
-        let mut t: Vec<usize> =
-            self.array.occupied_rows().iter().filter_map(|&r| self.array.token_of_row(r)).collect();
+        let mut t: Vec<usize> = self
+            .array
+            .occupied_rows()
+            .iter()
+            .filter_map(|&r| self.array.token_of_row(r))
+            .collect();
         t.sort_unstable();
         t
     }
@@ -161,11 +174,14 @@ impl UniCaimEngine {
         let acc = accumulated_prefill_scores(&attn, None);
         let keep = top_indices_by_score(&acc, self.config.h.min(workload.prefill_keys.len()));
         for &token in &keep {
-            let (levels, scale) =
-                quantize_key(&workload.prefill_keys[token], self.array.config().cell_precision);
+            let (levels, scale) = quantize_key(
+                &workload.prefill_keys[token],
+                self.array.config().cell_precision,
+            );
             let row = self.array.free_row().expect("prefill keep fits h rows");
             self.array.write_row_scaled(row, token, &levels, scale)?;
-            self.values.insert(token, workload.prefill_values[token].clone());
+            self.values
+                .insert(token, workload.prefill_values[token].clone());
         }
         Ok(())
     }
@@ -186,7 +202,10 @@ impl UniCaimEngine {
     ) -> Result<StepReport, CoreError> {
         let dim = self.array.dim();
         if query.len() != dim || new_key.len() != dim {
-            return Err(CoreError::DimMismatch { got: query.len(), expected: dim });
+            return Err(CoreError::DimMismatch {
+                got: query.len(),
+                expected: dim,
+            });
         }
         let precision = self.array.config().query_precision;
         let (q_levels, q_scale) = quantize_query(query, precision);
@@ -204,8 +223,7 @@ impl UniCaimEngine {
             .iter()
             .map(|&(row, s)| {
                 let token = self.array.token_of_row(row).expect("selected row occupied");
-                let real =
-                    s * self.array.scale_of_row(row) * q_scale / self.query_scale_dim;
+                let real = s * self.array.scale_of_row(row) * q_scale / self.query_scale_dim;
                 (token, real)
             })
             .collect();
@@ -237,11 +255,17 @@ impl UniCaimEngine {
             }
         };
         let (levels, scale) = quantize_key(new_key, self.array.config().cell_precision);
-        self.array.write_row_scaled(row, new_token, &levels, scale)?;
+        self.array
+            .write_row_scaled(row, new_token, &levels, scale)?;
         self.values.insert(new_token, new_value.to_vec());
 
         let selected_tokens: Vec<usize> = scores.iter().map(|&(t, _)| t).collect();
-        Ok(StepReport { selected_tokens, evicted_token, scores, output })
+        Ok(StepReport {
+            selected_tokens,
+            evicted_token,
+            scores,
+            output,
+        })
     }
 
     /// Runs a full workload (prefill + every decode step), computing the
@@ -263,8 +287,11 @@ impl UniCaimEngine {
         let mut hits = Mean::new();
         let mut n_selected = Mean::new();
         let mut n_resident = Mean::new();
-        let salient_universe: BTreeSet<usize> =
-            workload.salient_at.iter().flat_map(|s| s.iter().copied()).collect();
+        let salient_universe: BTreeSet<usize> = workload
+            .salient_at
+            .iter()
+            .flat_map(|s| s.iter().copied())
+            .collect();
         let prefill_len = workload.prefill_keys.len();
 
         for (step, query) in workload.decode_queries.iter().enumerate() {
@@ -281,8 +308,7 @@ impl UniCaimEngine {
 
             let salient = &workload.salient_at[step];
             if !salient.is_empty() {
-                let selected: BTreeSet<usize> =
-                    report.selected_tokens.iter().copied().collect();
+                let selected: BTreeSet<usize> = report.selected_tokens.iter().copied().collect();
                 let s = set_f1(&(&selected & salient), salient);
                 recall.push(s.recall);
                 let predicted: BTreeSet<usize> =
@@ -345,10 +371,18 @@ mod tests {
         let mut e = engine(40, 8, 12, w.dim);
         e.load_prefill(&w).unwrap();
         let r = e
-            .decode_step(96, &w.decode_queries[0], &w.decode_keys[0], &w.decode_values[0])
+            .decode_step(
+                96,
+                &w.decode_queries[0],
+                &w.decode_keys[0],
+                &w.decode_values[0],
+            )
             .unwrap();
         assert_eq!(r.selected_tokens.len(), 12);
-        assert!(r.evicted_token.is_none(), "free rows remain, nothing to evict");
+        assert!(
+            r.evicted_token.is_none(),
+            "free rows remain, nothing to evict"
+        );
         assert_eq!(r.output.len(), w.dim);
     }
 

@@ -189,8 +189,15 @@ pub fn quantize_query(query: &[f32], precision: QueryPrecision) -> (Vec<QueryLev
 /// Panics if the vectors' lengths differ.
 #[must_use]
 pub fn level_score(key: &[KeyLevel], query: &[QueryLevel]) -> f64 {
-    assert_eq!(key.len(), query.len(), "level vectors must have equal length");
-    key.iter().zip(query).map(|(w, q)| w.weight() * q.value()).sum()
+    assert_eq!(
+        key.len(),
+        query.len(),
+        "level vectors must have equal length"
+    );
+    key.iter()
+        .zip(query)
+        .map(|(w, q)| w.weight() * q.value())
+        .sum()
 }
 
 #[cfg(test)]
@@ -230,7 +237,15 @@ mod tests {
     #[test]
     fn quantize_key_one_bit_has_no_halves() {
         let (q, _) = quantize_key(&[1.0, 0.6, -0.6, 0.1], CellPrecision::OneBit);
-        assert_eq!(q, vec![KeyLevel::PosOne, KeyLevel::PosOne, KeyLevel::NegOne, KeyLevel::Zero]);
+        assert_eq!(
+            q,
+            vec![
+                KeyLevel::PosOne,
+                KeyLevel::PosOne,
+                KeyLevel::NegOne,
+                KeyLevel::Zero
+            ]
+        );
     }
 
     #[test]
@@ -250,7 +265,10 @@ mod tests {
     #[test]
     fn quantize_query_two_bit() {
         let (q, _) = quantize_query(&[1.0, -0.5, 0.0], QueryPrecision::TwoBit);
-        assert_eq!(q, vec![QueryLevel::PosOne, QueryLevel::NegHalf, QueryLevel::Zero]);
+        assert_eq!(
+            q,
+            vec![QueryLevel::PosOne, QueryLevel::NegHalf, QueryLevel::Zero]
+        );
     }
 
     #[test]

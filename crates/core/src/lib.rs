@@ -54,8 +54,7 @@ pub use cell::{score_slope_current, unit_current, UniCaimCell};
 pub use encoder::{expand_query_level, CellDrive, QueryEncoder};
 pub use engine::{EngineConfig, HardwareRunResult, StepReport, UniCaimEngine};
 pub use levels::{
-    level_score, quantize_key, quantize_query, CellPrecision, KeyLevel, QueryLevel,
-    QueryPrecision,
+    level_score, quantize_key, quantize_query, CellPrecision, KeyLevel, QueryLevel, QueryPrecision,
 };
 pub use multihead::{MultiHeadEngine, MultiHeadRunResult};
 pub use stats::OpStats;

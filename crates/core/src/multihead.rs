@@ -48,7 +48,9 @@ impl MultiHeadEngine {
         n_heads: usize,
     ) -> Result<Self, CoreError> {
         if n_heads == 0 {
-            return Err(CoreError::InvalidConfig { reason: "need at least one head".into() });
+            return Err(CoreError::InvalidConfig {
+                reason: "need at least one head".into(),
+            });
         }
         let heads = (0..n_heads)
             .map(|h| {
@@ -105,7 +107,8 @@ impl MultiHeadEngine {
             combined_stats.merge(&r.stats);
         }
         let n = per_head.len() as f64;
-        let mean = |f: fn(&SimResult) -> f64| per_head.iter().map(|r| f(&r.metrics)).sum::<f64>() / n;
+        let mean =
+            |f: fn(&SimResult) -> f64| per_head.iter().map(|r| f(&r.metrics)).sum::<f64>() / n;
         let mean_metrics = SimResult {
             policy: "unicaim_multihead".to_owned(),
             workload: workloads[0].name.clone(),
@@ -118,7 +121,11 @@ impl MultiHeadEngine {
             mean_resident: mean(|m| m.mean_resident),
             steps,
         };
-        Ok(MultiHeadRunResult { per_head, combined_stats, mean_metrics })
+        Ok(MultiHeadRunResult {
+            per_head,
+            combined_stats,
+            mean_metrics,
+        })
     }
 }
 
@@ -129,12 +136,18 @@ mod tests {
 
     fn per_head_workloads(n_heads: usize, seed: u64) -> Vec<DecodeWorkload> {
         // Same task shape, different key/query streams per head.
-        (0..n_heads).map(|h| needle_task(128, 16, seed + 1000 * h as u64)).collect()
+        (0..n_heads)
+            .map(|h| needle_task(128, 16, seed + 1000 * h as u64))
+            .collect()
     }
 
     fn engine(n_heads: usize) -> MultiHeadEngine {
         MultiHeadEngine::new(
-            ArrayConfig { dim: 64, sigma_vth: 0.0, ..ArrayConfig::default() },
+            ArrayConfig {
+                dim: 64,
+                sigma_vth: 0.0,
+                ..ArrayConfig::default()
+            },
             EngineConfig { h: 48, m: 8, k: 16 },
             n_heads,
         )
@@ -150,7 +163,10 @@ mod tests {
         assert_eq!(r.combined_stats.cam_searches, 4 * 16);
         assert_eq!(
             r.combined_stats.adc_conversions,
-            r.per_head.iter().map(|h| h.stats.adc_conversions).sum::<u64>()
+            r.per_head
+                .iter()
+                .map(|h| h.stats.adc_conversions)
+                .sum::<u64>()
         );
         assert!(r.mean_metrics.salient_recall > 0.9, "{:?}", r.mean_metrics);
     }
@@ -175,12 +191,10 @@ mod tests {
 
     #[test]
     fn rejects_zero_heads() {
-        assert!(MultiHeadEngine::new(
-            ArrayConfig::default(),
-            EngineConfig { h: 8, m: 4, k: 4 },
-            0
-        )
-        .is_err());
+        assert!(
+            MultiHeadEngine::new(ArrayConfig::default(), EngineConfig { h: 8, m: 4, k: 4 }, 0)
+                .is_err()
+        );
     }
 
     #[test]

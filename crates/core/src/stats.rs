@@ -108,8 +108,18 @@ mod tests {
 
     #[test]
     fn merge_is_fieldwise_addition() {
-        let a = OpStats { cam_searches: 2, e_adc: 1.0, t_cam: 0.5, ..OpStats::new() };
-        let b = OpStats { cam_searches: 3, e_adc: 2.0, t_cam: 0.25, ..OpStats::new() };
+        let a = OpStats {
+            cam_searches: 2,
+            e_adc: 1.0,
+            t_cam: 0.5,
+            ..OpStats::new()
+        };
+        let b = OpStats {
+            cam_searches: 3,
+            e_adc: 2.0,
+            t_cam: 0.25,
+            ..OpStats::new()
+        };
         let c = a.merged(&b);
         assert_eq!(c.cam_searches, 5);
         assert!((c.e_adc - 3.0).abs() < 1e-12);

@@ -19,7 +19,11 @@ fn key_levels() -> impl Strategy<Value = KeyLevel> {
 /// Keys restricted to half-levels keep every cell out of the sub-threshold
 /// floor (the analog current is exactly affine in the score there).
 fn linear_key_levels() -> impl Strategy<Value = KeyLevel> {
-    prop_oneof![Just(KeyLevel::NegHalf), Just(KeyLevel::Zero), Just(KeyLevel::PosHalf)]
+    prop_oneof![
+        Just(KeyLevel::NegHalf),
+        Just(KeyLevel::Zero),
+        Just(KeyLevel::PosHalf)
+    ]
 }
 
 fn query_levels() -> impl Strategy<Value = QueryLevel> {
@@ -53,13 +57,19 @@ fn exact_top_k(scores: &[(usize, f64)], k: usize) -> Vec<usize> {
             .unwrap()
             .then(scores[a].0.cmp(&scores[b].0))
     });
-    let mut sel: Vec<usize> = idx[..k.min(scores.len())].iter().map(|&i| scores[i].0).collect();
+    let mut sel: Vec<usize> = idx[..k.min(scores.len())]
+        .iter()
+        .map(|&i| scores[i].0)
+        .collect();
     sel.sort_unstable();
     sel
 }
 
 fn level_score(key: &[KeyLevel], query: &[QueryLevel]) -> f64 {
-    key.iter().zip(query).map(|(w, q)| w.weight() * q.value()).sum()
+    key.iter()
+        .zip(query)
+        .map(|(w, q)| w.weight() * q.value())
+        .sum()
 }
 
 proptest! {
@@ -231,8 +241,7 @@ fn cam_topk_recall_under_variation() {
             KeyLevel::PosOne,
         ];
         for row in 0..rows {
-            let key: Vec<KeyLevel> =
-                (0..dim).map(|_| all_levels[rng.gen_range(0..5)]).collect();
+            let key: Vec<KeyLevel> = (0..dim).map(|_| all_levels[rng.gen_range(0..5)]).collect();
             ideal.write_row(row, row, &key).unwrap();
             noisy.write_row(row, row, &key).unwrap();
         }
@@ -244,10 +253,18 @@ fn cam_topk_recall_under_variation() {
             QueryLevel::PosOne,
         ];
         let query: Vec<QueryLevel> = (0..dim).map(|_| q_levels[rng.gen_range(0..5)]).collect();
-        let want: std::collections::BTreeSet<usize> =
-            ideal.cam_top_k(&query, k).unwrap().selected_rows.into_iter().collect();
-        let got: std::collections::BTreeSet<usize> =
-            noisy.cam_top_k(&query, k).unwrap().selected_rows.into_iter().collect();
+        let want: std::collections::BTreeSet<usize> = ideal
+            .cam_top_k(&query, k)
+            .unwrap()
+            .selected_rows
+            .into_iter()
+            .collect();
+        let got: std::collections::BTreeSet<usize> = noisy
+            .cam_top_k(&query, k)
+            .unwrap()
+            .selected_rows
+            .into_iter()
+            .collect();
         total_recall += want.intersection(&got).count() as f64 / k as f64;
     }
     let mean_recall = total_recall / trials as f64;

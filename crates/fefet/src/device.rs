@@ -25,13 +25,19 @@ impl FeFet {
     /// A fresh, fully erased device with no variation offset.
     #[must_use]
     pub fn fresh() -> Self {
-        Self { polarization: -1.0, vth_offset: 0.0 }
+        Self {
+            polarization: -1.0,
+            vth_offset: 0.0,
+        }
     }
 
     /// A device with the given static `V_TH` offset (volts), fully erased.
     #[must_use]
     pub fn with_vth_offset(vth_offset: f64) -> Self {
-        Self { polarization: -1.0, vth_offset }
+        Self {
+            polarization: -1.0,
+            vth_offset,
+        }
     }
 
     /// Normalized remanent polarization in `[-1, 1]`.
@@ -108,7 +114,13 @@ impl FeFetModel {
     pub fn erase(&self, dev: &mut FeFet) {
         // A long, strongly over-coercive pulse saturates switching.
         let amp = -(self.params.coercive_voltage + 6.0 * self.params.preisach_width);
-        self.apply_pulse(dev, PulseSpec { amplitude: amp, width: 1000.0 * self.params.pulse_width });
+        self.apply_pulse(
+            dev,
+            PulseSpec {
+                amplitude: amp,
+                width: 1000.0 * self.params.pulse_width,
+            },
+        );
         // Behavioral idealization: a saturating erase lands exactly at −1.
         dev.polarization = -1.0;
     }
@@ -238,10 +250,17 @@ mod tests {
         for _ in 0..1000 {
             m.apply_pulse(
                 &mut dev,
-                PulseSpec { amplitude: m.params().read_voltage, width: 1e-6 },
+                PulseSpec {
+                    amplitude: m.params().read_voltage,
+                    width: 1e-6,
+                },
             );
         }
-        assert_eq!(dev.polarization(), before, "reads must never move polarization");
+        assert_eq!(
+            dev.polarization(),
+            before,
+            "reads must never move polarization"
+        );
     }
 
     #[test]
@@ -250,7 +269,10 @@ mod tests {
         let mut dev = FeFet::fresh();
         // Short, barely over-coercive pulses should move polarization in
         // several visible steps rather than all at once.
-        let pulse = PulseSpec { amplitude: 2.9, width: 5e-9 };
+        let pulse = PulseSpec {
+            amplitude: 2.9,
+            width: 5e-9,
+        };
         let mut last = dev.polarization();
         let mut steps = 0;
         for _ in 0..50 {
@@ -261,9 +283,15 @@ mod tests {
             }
             last = now;
         }
-        assert!(steps >= 5, "expected gradual multi-step switching, saw {steps} steps");
+        assert!(
+            steps >= 5,
+            "expected gradual multi-step switching, saw {steps} steps"
+        );
         assert!(dev.polarization() <= 1.0);
-        assert!(dev.polarization() > -1.0, "pulses must have switched something");
+        assert!(
+            dev.polarization() > -1.0,
+            "pulses must have switched something"
+        );
     }
 
     #[test]
@@ -305,7 +333,10 @@ mod tests {
         let d1 = i0 - i1;
         let d2 = i1 - i2;
         let nonlinearity = ((d1 - d2) / d1).abs();
-        assert!(nonlinearity < 0.05, "triode nonlinearity {nonlinearity} too large");
+        assert!(
+            nonlinearity < 0.05,
+            "triode nonlinearity {nonlinearity} too large"
+        );
     }
 
     #[test]
@@ -323,7 +354,10 @@ mod tests {
 
     #[test]
     fn try_new_rejects_bad_params() {
-        let bad = FeFetParams { beta: -1.0, ..FeFetParams::default() };
+        let bad = FeFetParams {
+            beta: -1.0,
+            ..FeFetParams::default()
+        };
         assert!(FeFetModel::try_new(bad).is_err());
     }
 }

@@ -53,7 +53,10 @@ impl VthGrid {
         self.levels
             .get(level)
             .copied()
-            .ok_or(FeFetError::LevelOutOfRange { level, n_levels: self.levels.len() })
+            .ok_or(FeFetError::LevelOutOfRange {
+                level,
+                n_levels: self.levels.len(),
+            })
     }
 
     /// All level voltages, lowest first.
@@ -160,7 +163,10 @@ mod tests {
             prog.program(&m, &mut dev, level).unwrap();
             let vth = m.vth(&dev);
             let want = g.vth_of(level).unwrap();
-            assert!((vth - want).abs() < 1e-9, "level {level}: vth {vth} want {want}");
+            assert!(
+                (vth - want).abs() < 1e-9,
+                "level {level}: vth {vth} want {want}"
+            );
         }
     }
 
@@ -172,7 +178,10 @@ mod tests {
         let mut dev = FeFet::fresh();
         assert!(matches!(
             prog.program(&m, &mut dev, 5),
-            Err(FeFetError::LevelOutOfRange { level: 5, n_levels: 5 })
+            Err(FeFetError::LevelOutOfRange {
+                level: 5,
+                n_levels: 5
+            })
         ));
     }
 

@@ -4,6 +4,12 @@ use serde::{Deserialize, Serialize};
 
 use crate::FeFetError;
 
+/// Strict positivity check for physical parameters. `NaN` compares false,
+/// so non-finite garbage fails validation along with zeros and negatives.
+fn is_strictly_positive(v: f64) -> bool {
+    v > 0.0
+}
+
 /// Parameters of the behavioral FeFET model.
 ///
 /// Defaults describe a 45 nm-class HfO₂ FeFET consistent with the operating
@@ -101,7 +107,8 @@ impl FeFetParams {
     /// polarization (|V_R| ≥ coercive voltage), or when any physical scale
     /// (β, τ₀, thermal voltage, pulse width) is non-positive.
     pub fn validate(&self) -> Result<(), FeFetError> {
-        if !(self.vth_high > self.vth_low) {
+        // `partial_cmp` (not `<=`) so a NaN bound is also rejected.
+        if self.vth_high.partial_cmp(&self.vth_low) != Some(std::cmp::Ordering::Greater) {
             return Err(FeFetError::InvalidParameter {
                 name: "vth_high",
                 reason: format!(
@@ -128,7 +135,7 @@ impl FeFetParams {
             ("switching_voltage_scale", self.switching_voltage_scale),
             ("slope_factor", self.slope_factor),
         ] {
-            if !(v > 0.0) {
+            if !is_strictly_positive(v) {
                 return Err(FeFetError::InvalidParameter {
                     name,
                     reason: format!("must be positive, got {v}"),
@@ -151,7 +158,9 @@ mod tests {
 
     #[test]
     fn default_params_are_valid() {
-        FeFetParams::default().validate().expect("defaults must validate");
+        FeFetParams::default()
+            .validate()
+            .expect("defaults must validate");
     }
 
     #[test]
@@ -163,30 +172,55 @@ mod tests {
 
     #[test]
     fn inverted_window_rejected() {
-        let p = FeFetParams { vth_low: 1.5, vth_high: 0.2, ..FeFetParams::default() };
-        assert!(matches!(p.validate(), Err(FeFetError::InvalidParameter { name: "vth_high", .. })));
+        let p = FeFetParams {
+            vth_low: 1.5,
+            vth_high: 0.2,
+            ..FeFetParams::default()
+        };
+        assert!(matches!(
+            p.validate(),
+            Err(FeFetError::InvalidParameter {
+                name: "vth_high",
+                ..
+            })
+        ));
     }
 
     #[test]
     fn destructive_read_rejected() {
-        let p = FeFetParams { read_voltage: 3.0, ..FeFetParams::default() };
+        let p = FeFetParams {
+            read_voltage: 3.0,
+            ..FeFetParams::default()
+        };
         assert!(matches!(
             p.validate(),
-            Err(FeFetError::InvalidParameter { name: "read_voltage", .. })
+            Err(FeFetError::InvalidParameter {
+                name: "read_voltage",
+                ..
+            })
         ));
     }
 
     #[test]
     fn nonpositive_scale_rejected() {
-        let p = FeFetParams { beta: 0.0, ..FeFetParams::default() };
+        let p = FeFetParams {
+            beta: 0.0,
+            ..FeFetParams::default()
+        };
         assert!(p.validate().is_err());
-        let p = FeFetParams { tau0: -1.0, ..FeFetParams::default() };
+        let p = FeFetParams {
+            tau0: -1.0,
+            ..FeFetParams::default()
+        };
         assert!(p.validate().is_err());
     }
 
     #[test]
     fn negative_sigma_rejected() {
-        let p = FeFetParams { sigma_vth: -0.01, ..FeFetParams::default() };
+        let p = FeFetParams {
+            sigma_vth: -0.01,
+            ..FeFetParams::default()
+        };
         assert!(p.validate().is_err());
     }
 }

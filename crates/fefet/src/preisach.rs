@@ -31,7 +31,10 @@ impl PulseSpec {
     /// Creates a pulse with the model's default width.
     #[must_use]
     pub fn with_default_width(amplitude: f64, params: &FeFetParams) -> Self {
-        Self { amplitude, width: params.pulse_width }
+        Self {
+            amplitude,
+            width: params.pulse_width,
+        }
     }
 }
 
@@ -62,7 +65,10 @@ pub fn saturation_polarization(params: &FeFetParams, amplitude: f64) -> f64 {
     if amplitude == 0.0 {
         return 0.0;
     }
-    let s = switching_fraction(params, PulseSpec::with_default_width(amplitude.abs(), params));
+    let s = switching_fraction(
+        params,
+        PulseSpec::with_default_width(amplitude.abs(), params),
+    );
     amplitude.signum() * (2.0 * s - 1.0)
 }
 
@@ -111,24 +117,50 @@ mod tests {
             assert!((-1.0..=1.0).contains(&s));
             last = s;
         }
-        assert!(last > 0.95, "strong pulses must nearly fully switch, got {last}");
+        assert!(
+            last > 0.95,
+            "strong pulses must nearly fully switch, got {last}"
+        );
     }
 
     #[test]
     fn subcoercive_pulse_switches_nothing() {
         let params = p();
         assert_eq!(saturation_polarization(&params, 1.0), -1.0);
-        let frac =
-            switching_fraction(&params, PulseSpec { amplitude: params.read_voltage, width: 1.0 });
+        let frac = switching_fraction(
+            &params,
+            PulseSpec {
+                amplitude: params.read_voltage,
+                width: 1.0,
+            },
+        );
         assert_eq!(frac, 0.0, "read voltage must never switch polarization");
     }
 
     #[test]
     fn switching_fraction_increases_with_amplitude_and_width() {
         let params = p();
-        let f1 = switching_fraction(&params, PulseSpec { amplitude: 2.8, width: 100e-9 });
-        let f2 = switching_fraction(&params, PulseSpec { amplitude: 3.2, width: 100e-9 });
-        let f3 = switching_fraction(&params, PulseSpec { amplitude: 2.8, width: 400e-9 });
+        let f1 = switching_fraction(
+            &params,
+            PulseSpec {
+                amplitude: 2.8,
+                width: 100e-9,
+            },
+        );
+        let f2 = switching_fraction(
+            &params,
+            PulseSpec {
+                amplitude: 3.2,
+                width: 100e-9,
+            },
+        );
+        let f3 = switching_fraction(
+            &params,
+            PulseSpec {
+                amplitude: 2.8,
+                width: 400e-9,
+            },
+        );
         assert!(f2 > f1, "stronger pulses switch more");
         assert!(f3 > f1, "longer pulses switch more");
         assert!(f1 > 0.0 && f2 <= 1.0 && f3 <= 1.0);
@@ -139,7 +171,13 @@ mod tests {
         let params = p();
         for fraction in [0.01, 0.25, 0.5, 0.9, 0.999] {
             let w = width_for_fraction(&params, 3.0, fraction).expect("over-coercive");
-            let got = switching_fraction(&params, PulseSpec { amplitude: 3.0, width: w });
+            let got = switching_fraction(
+                &params,
+                PulseSpec {
+                    amplitude: 3.0,
+                    width: w,
+                },
+            );
             assert!(
                 (got - fraction).abs() < 1e-9,
                 "inversion failed: fraction {fraction}, width {w}, got {got}"
@@ -150,8 +188,14 @@ mod tests {
     #[test]
     fn width_for_fraction_rejects_bad_inputs() {
         let params = p();
-        assert!(width_for_fraction(&params, 1.0, 0.5).is_none(), "sub-coercive");
-        assert!(width_for_fraction(&params, 3.0, 1.0).is_none(), "fraction 1 needs infinite width");
+        assert!(
+            width_for_fraction(&params, 1.0, 0.5).is_none(),
+            "sub-coercive"
+        );
+        assert!(
+            width_for_fraction(&params, 3.0, 1.0).is_none(),
+            "fraction 1 needs infinite width"
+        );
         assert!(width_for_fraction(&params, 3.0, -0.1).is_none());
     }
 }

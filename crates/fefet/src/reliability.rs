@@ -29,7 +29,10 @@ pub struct RetentionModel {
 
 impl Default for RetentionModel {
     fn default() -> Self {
-        Self { tau: 3.15e8, beta: 0.5 }
+        Self {
+            tau: 3.15e8,
+            beta: 0.5,
+        }
     }
 }
 
@@ -69,7 +72,11 @@ impl Default for EnduranceModel {
     fn default() -> Self {
         // HfO2 FeFET-class: ~1e10 cycle endurance, mild narrowing onset
         // beyond ~1e6 cycles.
-        Self { alpha: 0.04, n0: 1e6, n_fail: 10_000_000_000 }
+        Self {
+            alpha: 0.04,
+            n0: 1e6,
+            n_fail: 10_000_000_000,
+        }
     }
 }
 
@@ -118,7 +125,10 @@ mod tests {
         let r = RetentionModel::default();
         // A full decode of 1M steps at 100 ns/step = 0.1 s.
         let s = r.survival(0.1);
-        assert!(s > 0.999, "decode-scale retention loss must be negligible, got {s}");
+        assert!(
+            s > 0.999,
+            "decode-scale retention loss must be negligible, got {s}"
+        );
     }
 
     #[test]
@@ -126,7 +136,10 @@ mod tests {
         let r = RetentionModel::default();
         let ten_years = 3.15e8;
         let s = r.survival(ten_years);
-        assert!(s < 0.5 && s > 0.1, "10-year survival should be partial, got {s}");
+        assert!(
+            s < 0.5 && s > 0.1,
+            "10-year survival should be partial, got {s}"
+        );
         assert!(r.survival(100.0 * ten_years) < s);
         assert_eq!(r.survival(0.0), 1.0);
     }
@@ -148,7 +161,10 @@ mod tests {
         let w6 = e.window_fraction(1_000_000);
         let w9 = e.window_fraction(1_000_000_000);
         assert!(w9 < w6 && w6 < 1.0);
-        assert!(w9 > 0.8, "1e9 cycles should keep most of the window, got {w9}");
+        assert!(
+            w9 > 0.8,
+            "1e9 cycles should keep most of the window, got {w9}"
+        );
     }
 
     #[test]

@@ -27,13 +27,19 @@ impl PvLoop {
     /// Maximum polarization reached on this loop.
     #[must_use]
     pub fn p_max(&self) -> f64 {
-        self.points.iter().map(|p| p.polarization).fold(f64::NEG_INFINITY, f64::max)
+        self.points
+            .iter()
+            .map(|p| p.polarization)
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Minimum polarization reached on this loop.
     #[must_use]
     pub fn p_min(&self) -> f64 {
-        self.points.iter().map(|p| p.polarization).fold(f64::INFINITY, f64::min)
+        self.points
+            .iter()
+            .map(|p| p.polarization)
+            .fold(f64::INFINITY, f64::min)
     }
 }
 
@@ -50,8 +56,17 @@ pub fn pv_loop(model: &FeFetModel, amplitude: f64, steps_per_branch: usize) -> P
     let sweep = |from: f64, to: f64, dev: &mut FeFet, points: &mut Vec<PvPoint>| {
         for i in 0..steps {
             let v = from + (to - from) * i as f64 / (steps - 1) as f64;
-            model.apply_pulse(dev, PulseSpec { amplitude: v, width });
-            points.push(PvPoint { voltage: v, polarization: dev.polarization() });
+            model.apply_pulse(
+                dev,
+                PulseSpec {
+                    amplitude: v,
+                    width,
+                },
+            );
+            points.push(PvPoint {
+                voltage: v,
+                polarization: dev.polarization(),
+            });
         }
     };
     // Conditioning cycle (discarded).
@@ -106,10 +121,17 @@ pub fn id_vg_sweep(
             let points = (0..n)
                 .map(|i| {
                     let v_g = vg_min + (vg_max - vg_min) * i as f64 / (n - 1) as f64;
-                    IdVgPoint { v_g, i_d: model.drain_current(&dev, v_g, model.params().vds_read) }
+                    IdVgPoint {
+                        v_g,
+                        i_d: model.drain_current(&dev, v_g, model.params().vds_read),
+                    }
                 })
                 .collect();
-            IdVgCurve { polarization: pol, vth, points }
+            IdVgCurve {
+                polarization: pol,
+                vth,
+                points,
+            }
         })
         .collect()
 }
@@ -131,12 +153,16 @@ mod tests {
         assert!(loop_.p_max() > 0.8, "p_max {}", loop_.p_max());
         assert!(loop_.p_min() < -0.8, "p_min {}", loop_.p_min());
         // Hysteresis: polarization at V=0 differs between the two branches.
-        let up = loop_.points.iter().take(60).min_by(|a, b| {
-            (a.voltage.abs()).partial_cmp(&b.voltage.abs()).unwrap()
-        });
-        let down = loop_.points.iter().skip(60).min_by(|a, b| {
-            (a.voltage.abs()).partial_cmp(&b.voltage.abs()).unwrap()
-        });
+        let up = loop_
+            .points
+            .iter()
+            .take(60)
+            .min_by(|a, b| (a.voltage.abs()).partial_cmp(&b.voltage.abs()).unwrap());
+        let down = loop_
+            .points
+            .iter()
+            .skip(60)
+            .min_by(|a, b| (a.voltage.abs()).partial_cmp(&b.voltage.abs()).unwrap());
         let (up, down) = (up.unwrap(), down.unwrap());
         assert!(
             (up.polarization - down.polarization).abs() > 0.5,

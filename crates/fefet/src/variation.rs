@@ -22,13 +22,19 @@ impl VariationModel {
     /// Creates a variation model with the given σ (volts) and RNG seed.
     #[must_use]
     pub fn new(sigma_vth: f64, seed: u64) -> Self {
-        Self { sigma_vth: sigma_vth.max(0.0), seed }
+        Self {
+            sigma_vth: sigma_vth.max(0.0),
+            seed,
+        }
     }
 
     /// A model with no variation: every offset is exactly zero.
     #[must_use]
     pub fn none() -> Self {
-        Self { sigma_vth: 0.0, seed: 0 }
+        Self {
+            sigma_vth: 0.0,
+            seed: 0,
+        }
     }
 
     /// The paper's default: σ = 54 mV.
@@ -49,7 +55,8 @@ impl VariationModel {
         if self.sigma_vth == 0.0 {
             return 0.0;
         }
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ device_index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(self.seed ^ device_index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         // Box-Muller from two uniform draws.
         let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
         let u2: f64 = rng.gen_range(0.0..1.0);

@@ -40,13 +40,11 @@ mod sim;
 pub mod policies;
 
 pub use policies::{
-    BlockTopK, FullCache, H2O, HybridStaticDynamic, OracleTopK, SnapKv, StreamingLlm,
+    BlockTopK, FullCache, HybridStaticDynamic, OracleTopK, SnapKv, StreamingLlm, H2O,
 };
 pub use policy::{accumulated_prefill_scores, top_indices_by_score, Policy, StepDecision};
 pub use score::ScoreTable;
-pub use sim::{
-    prefill_attention_matrix, ratio_capacity, simulate_decode, SimConfig, SimResult,
-};
+pub use sim::{prefill_attention_matrix, ratio_capacity, simulate_decode, SimConfig, SimResult};
 
 /// Errors reported by the KV-cache policy layer.
 #[derive(Debug, Clone, PartialEq)]

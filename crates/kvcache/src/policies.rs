@@ -6,7 +6,9 @@ use crate::policy::{accumulated_prefill_scores, top_indices_by_score, Policy, St
 use crate::score::ScoreTable;
 
 fn select_all(scored: &[(usize, f32)]) -> StepDecision {
-    StepDecision { selected: scored.iter().map(|&(t, _)| t).collect() }
+    StepDecision {
+        selected: scored.iter().map(|&(t, _)| t).collect(),
+    }
 }
 
 fn select_top_k(scored: &[(usize, f32)], k: usize) -> StepDecision {
@@ -114,7 +116,10 @@ impl H2O {
     /// eviction by recency.
     #[must_use]
     pub fn new(recent_budget: usize) -> Self {
-        Self { recent_budget, table: ScoreTable::accumulating() }
+        Self {
+            recent_budget,
+            table: ScoreTable::accumulating(),
+        }
     }
 }
 
@@ -295,7 +300,9 @@ impl Policy for BlockTopK {
 
     fn select(&mut self, _step: usize, scored: &[(usize, f32)], k: usize) -> StepDecision {
         if scored.is_empty() || k == 0 {
-            return StepDecision { selected: Vec::new() };
+            return StepDecision {
+                selected: Vec::new(),
+            };
         }
         // Group resident tokens into blocks by token id.
         let mut blocks: std::collections::BTreeMap<usize, (f32, Vec<usize>)> =
@@ -391,7 +398,14 @@ impl HybridStaticDynamic {
             Some(a) => ScoreTable::ewma(a),
             None => ScoreTable::accumulating(),
         };
-        Self { h, m, k, protect_recent, table, newest: Vec::new() }
+        Self {
+            h,
+            m,
+            k,
+            protect_recent,
+            table,
+            newest: Vec::new(),
+        }
     }
 
     /// The prefill heavy-token budget `H`.
@@ -455,9 +469,16 @@ impl Policy for HybridStaticDynamic {
             .take(self.protect_recent)
             .copied()
             .collect();
-        let candidates: Vec<usize> =
-            resident.iter().copied().filter(|t| !protected.contains(t)).collect();
-        let victim = if candidates.is_empty() { resident.to_vec() } else { candidates };
+        let candidates: Vec<usize> = resident
+            .iter()
+            .copied()
+            .filter(|t| !protected.contains(t))
+            .collect();
+        let victim = if candidates.is_empty() {
+            resident.to_vec()
+        } else {
+            candidates
+        };
         let evicted = self.table.min_among(&victim);
         if let Some(t) = evicted {
             self.table.remove(t);
@@ -550,7 +571,10 @@ mod tests {
         let mut p = SnapKv::new(3);
         let keep = p.prefill_keep(&attn, 5);
         // Window = {5,6,7}; window queries attend to 1 (and a bit of 0).
-        assert!(keep.contains(&1), "late-window heavy token must be kept: {keep:?}");
+        assert!(
+            keep.contains(&1),
+            "late-window heavy token must be kept: {keep:?}"
+        );
         assert!(keep.contains(&5) && keep.contains(&6) && keep.contains(&7));
         assert!(
             !keep.contains(&3),
@@ -569,23 +593,22 @@ mod tests {
     fn block_topk_selects_whole_blocks() {
         let mut p = BlockTopK::new(4);
         // Tokens 0..8 in two blocks; token 6 has the best score.
-        let scored: Vec<(usize, f32)> =
-            (0..8).map(|t| (t, if t == 6 { 0.9 } else { 0.1 })).collect();
+        let scored: Vec<(usize, f32)> = (0..8)
+            .map(|t| (t, if t == 6 { 0.9 } else { 0.1 }))
+            .collect();
         let d = p.select(0, &scored, 4);
-        assert_eq!(d.selected, vec![4, 5, 6, 7], "the whole hot block is selected");
+        assert_eq!(
+            d.selected,
+            vec![4, 5, 6, 7],
+            "the whole hot block is selected"
+        );
     }
 
     #[test]
     fn block_topk_covers_budget_with_multiple_blocks() {
         let mut p = BlockTopK::new(2);
-        let scored: Vec<(usize, f32)> = vec![
-            (0, 0.9),
-            (1, 0.1),
-            (2, 0.8),
-            (3, 0.1),
-            (4, 0.0),
-            (5, 0.0),
-        ];
+        let scored: Vec<(usize, f32)> =
+            vec![(0, 0.9), (1, 0.1), (2, 0.8), (3, 0.1), (4, 0.0), (5, 0.0)];
         let d = p.select(0, &scored, 4);
         assert_eq!(d.selected, vec![0, 1, 2, 3]);
     }
@@ -626,8 +649,8 @@ mod tests {
         let mut p = HybridStaticDynamic::with_options(4, 2, 2, 1, None);
         p.observe(0, &[(0, 0.9), (1, 0.1)]);
         p.note_inserted(5); // newest token, accumulated score 0
-        // Without protection 5 would be evicted (score 0); with protection
-        // the lowest non-protected is 1.
+                            // Without protection 5 would be evicted (score 0); with protection
+                            // the lowest non-protected is 1.
         assert_eq!(p.evict(1, &[0, 1, 5]), Some(1));
     }
 
@@ -639,6 +662,10 @@ mod tests {
         for step in 1..6 {
             p.observe(step, &[(0, 0.0), (1, 0.6)]);
         }
-        assert_eq!(p.evict(6, &[0, 1]), Some(0), "EWMA must favor the recently heavy token");
+        assert_eq!(
+            p.evict(6, &[0, 1]),
+            Some(0),
+            "EWMA must favor the recently heavy token"
+        );
     }
 }

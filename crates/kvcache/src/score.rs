@@ -34,7 +34,10 @@ impl ScoreTable {
     /// A plain accumulating (running-sum) table.
     #[must_use]
     pub fn accumulating() -> Self {
-        Self { scores: BTreeMap::new(), ewma_alpha: None }
+        Self {
+            scores: BTreeMap::new(),
+            ewma_alpha: None,
+        }
     }
 
     /// An exponentially weighted table with mixing factor `alpha ∈ (0, 1]`:
@@ -45,8 +48,14 @@ impl ScoreTable {
     /// Panics if `alpha` is outside `(0, 1]`.
     #[must_use]
     pub fn ewma(alpha: f64) -> Self {
-        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1], got {alpha}");
-        Self { scores: BTreeMap::new(), ewma_alpha: Some(alpha) }
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0,1], got {alpha}"
+        );
+        Self {
+            scores: BTreeMap::new(),
+            ewma_alpha: Some(alpha),
+        }
     }
 
     /// Registers a token with an initial score (used when a token enters the
@@ -96,7 +105,11 @@ impl ScoreTable {
         candidates
             .iter()
             .map(|&t| (t, self.get(t).unwrap_or(0.0)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)))
+            .min_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.0.cmp(&b.0))
+            })
             .map(|(t, _)| t)
     }
 
@@ -105,7 +118,9 @@ impl ScoreTable {
     pub fn ranked_desc(&self) -> Vec<usize> {
         let mut v: Vec<(usize, f64)> = self.scores.iter().map(|(&t, &s)| (t, s)).collect();
         v.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
         });
         v.into_iter().map(|(t, _)| t).collect()
     }

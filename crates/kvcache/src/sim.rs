@@ -27,7 +27,11 @@ impl SimConfig {
     /// budget defaults to `capacity`.
     #[must_use]
     pub fn new(capacity: usize, k: usize) -> Self {
-        Self { capacity, k, prefill_budget: capacity }
+        Self {
+            capacity,
+            k,
+            prefill_budget: capacity,
+        }
     }
 
     /// Sets the prefill budget (builder-style).
@@ -115,8 +119,11 @@ pub fn simulate_decode(
     let mut hits = Mean::new();
     let mut n_selected = Mean::new();
     let mut n_resident = Mean::new();
-    let salient_universe: BTreeSet<usize> =
-        workload.salient_at.iter().flat_map(|s| s.iter().copied()).collect();
+    let salient_universe: BTreeSet<usize> = workload
+        .salient_at
+        .iter()
+        .flat_map(|s| s.iter().copied())
+        .collect();
 
     for (step, query) in workload.decode_queries.iter().enumerate() {
         // 1. Score every resident token.
@@ -142,8 +149,10 @@ pub fn simulate_decode(
             let selected_set: BTreeSet<usize> = decision.selected.iter().copied().collect();
             let s = set_f1(&(&selected_set & salient), salient);
             recall.push(s.recall);
-            let predicted: BTreeSet<usize> =
-                selected_set.intersection(&salient_universe).copied().collect();
+            let predicted: BTreeSet<usize> = selected_set
+                .intersection(&salient_universe)
+                .copied()
+                .collect();
             f1.push(set_f1(&predicted, salient).f1);
             hits.push(if s.recall >= 1.0 { 1.0 } else { 0.0 });
         }
@@ -152,8 +161,11 @@ pub fn simulate_decode(
         //    sees every row).
         let mut weights: Vec<f32> = scored.iter().map(|&(_, s)| s).collect();
         softmax_in_place(&mut weights);
-        let observed: Vec<(usize, f32)> =
-            scored.iter().map(|&(t, _)| t).zip(weights.iter().copied()).collect();
+        let observed: Vec<(usize, f32)> = scored
+            .iter()
+            .map(|&(t, _)| t)
+            .zip(weights.iter().copied())
+            .collect();
         policy.observe(step, &observed);
 
         // 6. Insert the newly generated token, evicting on overflow.
@@ -173,8 +185,9 @@ pub fn simulate_decode(
                 r
             };
             if let Some(victim) = policy.evict(step, &resident) {
-                let slot =
-                    store.slot_of_token(victim).expect("policy must evict a resident token");
+                let slot = store
+                    .slot_of_token(victim)
+                    .expect("policy must evict a resident token");
                 store.write_slot(slot, entry).expect("slot in range");
                 policy.note_inserted(new_token);
             }
@@ -206,8 +219,8 @@ pub fn prefill_attention_matrix(workload: &DecodeWorkload) -> Matrix {
     for t in 0..seq {
         let q = &workload.prefill_queries[t];
         let mut row = vec![0.0f32; seq];
-        for s in 0..=t {
-            row[s] = Matrix::dot(q, &workload.prefill_keys[s]) / dim.sqrt();
+        for (slot, key) in row.iter_mut().zip(&workload.prefill_keys).take(t + 1) {
+            *slot = Matrix::dot(q, key) / dim.sqrt();
         }
         // Mask the future by excluding it from the softmax.
         let (past, _) = row.split_at_mut(t + 1);
@@ -233,9 +246,7 @@ fn attention_over(store: &KvStore, selected: &[usize], query: &[f32]) -> Vec<f32
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policies::{
-        FullCache, H2O, HybridStaticDynamic, OracleTopK, SnapKv, StreamingLlm,
-    };
+    use crate::policies::{FullCache, HybridStaticDynamic, OracleTopK, SnapKv, StreamingLlm, H2O};
     use unicaim_attention::workloads::{multi_hop_task, needle_task, summary_task};
 
     #[test]
@@ -243,7 +254,10 @@ mod tests {
         let w = needle_task(96, 12, 1);
         let mut p = FullCache::new();
         let r = simulate_decode(&w, &mut p, &SimConfig::new(w.total_tokens(), usize::MAX));
-        assert!(r.output_cosine > 0.999, "full cache must match the reference, {r:?}");
+        assert!(
+            r.output_cosine > 0.999,
+            "full cache must match the reference, {r:?}"
+        );
         assert!(r.output_rel_error < 1e-3);
         assert!((r.salient_recall - 1.0).abs() < 1e-12);
         assert!((r.retrieval_accuracy - 1.0).abs() < 1e-12);
@@ -368,9 +382,16 @@ mod tests {
         let w = transformer_trace(96, 12, 3);
         let mut full = FullCache::new();
         let r = simulate_decode(&w, &mut full, &SimConfig::new(w.total_tokens(), usize::MAX));
-        assert!(r.output_cosine > 0.999, "full cache must be exact on real traces: {r:?}");
+        assert!(
+            r.output_cosine > 0.999,
+            "full cache must be exact on real traces: {r:?}"
+        );
         let mut hybrid = HybridStaticDynamic::new(48, 12, 24);
-        let r2 = simulate_decode(&w, &mut hybrid, &SimConfig::new(60, 24).with_prefill_budget(48));
+        let r2 = simulate_decode(
+            &w,
+            &mut hybrid,
+            &SimConfig::new(60, 24).with_prefill_budget(48),
+        );
         assert!(r2.output_cosine.is_finite());
         assert!(r2.mean_resident <= 60.0 + 1e-9);
     }

@@ -7,7 +7,11 @@ use unicaim_kvcache::{
     SimConfig, SnapKv, StreamingLlm, H2O,
 };
 
-fn small_workload(seed: u64, prefill: usize, decode: usize) -> unicaim_attention::workloads::DecodeWorkload {
+fn small_workload(
+    seed: u64,
+    prefill: usize,
+    decode: usize,
+) -> unicaim_attention::workloads::DecodeWorkload {
     let spec = WorkloadSpec {
         name: "prop".into(),
         dim: 16,

@@ -11,7 +11,12 @@ use unicaim_repro::accel::{
 
 fn main() {
     // An edge deployment: 2k-token prompts, 128 generated tokens, keep 25%.
-    let workload = AttentionWorkload { input_len: 2048, output_len: 128, dim: 128, key_bits: 3 };
+    let workload = AttentionWorkload {
+        input_len: 2048,
+        output_len: 128,
+        dim: 128,
+        key_bits: 3,
+    };
     let pruning = PruningSpec::uniform(0.25, 64);
 
     let designs: Vec<Box<dyn Accelerator>> = vec![
@@ -33,8 +38,14 @@ fn main() {
         "design", "devices", "nJ/step", "ns/step", "AEDP", "vs best"
     );
 
-    let reports: Vec<_> = designs.iter().map(|d| d.evaluate(&workload, &pruning)).collect();
-    let best = reports.iter().map(|r| r.aedp()).fold(f64::INFINITY, f64::min);
+    let reports: Vec<_> = designs
+        .iter()
+        .map(|d| d.evaluate(&workload, &pruning))
+        .collect();
+    let best = reports
+        .iter()
+        .map(|r| r.aedp())
+        .fold(f64::INFINITY, f64::min);
     for r in &reports {
         println!(
             "{:<26} {:>12.3e} {:>12.3} {:>12.2} {:>14.3e} {:>10}",

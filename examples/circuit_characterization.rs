@@ -6,9 +6,7 @@
 
 use unicaim_repro::analog::{DischargeRace, SarAdc};
 use unicaim_repro::core::{CellDrive, KeyLevel, UniCaimCell};
-use unicaim_repro::fefet::{
-    id_vg_sweep, pv_loop, FeFet, FeFetModel, FeFetParams, VariationModel,
-};
+use unicaim_repro::fefet::{id_vg_sweep, pv_loop, FeFet, FeFetModel, FeFetParams, VariationModel};
 
 fn main() {
     let model = FeFetModel::new(FeFetParams::default());
@@ -18,14 +16,21 @@ fn main() {
     let mut dev = FeFet::fresh();
     for target in [-1.0, -0.5, 0.0, 0.5, 1.0] {
         model.program_polarization(&mut dev, target);
-        println!("polarization {target:+.1} -> V_TH = {:.3} V", model.vth(&dev));
+        println!(
+            "polarization {target:+.1} -> V_TH = {:.3} V",
+            model.vth(&dev)
+        );
     }
 
     // 2) Hysteresis: nested minor loops.
     println!("\n-- P-V minor loops --");
     for amplitude in [3.0, 3.6, 4.5] {
         let l = pv_loop(&model, amplitude, 60);
-        println!("±{amplitude:.1} V loop: P ∈ [{:+.2}, {:+.2}]", l.p_min(), l.p_max());
+        println!(
+            "±{amplitude:.1} V loop: P ∈ [{:+.2}, {:+.2}]",
+            l.p_min(),
+            l.p_max()
+        );
     }
 
     // 3) Transfer curves (Fig. 2c family).
@@ -42,8 +47,13 @@ fn main() {
 
     // 4) Cell truth table: current decreases with similarity.
     println!("\n-- UniCAIM cell: I_SL vs stored weight (query +1) --");
-    for level in [KeyLevel::NegOne, KeyLevel::NegHalf, KeyLevel::Zero, KeyLevel::PosHalf, KeyLevel::PosOne]
-    {
+    for level in [
+        KeyLevel::NegOne,
+        KeyLevel::NegHalf,
+        KeyLevel::Zero,
+        KeyLevel::PosHalf,
+        KeyLevel::PosOne,
+    ] {
         let mut cell = UniCaimCell::new(&model, FeFet::fresh(), FeFet::fresh());
         cell.program(&model, level);
         println!(
@@ -79,5 +89,8 @@ fn main() {
         let m = offsets.iter().sum::<f64>() / offsets.len() as f64;
         (offsets.iter().map(|o| (o - m) * (o - m)).sum::<f64>() / offsets.len() as f64).sqrt()
     };
-    println!("\ndevice variation sample σ = {:.1} mV (target 54 mV)", sd * 1e3);
+    println!(
+        "\ndevice variation sample σ = {:.1} mV (target 54 mV)",
+        sd * 1e3
+    );
 }

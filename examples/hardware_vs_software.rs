@@ -23,14 +23,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Hardware engine: ideal devices (no variation) ...
     let mut engine_ideal = UniCaimEngine::new(
-        ArrayConfig { dim: workload.dim, sigma_vth: 0.0, ..ArrayConfig::default() },
+        ArrayConfig {
+            dim: workload.dim,
+            sigma_vth: 0.0,
+            ..ArrayConfig::default()
+        },
         EngineConfig { h, m, k },
     )?;
     let hw_ideal = engine_ideal.run(&workload)?;
 
     // ... and with the paper's 54 mV device-to-device variation.
     let mut engine_noisy = UniCaimEngine::new(
-        ArrayConfig { dim: workload.dim, sigma_vth: 0.054, ..ArrayConfig::default() },
+        ArrayConfig {
+            dim: workload.dim,
+            sigma_vth: 0.054,
+            ..ArrayConfig::default()
+        },
         EngineConfig { h, m, k },
     )?;
     let hw_noisy = engine_noisy.run(&workload)?;
@@ -57,7 +65,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nhardware op counts over {} steps:", stats.decode_steps);
     println!("  CAM searches:      {}", stats.cam_searches);
     println!("  SL precharges:     {}", stats.sl_precharges);
-    println!("  ADC conversions:   {} ({} rounds on 64 ADCs)", stats.adc_conversions, stats.adc_rounds);
+    println!(
+        "  ADC conversions:   {} ({} rounds on 64 ADCs)",
+        stats.adc_conversions, stats.adc_rounds
+    );
     println!("  charge shares:     {}", stats.charge_shares);
     println!("  row writes:        {}", stats.row_writes);
     println!(
@@ -65,6 +76,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.total_energy() * 1e9,
         100.0 * stats.e_adc / stats.total_energy()
     );
-    println!("  analog time:       {:.1} ns/step", stats.total_time() * 1e9 / stats.decode_steps as f64);
+    println!(
+        "  analog time:       {:.1} ns/step",
+        stats.total_time() * 1e9 / stats.decode_steps as f64
+    );
     Ok(())
 }

@@ -30,12 +30,24 @@ fn main() {
     );
 
     let mut policies: Vec<(Box<dyn Policy>, usize, usize)> = vec![
-        (Box::new(FullCache::new()), workload.total_tokens(), workload.total_tokens()),
-        (Box::new(HybridStaticDynamic::new(capacity - m, m, k)), capacity, capacity - m),
+        (
+            Box::new(FullCache::new()),
+            workload.total_tokens(),
+            workload.total_tokens(),
+        ),
+        (
+            Box::new(HybridStaticDynamic::new(capacity - m, m, k)),
+            capacity,
+            capacity - m,
+        ),
         (Box::new(H2O::new(16)), capacity, capacity),
         (Box::new(SnapKv::new(16)), capacity + 48, capacity),
         (Box::new(StreamingLlm::new(4)), capacity, capacity),
-        (Box::new(OracleTopK::new()), workload.total_tokens(), workload.total_tokens()),
+        (
+            Box::new(OracleTopK::new()),
+            workload.total_tokens(),
+            workload.total_tokens(),
+        ),
     ];
 
     for (policy, cap, budget) in &mut policies {

@@ -24,7 +24,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let keys: Vec<Vec<f32>> = vec![
         (0..16).map(|i| ((i * 7 % 5) as f32 - 2.0) / 2.0).collect(),
         (0..16).map(|i| ((i * 3 % 7) as f32 - 3.0) / 3.0).collect(),
-        (0..16).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect(),
+        (0..16)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect(),
         (0..16).map(|i| (i % 3) as f32 - 1.0).collect(),
     ];
     for (token, key) in keys.iter().enumerate() {
@@ -35,14 +37,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("stored {} keys in the array", array.occupied_rows().len());
 
     // A query close to token 2's key.
-    let query_vec: Vec<f32> =
-        (0..16).map(|i| if i % 2 == 0 { 0.9 } else { -0.9 }).collect();
+    let query_vec: Vec<f32> = (0..16)
+        .map(|i| if i % 2 == 0 { 0.9 } else { -0.9 })
+        .collect();
     let (query, _scale) = quantize_query(&query_vec, QueryPrecision::TwoBit);
 
     // 1) CAM mode: O(1) top-2 selection via the discharge race.
     let search = array.cam_top_k(&query, 2)?;
-    println!("CAM top-2 rows: {:?} (freeze after {:.4} ns)",
-        search.selected_rows, search.freeze_time * 1e9);
+    println!(
+        "CAM top-2 rows: {:?} (freeze after {:.4} ns)",
+        search.selected_rows,
+        search.freeze_time * 1e9
+    );
 
     // 2) Charge-domain mode: accumulate similarity, get the eviction
     //    candidate for static pruning.
@@ -55,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (row, score) in &scores {
         println!("row {row}: exact attention score {score:+.2} (level units)");
     }
-    assert!(search.selected_rows.contains(&2), "the matching key must be selected");
+    assert!(
+        search.selected_rows.contains(&2),
+        "the matching key must be selected"
+    );
 
     let stats = array.stats();
     println!(

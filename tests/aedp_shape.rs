@@ -12,12 +12,27 @@ fn table2_reproduces_paper_band() {
     let rows = aedp_table(&table2_workload());
     // Row 0: 50% pruning, 1-bit cell — paper: 8.2x / 13.9x / 124x.
     let r = &rows[0];
-    assert!((4.0..25.0).contains(&r.vs_sprint), "vs_sprint {}", r.vs_sprint);
-    assert!((7.0..60.0).contains(&r.vs_trancim), "vs_trancim {}", r.vs_trancim);
-    assert!((50.0..400.0).contains(&r.vs_cimformer), "vs_cimformer {}", r.vs_cimformer);
+    assert!(
+        (4.0..25.0).contains(&r.vs_sprint),
+        "vs_sprint {}",
+        r.vs_sprint
+    );
+    assert!(
+        (7.0..60.0).contains(&r.vs_trancim),
+        "vs_trancim {}",
+        r.vs_trancim
+    );
+    assert!(
+        (50.0..400.0).contains(&r.vs_cimformer),
+        "vs_cimformer {}",
+        r.vs_cimformer
+    );
     // Row 1: 50% pruning, 3-bit cell — paper: 24.8x / 41.7x / 372x.
     let r3 = &rows[1];
-    assert!(r3.vs_sprint > 1.8 * r.vs_sprint, "3-bit must roughly triple the gap");
+    assert!(
+        r3.vs_sprint > 1.8 * r.vs_sprint,
+        "3-bit must roughly triple the gap"
+    );
     // 80% pruning rows exist and widen the CIMFormer gap.
     assert!(rows[2].vs_cimformer > rows[0].vs_cimformer);
 }
@@ -25,7 +40,12 @@ fn table2_reproduces_paper_band() {
 #[test]
 fn unicaim_wins_across_workload_sizes() {
     for (input, output) in [(512, 64), (2048, 128), (8192, 256)] {
-        let w = AttentionWorkload { input_len: input, output_len: output, dim: 128, key_bits: 3 };
+        let w = AttentionWorkload {
+            input_len: input,
+            output_len: output,
+            dim: 128,
+            key_bits: 3,
+        };
         let p = PruningSpec::uniform(0.3, 64);
         let uni = UniCaimDesign::three_bit().evaluate(&w, &p).aedp();
         for baseline in [
@@ -46,9 +66,8 @@ fn unicaim_wins_across_workload_sizes() {
 fn improvements_grow_with_sequence_length() {
     // Fig. 10: area savings grow with input length.
     let area = area_sweep(&[512, 2048, 8192], false, 0.25);
-    let ratio = |p: &unicaim_repro::accel::SweepPoint| {
-        p.values["no_pruning"] / p.values["unicaim_3bit"]
-    };
+    let ratio =
+        |p: &unicaim_repro::accel::SweepPoint| p.values["no_pruning"] / p.values["unicaim_3bit"];
     assert!(ratio(&area[2]) > ratio(&area[0]));
 
     // Fig. 11: energy improvement grows with input length (paper: 5.3x -> 27x).
@@ -70,8 +89,17 @@ fn improvements_grow_with_sequence_length() {
 fn conventional_dynamic_pruning_increases_latency() {
     // The paper's Fig. 12a counterintuitive observation.
     use unicaim_repro::accel::{ConventionalDynamicCim, NoPruningCim};
-    let w = AttentionWorkload { input_len: 576, output_len: 1, dim: 128, key_bits: 3 };
-    let p = PruningSpec { static_keep: 1.0, dynamic_keep: 0.2, reserved_decode: usize::MAX };
+    let w = AttentionWorkload {
+        input_len: 576,
+        output_len: 1,
+        dim: 128,
+        key_bits: 3,
+    };
+    let p = PruningSpec {
+        static_keep: 1.0,
+        dynamic_keep: 0.2,
+        reserved_decode: usize::MAX,
+    };
     let no_prune = NoPruningCim::default().evaluate(&w, &p);
     let conv = ConventionalDynamicCim::default().evaluate(&w, &p);
     let uni = UniCaimDesign::one_bit().with_static(false).evaluate(&w, &p);
@@ -81,11 +109,20 @@ fn conventional_dynamic_pruning_increases_latency() {
 
 #[test]
 fn ablation_static_and_dynamic_both_matter() {
-    let w = AttentionWorkload { input_len: 2048, output_len: 128, dim: 128, key_bits: 3 };
+    let w = AttentionWorkload {
+        input_len: 2048,
+        output_len: 128,
+        dim: 128,
+        key_bits: 3,
+    };
     let p = PruningSpec::uniform(0.25, 64);
     let full = UniCaimDesign::three_bit().evaluate(&w, &p);
-    let no_static = UniCaimDesign::three_bit().with_static(false).evaluate(&w, &p);
-    let no_dynamic = UniCaimDesign::three_bit().with_dynamic(false).evaluate(&w, &p);
+    let no_static = UniCaimDesign::three_bit()
+        .with_static(false)
+        .evaluate(&w, &p);
+    let no_dynamic = UniCaimDesign::three_bit()
+        .with_dynamic(false)
+        .evaluate(&w, &p);
     // Static pruning buys area; dynamic pruning buys energy and delay.
     assert!(full.devices < 0.6 * no_static.devices);
     assert!(full.energy_per_step < 0.6 * no_dynamic.energy_per_step);

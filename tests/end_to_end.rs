@@ -16,10 +16,19 @@ fn software_pipeline_end_to_end() {
         &SimConfig::new(h + m, k).with_prefill_budget(h),
     );
     assert_eq!(result.steps, 32);
-    assert!(result.mean_resident <= (h + m) as f64 + 1e-9, "capacity exceeded: {result:?}");
+    assert!(
+        result.mean_resident <= (h + m) as f64 + 1e-9,
+        "capacity exceeded: {result:?}"
+    );
     assert!(result.salient_recall > 0.9, "needle lost: {result:?}");
-    assert!(result.output_cosine > 0.6, "output fidelity collapsed: {result:?}");
-    assert!((result.mean_selected - k as f64).abs() < 1.0, "top-k width wrong: {result:?}");
+    assert!(
+        result.output_cosine > 0.6,
+        "output fidelity collapsed: {result:?}"
+    );
+    assert!(
+        (result.mean_selected - k as f64).abs() < 1.0,
+        "top-k width wrong: {result:?}"
+    );
 }
 
 #[test]
@@ -27,7 +36,11 @@ fn hardware_pipeline_end_to_end() {
     let workload = needle_task(256, 32, 22);
     let (h, m, k) = (96, 16, 32);
     let mut engine = UniCaimEngine::new(
-        ArrayConfig { dim: workload.dim, sigma_vth: 0.0, ..ArrayConfig::default() },
+        ArrayConfig {
+            dim: workload.dim,
+            sigma_vth: 0.0,
+            ..ArrayConfig::default()
+        },
         EngineConfig { h, m, k },
     )
     .expect("valid engine");
@@ -56,7 +69,11 @@ fn hardware_under_variation_still_retrieves() {
             variation_seed: 5,
             ..ArrayConfig::default()
         },
-        EngineConfig { h: 96, m: 16, k: 32 },
+        EngineConfig {
+            h: 96,
+            m: 16,
+            k: 32,
+        },
     )
     .expect("valid engine");
     let result = engine.run(&workload).expect("engine run");
@@ -80,7 +97,11 @@ fn hardware_matches_software_policy_quality() {
     );
 
     let mut engine = UniCaimEngine::new(
-        ArrayConfig { dim: workload.dim, sigma_vth: 0.0, ..ArrayConfig::default() },
+        ArrayConfig {
+            dim: workload.dim,
+            sigma_vth: 0.0,
+            ..ArrayConfig::default()
+        },
         EngineConfig { h, m, k },
     )
     .expect("valid engine");
@@ -102,7 +123,11 @@ fn fixed_cache_size_is_respected_by_engine() {
     let workload = needle_task(128, 48, 25);
     let (h, m, k) = (48, 8, 16);
     let mut engine = UniCaimEngine::new(
-        ArrayConfig { dim: workload.dim, sigma_vth: 0.0, ..ArrayConfig::default() },
+        ArrayConfig {
+            dim: workload.dim,
+            sigma_vth: 0.0,
+            ..ArrayConfig::default()
+        },
         EngineConfig { h, m, k },
     )
     .expect("valid engine");
@@ -117,7 +142,10 @@ fn fixed_cache_size_is_respected_by_engine() {
                 &workload.decode_values[step],
             )
             .expect("step");
-        assert!(engine.resident_tokens().len() <= h + m, "fixed H+M cache violated");
+        assert!(
+            engine.resident_tokens().len() <= h + m,
+            "fixed H+M cache violated"
+        );
     }
     // After more generations than reserved rows, the cache is exactly full.
     assert_eq!(engine.resident_tokens().len(), h + m);

@@ -14,7 +14,11 @@ fn eviction_vs_selection_conflicts(
     k: usize,
 ) -> (usize, usize) {
     let mut engine = UniCaimEngine::new(
-        ArrayConfig { dim: workload.dim, sigma_vth: 0.0, ..ArrayConfig::default() },
+        ArrayConfig {
+            dim: workload.dim,
+            sigma_vth: 0.0,
+            ..ArrayConfig::default()
+        },
         EngineConfig { h, m, k },
     )
     .expect("engine");
@@ -45,7 +49,10 @@ fn eviction_vs_selection_conflicts(
 fn evicted_tokens_are_rarely_selected_in_the_same_step() {
     let w = needle_task(192, 48, 41);
     let (conflicts, evictions) = eviction_vs_selection_conflicts(&w, 64, 8, 16);
-    assert!(evictions >= 30, "expected eviction pressure, got {evictions}");
+    assert!(
+        evictions >= 30,
+        "expected eviction pressure, got {evictions}"
+    );
     assert!(
         conflicts * 5 <= evictions,
         "selected-and-evicted conflicts too frequent: {conflicts}/{evictions}"
@@ -61,14 +68,23 @@ fn needle_is_never_evicted_while_sought() {
     let needle = 96;
     let last_answer = *w.answer_steps.last().unwrap();
     let mut engine = UniCaimEngine::new(
-        ArrayConfig { dim: w.dim, sigma_vth: 0.0, ..ArrayConfig::default() },
+        ArrayConfig {
+            dim: w.dim,
+            sigma_vth: 0.0,
+            ..ArrayConfig::default()
+        },
         EngineConfig { h: 64, m: 8, k: 16 },
     )
     .expect("engine");
     engine.load_prefill(&w).expect("prefill");
     for step in 0..=last_answer {
         let report = engine
-            .decode_step(192 + step, &w.decode_queries[step], &w.decode_keys[step], &w.decode_values[step])
+            .decode_step(
+                192 + step,
+                &w.decode_queries[step],
+                &w.decode_keys[step],
+                &w.decode_values[step],
+            )
             .expect("step");
         assert_ne!(
             report.evicted_token,
@@ -81,11 +97,22 @@ fn needle_is_never_evicted_while_sought() {
 #[test]
 fn diffuse_salient_tokens_survive_summary_decode() {
     let w = summary_task(256, 48, 43);
-    let salient: std::collections::BTreeSet<usize> =
-        w.salient_at.iter().flat_map(|s| s.iter().copied()).collect();
+    let salient: std::collections::BTreeSet<usize> = w
+        .salient_at
+        .iter()
+        .flat_map(|s| s.iter().copied())
+        .collect();
     let mut engine = UniCaimEngine::new(
-        ArrayConfig { dim: w.dim, sigma_vth: 0.0, ..ArrayConfig::default() },
-        EngineConfig { h: 96, m: 12, k: 32 },
+        ArrayConfig {
+            dim: w.dim,
+            sigma_vth: 0.0,
+            ..ArrayConfig::default()
+        },
+        EngineConfig {
+            h: 96,
+            m: 12,
+            k: 32,
+        },
     )
     .expect("engine");
     engine.load_prefill(&w).expect("prefill");
@@ -94,7 +121,12 @@ fn diffuse_salient_tokens_survive_summary_decode() {
     let kept_before = salient.intersection(&resident_before).count();
     for step in 0..w.decode_queries.len() {
         engine
-            .decode_step(256 + step, &w.decode_queries[step], &w.decode_keys[step], &w.decode_values[step])
+            .decode_step(
+                256 + step,
+                &w.decode_queries[step],
+                &w.decode_keys[step],
+                &w.decode_values[step],
+            )
             .expect("step");
     }
     let resident_after: std::collections::BTreeSet<usize> =

@@ -50,8 +50,9 @@ fn cam_topk_equals_software_topk_in_the_linear_regime() {
         let (query, _) = quantize_query(&query_vec, QueryPrecision::TwoBit);
 
         let search = array.cam_top_k(&query, k).unwrap();
-        let mut scores: Vec<(usize, f64)> =
-            (0..rows).map(|r| (r, level_score(&keys[r], &query))).collect();
+        let mut scores: Vec<(usize, f64)> = (0..rows)
+            .map(|r| (r, level_score(&keys[r], &query)))
+            .collect();
         scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
         let cutoff = scores[k - 1].1;
         for &row in &search.selected_rows {
@@ -95,8 +96,9 @@ fn cam_topk_tracks_software_topk_with_full_range_keys() {
         let (query, _) = quantize_query(&random_vec(&mut rng, dim), QueryPrecision::TwoBit);
 
         let search = array.cam_top_k(&query, k).unwrap();
-        let mut scores: Vec<(usize, f64)> =
-            (0..rows).map(|r| (r, level_score(&keys[r], &query))).collect();
+        let mut scores: Vec<(usize, f64)> = (0..rows)
+            .map(|r| (r, level_score(&keys[r], &query)))
+            .collect();
         scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
         let cutoff = scores[k - 1].1;
         for &row in &search.selected_rows {
@@ -181,10 +183,18 @@ fn variation_only_perturbs_marginal_selections() {
             quantized_keys.push(levels);
         }
         let (query, _) = quantize_query(&random_vec(&mut rng, dim), QueryPrecision::TwoBit);
-        let want: std::collections::BTreeSet<usize> =
-            ideal.cam_top_k(&query, k).unwrap().selected_rows.into_iter().collect();
-        let got: std::collections::BTreeSet<usize> =
-            noisy.cam_top_k(&query, k).unwrap().selected_rows.into_iter().collect();
+        let want: std::collections::BTreeSet<usize> = ideal
+            .cam_top_k(&query, k)
+            .unwrap()
+            .selected_rows
+            .into_iter()
+            .collect();
+        let got: std::collections::BTreeSet<usize> = noisy
+            .cam_top_k(&query, k)
+            .unwrap()
+            .selected_rows
+            .into_iter()
+            .collect();
         agree += want.intersection(&got).count();
         total += k;
     }

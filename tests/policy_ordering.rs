@@ -4,8 +4,7 @@
 
 use unicaim_repro::attention::workloads::{multi_hop_task, summary_task};
 use unicaim_repro::kvcache::{
-    ratio_capacity, simulate_decode, HybridStaticDynamic, Policy, SimConfig, SnapKv,
-    StreamingLlm,
+    ratio_capacity, simulate_decode, HybridStaticDynamic, Policy, SimConfig, SnapKv, StreamingLlm,
 };
 
 fn mean_recall(
@@ -51,9 +50,20 @@ fn hybrid_beats_snapkv_and_streaming_on_multihop() {
         ratio,
         &seeds,
     );
-    let snapkv = mean_recall(task, |_, _, _| Box::new(SnapKv::new(16)), true, ratio, &seeds);
-    let streaming =
-        mean_recall(task, |_, _, _| Box::new(StreamingLlm::new(4)), false, ratio, &seeds);
+    let snapkv = mean_recall(
+        task,
+        |_, _, _| Box::new(SnapKv::new(16)),
+        true,
+        ratio,
+        &seeds,
+    );
+    let streaming = mean_recall(
+        task,
+        |_, _, _| Box::new(StreamingLlm::new(4)),
+        false,
+        ratio,
+        &seeds,
+    );
     assert!(
         hybrid > snapkv + 0.2,
         "hybrid {hybrid:.2} must clearly beat snapkv {snapkv:.2} at ratio {ratio}"
@@ -101,5 +111,8 @@ fn accuracy_degrades_gracefully_with_ratio() {
         );
         last = recall;
     }
-    assert!(last > 0.3, "even a 10% cache should retrieve some salient tokens, got {last:.2}");
+    assert!(
+        last > 0.3,
+        "even a 10% cache should retrieve some salient tokens, got {last:.2}"
+    );
 }

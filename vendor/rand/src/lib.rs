@@ -1,0 +1,208 @@
+//! Vendored minimal stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors the small slice of the `rand 0.8` API surface it
+//! actually uses: [`RngCore`], [`SeedableRng`], and [`Rng::gen_range`] over
+//! integer and float ranges. Semantics follow `rand 0.8` closely enough for
+//! simulation purposes (uniform ranges, `seed_from_u64` via SplitMix64).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core of a random number generator: a source of random `u32`/`u64`s.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator that can be instantiated from a seed.
+pub trait SeedableRng: Sized {
+    /// The raw seed type (a byte array for the ChaCha family).
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Creates a generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it with SplitMix64 as
+    /// `rand 0.8` does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 (Steele, Lea, Flood 2014) — same expansion rand uses.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            for (b, s) in chunk.iter_mut().zip(z.to_le_bytes()) {
+                *b = s;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Samples uniformly from `[lo, hi)` (`inclusive = false`) or
+    /// `[lo, hi]` (`inclusive = true`).
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let lo_w = lo as i128;
+                let hi_w = hi as i128;
+                let span = if inclusive { hi_w - lo_w + 1 } else { hi_w - lo_w };
+                assert!(span > 0, "cannot sample from empty range");
+                // Modulo bias is < 2^-64 * span; negligible for simulation.
+                let v = (u128::from(rng.next_u64()) % span as u128) as i128;
+                (lo_w + v) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self {
+        assert!(
+            if inclusive { lo <= hi } else { lo < hi },
+            "cannot sample from empty range"
+        );
+        // 53 random mantissa bits -> uniform in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let v = lo + unit * (hi - lo);
+        if v >= hi && !inclusive {
+            lo
+        } else {
+            v.min(hi)
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self {
+        let v = f64::sample_uniform(rng, f64::from(lo), f64::from(hi), inclusive) as f32;
+        // The f64 → f32 cast rounds to nearest, so a sample just below `hi`
+        // can land exactly on the excluded endpoint — re-apply the bound.
+        if !inclusive && v >= hi {
+            lo
+        } else {
+            v
+        }
+    }
+}
+
+/// Range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Samples a value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_uniform(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_uniform(rng, *self.start(), *self.end(), true)
+    }
+}
+
+/// User-facing random-value methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a uniform value from `range`.
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        T: SampleUniform,
+        S: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn f32_exclusive_range_never_returns_upper_bound() {
+        // A narrow range just below 1.0: many f64 samples round to exactly
+        // 1.0f32 when cast, so this exercises the post-cast bound re-check.
+        let mut rng = Counter(7);
+        let hi = 1.0f32;
+        for _ in 0..10_000 {
+            let v: f32 = rng.gen_range(0.999_999f32..hi);
+            assert!(v < hi, "exclusive upper bound {hi} was returned");
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Counter(42);
+        for _ in 0..1000 {
+            let a: usize = rng.gen_range(0..7);
+            assert!(a < 7);
+            let b: f64 = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&b));
+            let c: i32 = rng.gen_range(-3..=3);
+            assert!((-3..=3).contains(&c));
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! Vendored minimal `Serialize`/`Deserialize` derive macros.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors a hand-rolled derive (raw `proc_macro`, no `syn`/
+//! `quote`). It supports exactly what the workspace uses: non-generic
+//! structs (named, tuple, unit) and enums (unit, tuple, and struct
+//! variants), with no `#[serde(...)]` attributes.
+
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn is_punct(tt: &TokenTree, ch: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+/// Advances past leading `#[...]` attributes (including doc comments).
+fn skip_attributes(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    while let Some(tt) = tokens.peek() {
+        if is_punct(tt, '#') {
+            tokens.next();
+            // The bracketed attribute body.
+            tokens.next();
+        } else {
+            break;
+        }
+    }
+}
+
+/// Advances past an optional `pub` / `pub(crate)` / `pub(in ...)`.
+fn skip_visibility(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        tokens.next();
+        if matches!(
+            tokens.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            tokens.next();
+        }
+    }
+}
+
+/// Consumes tokens of one type expression, stopping before a top-level `,`.
+fn skip_type(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle_depth: i32 = 0;
+    while let Some(tt) = tokens.peek() {
+        if angle_depth == 0 && is_punct(tt, ',') {
+            break;
+        }
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+            _ => {}
+        }
+    }
+}
+
+/// Parses `name: Type, ...` named-field bodies, returning the field names.
+fn parse_named_fields(group: TokenStream) -> Result<Vec<String>, String> {
+    let mut tokens = group.into_iter().peekable();
+    let mut names = Vec::new();
+    loop {
+        skip_attributes(&mut tokens);
+        skip_visibility(&mut tokens);
+        match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            Some(other) => return Err(format!("expected field name, found `{other}`")),
+        }
+        match tokens.next() {
+            Some(tt) if is_punct(&tt, ':') => {}
+            other => return Err(format!("expected `:` after field name, found {other:?}")),
+        }
+        skip_type(&mut tokens);
+        // Trailing comma, if any.
+        if matches!(tokens.peek(), Some(tt) if is_punct(tt, ',')) {
+            tokens.next();
+        }
+    }
+    Ok(names)
+}
+
+/// Counts the types in a tuple body `(A, B<C, D>, E)`.
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut tokens = group.into_iter().peekable();
+    let mut count = 0;
+    while tokens.peek().is_some() {
+        skip_attributes(&mut tokens);
+        skip_visibility(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        skip_type(&mut tokens);
+        count += 1;
+        if matches!(tokens.peek(), Some(tt) if is_punct(tt, ',')) {
+            tokens.next();
+        }
+    }
+    count
+}
+
+fn parse_variants(group: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut tokens = group.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut tokens);
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected variant name, found `{other}`")),
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                tokens.next();
+                Fields::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                tokens.next();
+                Fields::Named(parse_named_fields(g)?)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional `= discriminant` expression.
+        if matches!(tokens.peek(), Some(tt) if is_punct(tt, '=')) {
+            while let Some(tt) = tokens.peek() {
+                if is_punct(tt, ',') {
+                    break;
+                }
+                tokens.next();
+            }
+        }
+        if matches!(tokens.peek(), Some(tt) if is_punct(tt, ',')) {
+            tokens.next();
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+    skip_attributes(&mut tokens);
+    skip_visibility(&mut tokens);
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    if matches!(tokens.peek(), Some(tt) if is_punct(tt, '<')) {
+        return Err(format!(
+            "vendored serde_derive does not support generic type `{name}`"
+        ));
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(tt) if is_punct(&tt, ';') => Fields::Unit,
+                other => return Err(format!("unexpected struct body: {other:?}")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            other => Err(format!("unexpected enum body: {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn serialize_impl(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_owned(),
+                Fields::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", elems.join(", "))
+                }
+                Fields::Named(names) => {
+                    let entries: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_value(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "::serde::Value::Object(::std::vec![{}])",
+                        entries.join(", ")
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n    \
+                 fn to_value(&self) -> ::serde::Value {{ {body} }}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                let arm = match &v.fields {
+                    Fields::Unit => format!(
+                        "{name}::{vn} => \
+                         ::serde::Value::String(::std::string::String::from(\"{vn}\"))"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{vn}({binds}) => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Array(::std::vec![{elems}]))])",
+                            binds = binds.join(", "),
+                            elems = elems.join(", ")
+                        )
+                    }
+                    Fields::Named(names) => {
+                        let entries: Vec<String> = names
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{vn} {{ {fields} }} => \
+                             ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Object(::std::vec![{entries}]))])",
+                            fields = names.join(", "),
+                            entries = entries.join(", ")
+                        )
+                    }
+                };
+                arms.push(arm);
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n    \
+                 fn to_value(&self) -> ::serde::Value {{\n        \
+                 match self {{ {arms} }}\n    }}\n}}",
+                arms = arms.join(",\n            ")
+            )
+        }
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("compile_error tokens")
+}
+
+/// Derives the vendored `serde::Serialize` (structural conversion to
+/// `serde::Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => serialize_impl(&item)
+            .parse()
+            .expect("generated Serialize impl"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives the vendored `serde::Deserialize` marker trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => {
+            let name = match &item {
+                Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+            };
+            format!("impl ::serde::Deserialize for {name} {{}}")
+                .parse()
+                .expect("generated Deserialize impl")
+        }
+        Err(msg) => compile_error(&msg),
+    }
+}

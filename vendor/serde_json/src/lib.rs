@@ -1,0 +1,179 @@
+//! Vendored minimal JSON writer over the workspace's `serde` facade.
+//!
+//! Supports the only operations the workspace performs: rendering a
+//! [`serde::Serialize`] value to compact or pretty JSON text.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Serialize, Value};
+use std::fmt::Write as _;
+
+/// Serialization error (currently only non-finite floats at the top of a
+/// numeric position are tolerated, so this is uninhabited in practice but
+/// kept for API compatibility).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON serialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_float(out: &mut String, x: f64) {
+    if x.is_finite() {
+        // `{:?}` matches serde_json closely: integral floats keep a ".0".
+        let _ = write!(out, "{x:?}");
+    } else {
+        // serde_json maps non-finite floats to null in value context.
+        out.push_str("null");
+    }
+}
+
+fn render(out: &mut String, v: &Value, indent: Option<usize>) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::UInt(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Value::Float(x) => write_float(out, *x),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => render_seq(out, items.iter().map(Entry::Bare), '[', ']', indent),
+        Value::Object(entries) => {
+            render_seq(
+                out,
+                entries.iter().map(|(k, v)| Entry::Keyed(k, v)),
+                '{',
+                '}',
+                indent,
+            );
+        }
+    }
+}
+
+enum Entry<'a> {
+    Bare(&'a Value),
+    Keyed(&'a str, &'a Value),
+}
+
+fn render_seq<'a>(
+    out: &mut String,
+    items: impl ExactSizeIterator<Item = Entry<'a>>,
+    open: char,
+    close: char,
+    indent: Option<usize>,
+) {
+    out.push(open);
+    if items.len() == 0 {
+        out.push(close);
+        return;
+    }
+    let inner = indent.map(|d| d + 1);
+    let mut first = true;
+    for item in items {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        if let Some(depth) = inner {
+            out.push('\n');
+            out.push_str(&"  ".repeat(depth));
+        }
+        match item {
+            Entry::Bare(v) => render(out, v, inner),
+            Entry::Keyed(k, v) => {
+                escape_into(out, k);
+                out.push_str(": ");
+                render(out, v, inner);
+            }
+        }
+    }
+    if let Some(depth) = indent {
+        out.push('\n');
+        out.push_str(&"  ".repeat(depth));
+    }
+    out.push(close);
+}
+
+/// Renders `value` as compact JSON.
+///
+/// # Errors
+///
+/// Infallible with the vendored facade; `Result` is kept for serde_json API
+/// compatibility.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&mut out, &value.to_value(), None);
+    Ok(out)
+}
+
+/// Renders `value` as pretty-printed JSON (two-space indent).
+///
+/// # Errors
+///
+/// Infallible with the vendored facade; `Result` is kept for serde_json API
+/// compatibility.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&mut out, &value.to_value(), Some(0));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Int(1)),
+            (
+                "b".into(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
+            ("c".into(), Value::Float(1.0)),
+        ]);
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"a": 1,"b": [true,null],"c": 1.0}"#
+        );
+    }
+
+    #[test]
+    fn pretty_rendering_indents() {
+        let v = Value::Object(vec![("xs".into(), Value::Array(vec![Value::Int(1)]))]);
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(s, "{\n  \"xs\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn strings_escape() {
+        let s = to_string(&"a\"b\\c\n").unwrap();
+        assert_eq!(s, r#""a\"b\\c\n""#);
+    }
+}
