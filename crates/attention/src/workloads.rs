@@ -445,6 +445,48 @@ pub fn distractor_task(
     generate(&spec)
 }
 
+/// A serving-style batch of mixed tasks: cycles [`needle_task`],
+/// [`multi_hop_task`], and [`summary_task`] across the batch at varying
+/// context and decode lengths (1×, 1.5×, and 2× `base_prefill`; 1× and
+/// 1.5× `decode_len`), so a batched driver sees heterogeneous sequences
+/// that finish at different steps — the shape a real serving batch has.
+/// Task kind cycles with the index while the length multipliers cycle at
+/// different strides, so kind and length are decorrelated: large enough
+/// batches contain every task kind at every context length.
+///
+/// Each workload gets a distinct seed derived from `seed` and its index,
+/// and its name is suffixed with `#<index>` so per-sequence results stay
+/// attributable.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or the lengths are too small to plant the tasks'
+/// needles (same constraints as the underlying task builders; in practice
+/// `base_prefill ≥ 32` and `decode_len ≥ 4` are safe).
+#[must_use]
+pub fn mixed_batch(
+    n: usize,
+    base_prefill: usize,
+    decode_len: usize,
+    seed: u64,
+) -> Vec<DecodeWorkload> {
+    assert!(n > 0, "batch must contain at least one workload");
+    (0..n)
+        .map(|i| {
+            let prefill = base_prefill + ((i / 3) % 3) * base_prefill / 2;
+            let decode = decode_len + ((i / 2) % 2) * decode_len / 2;
+            let s = seed.wrapping_add(1 + i as u64);
+            let mut w = match i % 3 {
+                0 => needle_task(prefill, decode, s),
+                1 => multi_hop_task(prefill, decode, s),
+                _ => summary_task(prefill, decode, s),
+            };
+            w.name = format!("{}#{i}", w.name);
+            w
+        })
+        .collect()
+}
+
 /// A workload whose queries and keys come from an actual (random-weight)
 /// [`crate::TinyTransformer`] forward pass — realistic softmax statistics
 /// with no planted structure (salient sets are empty; use it for cost and
@@ -628,6 +670,40 @@ mod tests {
     fn reference_outputs_have_decode_length() {
         let w = summary_task(128, 24, 8);
         assert_eq!(w.full_attention_reference().len(), 24);
+    }
+
+    #[test]
+    fn mixed_batch_varies_tasks_and_lengths() {
+        let batch = mixed_batch(9, 64, 8, 42);
+        assert_eq!(batch.len(), 9);
+        // Task kinds cycle needle → multi_hop → summary.
+        assert!(batch[0].name.starts_with("needle#0"));
+        assert!(batch[1].name.starts_with("multi_hop#1"));
+        assert!(batch[2].name.starts_with("summary#2"));
+        assert!(batch[3].name.starts_with("needle#3"));
+        // Context lengths cycle 1×/1.5×/2× at stride 3, decode lengths
+        // 1×/1.5× at stride 2.
+        assert_eq!(batch[0].prefill_keys.len(), 64);
+        assert_eq!(batch[3].prefill_keys.len(), 96);
+        assert_eq!(batch[6].prefill_keys.len(), 128);
+        assert_eq!(batch[0].decode_queries.len(), 8);
+        assert_eq!(batch[2].decode_queries.len(), 12);
+        // Kind and length are decorrelated: the same kind appears at
+        // different context lengths (needle at 1×, 1.5×, and 2×).
+        assert!(batch[0].name.starts_with("needle"));
+        assert!(batch[6].name.starts_with("needle"));
+        assert_ne!(batch[0].prefill_keys.len(), batch[6].prefill_keys.len());
+        // Distinct seeds: same-kind tasks still differ key for key.
+        assert_ne!(batch[0].prefill_keys[0], batch[3].prefill_keys[0]);
+        // Deterministic per seed.
+        assert_eq!(batch, mixed_batch(9, 64, 8, 42));
+        assert_ne!(batch, mixed_batch(9, 64, 8, 43));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one workload")]
+    fn mixed_batch_rejects_empty() {
+        let _ = mixed_batch(0, 64, 8, 1);
     }
 
     #[test]

@@ -490,10 +490,16 @@ impl UniCaimArray {
         let threshold = 0.5 * self.config.vdd;
 
         let (winners_local, freeze_time) = if k >= n {
+            // Every occupied row is selected outright: no discharge race is
+            // run and the stop comparator never fires.
             ((0..n).collect::<Vec<_>>(), 0.0)
         } else {
             let t = race.freeze_time(k, threshold).unwrap_or(0.0);
-            (race.slowest(k, threshold), t)
+            let winners = race.slowest(k, threshold);
+            // The stop comparator is evaluated at each loser crossing until
+            // it trips (once per eliminated row, plus the trip itself).
+            self.stats.comparator_evals += (n - winners.len().min(n)) as u64 + 1;
+            (winners, t)
         };
         let mut selected_rows: Vec<usize> = winners_local.iter().map(|&i| occupied[i]).collect();
         selected_rows.sort_unstable();
@@ -509,8 +515,6 @@ impl UniCaimArray {
         self.stats.cam_searches += 1;
         self.stats.sl_precharges += n as u64;
         self.stats.cell_activations += (active * n) as u64;
-        // The stop comparator is evaluated at each crossing until it trips.
-        self.stats.comparator_evals += (n - winners_local.len().min(n)) as u64 + 1;
         self.stats.e_precharge += race.recharge_energy(freeze_time);
         self.stats.t_cam += self.config.precharge_time + freeze_time;
 
@@ -791,6 +795,31 @@ mod tests {
         let search = a.cam_top_k(&query, 10).unwrap();
         assert_eq!(search.selected_rows, vec![0, 5]);
         assert_eq!(search.freeze_time, 0.0);
+    }
+
+    #[test]
+    fn cam_top_k_comparator_evals_only_count_real_races() {
+        let mut a = UniCaimArray::new(small_config());
+        a.write_row(0, 0, &key_from(&[1.0; 8])).unwrap();
+        a.write_row(1, 1, &key_from(&[-1.0; 8])).unwrap();
+        a.write_row(2, 2, &key_from(&[0.0; 8])).unwrap();
+        let query = vec![QueryLevel::PosOne; 8];
+
+        // k >= n: all rows selected outright, no race, no comparator.
+        let _ = a.cam_top_k(&query, 3).unwrap();
+        assert_eq!(
+            a.stats().comparator_evals,
+            0,
+            "no stop comparator runs when k covers all occupied rows"
+        );
+        let _ = a.cam_top_k(&query, 10).unwrap();
+        assert_eq!(a.stats().comparator_evals, 0);
+        // But the searches themselves are still accounted.
+        assert_eq!(a.stats().cam_searches, 2);
+
+        // k < n: one evaluation per eliminated row plus the trip.
+        let _ = a.cam_top_k(&query, 1).unwrap();
+        assert_eq!(a.stats().comparator_evals, (3 - 1) + 1);
     }
 
     #[test]

@@ -334,6 +334,7 @@ impl UniCaimEngine {
                 mean_selected: n_selected.value(),
                 mean_resident: n_resident.value(),
                 steps: workload.decode_queries.len(),
+                answer_steps: usize::try_from(recall.count()).expect("step count fits usize"),
             },
             stats,
         })

@@ -120,6 +120,9 @@ impl MultiHeadEngine {
             mean_selected: mean(|m| m.mean_selected),
             mean_resident: mean(|m| m.mean_resident),
             steps,
+            // Heads share token positions, so every head scores the same
+            // answer steps; report head 0's count.
+            answer_steps: per_head[0].metrics.answer_steps,
         };
         Ok(MultiHeadRunResult {
             per_head,

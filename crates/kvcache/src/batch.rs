@@ -1,0 +1,317 @@
+//! Batched multi-sequence decode driver: serving-style simulation of many
+//! concurrent sequences time-sharing one UniCAIM array.
+//!
+//! In a serving deployment the KV-cache accelerator is not dedicated to a
+//! single sequence: the array's rows (KV slots) are a shared physical budget
+//! carved up among the concurrent requests, while eviction/selection state
+//! stays per-sequence (H2O and StreamingLLM both formulate their policies
+//! per sequence over shared storage). [`simulate_batch`] models exactly
+//! that: one shared slot budget, one [`KvStore`](unicaim_attention::KvStore)
+//! plus one [`Policy`] instance per sequence, and a round-robin decode
+//! schedule that interleaves the sequences step by step the way a serving
+//! loop would.
+//!
+//! The per-step core (score → select → attend → observe → insert/evict) is
+//! the *same routine* [`simulate_decode`](crate::simulate_decode) runs, so a
+//! batch of size 1 reproduces the single-sequence driver bit for bit — the
+//! equivalence is pinned by tests in `tests/properties.rs`.
+
+use serde::{Deserialize, Serialize};
+use unicaim_attention::workloads::DecodeWorkload;
+
+use crate::policy::Policy;
+use crate::sim::{DecodeState, SimConfig, SimResult};
+
+/// Configuration of a batched decode run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchConfig {
+    /// Total shared KV-slot budget across the whole batch (the UniCAIM
+    /// array's row count). Partitioned evenly among the sequences; the
+    /// first `total_capacity % n` sequences absorb the remainder slots.
+    pub total_capacity: usize,
+    /// Dynamic top-k width passed to every sequence's policy each step.
+    pub k: usize,
+    /// Per-sequence prefill keep budget. `None` hands each sequence its full
+    /// slot share (mirroring [`SimConfig::new`]'s default).
+    pub prefill_budget: Option<usize>,
+}
+
+impl BatchConfig {
+    /// A config sharing `total_capacity` slots across the batch with
+    /// top-`k` selection; each sequence's prefill budget defaults to its
+    /// slot share.
+    #[must_use]
+    pub fn new(total_capacity: usize, k: usize) -> Self {
+        Self {
+            total_capacity,
+            k,
+            prefill_budget: None,
+        }
+    }
+
+    /// Sets the per-sequence prefill budget (builder-style).
+    #[must_use]
+    pub fn with_prefill_budget(mut self, budget: usize) -> Self {
+        self.prefill_budget = Some(budget);
+        self
+    }
+
+    /// The batch config equivalent to running `n` independent copies of the
+    /// single-sequence `config`: total capacity `n × config.capacity`, the
+    /// same `k`, and the same per-sequence prefill budget. With `n = 1`
+    /// this makes [`simulate_batch`] reproduce
+    /// [`simulate_decode`](crate::simulate_decode) exactly.
+    #[must_use]
+    pub fn per_sequence(config: &SimConfig, n: usize) -> Self {
+        Self {
+            total_capacity: config.capacity * n,
+            k: config.k,
+            prefill_budget: Some(config.prefill_budget),
+        }
+    }
+
+    /// The slot share of sequence `i` in a batch of `n`: an even split of
+    /// `total_capacity`, remainder slots going to the lowest indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `i >= n`.
+    #[must_use]
+    pub fn share(&self, n: usize, i: usize) -> usize {
+        assert!(n > 0, "batch must contain at least one sequence");
+        assert!(i < n, "sequence index {i} out of range for batch of {n}");
+        self.total_capacity / n + usize::from(i < self.total_capacity % n)
+    }
+
+    /// The [`SimConfig`] sequence `i` of `n` effectively runs under.
+    #[must_use]
+    pub fn sequence_config(&self, n: usize, i: usize) -> SimConfig {
+        let share = self.share(n, i);
+        SimConfig {
+            capacity: share,
+            k: self.k,
+            prefill_budget: self.prefill_budget.unwrap_or(share),
+        }
+    }
+}
+
+/// Aggregate result of one batched decode run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchResult {
+    /// Per-sequence results, in workload order — each is exactly what
+    /// [`simulate_decode`](crate::simulate_decode) would report for that
+    /// sequence under its slot share.
+    pub per_sequence: Vec<SimResult>,
+    /// Number of sequences in the batch.
+    pub n_sequences: usize,
+    /// The shared slot budget the batch ran under.
+    pub total_capacity: usize,
+    /// Total decode steps executed across all sequences (= generated
+    /// tokens, the numerator of a tokens/sec throughput figure).
+    pub total_steps: usize,
+    /// Total answer steps aggregated across sequences (weight of the
+    /// salience means below; 0 means the batch had nothing to retrieve).
+    pub total_answer_steps: usize,
+    /// Step-weighted mean output cosine across the batch (identical to the
+    /// per-step mean a single flat run over all steps would report).
+    pub output_cosine: f64,
+    /// Answer-step-weighted mean salient recall across the batch.
+    pub salient_recall: f64,
+    /// Answer-step-weighted mean retrieval accuracy across the batch.
+    pub retrieval_accuracy: f64,
+    /// Peak total resident tokens across all sequences at any step — the
+    /// shared array's high-water occupancy. Bounded by `total_capacity` by
+    /// construction (the per-sequence shares statically partition the
+    /// budget); reported so under-utilization is visible.
+    pub peak_resident: usize,
+}
+
+/// Runs `workloads` concurrently against one shared slot budget.
+///
+/// `policy_factory` is called once per sequence (with the sequence index)
+/// to mint that sequence's private policy state. Decode steps are scheduled
+/// round-robin: global step `s` runs step `s` of every sequence that still
+/// has queries left, so sequences of different lengths drain raggedly like
+/// a serving batch.
+///
+/// # Panics
+///
+/// Panics if `workloads` is empty, or under the same per-sequence contract
+/// violations as [`simulate_decode`](crate::simulate_decode) (prefill keep
+/// set over capacity, non-resident selection or eviction).
+#[must_use]
+pub fn simulate_batch(
+    workloads: &[DecodeWorkload],
+    policy_factory: &mut dyn FnMut(usize) -> Box<dyn Policy>,
+    config: &BatchConfig,
+) -> BatchResult {
+    let n = workloads.len();
+    assert!(n > 0, "batch must contain at least one sequence");
+
+    let mut policies: Vec<Box<dyn Policy>> = (0..n).map(&mut *policy_factory).collect();
+    let mut states: Vec<DecodeState<'_>> = workloads
+        .iter()
+        .enumerate()
+        .map(|(i, w)| DecodeState::prefill(w, policies[i].as_mut(), &config.sequence_config(n, i)))
+        .collect();
+
+    let occupancy = |states: &[DecodeState<'_>]| states.iter().map(DecodeState::resident).sum();
+    let mut peak_resident: usize = occupancy(&states);
+
+    // Round-robin schedule: one step of every still-active sequence per
+    // global tick.
+    let max_steps = states.iter().map(DecodeState::steps).max().unwrap_or(0);
+    for step in 0..max_steps {
+        for (state, policy) in states.iter_mut().zip(&mut policies) {
+            if step < state.steps() {
+                state.step(policy.as_mut(), step);
+            }
+        }
+        peak_resident = peak_resident.max(occupancy(&states));
+    }
+
+    let per_sequence: Vec<SimResult> = states
+        .into_iter()
+        .zip(&policies)
+        .map(|(state, policy)| state.finish(policy.as_ref()))
+        .collect();
+
+    // Weighted aggregates: weighting each sequence's mean by its step
+    // (resp. answer-step) count reconstructs the global per-step mean.
+    let total_steps: usize = per_sequence.iter().map(|r| r.steps).sum();
+    let total_answer_steps: usize = per_sequence.iter().map(|r| r.answer_steps).sum();
+    let weighted = |f: fn(&SimResult) -> f64, w: fn(&SimResult) -> usize, total: usize| {
+        if total == 0 {
+            0.0
+        } else {
+            per_sequence.iter().map(|r| f(r) * w(r) as f64).sum::<f64>() / total as f64
+        }
+    };
+    let output_cosine = weighted(|r| r.output_cosine, |r| r.steps, total_steps);
+    let salient_recall = weighted(|r| r.salient_recall, |r| r.answer_steps, total_answer_steps);
+    let retrieval_accuracy = weighted(
+        |r| r.retrieval_accuracy,
+        |r| r.answer_steps,
+        total_answer_steps,
+    );
+
+    BatchResult {
+        per_sequence,
+        n_sequences: n,
+        total_capacity: config.total_capacity,
+        total_steps,
+        total_answer_steps,
+        output_cosine,
+        salient_recall,
+        retrieval_accuracy,
+        peak_resident,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::{HybridStaticDynamic, StreamingLlm};
+    use crate::sim::simulate_decode;
+    use unicaim_attention::workloads::{mixed_batch, needle_task};
+
+    #[test]
+    fn batch_of_one_matches_simulate_decode_bit_for_bit() {
+        let w = needle_task(128, 16, 3);
+        let cfg = SimConfig::new(64, 16).with_prefill_budget(48);
+        let mut single = HybridStaticDynamic::new(48, 16, 16);
+        let expected = simulate_decode(&w, &mut single, &cfg);
+
+        let batch = simulate_batch(
+            std::slice::from_ref(&w),
+            &mut |_| Box::new(HybridStaticDynamic::new(48, 16, 16)),
+            &BatchConfig::per_sequence(&cfg, 1),
+        );
+        assert_eq!(batch.per_sequence.len(), 1);
+        assert_eq!(batch.per_sequence[0], expected);
+        assert_eq!(batch.total_steps, expected.steps);
+        assert_eq!(batch.output_cosine, expected.output_cosine);
+        assert_eq!(batch.salient_recall, expected.salient_recall);
+    }
+
+    #[test]
+    fn shares_partition_the_total_budget() {
+        let cfg = BatchConfig::new(100, 8);
+        let shares: Vec<usize> = (0..7).map(|i| cfg.share(7, i)).collect();
+        assert_eq!(shares.iter().sum::<usize>(), 100);
+        assert!(shares.iter().all(|&s| s == 14 || s == 15));
+        // Remainder slots go to the lowest indices.
+        assert_eq!(shares[0], 15);
+        assert_eq!(shares[6], 14);
+    }
+
+    #[test]
+    fn ragged_batch_drains_all_sequences() {
+        // mixed_batch varies decode lengths, so sequences finish at
+        // different global ticks.
+        let batch = mixed_batch(4, 64, 8, 17);
+        let lens: Vec<usize> = batch.iter().map(|w| w.decode_queries.len()).collect();
+        assert!(lens.iter().any(|&l| l != lens[0]), "lengths must vary");
+        let r = simulate_batch(
+            &batch,
+            &mut |_| Box::new(StreamingLlm::new(2)),
+            &BatchConfig::new(4 * 24, 8),
+        );
+        assert_eq!(r.n_sequences, 4);
+        assert_eq!(r.total_steps, lens.iter().sum::<usize>());
+        for (res, len) in r.per_sequence.iter().zip(&lens) {
+            assert_eq!(res.steps, *len);
+        }
+    }
+
+    #[test]
+    fn peak_occupancy_never_exceeds_shared_budget() {
+        let batch = mixed_batch(6, 96, 12, 5);
+        let cfg = BatchConfig::new(6 * 40, 16);
+        let r = simulate_batch(
+            &batch,
+            &mut |i| {
+                let share = cfg.share(6, i);
+                Box::new(HybridStaticDynamic::new(
+                    share.saturating_sub(4).max(1),
+                    4,
+                    16,
+                ))
+            },
+            &cfg,
+        );
+        assert!(r.peak_resident <= cfg.total_capacity, "{r:?}");
+        assert!(r.peak_resident > 0);
+    }
+
+    #[test]
+    fn aggregates_are_step_weighted() {
+        let batch = mixed_batch(3, 64, 8, 9);
+        let r = simulate_batch(
+            &batch,
+            &mut |_| Box::new(StreamingLlm::new(2)),
+            &BatchConfig::new(3 * 32, 8),
+        );
+        let expect: f64 = r
+            .per_sequence
+            .iter()
+            .map(|s| s.output_cosine * s.steps as f64)
+            .sum::<f64>()
+            / r.total_steps as f64;
+        assert!((r.output_cosine - expect).abs() < 1e-12);
+        assert_eq!(
+            r.total_answer_steps,
+            r.per_sequence.iter().map(|s| s.answer_steps).sum::<usize>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sequence")]
+    fn empty_batch_is_rejected() {
+        let _ = simulate_batch(
+            &[],
+            &mut |_| Box::new(StreamingLlm::new(2)),
+            &BatchConfig::new(32, 8),
+        );
+    }
+}

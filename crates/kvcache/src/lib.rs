@@ -16,7 +16,9 @@
 //! Policies are driven by the [`simulate_decode`] harness over the synthetic
 //! long-context workloads of [`unicaim_attention::workloads`], producing
 //! retrieval and output-fidelity metrics (the Fig. 13 substitution — see
-//! DESIGN.md).
+//! DESIGN.md). [`simulate_batch`] scales the same per-step core to
+//! serving-style batches: N concurrent sequences time-sharing one array's
+//! slot budget, with per-sequence KV state and policy state.
 //!
 //! # Quickstart
 //!
@@ -33,18 +35,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod policy;
 mod score;
 mod sim;
 
 pub mod policies;
 
+pub use batch::{simulate_batch, BatchConfig, BatchResult};
 pub use policies::{
     BlockTopK, FullCache, HybridStaticDynamic, OracleTopK, SnapKv, StreamingLlm, H2O,
 };
 pub use policy::{accumulated_prefill_scores, top_indices_by_score, Policy, StepDecision};
 pub use score::ScoreTable;
-pub use sim::{prefill_attention_matrix, ratio_capacity, simulate_decode, SimConfig, SimResult};
+pub use sim::{
+    attention_over, prefill_attention_matrix, ratio_capacity, simulate_decode, SimConfig, SimResult,
+};
 
 /// Errors reported by the KV-cache policy layer.
 #[derive(Debug, Clone, PartialEq)]

@@ -23,6 +23,29 @@ pub struct StepDecision {
 ///    accumulated-score bookkeeping;
 /// 4. [`Policy::evict`] — which resident token to overwrite when the cache
 ///    is full (step-wise static pruning, paper Fig. 3b).
+///
+/// # Harness ↔ policy contract
+///
+/// Both drivers ([`simulate_decode`](crate::simulate_decode) and the
+/// batched [`simulate_batch`](crate::simulate_batch)) hold the policy to
+/// the following contract, enforced with panics rather than silent repair
+/// so a broken policy cannot hide behind quietly degraded metrics:
+///
+/// * **What the harness guarantees.** `scored` (in [`Policy::select`]) and
+///   `resident` (in [`Policy::evict`]) list every resident token exactly
+///   once, in **ascending token order**. `weights` (in [`Policy::observe`])
+///   covers all residents of that step, softmax-normalized. Between steps
+///   the resident set changes only through the policy's own decisions (plus
+///   the harness inserting the one newly generated token per step).
+/// * **What the policy must uphold.**
+///   [`Policy::prefill_keep`] returns at most `budget` distinct token ids —
+///   the keep set must fit the cache capacity or the harness panics.
+///   [`Policy::select`] must return a subset of the scored resident tokens;
+///   selecting a non-resident token panics the harness. An empty selection
+///   is legal and yields a zero attention output.
+///   [`Policy::evict`] must name a *resident* token (a non-resident victim
+///   panics the harness) or return `None`, which drops the incoming token
+///   instead.
 pub trait Policy {
     /// A short display name for reports.
     fn name(&self) -> &'static str;

@@ -73,6 +73,12 @@ pub struct SimResult {
     pub mean_resident: f64,
     /// Number of decode steps simulated.
     pub steps: usize,
+    /// Number of *answer* steps (steps with a non-empty salient set) that the
+    /// salience means aggregate over. Distinguishes "recall was zero" from
+    /// "the workload had nothing to retrieve": when `answer_steps == 0`,
+    /// `salient_recall`, `salient_f1`, and `retrieval_accuracy` are all
+    /// vacuously `0.0` and should not be compared across policies.
+    pub answer_steps: usize,
 }
 
 /// Runs `policy` over `workload` with the given configuration.
@@ -93,68 +99,136 @@ pub fn simulate_decode(
     policy: &mut dyn Policy,
     config: &SimConfig,
 ) -> SimResult {
-    let dim = workload.dim;
-    let prefill_len = workload.prefill_keys.len();
+    let mut state = DecodeState::prefill(workload, policy, config);
+    for step in 0..state.steps() {
+        state.step(policy, step);
+    }
+    state.finish(policy)
+}
 
-    // --- Prefill: causal attention matrix and static keep decision --------
-    let attn = prefill_attention_matrix(workload);
-    let keep = policy.prefill_keep(&attn, config.prefill_budget.min(prefill_len));
-    let mut store = KvStore::new(config.capacity, dim);
-    for &t in &keep {
-        store
-            .append(KvEntry {
-                token_id: t,
-                key: workload.prefill_keys[t].clone(),
-                value: workload.prefill_values[t].clone(),
-            })
-            .expect("prefill keep set must fit the cache capacity");
+/// Per-sequence decode state: the KV store, the exact-attention reference,
+/// and the metric accumulators of one sequence mid-flight.
+///
+/// This is the shared per-step core behind both [`simulate_decode`] and the
+/// batched driver ([`crate::simulate_batch`]): a batch of size 1 reproduces
+/// `simulate_decode` exactly because both run this code path step for step.
+pub(crate) struct DecodeState<'w> {
+    workload: &'w DecodeWorkload,
+    config: SimConfig,
+    store: KvStore,
+    reference: Vec<Vec<f32>>,
+    salient_universe: BTreeSet<usize>,
+    cos: Mean,
+    rel: Mean,
+    recall: Mean,
+    f1: Mean,
+    hits: Mean,
+    n_selected: Mean,
+    n_resident: Mean,
+}
+
+impl<'w> DecodeState<'w> {
+    /// Runs the prefill stage: causal attention matrix, the policy's static
+    /// keep decision, and the initial KV-store population.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy's prefill keep set exceeds the cache capacity.
+    pub(crate) fn prefill(
+        workload: &'w DecodeWorkload,
+        policy: &mut dyn Policy,
+        config: &SimConfig,
+    ) -> Self {
+        let dim = workload.dim;
+        let prefill_len = workload.prefill_keys.len();
+        let attn = prefill_attention_matrix(workload);
+        let keep = policy.prefill_keep(&attn, config.prefill_budget.min(prefill_len));
+        let mut store = KvStore::new(config.capacity, dim);
+        for &t in &keep {
+            store
+                .append(KvEntry {
+                    token_id: t,
+                    key: workload.prefill_keys[t].clone(),
+                    value: workload.prefill_values[t].clone(),
+                })
+                .expect("prefill keep set must fit the cache capacity");
+        }
+        let salient_universe: BTreeSet<usize> = workload
+            .salient_at
+            .iter()
+            .flat_map(|s| s.iter().copied())
+            .collect();
+        Self {
+            workload,
+            config: *config,
+            store,
+            reference: workload.full_attention_reference(),
+            salient_universe,
+            cos: Mean::new(),
+            rel: Mean::new(),
+            recall: Mean::new(),
+            f1: Mean::new(),
+            hits: Mean::new(),
+            n_selected: Mean::new(),
+            n_resident: Mean::new(),
+        }
     }
 
-    // --- Decode loop -------------------------------------------------------
-    let reference = workload.full_attention_reference();
-    let mut cos = Mean::new();
-    let mut rel = Mean::new();
-    let mut recall = Mean::new();
-    let mut f1 = Mean::new();
-    let mut hits = Mean::new();
-    let mut n_selected = Mean::new();
-    let mut n_resident = Mean::new();
-    let salient_universe: BTreeSet<usize> = workload
-        .salient_at
-        .iter()
-        .flat_map(|s| s.iter().copied())
-        .collect();
+    /// Total number of decode steps this sequence has.
+    pub(crate) fn steps(&self) -> usize {
+        self.workload.decode_queries.len()
+    }
 
-    for (step, query) in workload.decode_queries.iter().enumerate() {
+    /// Number of currently resident tokens (occupied KV slots).
+    pub(crate) fn resident(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Runs one decode step: score residents → select → exact attention →
+    /// observe → insert the new token (evicting on overflow).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy selects a non-resident token or evicts a token
+    /// that is not resident.
+    pub(crate) fn step(&mut self, policy: &mut dyn Policy, step: usize) {
+        let workload = self.workload;
+        let dim = workload.dim;
+        let prefill_len = workload.prefill_keys.len();
+        let query = &workload.decode_queries[step];
+
         // 1. Score every resident token.
-        let mut scored: Vec<(usize, f32)> = store
+        let mut scored: Vec<(usize, f32)> = self
+            .store
             .iter()
             .map(|(_, e)| (e.token_id, Matrix::dot(query, &e.key) / (dim as f32).sqrt()))
             .collect();
         scored.sort_by_key(|&(t, _)| t);
-        n_resident.push(scored.len() as f64);
+        self.n_resident.push(scored.len() as f64);
 
         // 2. Dynamic selection.
-        let decision = policy.select(step, &scored, config.k);
-        n_selected.push(decision.selected.len() as f64);
+        let decision = policy.select(step, &scored, self.config.k);
+        self.n_selected.push(decision.selected.len() as f64);
 
         // 3. Exact attention over the selection.
-        let output = attention_over(&store, &decision.selected, query);
-        cos.push(cosine_similarity(&output, &reference[step]));
-        rel.push(relative_l2_error(&output, &reference[step]));
+        let output = attention_over(&self.store, &decision.selected, query);
+        self.cos
+            .push(cosine_similarity(&output, &self.reference[step]));
+        self.rel
+            .push(relative_l2_error(&output, &self.reference[step]));
 
         // 4. Salience metrics at answer steps.
         let salient = &workload.salient_at[step];
         if !salient.is_empty() {
             let selected_set: BTreeSet<usize> = decision.selected.iter().copied().collect();
             let s = set_f1(&(&selected_set & salient), salient);
-            recall.push(s.recall);
+            self.recall.push(s.recall);
             let predicted: BTreeSet<usize> = selected_set
-                .intersection(&salient_universe)
+                .intersection(&self.salient_universe)
                 .copied()
                 .collect();
-            f1.push(set_f1(&predicted, salient).f1);
-            hits.push(if s.recall >= 1.0 { 1.0 } else { 0.0 });
+            self.f1.push(set_f1(&predicted, salient).f1);
+            self.hits.push(if s.recall >= 1.0 { 1.0 } else { 0.0 });
         }
 
         // 5. Observe weights over all residents (charge-domain accumulation
@@ -175,37 +249,42 @@ pub fn simulate_decode(
             key: workload.decode_keys[step].clone(),
             value: workload.decode_values[step].clone(),
         };
-        if let Some(slot) = store.first_free_slot() {
-            store.write_slot(slot, entry).expect("slot in range");
+        if let Some(slot) = self.store.first_free_slot() {
+            self.store.write_slot(slot, entry).expect("slot in range");
             policy.note_inserted(new_token);
         } else {
             let resident: Vec<usize> = {
-                let mut r = store.token_ids();
+                let mut r = self.store.token_ids();
                 r.sort_unstable();
                 r
             };
             if let Some(victim) = policy.evict(step, &resident) {
-                let slot = store
+                let slot = self
+                    .store
                     .slot_of_token(victim)
                     .expect("policy must evict a resident token");
-                store.write_slot(slot, entry).expect("slot in range");
+                self.store.write_slot(slot, entry).expect("slot in range");
                 policy.note_inserted(new_token);
             }
             // None: the incoming token is dropped (policy refused to evict).
         }
     }
 
-    SimResult {
-        policy: policy.name().to_owned(),
-        workload: workload.name.clone(),
-        output_cosine: cos.value(),
-        output_rel_error: rel.value(),
-        salient_recall: recall.value(),
-        salient_f1: f1.value(),
-        retrieval_accuracy: hits.value(),
-        mean_selected: n_selected.value(),
-        mean_resident: n_resident.value(),
-        steps: workload.decode_queries.len(),
+    /// Consumes the state into the aggregate [`SimResult`].
+    pub(crate) fn finish(self, policy: &dyn Policy) -> SimResult {
+        SimResult {
+            policy: policy.name().to_owned(),
+            workload: self.workload.name.clone(),
+            output_cosine: self.cos.value(),
+            output_rel_error: self.rel.value(),
+            salient_recall: self.recall.value(),
+            salient_f1: self.f1.value(),
+            retrieval_accuracy: self.hits.value(),
+            mean_selected: self.n_selected.value(),
+            mean_resident: self.n_resident.value(),
+            steps: self.workload.decode_queries.len(),
+            answer_steps: usize::try_from(self.recall.count()).expect("step count fits usize"),
+        }
     }
 }
 
@@ -230,15 +309,35 @@ pub fn prefill_attention_matrix(workload: &DecodeWorkload) -> Matrix {
     Matrix::from_rows(&rows)
 }
 
-fn attention_over(store: &KvStore, selected: &[usize], query: &[f32]) -> Vec<f32> {
+/// Exact attention over the `selected` resident tokens of `store`.
+///
+/// An empty selection returns a deterministic zero vector of the store's
+/// dimension (the pruned model attends to nothing, so it contributes
+/// nothing).
+///
+/// # Panics
+///
+/// Panics if a selected token is not resident. The harness↔policy contract
+/// (see [`Policy`]) requires selections to be a subset of the scored
+/// resident set; silently skipping a non-resident token would mask a broken
+/// policy behind quietly degraded fidelity metrics.
+#[must_use]
+pub fn attention_over(store: &KvStore, selected: &[usize], query: &[f32]) -> Vec<f32> {
+    if selected.is_empty() {
+        return vec![0.0; store.dim()];
+    }
     let mut keys: Vec<&[f32]> = Vec::with_capacity(selected.len());
     let mut values: Vec<&[f32]> = Vec::with_capacity(selected.len());
     for &t in selected {
-        if let Some(slot) = store.slot_of_token(t) {
-            let e = store.slot(slot).expect("occupied");
-            keys.push(&e.key);
-            values.push(&e.value);
-        }
+        let slot = store.slot_of_token(t).unwrap_or_else(|| {
+            panic!(
+                "policy selected token {t}, which is not resident \
+                 (selections must be a subset of the scored resident set)"
+            )
+        });
+        let e = store.slot(slot).expect("occupied");
+        keys.push(&e.key);
+        values.push(&e.value);
     }
     attention_output(query, &keys, &values)
 }
@@ -415,6 +514,107 @@ mod tests {
                 assert_eq!(attn.get(t, s), 0.0);
             }
         }
+    }
+
+    /// A deliberately broken policy that selects a token id that can never
+    /// be resident (used to pin the harness contract).
+    struct SelectsGhostToken;
+
+    impl crate::Policy for SelectsGhostToken {
+        fn name(&self) -> &'static str {
+            "selects_ghost_token"
+        }
+        fn prefill_keep(&mut self, attn: &Matrix, budget: usize) -> Vec<usize> {
+            (0..attn.rows().min(budget)).collect()
+        }
+        fn select(&mut self, _step: usize, _scored: &[(usize, f32)], _k: usize) -> StepDecision {
+            StepDecision {
+                selected: vec![usize::MAX],
+            }
+        }
+        fn observe(&mut self, _step: usize, _weights: &[(usize, f32)]) {}
+        fn evict(&mut self, _step: usize, resident: &[usize]) -> Option<usize> {
+            resident.first().copied()
+        }
+    }
+
+    /// A policy that never selects anything (empty dynamic selection).
+    struct SelectsNothing;
+
+    impl crate::Policy for SelectsNothing {
+        fn name(&self) -> &'static str {
+            "selects_nothing"
+        }
+        fn prefill_keep(&mut self, attn: &Matrix, budget: usize) -> Vec<usize> {
+            (0..attn.rows().min(budget)).collect()
+        }
+        fn select(&mut self, _step: usize, _scored: &[(usize, f32)], _k: usize) -> StepDecision {
+            StepDecision {
+                selected: Vec::new(),
+            }
+        }
+        fn observe(&mut self, _step: usize, _weights: &[(usize, f32)]) {}
+        fn evict(&mut self, _step: usize, resident: &[usize]) -> Option<usize> {
+            resident.first().copied()
+        }
+    }
+
+    use crate::policy::StepDecision;
+
+    #[test]
+    #[should_panic(expected = "not resident")]
+    fn non_resident_selection_panics() {
+        let w = needle_task(32, 4, 20);
+        let mut p = SelectsGhostToken;
+        let _ = simulate_decode(&w, &mut p, &SimConfig::new(w.total_tokens(), 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "not resident")]
+    fn attention_over_rejects_non_resident_token() {
+        let store = KvStore::new(4, 2);
+        let _ = attention_over(&store, &[7], &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_selection_is_deterministic_zero_vector() {
+        let mut store = KvStore::new(4, 3);
+        store
+            .append(KvEntry {
+                token_id: 0,
+                key: vec![1.0, 0.0, 0.0],
+                value: vec![0.5, 0.5, 0.5],
+            })
+            .unwrap();
+        assert_eq!(attention_over(&store, &[], &[1.0, 0.0, 0.0]), vec![0.0; 3]);
+
+        // Through the harness: a policy that selects nothing produces zero
+        // outputs (cosine 0 against any nonzero reference), not a crash.
+        let w = needle_task(32, 4, 21);
+        let mut p = SelectsNothing;
+        let r = simulate_decode(&w, &mut p, &SimConfig::new(w.total_tokens(), 4));
+        assert_eq!(r.mean_selected, 0.0);
+        assert!(r.output_cosine.abs() < 1e-12, "{r:?}");
+    }
+
+    #[test]
+    fn answer_steps_distinguishes_salient_free_workloads() {
+        // A workload with answer steps: zero recall means retrieval failed.
+        let w = needle_task(64, 8, 22);
+        let mut p = FullCache::new();
+        let r = simulate_decode(&w, &mut p, &SimConfig::new(w.total_tokens(), usize::MAX));
+        assert_eq!(r.answer_steps, w.answer_steps.len());
+        assert!(r.answer_steps > 0);
+
+        // A salient-free workload: the salience means are vacuous and
+        // `answer_steps == 0` says so.
+        use unicaim_attention::workloads::transformer_trace;
+        let w = transformer_trace(48, 6, 23);
+        let mut p = FullCache::new();
+        let r = simulate_decode(&w, &mut p, &SimConfig::new(w.total_tokens(), usize::MAX));
+        assert_eq!(r.answer_steps, 0);
+        assert_eq!(r.salient_recall, 0.0);
+        assert_eq!(r.retrieval_accuracy, 0.0);
     }
 
     #[test]

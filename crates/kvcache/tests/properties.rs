@@ -2,9 +2,10 @@
 
 use proptest::prelude::*;
 use unicaim_attention::workloads::{generate, NeedleSpec, WorkloadSpec};
+use unicaim_attention::Matrix;
 use unicaim_kvcache::{
-    simulate_decode, BlockTopK, FullCache, HybridStaticDynamic, OracleTopK, Policy, ScoreTable,
-    SimConfig, SnapKv, StreamingLlm, H2O,
+    simulate_batch, simulate_decode, BatchConfig, BlockTopK, FullCache, HybridStaticDynamic,
+    OracleTopK, Policy, ScoreTable, SimConfig, SnapKv, StepDecision, StreamingLlm, H2O,
 };
 
 fn small_workload(
@@ -42,6 +43,68 @@ fn run_policy(
 ) -> unicaim_kvcache::SimResult {
     let w = small_workload(seed, 48, 12);
     simulate_decode(&w, policy, &SimConfig::new(capacity, k))
+}
+
+/// The menu of shipped policies, as factories so a fresh, identically
+/// configured instance can be minted per run (needed for equivalence
+/// checks between the single-sequence and batched drivers).
+fn policy_menu(capacity: usize, k: usize) -> Vec<Box<dyn Fn() -> Box<dyn Policy>>> {
+    vec![
+        Box::new(|| Box::new(FullCache::new()) as Box<dyn Policy>),
+        Box::new(move || {
+            Box::new(HybridStaticDynamic::new(
+                capacity.saturating_sub(4).max(1),
+                4,
+                k,
+            )) as Box<dyn Policy>
+        }),
+        Box::new(|| Box::new(StreamingLlm::new(2)) as Box<dyn Policy>),
+        Box::new(|| Box::new(H2O::new(4)) as Box<dyn Policy>),
+        Box::new(|| Box::new(SnapKv::new(4)) as Box<dyn Policy>),
+        Box::new(|| Box::new(OracleTopK::new()) as Box<dyn Policy>),
+        Box::new(|| Box::new(BlockTopK::new(4)) as Box<dyn Policy>),
+    ]
+}
+
+/// Wraps a policy and records the resident-set size the harness reports at
+/// every step, so capacity can be checked *per step* rather than on the
+/// mean.
+struct CapacityProbe {
+    inner: Box<dyn Policy>,
+    max_resident: usize,
+}
+
+impl CapacityProbe {
+    fn new(inner: Box<dyn Policy>) -> Self {
+        Self {
+            inner,
+            max_resident: 0,
+        }
+    }
+}
+
+impl Policy for CapacityProbe {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+    fn prefill_keep(&mut self, attn: &Matrix, budget: usize) -> Vec<usize> {
+        self.inner.prefill_keep(attn, budget)
+    }
+    fn select(&mut self, step: usize, scored: &[(usize, f32)], k: usize) -> StepDecision {
+        self.max_resident = self.max_resident.max(scored.len());
+        self.inner.select(step, scored, k)
+    }
+    fn observe(&mut self, step: usize, weights: &[(usize, f32)]) {
+        self.max_resident = self.max_resident.max(weights.len());
+        self.inner.observe(step, weights);
+    }
+    fn evict(&mut self, step: usize, resident: &[usize]) -> Option<usize> {
+        self.max_resident = self.max_resident.max(resident.len());
+        self.inner.evict(step, resident)
+    }
+    fn note_inserted(&mut self, token: usize) {
+        self.inner.note_inserted(token);
+    }
 }
 
 proptest! {
@@ -144,5 +207,64 @@ proptest! {
             run_policy(&mut p, seed, 32, 12)
         };
         prop_assert_eq!(run(), run());
+    }
+
+    /// No policy ever exceeds the cache capacity *at any step* (not just on
+    /// average): the resident set the harness reports to the policy each
+    /// step is bounded by the configured slot count.
+    #[test]
+    fn capacity_never_exceeded_at_any_step(
+        seed in 0u64..500,
+        capacity in 12usize..48,
+        k in 1usize..32,
+    ) {
+        let w = small_workload(seed, 48, 12);
+        for make in policy_menu(capacity, k) {
+            let mut probe = CapacityProbe::new(make());
+            let _ = simulate_decode(&w, &mut probe, &SimConfig::new(capacity, k));
+            prop_assert!(
+                probe.max_resident <= capacity,
+                "{}: {} resident tokens at some step exceeds capacity {capacity}",
+                probe.inner.name(), probe.max_resident
+            );
+        }
+    }
+
+    /// A batch of size 1 is bit-identical to `simulate_decode`, for every
+    /// shipped policy — the invariant that forces the two drivers to share
+    /// one per-step core.
+    #[test]
+    fn batch_of_one_equals_simulate_decode(
+        seed in 0u64..300,
+        capacity in 12usize..48,
+        k in 1usize..24,
+    ) {
+        let w = small_workload(seed, 48, 12);
+        let cfg = SimConfig::new(capacity, k);
+        for make in policy_menu(capacity, k) {
+            let mut single = make();
+            let expected = simulate_decode(&w, single.as_mut(), &cfg);
+            let batch = simulate_batch(
+                std::slice::from_ref(&w),
+                &mut |_| make(),
+                &BatchConfig::per_sequence(&cfg, 1),
+            );
+            prop_assert_eq!(&batch.per_sequence[0], &expected);
+        }
+    }
+}
+
+#[test]
+fn batched_policies_share_the_budget_evenly() {
+    // Deterministic (non-proptest) sanity: a 4-sequence batch under each
+    // policy respects the shared budget and reports per-sequence results.
+    let workloads: Vec<_> = (0..4u64).map(|s| small_workload(s, 48, 12)).collect();
+    let config = BatchConfig::new(4 * 24, 8);
+    for make in policy_menu(24, 8) {
+        let r = simulate_batch(&workloads, &mut |_| make(), &config);
+        assert_eq!(r.n_sequences, 4);
+        assert_eq!(r.per_sequence.len(), 4);
+        assert!(r.peak_resident <= config.total_capacity, "{r:?}");
+        assert_eq!(r.total_steps, 4 * 12);
     }
 }
