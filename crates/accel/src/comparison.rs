@@ -213,7 +213,11 @@ pub fn delay_sweep(seq_lens: &[usize], sweep_output: bool, keep: f64) -> Vec<Swe
 }
 
 /// One row of the Table I qualitative comparison.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Serialize-only: the row borrows `&'static str` literals, which cannot be
+/// reconstructed by the structural `Deserialize` the vendored facade now
+/// derives.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct QualitativeRow {
     /// Design name.
     pub design: &'static str,

@@ -168,30 +168,59 @@ impl DischargeRace {
         })
     }
 
+    /// Every node's crossing time of `v_threshold`, computed once (a node
+    /// that never crosses reads `f64::INFINITY`). The ranking helpers below
+    /// compare against this cache instead of re-deriving the logarithmic
+    /// crossing time inside every comparison.
+    fn crossing_times(&self, v_threshold: f64) -> Vec<f64> {
+        (0..self.len())
+            .map(|i| self.crossing_time(i, v_threshold).unwrap_or(f64::INFINITY))
+            .collect()
+    }
+
+    /// Comparator ordering nodes fastest (earliest crossing) first with an
+    /// ascending-index tie-break — a total order ([`f64::total_cmp`]), so
+    /// the race is deterministic for every input.
+    fn faster(times: &[f64], a: usize, b: usize) -> std::cmp::Ordering {
+        times[a].total_cmp(&times[b]).then(a.cmp(&b))
+    }
+
     /// Node indices sorted by crossing time of `v_threshold`, fastest
     /// (highest current) first. Ties break toward the lower index, making
     /// the race deterministic.
     #[must_use]
     pub fn order_by_crossing(&self, v_threshold: f64) -> Vec<usize> {
+        let times = self.crossing_times(v_threshold);
         let mut order: Vec<usize> = (0..self.len()).collect();
-        order.sort_by(|&a, &b| {
-            let ta = self.crossing_time(a, v_threshold).unwrap_or(f64::INFINITY);
-            let tb = self.crossing_time(b, v_threshold).unwrap_or(f64::INFINITY);
-            ta.partial_cmp(&tb)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.cmp(&b))
-        });
+        order.sort_unstable_by(|&a, &b| Self::faster(&times, a, b));
         order
     }
 
     /// The `k` *slowest* nodes — the CAM-mode winners (highest similarity ⇒
-    /// lowest current ⇒ last to discharge). Returns all nodes if `k ≥ n`.
+    /// lowest current ⇒ last to discharge), in ascending crossing-time
+    /// order. Returns all nodes if `k ≥ n`.
+    ///
+    /// Uses `select_nth_unstable` partial selection (O(n + k log k)) rather
+    /// than sorting the whole field: the CAM search is the per-step decode
+    /// hot path.
     #[must_use]
     pub fn slowest(&self, k: usize, v_threshold: f64) -> Vec<usize> {
-        let order = self.order_by_crossing(v_threshold);
-        let n = order.len();
+        let n = self.len();
         let k = k.min(n);
-        order[n - k..].to_vec()
+        if k == 0 {
+            return Vec::new();
+        }
+        let times = self.crossing_times(v_threshold);
+        let mut idx: Vec<usize> = (0..n).collect();
+        if k < n {
+            let (_, _, winners) =
+                idx.select_nth_unstable_by(n - k - 1, |&a, &b| Self::faster(&times, a, b));
+            let mut winners = winners.to_vec();
+            winners.sort_unstable_by(|&a, &b| Self::faster(&times, a, b));
+            return winners;
+        }
+        idx.sort_unstable_by(|&a, &b| Self::faster(&times, a, b));
+        idx
     }
 
     /// Time at which exactly `k` nodes remain above `v_threshold`, i.e. the
@@ -204,9 +233,11 @@ impl DischargeRace {
         if k >= n {
             return None;
         }
-        let order = self.order_by_crossing(v_threshold);
-        let idx = order[n - k - 1];
-        self.crossing_time(idx, v_threshold).ok()
+        let times = self.crossing_times(v_threshold);
+        let mut idx: Vec<usize> = (0..n).collect();
+        let (_, &mut nth, _) =
+            idx.select_nth_unstable_by(n - k - 1, |&a, &b| Self::faster(&times, a, b));
+        self.crossing_time(nth, v_threshold).ok()
     }
 
     /// Energy drawn from the precharge supply to recharge all nodes back to

@@ -1,0 +1,378 @@
+//! Flat-layout compute kernels for the decode hot path.
+//!
+//! Every hot loop in the decode pipeline — prefill attention, per-step
+//! scoring, exact attention over a selection, and top-k selection — runs
+//! over contiguous row-major arenas through this module instead of
+//! pointer-chasing `Vec<Vec<f32>>` layouts. The kernels are deliberately
+//! allocation-free: callers pass output slices and reusable scratch
+//! buffers, so a steady-state decode step performs no heap traffic.
+//!
+//! Layout convention: a [`RowView`] describes `n` logical rows of `dim`
+//! contiguous `f32`s inside a flat buffer, with consecutive rows `stride`
+//! elements apart (`stride >= dim`). A plain matrix is `stride == dim`; a
+//! per-head slice of a multi-head projection is `stride == d_model`,
+//! `dim == d_head`, with the head offset folded into the buffer slice.
+//!
+//! Ordering convention: all top-k selection in this module uses
+//! [`f32::total_cmp`] with an explicit ascending-index tie-break, so
+//! rankings are total and deterministic even in the presence of NaN
+//! (NaN sorts as the largest value, per IEEE 754 `totalOrder`).
+
+use crate::matrix::softmax_in_place;
+
+/// A borrowed view of row-major `f32` rows inside a flat buffer.
+///
+/// Row `r` is `data[r * stride .. r * stride + dim]`. The view itself does
+/// not fix a row count; accessors bound-check through the underlying slice.
+#[derive(Debug, Clone, Copy)]
+pub struct RowView<'a> {
+    data: &'a [f32],
+    stride: usize,
+    dim: usize,
+}
+
+impl<'a> RowView<'a> {
+    /// Creates a view with the given row stride and logical row width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim > stride`, or if `stride == 0` while `dim != 0`.
+    #[must_use]
+    pub fn new(data: &'a [f32], stride: usize, dim: usize) -> Self {
+        assert!(
+            dim <= stride || dim == 0,
+            "row dim {dim} exceeds stride {stride}"
+        );
+        assert!(stride > 0 || dim == 0, "zero stride with nonzero dim");
+        Self { data, stride, dim }
+    }
+
+    /// A contiguous view (`stride == dim`).
+    #[must_use]
+    pub fn contiguous(data: &'a [f32], dim: usize) -> Self {
+        Self::new(data, dim.max(1), dim)
+    }
+
+    /// Logical row width.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Elements between consecutive row starts.
+    #[must_use]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Borrow row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row extends past the underlying buffer.
+    #[inline]
+    #[must_use]
+    pub fn row(&self, r: usize) -> &'a [f32] {
+        &self.data[r * self.stride..r * self.stride + self.dim]
+    }
+}
+
+/// Number of independent accumulators in [`dot`]. Wide enough for the
+/// compiler to keep the loop in vector registers.
+const LANES: usize = 8;
+
+/// Dot product with `LANES` independent accumulators (reassociated
+/// summation — results can differ from a strictly sequential sum in the
+/// last bits, which every consumer tolerates at ≤1e-5 relative error).
+///
+/// # Panics
+///
+/// Panics (in debug builds) if lengths differ; release builds truncate to
+/// the shorter slice.
+#[inline]
+#[must_use]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "dot of unequal lengths");
+    let n = a.len().min(b.len());
+    let chunks = n / LANES;
+    let mut acc = [0.0f32; LANES];
+    for c in 0..chunks {
+        let ax = &a[c * LANES..(c + 1) * LANES];
+        let bx = &b[c * LANES..(c + 1) * LANES];
+        for l in 0..LANES {
+            acc[l] += ax[l] * bx[l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for i in chunks * LANES..n {
+        tail += a[i] * b[i];
+    }
+    acc.iter().sum::<f32>() + tail
+}
+
+/// Scaled dots of `query` against rows `0..out.len()` of `keys`:
+/// `out[r] = scale · (query · keys[r])`.
+///
+/// # Panics
+///
+/// Panics if a row extends past the key buffer.
+pub fn dot_prefix(query: &[f32], keys: RowView<'_>, scale: f32, out: &mut [f32]) {
+    for (r, o) in out.iter_mut().enumerate() {
+        *o = dot(query, keys.row(r)) * scale;
+    }
+}
+
+/// Scaled dots of `query` against the gathered `rows` of `keys`:
+/// `out[i] = scale · (query · keys[rows[i]])`.
+///
+/// # Panics
+///
+/// Panics if `rows.len() != out.len()` or a row is out of range.
+pub fn dot_gather(query: &[f32], keys: RowView<'_>, rows: &[usize], scale: f32, out: &mut [f32]) {
+    assert_eq!(rows.len(), out.len(), "gather output length mismatch");
+    for (&r, o) in rows.iter().zip(out.iter_mut()) {
+        *o = dot(query, keys.row(r)) * scale;
+    }
+}
+
+/// Accumulates `out += Σ weights[i] · values[rows[i]]` over gathered rows
+/// (callers zero `out` first; [`attend_gather`] does).
+///
+/// # Panics
+///
+/// Panics if `out.len() != values.dim()` or lengths disagree.
+pub fn weighted_sum_gather(weights: &[f32], values: RowView<'_>, rows: &[usize], out: &mut [f32]) {
+    assert_eq!(out.len(), values.dim(), "output/value dimension mismatch");
+    assert_eq!(weights.len(), rows.len(), "weight/row count mismatch");
+    for (&r, &w) in rows.iter().zip(weights) {
+        for (o, &x) in out.iter_mut().zip(values.row(r)) {
+            *o += w * x;
+        }
+    }
+}
+
+/// Accumulates `out += Σ weights[r] · values[r]` over rows
+/// `0..weights.len()`.
+///
+/// # Panics
+///
+/// Panics if `out.len() != values.dim()`.
+pub fn weighted_sum_prefix(weights: &[f32], values: RowView<'_>, out: &mut [f32]) {
+    assert_eq!(out.len(), values.dim(), "output/value dimension mismatch");
+    for (r, &w) in weights.iter().enumerate() {
+        for (o, &x) in out.iter_mut().zip(values.row(r)) {
+            *o += w * x;
+        }
+    }
+}
+
+/// Fused gather → score → softmax → weighted-sum attention over the
+/// gathered `rows`: `out = softmax(scale · q·Kᵀ) · V`, writing into `out`
+/// and reusing `weights` as scratch. An empty gather writes a zero vector.
+///
+/// # Panics
+///
+/// Panics if `query.len() != keys.dim()` or `out.len() != values.dim()`.
+pub fn attend_gather(
+    query: &[f32],
+    keys: RowView<'_>,
+    values: RowView<'_>,
+    rows: &[usize],
+    scale: f32,
+    weights: &mut Vec<f32>,
+    out: &mut [f32],
+) {
+    assert_eq!(query.len(), keys.dim(), "query/key dimension mismatch");
+    out.fill(0.0);
+    if rows.is_empty() {
+        return;
+    }
+    weights.clear();
+    weights.resize(rows.len(), 0.0);
+    dot_gather(query, keys, rows, scale, weights);
+    softmax_in_place(weights);
+    weighted_sum_gather(weights, values, rows, out);
+}
+
+/// Fused attention over the contiguous row prefix `0..n` (the causal
+/// "attend to everything so far" step): `out = softmax(scale · q·Kᵀ) · V`.
+/// `n == 0` writes a zero vector.
+///
+/// # Panics
+///
+/// Panics if `query.len() != keys.dim()` or `out.len() != values.dim()`.
+pub fn attend_prefix(
+    query: &[f32],
+    keys: RowView<'_>,
+    values: RowView<'_>,
+    n: usize,
+    scale: f32,
+    weights: &mut Vec<f32>,
+    out: &mut [f32],
+) {
+    assert_eq!(query.len(), keys.dim(), "query/key dimension mismatch");
+    out.fill(0.0);
+    if n == 0 {
+        return;
+    }
+    weights.clear();
+    weights.resize(n, 0.0);
+    dot_prefix(query, keys, scale, weights);
+    softmax_in_place(weights);
+    weighted_sum_prefix(weights, values, out);
+}
+
+/// Indices `0..n` ranked best-first under `cmp` (where `Ordering::Less`
+/// means "ranks earlier"), keeping only the top `k` — selected with
+/// `select_nth_unstable_by` (O(n + k log k)) instead of a full sort.
+///
+/// The comparator must be a total order (use [`f32::total_cmp`] plus an
+/// index tie-break); the returned prefix is then exactly the first `k`
+/// elements of the fully sorted order.
+pub fn partial_top_k_by<F>(n: usize, k: usize, mut cmp: F) -> Vec<usize>
+where
+    F: FnMut(usize, usize) -> std::cmp::Ordering,
+{
+    let k = k.min(n);
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    if k < n {
+        idx.select_nth_unstable_by(k - 1, |&a, &b| cmp(a, b));
+        idx.truncate(k);
+    }
+    idx.sort_unstable_by(|&a, &b| cmp(a, b));
+    idx
+}
+
+/// Indices of the `k` largest values, in descending value order, ties
+/// toward the lower index. Total and deterministic for every input:
+/// NaN ranks above +∞ (IEEE 754 `totalOrder`), so NaN-poisoned scores
+/// cannot make the ranking run-to-run unstable.
+#[must_use]
+pub fn partial_top_k(values: &[f32], k: usize) -> Vec<usize> {
+    partial_top_k_by(values.len(), k, |a, b| {
+        values[b].total_cmp(&values[a]).then(a.cmp(&b))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mha::attention_output;
+
+    #[test]
+    fn dot_matches_sequential() {
+        let a: Vec<f32> = (0..37).map(|i| (i as f32) * 0.25 - 3.0).collect();
+        let b: Vec<f32> = (0..37).map(|i| 1.5 - (i as f32) * 0.125).collect();
+        let naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((dot(&a, &b) - naive).abs() <= 1e-4 * naive.abs().max(1.0));
+    }
+
+    #[test]
+    fn row_view_strided_access() {
+        // 3 rows of stride 4, logical width 2, offset 1 folded into slice.
+        let data: Vec<f32> = (0..12).map(|i| i as f32).collect();
+        let v = RowView::new(&data[1..], 4, 2);
+        assert_eq!(v.row(0), &[1.0, 2.0]);
+        assert_eq!(v.row(1), &[5.0, 6.0]);
+        assert_eq!(v.row(2), &[9.0, 10.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds stride")]
+    fn row_view_rejects_wide_rows() {
+        let data = [0.0f32; 8];
+        let _ = RowView::new(&data, 2, 3);
+    }
+
+    #[test]
+    fn attend_gather_matches_naive_attention() {
+        let dim = 5;
+        let n = 7;
+        let keys: Vec<f32> = (0..n * dim).map(|i| ((i * 13) % 11) as f32 * 0.1).collect();
+        let values: Vec<f32> = (0..n * dim).map(|i| ((i * 7) % 9) as f32 * 0.2).collect();
+        let query: Vec<f32> = (0..dim).map(|i| (i as f32) * 0.3 - 0.5).collect();
+        let rows = [0usize, 2, 5];
+        let kr: Vec<&[f32]> = rows
+            .iter()
+            .map(|&r| &keys[r * dim..(r + 1) * dim])
+            .collect();
+        let vr: Vec<&[f32]> = rows
+            .iter()
+            .map(|&r| &values[r * dim..(r + 1) * dim])
+            .collect();
+        let naive = attention_output(&query, &kr, &vr);
+        let mut out = vec![0.0f32; dim];
+        let mut scratch = Vec::new();
+        attend_gather(
+            &query,
+            RowView::contiguous(&keys, dim),
+            RowView::contiguous(&values, dim),
+            &rows,
+            1.0 / (dim as f32).sqrt(),
+            &mut scratch,
+            &mut out,
+        );
+        for (a, b) in out.iter().zip(&naive) {
+            assert!(
+                (a - b).abs() <= 1e-5 * b.abs().max(1.0),
+                "{out:?} vs {naive:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn attend_empty_selection_is_zero() {
+        let keys = [1.0f32, 2.0];
+        let values = [3.0f32, 4.0];
+        let mut out = vec![7.0f32; 2];
+        let mut scratch = Vec::new();
+        attend_gather(
+            &[1.0, 0.0],
+            RowView::contiguous(&keys, 2),
+            RowView::contiguous(&values, 2),
+            &[],
+            1.0,
+            &mut scratch,
+            &mut out,
+        );
+        assert_eq!(out, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn partial_top_k_matches_full_sort_under_ties() {
+        let values = vec![0.5f32, 0.9, 0.5, 0.9, 0.1, 0.9];
+        for k in 0..=values.len() + 1 {
+            let mut full: Vec<usize> = (0..values.len()).collect();
+            full.sort_by(|&a, &b| values[b].total_cmp(&values[a]).then(a.cmp(&b)));
+            full.truncate(k);
+            assert_eq!(partial_top_k(&values, k), full, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn partial_top_k_is_total_under_nan() {
+        let values = vec![0.3f32, f32::NAN, 0.7, f32::NAN];
+        let a = partial_top_k(&values, 2);
+        let b = partial_top_k(&values, 2);
+        assert_eq!(a, b);
+        // NaN sorts above every finite value under totalOrder.
+        assert_eq!(a, vec![1, 3]);
+    }
+
+    #[test]
+    fn dot_prefix_and_gather_agree() {
+        let dim = 4;
+        let keys: Vec<f32> = (0..6 * dim).map(|i| i as f32 * 0.01).collect();
+        let view = RowView::contiguous(&keys, dim);
+        let q = [0.5f32, -0.5, 1.0, 0.25];
+        let mut a = vec![0.0f32; 6];
+        dot_prefix(&q, view, 2.0, &mut a);
+        let rows: Vec<usize> = (0..6).collect();
+        let mut b = vec![0.0f32; 6];
+        dot_gather(&q, view, &rows, 2.0, &mut b);
+        assert_eq!(a, b);
+    }
+}

@@ -1,4 +1,5 @@
-//! Fixed-capacity KV storage with in-slot overwrite.
+//! Fixed-capacity KV storage with in-slot overwrite, laid out as a
+//! structure of arrays.
 //!
 //! UniCAIM keeps the KV cache at a fixed physical size (`H + M` rows): a
 //! statically evicted token's row is directly overwritten by the newly
@@ -6,12 +7,33 @@
 //! the statically evicted position"). [`KvStore`] models exactly that slot
 //! discipline and is shared by the software policies and the hardware
 //! engine.
+//!
+//! # Layout
+//!
+//! Keys and values live in two contiguous row-major arenas (`capacity × dim`
+//! `f32`s each, slot `s` at `s*dim..(s+1)*dim`), with per-slot token ids in
+//! a parallel metadata vector and a token → slot index for O(log n) lookup
+//! and ascending-token iteration. The arenas are exposed to the flat
+//! [`kernels`](crate::kernels) as [`RowView`]s, so the decode hot path
+//! (score every resident, fused attention over a selection) runs over
+//! contiguous memory instead of chasing one heap allocation per token.
+//! Freed slots are zeroed so structural equality sees only logical content.
+//!
+//! Token ids must be unique across occupied slots (the token → slot index
+//! requires it); writing a token that is already resident in a *different*
+//! slot is rejected with [`AttentionError::DuplicateToken`].
+
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
+use crate::kernels::RowView;
 use crate::AttentionError;
 
 /// One stored token: key and value vectors plus the logical token id.
+///
+/// This is the *exchange* type at the store boundary; internally the store
+/// keeps keys and values in flat arenas, not per-entry allocations.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct KvEntry {
     /// Logical token position in the original sequence (0-based).
@@ -22,12 +44,22 @@ pub struct KvEntry {
     pub value: Vec<f32>,
 }
 
-/// A fixed-capacity KV cache addressed by physical slot.
+/// A fixed-capacity KV cache addressed by physical slot, stored as a
+/// structure of arrays (see the [module docs](self)).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct KvStore {
     dim: usize,
     capacity: usize,
-    slots: Vec<Option<KvEntry>>,
+    /// Key arena, `capacity × dim`, row-major by slot.
+    keys: Vec<f32>,
+    /// Value arena, `capacity × dim`, row-major by slot.
+    values: Vec<f32>,
+    /// Logical token held by each slot.
+    tokens: Vec<Option<usize>>,
+    /// Token → slot index (ascending-token iteration, O(log n) lookup).
+    by_token: BTreeMap<usize, usize>,
+    /// Occupied-slot count (kept in sync with `tokens`).
+    len: usize,
 }
 
 impl KvStore {
@@ -38,7 +70,11 @@ impl KvStore {
         Self {
             dim,
             capacity,
-            slots: vec![None; capacity],
+            keys: vec![0.0; capacity * dim],
+            values: vec![0.0; capacity * dim],
+            tokens: vec![None; capacity],
+            by_token: BTreeMap::new(),
+            len: 0,
         }
     }
 
@@ -57,19 +93,84 @@ impl KvStore {
     /// Number of occupied slots.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.slots.iter().filter(|s| s.is_some()).count()
+        self.len
     }
 
     /// True when no slot is occupied.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.slots.iter().all(Option::is_none)
+        self.len == 0
     }
 
     /// The first free slot index, if any.
     #[must_use]
     pub fn first_free_slot(&self) -> Option<usize> {
-        self.slots.iter().position(Option::is_none)
+        self.tokens.iter().position(Option::is_none)
+    }
+
+    /// The key arena as a [`RowView`] (slot `s` = row `s`; free slots are
+    /// zero rows).
+    #[must_use]
+    pub fn keys_view(&self) -> RowView<'_> {
+        RowView::contiguous(&self.keys, self.dim)
+    }
+
+    /// The value arena as a [`RowView`].
+    #[must_use]
+    pub fn values_view(&self) -> RowView<'_> {
+        RowView::contiguous(&self.values, self.dim)
+    }
+
+    /// Writes `token`'s key/value into `slot` directly from slices
+    /// (single-write-cycle in-place update, no per-entry allocation).
+    /// Returns the token that previously occupied the slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttentionError::IndexOutOfRange`] for a bad slot,
+    /// [`AttentionError::ShapeMismatch`] for wrong vector dimensions, and
+    /// [`AttentionError::DuplicateToken`] when `token` is already resident
+    /// in a different slot.
+    pub fn write_slot_parts(
+        &mut self,
+        slot: usize,
+        token: usize,
+        key: &[f32],
+        value: &[f32],
+    ) -> Result<Option<usize>, AttentionError> {
+        if slot >= self.capacity {
+            return Err(AttentionError::IndexOutOfRange {
+                index: slot,
+                len: self.capacity,
+            });
+        }
+        if key.len() != self.dim || value.len() != self.dim {
+            return Err(AttentionError::ShapeMismatch {
+                context: format!(
+                    "kv entry dims ({}, {}) do not match store dim {}",
+                    key.len(),
+                    value.len(),
+                    self.dim
+                ),
+            });
+        }
+        if let Some(&other) = self.by_token.get(&token) {
+            if other != slot {
+                return Err(AttentionError::DuplicateToken { token, slot: other });
+            }
+        }
+        let prev = self.tokens[slot];
+        if let Some(p) = prev {
+            self.by_token.remove(&p);
+        } else {
+            self.len += 1;
+        }
+        let base = slot * self.dim;
+        self.keys[base..base + self.dim].copy_from_slice(key);
+        self.values[base..base + self.dim].copy_from_slice(value);
+        self.tokens[slot] = Some(token);
+        self.by_token.insert(token, slot);
+        Ok(prev)
     }
 
     /// Writes an entry into `slot`, overwriting whatever was there
@@ -77,51 +178,52 @@ impl KvStore {
     ///
     /// # Errors
     ///
-    /// Returns [`AttentionError::IndexOutOfRange`] for a bad slot and
-    /// [`AttentionError::ShapeMismatch`] for wrong vector dimensions.
+    /// Same contract as [`KvStore::write_slot_parts`].
     pub fn write_slot(
         &mut self,
         slot: usize,
         entry: KvEntry,
     ) -> Result<Option<KvEntry>, AttentionError> {
-        if slot >= self.capacity {
-            return Err(AttentionError::IndexOutOfRange {
-                index: slot,
-                len: self.capacity,
-            });
-        }
-        if entry.key.len() != self.dim || entry.value.len() != self.dim {
-            return Err(AttentionError::ShapeMismatch {
-                context: format!(
-                    "kv entry dims ({}, {}) do not match store dim {}",
-                    entry.key.len(),
-                    entry.value.len(),
-                    self.dim
-                ),
-            });
-        }
-        Ok(self.slots[slot].replace(entry))
+        let prev = self.entry(slot);
+        self.write_slot_parts(slot, entry.token_id, &entry.key, &entry.value)?;
+        Ok(prev)
     }
 
-    /// Appends into the first free slot, returning its index.
+    /// Appends `token`'s key/value into the first free slot, returning its
+    /// index.
     ///
     /// # Errors
     ///
     /// Returns [`AttentionError::IndexOutOfRange`] when the store is full
-    /// (index = capacity), or [`AttentionError::ShapeMismatch`] for wrong
-    /// dimensions.
-    pub fn append(&mut self, entry: KvEntry) -> Result<usize, AttentionError> {
+    /// (index = capacity); otherwise the [`KvStore::write_slot_parts`]
+    /// contract.
+    pub fn append_parts(
+        &mut self,
+        token: usize,
+        key: &[f32],
+        value: &[f32],
+    ) -> Result<usize, AttentionError> {
         let slot = self
             .first_free_slot()
             .ok_or(AttentionError::IndexOutOfRange {
                 index: self.capacity,
                 len: self.capacity,
             })?;
-        self.write_slot(slot, entry)?;
+        self.write_slot_parts(slot, token, key, value)?;
         Ok(slot)
     }
 
-    /// Clears a slot, returning its occupant.
+    /// Appends into the first free slot, returning its index.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`KvStore::append_parts`].
+    pub fn append(&mut self, entry: KvEntry) -> Result<usize, AttentionError> {
+        self.append_parts(entry.token_id, &entry.key, &entry.value)
+    }
+
+    /// Clears a slot, returning its occupant. The freed arena rows are
+    /// zeroed.
     ///
     /// # Errors
     ///
@@ -133,35 +235,69 @@ impl KvStore {
                 len: self.capacity,
             });
         }
-        Ok(self.slots[slot].take())
+        let prev = self.entry(slot);
+        if let Some(token) = self.tokens[slot].take() {
+            self.by_token.remove(&token);
+            self.len -= 1;
+            let base = slot * self.dim;
+            self.keys[base..base + self.dim].fill(0.0);
+            self.values[base..base + self.dim].fill(0.0);
+        }
+        Ok(prev)
     }
 
-    /// The entry in `slot`, if occupied.
+    /// The token in `slot`, if occupied.
     #[must_use]
-    pub fn slot(&self, slot: usize) -> Option<&KvEntry> {
-        self.slots.get(slot).and_then(Option::as_ref)
+    pub fn token_at(&self, slot: usize) -> Option<usize> {
+        self.tokens.get(slot).copied().flatten()
     }
 
-    /// Iterator over `(slot, entry)` for occupied slots.
-    pub fn iter(&self) -> impl Iterator<Item = (usize, &KvEntry)> {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|e| (i, e)))
+    /// The key row of `slot`, if occupied.
+    #[must_use]
+    pub fn key_at(&self, slot: usize) -> Option<&[f32]> {
+        self.token_at(slot)
+            .map(|_| &self.keys[slot * self.dim..(slot + 1) * self.dim])
+    }
+
+    /// The value row of `slot`, if occupied.
+    #[must_use]
+    pub fn value_at(&self, slot: usize) -> Option<&[f32]> {
+        self.token_at(slot)
+            .map(|_| &self.values[slot * self.dim..(slot + 1) * self.dim])
+    }
+
+    /// The entry in `slot`, if occupied, materialized out of the arenas.
+    #[must_use]
+    pub fn entry(&self, slot: usize) -> Option<KvEntry> {
+        self.token_at(slot).map(|token_id| KvEntry {
+            token_id,
+            key: self.keys[slot * self.dim..(slot + 1) * self.dim].to_vec(),
+            value: self.values[slot * self.dim..(slot + 1) * self.dim].to_vec(),
+        })
+    }
+
+    /// Iterator over `(token, slot)` for occupied slots, in **ascending
+    /// token order** (the order the harness↔policy contract requires).
+    pub fn iter_tokens(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.by_token.iter().map(|(&t, &s)| (t, s))
     }
 
     /// The physical slot currently holding the given logical token, if any.
     #[must_use]
     pub fn slot_of_token(&self, token_id: usize) -> Option<usize> {
-        self.iter()
-            .find(|(_, e)| e.token_id == token_id)
-            .map(|(i, _)| i)
+        self.by_token.get(&token_id).copied()
     }
 
     /// All occupied slots' token ids, in slot order.
     #[must_use]
     pub fn token_ids(&self) -> Vec<usize> {
-        self.iter().map(|(_, e)| e.token_id).collect()
+        self.tokens.iter().filter_map(|&t| t).collect()
+    }
+
+    /// All occupied slots' token ids, ascending.
+    #[must_use]
+    pub fn tokens_ascending(&self) -> Vec<usize> {
+        self.by_token.keys().copied().collect()
     }
 }
 
@@ -196,7 +332,7 @@ mod tests {
         store.append(entry(1, 4, 0.1)).unwrap();
         let prev = store.write_slot(0, entry(2, 4, 0.2)).unwrap();
         assert_eq!(prev.unwrap().token_id, 1);
-        assert_eq!(store.slot(0).unwrap().token_id, 2);
+        assert_eq!(store.token_at(0), Some(2));
         assert_eq!(store.len(), 1);
     }
 
@@ -234,6 +370,50 @@ mod tests {
         let mut store = KvStore::new(2, 2);
         assert!(store.write_slot(2, entry(1, 2, 0.0)).is_err());
         assert!(store.evict_slot(5).is_err());
-        assert!(store.slot(9).is_none());
+        assert!(store.entry(9).is_none());
+    }
+
+    #[test]
+    fn duplicate_token_in_other_slot_rejected() {
+        let mut store = KvStore::new(3, 2);
+        store.append(entry(7, 2, 0.1)).unwrap();
+        let err = store.write_slot(1, entry(7, 2, 0.2)).unwrap_err();
+        assert!(matches!(
+            err,
+            AttentionError::DuplicateToken { token: 7, slot: 0 }
+        ));
+        // Rewriting the token in its own slot is fine (in-place update).
+        assert!(store.write_slot(0, entry(7, 2, 0.3)).is_ok());
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn iter_tokens_is_ascending_and_arena_rows_match() {
+        let mut store = KvStore::new(4, 2);
+        store.append(entry(30, 2, 0.3)).unwrap();
+        store.append(entry(10, 2, 0.1)).unwrap();
+        store.append(entry(20, 2, 0.2)).unwrap();
+        let order: Vec<usize> = store.iter_tokens().map(|(t, _)| t).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+        for (t, s) in store.iter_tokens() {
+            let e = store.entry(s).unwrap();
+            assert_eq!(e.token_id, t);
+            assert_eq!(store.key_at(s).unwrap(), e.key.as_slice());
+            assert_eq!(store.value_at(s).unwrap(), e.value.as_slice());
+            assert_eq!(store.keys_view().row(s), e.key.as_slice());
+            assert_eq!(store.values_view().row(s), e.value.as_slice());
+        }
+    }
+
+    #[test]
+    fn eviction_zeroes_arena_rows_for_structural_equality() {
+        let mut a = KvStore::new(2, 2);
+        a.append(entry(1, 2, 0.9)).unwrap();
+        a.evict_slot(0).unwrap();
+        a.append(entry(2, 2, 0.4)).unwrap();
+        // A store that never held token 1 but has the same logical content.
+        let mut b = KvStore::new(2, 2);
+        b.append(entry(2, 2, 0.4)).unwrap();
+        assert_eq!(a, b, "eviction history must not leak into equality");
     }
 }

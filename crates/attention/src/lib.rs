@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod kernels;
 mod kv;
 pub mod llama;
 mod matrix;
@@ -59,6 +60,14 @@ pub enum AttentionError {
         /// The container length.
         len: usize,
     },
+    /// A token id was written into a [`KvStore`] while already resident in
+    /// a different slot (token ids must be unique across occupied slots).
+    DuplicateToken {
+        /// The duplicated token id.
+        token: usize,
+        /// The slot already holding it.
+        slot: usize,
+    },
 }
 
 impl core::fmt::Display for AttentionError {
@@ -67,6 +76,9 @@ impl core::fmt::Display for AttentionError {
             AttentionError::ShapeMismatch { context } => write!(f, "shape mismatch: {context}"),
             AttentionError::IndexOutOfRange { index, len } => {
                 write!(f, "index {index} out of range for length {len}")
+            }
+            AttentionError::DuplicateToken { token, slot } => {
+                write!(f, "token {token} is already resident in slot {slot}")
             }
         }
     }

@@ -260,17 +260,13 @@ pub fn layer_norm_in_place(xs: &mut [f32], eps: f32) {
 
 /// Indices of the `k` largest values, in descending value order. Ties break
 /// toward the lower index (deterministic). Returns all indices if `k >= len`.
+///
+/// Delegates to [`crate::kernels::partial_top_k`]: partial selection
+/// instead of a full sort, total-ordered via [`f32::total_cmp`] so NaN
+/// scores cannot destabilize the ranking.
 #[must_use]
 pub fn argtop_k(values: &[f32], k: usize) -> Vec<usize> {
-    let mut idx: Vec<usize> = (0..values.len()).collect();
-    idx.sort_by(|&a, &b| {
-        values[b]
-            .partial_cmp(&values[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
-    });
-    idx.truncate(k);
-    idx
+    crate::kernels::partial_top_k(values, k)
 }
 
 #[cfg(test)]

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::kernels::{self, RowView};
 use crate::matrix::{softmax_in_place, Matrix};
 use crate::AttentionError;
 
@@ -157,16 +158,33 @@ impl MultiHeadAttention {
         let q = self.project_q(hidden)?;
         let k = self.project_k(hidden)?;
         let v = self.project_v(hidden)?;
+        let scale = 1.0 / (dh as f32).sqrt();
         let mut concat = Matrix::zeros(seq, d);
+        if seq == 0 {
+            // Nothing to attend over; also keeps the per-head buffer
+            // slicing below in bounds (the projections are empty).
+            return concat.matmul(&self.w_o);
+        }
+        let mut weights = Vec::with_capacity(seq);
+        // Per head, the projection rows are strided slices of the flat
+        // `seq × d_model` buffers; the fused kernel attends over them
+        // without gathering per-token slices.
         for h in 0..self.config.n_heads {
             let lo = h * dh;
             let hi = lo + dh;
+            let keys = RowView::new(&k.as_slice()[lo..], d, dh);
+            let values = RowView::new(&v.as_slice()[lo..], d, dh);
             for t in 0..seq {
                 let q_t = &q.row(t)[lo..hi];
-                let keys: Vec<&[f32]> = (0..=t).map(|s| &k.row(s)[lo..hi]).collect();
-                let values: Vec<&[f32]> = (0..=t).map(|s| &v.row(s)[lo..hi]).collect();
-                let out = attention_output(q_t, &keys, &values);
-                concat.row_mut(t)[lo..hi].copy_from_slice(&out);
+                kernels::attend_prefix(
+                    q_t,
+                    keys,
+                    values,
+                    t + 1,
+                    scale,
+                    &mut weights,
+                    &mut concat.row_mut(t)[lo..hi],
+                );
             }
         }
         concat.matmul(&self.w_o)
@@ -187,20 +205,23 @@ impl MultiHeadAttention {
             });
         }
         let seq = hidden.rows();
+        let d = self.config.d_model;
         let dh = self.config.d_head();
         let lo = head * dh;
         let hi = lo + dh;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let mut probs = Matrix::zeros(seq, seq);
+        if seq == 0 {
+            return Ok(probs);
+        }
         let q = self.project_q(hidden)?;
         let k = self.project_k(hidden)?;
-        let mut probs = Matrix::zeros(seq, seq);
+        let keys = RowView::new(&k.as_slice()[lo..], d, dh);
         for t in 0..seq {
             let q_t = &q.row(t)[lo..hi];
-            let keys: Vec<&[f32]> = (0..=t).map(|s| &k.row(s)[lo..hi]).collect();
-            let mut w = attention_scores(q_t, &keys);
-            softmax_in_place(&mut w);
-            for (s, &p) in w.iter().enumerate() {
-                probs.set(t, s, p);
-            }
+            let row = probs.row_mut(t);
+            kernels::dot_prefix(q_t, keys, scale, &mut row[..t + 1]);
+            softmax_in_place(&mut row[..t + 1]);
         }
         Ok(probs)
     }
@@ -266,6 +287,20 @@ mod tests {
         }
         .validate()
         .is_err());
+    }
+
+    #[test]
+    fn empty_sequence_is_handled() {
+        let cfg = AttentionConfig {
+            d_model: 8,
+            n_heads: 2,
+        };
+        let layer = MultiHeadAttention::new(cfg, 1).unwrap();
+        let empty = Matrix::zeros(0, 8);
+        let out = layer.forward(&empty).unwrap();
+        assert_eq!((out.rows(), out.cols()), (0, 8));
+        let probs = layer.attention_matrix(&empty, 1).unwrap();
+        assert_eq!((probs.rows(), probs.cols()), (0, 0));
     }
 
     #[test]

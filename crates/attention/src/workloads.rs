@@ -26,8 +26,8 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::kernels::{self, RowView};
 use crate::matrix::Matrix;
-use crate::mha::attention_output;
 
 /// A planted "needle" fact: one prefill token that later queries must
 /// retrieve.
@@ -112,15 +112,41 @@ impl DecodeWorkload {
 
     /// Exact full-cache attention output at every decode step (the
     /// reference the pruned policies are compared against).
+    ///
+    /// Implemented over flat key/value arenas with the fused
+    /// [`kernels::attend_prefix`] kernel: step `s` attends over the first
+    /// `prefill + s` rows (the prompt plus every previously generated
+    /// token).
     #[must_use]
     pub fn full_attention_reference(&self) -> Vec<Vec<f32>> {
-        let mut keys: Vec<&[f32]> = self.prefill_keys.iter().map(Vec::as_slice).collect();
-        let mut values: Vec<&[f32]> = self.prefill_values.iter().map(Vec::as_slice).collect();
+        let dim = self.dim;
+        let total = self.total_tokens();
+        let mut key_arena = Vec::with_capacity(total * dim);
+        let mut value_arena = Vec::with_capacity(total * dim);
+        for k in self.prefill_keys.iter().chain(&self.decode_keys) {
+            key_arena.extend_from_slice(k);
+        }
+        for v in self.prefill_values.iter().chain(&self.decode_values) {
+            value_arena.extend_from_slice(v);
+        }
+        let keys = RowView::contiguous(&key_arena, dim);
+        let values = RowView::contiguous(&value_arena, dim);
+        let scale = 1.0 / (dim as f32).sqrt();
+        let prefill = self.prefill_keys.len();
+        let mut weights = Vec::with_capacity(total);
         let mut outputs = Vec::with_capacity(self.decode_queries.len());
         for (step, q) in self.decode_queries.iter().enumerate() {
-            outputs.push(attention_output(q, &keys, &values));
-            keys.push(&self.decode_keys[step]);
-            values.push(&self.decode_values[step]);
+            let mut out = vec![0.0f32; dim];
+            kernels::attend_prefix(
+                q,
+                keys,
+                values,
+                prefill + step,
+                scale,
+                &mut weights,
+                &mut out,
+            );
+            outputs.push(out);
         }
         outputs
     }

@@ -139,7 +139,7 @@ proptest! {
         let mut expect = 0usize;
         for (i, (slot, write)) in ops.iter().enumerate() {
             if *write {
-                let was = store.slot(*slot).is_some();
+                let was = store.entry(*slot).is_some();
                 store.write_slot(*slot, KvEntry {
                     token_id: i,
                     key: vec![0.0; 2],
@@ -151,5 +151,115 @@ proptest! {
             }
             prop_assert_eq!(store.len(), expect);
         }
+    }
+
+    /// The structure-of-arrays KvStore tracks a naive slot-of-entries model
+    /// exactly: same append/write/evict outcomes, same occupancy, same
+    /// `slot_of_token` answers, same per-slot contents.
+    #[test]
+    fn kvstore_matches_naive_slot_model(
+        ops in proptest::collection::vec((0usize..5, 0usize..3, -4i32..4), 1..60),
+    ) {
+        const CAP: usize = 5;
+        const DIM: usize = 3;
+        let mut store = KvStore::new(CAP, DIM);
+        // The pre-refactor representation: one Option<KvEntry> per slot.
+        let mut model: Vec<Option<KvEntry>> = vec![None; CAP];
+        for (i, &(slot, op, seed)) in ops.iter().enumerate() {
+            let entry = KvEntry {
+                token_id: i,
+                key: vec![seed as f32 * 0.5; DIM],
+                value: vec![seed as f32 * 0.25 + 1.0; DIM],
+            };
+            match op {
+                // Direct in-slot overwrite.
+                0 => {
+                    let prev = store.write_slot(slot, entry.clone()).unwrap();
+                    let model_prev = model[slot].replace(entry);
+                    prop_assert_eq!(prev, model_prev);
+                }
+                // Append into the first free slot.
+                1 => {
+                    let model_free = model.iter().position(Option::is_none);
+                    prop_assert_eq!(store.first_free_slot(), model_free);
+                    match model_free {
+                        Some(free) => {
+                            prop_assert_eq!(store.append(entry.clone()).unwrap(), free);
+                            model[free] = Some(entry);
+                        }
+                        None => prop_assert!(store.append(entry).is_err()),
+                    }
+                }
+                // Evict.
+                _ => {
+                    let evicted = store.evict_slot(slot).unwrap();
+                    prop_assert_eq!(evicted, model[slot].take());
+                }
+            }
+            // Full observable-state agreement after every operation.
+            prop_assert_eq!(store.len(), model.iter().filter(|s| s.is_some()).count());
+            for (s, expected) in model.iter().enumerate() {
+                prop_assert_eq!(&store.entry(s), expected);
+            }
+            for e in model.iter().flatten() {
+                let found = model.iter().position(
+                    |m| m.as_ref().is_some_and(|x| x.token_id == e.token_id));
+                prop_assert_eq!(store.slot_of_token(e.token_id), found);
+            }
+            let model_ids: Vec<usize> = model.iter().flatten().map(|e| e.token_id).collect();
+            prop_assert_eq!(store.token_ids(), model_ids);
+        }
+    }
+
+    /// The fused gather→score→softmax→weighted-sum kernel matches the naive
+    /// per-slice attention path within 1e-5 relative error.
+    #[test]
+    fn fused_attend_matches_naive(
+        dim in 2usize..10,
+        n in 1usize..16,
+        seed in 0u64..500,
+    ) {
+        use unicaim_attention::kernels::{attend_gather, RowView};
+        let keys = Matrix::random_normal(n, dim, 1.0, seed);
+        let values = Matrix::random_normal(n, dim, 1.0, seed ^ 11);
+        let query = Matrix::random_normal(1, dim, 1.0, seed ^ 22);
+        // Gather a strided subset of rows, not just a prefix.
+        let rows: Vec<usize> = (0..n).step_by(2).collect();
+        let kr: Vec<&[f32]> = rows.iter().map(|&r| keys.row(r)).collect();
+        let vr: Vec<&[f32]> = rows.iter().map(|&r| values.row(r)).collect();
+        let naive = attention_output(query.row(0), &kr, &vr);
+        let mut out = vec![0.0f32; dim];
+        let mut scratch = Vec::new();
+        attend_gather(
+            query.row(0),
+            RowView::contiguous(keys.as_slice(), dim),
+            RowView::contiguous(values.as_slice(), dim),
+            &rows,
+            1.0 / (dim as f32).sqrt(),
+            &mut scratch,
+            &mut out,
+        );
+        for (a, b) in out.iter().zip(&naive) {
+            prop_assert!(
+                (a - b).abs() <= 1e-5 * b.abs().max(1.0),
+                "fused {a} vs naive {b}"
+            );
+        }
+    }
+
+    /// Partial top-k selects exactly the same index set (and order) as a
+    /// full total-ordered sort, including under heavy score ties.
+    #[test]
+    fn partial_topk_matches_full_sort(
+        raw in proptest::collection::vec(0u8..5, 1..48),
+        k in 0usize..52,
+    ) {
+        use unicaim_attention::kernels::partial_top_k;
+        // Few distinct levels => many exact ties.
+        let values: Vec<f32> = raw.iter().map(|&v| f32::from(v) * 0.25).collect();
+        let mut full: Vec<usize> = (0..values.len()).collect();
+        full.sort_by(|&a, &b| values[b].total_cmp(&values[a]).then(a.cmp(&b)));
+        full.truncate(k);
+        prop_assert_eq!(partial_top_k(&values, k), full);
     }
 }

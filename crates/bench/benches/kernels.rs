@@ -1,9 +1,12 @@
-//! Criterion benches of the hot simulation kernels: CAM search, exact
-//! current-domain scoring, device evaluation, and ADC quantization.
+//! Criterion benches of the hot simulation kernels: the flat-layout
+//! attention kernels, CAM search, exact current-domain scoring, device
+//! evaluation, and ADC quantization.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use unicaim_analog::{SarAdc, SarAdcParams};
+use unicaim_attention::kernels::{self, RowView};
+use unicaim_attention::Matrix;
 use unicaim_core::{
     ArrayConfig, CellPrecision, KeyLevel, QueryEncoder, QueryLevel, QueryPrecision, UniCaimArray,
 };
@@ -93,8 +96,52 @@ fn bench_adc(c: &mut Criterion) {
     });
 }
 
+fn bench_flat_kernels(c: &mut Criterion) {
+    let (rows, dim, k) = (576usize, 128usize, 64usize);
+    let keys = Matrix::random_normal(rows, dim, 1.0, 11);
+    let values = Matrix::random_normal(rows, dim, 1.0, 12);
+    let q = Matrix::random_normal(1, dim, 1.0, 13);
+    let gathered: Vec<usize> = (0..k).map(|i| (i * 9) % rows).collect();
+    let scores: Vec<f32> = keys.as_slice()[..rows].to_vec();
+    let mut group = c.benchmark_group("flat_kernels");
+    group.bench_function("dot_gather/576x128/k64", |b| {
+        let mut out = vec![0.0f32; k];
+        b.iter(|| {
+            kernels::dot_gather(
+                q.row(0),
+                RowView::contiguous(keys.as_slice(), dim),
+                &gathered,
+                0.088,
+                &mut out,
+            );
+            black_box(&out);
+        });
+    });
+    group.bench_function("attend_gather/576x128/k64", |b| {
+        let mut out = vec![0.0f32; dim];
+        let mut weights = Vec::with_capacity(k);
+        b.iter(|| {
+            kernels::attend_gather(
+                q.row(0),
+                RowView::contiguous(keys.as_slice(), dim),
+                RowView::contiguous(values.as_slice(), dim),
+                &gathered,
+                0.088,
+                &mut weights,
+                &mut out,
+            );
+            black_box(&out);
+        });
+    });
+    group.bench_function("partial_top_k/576/k64", |b| {
+        b.iter(|| black_box(kernels::partial_top_k(&scores, k)));
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
+    bench_flat_kernels,
     bench_cam_search,
     bench_exact_scores,
     bench_device_vs_behavioral,

@@ -19,11 +19,14 @@
 //! observe→insert loop.
 //!
 //! Run with: `cargo run --release -p unicaim-bench --bin batch_throughput`
-//! (`--json <path>` additionally dumps machine-readable rows).
+//! (`--json <path>` additionally dumps machine-readable rows; `--baseline
+//! <path>` loads a previously saved run — e.g. the pre-refactor numbers
+//! under `results/baselines/` — and embeds it plus per-cell decode-speedup
+//! factors in the dump).
 
 use std::time::Instant;
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use unicaim_attention::workloads::{mixed_batch, DecodeWorkload};
 use unicaim_bench::{banner, dump_json, json_output_path};
 use unicaim_kvcache::{
@@ -41,8 +44,12 @@ const K: usize = 32;
 const BASE_PREFILL: usize = 192;
 /// Base decode length; the batch builder varies 1×/1.5× around it.
 const DECODE_LEN: usize = 24;
+/// Timed repetitions per (policy, batch size) cell; the reported times are
+/// medians, which keeps the decode-only estimate stable against scheduler
+/// noise in the `sim − scaffold` subtraction.
+const REPS: usize = 7;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct Row {
     policy: String,
     batch_size: usize,
@@ -93,6 +100,44 @@ fn scaffold_seconds(workloads: &[DecodeWorkload]) -> f64 {
     start.elapsed().as_secs_f64()
 }
 
+/// Median of a sample set (sorts a copy; NaN-free by construction).
+fn median(samples: &[f64]) -> f64 {
+    let mut s = samples.to_vec();
+    s.sort_by(f64::total_cmp);
+    s[s.len() / 2]
+}
+
+/// One (policy, batch size) cell's decode-throughput change vs a baseline
+/// run.
+#[derive(Debug, Serialize)]
+struct SpeedupRow {
+    policy: String,
+    batch_size: usize,
+    baseline_decode_tokens_per_sec: f64,
+    decode_tokens_per_sec: f64,
+    speedup: f64,
+}
+
+/// The full dump when a baseline is given: before, after, and the ratio.
+#[derive(Debug, Serialize)]
+struct Comparison {
+    baseline: Vec<Row>,
+    current: Vec<Row>,
+    decode_speedup: Vec<SpeedupRow>,
+}
+
+/// Parses `--baseline <path>` and loads the saved rows, if given.
+fn load_baseline() -> Option<Vec<Row>> {
+    let args: Vec<String> = std::env::args().collect();
+    let path = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| args.get(i + 1))?;
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    Some(serde_json::from_str(&text).expect("baseline rows must parse"))
+}
+
 fn main() {
     banner(
         "batch_throughput",
@@ -120,11 +165,24 @@ fn main() {
         for &batch_size in &[1usize, 2, 4, 8, 16] {
             let workloads = mixed_batch(batch_size, BASE_PREFILL, DECODE_LEN, 7);
             let config = BatchConfig::new(SHARE * batch_size, K);
-            let scaffold = scaffold_seconds(&workloads);
-            let start = Instant::now();
-            let r = simulate_batch(&workloads, &mut |i| factory(i), &config);
-            let sim = start.elapsed().as_secs_f64();
-            let decode_tokens_per_sec = r.total_steps as f64 / (sim - scaffold).max(1e-12);
+            let mut sims = Vec::with_capacity(REPS);
+            let mut scaffolds = Vec::with_capacity(REPS);
+            let mut decodes = Vec::with_capacity(REPS);
+            let mut r = None;
+            for _ in 0..REPS {
+                let scaffold = scaffold_seconds(&workloads);
+                let start = Instant::now();
+                let res = simulate_batch(&workloads, &mut |i| factory(i), &config);
+                let sim = start.elapsed().as_secs_f64();
+                sims.push(sim);
+                scaffolds.push(scaffold);
+                decodes.push((sim - scaffold).max(1e-12));
+                r = Some(res);
+            }
+            let r = r.expect("at least one repetition");
+            let sim = median(&sims);
+            let scaffold = median(&scaffolds);
+            let decode_tokens_per_sec = r.total_steps as f64 / median(&decodes);
             println!(
                 "{:<24} {:>6} {:>8} {:>9.2} {:>9.2} {:>12.0} {:>12.3} {:>9.1} {:>9}",
                 name,
@@ -161,7 +219,58 @@ fn main() {
          that the harness builds per sequence."
     );
 
-    if let Some(path) = json_output_path() {
-        dump_json(&path, &rows);
+    let baseline = load_baseline();
+    if let Some(baseline_rows) = &baseline {
+        println!("\ndecode tokens/sec vs baseline:");
+        println!(
+            "{:<24} {:>6} {:>14} {:>14} {:>9}",
+            "policy", "batch", "base-tok/s", "now-tok/s", "speedup"
+        );
+        for s in speedups(baseline_rows, &rows) {
+            println!(
+                "{:<24} {:>6} {:>14.0} {:>14.0} {:>8.2}x",
+                s.policy,
+                s.batch_size,
+                s.baseline_decode_tokens_per_sec,
+                s.decode_tokens_per_sec,
+                s.speedup
+            );
+        }
     }
+
+    if let Some(path) = json_output_path() {
+        match baseline {
+            Some(baseline_rows) => {
+                let decode_speedup = speedups(&baseline_rows, &rows);
+                dump_json(
+                    &path,
+                    &Comparison {
+                        baseline: baseline_rows,
+                        current: rows,
+                        decode_speedup,
+                    },
+                );
+            }
+            None => dump_json(&path, &rows),
+        }
+    }
+}
+
+/// Pairs up baseline and current rows by (policy, batch size).
+fn speedups(baseline: &[Row], current: &[Row]) -> Vec<SpeedupRow> {
+    current
+        .iter()
+        .filter_map(|now| {
+            let before = baseline
+                .iter()
+                .find(|b| b.policy == now.policy && b.batch_size == now.batch_size)?;
+            Some(SpeedupRow {
+                policy: now.policy.clone(),
+                batch_size: now.batch_size,
+                baseline_decode_tokens_per_sec: before.decode_tokens_per_sec,
+                decode_tokens_per_sec: now.decode_tokens_per_sec,
+                speedup: now.decode_tokens_per_sec / before.decode_tokens_per_sec.max(1e-12),
+            })
+        })
+        .collect()
 }

@@ -1,0 +1,166 @@
+//! Perf regression gate: measures the saved-baseline suites (see
+//! [`unicaim_bench::suite`]) and compares each case against the medians
+//! recorded in `results/baselines/<suite>.json`.
+//!
+//! Usage:
+//!
+//! * `bench_check --save` — run every suite and (re)write the baselines.
+//! * `bench_check [--tolerance <x>] [--suite <name>]...` — re-measure and
+//!   fail (exit 1) when any case is more than `x`× slower than its saved
+//!   baseline. The default tolerance of 4.0 is deliberately wide: saved
+//!   numbers come from whatever machine recorded them, so the gate catches
+//!   order-of-magnitude regressions (an accidentally quadratic loop, a
+//!   de-vectorized kernel), not percent-level noise.
+//! * `--baseline-dir <dir>` — read/write baselines somewhere else
+//!   (default `results/baselines`).
+//!
+//! Run with: `cargo run --release -p unicaim-bench --bin bench_check`
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use unicaim_bench::banner;
+use unicaim_bench::suite::{measure, suite, BaselineRow, SUITE_NAMES};
+
+struct Options {
+    save: bool,
+    tolerance: f64,
+    suites: Vec<String>,
+    baseline_dir: PathBuf,
+}
+
+fn parse_options() -> Options {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Options {
+        save: false,
+        tolerance: 4.0,
+        suites: Vec::new(),
+        baseline_dir: PathBuf::from("results/baselines"),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--save" => opts.save = true,
+            "--tolerance" => {
+                i += 1;
+                opts.tolerance = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--tolerance needs a numeric argument");
+            }
+            "--suite" => {
+                i += 1;
+                let name = args.get(i).expect("--suite needs a name").clone();
+                assert!(
+                    SUITE_NAMES.contains(&name.as_str()),
+                    "unknown suite `{name}` (expected one of {SUITE_NAMES:?})"
+                );
+                opts.suites.push(name);
+            }
+            "--baseline-dir" => {
+                i += 1;
+                opts.baseline_dir =
+                    PathBuf::from(args.get(i).expect("--baseline-dir needs a path"));
+            }
+            other => panic!("unknown argument `{other}`"),
+        }
+        i += 1;
+    }
+    if opts.suites.is_empty() {
+        opts.suites = SUITE_NAMES.iter().map(|&s| s.to_owned()).collect();
+    }
+    opts
+}
+
+fn baseline_path(dir: &Path, suite_name: &str) -> PathBuf {
+    dir.join(format!("{suite_name}.json"))
+}
+
+fn run_suite(suite_name: &str) -> Vec<BaselineRow> {
+    suite(suite_name)
+        .iter_mut()
+        .map(|case| {
+            let median = measure(case);
+            println!("  {:<40} {median:>14.1} ns/iter", case.name);
+            BaselineRow {
+                name: case.name.to_owned(),
+                median_ns_per_iter: median,
+            }
+        })
+        .collect()
+}
+
+fn save(opts: &Options) {
+    for suite_name in &opts.suites {
+        println!("recording suite `{suite_name}`:");
+        let rows = run_suite(suite_name);
+        unicaim_bench::dump_json(&baseline_path(&opts.baseline_dir, suite_name), &rows);
+    }
+}
+
+fn check(opts: &Options) -> bool {
+    let mut regressed = false;
+    for suite_name in &opts.suites {
+        let path = baseline_path(&opts.baseline_dir, suite_name);
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "cannot read baseline {} ({e}); record one with `bench_check --save`",
+                path.display()
+            )
+        });
+        let baseline: Vec<BaselineRow> =
+            serde_json::from_str(&text).expect("baseline JSON must parse");
+        println!("checking suite `{suite_name}` against {}:", path.display());
+        println!(
+            "  {:<40} {:>12} {:>12} {:>7}  status",
+            "case", "baseline", "fresh", "ratio"
+        );
+        for case in suite(suite_name).iter_mut() {
+            let fresh = measure(case);
+            let saved = baseline.iter().find(|row| row.name == case.name);
+            match saved {
+                None => println!(
+                    "  {:<40} {:>12} {fresh:>12.1} {:>7}  NEW (no baseline; rerun --save)",
+                    case.name, "-", "-"
+                ),
+                Some(row) => {
+                    let ratio = fresh / row.median_ns_per_iter.max(1e-9);
+                    let status = if ratio > opts.tolerance {
+                        regressed = true;
+                        "REGRESSED"
+                    } else {
+                        "ok"
+                    };
+                    println!(
+                        "  {:<40} {:>12.1} {fresh:>12.1} {ratio:>6.2}x  {status}",
+                        case.name, row.median_ns_per_iter
+                    );
+                }
+            }
+        }
+    }
+    !regressed
+}
+
+fn main() -> ExitCode {
+    let opts = parse_options();
+    banner(
+        "bench_check",
+        "Saved-baseline perf gate over the decode hot path",
+    );
+    if opts.save {
+        save(&opts);
+        return ExitCode::SUCCESS;
+    }
+    if check(&opts) {
+        println!("\nall cases within {:.1}x of baseline", opts.tolerance);
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "\nperf regression beyond {:.1}x detected (see REGRESSED rows); \
+             if intentional, refresh with `bench_check --save`",
+            opts.tolerance
+        );
+        ExitCode::FAILURE
+    }
+}

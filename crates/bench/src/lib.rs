@@ -9,6 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod suite;
+
 use std::io::Write as _;
 use std::path::PathBuf;
 

@@ -1,0 +1,325 @@
+//! The saved-baseline perf suite: named, deterministic micro/meso
+//! benchmarks of the decode hot path, measured the same way the vendored
+//! criterion measures (fixed warm-up + sample schedule, median ns/iter).
+//!
+//! Three suites mirror the three criterion bench binaries:
+//!
+//! * `kernels` — the flat-layout kernels and the CAM search underneath
+//!   `UniCaimArray::cam_top_k`;
+//! * `policies` — full software decode simulations per policy;
+//! * `experiments` — the hardware engine loop, batched decode, and the
+//!   heavier figure/table sweeps.
+//!
+//! `bench_check --save` records each case's median ns/iter to
+//! `results/baselines/<suite>.json`; a plain `bench_check` run re-measures
+//! and fails when a case regresses beyond the tolerance band. Keeping the
+//! case definitions in library code (rather than inside the criterion
+//! bench binaries) lets the regression gate and the criterion benches
+//! share one source of truth for "what is the hot path".
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+use unicaim_attention::kernels::{self, RowView};
+use unicaim_attention::workloads::{mixed_batch, needle_task};
+use unicaim_attention::{KvStore, Matrix};
+use unicaim_core::{
+    ArrayConfig, CellPrecision, EngineConfig, KeyLevel, QueryLevel, QueryPrecision, UniCaimArray,
+    UniCaimEngine,
+};
+use unicaim_kvcache::{
+    prefill_attention_matrix, simulate_batch, simulate_decode, BatchConfig, HybridStaticDynamic,
+    OracleTopK, Policy, SimConfig, StreamingLlm, H2O,
+};
+
+/// One named benchmark case.
+pub struct Case {
+    /// Stable case name (the baseline key).
+    pub name: &'static str,
+    /// Iterations per timed sample (higher for cheaper routines).
+    pub iters: u64,
+    run: Box<dyn FnMut()>,
+}
+
+impl Case {
+    fn new(name: &'static str, iters: u64, run: impl FnMut() + 'static) -> Self {
+        Self {
+            name,
+            iters,
+            run: Box::new(run),
+        }
+    }
+}
+
+/// Samples per case; the reported figure is the median.
+const SAMPLES: usize = 11;
+
+/// Measures one case: one unrecorded warm-up sample, then [`SAMPLES`]
+/// timed samples of `case.iters` iterations each, reported as the median
+/// ns/iter (the same schedule as the vendored criterion).
+pub fn measure(case: &mut Case) -> f64 {
+    for _ in 0..case.iters {
+        (case.run)();
+    }
+    let mut samples = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        for _ in 0..case.iters {
+            (case.run)();
+        }
+        samples.push(start.elapsed().as_nanos() as f64 / case.iters as f64);
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// A saved baseline entry: one case's recorded median.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaselineRow {
+    /// Case name.
+    pub name: String,
+    /// Median nanoseconds per iteration at record time.
+    pub median_ns_per_iter: f64,
+}
+
+/// The suite names, in run order.
+pub const SUITE_NAMES: [&str; 3] = ["kernels", "policies", "experiments"];
+
+/// Builds a suite by name.
+///
+/// # Panics
+///
+/// Panics on an unknown suite name (see [`SUITE_NAMES`]).
+#[must_use]
+pub fn suite(name: &str) -> Vec<Case> {
+    match name {
+        "kernels" => kernels_suite(),
+        "policies" => policies_suite(),
+        "experiments" => experiments_suite(),
+        other => panic!("unknown suite `{other}` (expected one of {SUITE_NAMES:?})"),
+    }
+}
+
+fn filled_array(rows: usize, dim: usize) -> UniCaimArray {
+    let mut array = UniCaimArray::new(ArrayConfig {
+        rows,
+        dim,
+        cell_precision: CellPrecision::ThreeBit,
+        query_precision: QueryPrecision::OneBit,
+        sigma_vth: 0.0,
+        behavioral: true,
+        ..ArrayConfig::default()
+    });
+    let levels = [
+        KeyLevel::NegOne,
+        KeyLevel::NegHalf,
+        KeyLevel::Zero,
+        KeyLevel::PosHalf,
+        KeyLevel::PosOne,
+    ];
+    for row in 0..rows {
+        let key: Vec<KeyLevel> = (0..dim).map(|d| levels[(row * 7 + d * 3) % 5]).collect();
+        array.write_row(row, row, &key).unwrap();
+    }
+    array
+}
+
+fn kernels_suite() -> Vec<Case> {
+    let dim = 128;
+    let rows = 576;
+    let k = 64;
+    let keys = Matrix::random_normal(rows, dim, 1.0, 11);
+    let values = Matrix::random_normal(rows, dim, 1.0, 12);
+    let query = Matrix::random_normal(1, dim, 1.0, 13);
+    let gathered: Vec<usize> = (0..k).map(|i| (i * 9) % rows).collect();
+    let scores: Vec<f32> = keys.as_slice()[..rows].to_vec();
+
+    let mut store = KvStore::new(96, 64);
+    let sk = Matrix::random_normal(96, 64, 1.0, 14);
+    let sv = Matrix::random_normal(96, 64, 1.0, 15);
+    for t in 0..96 {
+        store.append_parts(t * 3, sk.row(t), sv.row(t)).unwrap();
+    }
+    let sq = Matrix::random_normal(1, 64, 1.0, 16);
+
+    let mut cam = filled_array(rows, dim);
+    let cam_query: Vec<QueryLevel> = (0..dim)
+        .map(|d| [QueryLevel::NegOne, QueryLevel::Zero, QueryLevel::PosOne][(d * 5) % 3])
+        .collect();
+
+    let prefill_workload = needle_task(192, 16, 7);
+
+    vec![
+        Case::new("dot_gather/576x128/k64", 200, {
+            let keys = keys.clone();
+            let query = query.clone();
+            let gathered = gathered.clone();
+            let mut out = vec![0.0f32; k];
+            move || {
+                kernels::dot_gather(
+                    query.row(0),
+                    RowView::contiguous(keys.as_slice(), dim),
+                    &gathered,
+                    0.088,
+                    &mut out,
+                );
+                std::hint::black_box(&out);
+            }
+        }),
+        Case::new("attend_gather/576x128/k64", 200, {
+            let mut out = vec![0.0f32; dim];
+            let mut weights = Vec::with_capacity(k);
+            move || {
+                kernels::attend_gather(
+                    query.row(0),
+                    RowView::contiguous(keys.as_slice(), dim),
+                    RowView::contiguous(values.as_slice(), dim),
+                    &gathered,
+                    0.088,
+                    &mut weights,
+                    &mut out,
+                );
+                std::hint::black_box(&out);
+            }
+        }),
+        Case::new("partial_top_k/576/k64", 500, move || {
+            std::hint::black_box(kernels::partial_top_k(&scores, k));
+        }),
+        Case::new("kvstore_score_scan/96x64", 500, move || {
+            let keys = store.keys_view();
+            let mut acc = 0.0f32;
+            for (_, slot) in store.iter_tokens() {
+                acc += kernels::dot(sq.row(0), keys.row(slot));
+            }
+            std::hint::black_box(acc);
+        }),
+        Case::new("cam_top_k/576/k64", 20, move || {
+            std::hint::black_box(cam.cam_top_k(&cam_query, k).unwrap());
+        }),
+        Case::new("prefill_attention_matrix/192", 10, move || {
+            std::hint::black_box(prefill_attention_matrix(&prefill_workload));
+        }),
+    ]
+}
+
+fn policies_suite() -> Vec<Case> {
+    fn decode_case(
+        name: &'static str,
+        make: impl Fn() -> Box<dyn Policy> + 'static,
+        capacity_of: impl Fn(usize) -> usize + 'static,
+    ) -> Case {
+        let workload = needle_task(256, 32, 5);
+        Case::new(name, 10, move || {
+            let mut policy = make();
+            let cap = capacity_of(workload.total_tokens());
+            std::hint::black_box(simulate_decode(
+                &workload,
+                policy.as_mut(),
+                &SimConfig::new(cap, 32),
+            ));
+        })
+    }
+    vec![
+        decode_case(
+            "simulate_decode/hybrid",
+            || Box::new(HybridStaticDynamic::new(80, 16, 32)),
+            |_| 96,
+        ),
+        decode_case("simulate_decode/h2o", || Box::new(H2O::new(16)), |_| 96),
+        decode_case(
+            "simulate_decode/streaming",
+            || Box::new(StreamingLlm::new(4)),
+            |_| 96,
+        ),
+        decode_case(
+            "simulate_decode/oracle_topk",
+            || Box::new(OracleTopK::new()),
+            |total| total,
+        ),
+    ]
+}
+
+fn experiments_suite() -> Vec<Case> {
+    let engine_workload = needle_task(256, 32, 5);
+    let batch_workloads = mixed_batch(4, 192, 24, 7);
+    vec![
+        Case::new("unicaim_engine_run/256", 3, move || {
+            let mut engine = UniCaimEngine::new(
+                ArrayConfig {
+                    dim: engine_workload.dim,
+                    sigma_vth: 0.0,
+                    ..ArrayConfig::default()
+                },
+                EngineConfig {
+                    h: 80,
+                    m: 16,
+                    k: 32,
+                },
+            )
+            .unwrap();
+            std::hint::black_box(engine.run(&engine_workload).unwrap());
+        }),
+        Case::new("simulate_batch/4x192/hybrid", 3, move || {
+            let config = BatchConfig::new(96 * 4, 32);
+            std::hint::black_box(simulate_batch(
+                &batch_workloads,
+                &mut |_| Box::new(HybridStaticDynamic::new(80, 16, 32)),
+                &config,
+            ));
+        }),
+        Case::new("table2_aedp", 5, move || {
+            std::hint::black_box(unicaim_accel::aedp_table(&unicaim_accel::table2_workload()));
+        }),
+        Case::new("fig01_motivation", 10, move || {
+            let config = unicaim_attention::llama::LlmConfig::llama2_7b();
+            std::hint::black_box(unicaim_attention::llama::motivation_sweep(
+                &config,
+                &[1024, 4096, 16384, 65536],
+            ));
+        }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_suites_build_and_have_unique_names() {
+        let mut names = std::collections::BTreeSet::new();
+        for suite_name in SUITE_NAMES {
+            let cases = suite(suite_name);
+            assert!(!cases.is_empty());
+            for case in &cases {
+                assert!(case.iters > 0);
+                assert!(names.insert(case.name), "duplicate case {}", case.name);
+            }
+        }
+    }
+
+    #[test]
+    fn measure_returns_positive_nanoseconds() {
+        let mut case = Case::new("noop_add", 100, || {
+            std::hint::black_box(3u64 + 4);
+        });
+        let ns = measure(&mut case);
+        assert!(ns.is_finite() && ns >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown suite")]
+    fn unknown_suite_rejected() {
+        let _ = suite("nope");
+    }
+
+    #[test]
+    fn baseline_row_roundtrips_through_json() {
+        let rows = vec![BaselineRow {
+            name: "dot_gather/576x128/k64".into(),
+            median_ns_per_iter: 1234.5,
+        }];
+        let text = serde_json::to_string_pretty(&rows).unwrap();
+        let back: Vec<BaselineRow> = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, rows);
+    }
+}

@@ -3,11 +3,11 @@
 //! attention → in-slot key write), runnable over the same workloads as the
 //! software policies for cross-validation.
 
-use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 
 use serde::{Deserialize, Serialize};
 
+use unicaim_attention::kernels::{self, RowView};
 use unicaim_attention::metrics::{cosine_similarity, relative_l2_error, set_f1, Mean};
 use unicaim_attention::softmax_in_place;
 use unicaim_attention::workloads::DecodeWorkload;
@@ -99,9 +99,12 @@ pub struct HardwareRunResult {
 pub struct UniCaimEngine {
     array: UniCaimArray,
     config: EngineConfig,
-    /// Host-side value store (the UniCAIM array holds the key cache; values
-    /// are fetched only for the selected tokens).
-    values: BTreeMap<usize, Vec<f32>>,
+    /// Host-side value arena, `rows × dim` row-major, parallel to the
+    /// array's key rows (the UniCAIM array holds the key cache; values are
+    /// fetched only for the selected rows). Occupancy is tracked by the
+    /// array's row→token map; an eviction's value row is simply overwritten
+    /// by the incoming token's values.
+    values: Vec<f32>,
     query_scale_dim: f64,
 }
 
@@ -121,10 +124,11 @@ impl UniCaimEngine {
         array_config.rows = config.rows();
         let array = UniCaimArray::try_new(array_config)?;
         let query_scale_dim = (array.dim() as f64).sqrt();
+        let values = vec![0.0; array.rows() * array.dim()];
         Ok(Self {
             array,
             config,
-            values: BTreeMap::new(),
+            values,
             query_scale_dim,
         })
     }
@@ -180,10 +184,15 @@ impl UniCaimEngine {
             );
             let row = self.array.free_row().expect("prefill keep fits h rows");
             self.array.write_row_scaled(row, token, &levels, scale)?;
-            self.values
-                .insert(token, workload.prefill_values[token].clone());
+            self.write_value_row(row, &workload.prefill_values[token]);
         }
         Ok(())
+    }
+
+    /// Copies a token's values into the arena row parallel to its key row.
+    fn write_value_row(&mut self, row: usize, value: &[f32]) {
+        let dim = self.array.dim();
+        self.values[row * dim..(row + 1) * dim].copy_from_slice(value);
     }
 
     /// Executes one decode step through the three hardware modes and writes
@@ -219,47 +228,46 @@ impl UniCaimEngine {
 
         // 3. Current-domain mode: exact scores for the selected rows only.
         let level_scores = self.array.exact_scores(&q_levels, &search.selected_rows)?;
-        let mut scores: Vec<(usize, f64)> = level_scores
+        let mut scored_rows: Vec<(usize, usize, f64)> = level_scores
             .iter()
             .map(|&(row, s)| {
                 let token = self.array.token_of_row(row).expect("selected row occupied");
                 let real = s * self.array.scale_of_row(row) * q_scale / self.query_scale_dim;
-                (token, real)
+                (token, row, real)
             })
             .collect();
-        scores.sort_by_key(|&(t, _)| t);
+        scored_rows.sort_unstable_by_key(|&(t, _, _)| t);
 
-        // Attention output over the selected tokens (host-side softmax × V).
-        let mut weights: Vec<f32> = scores.iter().map(|&(_, s)| s as f32).collect();
+        // Attention output over the selected tokens: host-side softmax, then
+        // a gathered weighted sum straight over the flat value arena.
+        let mut weights: Vec<f32> = scored_rows.iter().map(|&(_, _, s)| s as f32).collect();
         softmax_in_place(&mut weights);
+        let rows: Vec<usize> = scored_rows.iter().map(|&(_, r, _)| r).collect();
         let mut output = vec![0.0f32; dim];
-        for (&(token, _), &w) in scores.iter().zip(&weights) {
-            if let Some(v) = self.values.get(&token) {
-                for (o, &x) in output.iter_mut().zip(v) {
-                    *o += w * x;
-                }
-            }
-        }
+        kernels::weighted_sum_gather(
+            &weights,
+            RowView::contiguous(&self.values, dim),
+            &rows,
+            &mut output,
+        );
 
         // 4. Insert the new token: free row, or statically evict the
-        //    charge-domain candidate and overwrite in place.
+        //    charge-domain candidate and overwrite in place (the value
+        //    arena row is overwritten along with the key row).
         let (row, evicted_token) = match self.array.free_row() {
             Some(r) => (r, None),
             None => {
                 let r = candidate_row.expect("full array has occupied rows");
-                let evicted = self.array.token_of_row(r);
-                if let Some(t) = evicted {
-                    self.values.remove(&t);
-                }
-                (r, evicted)
+                (r, self.array.token_of_row(r))
             }
         };
         let (levels, scale) = quantize_key(new_key, self.array.config().cell_precision);
         self.array
             .write_row_scaled(row, new_token, &levels, scale)?;
-        self.values.insert(new_token, new_value.to_vec());
+        self.write_value_row(row, new_value);
 
-        let selected_tokens: Vec<usize> = scores.iter().map(|&(t, _)| t).collect();
+        let selected_tokens: Vec<usize> = scored_rows.iter().map(|&(t, _, _)| t).collect();
+        let scores: Vec<(usize, f64)> = scored_rows.iter().map(|&(t, _, s)| (t, s)).collect();
         Ok(StepReport {
             selected_tokens,
             evicted_token,

@@ -1,5 +1,10 @@
 //! Policy implementations: the paper's hybrid scheme and the baselines.
+//!
+//! All score rankings in this module are total orders: [`f32::total_cmp`]
+//! with an explicit token/index tie-break, so a NaN-poisoned score makes a
+//! deterministic (if garbage) decision instead of a run-dependent one.
 
+use unicaim_attention::kernels::partial_top_k_by;
 use unicaim_attention::Matrix;
 
 use crate::policy::{accumulated_prefill_scores, top_indices_by_score, Policy, StepDecision};
@@ -12,15 +17,14 @@ fn select_all(scored: &[(usize, f32)]) -> StepDecision {
 }
 
 fn select_top_k(scored: &[(usize, f32)], k: usize) -> StepDecision {
-    let mut idx: Vec<usize> = (0..scored.len()).collect();
-    idx.sort_by(|&a, &b| {
+    // Highest score first, ties toward the lower token id; partial
+    // selection instead of sorting the whole resident set.
+    let idx = partial_top_k_by(scored.len(), k, |a, b| {
         scored[b]
             .1
-            .partial_cmp(&scored[a].1)
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&scored[a].1)
             .then(scored[a].0.cmp(&scored[b].0))
     });
-    idx.truncate(k);
     let mut selected: Vec<usize> = idx.into_iter().map(|i| scored[i].0).collect();
     selected.sort_unstable();
     StepDecision { selected }
@@ -314,9 +318,10 @@ impl Policy for BlockTopK {
             entry.0 = entry.0.max(score);
             entry.1.push(token);
         }
-        // Rank blocks by representative (max) score.
+        // Rank blocks by representative (max) score; ties break toward the
+        // lower block id (BTreeMap order), totally even under NaN.
         let mut ranked: Vec<(f32, Vec<usize>)> = blocks.into_values().collect();
-        ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        ranked.sort_by(|a, b| b.0.total_cmp(&a.0));
         let mut selected = Vec::new();
         for (_, tokens) in ranked {
             if selected.len() >= k {

@@ -103,16 +103,15 @@ pub fn accumulated_prefill_scores(attn: &Matrix, window: Option<usize>) -> Vec<f
 
 /// Keeps the `budget` highest-scoring indices (ties toward lower index),
 /// returned in ascending index order.
+///
+/// Partial selection ([`partial_top_k_by`](unicaim_attention::kernels::partial_top_k_by))
+/// under a [`f64::total_cmp`] order: O(n + k log k) instead of a full sort,
+/// and deterministic even for NaN scores.
 #[must_use]
 pub fn top_indices_by_score(scores: &[f64], budget: usize) -> Vec<usize> {
-    let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| {
-        scores[b]
-            .partial_cmp(&scores[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
+    let mut idx = unicaim_attention::kernels::partial_top_k_by(scores.len(), budget, |a, b| {
+        scores[b].total_cmp(&scores[a]).then(a.cmp(&b))
     });
-    idx.truncate(budget);
     idx.sort_unstable();
     idx
 }

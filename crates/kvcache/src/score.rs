@@ -99,29 +99,23 @@ impl ScoreTable {
 
     /// The token with the lowest accumulated score among `candidates`
     /// (ties break toward the lower token id; candidates missing from the
-    /// table count as 0).
+    /// table count as 0). Totally ordered via [`f64::total_cmp`], so a NaN
+    /// score yields a deterministic victim.
     #[must_use]
     pub fn min_among(&self, candidates: &[usize]) -> Option<usize> {
         candidates
             .iter()
             .map(|&t| (t, self.get(t).unwrap_or(0.0)))
-            .min_by(|a, b| {
-                a.1.partial_cmp(&b.1)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(a.0.cmp(&b.0))
-            })
+            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
             .map(|(t, _)| t)
     }
 
-    /// Tokens sorted by descending accumulated score (ties toward lower id).
+    /// Tokens sorted by descending accumulated score (ties toward lower id,
+    /// total order via [`f64::total_cmp`]).
     #[must_use]
     pub fn ranked_desc(&self) -> Vec<usize> {
         let mut v: Vec<(usize, f64)> = self.scores.iter().map(|(&t, &s)| (t, s)).collect();
-        v.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
-        });
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         v.into_iter().map(|(t, _)| t).collect()
     }
 }

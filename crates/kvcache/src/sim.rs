@@ -4,9 +4,10 @@
 use std::collections::BTreeSet;
 
 use serde::{Deserialize, Serialize};
+use unicaim_attention::kernels::{self, RowView};
 use unicaim_attention::metrics::{cosine_similarity, relative_l2_error, set_f1, Mean};
 use unicaim_attention::workloads::DecodeWorkload;
-use unicaim_attention::{attention_output, softmax_in_place, KvEntry, KvStore, Matrix};
+use unicaim_attention::{softmax_in_place, KvStore, Matrix};
 
 use crate::policy::Policy;
 
@@ -118,6 +119,16 @@ pub(crate) struct DecodeState<'w> {
     store: KvStore,
     reference: Vec<Vec<f32>>,
     salient_universe: BTreeSet<usize>,
+    /// `1/√dim`, the attention score scale.
+    inv_sqrt_dim: f32,
+    // Reused per-step scratch buffers: the steady-state decode step is
+    // allocation-free (see the `kernels` module docs).
+    scored: Vec<(usize, f32)>,
+    sel_slots: Vec<usize>,
+    weights: Vec<f32>,
+    output: Vec<f32>,
+    observed: Vec<(usize, f32)>,
+    resident_scratch: Vec<usize>,
     cos: Mean,
     rel: Mean,
     recall: Mean,
@@ -146,11 +157,7 @@ impl<'w> DecodeState<'w> {
         let mut store = KvStore::new(config.capacity, dim);
         for &t in &keep {
             store
-                .append(KvEntry {
-                    token_id: t,
-                    key: workload.prefill_keys[t].clone(),
-                    value: workload.prefill_values[t].clone(),
-                })
+                .append_parts(t, &workload.prefill_keys[t], &workload.prefill_values[t])
                 .expect("prefill keep set must fit the cache capacity");
         }
         let salient_universe: BTreeSet<usize> = workload
@@ -164,6 +171,13 @@ impl<'w> DecodeState<'w> {
             store,
             reference: workload.full_attention_reference(),
             salient_universe,
+            inv_sqrt_dim: 1.0 / (dim as f32).sqrt(),
+            scored: Vec::with_capacity(config.capacity),
+            sel_slots: Vec::with_capacity(config.capacity),
+            weights: Vec::with_capacity(config.capacity),
+            output: vec![0.0; dim],
+            observed: Vec::with_capacity(config.capacity),
+            resident_scratch: Vec::with_capacity(config.capacity),
             cos: Mean::new(),
             rel: Mean::new(),
             recall: Mean::new(),
@@ -193,29 +207,42 @@ impl<'w> DecodeState<'w> {
     /// that is not resident.
     pub(crate) fn step(&mut self, policy: &mut dyn Policy, step: usize) {
         let workload = self.workload;
-        let dim = workload.dim;
         let prefill_len = workload.prefill_keys.len();
         let query = &workload.decode_queries[step];
 
-        // 1. Score every resident token.
-        let mut scored: Vec<(usize, f32)> = self
-            .store
-            .iter()
-            .map(|(_, e)| (e.token_id, Matrix::dot(query, &e.key) / (dim as f32).sqrt()))
-            .collect();
-        scored.sort_by_key(|&(t, _)| t);
-        self.n_resident.push(scored.len() as f64);
+        // 1. Score every resident token: one strided pass over the key
+        //    arena, already in the ascending-token order the contract
+        //    guarantees (no per-step sort).
+        self.scored.clear();
+        let keys = self.store.keys_view();
+        for (token, slot) in self.store.iter_tokens() {
+            self.scored.push((
+                token,
+                kernels::dot(query, keys.row(slot)) * self.inv_sqrt_dim,
+            ));
+        }
+        self.n_resident.push(self.scored.len() as f64);
 
         // 2. Dynamic selection.
-        let decision = policy.select(step, &scored, self.config.k);
+        let decision = policy.select(step, &self.scored, self.config.k);
         self.n_selected.push(decision.selected.len() as f64);
 
-        // 3. Exact attention over the selection.
-        let output = attention_over(&self.store, &decision.selected, query);
+        // 3. Exact attention over the selection: gather slots, then the
+        //    fused score→softmax→weighted-sum kernel over the arenas.
+        gather_selected_slots(&self.store, &decision.selected, &mut self.sel_slots);
+        kernels::attend_gather(
+            query,
+            self.store.keys_view(),
+            self.store.values_view(),
+            &self.sel_slots,
+            self.inv_sqrt_dim,
+            &mut self.weights,
+            &mut self.output,
+        );
         self.cos
-            .push(cosine_similarity(&output, &self.reference[step]));
+            .push(cosine_similarity(&self.output, &self.reference[step]));
         self.rel
-            .push(relative_l2_error(&output, &self.reference[step]));
+            .push(relative_l2_error(&self.output, &self.reference[step]));
 
         // 4. Salience metrics at answer steps.
         let salient = &workload.salient_at[step];
@@ -233,37 +260,40 @@ impl<'w> DecodeState<'w> {
 
         // 5. Observe weights over all residents (charge-domain accumulation
         //    sees every row).
-        let mut weights: Vec<f32> = scored.iter().map(|&(_, s)| s).collect();
-        softmax_in_place(&mut weights);
-        let observed: Vec<(usize, f32)> = scored
-            .iter()
-            .map(|&(t, _)| t)
-            .zip(weights.iter().copied())
-            .collect();
-        policy.observe(step, &observed);
+        self.weights.clear();
+        self.weights.extend(self.scored.iter().map(|&(_, s)| s));
+        softmax_in_place(&mut self.weights);
+        self.observed.clear();
+        self.observed.extend(
+            self.scored
+                .iter()
+                .map(|&(t, _)| t)
+                .zip(self.weights.iter().copied()),
+        );
+        policy.observe(step, &self.observed);
 
-        // 6. Insert the newly generated token, evicting on overflow.
+        // 6. Insert the newly generated token, evicting on overflow. The
+        //    key/value slices are copied straight into the arenas.
         let new_token = prefill_len + step;
-        let entry = KvEntry {
-            token_id: new_token,
-            key: workload.decode_keys[step].clone(),
-            value: workload.decode_values[step].clone(),
-        };
+        let new_key = &workload.decode_keys[step];
+        let new_value = &workload.decode_values[step];
         if let Some(slot) = self.store.first_free_slot() {
-            self.store.write_slot(slot, entry).expect("slot in range");
+            self.store
+                .write_slot_parts(slot, new_token, new_key, new_value)
+                .expect("slot in range");
             policy.note_inserted(new_token);
         } else {
-            let resident: Vec<usize> = {
-                let mut r = self.store.token_ids();
-                r.sort_unstable();
-                r
-            };
-            if let Some(victim) = policy.evict(step, &resident) {
+            self.resident_scratch.clear();
+            self.resident_scratch
+                .extend(self.store.iter_tokens().map(|(t, _)| t));
+            if let Some(victim) = policy.evict(step, &self.resident_scratch) {
                 let slot = self
                     .store
                     .slot_of_token(victim)
                     .expect("policy must evict a resident token");
-                self.store.write_slot(slot, entry).expect("slot in range");
+                self.store
+                    .write_slot_parts(slot, new_token, new_key, new_value)
+                    .expect("slot in range");
                 policy.note_inserted(new_token);
             }
             // None: the incoming token is dropped (policy refused to evict).
@@ -290,30 +320,37 @@ impl<'w> DecodeState<'w> {
 
 /// The causal prefill attention-probability matrix of a workload (what the
 /// prefill static-pruning stage ranks tokens with).
+///
+/// The prompt keys are flattened into a contiguous arena once, then every
+/// query row runs a strided [`kernels::dot_prefix`] pass — the pre-refactor
+/// version chased one heap allocation per key per query.
 #[must_use]
 pub fn prefill_attention_matrix(workload: &DecodeWorkload) -> Matrix {
     let seq = workload.prefill_keys.len();
-    let dim = workload.dim as f32;
-    let mut rows = Vec::with_capacity(seq);
+    let dim = workload.dim;
+    let scale = 1.0 / (dim as f32).sqrt();
+    let mut arena = Vec::with_capacity(seq * dim);
+    for k in &workload.prefill_keys {
+        arena.extend_from_slice(k);
+    }
+    let keys = RowView::contiguous(&arena, dim);
+    let mut probs = Matrix::zeros(seq, seq);
     for t in 0..seq {
         let q = &workload.prefill_queries[t];
-        let mut row = vec![0.0f32; seq];
-        for (slot, key) in row.iter_mut().zip(&workload.prefill_keys).take(t + 1) {
-            *slot = Matrix::dot(q, key) / dim.sqrt();
-        }
-        // Mask the future by excluding it from the softmax.
-        let (past, _) = row.split_at_mut(t + 1);
-        softmax_in_place(past);
-        rows.push(row);
+        let row = probs.row_mut(t);
+        // Mask the future by excluding it from the scores and the softmax.
+        kernels::dot_prefix(q, keys, scale, &mut row[..t + 1]);
+        softmax_in_place(&mut row[..t + 1]);
     }
-    Matrix::from_rows(&rows)
+    probs
 }
 
 /// Exact attention over the `selected` resident tokens of `store`.
 ///
 /// An empty selection returns a deterministic zero vector of the store's
 /// dimension (the pruned model attends to nothing, so it contributes
-/// nothing).
+/// nothing). Runs the fused [`kernels::attend_gather`] kernel over the
+/// store's flat key/value arenas.
 ///
 /// # Panics
 ///
@@ -323,23 +360,44 @@ pub fn prefill_attention_matrix(workload: &DecodeWorkload) -> Matrix {
 /// policy behind quietly degraded fidelity metrics.
 #[must_use]
 pub fn attention_over(store: &KvStore, selected: &[usize], query: &[f32]) -> Vec<f32> {
+    let mut out = vec![0.0; store.dim()];
     if selected.is_empty() {
-        return vec![0.0; store.dim()];
+        return out;
     }
-    let mut keys: Vec<&[f32]> = Vec::with_capacity(selected.len());
-    let mut values: Vec<&[f32]> = Vec::with_capacity(selected.len());
+    let mut slots = Vec::with_capacity(selected.len());
+    gather_selected_slots(store, selected, &mut slots);
+    let scale = 1.0 / (query.len() as f32).sqrt();
+    let mut weights = Vec::with_capacity(slots.len());
+    kernels::attend_gather(
+        query,
+        store.keys_view(),
+        store.values_view(),
+        &slots,
+        scale,
+        &mut weights,
+        &mut out,
+    );
+    out
+}
+
+/// Resolves a policy's selection to physical slots (shared by the per-step
+/// core and [`attention_over`], so the residency contract is enforced — and
+/// worded — in exactly one place).
+///
+/// # Panics
+///
+/// Panics if a selected token is not resident (see the harness↔policy
+/// contract on [`Policy`]).
+fn gather_selected_slots(store: &KvStore, selected: &[usize], slots: &mut Vec<usize>) {
+    slots.clear();
     for &t in selected {
-        let slot = store.slot_of_token(t).unwrap_or_else(|| {
+        slots.push(store.slot_of_token(t).unwrap_or_else(|| {
             panic!(
                 "policy selected token {t}, which is not resident \
                  (selections must be a subset of the scored resident set)"
             )
-        });
-        let e = store.slot(slot).expect("occupied");
-        keys.push(&e.key);
-        values.push(&e.value);
+        }));
     }
-    attention_output(query, &keys, &values)
 }
 
 #[cfg(test)]
@@ -347,6 +405,7 @@ mod tests {
     use super::*;
     use crate::policies::{FullCache, HybridStaticDynamic, OracleTopK, SnapKv, StreamingLlm, H2O};
     use unicaim_attention::workloads::{multi_hop_task, needle_task, summary_task};
+    use unicaim_attention::KvEntry;
 
     #[test]
     fn full_cache_is_exact() {

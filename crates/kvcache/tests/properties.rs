@@ -230,6 +230,54 @@ proptest! {
         }
     }
 
+    /// The partial-selection top-k inside `select()` picks exactly the set
+    /// a full total-ordered sort would pick — including under heavy score
+    /// ties — for every top-k-selecting policy.
+    #[test]
+    fn policy_topk_selection_matches_full_sort(
+        raw in proptest::collection::vec((0usize..64, 0u8..4), 1..40),
+        k in 1usize..48,
+    ) {
+        // Few distinct score levels force ties; distinct ascending tokens
+        // mirror the harness contract ("scored" is ascending-token order).
+        let mut scored: Vec<(usize, f32)> = {
+            let mut seen = std::collections::BTreeMap::new();
+            for (t, lvl) in raw {
+                seen.entry(t).or_insert(f32::from(lvl) * 0.25);
+            }
+            seen.into_iter().collect()
+        };
+        scored.sort_by_key(|&(t, _)| t);
+
+        // Reference: full sort by (score desc, token asc), truncate, sort.
+        let mut full = scored.clone();
+        full.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        full.truncate(k);
+        let mut expected: Vec<usize> = full.into_iter().map(|(t, _)| t).collect();
+        expected.sort_unstable();
+
+        let mut oracle = OracleTopK::new();
+        prop_assert_eq!(&oracle.select(0, &scored, k).selected, &expected);
+        // Hybrid's own k is set to the test k so the cap does not bind.
+        let mut hybrid = HybridStaticDynamic::new(8, 4, k);
+        prop_assert_eq!(&hybrid.select(0, &scored, k).selected, &expected);
+    }
+
+    /// `top_indices_by_score` (the prefill static-pruning ranking) equals a
+    /// full total-ordered sort under ties.
+    #[test]
+    fn top_indices_matches_full_sort(
+        raw in proptest::collection::vec(0u8..4, 1..40),
+        budget in 0usize..44,
+    ) {
+        let scores: Vec<f64> = raw.iter().map(|&v| f64::from(v) * 0.5).collect();
+        let mut idx: Vec<usize> = (0..scores.len()).collect();
+        idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+        idx.truncate(budget);
+        idx.sort_unstable();
+        prop_assert_eq!(unicaim_kvcache::top_indices_by_score(&scores, budget), idx);
+    }
+
     /// A batch of size 1 is bit-identical to `simulate_decode`, for every
     /// shipped policy — the invariant that forces the two drivers to share
     /// one per-step core.

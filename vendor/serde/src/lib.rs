@@ -3,8 +3,9 @@
 //! The build environment has no network access to a crates registry, so the
 //! workspace vendors the slice of serde it uses: a structural [`Serialize`]
 //! trait producing a JSON-like [`Value`] tree (rendered by the vendored
-//! `serde_json`), a [`Deserialize`] marker trait, and the derive macros
-//! re-exported from the vendored `serde_derive`.
+//! `serde_json`), a structural [`Deserialize`] trait reconstructing values
+//! from a [`Value`] tree (parsed by the vendored `serde_json`), and the
+//! derive macros re-exported from the vendored `serde_derive`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,17 +35,166 @@ pub enum Value {
     Object(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// A short label for error messages.
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// The object entries, if this value is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this value is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this value is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric contents widened to `f64` (integers included).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Float(x) => Some(x),
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            _ => None,
+        }
+    }
+
+    /// The integral contents as `u64`, if non-negative and integral.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(u) => Some(u),
+            Value::Int(i) => u64::try_from(i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The integral contents as `i64`.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(i) => Some(i),
+            Value::UInt(u) => i64::try_from(u).ok(),
+            _ => None,
+        }
+    }
+
+    /// The boolean contents, if this value is a bool.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Looks up an object field by key (first match, as serde_json does).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|entries| entries.iter().find(|(k, _)| k == key))
+            .map(|(_, v)| v)
+    }
+}
+
 /// Structural serialization into a [`Value`] tree.
 pub trait Serialize {
     /// Converts `self` into a [`Value`].
     fn to_value(&self) -> Value;
 }
 
-/// Marker trait for deserializable types.
+/// A deserialization failure: what was expected and what was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error from a message.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// The standard "expected X, found Y" error for a mismatched [`Value`].
+    #[must_use]
+    pub fn expected(what: &str, found: &Value) -> Self {
+        Self::new(format!("expected {what}, found {}", found.kind()))
+    }
+
+    /// The error message.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Structural deserialization from a [`Value`] tree.
 ///
-/// The workspace currently only writes JSON (results dumps); this trait
-/// exists so `#[derive(Deserialize)]` compiles and records the intent.
-pub trait Deserialize: Sized {}
+/// Mirrors [`Serialize`]'s encoding exactly, so any value round-trips
+/// through `to_value` → `from_value` (and therefore through the vendored
+/// `serde_json`'s text rendering and parsing).
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the value tree does not match `Self`'s
+    /// encoding.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+/// Looks up the field `name` in a struct's object entries (helper for the
+/// derived [`Deserialize`] impls).
+///
+/// # Errors
+///
+/// Returns [`DeError`] when the field is missing.
+pub fn object_field<'v>(entries: &'v [(String, Value)], name: &str) -> Result<&'v Value, DeError> {
+    entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::new(format!("missing field `{name}`")))
+}
 
 impl Serialize for Value {
     fn to_value(&self) -> Value {
@@ -252,6 +402,253 @@ impl<K: MapKey, V: Serialize> Serialize for HashMap<K, V> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Deserialize impls, mirroring the Serialize encodings above.
+// ---------------------------------------------------------------------------
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_bool()
+            .ok_or_else(|| DeError::expected("bool", value))
+    }
+}
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let i = value
+                    .as_i64()
+                    .or_else(|| value.as_u64().and_then(|u| i64::try_from(u).ok()))
+                    .ok_or_else(|| DeError::expected("integer", value))?;
+                <$t>::try_from(i).map_err(|_| {
+                    DeError::new(format!(
+                        "integer {i} out of range for {}", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_deserialize_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_deserialize_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let u = value
+                    .as_u64()
+                    .ok_or_else(|| DeError::expected("unsigned integer", value))?;
+                <$t>::try_from(u).map_err(|_| {
+                    DeError::new(format!(
+                        "integer {u} out of range for {}", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_deserialize_uint!(u8, u16, u32, u64, usize);
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_f64()
+            .ok_or_else(|| DeError::expected("number", value))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        f64::from_value(value).map(|x| x as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError::expected("string", value))
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| DeError::expected("single-character string", value))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::new(format!(
+                "expected single-character string, found {s:?}"
+            ))),
+        }
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(()),
+            other => Err(DeError::expected("null", other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+fn array_items(value: &Value) -> Result<&[Value], DeError> {
+    value
+        .as_array()
+        .ok_or_else(|| DeError::expected("array", value))
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        array_items(value)?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        array_items(value)?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        array_items(value)?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Deserialize + Ord + std::hash::Hash> Deserialize for HashSet<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        array_items(value)?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items = array_items(value)?;
+        if items.len() != N {
+            return Err(DeError::new(format!(
+                "expected array of {N} elements, found {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| DeError::new("array length changed during parse"))
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($(($($name:ident : $idx:tt),+; $len:expr)),*) => {$(
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let items = array_items(value)?;
+                if items.len() != $len {
+                    return Err(DeError::new(format!(
+                        "expected tuple of {} elements, found {}",
+                        $len,
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_deserialize_tuple!(
+    (A: 0; 1),
+    (A: 0, B: 1; 2),
+    (A: 0, B: 1, C: 2; 3),
+    (A: 0, B: 1, C: 2, D: 3; 4)
+);
+
+/// Map key types reconstructible from a JSON object key (the inverse of
+/// [`MapKey`]).
+pub trait FromMapKey: Sized {
+    /// Parses a map key from its string form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the key does not parse.
+    fn from_key(key: &str) -> Result<Self, DeError>;
+}
+
+impl FromMapKey for String {
+    fn from_key(key: &str) -> Result<Self, DeError> {
+        Ok(key.to_owned())
+    }
+}
+
+macro_rules! impl_from_map_key_parse {
+    ($($t:ty),*) => {$(
+        impl FromMapKey for $t {
+            fn from_key(key: &str) -> Result<Self, DeError> {
+                key.parse().map_err(|_| {
+                    DeError::new(format!(
+                        "map key {key:?} does not parse as {}", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_from_map_key_parse!(bool, char, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+fn object_entries(value: &Value) -> Result<&[(String, Value)], DeError> {
+    value
+        .as_object()
+        .ok_or_else(|| DeError::expected("object", value))
+}
+
+impl<K: FromMapKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        object_entries(value)?
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<K: FromMapKey + Ord + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        object_entries(value)?
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,5 +664,47 @@ mod tests {
             Value::Array(vec![Value::UInt(1), Value::UInt(2)])
         );
         assert_eq!(Option::<u8>::None.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn primitives_roundtrip_through_value() {
+        fn roundtrip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(x: T) {
+            assert_eq!(T::from_value(&x.to_value()).unwrap(), x);
+        }
+        roundtrip(true);
+        roundtrip(-42i32);
+        roundtrip(99usize);
+        roundtrip(1.25f64);
+        roundtrip(String::from("hé\"llo"));
+        roundtrip(Some(7u8));
+        roundtrip(Option::<u8>::None);
+        roundtrip(vec![1.0f32, -2.5]);
+        roundtrip((1usize, 0.5f64));
+        roundtrip([3u8, 2, 1]);
+        let mut map = BTreeMap::new();
+        map.insert(5usize, 0.25f64);
+        roundtrip(map);
+        let set: BTreeSet<usize> = [3, 1, 4].into_iter().collect();
+        roundtrip(set);
+    }
+
+    #[test]
+    fn deserialize_reports_mismatches() {
+        assert!(u32::from_value(&Value::String("x".into())).is_err());
+        assert!(u32::from_value(&Value::Int(-1)).is_err());
+        assert!(u8::from_value(&Value::UInt(300)).is_err());
+        assert!(String::from_value(&Value::Null).is_err());
+        assert!(Vec::<u8>::from_value(&Value::Bool(true)).is_err());
+        let err = bool::from_value(&Value::UInt(1)).unwrap_err();
+        assert!(err.message().contains("expected bool"));
+    }
+
+    #[test]
+    fn numbers_widen_and_narrow_sensibly() {
+        // Integral JSON numbers deserialize into float fields.
+        assert_eq!(f64::from_value(&Value::Int(-3)).unwrap(), -3.0);
+        assert_eq!(f32::from_value(&Value::UInt(7)).unwrap(), 7.0);
+        // usize accepts a positive Int (the parser's natural integer type).
+        assert_eq!(usize::from_value(&Value::Int(12)).unwrap(), 12);
     }
 }

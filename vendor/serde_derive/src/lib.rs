@@ -290,6 +290,110 @@ fn serialize_impl(item: &Item) -> String {
     }
 }
 
+fn deserialize_impl(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = deserialize_fields(name, name, fields, "value");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n    \
+                 fn from_value(value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n        \
+                 {body}\n    }}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = Vec::new();
+            let mut data_arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => unit_arms.push(format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn})"
+                    )),
+                    fields => {
+                        let body =
+                            deserialize_fields(&format!("{name}::{vn}"), vn, fields, "payload");
+                        data_arms.push(format!("\"{vn}\" => {{ {body} }}"));
+                    }
+                }
+            }
+            // Unit variants are encoded as a bare string; data variants as a
+            // single-entry object {variant: payload} (see serialize_impl).
+            // Each arm carries its own trailing comma so empty arm lists
+            // still produce valid matches (the `other` fallback closes both).
+            let unit_arms: String = unit_arms.iter().map(|a| format!("{a},\n")).collect();
+            let data_arms: String = data_arms.iter().map(|a| format!("{a},\n")).collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n    \
+                 fn from_value(value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n        \
+                 match value {{\n            \
+                 ::serde::Value::String(s) => match s.as_str() {{\n                \
+                 {unit_arms}\
+                 other => ::std::result::Result::Err(::serde::DeError::new(\
+                 ::std::format!(\"unknown variant `{{other}}` of enum `{name}`\")))\n            \
+                 }},\n            \
+                 ::serde::Value::Object(entries) if entries.len() == 1 => {{\n                \
+                 let (variant, payload) = &entries[0];\n                \
+                 match variant.as_str() {{\n                    \
+                 {data_arms}\
+                 other => ::std::result::Result::Err(::serde::DeError::new(\
+                 ::std::format!(\"unknown variant `{{other}}` of enum `{name}`\")))\n                \
+                 }}\n            \
+                 }},\n            \
+                 other => ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"enum `{name}`\", other))\n        \
+                 }}\n    }}\n}}"
+            )
+        }
+    }
+}
+
+/// Generates the body reconstructing `constructor { fields }` from the
+/// expression `source` (a `&Value`), mirroring `serialize_impl`'s encoding:
+/// named fields from an object, tuple fields from an array, unit from null.
+fn deserialize_fields(constructor: &str, display: &str, fields: &Fields, source: &str) -> String {
+    match fields {
+        Fields::Unit => format!(
+            "match {source} {{ \
+             ::serde::Value::Null => ::std::result::Result::Ok({constructor}), \
+             other => ::std::result::Result::Err(\
+             ::serde::DeError::expected(\"null for `{display}`\", other)) }}"
+        ),
+        Fields::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "{{ let items = {source}.as_array().ok_or_else(|| \
+                 ::serde::DeError::expected(\"array for `{display}`\", {source}))?;\n        \
+                 if items.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::DeError::new(::std::format!(\
+                 \"expected {n} elements for `{display}`, found {{}}\", items.len()))); }}\n        \
+                 ::std::result::Result::Ok({constructor}({elems})) }}",
+                elems = elems.join(", ")
+            )
+        }
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::object_field(entries, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "{{ let entries = {source}.as_object().ok_or_else(|| \
+                 ::serde::DeError::expected(\"object for `{display}`\", {source}))?;\n        \
+                 ::std::result::Result::Ok({constructor} {{ {inits} }}) }}",
+                inits = inits.join(", ")
+            )
+        }
+    }
+}
+
 fn compile_error(msg: &str) -> TokenStream {
     format!("compile_error!({msg:?});")
         .parse()
@@ -308,18 +412,14 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     }
 }
 
-/// Derives the vendored `serde::Deserialize` marker trait.
+/// Derives the vendored `serde::Deserialize` (structural reconstruction
+/// from a `serde::Value`, the exact inverse of the derived `Serialize`).
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     match parse_item(input) {
-        Ok(item) => {
-            let name = match &item {
-                Item::Struct { name, .. } | Item::Enum { name, .. } => name,
-            };
-            format!("impl ::serde::Deserialize for {name} {{}}")
-                .parse()
-                .expect("generated Deserialize impl")
-        }
+        Ok(item) => deserialize_impl(&item)
+            .parse()
+            .expect("generated Deserialize impl"),
         Err(msg) => compile_error(&msg),
     }
 }

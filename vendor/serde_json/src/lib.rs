@@ -1,17 +1,19 @@
-//! Vendored minimal JSON writer over the workspace's `serde` facade.
+//! Vendored minimal JSON reader/writer over the workspace's `serde` facade.
 //!
-//! Supports the only operations the workspace performs: rendering a
-//! [`serde::Serialize`] value to compact or pretty JSON text.
+//! Supports the operations the workspace performs: rendering a
+//! [`serde::Serialize`] value to compact or pretty JSON text, and parsing
+//! JSON text back into a [`serde::Value`] tree or any
+//! [`serde::Deserialize`] type (used by `bench_check` and the perf
+//! tooling to load saved baselines).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::{Serialize, Value};
+use serde::{Deserialize, Serialize, Value};
 use std::fmt::Write as _;
 
-/// Serialization error (currently only non-finite floats at the top of a
-/// numeric position are tolerated, so this is uninhabited in practice but
-/// kept for API compatibility).
+/// Serialization/deserialization error with a human-readable description
+/// (parse errors include the byte offset).
 #[derive(Debug)]
 pub struct Error(String);
 
@@ -144,6 +146,274 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
     Ok(out)
 }
 
+// ---------------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------------
+
+/// Recursive-descent JSON parser over the input bytes.
+struct Parser<'s> {
+    bytes: &'s [u8],
+    pos: usize,
+}
+
+impl<'s> Parser<'s> {
+    fn new(text: &'s str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: impl std::fmt::Display) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => {
+                if self.eat_literal("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            Some(b't') => {
+                if self.eat_literal("true") {
+                    Ok(Value::Bool(true))
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            Some(b'f') => {
+                if self.eat_literal("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            Some(c) => Err(self.err(format!("unexpected byte `{}`", c as char))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Copy unescaped UTF-8 runs wholesale.
+            while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\') {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: a second \uXXXX must follow.
+                                if !(self.eat_literal("\\u")) {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                let lo = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid unicode escape"))?,
+                            );
+                        }
+                        other => {
+                            return Err(self.err(format!("unknown escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        let digits = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| self.err("truncated unicode escape"))?;
+        let s = std::str::from_utf8(digits).map_err(|_| self.err("invalid unicode escape"))?;
+        let code = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid unicode escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number token is UTF-8");
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.err(format!("invalid number `{text}`")))
+    }
+}
+
+/// Parses JSON text into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns [`Error`] (with the byte offset) for malformed JSON or trailing
+/// non-whitespace input.
+pub fn value_from_str(text: &str) -> Result<Value, Error> {
+    let mut parser = Parser::new(text);
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.err("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+/// Parses JSON text into any [`serde::Deserialize`] type.
+///
+/// # Errors
+///
+/// Returns [`Error`] for malformed JSON or a value tree that does not match
+/// `T`'s encoding.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = value_from_str(text)?;
+    T::from_value(&value).map_err(|e| Error(e.message().to_owned()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,5 +445,88 @@ mod tests {
     fn strings_escape() {
         let s = to_string(&"a\"b\\c\n").unwrap();
         assert_eq!(s, r#""a\"b\\c\n""#);
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(value_from_str("null").unwrap(), Value::Null);
+        assert_eq!(value_from_str("true").unwrap(), Value::Bool(true));
+        assert_eq!(value_from_str("-42").unwrap(), Value::Int(-42));
+        assert_eq!(
+            value_from_str("18446744073709551615").unwrap(),
+            Value::UInt(u64::MAX)
+        );
+        assert_eq!(value_from_str("1.5e3").unwrap(), Value::Float(1500.0));
+        assert_eq!(
+            value_from_str(r#""a\nbé😀""#).unwrap(),
+            Value::String("a\nbé😀".into())
+        );
+    }
+
+    #[test]
+    fn parses_nested_containers() {
+        let v = value_from_str(r#" { "xs": [1, 2.5, "three"], "empty": {} } "#).unwrap();
+        assert_eq!(
+            v,
+            Value::Object(vec![
+                (
+                    "xs".into(),
+                    Value::Array(vec![
+                        Value::Int(1),
+                        Value::Float(2.5),
+                        Value::String("three".into()),
+                    ])
+                ),
+                ("empty".into(), Value::Object(vec![])),
+            ])
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(value_from_str("").is_err());
+        assert!(value_from_str("{").is_err());
+        assert!(value_from_str("[1,]").is_err());
+        assert!(value_from_str("nul").is_err());
+        assert!(value_from_str(r#""unterminated"#).is_err());
+        assert!(value_from_str("1 2").is_err(), "trailing input rejected");
+        let err = value_from_str("[true, nope]").unwrap_err();
+        assert!(err.to_string().contains("at byte"));
+    }
+
+    #[test]
+    fn rendering_roundtrips_through_parser() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::String("bench/case\n".into())),
+            ("median".into(), Value::Float(123.75)),
+            ("count".into(), Value::UInt(11)),
+            ("neg".into(), Value::Int(-3)),
+            (
+                "nested".into(),
+                Value::Array(vec![Value::Null, Value::Bool(false)]),
+            ),
+        ]);
+        // Int/UInt distinction is not preserved for values that fit i64
+        // (the parser prefers Int), so compare through a normalizing lens.
+        fn norm(v: &Value) -> Value {
+            match v {
+                Value::UInt(u) if *u <= i64::MAX as u64 => Value::Int(*u as i64),
+                Value::Array(xs) => Value::Array(xs.iter().map(norm).collect()),
+                Value::Object(es) => {
+                    Value::Object(es.iter().map(|(k, x)| (k.clone(), norm(x))).collect())
+                }
+                other => other.clone(),
+            }
+        }
+        for text in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            assert_eq!(norm(&value_from_str(&text).unwrap()), norm(&v));
+        }
+    }
+
+    #[test]
+    fn typed_from_str_uses_deserialize() {
+        let rows: Vec<(String, f64)> = from_str(r#"[["a", 1.5], ["b", 2.0]]"#).unwrap();
+        assert_eq!(rows, vec![("a".into(), 1.5), ("b".into(), 2.0)]);
+        assert!(from_str::<Vec<u32>>("[1, -2]").is_err());
     }
 }
