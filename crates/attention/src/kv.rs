@@ -45,7 +45,7 @@ pub struct KvEntry {
 }
 
 /// A fixed-capacity KV cache addressed by physical slot, stored as a
-/// structure of arrays (see the [module docs](self)).
+/// structure of arrays (see the `kv` module docs).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct KvStore {
     dim: usize,

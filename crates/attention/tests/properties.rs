@@ -263,3 +263,17 @@ proptest! {
         prop_assert_eq!(partial_top_k(&values, k), full);
     }
 }
+
+/// The KV store (and the types that cross the serving API with it) must be
+/// `Send + Sync`: the kvcache worker-pool scheduler moves per-sequence
+/// sessions — each owning a `KvStore` — across threads, and workloads are
+/// shared by reference. The store is plain owned data (flat arenas + a
+/// `BTreeMap` index), so this is a compile-time audit, not a runtime cost.
+#[test]
+fn kv_store_and_workloads_are_send_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<unicaim_attention::KvStore>();
+    assert_send_sync::<unicaim_attention::KvEntry>();
+    assert_send_sync::<unicaim_attention::AttentionError>();
+    assert_send_sync::<unicaim_attention::workloads::DecodeWorkload>();
+}

@@ -5,42 +5,33 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use unicaim_attention::workloads::needle_task;
 use unicaim_core::{ArrayConfig, EngineConfig, UniCaimEngine};
-use unicaim_kvcache::{
-    simulate_decode, FullCache, HybridStaticDynamic, OracleTopK, Policy, SimConfig, SnapKv,
-    StreamingLlm, H2O,
-};
-
-type PolicyFactory = Box<dyn Fn() -> Box<dyn Policy>>;
+use unicaim_kvcache::{simulate_decode, PolicySpec, SimConfig};
 
 fn bench_policy_decode(c: &mut Criterion) {
     let workload = needle_task(256, 32, 5);
     let capacity = 96;
     let mut group = c.benchmark_group("policy_decode");
-    let factories: Vec<(&str, PolicyFactory)> = vec![
-        ("full", Box::new(|| Box::new(FullCache::new()))),
-        (
-            "hybrid",
-            Box::new(move || Box::new(HybridStaticDynamic::new(80, 16, 32))),
-        ),
-        ("snapkv", Box::new(|| Box::new(SnapKv::new(16)))),
-        ("streaming", Box::new(|| Box::new(StreamingLlm::new(4)))),
-        ("h2o", Box::new(|| Box::new(H2O::new(16)))),
-        ("oracle_topk", Box::new(|| Box::new(OracleTopK::new()))),
+    let specs: Vec<(&str, PolicySpec)> = vec![
+        ("full", PolicySpec::Full),
+        ("hybrid", PolicySpec::hybrid_for_share(96, 16, 32)),
+        ("snapkv", PolicySpec::SnapKv { obs_window: 16 }),
+        ("streaming", PolicySpec::StreamingLlm { n_sinks: 4 }),
+        ("h2o", PolicySpec::H2O { recent_budget: 16 }),
+        ("oracle_topk", PolicySpec::OracleTopK),
     ];
-    for (name, factory) in &factories {
+    for (name, spec) in &specs {
         group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
             b.iter(|| {
-                let mut policy = factory();
+                let mut policy = spec.build();
                 let cap = if *name == "full" {
                     workload.total_tokens()
                 } else {
                     capacity
                 };
-                black_box(simulate_decode(
-                    &workload,
-                    policy.as_mut(),
-                    &SimConfig::new(cap, 32),
-                ))
+                black_box(
+                    simulate_decode(&workload, policy.as_mut(), &SimConfig::new(cap, 32))
+                        .expect("benchmark policies uphold the contract"),
+                )
             });
         });
     }

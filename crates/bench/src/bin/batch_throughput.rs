@@ -1,5 +1,5 @@
 //! Batched decode throughput: tokens/sec and aggregate fidelity of
-//! [`simulate_batch`](unicaim_kvcache::simulate_batch) across batch sizes
+//! [`unicaim_kvcache::simulate_batch`] across batch sizes
 //! and policies.
 //!
 //! Sweeps the batch size over a mixed needle/multi-hop/summary workload set
@@ -18,6 +18,15 @@
 //! so it approximates the steady-state cost of the score→select→attend→
 //! observe→insert loop.
 //!
+//! After the sequential sweep, the binary re-times the larger batch sizes
+//! under both [`Scheduler`](unicaim_kvcache::Scheduler)s — the
+//! round-robin `Sequential` baseline and the parallel `WorkerPool` —
+//! timing only the scheduler's decode phase (sessions are admitted
+//! untimed, since admission rebuilds the serial `O(prefill²)` scaffolding)
+//! and reports the per-cell speedup (`--save [<path>]` pins the comparison to
+//! `results/scheduler_throughput.json`, recording the worker/core count it
+//! was measured with).
+//!
 //! Run with: `cargo run --release -p unicaim-bench --bin batch_throughput`
 //! (`--json <path>` additionally dumps machine-readable rows; `--baseline
 //! <path>` loads a previously saved run — e.g. the pre-refactor numbers
@@ -30,8 +39,8 @@ use serde::{Deserialize, Serialize};
 use unicaim_attention::workloads::{mixed_batch, DecodeWorkload};
 use unicaim_bench::{banner, dump_json, json_output_path};
 use unicaim_kvcache::{
-    prefill_attention_matrix, simulate_batch, BatchConfig, HybridStaticDynamic, Policy,
-    StreamingLlm, H2O,
+    prefill_attention_matrix, simulate_batch, BatchConfig, DecodeEngine, EngineConfig, PolicySpec,
+    SchedulerSpec,
 };
 
 /// Per-sequence slot share (the per-sequence cache budget).
@@ -69,23 +78,12 @@ struct Row {
     peak_resident: usize,
 }
 
-/// A named per-sequence policy factory (called once per sequence index).
-type PolicyFactory = Box<dyn Fn(usize) -> Box<dyn Policy>>;
-
-fn policy_menu() -> Vec<(&'static str, PolicyFactory)> {
+/// The measured policy configurations, from the serializable registry.
+fn policy_menu() -> Vec<PolicySpec> {
     vec![
-        (
-            "hybrid_static_dynamic",
-            Box::new(|_| Box::new(HybridStaticDynamic::new(SHARE - M, M, K)) as Box<dyn Policy>),
-        ),
-        (
-            "h2o",
-            Box::new(|_| Box::new(H2O::new(16)) as Box<dyn Policy>),
-        ),
-        (
-            "streaming_llm",
-            Box::new(|_| Box::new(StreamingLlm::new(4)) as Box<dyn Policy>),
-        ),
+        PolicySpec::hybrid_for_share(SHARE, M, K),
+        PolicySpec::H2O { recent_budget: 16 },
+        PolicySpec::StreamingLlm { n_sinks: 4 },
     ]
 }
 
@@ -126,6 +124,118 @@ struct Comparison {
     decode_speedup: Vec<SpeedupRow>,
 }
 
+/// One (policy, batch size) cell of the Sequential-vs-WorkerPool scheduler
+/// comparison.
+#[derive(Debug, Serialize)]
+struct SchedulerRow {
+    policy: String,
+    batch_size: usize,
+    /// Worker threads the pool ran with (the machine's available
+    /// parallelism — the speedup ceiling is `min(workers, batch_size)`).
+    workers: usize,
+    sequential_tokens_per_sec: f64,
+    worker_pool_tokens_per_sec: f64,
+    /// `worker_pool / sequential` decode-phase throughput ratio.
+    speedup: f64,
+}
+
+/// Times the *scheduler* (decode) phase for one scheduler choice,
+/// returning median tokens/sec over [`REPS`] runs. Sessions are admitted
+/// untimed each repetition: admission rebuilds the `O(prefill²·dim)`
+/// evaluation scaffolding serially on the calling thread, which would
+/// otherwise Amdahl-dominate the comparison exactly the way the
+/// `scaffold_seconds` subtraction corrects the sequential sweep above.
+fn scheduler_tokens_per_sec(
+    workloads: &[DecodeWorkload],
+    spec: &PolicySpec,
+    scheduler: SchedulerSpec,
+    batch_size: usize,
+) -> f64 {
+    let engine = DecodeEngine::new(EngineConfig::new(SHARE * batch_size, K));
+    let scheduler = scheduler.build();
+    let mut samples = Vec::with_capacity(REPS);
+    let mut tokens = 0;
+    for _ in 0..REPS {
+        let mut sessions = engine
+            .admit(workloads, &mut |_| spec.build())
+            .expect("shipped policies uphold the harness contract");
+        let start = Instant::now();
+        scheduler
+            .run(&mut sessions)
+            .expect("shipped policies uphold the harness contract");
+        samples.push(start.elapsed().as_secs_f64());
+        tokens = engine.collect(sessions).total_steps;
+    }
+    tokens as f64 / median(&samples)
+}
+
+/// Runs the Sequential-vs-WorkerPool comparison at the larger batch sizes
+/// (where there are sequences to fan out) and prints/returns the rows.
+fn scheduler_comparison() -> Vec<SchedulerRow> {
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    println!(
+        "\nscheduler comparison (decode phase only, sessions admitted untimed; \
+         {workers} worker threads available):"
+    );
+    println!(
+        "{:<24} {:>6} {:>8} {:>14} {:>14} {:>9}",
+        "policy", "batch", "workers", "seq-tok/s", "pool-tok/s", "speedup"
+    );
+    let mut rows = Vec::new();
+    for spec in policy_menu() {
+        for &batch_size in &[2usize, 8, 16] {
+            let workloads = mixed_batch(batch_size, BASE_PREFILL, DECODE_LEN, 7);
+            let sequential =
+                scheduler_tokens_per_sec(&workloads, &spec, SchedulerSpec::Sequential, batch_size);
+            let pooled = scheduler_tokens_per_sec(
+                &workloads,
+                &spec,
+                SchedulerSpec::WorkerPool { workers: 0 },
+                batch_size,
+            );
+            let speedup = pooled / sequential.max(1e-12);
+            println!(
+                "{:<24} {:>6} {:>8} {:>14.0} {:>14.0} {:>8.2}x",
+                spec.name(),
+                batch_size,
+                workers,
+                sequential,
+                pooled,
+                speedup
+            );
+            rows.push(SchedulerRow {
+                policy: spec.name().to_owned(),
+                batch_size,
+                workers,
+                sequential_tokens_per_sec: sequential,
+                worker_pool_tokens_per_sec: pooled,
+                speedup,
+            });
+        }
+    }
+    println!(
+        "The WorkerPool fans whole sequences across threads, so its ceiling\n\
+         is min(workers, batch size); on a single-core host the two\n\
+         schedulers tie (the saved comparison records the worker count)."
+    );
+    rows
+}
+
+/// Parses `--save [<path>]`: records the scheduler comparison (default
+/// `results/scheduler_throughput.json`).
+fn save_path() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == "--save")?;
+    Some(
+        args.get(i + 1)
+            .filter(|a| !a.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "results/scheduler_throughput.json".to_owned()),
+    )
+}
+
 /// Parses `--baseline <path>` and loads the saved rows, if given.
 fn load_baseline() -> Option<Vec<Row>> {
     let args: Vec<String> = std::env::args().collect();
@@ -161,7 +271,8 @@ fn main() {
     );
 
     let mut rows = Vec::new();
-    for (name, factory) in policy_menu() {
+    for spec in policy_menu() {
+        let name = spec.name();
         for &batch_size in &[1usize, 2, 4, 8, 16] {
             let workloads = mixed_batch(batch_size, BASE_PREFILL, DECODE_LEN, 7);
             let config = BatchConfig::new(SHARE * batch_size, K);
@@ -172,7 +283,8 @@ fn main() {
             for _ in 0..REPS {
                 let scaffold = scaffold_seconds(&workloads);
                 let start = Instant::now();
-                let res = simulate_batch(&workloads, &mut |i| factory(i), &config);
+                let res = simulate_batch(&workloads, &mut |_| spec.build(), &config)
+                    .expect("shipped policies uphold the harness contract");
                 let sim = start.elapsed().as_secs_f64();
                 sims.push(sim);
                 scaffolds.push(scaffold);
@@ -212,12 +324,18 @@ fn main() {
     }
 
     println!(
-        "The driver is single-threaded and round-robin, so end-to-end time\n\
-         grows roughly linearly with batch size; dec-tok/s isolates the\n\
-         per-step decode loop by subtracting the separately timed\n\
-         O(prefill^2) evaluation scaffolding (reference + prefill matrix)\n\
-         that the harness builds per sequence."
+        "The sweep above runs the Sequential (round-robin) scheduler, so\n\
+         end-to-end time grows roughly linearly with batch size; dec-tok/s\n\
+         isolates the per-step decode loop by subtracting the separately\n\
+         timed O(prefill^2) evaluation scaffolding (reference + prefill\n\
+         matrix) that the harness builds per sequence."
     );
+
+    let scheduler_rows = scheduler_comparison();
+    if let Some(path) = save_path() {
+        dump_json(std::path::Path::new(&path), &scheduler_rows);
+        println!("\nscheduler comparison saved to {path}");
+    }
 
     let baseline = load_baseline();
     if let Some(baseline_rows) = &baseline {

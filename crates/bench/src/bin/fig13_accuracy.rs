@@ -12,10 +12,7 @@
 use serde::Serialize;
 use unicaim_attention::workloads::{multi_hop_task, summary_task, DecodeWorkload};
 use unicaim_bench::{banner, dump_json, json_output_path};
-use unicaim_kvcache::{
-    ratio_capacity, simulate_decode, FullCache, HybridStaticDynamic, Policy, SimConfig, SnapKv,
-    StreamingLlm,
-};
+use unicaim_kvcache::{ratio_capacity, simulate_decode, Policy, PolicySpec, SimConfig};
 
 #[derive(Debug, Serialize)]
 struct Row {
@@ -28,15 +25,18 @@ struct Row {
 }
 
 fn policies_for(capacity: usize, m: usize, k: usize) -> Vec<Box<dyn Policy>> {
+    let hybrid = PolicySpec::HybridStaticDynamic {
+        h: capacity.saturating_sub(m).max(1),
+        m,
+        k,
+        protect_recent: 1,
+        ewma_alpha: None,
+    };
     vec![
-        Box::new(FullCache::new()),
-        Box::new(HybridStaticDynamic::new(
-            capacity.saturating_sub(m).max(1),
-            m,
-            k,
-        )),
-        Box::new(SnapKv::new(16)),
-        Box::new(StreamingLlm::new(4)),
+        PolicySpec::Full.build(),
+        hybrid.build(),
+        PolicySpec::SnapKv { obs_window: 16 }.build(),
+        PolicySpec::StreamingLlm { n_sinks: 4 }.build(),
     ]
 }
 
@@ -80,7 +80,8 @@ fn run_task(
                     &w,
                     policy.as_mut(),
                     &SimConfig::new(cap, k).with_prefill_budget(budget),
-                );
+                )
+                .expect("figure policies uphold the contract");
                 match acc.iter_mut().find(|(n, ..)| n == &r.policy) {
                     Some(entry) => {
                         entry.1 += r.salient_recall;

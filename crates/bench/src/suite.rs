@@ -28,8 +28,8 @@ use unicaim_core::{
     UniCaimEngine,
 };
 use unicaim_kvcache::{
-    prefill_attention_matrix, simulate_batch, simulate_decode, BatchConfig, HybridStaticDynamic,
-    OracleTopK, Policy, SimConfig, StreamingLlm, H2O,
+    prefill_attention_matrix, simulate_batch, simulate_decode, BatchConfig, DecodeEngine,
+    PolicySpec, SchedulerSpec, SimConfig,
 };
 
 /// One named benchmark case.
@@ -54,7 +54,7 @@ impl Case {
 /// Samples per case; the reported figure is the median.
 const SAMPLES: usize = 11;
 
-/// Measures one case: one unrecorded warm-up sample, then [`SAMPLES`]
+/// Measures one case: one unrecorded warm-up sample, then `SAMPLES` (11)
 /// timed samples of `case.iters` iterations each, reported as the median
 /// ns/iter (the same schedule as the vendored criterion).
 pub fn measure(case: &mut Case) -> f64 {
@@ -205,35 +205,38 @@ fn kernels_suite() -> Vec<Case> {
 fn policies_suite() -> Vec<Case> {
     fn decode_case(
         name: &'static str,
-        make: impl Fn() -> Box<dyn Policy> + 'static,
+        spec: PolicySpec,
         capacity_of: impl Fn(usize) -> usize + 'static,
     ) -> Case {
         let workload = needle_task(256, 32, 5);
         Case::new(name, 10, move || {
-            let mut policy = make();
+            let mut policy = spec.build();
             let cap = capacity_of(workload.total_tokens());
-            std::hint::black_box(simulate_decode(
-                &workload,
-                policy.as_mut(),
-                &SimConfig::new(cap, 32),
-            ));
+            std::hint::black_box(
+                simulate_decode(&workload, policy.as_mut(), &SimConfig::new(cap, 32))
+                    .expect("benchmark policies uphold the contract"),
+            );
         })
     }
     vec![
         decode_case(
             "simulate_decode/hybrid",
-            || Box::new(HybridStaticDynamic::new(80, 16, 32)),
+            PolicySpec::hybrid_for_share(96, 16, 32),
             |_| 96,
         ),
-        decode_case("simulate_decode/h2o", || Box::new(H2O::new(16)), |_| 96),
+        decode_case(
+            "simulate_decode/h2o",
+            PolicySpec::H2O { recent_budget: 16 },
+            |_| 96,
+        ),
         decode_case(
             "simulate_decode/streaming",
-            || Box::new(StreamingLlm::new(4)),
+            PolicySpec::StreamingLlm { n_sinks: 4 },
             |_| 96,
         ),
         decode_case(
             "simulate_decode/oracle_topk",
-            || Box::new(OracleTopK::new()),
+            PolicySpec::OracleTopK,
             |total| total,
         ),
     ]
@@ -261,11 +264,25 @@ fn experiments_suite() -> Vec<Case> {
         }),
         Case::new("simulate_batch/4x192/hybrid", 3, move || {
             let config = BatchConfig::new(96 * 4, 32);
-            std::hint::black_box(simulate_batch(
-                &batch_workloads,
-                &mut |_| Box::new(HybridStaticDynamic::new(80, 16, 32)),
-                &config,
-            ));
+            let spec = PolicySpec::hybrid_for_share(96, 16, 32);
+            std::hint::black_box(
+                simulate_batch(&batch_workloads, &mut |_| spec.build(), &config)
+                    .expect("benchmark policies uphold the contract"),
+            );
+        }),
+        Case::new("decode_engine/worker_pool/4x192/hybrid", 3, {
+            let workloads = mixed_batch(4, 192, 24, 7);
+            move || {
+                let engine = DecodeEngine::new(
+                    unicaim_kvcache::EngineConfig::new(96 * 4, 32)
+                        .with_scheduler(SchedulerSpec::WorkerPool { workers: 0 }),
+                );
+                std::hint::black_box(
+                    engine
+                        .run(&workloads, &PolicySpec::hybrid_for_share(96, 16, 32))
+                        .expect("benchmark policies uphold the contract"),
+                );
+            }
         }),
         Case::new("table2_aedp", 5, move || {
             std::hint::black_box(unicaim_accel::aedp_table(&unicaim_accel::table2_workload()));

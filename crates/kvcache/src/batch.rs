@@ -11,16 +11,23 @@
 //! schedule that interleaves the sequences step by step the way a serving
 //! loop would.
 //!
-//! The per-step core (score → select → attend → observe → insert/evict) is
-//! the *same routine* [`simulate_decode`](crate::simulate_decode) runs, so a
-//! batch of size 1 reproduces the single-sequence driver bit for bit — the
-//! equivalence is pinned by tests in `tests/properties.rs`.
+//! `simulate_batch` is a thin wrapper over the
+//! [`DecodeEngine`](crate::DecodeEngine) with the [`Sequential`]
+//! scheduler; the per-step core (score → select → attend → observe →
+//! insert/evict) is [`DecodeSession::step`](crate::DecodeSession::step),
+//! the *same routine* [`simulate_decode`](crate::simulate_decode) runs, so
+//! a batch of size 1 reproduces the single-sequence driver bit for bit —
+//! the equivalence is pinned by tests in `tests/properties.rs`.
+//!
+//! [`Sequential`]: crate::Sequential
 
 use serde::{Deserialize, Serialize};
 use unicaim_attention::workloads::DecodeWorkload;
 
+use crate::engine::{DecodeEngine, EngineConfig};
+use crate::error::HarnessError;
 use crate::policy::Policy;
-use crate::sim::{DecodeState, SimConfig, SimResult};
+use crate::sim::{SimConfig, SimResult};
 
 /// Configuration of a batched decode run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -119,65 +126,24 @@ pub struct BatchResult {
     pub salient_recall: f64,
     /// Answer-step-weighted mean retrieval accuracy across the batch.
     pub retrieval_accuracy: f64,
-    /// Peak total resident tokens across all sequences at any step — the
-    /// shared array's high-water occupancy. Bounded by `total_capacity` by
-    /// construction (the per-sequence shares statically partition the
-    /// budget); reported so under-utilization is visible.
+    /// Peak total resident tokens across all sequences at any round-robin
+    /// tick — the shared array's high-water occupancy. Bounded by
+    /// `total_capacity` by construction (the per-sequence shares statically
+    /// partition the budget); reported so under-utilization is visible.
+    /// Reconstructed from the per-sequence resident traces, so every
+    /// scheduler reports the same figure.
     pub peak_resident: usize,
 }
 
-/// Runs `workloads` concurrently against one shared slot budget.
-///
-/// `policy_factory` is called once per sequence (with the sequence index)
-/// to mint that sequence's private policy state. Decode steps are scheduled
-/// round-robin: global step `s` runs step `s` of every sequence that still
-/// has queries left, so sequences of different lengths drain raggedly like
-/// a serving batch.
-///
-/// # Panics
-///
-/// Panics if `workloads` is empty, or under the same per-sequence contract
-/// violations as [`simulate_decode`](crate::simulate_decode) (prefill keep
-/// set over capacity, non-resident selection or eviction).
-#[must_use]
-pub fn simulate_batch(
-    workloads: &[DecodeWorkload],
-    policy_factory: &mut dyn FnMut(usize) -> Box<dyn Policy>,
-    config: &BatchConfig,
+/// Folds per-sequence results into the batch aggregate. Weighting each
+/// sequence's mean by its step (resp. answer-step) count reconstructs the
+/// global per-step mean.
+pub(crate) fn aggregate(
+    per_sequence: Vec<SimResult>,
+    total_capacity: usize,
+    peak_resident: usize,
 ) -> BatchResult {
-    let n = workloads.len();
-    assert!(n > 0, "batch must contain at least one sequence");
-
-    let mut policies: Vec<Box<dyn Policy>> = (0..n).map(&mut *policy_factory).collect();
-    let mut states: Vec<DecodeState<'_>> = workloads
-        .iter()
-        .enumerate()
-        .map(|(i, w)| DecodeState::prefill(w, policies[i].as_mut(), &config.sequence_config(n, i)))
-        .collect();
-
-    let occupancy = |states: &[DecodeState<'_>]| states.iter().map(DecodeState::resident).sum();
-    let mut peak_resident: usize = occupancy(&states);
-
-    // Round-robin schedule: one step of every still-active sequence per
-    // global tick.
-    let max_steps = states.iter().map(DecodeState::steps).max().unwrap_or(0);
-    for step in 0..max_steps {
-        for (state, policy) in states.iter_mut().zip(&mut policies) {
-            if step < state.steps() {
-                state.step(policy.as_mut(), step);
-            }
-        }
-        peak_resident = peak_resident.max(occupancy(&states));
-    }
-
-    let per_sequence: Vec<SimResult> = states
-        .into_iter()
-        .zip(&policies)
-        .map(|(state, policy)| state.finish(policy.as_ref()))
-        .collect();
-
-    // Weighted aggregates: weighting each sequence's mean by its step
-    // (resp. answer-step) count reconstructs the global per-step mean.
+    let n = per_sequence.len();
     let total_steps: usize = per_sequence.iter().map(|r| r.steps).sum();
     let total_answer_steps: usize = per_sequence.iter().map(|r| r.answer_steps).sum();
     let weighted = |f: fn(&SimResult) -> f64, w: fn(&SimResult) -> usize, total: usize| {
@@ -198,7 +164,7 @@ pub fn simulate_batch(
     BatchResult {
         per_sequence,
         n_sequences: n,
-        total_capacity: config.total_capacity,
+        total_capacity,
         total_steps,
         total_answer_steps,
         output_cosine,
@@ -206,6 +172,33 @@ pub fn simulate_batch(
         retrieval_accuracy,
         peak_resident,
     }
+}
+
+/// Runs `workloads` concurrently against one shared slot budget.
+///
+/// `policy_factory` is called once per sequence (with the sequence index)
+/// to mint that sequence's private policy state. Decode steps are scheduled
+/// round-robin: global step `s` runs step `s` of every sequence that still
+/// has queries left, so sequences of different lengths drain raggedly like
+/// a serving batch.
+///
+/// This is a thin wrapper over [`DecodeEngine`] with the
+/// [`Sequential`](crate::Sequential) scheduler; use the engine directly to
+/// pick a different scheduler (e.g. the parallel
+/// [`WorkerPool`](crate::WorkerPool)).
+///
+/// # Errors
+///
+/// [`HarnessError::EmptyBatch`] when `workloads` is empty or has no decode
+/// steps at all, and the same per-sequence contract violations as
+/// [`simulate_decode`](crate::simulate_decode) (prefill keep set over
+/// capacity, non-resident selection or eviction).
+pub fn simulate_batch(
+    workloads: &[DecodeWorkload],
+    policy_factory: &mut dyn FnMut(usize) -> Box<dyn Policy>,
+    config: &BatchConfig,
+) -> Result<BatchResult, HarnessError> {
+    DecodeEngine::new(EngineConfig::from_batch(*config)).run_with(workloads, policy_factory)
 }
 
 #[cfg(test)]
@@ -220,13 +213,14 @@ mod tests {
         let w = needle_task(128, 16, 3);
         let cfg = SimConfig::new(64, 16).with_prefill_budget(48);
         let mut single = HybridStaticDynamic::new(48, 16, 16);
-        let expected = simulate_decode(&w, &mut single, &cfg);
+        let expected = simulate_decode(&w, &mut single, &cfg).unwrap();
 
         let batch = simulate_batch(
             std::slice::from_ref(&w),
             &mut |_| Box::new(HybridStaticDynamic::new(48, 16, 16)),
             &BatchConfig::per_sequence(&cfg, 1),
-        );
+        )
+        .unwrap();
         assert_eq!(batch.per_sequence.len(), 1);
         assert_eq!(batch.per_sequence[0], expected);
         assert_eq!(batch.total_steps, expected.steps);
@@ -256,7 +250,8 @@ mod tests {
             &batch,
             &mut |_| Box::new(StreamingLlm::new(2)),
             &BatchConfig::new(4 * 24, 8),
-        );
+        )
+        .unwrap();
         assert_eq!(r.n_sequences, 4);
         assert_eq!(r.total_steps, lens.iter().sum::<usize>());
         for (res, len) in r.per_sequence.iter().zip(&lens) {
@@ -279,7 +274,8 @@ mod tests {
                 ))
             },
             &cfg,
-        );
+        )
+        .unwrap();
         assert!(r.peak_resident <= cfg.total_capacity, "{r:?}");
         assert!(r.peak_resident > 0);
     }
@@ -291,7 +287,8 @@ mod tests {
             &batch,
             &mut |_| Box::new(StreamingLlm::new(2)),
             &BatchConfig::new(3 * 32, 8),
-        );
+        )
+        .unwrap();
         let expect: f64 = r
             .per_sequence
             .iter()
@@ -306,12 +303,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one sequence")]
-    fn empty_batch_is_rejected() {
-        let _ = simulate_batch(
+    fn empty_batch_is_a_typed_error() {
+        let err = simulate_batch(
             &[],
             &mut |_| Box::new(StreamingLlm::new(2)),
             &BatchConfig::new(32, 8),
-        );
+        )
+        .err()
+        .unwrap();
+        assert_eq!(err, crate::HarnessError::EmptyBatch);
     }
 }

@@ -1,0 +1,175 @@
+//! Typed errors for the decode harness: every harness ↔ policy contract
+//! violation that used to `panic!` is now a [`HarnessError`] carrying the
+//! offending token/step, so a serving loop can retire one broken sequence
+//! without tearing the whole engine down.
+
+use serde::{Deserialize, Serialize};
+
+/// A violation of the harness ↔ policy contract (see [`Policy`]), or a
+/// malformed request to the serving API.
+///
+/// Each variant names the offending token and, where one exists, the decode
+/// step at which the violation happened. The drivers
+/// ([`simulate_decode`](crate::simulate_decode),
+/// [`simulate_batch`](crate::simulate_batch), [`DecodeEngine`]) surface
+/// these instead of panicking, so a broken policy still cannot hide behind
+/// quietly degraded metrics — but a caller can now decide what to do about
+/// it.
+///
+/// [`Policy`]: crate::Policy
+/// [`DecodeEngine`]: crate::DecodeEngine
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HarnessError {
+    /// The policy's prefill keep set does not fit the cache capacity.
+    PrefillOverBudget {
+        /// Number of tokens the policy tried to keep.
+        kept: usize,
+        /// Physical slot capacity of the cache.
+        capacity: usize,
+    },
+    /// The policy's prefill keep set names a token outside the prompt.
+    PrefillOutOfRange {
+        /// The offending token id.
+        token: usize,
+        /// Number of prompt tokens (valid ids are `0..prefill_len`).
+        prefill_len: usize,
+    },
+    /// The policy's prefill keep set lists the same token twice.
+    PrefillDuplicate {
+        /// The repeated token id.
+        token: usize,
+    },
+    /// The policy selected a token that is not resident
+    /// (selections must be a subset of the scored resident set).
+    SelectedNonResident {
+        /// Decode step at which the selection was made.
+        step: usize,
+        /// The non-resident token id.
+        token: usize,
+    },
+    /// The policy named an eviction victim that is not resident.
+    EvictedNonResident {
+        /// Decode step at which the eviction was requested.
+        step: usize,
+        /// The non-resident victim token id.
+        token: usize,
+    },
+    /// Inserting the newly generated token collided with a token already
+    /// resident under the same id.
+    DuplicateToken {
+        /// Decode step at which the insert happened.
+        step: usize,
+        /// The colliding token id.
+        token: usize,
+    },
+    /// A token passed to [`attention_over`](crate::attention_over) is not
+    /// resident in the store.
+    NonResidentToken {
+        /// The non-resident token id.
+        token: usize,
+    },
+    /// [`DecodeSession::step`](crate::DecodeSession::step) was called on a
+    /// session whose decode steps are all done.
+    SessionExhausted {
+        /// Total number of decode steps the session had.
+        steps: usize,
+    },
+    /// A batched run was requested with no sequences, or with sequences
+    /// that have no decode steps at all (a vacuous result).
+    EmptyBatch,
+    /// [`PolicySpec::from_name`](crate::PolicySpec::from_name) was given a
+    /// name outside the registry.
+    UnknownPolicy {
+        /// The unrecognized name.
+        name: String,
+    },
+    /// A [`PolicySpec`](crate::PolicySpec) carries a parameter no policy
+    /// can be built from.
+    InvalidSpec {
+        /// Human-readable description of the bad parameter.
+        reason: String,
+    },
+}
+
+impl core::fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            HarnessError::PrefillOverBudget { kept, capacity } => write!(
+                f,
+                "prefill keep set of {kept} tokens exceeds the cache capacity of {capacity} slots"
+            ),
+            HarnessError::PrefillOutOfRange { token, prefill_len } => write!(
+                f,
+                "prefill keep set names token {token}, outside the prompt (prefill_len {prefill_len})"
+            ),
+            HarnessError::PrefillDuplicate { token } => {
+                write!(f, "prefill keep set lists token {token} more than once")
+            }
+            HarnessError::SelectedNonResident { step, token } => write!(
+                f,
+                "policy selected token {token} at step {step}, which is not resident \
+                 (selections must be a subset of the scored resident set)"
+            ),
+            HarnessError::EvictedNonResident { step, token } => write!(
+                f,
+                "policy evicted token {token} at step {step}, which is not resident"
+            ),
+            HarnessError::DuplicateToken { step, token } => write!(
+                f,
+                "inserting token {token} at step {step} collided with an already-resident token"
+            ),
+            HarnessError::NonResidentToken { token } => {
+                write!(f, "token {token} is not resident in the store")
+            }
+            HarnessError::SessionExhausted { steps } => {
+                write!(f, "all {steps} decode steps of this session are already done")
+            }
+            HarnessError::EmptyBatch => {
+                write!(f, "batch contains no sequences (or no decode steps) to run")
+            }
+            HarnessError::UnknownPolicy { name } => write!(
+                f,
+                "unknown policy `{name}` (expected one of {:?})",
+                crate::PolicySpec::NAMES
+            ),
+            HarnessError::InvalidSpec { reason } => write!(f, "invalid policy spec: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_offender() {
+        let e = HarnessError::SelectedNonResident { step: 3, token: 42 };
+        let msg = e.to_string();
+        assert!(msg.contains("42") && msg.contains("step 3"), "{msg}");
+        assert!(HarnessError::EmptyBatch
+            .to_string()
+            .contains("no sequences"));
+        let u = HarnessError::UnknownPolicy {
+            name: "nope".into(),
+        };
+        assert!(u.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let errors = vec![
+            HarnessError::PrefillOverBudget {
+                kept: 9,
+                capacity: 8,
+            },
+            HarnessError::SelectedNonResident { step: 1, token: 2 },
+            HarnessError::EmptyBatch,
+            HarnessError::UnknownPolicy { name: "x".into() },
+        ];
+        let text = serde_json::to_string(&errors).unwrap();
+        let back: Vec<HarnessError> = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, errors);
+    }
+}

@@ -13,12 +13,22 @@
 //! | [`OracleTopK`] | dynamic, exact per-step top-k (upper bound) | Quest-style |
 //! | [`FullCache`] | none (exact attention reference) | — |
 //!
-//! Policies are driven by the [`simulate_decode`] harness over the synthetic
-//! long-context workloads of [`unicaim_attention::workloads`], producing
-//! retrieval and output-fidelity metrics (the Fig. 13 substitution — see
-//! DESIGN.md). [`simulate_batch`] scales the same per-step core to
-//! serving-style batches: N concurrent sequences time-sharing one array's
-//! slot budget, with per-sequence KV state and policy state.
+//! Policies are driven over the synthetic long-context workloads of
+//! [`unicaim_attention::workloads`], producing retrieval and
+//! output-fidelity metrics (the Fig. 13 substitution — see DESIGN.md).
+//! The public API is session-oriented:
+//!
+//! * [`DecodeSession`] — one sequence admitted, stepped, and retired
+//!   incrementally (`prefill` → `step` → `finish`), with every harness ↔
+//!   policy contract violation surfacing as a typed [`HarnessError`];
+//! * [`PolicySpec`] — a serializable registry entry that builds any
+//!   shipped policy from data ([`PolicySpec::build`],
+//!   [`PolicySpec::from_name`]);
+//! * [`DecodeEngine`] — the batched driver: admits N sequences against one
+//!   shared slot budget and drives them with a pluggable [`Scheduler`]
+//!   ([`Sequential`] round-robin, or the parallel [`WorkerPool`]);
+//! * [`simulate_decode`] / [`simulate_batch`] — thin run-to-completion
+//!   wrappers over the above for the batch-scientific call sites.
 //!
 //! # Quickstart
 //!
@@ -28,29 +38,53 @@
 //!
 //! let workload = needle_task(128, 16, 7);
 //! let mut policy = HybridStaticDynamic::new(48, 16, 8);
-//! let result = simulate_decode(&workload, &mut policy, &SimConfig::new(64, 8));
+//! let result = simulate_decode(&workload, &mut policy, &SimConfig::new(64, 8)).unwrap();
 //! assert!(result.salient_recall > 0.5);
+//! ```
+//!
+//! Serving-style, through the engine:
+//!
+//! ```
+//! use unicaim_attention::workloads::mixed_batch;
+//! use unicaim_kvcache::{DecodeEngine, EngineConfig, PolicySpec, SchedulerSpec};
+//!
+//! let workloads = mixed_batch(4, 64, 8, 7);
+//! let engine = DecodeEngine::new(
+//!     EngineConfig::new(4 * 24, 8).with_scheduler(SchedulerSpec::WorkerPool { workers: 0 }),
+//! );
+//! let result = engine
+//!     .run(&workloads, &PolicySpec::hybrid_for_share(24, 4, 8))
+//!     .unwrap();
+//! assert_eq!(result.n_sequences, 4);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod batch;
+mod engine;
+mod error;
 mod policy;
 mod score;
+mod session;
 mod sim;
+mod spec;
 
 pub mod policies;
 
 pub use batch::{simulate_batch, BatchConfig, BatchResult};
+pub use engine::{DecodeEngine, EngineConfig, Scheduler, SchedulerSpec, Sequential, WorkerPool};
+pub use error::HarnessError;
 pub use policies::{
     BlockTopK, FullCache, HybridStaticDynamic, OracleTopK, SnapKv, StreamingLlm, H2O,
 };
 pub use policy::{accumulated_prefill_scores, top_indices_by_score, Policy, StepDecision};
 pub use score::ScoreTable;
+pub use session::{DecodeSession, StepOutcome};
 pub use sim::{
     attention_over, prefill_attention_matrix, ratio_capacity, simulate_decode, SimConfig, SimResult,
 };
+pub use spec::PolicySpec;
 
 /// Errors reported by the KV-cache policy layer.
 #[derive(Debug, Clone, PartialEq)]

@@ -362,8 +362,9 @@ impl Policy for BlockTopK {
 /// let result = simulate_decode(
 ///     &workload,
 ///     &mut policy,
-///     &SimConfig::new(64, 16).with_prefill_budget(48),
-/// );
+///     &SimConfig::reserved_decode_slots(64, 16, 16),
+/// )
+/// .unwrap();
 /// assert!(result.salient_recall > 0.9); // the needle survives pruning
 /// ```
 #[derive(Debug, Clone)]

@@ -26,10 +26,14 @@ pub struct StepDecision {
 ///
 /// # Harness ↔ policy contract
 ///
-/// Both drivers ([`simulate_decode`](crate::simulate_decode) and the
-/// batched [`simulate_batch`](crate::simulate_batch)) hold the policy to
-/// the following contract, enforced with panics rather than silent repair
-/// so a broken policy cannot hide behind quietly degraded metrics:
+/// Every driver ([`simulate_decode`](crate::simulate_decode), the batched
+/// [`simulate_batch`](crate::simulate_batch), and the incremental
+/// [`DecodeSession`](crate::DecodeSession) /
+/// [`DecodeEngine`](crate::DecodeEngine) serving API) holds the policy to
+/// the following contract, enforced with typed
+/// [`HarnessError`](crate::HarnessError)s rather than silent repair, so a
+/// broken policy cannot hide behind quietly degraded metrics — but a
+/// serving loop can retire the one offending sequence instead of crashing:
 ///
 /// * **What the harness guarantees.** `scored` (in [`Policy::select`]) and
 ///   `resident` (in [`Policy::evict`]) list every resident token exactly
@@ -38,15 +42,26 @@ pub struct StepDecision {
 ///   the resident set changes only through the policy's own decisions (plus
 ///   the harness inserting the one newly generated token per step).
 /// * **What the policy must uphold.**
-///   [`Policy::prefill_keep`] returns at most `budget` distinct token ids —
-///   the keep set must fit the cache capacity or the harness panics.
+///   [`Policy::prefill_keep`] returns at most `budget` distinct prompt
+///   token ids — a keep set over the cache capacity is
+///   [`PrefillOverBudget`](crate::HarnessError::PrefillOverBudget), a
+///   repeated id is
+///   [`PrefillDuplicate`](crate::HarnessError::PrefillDuplicate), and an
+///   id outside the prompt is
+///   [`PrefillOutOfRange`](crate::HarnessError::PrefillOutOfRange).
 ///   [`Policy::select`] must return a subset of the scored resident tokens;
-///   selecting a non-resident token panics the harness. An empty selection
-///   is legal and yields a zero attention output.
+///   a non-resident selection is
+///   [`SelectedNonResident`](crate::HarnessError::SelectedNonResident). An
+///   empty selection is legal and yields a zero attention output.
 ///   [`Policy::evict`] must name a *resident* token (a non-resident victim
-///   panics the harness) or return `None`, which drops the incoming token
-///   instead.
-pub trait Policy {
+///   is [`EvictedNonResident`](crate::HarnessError::EvictedNonResident))
+///   or return `None`, which drops the incoming token instead.
+///
+/// Policies must be [`Send`]: the [`WorkerPool`](crate::WorkerPool)
+/// scheduler fans per-sequence sessions (each owning its policy) across
+/// threads. Policy state is plain owned data in every shipped policy, so
+/// this costs implementors nothing.
+pub trait Policy: Send {
     /// A short display name for reports.
     fn name(&self) -> &'static str;
 

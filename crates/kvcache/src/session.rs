@@ -1,0 +1,614 @@
+//! Incremental per-sequence decode: the serving-shaped session API.
+//!
+//! A [`DecodeSession`] is one sequence mid-flight: its KV store, its
+//! policy, the exact-attention reference, and the metric accumulators.
+//! Unlike the run-to-completion [`simulate_decode`](crate::simulate_decode)
+//! wrapper, a session is driven *incrementally* — `prefill` admits the
+//! sequence, `step` advances it one decode token, `finish` retires it into
+//! a [`SimResult`] — which is exactly the lifecycle a serving loop (or the
+//! [`DecodeEngine`](crate::DecodeEngine)'s schedulers) needs.
+//!
+//! Every harness ↔ policy contract violation surfaces as a typed
+//! [`HarnessError`] instead of a panic, so one broken sequence can be
+//! retired without tearing down its batch.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+use unicaim_attention::kernels;
+use unicaim_attention::metrics::{cosine_similarity, relative_l2_error, set_f1, Mean};
+use unicaim_attention::workloads::DecodeWorkload;
+use unicaim_attention::{softmax_in_place, AttentionError, KvStore};
+
+use crate::error::HarnessError;
+use crate::policy::Policy;
+use crate::sim::{prefill_attention_matrix, SimConfig, SimResult};
+
+/// How a session holds its policy: owned (engine-managed sessions) or
+/// borrowed (the thin `simulate_decode` wrapper drives a caller's policy).
+enum PolicyHolder<'p> {
+    Owned(Box<dyn Policy>),
+    Borrowed(&'p mut dyn Policy),
+}
+
+impl PolicyHolder<'_> {
+    fn as_mut(&mut self) -> &mut dyn Policy {
+        match self {
+            PolicyHolder::Owned(p) => p.as_mut(),
+            PolicyHolder::Borrowed(p) => *p,
+        }
+    }
+
+    fn as_ref(&self) -> &dyn Policy {
+        match self {
+            PolicyHolder::Owned(p) => p.as_ref(),
+            PolicyHolder::Borrowed(p) => *p,
+        }
+    }
+}
+
+/// What one [`DecodeSession::step`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepOutcome {
+    /// The decode step that just ran (0-based).
+    pub step: usize,
+    /// Number of tokens the policy selected for exact attention.
+    pub selected: usize,
+    /// Resident tokens after the step's insert/evict.
+    pub resident: usize,
+    /// Whether the newly generated token entered the cache (`false` means
+    /// the policy refused to evict and the incoming token was dropped).
+    pub inserted: bool,
+    /// Decode steps still to run after this one.
+    pub remaining: usize,
+}
+
+/// One sequence mid-decode: KV store, policy, reference outputs, and
+/// metric accumulators, advanced one token at a time.
+///
+/// The per-step core (score residents → select → exact attention over the
+/// selection → observe weights over all residents → insert the new token,
+/// evicting on overflow) is shared by every driver in this crate:
+/// [`simulate_decode`](crate::simulate_decode) drives one borrowed-policy
+/// session to completion, and the [`DecodeEngine`](crate::DecodeEngine)
+/// schedulers drive many owned-policy sessions concurrently. A batch of
+/// size 1 therefore reproduces the single-sequence driver bit for bit
+/// (property-tested in `tests/properties.rs`).
+///
+/// Sessions are [`Send`] (policies are required to be `Send`, see
+/// [`Policy`]), so the [`WorkerPool`](crate::WorkerPool) scheduler can fan
+/// them across threads.
+pub struct DecodeSession<'w, 'p> {
+    workload: &'w DecodeWorkload,
+    policy: PolicyHolder<'p>,
+    config: SimConfig,
+    store: KvStore,
+    reference: Vec<Vec<f32>>,
+    salient_universe: BTreeSet<usize>,
+    /// `1/√dim`, the attention score scale.
+    inv_sqrt_dim: f32,
+    /// The next decode step to run; `steps()` when the session is done.
+    next_step: usize,
+    /// Resident-token count after prefill and after each completed step —
+    /// the occupancy trajectory the engine aggregates shared-array peaks
+    /// from (deterministic per sequence, so any schedule reconstructs the
+    /// same peak).
+    resident_trace: Vec<usize>,
+    // Reused per-step scratch buffers: the steady-state decode step is
+    // allocation-free (see the `kernels` module docs).
+    scored: Vec<(usize, f32)>,
+    sel_slots: Vec<usize>,
+    weights: Vec<f32>,
+    output: Vec<f32>,
+    observed: Vec<(usize, f32)>,
+    resident_scratch: Vec<usize>,
+    cos: Mean,
+    rel: Mean,
+    recall: Mean,
+    f1: Mean,
+    hits: Mean,
+    n_selected: Mean,
+    n_resident: Mean,
+}
+
+impl<'w> DecodeSession<'w, 'static> {
+    /// Admits a sequence with an owned policy: runs the prefill stage
+    /// (causal attention matrix, the policy's static keep decision, the
+    /// initial KV-store population) and returns the session ready to
+    /// [`step`](DecodeSession::step).
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::PrefillOverBudget`] when the keep set exceeds the
+    /// cache capacity, [`HarnessError::PrefillOutOfRange`] /
+    /// [`HarnessError::PrefillDuplicate`] when it names a token outside the
+    /// prompt or twice.
+    pub fn prefill(
+        workload: &'w DecodeWorkload,
+        policy: Box<dyn Policy>,
+        config: &SimConfig,
+    ) -> Result<Self, HarnessError> {
+        Self::prefill_holder(workload, PolicyHolder::Owned(policy), config)
+    }
+}
+
+impl<'w, 'p> DecodeSession<'w, 'p> {
+    /// Admits a sequence with a borrowed policy (the policy outlives the
+    /// session and can be inspected afterwards). Same contract as
+    /// [`DecodeSession::prefill`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`DecodeSession::prefill`].
+    pub fn prefill_borrowed(
+        workload: &'w DecodeWorkload,
+        policy: &'p mut dyn Policy,
+        config: &SimConfig,
+    ) -> Result<Self, HarnessError> {
+        Self::prefill_holder(workload, PolicyHolder::Borrowed(policy), config)
+    }
+
+    fn prefill_holder(
+        workload: &'w DecodeWorkload,
+        mut policy: PolicyHolder<'p>,
+        config: &SimConfig,
+    ) -> Result<Self, HarnessError> {
+        let dim = workload.dim;
+        let prefill_len = workload.prefill_keys.len();
+        let attn = prefill_attention_matrix(workload);
+        let keep = policy
+            .as_mut()
+            .prefill_keep(&attn, config.prefill_budget.min(prefill_len));
+        if keep.len() > config.capacity {
+            return Err(HarnessError::PrefillOverBudget {
+                kept: keep.len(),
+                capacity: config.capacity,
+            });
+        }
+        let mut store = KvStore::new(config.capacity, dim);
+        for &t in &keep {
+            if t >= prefill_len {
+                return Err(HarnessError::PrefillOutOfRange {
+                    token: t,
+                    prefill_len,
+                });
+            }
+            match store.append_parts(t, &workload.prefill_keys[t], &workload.prefill_values[t]) {
+                Ok(_) => {}
+                Err(AttentionError::DuplicateToken { token, .. }) => {
+                    return Err(HarnessError::PrefillDuplicate { token })
+                }
+                Err(e) => unreachable!("prefill insert within checked bounds failed: {e}"),
+            }
+        }
+        let salient_universe: BTreeSet<usize> = workload
+            .salient_at
+            .iter()
+            .flat_map(|s| s.iter().copied())
+            .collect();
+        let resident_trace = vec![store.len()];
+        Ok(Self {
+            workload,
+            policy,
+            config: *config,
+            store,
+            reference: workload.full_attention_reference(),
+            salient_universe,
+            inv_sqrt_dim: 1.0 / (dim as f32).sqrt(),
+            next_step: 0,
+            resident_trace,
+            scored: Vec::with_capacity(config.capacity),
+            sel_slots: Vec::with_capacity(config.capacity),
+            weights: Vec::with_capacity(config.capacity),
+            output: vec![0.0; dim],
+            observed: Vec::with_capacity(config.capacity),
+            resident_scratch: Vec::with_capacity(config.capacity),
+            cos: Mean::new(),
+            rel: Mean::new(),
+            recall: Mean::new(),
+            f1: Mean::new(),
+            hits: Mean::new(),
+            n_selected: Mean::new(),
+            n_resident: Mean::new(),
+        })
+    }
+
+    /// Total number of decode steps this sequence has.
+    #[must_use]
+    pub fn steps(&self) -> usize {
+        self.workload.decode_queries.len()
+    }
+
+    /// The next decode step [`step`](DecodeSession::step) will run
+    /// (equals [`steps`](DecodeSession::steps) when done).
+    #[must_use]
+    pub fn next_step(&self) -> usize {
+        self.next_step
+    }
+
+    /// Decode steps still to run.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.steps() - self.next_step
+    }
+
+    /// True when every decode step has run.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.next_step >= self.steps()
+    }
+
+    /// Number of currently resident tokens (occupied KV slots).
+    #[must_use]
+    pub fn resident(&self) -> usize {
+        self.store.len()
+    }
+
+    /// The policy's display name.
+    #[must_use]
+    pub fn policy_name(&self) -> &str {
+        self.policy.as_ref().name()
+    }
+
+    /// The workload this session decodes.
+    #[must_use]
+    pub fn workload(&self) -> &'w DecodeWorkload {
+        self.workload
+    }
+
+    /// The configuration the session runs under.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Resident-token count after prefill (index 0) and after each
+    /// completed step: the occupancy trajectory a batch aggregator uses to
+    /// reconstruct shared-array peaks independently of schedule.
+    #[must_use]
+    pub fn resident_trace(&self) -> &[usize] {
+        &self.resident_trace
+    }
+
+    /// Runs the next decode step: score residents → select → exact
+    /// attention → observe → insert the new token (evicting on overflow).
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::SessionExhausted`] when the session
+    /// [`is_done`](DecodeSession::is_done);
+    /// [`HarnessError::SelectedNonResident`] /
+    /// [`HarnessError::EvictedNonResident`] /
+    /// [`HarnessError::DuplicateToken`] on the corresponding policy
+    /// contract violations. After a contract error the session should be
+    /// considered poisoned and retired.
+    pub fn step(&mut self) -> Result<StepOutcome, HarnessError> {
+        if self.is_done() {
+            return Err(HarnessError::SessionExhausted {
+                steps: self.steps(),
+            });
+        }
+        let step = self.next_step;
+        let workload = self.workload;
+        let prefill_len = workload.prefill_keys.len();
+        let query = &workload.decode_queries[step];
+        let policy = self.policy.as_mut();
+
+        // 1. Score every resident token: one strided pass over the key
+        //    arena, already in the ascending-token order the contract
+        //    guarantees (no per-step sort).
+        self.scored.clear();
+        let keys = self.store.keys_view();
+        for (token, slot) in self.store.iter_tokens() {
+            self.scored.push((
+                token,
+                kernels::dot(query, keys.row(slot)) * self.inv_sqrt_dim,
+            ));
+        }
+        // 2. Dynamic selection.
+        let decision = policy.select(step, &self.scored, self.config.k);
+
+        // 3. Exact attention over the selection: gather slots, then the
+        //    fused score→softmax→weighted-sum kernel over the arenas. The
+        //    gather is the step's first fallible point, so no metric
+        //    accumulator is touched before it — a session retired after a
+        //    contract error aggregates only the steps that fully ran, with
+        //    every mean over the same sample count.
+        gather_selected_slots(&self.store, &decision.selected, &mut self.sel_slots)
+            .map_err(|token| HarnessError::SelectedNonResident { step, token })?;
+        self.n_resident.push(self.scored.len() as f64);
+        self.n_selected.push(decision.selected.len() as f64);
+        kernels::attend_gather(
+            query,
+            self.store.keys_view(),
+            self.store.values_view(),
+            &self.sel_slots,
+            self.inv_sqrt_dim,
+            &mut self.weights,
+            &mut self.output,
+        );
+        self.cos
+            .push(cosine_similarity(&self.output, &self.reference[step]));
+        self.rel
+            .push(relative_l2_error(&self.output, &self.reference[step]));
+
+        // 4. Salience metrics at answer steps.
+        let salient = &workload.salient_at[step];
+        if !salient.is_empty() {
+            let selected_set: BTreeSet<usize> = decision.selected.iter().copied().collect();
+            let s = set_f1(&(&selected_set & salient), salient);
+            self.recall.push(s.recall);
+            let predicted: BTreeSet<usize> = selected_set
+                .intersection(&self.salient_universe)
+                .copied()
+                .collect();
+            self.f1.push(set_f1(&predicted, salient).f1);
+            self.hits.push(if s.recall >= 1.0 { 1.0 } else { 0.0 });
+        }
+
+        // 5. Observe weights over all residents (charge-domain accumulation
+        //    sees every row).
+        self.weights.clear();
+        self.weights.extend(self.scored.iter().map(|&(_, s)| s));
+        softmax_in_place(&mut self.weights);
+        self.observed.clear();
+        self.observed.extend(
+            self.scored
+                .iter()
+                .map(|&(t, _)| t)
+                .zip(self.weights.iter().copied()),
+        );
+        policy.observe(step, &self.observed);
+
+        // 6. Insert the newly generated token, evicting on overflow. The
+        //    key/value slices are copied straight into the arenas.
+        let new_token = prefill_len + step;
+        let new_key = &workload.decode_keys[step];
+        let new_value = &workload.decode_values[step];
+        let mut inserted = false;
+        if let Some(slot) = self.store.first_free_slot() {
+            write_new_token(&mut self.store, slot, new_token, new_key, new_value, step)?;
+            policy.note_inserted(new_token);
+            inserted = true;
+        } else {
+            self.resident_scratch.clear();
+            self.resident_scratch
+                .extend(self.store.iter_tokens().map(|(t, _)| t));
+            if let Some(victim) = policy.evict(step, &self.resident_scratch) {
+                let slot =
+                    self.store
+                        .slot_of_token(victim)
+                        .ok_or(HarnessError::EvictedNonResident {
+                            step,
+                            token: victim,
+                        })?;
+                write_new_token(&mut self.store, slot, new_token, new_key, new_value, step)?;
+                policy.note_inserted(new_token);
+                inserted = true;
+            }
+            // None: the incoming token is dropped (policy refused to evict).
+        }
+
+        self.next_step += 1;
+        self.resident_trace.push(self.store.len());
+        Ok(StepOutcome {
+            step,
+            selected: decision.selected.len(),
+            resident: self.store.len(),
+            inserted,
+            remaining: self.remaining(),
+        })
+    }
+
+    /// Runs every remaining decode step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`DecodeSession::step`] error.
+    pub fn run_to_completion(&mut self) -> Result<(), HarnessError> {
+        while !self.is_done() {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Retires the session into its aggregate [`SimResult`]. Finishing
+    /// early (before [`is_done`](DecodeSession::is_done)) is allowed: the
+    /// result then aggregates only the steps that ran.
+    #[must_use]
+    pub fn finish(self) -> SimResult {
+        SimResult {
+            policy: self.policy.as_ref().name().to_owned(),
+            workload: self.workload.name.clone(),
+            output_cosine: self.cos.value(),
+            output_rel_error: self.rel.value(),
+            salient_recall: self.recall.value(),
+            salient_f1: self.f1.value(),
+            retrieval_accuracy: self.hits.value(),
+            mean_selected: self.n_selected.value(),
+            mean_resident: self.n_resident.value(),
+            steps: self.workload.decode_queries.len(),
+            answer_steps: usize::try_from(self.recall.count()).expect("step count fits usize"),
+        }
+    }
+}
+
+/// Writes the newly generated token into `slot`, mapping a store-level
+/// token collision to the harness error (other store errors are internal
+/// invariant violations: the slot came from the store, the dims from the
+/// workload).
+fn write_new_token(
+    store: &mut KvStore,
+    slot: usize,
+    token: usize,
+    key: &[f32],
+    value: &[f32],
+    step: usize,
+) -> Result<(), HarnessError> {
+    match store.write_slot_parts(slot, token, key, value) {
+        Ok(_) => Ok(()),
+        Err(AttentionError::DuplicateToken { token, .. }) => {
+            Err(HarnessError::DuplicateToken { step, token })
+        }
+        Err(e) => unreachable!("in-range slot write failed: {e}"),
+    }
+}
+
+/// Resolves a policy's selection to physical slots (shared by the per-step
+/// core and [`attention_over`](crate::attention_over), so the residency
+/// contract is enforced — and worded — in exactly one place).
+///
+/// # Errors
+///
+/// Returns the first non-resident token (the caller attaches step context).
+pub(crate) fn gather_selected_slots(
+    store: &KvStore,
+    selected: &[usize],
+    slots: &mut Vec<usize>,
+) -> Result<(), usize> {
+    slots.clear();
+    for &t in selected {
+        slots.push(store.slot_of_token(t).ok_or(t)?);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::{FullCache, HybridStaticDynamic};
+    use crate::simulate_decode;
+    use unicaim_attention::workloads::needle_task;
+    use unicaim_attention::Matrix;
+
+    #[test]
+    fn session_steps_match_run_to_completion_wrapper() {
+        let w = needle_task(96, 12, 1);
+        let cfg = SimConfig::new(48, 16).with_prefill_budget(40);
+        let mut reference_policy = HybridStaticDynamic::new(40, 8, 16);
+        let expected = simulate_decode(&w, &mut reference_policy, &cfg).unwrap();
+
+        let mut session =
+            DecodeSession::prefill(&w, Box::new(HybridStaticDynamic::new(40, 8, 16)), &cfg)
+                .unwrap();
+        assert_eq!(session.steps(), 12);
+        assert!(!session.is_done());
+        let mut outcomes = Vec::new();
+        while !session.is_done() {
+            outcomes.push(session.step().unwrap());
+        }
+        assert_eq!(outcomes.len(), 12);
+        assert_eq!(outcomes[0].step, 0);
+        assert_eq!(outcomes[11].remaining, 0);
+        assert_eq!(session.resident_trace().len(), 13);
+        assert_eq!(session.finish(), expected);
+    }
+
+    #[test]
+    fn stepping_past_the_end_is_a_typed_error() {
+        let w = needle_task(32, 4, 2);
+        let mut session = DecodeSession::prefill(
+            &w,
+            Box::new(FullCache::new()),
+            &SimConfig::new(w.total_tokens(), usize::MAX),
+        )
+        .unwrap();
+        session.run_to_completion().unwrap();
+        assert_eq!(
+            session.step(),
+            Err(HarnessError::SessionExhausted { steps: 4 })
+        );
+    }
+
+    #[test]
+    fn early_finish_aggregates_partial_steps() {
+        let w = needle_task(48, 8, 3);
+        let mut session = DecodeSession::prefill(
+            &w,
+            Box::new(FullCache::new()),
+            &SimConfig::new(w.total_tokens(), usize::MAX),
+        )
+        .unwrap();
+        for _ in 0..3 {
+            session.step().unwrap();
+        }
+        let r = session.finish();
+        // `steps` reports the workload length; the means cover 3 steps.
+        assert_eq!(r.steps, 8);
+        assert!(r.output_cosine > 0.99);
+    }
+
+    /// A policy that keeps a fixed, possibly malformed prefill set.
+    struct KeepsExactly(Vec<usize>);
+
+    impl Policy for KeepsExactly {
+        fn name(&self) -> &'static str {
+            "keeps_exactly"
+        }
+        fn prefill_keep(&mut self, _attn: &Matrix, _budget: usize) -> Vec<usize> {
+            self.0.clone()
+        }
+        fn select(&mut self, _step: usize, _scored: &[(usize, f32)], _k: usize) -> StepDecision {
+            StepDecision {
+                selected: Vec::new(),
+            }
+        }
+        fn observe(&mut self, _step: usize, _weights: &[(usize, f32)]) {}
+        fn evict(&mut self, _step: usize, resident: &[usize]) -> Option<usize> {
+            resident.first().copied()
+        }
+    }
+
+    use crate::policy::StepDecision;
+
+    #[test]
+    fn prefill_over_budget_is_a_typed_error() {
+        let w = needle_task(32, 4, 4);
+        let err = DecodeSession::prefill(
+            &w,
+            Box::new(KeepsExactly((0..10).collect())),
+            &SimConfig::new(8, 4),
+        )
+        .err()
+        .unwrap();
+        assert_eq!(
+            err,
+            HarnessError::PrefillOverBudget {
+                kept: 10,
+                capacity: 8
+            }
+        );
+    }
+
+    #[test]
+    fn prefill_out_of_range_is_a_typed_error() {
+        let w = needle_task(32, 4, 5);
+        let err = DecodeSession::prefill(
+            &w,
+            Box::new(KeepsExactly(vec![0, 999])),
+            &SimConfig::new(8, 4),
+        )
+        .err()
+        .unwrap();
+        assert_eq!(
+            err,
+            HarnessError::PrefillOutOfRange {
+                token: 999,
+                prefill_len: 32
+            }
+        );
+    }
+
+    #[test]
+    fn prefill_duplicate_is_a_typed_error() {
+        let w = needle_task(32, 4, 6);
+        let err = DecodeSession::prefill(
+            &w,
+            Box::new(KeepsExactly(vec![3, 3])),
+            &SimConfig::new(8, 4),
+        )
+        .err()
+        .unwrap();
+        assert_eq!(err, HarnessError::PrefillDuplicate { token: 3 });
+    }
+}

@@ -1,15 +1,15 @@
-//! The decode simulation harness: drives any [`Policy`] over a
-//! [`DecodeWorkload`], computing retrieval and fidelity metrics.
-
-use std::collections::BTreeSet;
+//! The single-sequence decode harness: configuration, aggregate metrics,
+//! and the run-to-completion [`simulate_decode`] wrapper over the
+//! incremental [`DecodeSession`](crate::DecodeSession) API.
 
 use serde::{Deserialize, Serialize};
 use unicaim_attention::kernels::{self, RowView};
-use unicaim_attention::metrics::{cosine_similarity, relative_l2_error, set_f1, Mean};
 use unicaim_attention::workloads::DecodeWorkload;
 use unicaim_attention::{softmax_in_place, KvStore, Matrix};
 
+use crate::error::HarnessError;
 use crate::policy::Policy;
+use crate::session::{gather_selected_slots, DecodeSession};
 
 /// Harness configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -18,20 +18,44 @@ pub struct SimConfig {
     pub capacity: usize,
     /// Dynamic top-k width passed to the policy each step.
     pub k: usize,
-    /// Prefill keep budget handed to the policy (usually `capacity` minus
-    /// the reserved decode slots).
+    /// Prefill keep budget handed to the policy. Defaults to `capacity`
+    /// (see [`SimConfig::new`]); use
+    /// [`SimConfig::reserved_decode_slots`] or
+    /// [`SimConfig::with_prefill_budget`] to hold back decode slots the
+    /// prefill stage must not fill.
     pub prefill_budget: usize,
 }
 
 impl SimConfig {
     /// A config with `capacity` slots and top-`k` selection; the prefill
-    /// budget defaults to `capacity`.
+    /// budget defaults to the full `capacity` (no slots are reserved for
+    /// decode — a policy like the paper's hybrid scheme typically wants
+    /// [`SimConfig::reserved_decode_slots`] instead).
     #[must_use]
     pub fn new(capacity: usize, k: usize) -> Self {
         Self {
             capacity,
             k,
             prefill_budget: capacity,
+        }
+    }
+
+    /// A config with `capacity` slots and top-`k` selection that reserves
+    /// `m` decode slots: the prefill budget is `capacity - m` (saturating),
+    /// the paper's fixed `H + M` cache split.
+    ///
+    /// ```
+    /// use unicaim_kvcache::SimConfig;
+    /// let cfg = SimConfig::reserved_decode_slots(64, 16, 16);
+    /// assert_eq!(cfg.prefill_budget, 48);
+    /// assert_eq!(cfg, SimConfig::new(64, 16).with_prefill_budget(48));
+    /// ```
+    #[must_use]
+    pub fn reserved_decode_slots(capacity: usize, k: usize, m: usize) -> Self {
+        Self {
+            capacity,
+            k,
+            prefill_budget: capacity.saturating_sub(m),
         }
     }
 
@@ -90,232 +114,23 @@ pub struct SimResult {
 /// exact attention over the selection → observe weights over all residents
 /// → insert the newly generated token (evicting on overflow).
 ///
-/// # Panics
+/// This is a thin wrapper over the incremental
+/// [`DecodeSession`](crate::DecodeSession) lifecycle: `prefill`, `step`
+/// until done, `finish`.
 ///
-/// Panics if the policy's prefill keep set exceeds the cache capacity or if
-/// it evicts a token that is not resident.
-#[must_use]
+/// # Errors
+///
+/// Propagates the first harness ↔ policy contract violation as a
+/// [`HarnessError`] (prefill keep set over capacity, non-resident selection
+/// or eviction, …) instead of panicking.
 pub fn simulate_decode(
     workload: &DecodeWorkload,
     policy: &mut dyn Policy,
     config: &SimConfig,
-) -> SimResult {
-    let mut state = DecodeState::prefill(workload, policy, config);
-    for step in 0..state.steps() {
-        state.step(policy, step);
-    }
-    state.finish(policy)
-}
-
-/// Per-sequence decode state: the KV store, the exact-attention reference,
-/// and the metric accumulators of one sequence mid-flight.
-///
-/// This is the shared per-step core behind both [`simulate_decode`] and the
-/// batched driver ([`crate::simulate_batch`]): a batch of size 1 reproduces
-/// `simulate_decode` exactly because both run this code path step for step.
-pub(crate) struct DecodeState<'w> {
-    workload: &'w DecodeWorkload,
-    config: SimConfig,
-    store: KvStore,
-    reference: Vec<Vec<f32>>,
-    salient_universe: BTreeSet<usize>,
-    /// `1/√dim`, the attention score scale.
-    inv_sqrt_dim: f32,
-    // Reused per-step scratch buffers: the steady-state decode step is
-    // allocation-free (see the `kernels` module docs).
-    scored: Vec<(usize, f32)>,
-    sel_slots: Vec<usize>,
-    weights: Vec<f32>,
-    output: Vec<f32>,
-    observed: Vec<(usize, f32)>,
-    resident_scratch: Vec<usize>,
-    cos: Mean,
-    rel: Mean,
-    recall: Mean,
-    f1: Mean,
-    hits: Mean,
-    n_selected: Mean,
-    n_resident: Mean,
-}
-
-impl<'w> DecodeState<'w> {
-    /// Runs the prefill stage: causal attention matrix, the policy's static
-    /// keep decision, and the initial KV-store population.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the policy's prefill keep set exceeds the cache capacity.
-    pub(crate) fn prefill(
-        workload: &'w DecodeWorkload,
-        policy: &mut dyn Policy,
-        config: &SimConfig,
-    ) -> Self {
-        let dim = workload.dim;
-        let prefill_len = workload.prefill_keys.len();
-        let attn = prefill_attention_matrix(workload);
-        let keep = policy.prefill_keep(&attn, config.prefill_budget.min(prefill_len));
-        let mut store = KvStore::new(config.capacity, dim);
-        for &t in &keep {
-            store
-                .append_parts(t, &workload.prefill_keys[t], &workload.prefill_values[t])
-                .expect("prefill keep set must fit the cache capacity");
-        }
-        let salient_universe: BTreeSet<usize> = workload
-            .salient_at
-            .iter()
-            .flat_map(|s| s.iter().copied())
-            .collect();
-        Self {
-            workload,
-            config: *config,
-            store,
-            reference: workload.full_attention_reference(),
-            salient_universe,
-            inv_sqrt_dim: 1.0 / (dim as f32).sqrt(),
-            scored: Vec::with_capacity(config.capacity),
-            sel_slots: Vec::with_capacity(config.capacity),
-            weights: Vec::with_capacity(config.capacity),
-            output: vec![0.0; dim],
-            observed: Vec::with_capacity(config.capacity),
-            resident_scratch: Vec::with_capacity(config.capacity),
-            cos: Mean::new(),
-            rel: Mean::new(),
-            recall: Mean::new(),
-            f1: Mean::new(),
-            hits: Mean::new(),
-            n_selected: Mean::new(),
-            n_resident: Mean::new(),
-        }
-    }
-
-    /// Total number of decode steps this sequence has.
-    pub(crate) fn steps(&self) -> usize {
-        self.workload.decode_queries.len()
-    }
-
-    /// Number of currently resident tokens (occupied KV slots).
-    pub(crate) fn resident(&self) -> usize {
-        self.store.len()
-    }
-
-    /// Runs one decode step: score residents → select → exact attention →
-    /// observe → insert the new token (evicting on overflow).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the policy selects a non-resident token or evicts a token
-    /// that is not resident.
-    pub(crate) fn step(&mut self, policy: &mut dyn Policy, step: usize) {
-        let workload = self.workload;
-        let prefill_len = workload.prefill_keys.len();
-        let query = &workload.decode_queries[step];
-
-        // 1. Score every resident token: one strided pass over the key
-        //    arena, already in the ascending-token order the contract
-        //    guarantees (no per-step sort).
-        self.scored.clear();
-        let keys = self.store.keys_view();
-        for (token, slot) in self.store.iter_tokens() {
-            self.scored.push((
-                token,
-                kernels::dot(query, keys.row(slot)) * self.inv_sqrt_dim,
-            ));
-        }
-        self.n_resident.push(self.scored.len() as f64);
-
-        // 2. Dynamic selection.
-        let decision = policy.select(step, &self.scored, self.config.k);
-        self.n_selected.push(decision.selected.len() as f64);
-
-        // 3. Exact attention over the selection: gather slots, then the
-        //    fused score→softmax→weighted-sum kernel over the arenas.
-        gather_selected_slots(&self.store, &decision.selected, &mut self.sel_slots);
-        kernels::attend_gather(
-            query,
-            self.store.keys_view(),
-            self.store.values_view(),
-            &self.sel_slots,
-            self.inv_sqrt_dim,
-            &mut self.weights,
-            &mut self.output,
-        );
-        self.cos
-            .push(cosine_similarity(&self.output, &self.reference[step]));
-        self.rel
-            .push(relative_l2_error(&self.output, &self.reference[step]));
-
-        // 4. Salience metrics at answer steps.
-        let salient = &workload.salient_at[step];
-        if !salient.is_empty() {
-            let selected_set: BTreeSet<usize> = decision.selected.iter().copied().collect();
-            let s = set_f1(&(&selected_set & salient), salient);
-            self.recall.push(s.recall);
-            let predicted: BTreeSet<usize> = selected_set
-                .intersection(&self.salient_universe)
-                .copied()
-                .collect();
-            self.f1.push(set_f1(&predicted, salient).f1);
-            self.hits.push(if s.recall >= 1.0 { 1.0 } else { 0.0 });
-        }
-
-        // 5. Observe weights over all residents (charge-domain accumulation
-        //    sees every row).
-        self.weights.clear();
-        self.weights.extend(self.scored.iter().map(|&(_, s)| s));
-        softmax_in_place(&mut self.weights);
-        self.observed.clear();
-        self.observed.extend(
-            self.scored
-                .iter()
-                .map(|&(t, _)| t)
-                .zip(self.weights.iter().copied()),
-        );
-        policy.observe(step, &self.observed);
-
-        // 6. Insert the newly generated token, evicting on overflow. The
-        //    key/value slices are copied straight into the arenas.
-        let new_token = prefill_len + step;
-        let new_key = &workload.decode_keys[step];
-        let new_value = &workload.decode_values[step];
-        if let Some(slot) = self.store.first_free_slot() {
-            self.store
-                .write_slot_parts(slot, new_token, new_key, new_value)
-                .expect("slot in range");
-            policy.note_inserted(new_token);
-        } else {
-            self.resident_scratch.clear();
-            self.resident_scratch
-                .extend(self.store.iter_tokens().map(|(t, _)| t));
-            if let Some(victim) = policy.evict(step, &self.resident_scratch) {
-                let slot = self
-                    .store
-                    .slot_of_token(victim)
-                    .expect("policy must evict a resident token");
-                self.store
-                    .write_slot_parts(slot, new_token, new_key, new_value)
-                    .expect("slot in range");
-                policy.note_inserted(new_token);
-            }
-            // None: the incoming token is dropped (policy refused to evict).
-        }
-    }
-
-    /// Consumes the state into the aggregate [`SimResult`].
-    pub(crate) fn finish(self, policy: &dyn Policy) -> SimResult {
-        SimResult {
-            policy: policy.name().to_owned(),
-            workload: self.workload.name.clone(),
-            output_cosine: self.cos.value(),
-            output_rel_error: self.rel.value(),
-            salient_recall: self.recall.value(),
-            salient_f1: self.f1.value(),
-            retrieval_accuracy: self.hits.value(),
-            mean_selected: self.n_selected.value(),
-            mean_resident: self.n_resident.value(),
-            steps: self.workload.decode_queries.len(),
-            answer_steps: usize::try_from(self.recall.count()).expect("step count fits usize"),
-        }
-    }
+) -> Result<SimResult, HarnessError> {
+    let mut session = DecodeSession::prefill_borrowed(workload, policy, config)?;
+    session.run_to_completion()?;
+    Ok(session.finish())
 }
 
 /// The causal prefill attention-probability matrix of a workload (what the
@@ -352,20 +167,25 @@ pub fn prefill_attention_matrix(workload: &DecodeWorkload) -> Matrix {
 /// nothing). Runs the fused [`kernels::attend_gather`] kernel over the
 /// store's flat key/value arenas.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a selected token is not resident. The harness↔policy contract
-/// (see [`Policy`]) requires selections to be a subset of the scored
-/// resident set; silently skipping a non-resident token would mask a broken
-/// policy behind quietly degraded fidelity metrics.
-#[must_use]
-pub fn attention_over(store: &KvStore, selected: &[usize], query: &[f32]) -> Vec<f32> {
+/// Returns [`HarnessError::NonResidentToken`] when a selected token is not
+/// resident. The harness↔policy contract (see [`Policy`]) requires
+/// selections to be a subset of the scored resident set; silently skipping
+/// a non-resident token would mask a broken policy behind quietly degraded
+/// fidelity metrics.
+pub fn attention_over(
+    store: &KvStore,
+    selected: &[usize],
+    query: &[f32],
+) -> Result<Vec<f32>, HarnessError> {
     let mut out = vec![0.0; store.dim()];
     if selected.is_empty() {
-        return out;
+        return Ok(out);
     }
     let mut slots = Vec::with_capacity(selected.len());
-    gather_selected_slots(store, selected, &mut slots);
+    gather_selected_slots(store, selected, &mut slots)
+        .map_err(|token| HarnessError::NonResidentToken { token })?;
     let scale = 1.0 / (query.len() as f32).sqrt();
     let mut weights = Vec::with_capacity(slots.len());
     kernels::attend_gather(
@@ -377,27 +197,7 @@ pub fn attention_over(store: &KvStore, selected: &[usize], query: &[f32]) -> Vec
         &mut weights,
         &mut out,
     );
-    out
-}
-
-/// Resolves a policy's selection to physical slots (shared by the per-step
-/// core and [`attention_over`], so the residency contract is enforced — and
-/// worded — in exactly one place).
-///
-/// # Panics
-///
-/// Panics if a selected token is not resident (see the harness↔policy
-/// contract on [`Policy`]).
-fn gather_selected_slots(store: &KvStore, selected: &[usize], slots: &mut Vec<usize>) {
-    slots.clear();
-    for &t in selected {
-        slots.push(store.slot_of_token(t).unwrap_or_else(|| {
-            panic!(
-                "policy selected token {t}, which is not resident \
-                 (selections must be a subset of the scored resident set)"
-            )
-        }));
-    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -411,7 +211,7 @@ mod tests {
     fn full_cache_is_exact() {
         let w = needle_task(96, 12, 1);
         let mut p = FullCache::new();
-        let r = simulate_decode(&w, &mut p, &SimConfig::new(w.total_tokens(), usize::MAX));
+        let r = simulate_decode(&w, &mut p, &SimConfig::new(w.total_tokens(), usize::MAX)).unwrap();
         assert!(
             r.output_cosine > 0.999,
             "full cache must match the reference, {r:?}"
@@ -425,7 +225,7 @@ mod tests {
     fn oracle_topk_tracks_reference_closely() {
         let w = needle_task(128, 16, 2);
         let mut p = OracleTopK::new();
-        let r = simulate_decode(&w, &mut p, &SimConfig::new(w.total_tokens(), 16));
+        let r = simulate_decode(&w, &mut p, &SimConfig::new(w.total_tokens(), 16)).unwrap();
         assert!(r.output_cosine > 0.95, "{r:?}");
         assert!(r.salient_recall > 0.99, "{r:?}");
         assert!((r.mean_selected - 16.0).abs() < 1e-9);
@@ -439,14 +239,16 @@ mod tests {
         let r_h = simulate_decode(
             &w,
             &mut hybrid,
-            &SimConfig::new(capacity, 24).with_prefill_budget(capacity - 16),
-        );
+            &SimConfig::reserved_decode_slots(capacity, 24, 16),
+        )
+        .unwrap();
         let mut streaming = StreamingLlm::new(4);
         let r_s = simulate_decode(
             &w,
             &mut streaming,
             &SimConfig::new(capacity, 24).with_prefill_budget(capacity),
-        );
+        )
+        .unwrap();
         assert!(
             r_h.salient_recall > r_s.salient_recall + 0.3,
             "hybrid {:.2} must clearly beat streaming {:.2} on a mid-context needle",
@@ -463,14 +265,16 @@ mod tests {
         let r_h = simulate_decode(
             &w,
             &mut hybrid,
-            &SimConfig::new(capacity, 32).with_prefill_budget(capacity - 16),
-        );
+            &SimConfig::reserved_decode_slots(capacity, 32, 16),
+        )
+        .unwrap();
         let mut snap = SnapKv::new(16);
         let r_s = simulate_decode(
             &w,
             &mut snap,
             &SimConfig::new(capacity + 48, 32).with_prefill_budget(capacity),
-        );
+        )
+        .unwrap();
         assert!(
             r_h.salient_recall >= r_s.salient_recall - 1e-9,
             "hybrid {:.3} must be at least as good as snapkv {:.3}",
@@ -483,7 +287,8 @@ mod tests {
     fn h2o_runs_on_summary_task() {
         let w = summary_task(192, 32, 5);
         let mut p = H2O::new(8);
-        let r = simulate_decode(&w, &mut p, &SimConfig::new(96, 32).with_prefill_budget(96));
+        let r =
+            simulate_decode(&w, &mut p, &SimConfig::new(96, 32).with_prefill_budget(96)).unwrap();
         assert!(r.steps == 32);
         assert!(r.output_cosine > 0.3);
     }
@@ -493,7 +298,7 @@ mod tests {
         let w = needle_task(128, 32, 6);
         let mut p = HybridStaticDynamic::new(40, 8, 16);
         let cfg = SimConfig::new(48, 16).with_prefill_budget(40);
-        let r = simulate_decode(&w, &mut p, &cfg);
+        let r = simulate_decode(&w, &mut p, &cfg).unwrap();
         assert!(r.mean_resident <= 48.0 + 1e-9, "{r:?}");
     }
 
@@ -503,7 +308,7 @@ mod tests {
         let w = needle_task(256, 32, 11);
         let k = 24;
         let run = |policy: &mut dyn crate::Policy, cap: usize| {
-            simulate_decode(&w, policy, &SimConfig::new(cap, k))
+            simulate_decode(&w, policy, &SimConfig::new(cap, k)).unwrap()
         };
         let cap = w.total_tokens();
         let mut oracle = OracleTopK::new();
@@ -523,11 +328,8 @@ mod tests {
         // Generous capacity: the true needle survives static pruning even
         // next to heavily mentioned distractors, and top-k finds it.
         let mut p = HybridStaticDynamic::new(112, 16, 32);
-        let r = simulate_decode(
-            &w,
-            &mut p,
-            &SimConfig::new(128, 32).with_prefill_budget(112),
-        );
+        let r =
+            simulate_decode(&w, &mut p, &SimConfig::reserved_decode_slots(128, 32, 16)).unwrap();
         assert!(
             r.salient_recall > 0.9,
             "hybrid must retrieve the true needle despite distractors: {r:?}"
@@ -539,7 +341,8 @@ mod tests {
         use unicaim_attention::workloads::transformer_trace;
         let w = transformer_trace(96, 12, 3);
         let mut full = FullCache::new();
-        let r = simulate_decode(&w, &mut full, &SimConfig::new(w.total_tokens(), usize::MAX));
+        let r =
+            simulate_decode(&w, &mut full, &SimConfig::new(w.total_tokens(), usize::MAX)).unwrap();
         assert!(
             r.output_cosine > 0.999,
             "full cache must be exact on real traces: {r:?}"
@@ -549,7 +352,8 @@ mod tests {
             &w,
             &mut hybrid,
             &SimConfig::new(60, 24).with_prefill_budget(48),
-        );
+        )
+        .unwrap();
         assert!(r2.output_cosine.is_finite());
         assert!(r2.mean_resident <= 60.0 + 1e-9);
     }
@@ -560,6 +364,13 @@ mod tests {
         assert_eq!(ratio_capacity(&w, 1.0), 72);
         assert_eq!(ratio_capacity(&w, 0.5), 36);
         assert_eq!(ratio_capacity(&w, 0.001), 8);
+    }
+
+    #[test]
+    fn reserved_decode_slots_saturates() {
+        let cfg = SimConfig::reserved_decode_slots(8, 4, 100);
+        assert_eq!(cfg.prefill_budget, 0);
+        assert_eq!(cfg.capacity, 8);
     }
 
     #[test]
@@ -618,21 +429,70 @@ mod tests {
         }
     }
 
+    /// A policy that names a non-resident eviction victim once full.
+    struct EvictsGhostToken;
+
+    impl crate::Policy for EvictsGhostToken {
+        fn name(&self) -> &'static str {
+            "evicts_ghost_token"
+        }
+        fn prefill_keep(&mut self, attn: &Matrix, budget: usize) -> Vec<usize> {
+            (0..attn.rows().min(budget)).collect()
+        }
+        fn select(&mut self, _step: usize, _scored: &[(usize, f32)], _k: usize) -> StepDecision {
+            StepDecision {
+                selected: Vec::new(),
+            }
+        }
+        fn observe(&mut self, _step: usize, _weights: &[(usize, f32)]) {}
+        fn evict(&mut self, _step: usize, _resident: &[usize]) -> Option<usize> {
+            Some(usize::MAX)
+        }
+    }
+
     use crate::policy::StepDecision;
 
     #[test]
-    #[should_panic(expected = "not resident")]
-    fn non_resident_selection_panics() {
+    fn non_resident_selection_is_a_typed_error() {
         let w = needle_task(32, 4, 20);
         let mut p = SelectsGhostToken;
-        let _ = simulate_decode(&w, &mut p, &SimConfig::new(w.total_tokens(), 4));
+        let err = simulate_decode(&w, &mut p, &SimConfig::new(w.total_tokens(), 4))
+            .err()
+            .unwrap();
+        assert_eq!(
+            err,
+            HarnessError::SelectedNonResident {
+                step: 0,
+                token: usize::MAX
+            }
+        );
     }
 
     #[test]
-    #[should_panic(expected = "not resident")]
+    fn non_resident_eviction_is_a_typed_error() {
+        let w = needle_task(32, 4, 24);
+        let mut p = EvictsGhostToken;
+        // Capacity exactly the prompt length: the first decode insert must
+        // evict, and the policy names a ghost victim.
+        let err = simulate_decode(&w, &mut p, &SimConfig::new(32, 4))
+            .err()
+            .unwrap();
+        assert_eq!(
+            err,
+            HarnessError::EvictedNonResident {
+                step: 0,
+                token: usize::MAX
+            }
+        );
+    }
+
+    #[test]
     fn attention_over_rejects_non_resident_token() {
         let store = KvStore::new(4, 2);
-        let _ = attention_over(&store, &[7], &[1.0, 0.0]);
+        assert_eq!(
+            attention_over(&store, &[7], &[1.0, 0.0]),
+            Err(HarnessError::NonResidentToken { token: 7 })
+        );
     }
 
     #[test]
@@ -645,13 +505,16 @@ mod tests {
                 value: vec![0.5, 0.5, 0.5],
             })
             .unwrap();
-        assert_eq!(attention_over(&store, &[], &[1.0, 0.0, 0.0]), vec![0.0; 3]);
+        assert_eq!(
+            attention_over(&store, &[], &[1.0, 0.0, 0.0]).unwrap(),
+            vec![0.0; 3]
+        );
 
         // Through the harness: a policy that selects nothing produces zero
         // outputs (cosine 0 against any nonzero reference), not a crash.
         let w = needle_task(32, 4, 21);
         let mut p = SelectsNothing;
-        let r = simulate_decode(&w, &mut p, &SimConfig::new(w.total_tokens(), 4));
+        let r = simulate_decode(&w, &mut p, &SimConfig::new(w.total_tokens(), 4)).unwrap();
         assert_eq!(r.mean_selected, 0.0);
         assert!(r.output_cosine.abs() < 1e-12, "{r:?}");
     }
@@ -661,7 +524,7 @@ mod tests {
         // A workload with answer steps: zero recall means retrieval failed.
         let w = needle_task(64, 8, 22);
         let mut p = FullCache::new();
-        let r = simulate_decode(&w, &mut p, &SimConfig::new(w.total_tokens(), usize::MAX));
+        let r = simulate_decode(&w, &mut p, &SimConfig::new(w.total_tokens(), usize::MAX)).unwrap();
         assert_eq!(r.answer_steps, w.answer_steps.len());
         assert!(r.answer_steps > 0);
 
@@ -670,7 +533,7 @@ mod tests {
         use unicaim_attention::workloads::transformer_trace;
         let w = transformer_trace(48, 6, 23);
         let mut p = FullCache::new();
-        let r = simulate_decode(&w, &mut p, &SimConfig::new(w.total_tokens(), usize::MAX));
+        let r = simulate_decode(&w, &mut p, &SimConfig::new(w.total_tokens(), usize::MAX)).unwrap();
         assert_eq!(r.answer_steps, 0);
         assert_eq!(r.salient_recall, 0.0);
         assert_eq!(r.retrieval_accuracy, 0.0);
@@ -681,7 +544,7 @@ mod tests {
         let w = needle_task(128, 24, 9);
         let mut p = StreamingLlm::new(4);
         let cfg = SimConfig::new(32, 32);
-        let _ = simulate_decode(&w, &mut p, &cfg);
+        let _ = simulate_decode(&w, &mut p, &cfg).unwrap();
         // After the run the policy survived; the capacity test above covers
         // the invariant. (Resident tracking is internal to the harness.)
     }

@@ -1,0 +1,265 @@
+//! Serializable policy specifications: construct any shipped [`Policy`]
+//! from data instead of hand-wired closures.
+//!
+//! A [`PolicySpec`] is the registry entry for one policy configuration —
+//! benches, examples, and CLI binaries describe *which* policy to run as a
+//! value (JSON-serializable through the vendored serde), and the engine
+//! mints fresh instances per sequence with [`PolicySpec::build`]. Every
+//! policy the crate ships is covered; [`PolicySpec::from_name`] maps the
+//! policy display names (what [`Policy::name`] reports) to documented
+//! default configurations.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::HarnessError;
+use crate::policies::{
+    BlockTopK, FullCache, HybridStaticDynamic, OracleTopK, SnapKv, StreamingLlm, H2O,
+};
+use crate::policy::Policy;
+
+/// A buildable, serializable description of one policy configuration.
+///
+/// ```
+/// use unicaim_kvcache::PolicySpec;
+///
+/// let spec = PolicySpec::hybrid_for_share(96, 16, 32);
+/// let mut policy = spec.build();
+/// assert_eq!(policy.name(), "hybrid_static_dynamic");
+///
+/// // Round-trips through JSON (the serving-config story).
+/// let text = serde_json::to_string(&spec).unwrap();
+/// let back: PolicySpec = serde_json::from_str(&text).unwrap();
+/// assert_eq!(back, spec);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PolicySpec {
+    /// [`FullCache`]: no pruning, the exact-attention reference.
+    Full,
+    /// [`StreamingLlm`]: fixed sinks + recency window.
+    StreamingLlm {
+        /// Number of protected attention-sink tokens.
+        n_sinks: usize,
+    },
+    /// [`H2O`]: accumulated-attention heavy hitters + protected recents.
+    H2O {
+        /// Tokens protected from eviction by recency.
+        recent_budget: usize,
+    },
+    /// [`SnapKv`]: one-shot prefill compression via observation window.
+    SnapKv {
+        /// Observation-window length (last prompt queries).
+        obs_window: usize,
+    },
+    /// [`OracleTopK`]: exact per-step dynamic top-k (upper bound).
+    OracleTopK,
+    /// [`BlockTopK`]: block-granular dynamic selection.
+    BlockTopK {
+        /// Tokens per block (must be nonzero).
+        block: usize,
+    },
+    /// [`HybridStaticDynamic`]: the paper's hybrid scheme.
+    HybridStaticDynamic {
+        /// Prefill heavy-token budget `H`.
+        h: usize,
+        /// Reserved decode slots `M`.
+        m: usize,
+        /// Dynamic top-k width.
+        k: usize,
+        /// Most-recent generated tokens protected from eviction.
+        protect_recent: usize,
+        /// `Some(α)` switches the score table to EWMA (charge-sharing)
+        /// semantics; `None` is the paper's plain running sum.
+        ewma_alpha: Option<f64>,
+    },
+}
+
+impl PolicySpec {
+    /// Every registry name, in [`PolicySpec::from_name`] order. These are
+    /// the same strings the built policies report from [`Policy::name`].
+    pub const NAMES: [&'static str; 7] = [
+        "full",
+        "streaming_llm",
+        "h2o",
+        "snapkv",
+        "oracle_topk",
+        "block_topk",
+        "hybrid_static_dynamic",
+    ];
+
+    /// The paper's hybrid scheme sized for a per-sequence slot share:
+    /// `H = share - m` heavy prefill tokens, `m` reserved decode slots,
+    /// top-`k` selection, default recency protection.
+    #[must_use]
+    pub fn hybrid_for_share(share: usize, m: usize, k: usize) -> Self {
+        PolicySpec::HybridStaticDynamic {
+            h: share.saturating_sub(m),
+            m,
+            k,
+            protect_recent: 1,
+            ewma_alpha: None,
+        }
+    }
+
+    /// Looks a spec up by policy display name, with documented default
+    /// parameters: 4 sinks (`streaming_llm`), recent budget 16 (`h2o`),
+    /// observation window 16 (`snapkv`), block size 8 (`block_topk`), and
+    /// an `H=80, M=16, k=32` hybrid (the 96-slot share the throughput
+    /// bench uses).
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::UnknownPolicy`] for a name outside
+    /// [`PolicySpec::NAMES`].
+    pub fn from_name(name: &str) -> Result<Self, HarnessError> {
+        match name {
+            "full" => Ok(PolicySpec::Full),
+            "streaming_llm" => Ok(PolicySpec::StreamingLlm { n_sinks: 4 }),
+            "h2o" => Ok(PolicySpec::H2O { recent_budget: 16 }),
+            "snapkv" => Ok(PolicySpec::SnapKv { obs_window: 16 }),
+            "oracle_topk" => Ok(PolicySpec::OracleTopK),
+            "block_topk" => Ok(PolicySpec::BlockTopK { block: 8 }),
+            "hybrid_static_dynamic" => Ok(PolicySpec::hybrid_for_share(96, 16, 32)),
+            other => Err(HarnessError::UnknownPolicy {
+                name: other.to_owned(),
+            }),
+        }
+    }
+
+    /// The display name the built policy will report ([`Policy::name`]).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicySpec::Full => "full",
+            PolicySpec::StreamingLlm { .. } => "streaming_llm",
+            PolicySpec::H2O { .. } => "h2o",
+            PolicySpec::SnapKv { .. } => "snapkv",
+            PolicySpec::OracleTopK => "oracle_topk",
+            PolicySpec::BlockTopK { .. } => "block_topk",
+            PolicySpec::HybridStaticDynamic { .. } => "hybrid_static_dynamic",
+        }
+    }
+
+    /// Checks the spec's parameters are buildable.
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::InvalidSpec`] describing the bad parameter (today:
+    /// a zero `block_topk` block size, or an EWMA α outside `(0, 1]`).
+    pub fn validate(&self) -> Result<(), HarnessError> {
+        match self {
+            PolicySpec::BlockTopK { block: 0 } => Err(HarnessError::InvalidSpec {
+                reason: "block_topk block size must be nonzero".to_owned(),
+            }),
+            PolicySpec::HybridStaticDynamic {
+                ewma_alpha: Some(a),
+                ..
+            } if !(*a > 0.0 && *a <= 1.0) => Err(HarnessError::InvalidSpec {
+                reason: format!("hybrid ewma_alpha {a} outside (0, 1]"),
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Builds a fresh policy instance. Policies are [`Send`] by trait
+    /// bound, so the built box can cross scheduler threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`PolicySpec::validate`] (the engine
+    /// validates before building; call `validate` yourself when the spec
+    /// comes from untrusted data).
+    #[must_use]
+    pub fn build(&self) -> Box<dyn Policy> {
+        match *self {
+            PolicySpec::Full => Box::new(FullCache::new()),
+            PolicySpec::StreamingLlm { n_sinks } => Box::new(StreamingLlm::new(n_sinks)),
+            PolicySpec::H2O { recent_budget } => Box::new(H2O::new(recent_budget)),
+            PolicySpec::SnapKv { obs_window } => Box::new(SnapKv::new(obs_window)),
+            PolicySpec::OracleTopK => Box::new(OracleTopK::new()),
+            PolicySpec::BlockTopK { block } => Box::new(BlockTopK::new(block)),
+            PolicySpec::HybridStaticDynamic {
+                h,
+                m,
+                k,
+                protect_recent,
+                ewma_alpha,
+            } => Box::new(HybridStaticDynamic::with_options(
+                h,
+                m,
+                k,
+                protect_recent,
+                ewma_alpha,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_name_resolves_and_builds_with_matching_name() {
+        for name in PolicySpec::NAMES {
+            let spec = PolicySpec::from_name(name).unwrap();
+            assert_eq!(spec.name(), name);
+            spec.validate().unwrap();
+            assert_eq!(spec.build().name(), name);
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_a_typed_error() {
+        assert_eq!(
+            PolicySpec::from_name("quest"),
+            Err(HarnessError::UnknownPolicy {
+                name: "quest".into()
+            })
+        );
+    }
+
+    #[test]
+    fn invalid_specs_fail_validation() {
+        assert!(matches!(
+            PolicySpec::BlockTopK { block: 0 }.validate(),
+            Err(HarnessError::InvalidSpec { .. })
+        ));
+        let bad_alpha = PolicySpec::HybridStaticDynamic {
+            h: 8,
+            m: 4,
+            k: 4,
+            protect_recent: 1,
+            ewma_alpha: Some(1.5),
+        };
+        assert!(matches!(
+            bad_alpha.validate(),
+            Err(HarnessError::InvalidSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn hybrid_for_share_reserves_decode_slots() {
+        let spec = PolicySpec::hybrid_for_share(96, 16, 32);
+        assert_eq!(
+            spec,
+            PolicySpec::HybridStaticDynamic {
+                h: 80,
+                m: 16,
+                k: 32,
+                protect_recent: 1,
+                ewma_alpha: None,
+            }
+        );
+    }
+
+    #[test]
+    fn specs_roundtrip_through_json() {
+        let specs: Vec<PolicySpec> = PolicySpec::NAMES
+            .iter()
+            .map(|n| PolicySpec::from_name(n).unwrap())
+            .collect();
+        let text = serde_json::to_string_pretty(&specs).unwrap();
+        let back: Vec<PolicySpec> = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, specs);
+    }
+}

@@ -4,8 +4,8 @@ use proptest::prelude::*;
 use unicaim_attention::workloads::{generate, NeedleSpec, WorkloadSpec};
 use unicaim_attention::Matrix;
 use unicaim_kvcache::{
-    simulate_batch, simulate_decode, BatchConfig, BlockTopK, FullCache, HybridStaticDynamic,
-    OracleTopK, Policy, ScoreTable, SimConfig, SnapKv, StepDecision, StreamingLlm, H2O,
+    simulate_batch, simulate_decode, BatchConfig, DecodeEngine, EngineConfig, HybridStaticDynamic,
+    Policy, PolicySpec, SchedulerSpec, ScoreTable, SimConfig, StepDecision, StreamingLlm,
 };
 
 fn small_workload(
@@ -42,27 +42,22 @@ fn run_policy(
     k: usize,
 ) -> unicaim_kvcache::SimResult {
     let w = small_workload(seed, 48, 12);
-    simulate_decode(&w, policy, &SimConfig::new(capacity, k))
+    simulate_decode(&w, policy, &SimConfig::new(capacity, k)).expect("contract upheld")
 }
 
-/// The menu of shipped policies, as factories so a fresh, identically
-/// configured instance can be minted per run (needed for equivalence
-/// checks between the single-sequence and batched drivers).
-fn policy_menu(capacity: usize, k: usize) -> Vec<Box<dyn Fn() -> Box<dyn Policy>>> {
+/// The registry specs of every shipped policy, sized so each fits the
+/// per-sequence share — the menu the single/batched/scheduler equivalence
+/// checks iterate (a fresh, identically configured instance is minted per
+/// run via [`PolicySpec::build`]).
+fn policy_menu(capacity: usize, k: usize) -> Vec<PolicySpec> {
     vec![
-        Box::new(|| Box::new(FullCache::new()) as Box<dyn Policy>),
-        Box::new(move || {
-            Box::new(HybridStaticDynamic::new(
-                capacity.saturating_sub(4).max(1),
-                4,
-                k,
-            )) as Box<dyn Policy>
-        }),
-        Box::new(|| Box::new(StreamingLlm::new(2)) as Box<dyn Policy>),
-        Box::new(|| Box::new(H2O::new(4)) as Box<dyn Policy>),
-        Box::new(|| Box::new(SnapKv::new(4)) as Box<dyn Policy>),
-        Box::new(|| Box::new(OracleTopK::new()) as Box<dyn Policy>),
-        Box::new(|| Box::new(BlockTopK::new(4)) as Box<dyn Policy>),
+        PolicySpec::Full,
+        PolicySpec::hybrid_for_share(capacity.saturating_sub(4).max(1) + 4, 4, k),
+        PolicySpec::StreamingLlm { n_sinks: 2 },
+        PolicySpec::H2O { recent_budget: 4 },
+        PolicySpec::SnapKv { obs_window: 4 },
+        PolicySpec::OracleTopK,
+        PolicySpec::BlockTopK { block: 4 },
     ]
 }
 
@@ -118,16 +113,8 @@ proptest! {
         capacity in 12usize..48,
         k in 1usize..32,
     ) {
-        let mut policies: Vec<Box<dyn Policy>> = vec![
-            Box::new(FullCache::new()),
-            Box::new(HybridStaticDynamic::new(capacity.saturating_sub(4).max(1), 4, k)),
-            Box::new(StreamingLlm::new(2)),
-            Box::new(H2O::new(4)),
-            Box::new(SnapKv::new(4)),
-            Box::new(OracleTopK::new()),
-            Box::new(BlockTopK::new(4)),
-        ];
-        for policy in &mut policies {
+        for spec in policy_menu(capacity, k) {
+            let mut policy = spec.build();
             let r = run_policy(policy.as_mut(), seed, capacity, k);
             prop_assert!(r.mean_resident <= capacity as f64 + 1e-9,
                 "{}: resident {} > capacity {capacity}", r.policy, r.mean_resident);
@@ -147,8 +134,10 @@ proptest! {
         let w = small_workload(seed, 48, 12);
         let cap = w.total_tokens();
         let recall_at = |k: usize| {
-            let mut oracle = OracleTopK::new();
-            simulate_decode(&w, &mut oracle, &SimConfig::new(cap, k)).salient_recall
+            let mut oracle = PolicySpec::OracleTopK.build();
+            simulate_decode(&w, oracle.as_mut(), &SimConfig::new(cap, k))
+                .expect("contract upheld")
+                .salient_recall
         };
         let narrow = recall_at(k);
         let wide = recall_at(2 * k);
@@ -161,8 +150,9 @@ proptest! {
     #[test]
     fn full_cache_is_exact_for_any_seed(seed in 0u64..300) {
         let w = small_workload(seed, 32, 8);
-        let mut full = FullCache::new();
-        let r = simulate_decode(&w, &mut full, &SimConfig::new(w.total_tokens(), usize::MAX));
+        let mut full = PolicySpec::Full.build();
+        let r = simulate_decode(&w, full.as_mut(), &SimConfig::new(w.total_tokens(), usize::MAX))
+            .expect("contract upheld");
         prop_assert!(r.output_cosine > 0.9999, "cosine {}", r.output_cosine);
         prop_assert!(r.output_rel_error < 1e-3, "rel err {}", r.output_rel_error);
     }
@@ -219,9 +209,10 @@ proptest! {
         k in 1usize..32,
     ) {
         let w = small_workload(seed, 48, 12);
-        for make in policy_menu(capacity, k) {
-            let mut probe = CapacityProbe::new(make());
-            let _ = simulate_decode(&w, &mut probe, &SimConfig::new(capacity, k));
+        for spec in policy_menu(capacity, k) {
+            let mut probe = CapacityProbe::new(spec.build());
+            let _ = simulate_decode(&w, &mut probe, &SimConfig::new(capacity, k))
+                .expect("contract upheld");
             prop_assert!(
                 probe.max_resident <= capacity,
                 "{}: {} resident tokens at some step exceeds capacity {capacity}",
@@ -256,7 +247,7 @@ proptest! {
         let mut expected: Vec<usize> = full.into_iter().map(|(t, _)| t).collect();
         expected.sort_unstable();
 
-        let mut oracle = OracleTopK::new();
+        let mut oracle = PolicySpec::OracleTopK.build();
         prop_assert_eq!(&oracle.select(0, &scored, k).selected, &expected);
         // Hybrid's own k is set to the test k so the cap does not bind.
         let mut hybrid = HybridStaticDynamic::new(8, 4, k);
@@ -289,15 +280,46 @@ proptest! {
     ) {
         let w = small_workload(seed, 48, 12);
         let cfg = SimConfig::new(capacity, k);
-        for make in policy_menu(capacity, k) {
-            let mut single = make();
-            let expected = simulate_decode(&w, single.as_mut(), &cfg);
+        for spec in policy_menu(capacity, k) {
+            let mut single = spec.build();
+            let expected = simulate_decode(&w, single.as_mut(), &cfg).expect("contract upheld");
             let batch = simulate_batch(
                 std::slice::from_ref(&w),
-                &mut |_| make(),
+                &mut |_| spec.build(),
                 &BatchConfig::per_sequence(&cfg, 1),
-            );
+            )
+            .expect("contract upheld");
             prop_assert_eq!(&batch.per_sequence[0], &expected);
+        }
+    }
+
+    /// The `WorkerPool` scheduler produces the *identical* `BatchResult`
+    /// (per-sequence results, weighted aggregates, and the reconstructed
+    /// peak occupancy) as `Sequential`, for every shipped policy, batch
+    /// shape, and worker count — the invariant that makes the parallel
+    /// scheduler a pure throughput play.
+    #[test]
+    fn worker_pool_equals_sequential_for_every_policy(
+        seed in 0u64..200,
+        n in 2usize..6,
+        share in 14usize..32,
+        k in 1usize..16,
+        workers in 2usize..5,
+    ) {
+        let workloads: Vec<_> = (0..n as u64)
+            .map(|i| small_workload(seed.wrapping_add(i), 32 + 4 * i as usize, 8 + i as usize))
+            .collect();
+        for spec in policy_menu(share, k) {
+            let sequential = DecodeEngine::new(EngineConfig::new(share * n, k))
+                .run(&workloads, &spec)
+                .expect("contract upheld");
+            let pooled = DecodeEngine::new(
+                EngineConfig::new(share * n, k)
+                    .with_scheduler(SchedulerSpec::WorkerPool { workers }),
+            )
+            .run(&workloads, &spec)
+            .expect("contract upheld");
+            prop_assert_eq!(&pooled, &sequential);
         }
     }
 }
@@ -308,11 +330,20 @@ fn batched_policies_share_the_budget_evenly() {
     // policy respects the shared budget and reports per-sequence results.
     let workloads: Vec<_> = (0..4u64).map(|s| small_workload(s, 48, 12)).collect();
     let config = BatchConfig::new(4 * 24, 8);
-    for make in policy_menu(24, 8) {
-        let r = simulate_batch(&workloads, &mut |_| make(), &config);
+    for spec in policy_menu(24, 8) {
+        let r = simulate_batch(&workloads, &mut |_| spec.build(), &config).expect("contract");
         assert_eq!(r.n_sequences, 4);
         assert_eq!(r.per_sequence.len(), 4);
         assert!(r.peak_resident <= config.total_capacity, "{r:?}");
         assert_eq!(r.total_steps, 4 * 12);
     }
+}
+
+#[test]
+fn sessions_and_policies_are_send() {
+    fn assert_send<T: Send>() {}
+    assert_send::<Box<dyn Policy>>();
+    assert_send::<unicaim_kvcache::DecodeSession<'static, 'static>>();
+    assert_send::<StreamingLlm>();
+    assert_send::<unicaim_kvcache::HarnessError>();
 }

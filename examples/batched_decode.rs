@@ -7,9 +7,9 @@
 //! Run with: `cargo run --release --example batched_decode`
 
 use unicaim_repro::attention::workloads::mixed_batch;
-use unicaim_repro::kvcache::{simulate_batch, BatchConfig, HybridStaticDynamic};
+use unicaim_repro::kvcache::{simulate_batch, BatchConfig, PolicySpec};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let batch_size = 8;
     let share = 96; // per-sequence slot share of the shared array
     let m = 16; // reserved decode slots per sequence
@@ -17,11 +17,8 @@ fn main() {
 
     let workloads = mixed_batch(batch_size, 192, 24, 11);
     let config = BatchConfig::new(share * batch_size, k);
-    let result = simulate_batch(
-        &workloads,
-        &mut |_| Box::new(HybridStaticDynamic::new(share - m, m, k)),
-        &config,
-    );
+    let spec = PolicySpec::hybrid_for_share(share, m, k);
+    let result = simulate_batch(&workloads, &mut |_| spec.build(), &config)?;
 
     println!(
         "batch of {batch_size} sequences sharing {} KV slots ({share} per sequence), \
@@ -63,4 +60,5 @@ fn main() {
          state, so one noisy sequence can neither evict another's needle nor\n\
          borrow another's free slots."
     );
+    Ok(())
 }

@@ -19,7 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &workload,
         &mut policy,
         &SimConfig::new(h + m, k).with_prefill_budget(h),
-    );
+    )?;
 
     // Hardware engine: ideal devices (no variation) ...
     let mut engine_ideal = UniCaimEngine::new(

@@ -2,60 +2,62 @@
 //! pruning policy against the baselines on a multi-hop retrieval task and
 //! compare retrieval quality and output fidelity.
 //!
+//! Policies are constructed from the serializable [`PolicySpec`] registry —
+//! the same data-driven path a serving config would take — instead of
+//! hand-wired constructors.
+//!
 //! Run with: `cargo run --release --example long_context_decode`
 
 use unicaim_repro::attention::workloads::multi_hop_task;
-use unicaim_repro::kvcache::{
-    simulate_decode, FullCache, HybridStaticDynamic, OracleTopK, Policy, SimConfig, SnapKv,
-    StreamingLlm, H2O,
-};
+use unicaim_repro::kvcache::{simulate_decode, PolicySpec, SimConfig};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 512-token prompt with two facts planted in different regions; 48
     // decode steps; the final answer needs both facts (multi-hop).
     let workload = multi_hop_task(512, 48, 7);
     let capacity = 160; // ~28% of the full cache
     let m = 16;
     let k = 64;
+    let full = workload.total_tokens();
 
     println!(
         "workload: {} prompt tokens, {} decode steps, cache capacity {capacity} ({}%)",
         512,
         48,
-        100 * capacity / workload.total_tokens()
+        100 * capacity / full
     );
     println!(
         "\n{:<24} {:>12} {:>12} {:>12} {:>12}",
         "policy", "retrieval%", "accuracy%", "out-cosine", "rel-error"
     );
 
-    let mut policies: Vec<(Box<dyn Policy>, usize, usize)> = vec![
+    // (spec, cache capacity, prefill budget) per policy — the reference
+    // policies run unpruned, SnapKV's cache conventionally grows during
+    // decode.
+    let menu: Vec<(PolicySpec, usize, usize)> = vec![
+        (PolicySpec::Full, full, full),
         (
-            Box::new(FullCache::new()),
-            workload.total_tokens(),
-            workload.total_tokens(),
-        ),
-        (
-            Box::new(HybridStaticDynamic::new(capacity - m, m, k)),
+            PolicySpec::hybrid_for_share(capacity, m, k),
             capacity,
             capacity - m,
         ),
-        (Box::new(H2O::new(16)), capacity, capacity),
-        (Box::new(SnapKv::new(16)), capacity + 48, capacity),
-        (Box::new(StreamingLlm::new(4)), capacity, capacity),
+        (PolicySpec::H2O { recent_budget: 16 }, capacity, capacity),
         (
-            Box::new(OracleTopK::new()),
-            workload.total_tokens(),
-            workload.total_tokens(),
+            PolicySpec::SnapKv { obs_window: 16 },
+            capacity + 48,
+            capacity,
         ),
+        (PolicySpec::StreamingLlm { n_sinks: 4 }, capacity, capacity),
+        (PolicySpec::OracleTopK, full, full),
     ];
 
-    for (policy, cap, budget) in &mut policies {
+    for (spec, cap, budget) in &menu {
+        let mut policy = spec.build();
         let r = simulate_decode(
             &workload,
             policy.as_mut(),
             &SimConfig::new(*cap, k).with_prefill_budget(*budget),
-        );
+        )?;
         println!(
             "{:<24} {:>12.1} {:>12.1} {:>12.3} {:>12.3}",
             r.policy,
@@ -71,4 +73,5 @@ fn main() {
          StreamingLLM's fixed pattern misses mid-context facts and SnapKV's\n\
          observation window misses facts mentioned only early in the prompt."
     );
+    Ok(())
 }

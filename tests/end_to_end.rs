@@ -14,7 +14,8 @@ fn software_pipeline_end_to_end() {
         &workload,
         &mut policy,
         &SimConfig::new(h + m, k).with_prefill_budget(h),
-    );
+    )
+    .expect("shipped policies uphold the harness contract");
     assert_eq!(result.steps, 32);
     assert!(
         result.mean_resident <= (h + m) as f64 + 1e-9,
@@ -94,7 +95,8 @@ fn hardware_matches_software_policy_quality() {
         &workload,
         &mut policy,
         &SimConfig::new(h + m, k).with_prefill_budget(h),
-    );
+    )
+    .expect("shipped policies uphold the harness contract");
 
     let mut engine = UniCaimEngine::new(
         ArrayConfig {

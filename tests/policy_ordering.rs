@@ -32,7 +32,8 @@ fn mean_recall(
             &w,
             policy.as_mut(),
             &SimConfig::new(cap, k).with_prefill_budget(budget),
-        );
+        )
+        .expect("shipped policies uphold the harness contract");
         total += r.salient_recall;
     }
     total / seeds.len() as f64

@@ -1,0 +1,212 @@
+//! Vendored minimal scoped thread pool.
+//!
+//! Implements the subset of the upstream `scoped_threadpool` API the
+//! workspace uses — [`Pool::new`], [`Pool::scoped`], [`Scope::execute`],
+//! [`Pool::thread_count`] — on top of [`std::thread::scope`], so jobs may
+//! borrow from the caller's stack (no `'static` bound) and the whole crate
+//! stays free of `unsafe`.
+//!
+//! A fixed set of `thread_count` workers is spawned per [`Pool::scoped`]
+//! call (scoped threads cannot outlive the borrow they were handed), pulls
+//! queued jobs until the scope closure returns and the queue drains, then
+//! joins. Jobs submitted via [`Scope::execute`] run on whichever worker is
+//! free first; `scoped` returns only after every job has completed.
+//!
+//! # Example
+//!
+//! ```
+//! let mut pool = scoped_threadpool::Pool::new(4);
+//! let mut values = vec![0u64; 8];
+//! pool.scoped(|scope| {
+//!     for (i, v) in values.iter_mut().enumerate() {
+//!         scope.execute(move || *v = i as u64 * 2);
+//!     }
+//! });
+//! assert_eq!(values, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// One queued job: a closure that may borrow data outliving the scope.
+type Job<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// The shared job queue: pending jobs plus a closed flag the scope sets
+/// once no further jobs will arrive.
+struct JobQueue<'env> {
+    state: Mutex<QueueState<'env>>,
+    wakeup: Condvar,
+}
+
+struct QueueState<'env> {
+    jobs: VecDeque<Job<'env>>,
+    closed: bool,
+}
+
+impl<'env> JobQueue<'env> {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            wakeup: Condvar::new(),
+        }
+    }
+
+    fn push(&self, job: Job<'env>) {
+        let mut state = self.state.lock().expect("pool queue poisoned");
+        state.jobs.push_back(job);
+        drop(state);
+        self.wakeup.notify_one();
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("pool queue poisoned").closed = true;
+        self.wakeup.notify_all();
+    }
+
+    /// Blocks until a job is available or the queue is closed and drained.
+    fn pop(&self) -> Option<Job<'env>> {
+        let mut state = self.state.lock().expect("pool queue poisoned");
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.wakeup.wait(state).expect("pool queue poisoned");
+        }
+    }
+}
+
+/// A fixed-size pool of worker threads executing borrowed-scope jobs.
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// Creates a pool that will run `threads` workers per
+    /// [`Pool::scoped`] call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "pool needs at least one thread");
+        Self { threads }
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn thread_count(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` with a [`Scope`] that can [`execute`](Scope::execute)
+    /// jobs on the pool's workers, returning `f`'s value once **all**
+    /// executed jobs have completed.
+    ///
+    /// If a job panics, the panic is propagated out of `scoped` when the
+    /// workers join (mirroring [`std::thread::scope`] semantics).
+    pub fn scoped<'env, F, R>(&mut self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        let queue = JobQueue::new();
+        std::thread::scope(|s| {
+            for _ in 0..self.threads {
+                s.spawn(|| {
+                    while let Some(job) = queue.pop() {
+                        job();
+                    }
+                });
+            }
+            let result = f(&Scope { queue: &queue });
+            queue.close();
+            result
+            // Scope exit joins every worker; workers exit once the queue
+            // is closed and drained, so all jobs are done here.
+        })
+    }
+}
+
+/// Handle for submitting jobs to the pool from inside [`Pool::scoped`].
+pub struct Scope<'pool, 'env> {
+    queue: &'pool JobQueue<'env>,
+}
+
+impl<'env> Scope<'_, 'env> {
+    /// Queues `f` for execution on a pool worker. Returns immediately;
+    /// completion is awaited when the enclosing [`Pool::scoped`] returns.
+    pub fn execute<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        self.queue.push(Box::new(f));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_job_exactly_once() {
+        let mut pool = Pool::new(3);
+        let counter = AtomicUsize::new(0);
+        pool.scoped(|scope| {
+            for _ in 0..100 {
+                scope.execute(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn jobs_may_borrow_mutable_stack_data() {
+        let mut pool = Pool::new(2);
+        let mut values = [0usize; 16];
+        pool.scoped(|scope| {
+            for (i, v) in values.iter_mut().enumerate() {
+                scope.execute(move || *v = i + 1);
+            }
+        });
+        assert!(values.iter().enumerate().all(|(i, &v)| v == i + 1));
+    }
+
+    #[test]
+    fn scoped_returns_the_closure_value_after_jobs_finish() {
+        let mut pool = Pool::new(2);
+        let flag = AtomicUsize::new(0);
+        let r = pool.scoped(|scope| {
+            scope.execute(|| {
+                flag.store(7, Ordering::SeqCst);
+            });
+            42
+        });
+        assert_eq!(r, 42);
+        assert_eq!(flag.load(Ordering::SeqCst), 7);
+    }
+
+    #[test]
+    fn empty_scope_is_fine() {
+        let mut pool = Pool::new(4);
+        assert_eq!(pool.thread_count(), 4);
+        pool.scoped(|_| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = Pool::new(0);
+    }
+}
