@@ -48,9 +48,16 @@ impl<'a> RowView<'a> {
     }
 
     /// A contiguous view (`stride == dim`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`: a zero-dim contiguous view would give every
+    /// row the same empty slice, silently aliasing all rows instead of
+    /// surfacing the degenerate shape at the call site.
     #[must_use]
     pub fn contiguous(data: &'a [f32], dim: usize) -> Self {
-        Self::new(data, dim.max(1), dim)
+        assert!(dim > 0, "contiguous RowView requires dim > 0");
+        Self::new(data, dim, dim)
     }
 
     /// Logical row width.
@@ -222,6 +229,310 @@ pub fn attend_prefix(
     weighted_sum_prefix(weights, values, out);
 }
 
+/// A borrowed view of row-major `i8` rows with one `f32` scale per row:
+/// the quantized twin of [`RowView`].
+///
+/// Row `r` holds `dim` signed integer levels at
+/// `data[r * stride .. r * stride + dim]`; its real value is
+/// `scales[r] · data[r][i]`. This is the layout of the quantized key arena
+/// ([`KvStore::quant_keys_view`](crate::KvStore::quant_keys_view)): 1 byte
+/// per element plus one scale per row, a ~4× traffic reduction over the
+/// `f32` arena that mirrors the UniCAIM array's reduced-precision cells.
+#[derive(Debug, Clone, Copy)]
+pub struct QuantRowView<'a> {
+    data: &'a [i8],
+    scales: &'a [f32],
+    stride: usize,
+    dim: usize,
+}
+
+impl<'a> QuantRowView<'a> {
+    /// Creates a view with the given row stride and logical row width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or `dim > stride` (same degenerate-shape
+    /// contract as [`RowView::contiguous`]).
+    #[must_use]
+    pub fn new(data: &'a [i8], scales: &'a [f32], stride: usize, dim: usize) -> Self {
+        assert!(dim > 0, "QuantRowView requires dim > 0");
+        assert!(dim <= stride, "row dim {dim} exceeds stride {stride}");
+        Self {
+            data,
+            scales,
+            stride,
+            dim,
+        }
+    }
+
+    /// A contiguous view (`stride == dim`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    #[must_use]
+    pub fn contiguous(data: &'a [i8], scales: &'a [f32], dim: usize) -> Self {
+        Self::new(data, scales, dim, dim)
+    }
+
+    /// Logical row width.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Elements between consecutive row starts.
+    #[must_use]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Borrow the integer levels of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row extends past the underlying buffer.
+    #[inline]
+    #[must_use]
+    pub fn row(&self, r: usize) -> &'a [i8] {
+        &self.data[r * self.stride..r * self.stride + self.dim]
+    }
+
+    /// The dequantization scale of row `r` (`value = scale · level`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range of the scale vector.
+    #[inline]
+    #[must_use]
+    pub fn scale(&self, r: usize) -> f32 {
+        self.scales[r]
+    }
+}
+
+/// Quantization steps per side of zero for [`quantize_row_i8`]: the
+/// symmetric `i8` range `−127 … +127` (−128 is never produced).
+pub const INT8_STEPS: f32 = 127.0;
+
+/// Quantization steps per side of zero for [`quantize_row_cell3`]: levels
+/// `−2 … +2` map to the 3-bit multilevel cell's five signed weights
+/// {−1, −0.5, 0, +0.5, +1} (times the row scale).
+pub const CELL3_STEPS: f32 = 2.0;
+
+/// Shared symmetric per-row quantizer: max-abs scaling to `±steps` integer
+/// levels, round-to-nearest. Returns `scale` such that
+/// `src[i] ≈ scale · out[i]`; an all-zero row quantizes to zeros with
+/// scale 0.
+fn quantize_row(src: &[f32], steps: f32, out: &mut [i8]) -> f32 {
+    assert_eq!(src.len(), out.len(), "quantize output length mismatch");
+    let maxabs = src.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+    if maxabs == 0.0 {
+        out.fill(0);
+        return 0.0;
+    }
+    let scale = maxabs / steps;
+    for (o, &x) in out.iter_mut().zip(src) {
+        // |x| ≤ maxabs so |x/scale| ≤ steps ≤ 127: the cast cannot wrap
+        // (and saturates defensively on non-finite input).
+        *o = (x / scale).round() as i8;
+    }
+    scale
+}
+
+/// Quantizes one row to `i8` with symmetric per-row max-abs scaling
+/// (`±127` levels). Returns the scale; round-trip error per element is at
+/// most `scale / 2 = maxabs / 254`.
+///
+/// # Panics
+///
+/// Panics if `src.len() != out.len()`.
+pub fn quantize_row_i8(src: &[f32], out: &mut [i8]) -> f32 {
+    quantize_row(src, INT8_STEPS, out)
+}
+
+/// Snaps one row to the 3-bit multilevel cell's five signed levels
+/// {−1, −0.5, 0, +0.5, +1} scaled by the row max-abs, stored as integer
+/// levels `−2 … +2`. Returns the scale (`maxabs / 2`).
+///
+/// The snap is idempotent: re-quantizing the dequantized row reproduces
+/// the same levels and scale (the max-abs element always lands on `±2`,
+/// so the scale is preserved exactly).
+///
+/// # Panics
+///
+/// Panics if `src.len() != out.len()`.
+pub fn quantize_row_cell3(src: &[f32], out: &mut [i8]) -> f32 {
+    quantize_row(src, CELL3_STEPS, out)
+}
+
+/// Quantizes a contiguous row-major `f32` arena (`src.len() / dim` rows)
+/// to `i8` with one scale per row — the bulk form of [`quantize_row_i8`],
+/// producing exactly the layout [`QuantRowView::contiguous`] reads.
+///
+/// # Panics
+///
+/// Panics if `dim == 0` or `src.len()` is not a multiple of `dim`.
+#[must_use]
+pub fn quantize_arena_i8(src: &[f32], dim: usize) -> (Vec<i8>, Vec<f32>) {
+    assert!(dim > 0, "quantize_arena_i8 requires dim > 0");
+    assert!(
+        src.len().is_multiple_of(dim),
+        "arena length {} is not a multiple of dim {dim}",
+        src.len()
+    );
+    let rows = src.len() / dim;
+    let mut q = vec![0i8; src.len()];
+    let mut scales = vec![0.0f32; rows];
+    for r in 0..rows {
+        scales[r] = quantize_row_i8(&src[r * dim..(r + 1) * dim], &mut q[r * dim..(r + 1) * dim]);
+    }
+    (q, scales)
+}
+
+/// Dequantizes integer levels back to `f32`: `out[i] = scale · q[i]`.
+///
+/// # Panics
+///
+/// Panics if `q.len() != out.len()`.
+pub fn dequantize_row(q: &[i8], scale: f32, out: &mut [f32]) {
+    assert_eq!(q.len(), out.len(), "dequantize output length mismatch");
+    for (o, &v) in out.iter_mut().zip(q) {
+        *o = scale * f32::from(v);
+    }
+}
+
+/// Integer dot product with `LANES` independent `i32` accumulators — the
+/// quantized twin of [`dot`]. Exact (no rounding): `|a·b| ≤ 127²·dim`
+/// stays far inside `i32` for any realistic head dimension.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if lengths differ; release builds truncate to
+/// the shorter slice.
+#[inline]
+#[must_use]
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len(), "dot of unequal lengths");
+    let n = a.len().min(b.len());
+    let chunks = n / LANES;
+    let mut acc = [0i32; LANES];
+    for c in 0..chunks {
+        let ax = &a[c * LANES..(c + 1) * LANES];
+        let bx = &b[c * LANES..(c + 1) * LANES];
+        for l in 0..LANES {
+            acc[l] += i32::from(ax[l]) * i32::from(bx[l]);
+        }
+    }
+    let mut tail = 0i32;
+    for i in chunks * LANES..n {
+        tail += i32::from(a[i]) * i32::from(b[i]);
+    }
+    acc.iter().sum::<i32>() + tail
+}
+
+/// Quantized twin of [`dot_prefix`]: scaled dots of a pre-quantized query
+/// against rows `0..out.len()` of the quantized key arena. The integer
+/// dot accumulates in `i32`; the combined rescale
+/// (`scale · query_scale · keys.scale(r)`) is applied **once per row**.
+///
+/// # Panics
+///
+/// Panics if a row extends past the key buffer.
+pub fn dot_prefix_q(
+    query_q: &[i8],
+    query_scale: f32,
+    keys: QuantRowView<'_>,
+    scale: f32,
+    out: &mut [f32],
+) {
+    for (r, o) in out.iter_mut().enumerate() {
+        *o = dot_i8(query_q, keys.row(r)) as f32 * (scale * query_scale * keys.scale(r));
+    }
+}
+
+/// Quantized twin of [`dot_gather`]: scaled dots of a pre-quantized query
+/// against the gathered `rows` of the quantized key arena, rescaled once
+/// per row.
+///
+/// # Panics
+///
+/// Panics if `rows.len() != out.len()` or a row is out of range.
+pub fn dot_gather_q(
+    query_q: &[i8],
+    query_scale: f32,
+    keys: QuantRowView<'_>,
+    rows: &[usize],
+    scale: f32,
+    out: &mut [f32],
+) {
+    assert_eq!(rows.len(), out.len(), "gather output length mismatch");
+    for (&r, o) in rows.iter().zip(out.iter_mut()) {
+        *o = dot_i8(query_q, keys.row(r)) as f32 * (scale * query_scale * keys.scale(r));
+    }
+}
+
+/// Quantized twin of [`attend_gather`]: fused gather → quantized score →
+/// softmax → weighted-sum attention. Keys are scored from the quantized
+/// arena (the deployed precision); values stay `f32`, mirroring the
+/// UniCAIM array where only the CAM/CIM key storage is reduced-precision.
+/// An empty gather writes a zero vector.
+///
+/// # Panics
+///
+/// Panics if `query_q.len() != keys.dim()` or `out.len() != values.dim()`.
+#[allow(clippy::too_many_arguments)]
+pub fn attend_gather_q(
+    query_q: &[i8],
+    query_scale: f32,
+    keys: QuantRowView<'_>,
+    values: RowView<'_>,
+    rows: &[usize],
+    scale: f32,
+    weights: &mut Vec<f32>,
+    out: &mut [f32],
+) {
+    assert_eq!(query_q.len(), keys.dim(), "query/key dimension mismatch");
+    out.fill(0.0);
+    if rows.is_empty() {
+        return;
+    }
+    weights.clear();
+    weights.resize(rows.len(), 0.0);
+    dot_gather_q(query_q, query_scale, keys, rows, scale, weights);
+    softmax_in_place(weights);
+    weighted_sum_gather(weights, values, rows, out);
+}
+
+/// Quantized twin of [`attend_prefix`]: fused attention over the
+/// contiguous row prefix `0..n`, scoring from the quantized key arena with
+/// `f32` values. `n == 0` writes a zero vector.
+///
+/// # Panics
+///
+/// Panics if `query_q.len() != keys.dim()` or `out.len() != values.dim()`.
+#[allow(clippy::too_many_arguments)]
+pub fn attend_prefix_q(
+    query_q: &[i8],
+    query_scale: f32,
+    keys: QuantRowView<'_>,
+    values: RowView<'_>,
+    n: usize,
+    scale: f32,
+    weights: &mut Vec<f32>,
+    out: &mut [f32],
+) {
+    assert_eq!(query_q.len(), keys.dim(), "query/key dimension mismatch");
+    out.fill(0.0);
+    if n == 0 {
+        return;
+    }
+    weights.clear();
+    weights.resize(n, 0.0);
+    dot_prefix_q(query_q, query_scale, keys, scale, weights);
+    softmax_in_place(weights);
+    weighted_sum_prefix(weights, values, out);
+}
+
 /// Indices `0..n` ranked best-first under `cmp` (where `Ordering::Less`
 /// means "ranks earlier"), keeping only the top `k` — selected with
 /// `select_nth_unstable_by` (O(n + k log k)) instead of a full sort.
@@ -360,6 +671,229 @@ mod tests {
         assert_eq!(a, b);
         // NaN sorts above every finite value under totalOrder.
         assert_eq!(a, vec![1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dim > 0")]
+    fn contiguous_rejects_zero_dim() {
+        let data: [f32; 4] = [1.0, 2.0, 3.0, 4.0];
+        let _ = RowView::contiguous(&data, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dim > 0")]
+    fn quant_contiguous_rejects_zero_dim() {
+        let data: [i8; 4] = [1, 2, 3, 4];
+        let scales: [f32; 1] = [1.0];
+        let _ = QuantRowView::contiguous(&data, &scales, 0);
+    }
+
+    #[test]
+    fn quantize_roundtrip_error_is_bounded() {
+        let src: Vec<f32> = (0..37).map(|i| (i as f32) * 0.37 - 6.0).collect();
+        let mut q = vec![0i8; src.len()];
+        let scale = quantize_row_i8(&src, &mut q);
+        let mut back = vec![0.0f32; src.len()];
+        dequantize_row(&q, scale, &mut back);
+        for (x, y) in src.iter().zip(&back) {
+            assert!(
+                (x - y).abs() <= scale * 0.5 + 1e-6,
+                "{x} vs {y} (scale {scale})"
+            );
+        }
+    }
+
+    #[test]
+    fn quantize_zero_row_has_zero_scale() {
+        let src = [0.0f32; 5];
+        let mut q = [1i8; 5];
+        assert_eq!(quantize_row_i8(&src, &mut q), 0.0);
+        assert_eq!(q, [0i8; 5]);
+    }
+
+    #[test]
+    fn cell3_snap_uses_five_levels() {
+        let src = [1.0f32, -1.0, 0.1, 0.6, -0.4];
+        let mut q = [0i8; 5];
+        let scale = quantize_row_cell3(&src, &mut q);
+        assert!((scale - 0.5).abs() < 1e-9);
+        assert_eq!(q, [2, -2, 0, 1, -1]);
+    }
+
+    #[test]
+    fn dot_i8_matches_integer_reference() {
+        let a: Vec<i8> = (0..37).map(|i| ((i * 11) % 255) as i8).collect();
+        let b: Vec<i8> = (0..37).map(|i| ((i * 7) % 251) as i8).collect();
+        let naive: i32 = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| i32::from(x) * i32::from(y))
+            .sum();
+        assert_eq!(dot_i8(&a, &b), naive);
+    }
+
+    #[test]
+    fn dot_prefix_q_and_gather_q_agree() {
+        let dim = 12;
+        let n = 6;
+        let keys: Vec<f32> = (0..n * dim)
+            .map(|i| ((i * 13) % 17) as f32 * 0.2 - 1.0)
+            .collect();
+        let (qkeys, scales) = quantize_arena_i8(&keys, dim);
+        let view = QuantRowView::contiguous(&qkeys, &scales, dim);
+        let query: Vec<f32> = (0..dim).map(|i| (i as f32) * 0.1 - 0.5).collect();
+        let mut qq = vec![0i8; dim];
+        let qs = quantize_row_i8(&query, &mut qq);
+        let mut a = vec![0.0f32; n];
+        dot_prefix_q(&qq, qs, view, 2.0, &mut a);
+        let rows: Vec<usize> = (0..n).collect();
+        let mut b = vec![0.0f32; n];
+        dot_gather_q(&qq, qs, view, &rows, 2.0, &mut b);
+        assert_eq!(a, b);
+        // And both stay close to the f32 kernel.
+        let mut f = vec![0.0f32; n];
+        dot_prefix(&query, RowView::contiguous(&keys, dim), 2.0, &mut f);
+        for (x, y) in a.iter().zip(&f) {
+            assert!((x - y).abs() <= 0.05 * y.abs().max(1.0), "{a:?} vs {f:?}");
+        }
+    }
+
+    #[test]
+    fn attend_gather_q_tracks_f32_attention() {
+        let dim = 8;
+        let n = 10;
+        let keys: Vec<f32> = (0..n * dim)
+            .map(|i| ((i * 29) % 23) as f32 * 0.1 - 1.0)
+            .collect();
+        let values: Vec<f32> = (0..n * dim).map(|i| ((i * 7) % 19) as f32 * 0.2).collect();
+        let query: Vec<f32> = (0..dim).map(|i| 0.4 - (i as f32) * 0.09).collect();
+        let (qkeys, scales) = quantize_arena_i8(&keys, dim);
+        let mut qq = vec![0i8; dim];
+        let qs = quantize_row_i8(&query, &mut qq);
+        let rows = [0usize, 3, 4, 7, 9];
+        let scale = 1.0 / (dim as f32).sqrt();
+        let (mut wq, mut wf) = (Vec::new(), Vec::new());
+        let mut out_q = vec![0.0f32; dim];
+        let mut out_f = vec![0.0f32; dim];
+        attend_gather_q(
+            &qq,
+            qs,
+            QuantRowView::contiguous(&qkeys, &scales, dim),
+            RowView::contiguous(&values, dim),
+            &rows,
+            scale,
+            &mut wq,
+            &mut out_q,
+        );
+        attend_gather(
+            &query,
+            RowView::contiguous(&keys, dim),
+            RowView::contiguous(&values, dim),
+            &rows,
+            scale,
+            &mut wf,
+            &mut out_f,
+        );
+        for (a, b) in out_q.iter().zip(&out_f) {
+            assert!(
+                (a - b).abs() <= 0.05 * b.abs().max(1.0),
+                "{out_q:?} vs {out_f:?}"
+            );
+        }
+        // Empty gather is a deterministic zero vector, like the f32 twin.
+        attend_gather_q(
+            &qq,
+            qs,
+            QuantRowView::contiguous(&qkeys, &scales, dim),
+            RowView::contiguous(&values, dim),
+            &[],
+            scale,
+            &mut wq,
+            &mut out_q,
+        );
+        assert_eq!(out_q, vec![0.0; dim]);
+    }
+
+    #[test]
+    fn attend_prefix_q_matches_gather_over_full_prefix() {
+        let dim = 6;
+        let n = 5;
+        let keys: Vec<f32> = (0..n * dim)
+            .map(|i| ((i * 3) % 11) as f32 * 0.3 - 1.2)
+            .collect();
+        let values: Vec<f32> = (0..n * dim).map(|i| ((i * 5) % 13) as f32 * 0.1).collect();
+        let query = vec![0.5f32, -0.25, 0.75, 0.0, -1.0, 0.3];
+        let mut qkeys = vec![0i8; n * dim];
+        let mut scales = vec![0.0f32; n];
+        for r in 0..n {
+            scales[r] = quantize_row_cell3(
+                &keys[r * dim..(r + 1) * dim],
+                &mut qkeys[r * dim..(r + 1) * dim],
+            );
+        }
+        let mut qq = vec![0i8; dim];
+        let qs = quantize_row_i8(&query, &mut qq);
+        let kview = QuantRowView::contiguous(&qkeys, &scales, dim);
+        let vview = RowView::contiguous(&values, dim);
+        let rows: Vec<usize> = (0..n).collect();
+        let mut w1 = Vec::new();
+        let mut w2 = Vec::new();
+        let mut a = vec![0.0f32; dim];
+        let mut b = vec![0.0f32; dim];
+        attend_prefix_q(&qq, qs, kview, vview, n, 0.5, &mut w1, &mut a);
+        attend_gather_q(&qq, qs, kview, vview, &rows, 0.5, &mut w2, &mut b);
+        assert_eq!(a, b);
+    }
+
+    /// Regression (satellite): extreme-magnitude logits through the fused
+    /// attention kernels must produce finite, normalized outputs — a naive
+    /// (non-max-subtracted) softmax overflows `exp` to inf/NaN as soon as
+    /// `|scale·q·k| ≳ 90`.
+    #[test]
+    fn attend_survives_extreme_logits() {
+        let dim = 4;
+        let n = 3;
+        // Huge keys/queries: raw scores are ~±1e7, far past exp overflow.
+        let keys: Vec<f32> = (0..n * dim)
+            .map(|i| if i % 2 == 0 { 3.0e3 } else { -3.0e3 })
+            .collect();
+        let values: Vec<f32> = (0..n * dim).map(|i| (i % 5) as f32).collect();
+        let query = vec![2.0e3f32, 1.0e3, -2.0e3, 1.5e3];
+        let mut weights = Vec::new();
+        let mut out = vec![0.0f32; dim];
+        attend_prefix(
+            &query,
+            RowView::contiguous(&keys, dim),
+            RowView::contiguous(&values, dim),
+            n,
+            1.0,
+            &mut weights,
+            &mut out,
+        );
+        assert!(out.iter().all(|v| v.is_finite()), "{out:?}");
+        let sum: f32 = weights.iter().sum();
+        assert!(
+            (sum - 1.0).abs() < 1e-5,
+            "weights not normalized: {weights:?}"
+        );
+        assert!(weights.iter().all(|w| w.is_finite() && *w >= 0.0));
+
+        let rows = [0usize, 2];
+        attend_gather(
+            &query,
+            RowView::contiguous(&keys, dim),
+            RowView::contiguous(&values, dim),
+            &rows,
+            1.0,
+            &mut weights,
+            &mut out,
+        );
+        assert!(out.iter().all(|v| v.is_finite()), "{out:?}");
+        let sum: f32 = weights.iter().sum();
+        assert!(
+            (sum - 1.0).abs() < 1e-5,
+            "weights not normalized: {weights:?}"
+        );
     }
 
     #[test]

@@ -27,8 +27,73 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
-use crate::kernels::RowView;
+use crate::kernels::{self, QuantRowView, RowView};
 use crate::AttentionError;
+
+/// Key-arena storage precision: how [`KvStore`] stores (and the decode
+/// path scores against) its keys.
+///
+/// The UniCAIM array stores keys in reduced-precision FeFET cells — the
+/// 3-bit multilevel cell holds the five signed weights
+/// {−1, −0.5, 0, +0.5, +1} per dimension — while the software harness
+/// historically computed everything in `f32`. This enum closes that gap:
+/// quantized stores keep a shadow `i8` key arena with one scale per row
+/// (1 byte/element, a ~4× traffic reduction), and the decode hot path
+/// scores queries against it with the integer kernels
+/// ([`dot_prefix_q`](crate::kernels::dot_prefix_q),
+/// [`attend_gather_q`](crate::kernels::attend_gather_q)). Values stay
+/// `f32` in every mode, mirroring the array (only the CAM/CIM key storage
+/// is reduced-precision). Queries are quantized per step to symmetric
+/// `i8`, so the ablation isolates *key-storage* precision — the paper's
+/// separate query-precision axis lives in `unicaim_core`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// Full-precision `f32` keys (the historical software path).
+    #[default]
+    F32,
+    /// Symmetric per-row-scaled `i8` keys (±127 levels).
+    Int8,
+    /// Keys snapped to the 3-bit multilevel cell's five signed levels
+    /// {−1, −0.5, 0, +0.5, +1} × row scale (stored as `i8` levels −2…+2).
+    Cell3Bit,
+}
+
+impl Precision {
+    /// Every precision, in ablation order.
+    pub const ALL: [Precision; 3] = [Precision::F32, Precision::Int8, Precision::Cell3Bit];
+
+    /// Short display label (`f32` / `int8` / `cell3`), the column key the
+    /// figure pipeline emits.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::Int8 => "int8",
+            Precision::Cell3Bit => "cell3",
+        }
+    }
+
+    /// Whether keys are stored quantized (an `i8` arena exists).
+    #[must_use]
+    pub fn is_quantized(self) -> bool {
+        self != Precision::F32
+    }
+
+    /// Quantizes one key row at this precision into `out`, returning the
+    /// per-row scale (`key[i] ≈ scale · out[i]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on [`Precision::F32`] (no quantized arena exists)
+    /// or if `src.len() != out.len()`.
+    pub fn quantize_row(self, src: &[f32], out: &mut [i8]) -> f32 {
+        match self {
+            Precision::F32 => unreachable!("f32 stores keep no quantized arena"),
+            Precision::Int8 => kernels::quantize_row_i8(src, out),
+            Precision::Cell3Bit => kernels::quantize_row_cell3(src, out),
+        }
+    }
+}
 
 /// One stored token: key and value vectors plus the logical token id.
 ///
@@ -50,8 +115,16 @@ pub struct KvEntry {
 pub struct KvStore {
     dim: usize,
     capacity: usize,
+    /// Key-arena storage precision.
+    precision: Precision,
     /// Key arena, `capacity × dim`, row-major by slot.
     keys: Vec<f32>,
+    /// Quantized key arena, `capacity × dim` `i8` levels (empty for
+    /// [`Precision::F32`]); maintained in lockstep with `keys` on every
+    /// write/evict.
+    qkeys: Vec<i8>,
+    /// Per-slot dequantization scales (empty for [`Precision::F32`]).
+    qscales: Vec<f32>,
     /// Value arena, `capacity × dim`, row-major by slot.
     values: Vec<f32>,
     /// Logical token held by each slot.
@@ -64,18 +137,52 @@ pub struct KvStore {
 
 impl KvStore {
     /// Creates an empty store with `capacity` physical slots for vectors of
-    /// dimension `dim`.
+    /// dimension `dim`, storing keys at full [`Precision::F32`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`: a zero-dimension store would hand out
+    /// degenerate row views in which every slot aliases the same empty
+    /// row (see [`RowView::contiguous`]).
     #[must_use]
     pub fn new(capacity: usize, dim: usize) -> Self {
+        Self::with_precision(capacity, dim, Precision::F32)
+    }
+
+    /// Creates an empty store whose key arena is kept at the given
+    /// [`Precision`]. Quantized stores additionally maintain an `i8`
+    /// shadow key arena (1 byte/element) with one scale per slot; values
+    /// stay `f32` in every mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` (same contract as [`KvStore::new`]).
+    #[must_use]
+    pub fn with_precision(capacity: usize, dim: usize, precision: Precision) -> Self {
+        assert!(dim > 0, "KvStore requires dim > 0");
+        let (qkeys, qscales) = if precision.is_quantized() {
+            (vec![0i8; capacity * dim], vec![0.0f32; capacity])
+        } else {
+            (Vec::new(), Vec::new())
+        };
         Self {
             dim,
             capacity,
+            precision,
             keys: vec![0.0; capacity * dim],
+            qkeys,
+            qscales,
             values: vec![0.0; capacity * dim],
             tokens: vec![None; capacity],
             by_token: BTreeMap::new(),
             len: 0,
         }
+    }
+
+    /// The key-arena storage precision.
+    #[must_use]
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// Vector dimension.
@@ -119,6 +226,50 @@ impl KvStore {
     #[must_use]
     pub fn values_view(&self) -> RowView<'_> {
         RowView::contiguous(&self.values, self.dim)
+    }
+
+    /// The quantized key arena as a [`QuantRowView`], or `None` for an
+    /// [`Precision::F32`] store. Free slots are zero rows with scale 0.
+    #[must_use]
+    pub fn quant_keys_view(&self) -> Option<QuantRowView<'_>> {
+        self.precision
+            .is_quantized()
+            .then(|| QuantRowView::contiguous(&self.qkeys, &self.qscales, self.dim))
+    }
+
+    /// Bytes the key arena occupies at this store's precision: `f32`
+    /// stores pay 4 bytes/element; quantized stores pay 1 byte/element
+    /// plus one `f32` scale per slot (the ~4× reduction the quantized
+    /// decode path exists for).
+    #[must_use]
+    pub fn key_arena_bytes(&self) -> usize {
+        if self.precision.is_quantized() {
+            self.qkeys.len() * std::mem::size_of::<i8>()
+                + self.qscales.len() * std::mem::size_of::<f32>()
+        } else {
+            self.keys.len() * std::mem::size_of::<f32>()
+        }
+    }
+
+    /// The key of `slot` as the *scoring path* sees it: the quantize →
+    /// dequantize round-trip of the stored key for quantized stores, or
+    /// the exact `f32` row for [`Precision::F32`]. `None` for an empty
+    /// slot.
+    #[must_use]
+    pub fn dequantized_key(&self, slot: usize) -> Option<Vec<f32>> {
+        self.token_at(slot)?;
+        let base = slot * self.dim;
+        if self.precision.is_quantized() {
+            let mut out = vec![0.0f32; self.dim];
+            kernels::dequantize_row(
+                &self.qkeys[base..base + self.dim],
+                self.qscales[slot],
+                &mut out,
+            );
+            Some(out)
+        } else {
+            Some(self.keys[base..base + self.dim].to_vec())
+        }
     }
 
     /// Writes `token`'s key/value into `slot` directly from slices
@@ -168,6 +319,11 @@ impl KvStore {
         let base = slot * self.dim;
         self.keys[base..base + self.dim].copy_from_slice(key);
         self.values[base..base + self.dim].copy_from_slice(value);
+        if self.precision.is_quantized() {
+            self.qscales[slot] = self
+                .precision
+                .quantize_row(key, &mut self.qkeys[base..base + self.dim]);
+        }
         self.tokens[slot] = Some(token);
         self.by_token.insert(token, slot);
         Ok(prev)
@@ -242,6 +398,10 @@ impl KvStore {
             let base = slot * self.dim;
             self.keys[base..base + self.dim].fill(0.0);
             self.values[base..base + self.dim].fill(0.0);
+            if self.precision.is_quantized() {
+                self.qkeys[base..base + self.dim].fill(0);
+                self.qscales[slot] = 0.0;
+            }
         }
         Ok(prev)
     }
@@ -403,6 +563,81 @@ mod tests {
             assert_eq!(store.keys_view().row(s), e.key.as_slice());
             assert_eq!(store.values_view().row(s), e.value.as_slice());
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "dim > 0")]
+    fn zero_dim_store_rejected() {
+        // Audit (satellite): a dim-0 store would hand out row views in
+        // which every slot aliases the same empty row.
+        let _ = KvStore::new(4, 0);
+    }
+
+    #[test]
+    fn quantized_store_maintains_shadow_arena() {
+        let mut store = KvStore::with_precision(3, 4, Precision::Int8);
+        assert_eq!(store.precision(), Precision::Int8);
+        // 1 byte/element + one f32 scale per slot vs 4 bytes/element.
+        assert_eq!(store.key_arena_bytes(), 3 * 4 + 3 * 4);
+        assert_eq!(KvStore::new(3, 4).key_arena_bytes(), 3 * 4 * 4);
+
+        store
+            .write_slot_parts(1, 7, &[1.0, -0.5, 0.25, 0.0], &[0.0; 4])
+            .unwrap();
+        let q = store.quant_keys_view().unwrap();
+        assert_eq!(q.row(1), &[127, -64, 32, 0]);
+        assert!((q.scale(1) - 1.0 / 127.0).abs() < 1e-9);
+        // Untouched slots are zero rows with zero scale.
+        assert_eq!(q.row(0), &[0, 0, 0, 0]);
+        assert_eq!(q.scale(0), 0.0);
+        // F32 stores have no shadow arena.
+        assert!(KvStore::new(3, 4).quant_keys_view().is_none());
+    }
+
+    #[test]
+    fn quantize_dequantize_roundtrip_is_bounded() {
+        let mut store = KvStore::with_precision(2, 3, Precision::Int8);
+        let key = [0.9f32, -0.33, 0.141];
+        store.write_slot_parts(0, 1, &key, &[0.0; 3]).unwrap();
+        let back = store.dequantized_key(0).unwrap();
+        let scale = store.quant_keys_view().unwrap().scale(0);
+        for (x, y) in key.iter().zip(&back) {
+            assert!((x - y).abs() <= scale * 0.5 + 1e-7, "{key:?} vs {back:?}");
+        }
+        // Empty slots have no key at all.
+        assert!(store.dequantized_key(1).is_none());
+        // F32 stores round-trip exactly.
+        let mut f = KvStore::new(2, 3);
+        f.write_slot_parts(0, 1, &key, &[0.0; 3]).unwrap();
+        assert_eq!(f.dequantized_key(0).unwrap(), key.to_vec());
+    }
+
+    #[test]
+    fn cell3_store_snaps_keys_to_five_levels() {
+        let mut store = KvStore::with_precision(2, 5, Precision::Cell3Bit);
+        store
+            .write_slot_parts(0, 3, &[1.0, -1.0, 0.1, 0.6, -0.4], &[0.0; 5])
+            .unwrap();
+        let q = store.quant_keys_view().unwrap();
+        assert_eq!(q.row(0), &[2, -2, 0, 1, -1]);
+        assert!((q.scale(0) - 0.5).abs() < 1e-9);
+        // Snapped keys re-snap to themselves (idempotence).
+        let snapped = store.dequantized_key(0).unwrap();
+        store.write_slot_parts(1, 4, &snapped, &[0.0; 5]).unwrap();
+        let q = store.quant_keys_view().unwrap();
+        assert_eq!(q.row(1), q.row(0));
+        assert_eq!(q.scale(1), q.scale(0));
+    }
+
+    #[test]
+    fn quantized_eviction_zeroes_shadow_rows_too() {
+        let mut a = KvStore::with_precision(2, 2, Precision::Int8);
+        a.append(entry(1, 2, 0.9)).unwrap();
+        a.evict_slot(0).unwrap();
+        a.append(entry(2, 2, 0.4)).unwrap();
+        let mut b = KvStore::with_precision(2, 2, Precision::Int8);
+        b.append(entry(2, 2, 0.4)).unwrap();
+        assert_eq!(a, b, "eviction history must not leak into equality");
     }
 
     #[test]

@@ -40,7 +40,7 @@ mod mha;
 mod transformer;
 pub mod workloads;
 
-pub use kv::{KvEntry, KvStore};
+pub use kv::{KvEntry, KvStore, Precision};
 pub use matrix::{argtop_k, layer_norm_in_place, softmax_in_place, softmax_rows, Matrix};
 pub use mha::{attention_output, attention_scores, AttentionConfig, MultiHeadAttention};
 pub use transformer::{TinyTransformer, TransformerConfig};

@@ -219,20 +219,46 @@ impl Matrix {
 }
 
 /// Numerically stable in-place softmax of one slice.
+///
+/// Max-subtracted ("safe") softmax: every exponent is `x − max ≤ 0`, so
+/// `exp` can never overflow regardless of logit magnitude (a naive
+/// implementation overflows to `inf`/NaN as soon as a logit exceeds ~88),
+/// and the max element contributes `exp(0) = 1`, so the normalizer is
+/// always ≥ 1 when the max is finite. The output is therefore a finite
+/// probability distribution for **every** input:
+///
+/// * finite logits of any magnitude → the exact shifted softmax;
+/// * `−∞` logits → weight 0 (fully masked entries);
+/// * a non-finite maximum (a NaN- or `+∞`-poisoned row, or an all-`−∞`
+///   row) has no well-defined distribution — the function falls back to
+///   the uniform distribution so downstream weighted sums stay finite.
 pub fn softmax_in_place(xs: &mut [f32]) {
     if xs.is_empty() {
         return;
     }
+    // `f32::max` skips NaN, so a NaN-poisoned row passes this check with a
+    // finite max — it is caught below when NaN propagates into `sum`.
     let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if !max.is_finite() {
+        // +∞-poisoned or all-(−∞) row: no well-defined distribution.
+        let uniform = 1.0 / xs.len() as f32;
+        xs.fill(uniform);
+        return;
+    }
     let mut sum = 0.0f32;
     for v in xs.iter_mut() {
         *v = (*v - max).exp();
         sum += *v;
     }
-    if sum > 0.0 {
-        for v in xs.iter_mut() {
-            *v /= sum;
-        }
+    if !sum.is_finite() {
+        // A NaN logit survived the max reduction; same uniform fallback.
+        let uniform = 1.0 / xs.len() as f32;
+        xs.fill(uniform);
+        return;
+    }
+    // The max element contributes exp(0) = 1, so sum ≥ 1 here.
+    for v in xs.iter_mut() {
+        *v /= sum;
     }
 }
 
@@ -324,6 +350,49 @@ mod tests {
         softmax_in_place(&mut xs);
         assert!((xs[2] - 1.0).abs() < 1e-6);
         assert_eq!(xs[0], 0.0);
+    }
+
+    /// Regression (satellite): logits far beyond the naive-`exp` overflow
+    /// point (|x| ≳ 88) must still yield finite, normalized weights.
+    #[test]
+    fn softmax_extreme_logits_stay_finite_and_normalized() {
+        for logits in [
+            vec![9000.0f32, -9000.0, 8999.0],
+            vec![1.0e8f32, 1.0e8, -1.0e8],
+            vec![f32::MAX, 0.0, -f32::MAX],
+            vec![-5000.0f32; 7],
+        ] {
+            let mut xs = logits.clone();
+            softmax_in_place(&mut xs);
+            assert!(
+                xs.iter().all(|v| v.is_finite() && *v >= 0.0),
+                "{logits:?} -> {xs:?}"
+            );
+            let sum: f32 = xs.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "{logits:?} -> {xs:?}");
+        }
+    }
+
+    /// Rows with no well-defined distribution (NaN / +inf poisoned, or
+    /// fully masked all-(−∞)) fall back to uniform rather than emitting
+    /// NaN weight vectors.
+    #[test]
+    fn softmax_degenerate_rows_fall_back_to_uniform() {
+        for degenerate in [
+            vec![f32::NAN, 1.0, 2.0],
+            vec![f32::INFINITY, 0.0],
+            vec![f32::NEG_INFINITY; 4],
+        ] {
+            let n = degenerate.len();
+            let mut xs = degenerate.clone();
+            softmax_in_place(&mut xs);
+            for v in &xs {
+                assert!(
+                    (v - 1.0 / n as f32).abs() < 1e-7,
+                    "{degenerate:?} -> {xs:?}"
+                );
+            }
+        }
     }
 
     #[test]

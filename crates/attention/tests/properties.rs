@@ -247,6 +247,104 @@ proptest! {
         }
     }
 
+    /// Quantized parity (satellite): the `i8` integer dot stays within the
+    /// *derived* round-trip error bound of the f32 kernel. With symmetric
+    /// per-row max-abs scaling, each element's quantization error is at
+    /// most `scale/2`, so
+    /// `|a·b − â·b̂| ≤ (s_a/2)·Σ|b_i| + (s_b/2)·Σ|â_i|`.
+    #[test]
+    fn int8_dot_within_derived_error_bound(
+        a in proptest::collection::vec(-8.0f32..8.0, 1..96),
+        seed in 0u64..500,
+    ) {
+        use unicaim_attention::kernels::{dot, dot_i8, quantize_row_i8};
+        let b: Vec<f32> = Matrix::random_normal(1, a.len(), 2.0, seed).row(0).to_vec();
+        let mut qa = vec![0i8; a.len()];
+        let mut qb = vec![0i8; b.len()];
+        let sa = quantize_row_i8(&a, &mut qa);
+        let sb = quantize_row_i8(&b, &mut qb);
+        let exact = dot(&a, &b);
+        let quantized = sa * sb * dot_i8(&qa, &qb) as f32;
+        let sum_b: f32 = b.iter().map(|x| x.abs()).sum();
+        let sum_qa: f32 = qa.iter().map(|&q| sa * f32::from(q).abs()).sum();
+        let bound = 0.5 * sa * sum_b + 0.5 * sb * sum_qa;
+        // Small slack for f32 rounding in the bound arithmetic itself.
+        prop_assert!(
+            (exact - quantized).abs() <= bound * (1.0 + 1e-4) + 1e-5,
+            "|{exact} - {quantized}| = {} exceeds derived bound {bound}",
+            (exact - quantized).abs()
+        );
+    }
+
+    /// Quantized parity (satellite): snapping to the 3-bit cell's five
+    /// signed levels is idempotent — re-quantizing the dequantized row
+    /// reproduces the identical levels and scale.
+    #[test]
+    fn cell3_snap_is_idempotent(
+        src in proptest::collection::vec(-4.0f32..4.0, 1..64),
+    ) {
+        use unicaim_attention::kernels::{dequantize_row, quantize_row_cell3};
+        let mut q1 = vec![0i8; src.len()];
+        let s1 = quantize_row_cell3(&src, &mut q1);
+        let mut snapped = vec![0.0f32; src.len()];
+        dequantize_row(&q1, s1, &mut snapped);
+        let mut q2 = vec![0i8; src.len()];
+        let s2 = quantize_row_cell3(&snapped, &mut q2);
+        prop_assert_eq!(&q1, &q2);
+        prop_assert_eq!(s1, s2);
+        // And every level is one of the five signed cell levels.
+        prop_assert!(q1.iter().all(|q| (-2..=2).contains(q)));
+    }
+
+    /// The fused quantized attention stays close to the f32 fused kernel:
+    /// with ±127 levels the scores carry sub-percent error, and softmax +
+    /// convex combination cannot amplify it unboundedly.
+    #[test]
+    fn attend_gather_q_tracks_f32(
+        dim in 2usize..10,
+        n in 1usize..12,
+        seed in 0u64..300,
+    ) {
+        use unicaim_attention::kernels::{
+            attend_gather, attend_gather_q, quantize_arena_i8, quantize_row_i8, QuantRowView,
+            RowView,
+        };
+        let keys = Matrix::random_normal(n, dim, 1.0, seed);
+        let values = Matrix::random_normal(n, dim, 1.0, seed ^ 1);
+        let query = Matrix::random_normal(1, dim, 1.0, seed ^ 2);
+        let (qkeys, scales) = quantize_arena_i8(keys.as_slice(), dim);
+        let mut qq = vec![0i8; dim];
+        let qs = quantize_row_i8(query.row(0), &mut qq);
+        let rows: Vec<usize> = (0..n).step_by(2).collect();
+        let scale = 1.0 / (dim as f32).sqrt();
+        let (mut w1, mut w2) = (Vec::new(), Vec::new());
+        let mut out_q = vec![0.0f32; dim];
+        let mut out_f = vec![0.0f32; dim];
+        attend_gather_q(
+            &qq,
+            qs,
+            QuantRowView::contiguous(&qkeys, &scales, dim),
+            RowView::contiguous(values.as_slice(), dim),
+            &rows,
+            scale,
+            &mut w1,
+            &mut out_q,
+        );
+        attend_gather(
+            query.row(0),
+            RowView::contiguous(keys.as_slice(), dim),
+            RowView::contiguous(values.as_slice(), dim),
+            &rows,
+            scale,
+            &mut w2,
+            &mut out_f,
+        );
+        for (a, b) in out_q.iter().zip(&out_f) {
+            prop_assert!(a.is_finite());
+            prop_assert!((a - b).abs() <= 0.15 * b.abs().max(1.0), "{out_q:?} vs {out_f:?}");
+        }
+    }
+
     /// Partial top-k selects exactly the same index set (and order) as a
     /// full total-ordered sort, including under heavy score ties.
     #[test]

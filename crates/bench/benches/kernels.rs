@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use unicaim_analog::{SarAdc, SarAdcParams};
-use unicaim_attention::kernels::{self, RowView};
+use unicaim_attention::kernels::{self, QuantRowView, RowView};
 use unicaim_attention::Matrix;
 use unicaim_core::{
     ArrayConfig, CellPrecision, KeyLevel, QueryEncoder, QueryLevel, QueryPrecision, UniCaimArray,
@@ -135,6 +135,41 @@ fn bench_flat_kernels(c: &mut Criterion) {
     });
     group.bench_function("partial_top_k/576/k64", |b| {
         b.iter(|| black_box(kernels::partial_top_k(&scores, k)));
+    });
+    // Quantized twins: i8 arena with per-row scales, pre-quantized query.
+    let (qkeys, qscales) = kernels::quantize_arena_i8(keys.as_slice(), dim);
+    let mut query_q = vec![0i8; dim];
+    let query_scale = kernels::quantize_row_i8(q.row(0), &mut query_q);
+    group.bench_function("dot_gather_q/576x128/k64", |b| {
+        let mut out = vec![0.0f32; k];
+        b.iter(|| {
+            kernels::dot_gather_q(
+                &query_q,
+                query_scale,
+                QuantRowView::contiguous(&qkeys, &qscales, dim),
+                &gathered,
+                0.088,
+                &mut out,
+            );
+            black_box(&out);
+        });
+    });
+    group.bench_function("attend_gather_q/576x128/k64", |b| {
+        let mut out = vec![0.0f32; dim];
+        let mut weights = Vec::with_capacity(k);
+        b.iter(|| {
+            kernels::attend_gather_q(
+                &query_q,
+                query_scale,
+                QuantRowView::contiguous(&qkeys, &qscales, dim),
+                RowView::contiguous(values.as_slice(), dim),
+                &gathered,
+                0.088,
+                &mut weights,
+                &mut out,
+            );
+            black_box(&out);
+        });
     });
     group.finish();
 }

@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use unicaim_attention::workloads::needle_task;
 use unicaim_core::{ArrayConfig, EngineConfig, UniCaimEngine};
-use unicaim_kvcache::{simulate_decode, PolicySpec, SimConfig};
+use unicaim_kvcache::{simulate_decode, PolicySpec, Precision, SimConfig};
 
 fn bench_policy_decode(c: &mut Criterion) {
     let workload = needle_task(256, 32, 5);
@@ -31,6 +31,24 @@ fn bench_policy_decode(c: &mut Criterion) {
                 black_box(
                     simulate_decode(&workload, policy.as_mut(), &SimConfig::new(cap, 32))
                         .expect("benchmark policies uphold the contract"),
+                )
+            });
+        });
+    }
+    // The hybrid decode against quantized key arenas (the per-precision
+    // ablation's hot path).
+    for precision in [Precision::Int8, Precision::Cell3Bit] {
+        let id = format!("hybrid_{}", precision.label());
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                let mut policy = PolicySpec::hybrid_for_share(96, 16, 32).build();
+                black_box(
+                    simulate_decode(
+                        &workload,
+                        policy.as_mut(),
+                        &SimConfig::new(capacity, 32).with_precision(precision),
+                    )
+                    .expect("benchmark policies uphold the contract"),
                 )
             });
         });

@@ -1,5 +1,7 @@
 //! Fig. 13(a,b): application-level accuracy of KV-cache pruning policies vs
-//! cache ratio on HotpotQA-like and NarrativeQA-like retrieval tasks.
+//! cache ratio on HotpotQA-like and NarrativeQA-like retrieval tasks —
+//! now per key-arena precision (`f32` / `int8` / `cell3`), the software
+//! ablation the paper's reduced-precision cells imply.
 //!
 //! Substitution (see DESIGN.md): instead of LongBench answer F1 through a
 //! 7B LLM, we score ground-truth salient-token retrieval on synthetic
@@ -7,24 +9,63 @@
 //! failure modes. The reported "retrieval score" is 100 × the mean recall
 //! of answer-critical tokens among the tokens each policy selects, and the
 //! output-fidelity column is the cosine similarity of the pruned attention
-//! output against full attention.
+//! output against full attention. Every policy runs three times per cell:
+//! scoring against the `f32` key arena, the per-row-scaled `i8` arena, and
+//! the 3-bit multilevel-cell snap — values and the exact reference stay
+//! `f32`, so the per-precision columns isolate key-storage precision
+//! exactly like the hardware AEDP ablation does.
 
 use serde::Serialize;
 use unicaim_attention::workloads::{multi_hop_task, summary_task, DecodeWorkload};
 use unicaim_bench::{banner, dump_json, json_output_path};
-use unicaim_kvcache::{ratio_capacity, simulate_decode, Policy, PolicySpec, SimConfig};
+use unicaim_kvcache::{ratio_capacity, simulate_decode, PolicySpec, Precision, SimConfig};
 
+/// One (task, ratio, policy) cell with per-precision metric columns, in
+/// [`Precision::ALL`] order: `f32`, `int8`, `cell3`.
 #[derive(Debug, Serialize)]
 struct Row {
     task: String,
     ratio: f64,
     policy: String,
-    retrieval_score: f64,
-    salient_f1: f64,
-    output_cosine: f64,
+    retrieval_f32: f64,
+    retrieval_int8: f64,
+    retrieval_cell3: f64,
+    salient_f1_f32: f64,
+    salient_f1_int8: f64,
+    salient_f1_cell3: f64,
+    output_cosine_f32: f64,
+    output_cosine_int8: f64,
+    output_cosine_cell3: f64,
 }
 
-fn policies_for(capacity: usize, m: usize, k: usize) -> Vec<Box<dyn Policy>> {
+/// Seed-accumulated metrics of one (policy, precision) cell.
+#[derive(Debug, Clone, Copy, Default)]
+struct Acc {
+    recall: f64,
+    f1: f64,
+    cosine: f64,
+    n: usize,
+}
+
+impl Acc {
+    fn push(&mut self, r: &unicaim_kvcache::SimResult) {
+        self.recall += r.salient_recall;
+        self.f1 += r.salient_f1;
+        self.cosine += r.output_cosine;
+        self.n += 1;
+    }
+
+    fn mean(&self) -> (f64, f64, f64) {
+        let n = self.n.max(1) as f64;
+        (
+            100.0 * self.recall / n,
+            100.0 * self.f1 / n,
+            self.cosine / n,
+        )
+    }
+}
+
+fn policies_for(capacity: usize, m: usize, k: usize) -> Vec<PolicySpec> {
     let hybrid = PolicySpec::HybridStaticDynamic {
         h: capacity.saturating_sub(m).max(1),
         m,
@@ -33,10 +74,10 @@ fn policies_for(capacity: usize, m: usize, k: usize) -> Vec<Box<dyn Policy>> {
         ewma_alpha: None,
     };
     vec![
-        PolicySpec::Full.build(),
-        hybrid.build(),
-        PolicySpec::SnapKv { obs_window: 16 }.build(),
-        PolicySpec::StreamingLlm { n_sinks: 4 }.build(),
+        PolicySpec::Full,
+        hybrid,
+        PolicySpec::SnapKv { obs_window: 16 },
+        PolicySpec::StreamingLlm { n_sinks: 4 },
     ]
 }
 
@@ -49,12 +90,12 @@ fn run_task(
 ) {
     println!("\n-- {name} --");
     println!(
-        "{:>6} {:>24} {:>16} {:>12} {:>14}",
-        "ratio", "policy", "retrieval", "F1", "out-cosine"
+        "{:>6} {:>24} {:>7} {:>7} {:>7}   {:>7} {:>7} {:>7}",
+        "ratio", "policy", "ret@f32", "ret@i8", "ret@c3", "cos@f32", "cos@i8", "cos@c3"
     );
     for &ratio in ratios {
-        // Accumulate per policy across seeds.
-        let mut acc: Vec<(String, f64, f64, f64, usize)> = Vec::new();
+        // Accumulate per (policy, precision) across seeds.
+        let mut acc: Vec<(String, [Acc; 3])> = Vec::new();
         for &seed in seeds {
             let w = make(seed);
             let capacity = if ratio >= 1.0 {
@@ -64,58 +105,63 @@ fn run_task(
             };
             let m = (capacity / 8).clamp(4, w.decode_queries.len());
             let k = (capacity / 2).max(8);
-            for mut policy in policies_for(capacity, m, k) {
+            for spec in policies_for(capacity, m, k) {
                 // The full cache is the ratio-independent reference line;
                 // SnapKV's cache conventionally grows during decode.
-                let (cap, budget) = if policy.name() == "full" {
-                    (w.total_tokens(), w.total_tokens())
-                } else if policy.name() == "snapkv" {
-                    (capacity + w.decode_queries.len(), capacity)
-                } else if policy.name() == "hybrid_static_dynamic" {
-                    (capacity, capacity - m)
-                } else {
-                    (capacity, capacity)
+                let (cap, budget) = match spec.name() {
+                    "full" => (w.total_tokens(), w.total_tokens()),
+                    "snapkv" => (capacity + w.decode_queries.len(), capacity),
+                    "hybrid_static_dynamic" => (capacity, capacity - m),
+                    _ => (capacity, capacity),
                 };
-                let r = simulate_decode(
-                    &w,
-                    policy.as_mut(),
-                    &SimConfig::new(cap, k).with_prefill_budget(budget),
-                )
-                .expect("figure policies uphold the contract");
-                match acc.iter_mut().find(|(n, ..)| n == &r.policy) {
-                    Some(entry) => {
-                        entry.1 += r.salient_recall;
-                        entry.2 += r.salient_f1;
-                        entry.3 += r.output_cosine;
-                        entry.4 += 1;
+                for (pi, &precision) in Precision::ALL.iter().enumerate() {
+                    let mut policy = spec.build();
+                    let r = simulate_decode(
+                        &w,
+                        policy.as_mut(),
+                        &SimConfig::new(cap, k)
+                            .with_prefill_budget(budget)
+                            .with_precision(precision),
+                    )
+                    .expect("figure policies uphold the contract");
+                    match acc.iter_mut().find(|(n, ..)| n == &r.policy) {
+                        Some((_, cells)) => cells[pi].push(&r),
+                        None => {
+                            let mut cells = [Acc::default(); 3];
+                            cells[pi].push(&r);
+                            acc.push((r.policy.clone(), cells));
+                        }
                     }
-                    None => acc.push((
-                        r.policy.clone(),
-                        r.salient_recall,
-                        r.salient_f1,
-                        r.output_cosine,
-                        1,
-                    )),
                 }
             }
         }
-        for (policy, recall, f1, cos, n) in acc {
-            let n = n as f64;
+        for (policy, cells) in acc {
+            let [(ret_f, f1_f, cos_f), (ret_i, f1_i, cos_i), (ret_c, f1_c, cos_c)] =
+                [cells[0].mean(), cells[1].mean(), cells[2].mean()];
             println!(
-                "{:>6} {:>24} {:>16.1} {:>12.1} {:>14.3}",
+                "{:>6} {:>24} {:>7.1} {:>7.1} {:>7.1}   {:>7.3} {:>7.3} {:>7.3}",
                 format!("{:.0}%", ratio * 100.0),
                 policy,
-                100.0 * recall / n,
-                100.0 * f1 / n,
-                cos / n
+                ret_f,
+                ret_i,
+                ret_c,
+                cos_f,
+                cos_i,
+                cos_c
             );
             rows.push(Row {
                 task: name.to_owned(),
                 ratio,
                 policy,
-                retrieval_score: 100.0 * recall / n,
-                salient_f1: 100.0 * f1 / n,
-                output_cosine: cos / n,
+                retrieval_f32: ret_f,
+                retrieval_int8: ret_i,
+                retrieval_cell3: ret_c,
+                salient_f1_f32: f1_f,
+                salient_f1_int8: f1_i,
+                salient_f1_cell3: f1_c,
+                output_cosine_f32: cos_f,
+                output_cosine_int8: cos_i,
+                output_cosine_cell3: cos_c,
             });
         }
     }
@@ -124,7 +170,7 @@ fn run_task(
 fn main() {
     banner(
         "Fig. 13",
-        "accuracy vs KV-cache ratio (retrieval-score substitution)",
+        "accuracy vs KV-cache ratio, per key-arena precision (retrieval-score substitution)",
     );
     let ratios = [0.05, 0.1, 0.2, 0.4, 1.0];
     let seeds = [11, 23, 37];
@@ -147,7 +193,8 @@ fn main() {
 
     println!(
         "\nexpected shape (paper Fig. 13): hybrid(ours) ≈ full cache even at low ratios, \
-         consistently above SnapKV and StreamingLLM."
+         consistently above SnapKV and StreamingLLM; int8 columns track f32 closely while \
+         the 3-bit cell snap pays a visible but bounded fidelity cost."
     );
 
     if let Some(path) = json_output_path() {

@@ -20,9 +20,9 @@
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
-use unicaim_attention::kernels::{self, RowView};
+use unicaim_attention::kernels::{self, QuantRowView, RowView};
 use unicaim_attention::workloads::{mixed_batch, needle_task};
-use unicaim_attention::{KvStore, Matrix};
+use unicaim_attention::{KvStore, Matrix, Precision};
 use unicaim_core::{
     ArrayConfig, CellPrecision, EngineConfig, KeyLevel, QueryLevel, QueryPrecision, UniCaimArray,
     UniCaimEngine,
@@ -167,12 +167,55 @@ fn kernels_suite() -> Vec<Case> {
             }
         }),
         Case::new("attend_gather/576x128/k64", 200, {
+            let keys = keys.clone();
+            let values = values.clone();
+            let query = query.clone();
+            let gathered = gathered.clone();
             let mut out = vec![0.0f32; dim];
             let mut weights = Vec::with_capacity(k);
             move || {
                 kernels::attend_gather(
                     query.row(0),
                     RowView::contiguous(keys.as_slice(), dim),
+                    RowView::contiguous(values.as_slice(), dim),
+                    &gathered,
+                    0.088,
+                    &mut weights,
+                    &mut out,
+                );
+                std::hint::black_box(&out);
+            }
+        }),
+        Case::new("dot_gather_q/576x128/k64", 200, {
+            let (qkeys, qscales) = kernels::quantize_arena_i8(keys.as_slice(), dim);
+            let mut query_q = vec![0i8; dim];
+            let query_scale = kernels::quantize_row_i8(query.row(0), &mut query_q);
+            let gathered = gathered.clone();
+            let mut out = vec![0.0f32; k];
+            move || {
+                kernels::dot_gather_q(
+                    &query_q,
+                    query_scale,
+                    QuantRowView::contiguous(&qkeys, &qscales, dim),
+                    &gathered,
+                    0.088,
+                    &mut out,
+                );
+                std::hint::black_box(&out);
+            }
+        }),
+        Case::new("attend_gather_q/576x128/k64", 200, {
+            let (qkeys, qscales) = kernels::quantize_arena_i8(keys.as_slice(), dim);
+            let mut query_q = vec![0i8; dim];
+            let query_scale = kernels::quantize_row_i8(query.row(0), &mut query_q);
+            let gathered = gathered.clone();
+            let mut out = vec![0.0f32; dim];
+            let mut weights = Vec::with_capacity(k);
+            move || {
+                kernels::attend_gather_q(
+                    &query_q,
+                    query_scale,
+                    QuantRowView::contiguous(&qkeys, &qscales, dim),
                     RowView::contiguous(values.as_slice(), dim),
                     &gathered,
                     0.088,
@@ -203,9 +246,10 @@ fn kernels_suite() -> Vec<Case> {
 }
 
 fn policies_suite() -> Vec<Case> {
-    fn decode_case(
+    fn decode_case_at(
         name: &'static str,
         spec: PolicySpec,
+        precision: Precision,
         capacity_of: impl Fn(usize) -> usize + 'static,
     ) -> Case {
         let workload = needle_task(256, 32, 5);
@@ -213,15 +257,38 @@ fn policies_suite() -> Vec<Case> {
             let mut policy = spec.build();
             let cap = capacity_of(workload.total_tokens());
             std::hint::black_box(
-                simulate_decode(&workload, policy.as_mut(), &SimConfig::new(cap, 32))
-                    .expect("benchmark policies uphold the contract"),
+                simulate_decode(
+                    &workload,
+                    policy.as_mut(),
+                    &SimConfig::new(cap, 32).with_precision(precision),
+                )
+                .expect("benchmark policies uphold the contract"),
             );
         })
+    }
+    fn decode_case(
+        name: &'static str,
+        spec: PolicySpec,
+        capacity_of: impl Fn(usize) -> usize + 'static,
+    ) -> Case {
+        decode_case_at(name, spec, Precision::F32, capacity_of)
     }
     vec![
         decode_case(
             "simulate_decode/hybrid",
             PolicySpec::hybrid_for_share(96, 16, 32),
+            |_| 96,
+        ),
+        decode_case_at(
+            "simulate_decode/hybrid_int8",
+            PolicySpec::hybrid_for_share(96, 16, 32),
+            Precision::Int8,
+            |_| 96,
+        ),
+        decode_case_at(
+            "simulate_decode/hybrid_cell3",
+            PolicySpec::hybrid_for_share(96, 16, 32),
+            Precision::Cell3Bit,
             |_| 96,
         ),
         decode_case(

@@ -23,6 +23,7 @@
 
 use serde::{Deserialize, Serialize};
 use unicaim_attention::workloads::DecodeWorkload;
+use unicaim_attention::Precision;
 
 use crate::engine::{DecodeEngine, EngineConfig};
 use crate::error::HarnessError;
@@ -41,6 +42,9 @@ pub struct BatchConfig {
     /// Per-sequence prefill keep budget. `None` hands each sequence its full
     /// slot share (mirroring [`SimConfig::new`]'s default).
     pub prefill_budget: Option<usize>,
+    /// Key-arena storage precision applied to every sequence's store (see
+    /// [`SimConfig::precision`]).
+    pub precision: Precision,
 }
 
 impl BatchConfig {
@@ -53,6 +57,7 @@ impl BatchConfig {
             total_capacity,
             k,
             prefill_budget: None,
+            precision: Precision::F32,
         }
     }
 
@@ -60,6 +65,13 @@ impl BatchConfig {
     #[must_use]
     pub fn with_prefill_budget(mut self, budget: usize) -> Self {
         self.prefill_budget = Some(budget);
+        self
+    }
+
+    /// Sets the key-arena storage precision (builder-style).
+    #[must_use]
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
         self
     }
 
@@ -74,6 +86,7 @@ impl BatchConfig {
             total_capacity: config.capacity * n,
             k: config.k,
             prefill_budget: Some(config.prefill_budget),
+            precision: config.precision,
         }
     }
 
@@ -98,6 +111,7 @@ impl BatchConfig {
             capacity: share,
             k: self.k,
             prefill_budget: self.prefill_budget.unwrap_or(share),
+            precision: self.precision,
         }
     }
 }

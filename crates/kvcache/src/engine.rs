@@ -236,6 +236,15 @@ impl EngineConfig {
         self
     }
 
+    /// Sets the key-arena storage precision every admitted session's store
+    /// runs at (builder-style; see
+    /// [`SimConfig::precision`](crate::SimConfig::precision)).
+    #[must_use]
+    pub fn with_precision(mut self, precision: unicaim_attention::Precision) -> Self {
+        self.batch.precision = precision;
+        self
+    }
+
     /// Sets the scheduler (builder-style).
     #[must_use]
     pub fn with_scheduler(mut self, scheduler: SchedulerSpec) -> Self {
@@ -356,14 +365,35 @@ impl DecodeEngine {
     ///
     /// # Errors
     ///
-    /// [`HarnessError::InvalidSpec`] for an unbuildable spec; otherwise
-    /// the [`DecodeEngine::run_with`] contract.
+    /// [`HarnessError::InvalidSpec`] for an unbuildable spec **or** one
+    /// whose budget does not fit the per-sequence slot share
+    /// ([`PolicySpec::validate_for`] — a hybrid spec with `H + M`
+    /// different from its share would silently mis-prune). A ragged
+    /// split (`total_capacity` not divisible by the batch size) produces
+    /// exactly two share sizes one slot apart; a single spec cannot
+    /// match both, so it is accepted when it matches either (the one-slot
+    /// deviation on the other sequences is inherent to the even split,
+    /// not a misconfiguration). Otherwise the [`DecodeEngine::run_with`]
+    /// contract.
     pub fn run(
         &self,
         workloads: &[DecodeWorkload],
         spec: &PolicySpec,
     ) -> Result<BatchResult, HarnessError> {
-        spec.validate()?;
+        let n = workloads.len();
+        if n == 0 {
+            spec.validate()?;
+        } else {
+            // Shares descend by at most one slot from sequence 0 to n−1;
+            // validating against both extremes covers every sequence
+            // (`validate_for` includes `validate`). When both fail, the
+            // widest share's error is the one reported.
+            spec.validate_for(&self.config.batch.sequence_config(n, 0))
+                .or_else(|widest_err| {
+                    spec.validate_for(&self.config.batch.sequence_config(n, n - 1))
+                        .map_err(|_| widest_err)
+                })?;
+        }
         self.run_with(workloads, &mut |_| spec.build())
     }
 
@@ -447,6 +477,49 @@ mod tests {
         let engine = DecodeEngine::new(EngineConfig::new(5 * 24, 8));
         assert!(matches!(
             engine.run(&workloads, &PolicySpec::BlockTopK { block: 0 }),
+            Err(HarnessError::InvalidSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_hybrid_budget_is_rejected_in_both_directions() {
+        let workloads = sample_batch();
+        let engine = DecodeEngine::new(EngineConfig::new(5 * 24, 8));
+        // Per-sequence share is 24 slots; H + M must equal it.
+        engine
+            .run(&workloads, &PolicySpec::hybrid_for_share(24, 4, 8))
+            .unwrap();
+        for bad in [
+            PolicySpec::hybrid_for_share(32, 4, 8), // over-subscribed
+            PolicySpec::hybrid_for_share(16, 4, 8), // under-subscribed
+        ] {
+            assert!(
+                matches!(
+                    engine.run(&workloads, &bad),
+                    Err(HarnessError::InvalidSpec { .. })
+                ),
+                "{bad:?} must be rejected against a 24-slot share"
+            );
+        }
+    }
+
+    #[test]
+    fn ragged_shares_accept_a_hybrid_matching_either_extreme() {
+        // 100 slots over 5 sequences: shares are 20,20,20,20,20 — make it
+        // ragged: 103 slots gives shares 21,21,21,20,20. A single hybrid
+        // spec cannot equal both; matching either share must be accepted
+        // (the one-slot deviation is inherent to the even split), while a
+        // genuinely mismatched budget still fails.
+        let workloads = sample_batch();
+        let engine = DecodeEngine::new(EngineConfig::new(103, 8));
+        engine
+            .run(&workloads, &PolicySpec::hybrid_for_share(21, 4, 8))
+            .unwrap();
+        engine
+            .run(&workloads, &PolicySpec::hybrid_for_share(20, 4, 8))
+            .unwrap();
+        assert!(matches!(
+            engine.run(&workloads, &PolicySpec::hybrid_for_share(24, 4, 8)),
             Err(HarnessError::InvalidSpec { .. })
         ));
     }

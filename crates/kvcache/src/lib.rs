@@ -85,6 +85,9 @@ pub use sim::{
     attention_over, prefill_attention_matrix, ratio_capacity, simulate_decode, SimConfig, SimResult,
 };
 pub use spec::PolicySpec;
+// The key-arena storage precision every session/batch config carries
+// (defined next to `KvStore` in the attention crate).
+pub use unicaim_attention::Precision;
 
 /// Errors reported by the KV-cache policy layer.
 #[derive(Debug, Clone, PartialEq)]

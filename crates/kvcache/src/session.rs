@@ -23,6 +23,7 @@ use unicaim_attention::{softmax_in_place, AttentionError, KvStore};
 use crate::error::HarnessError;
 use crate::policy::Policy;
 use crate::sim::{prefill_attention_matrix, SimConfig, SimResult};
+use crate::spec::PolicySpec;
 
 /// How a session holds its policy: owned (engine-managed sessions) or
 /// borrowed (the thin `simulate_decode` wrapper drives a caller's policy).
@@ -97,6 +98,11 @@ pub struct DecodeSession<'w, 'p> {
     // Reused per-step scratch buffers: the steady-state decode step is
     // allocation-free (see the `kernels` module docs).
     scored: Vec<(usize, f32)>,
+    /// The current step's query quantized to symmetric `i8` (quantized
+    /// precisions only; unused for `f32` sessions).
+    query_q: Vec<i8>,
+    /// Dequantization scale of `query_q`.
+    query_scale: f32,
     sel_slots: Vec<usize>,
     weights: Vec<f32>,
     output: Vec<f32>,
@@ -129,6 +135,25 @@ impl<'w> DecodeSession<'w, 'static> {
         config: &SimConfig,
     ) -> Result<Self, HarnessError> {
         Self::prefill_holder(workload, PolicyHolder::Owned(policy), config)
+    }
+
+    /// Admits a sequence from a serializable [`PolicySpec`], rejecting the
+    /// spec up front when it cannot be built **or when its budget does not
+    /// fit this session's slot budget**
+    /// ([`PolicySpec::validate_for`]) — a hybrid spec whose `H + M` does
+    /// not match `config.capacity` would otherwise silently mis-prune.
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::InvalidSpec`] from the cross-check; otherwise the
+    /// [`DecodeSession::prefill`] contract.
+    pub fn prefill_spec(
+        workload: &'w DecodeWorkload,
+        spec: &PolicySpec,
+        config: &SimConfig,
+    ) -> Result<Self, HarnessError> {
+        spec.validate_for(config)?;
+        Self::prefill(workload, spec.build(), config)
     }
 }
 
@@ -165,7 +190,7 @@ impl<'w, 'p> DecodeSession<'w, 'p> {
                 capacity: config.capacity,
             });
         }
-        let mut store = KvStore::new(config.capacity, dim);
+        let mut store = KvStore::with_precision(config.capacity, dim, config.precision);
         for &t in &keep {
             if t >= prefill_len {
                 return Err(HarnessError::PrefillOutOfRange {
@@ -198,6 +223,15 @@ impl<'w, 'p> DecodeSession<'w, 'p> {
             next_step: 0,
             resident_trace,
             scored: Vec::with_capacity(config.capacity),
+            query_q: vec![
+                0;
+                if config.precision.is_quantized() {
+                    dim
+                } else {
+                    0
+                }
+            ],
+            query_scale: 0.0,
             sel_slots: Vec::with_capacity(config.capacity),
             weights: Vec::with_capacity(config.capacity),
             output: vec![0.0; dim],
@@ -296,14 +330,28 @@ impl<'w, 'p> DecodeSession<'w, 'p> {
 
         // 1. Score every resident token: one strided pass over the key
         //    arena, already in the ascending-token order the contract
-        //    guarantees (no per-step sort).
+        //    guarantees (no per-step sort). Quantized sessions quantize
+        //    the query once, then run the integer kernel against the i8
+        //    key arena, rescaling once per row — the software twin of the
+        //    array's reduced-precision search.
         self.scored.clear();
-        let keys = self.store.keys_view();
-        for (token, slot) in self.store.iter_tokens() {
-            self.scored.push((
-                token,
-                kernels::dot(query, keys.row(slot)) * self.inv_sqrt_dim,
-            ));
+        if let Some(qkeys) = self.store.quant_keys_view() {
+            self.query_scale = kernels::quantize_row_i8(query, &mut self.query_q);
+            for (token, slot) in self.store.iter_tokens() {
+                let raw = kernels::dot_i8(&self.query_q, qkeys.row(slot)) as f32;
+                self.scored.push((
+                    token,
+                    raw * (self.query_scale * qkeys.scale(slot) * self.inv_sqrt_dim),
+                ));
+            }
+        } else {
+            let keys = self.store.keys_view();
+            for (token, slot) in self.store.iter_tokens() {
+                self.scored.push((
+                    token,
+                    kernels::dot(query, keys.row(slot)) * self.inv_sqrt_dim,
+                ));
+            }
         }
         // 2. Dynamic selection.
         let decision = policy.select(step, &self.scored, self.config.k);
@@ -318,15 +366,28 @@ impl<'w, 'p> DecodeSession<'w, 'p> {
             .map_err(|token| HarnessError::SelectedNonResident { step, token })?;
         self.n_resident.push(self.scored.len() as f64);
         self.n_selected.push(decision.selected.len() as f64);
-        kernels::attend_gather(
-            query,
-            self.store.keys_view(),
-            self.store.values_view(),
-            &self.sel_slots,
-            self.inv_sqrt_dim,
-            &mut self.weights,
-            &mut self.output,
-        );
+        if let Some(qkeys) = self.store.quant_keys_view() {
+            kernels::attend_gather_q(
+                &self.query_q,
+                self.query_scale,
+                qkeys,
+                self.store.values_view(),
+                &self.sel_slots,
+                self.inv_sqrt_dim,
+                &mut self.weights,
+                &mut self.output,
+            );
+        } else {
+            kernels::attend_gather(
+                query,
+                self.store.keys_view(),
+                self.store.values_view(),
+                &self.sel_slots,
+                self.inv_sqrt_dim,
+                &mut self.weights,
+                &mut self.output,
+            );
+        }
         self.cos
             .push(cosine_similarity(&self.output, &self.reference[step]));
         self.rel
@@ -502,6 +563,56 @@ mod tests {
         assert_eq!(outcomes[11].remaining, 0);
         assert_eq!(session.resident_trace().len(), 13);
         assert_eq!(session.finish(), expected);
+    }
+
+    #[test]
+    fn prefill_spec_validates_the_budget_cross_check() {
+        let w = needle_task(96, 12, 7);
+        let cfg = SimConfig::reserved_decode_slots(48, 16, 8);
+        // Matching spec admits fine.
+        let spec = crate::PolicySpec::hybrid_for_share(48, 8, 16);
+        let session = DecodeSession::prefill_spec(&w, &spec, &cfg).unwrap();
+        assert_eq!(session.policy_name(), "hybrid_static_dynamic");
+        // A mismatched H + M is rejected before any work happens.
+        let bad = crate::PolicySpec::hybrid_for_share(64, 8, 16);
+        assert!(matches!(
+            DecodeSession::prefill_spec(&w, &bad, &cfg),
+            Err(HarnessError::InvalidSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn quantized_session_scores_against_the_quantized_arena() {
+        use unicaim_attention::Precision;
+        let w = needle_task(96, 12, 9);
+        let full = SimConfig::new(w.total_tokens(), usize::MAX);
+        let run = |precision| {
+            let mut session = DecodeSession::prefill(
+                &w,
+                Box::new(FullCache::new()),
+                &full.with_precision(precision),
+            )
+            .unwrap();
+            session.run_to_completion().unwrap();
+            session.finish()
+        };
+        let f32_result = run(Precision::F32);
+        let int8 = run(Precision::Int8);
+        let cell3 = run(Precision::Cell3Bit);
+        // The f32 reference is exact; quantized scoring pays a fidelity
+        // cost against the same f32 reference, int8 far less than the
+        // five-level cell mode.
+        assert!(f32_result.output_cosine > 0.999, "{f32_result:?}");
+        assert!(int8.output_cosine > 0.98, "{int8:?}");
+        assert!(cell3.output_cosine > 0.5, "{cell3:?}");
+        assert!(
+            int8.output_rel_error <= cell3.output_rel_error + 1e-9,
+            "int8 ({}) must not be worse than cell3 ({})",
+            int8.output_rel_error,
+            cell3.output_rel_error
+        );
+        // All three runs are deterministic and finite.
+        assert!(int8.output_cosine.is_finite() && cell3.output_cosine.is_finite());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use serde::{Deserialize, Serialize};
 use unicaim_attention::kernels::{self, RowView};
 use unicaim_attention::workloads::DecodeWorkload;
-use unicaim_attention::{softmax_in_place, KvStore, Matrix};
+use unicaim_attention::{softmax_in_place, KvStore, Matrix, Precision};
 
 use crate::error::HarnessError;
 use crate::policy::Policy;
@@ -24,6 +24,13 @@ pub struct SimConfig {
     /// [`SimConfig::with_prefill_budget`] to hold back decode slots the
     /// prefill stage must not fill.
     pub prefill_budget: usize,
+    /// Key-arena storage precision of the session's [`KvStore`]: every
+    /// per-step score (resident scan, selection attention, observed
+    /// weights) is computed against keys at this precision, while values
+    /// and the exact-attention reference stay `f32` — the software twin
+    /// of the array's reduced-precision cells. Defaults to
+    /// [`Precision::F32`].
+    pub precision: Precision,
 }
 
 impl SimConfig {
@@ -37,6 +44,7 @@ impl SimConfig {
             capacity,
             k,
             prefill_budget: capacity,
+            precision: Precision::F32,
         }
     }
 
@@ -56,6 +64,7 @@ impl SimConfig {
             capacity,
             k,
             prefill_budget: capacity.saturating_sub(m),
+            precision: Precision::F32,
         }
     }
 
@@ -63,6 +72,20 @@ impl SimConfig {
     #[must_use]
     pub fn with_prefill_budget(mut self, budget: usize) -> Self {
         self.prefill_budget = budget;
+        self
+    }
+
+    /// Sets the key-arena storage precision (builder-style).
+    ///
+    /// ```
+    /// use unicaim_attention::Precision;
+    /// use unicaim_kvcache::SimConfig;
+    /// let cfg = SimConfig::new(64, 16).with_precision(Precision::Int8);
+    /// assert_eq!(cfg.precision, Precision::Int8);
+    /// ```
+    #[must_use]
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
         self
     }
 }
@@ -165,7 +188,10 @@ pub fn prefill_attention_matrix(workload: &DecodeWorkload) -> Matrix {
 /// An empty selection returns a deterministic zero vector of the store's
 /// dimension (the pruned model attends to nothing, so it contributes
 /// nothing). Runs the fused [`kernels::attend_gather`] kernel over the
-/// store's flat key/value arenas.
+/// store's flat key/value arenas — or its quantized twin
+/// [`kernels::attend_gather_q`] when the store keeps a quantized key
+/// arena, so the convenience API scores at the same precision the decode
+/// hot path does.
 ///
 /// # Errors
 ///
@@ -188,15 +214,30 @@ pub fn attention_over(
         .map_err(|token| HarnessError::NonResidentToken { token })?;
     let scale = 1.0 / (query.len() as f32).sqrt();
     let mut weights = Vec::with_capacity(slots.len());
-    kernels::attend_gather(
-        query,
-        store.keys_view(),
-        store.values_view(),
-        &slots,
-        scale,
-        &mut weights,
-        &mut out,
-    );
+    if let Some(qkeys) = store.quant_keys_view() {
+        let mut query_q = vec![0i8; query.len()];
+        let query_scale = kernels::quantize_row_i8(query, &mut query_q);
+        kernels::attend_gather_q(
+            &query_q,
+            query_scale,
+            qkeys,
+            store.values_view(),
+            &slots,
+            scale,
+            &mut weights,
+            &mut out,
+        );
+    } else {
+        kernels::attend_gather(
+            query,
+            store.keys_view(),
+            store.values_view(),
+            &slots,
+            scale,
+            &mut weights,
+            &mut out,
+        );
+    }
     Ok(out)
 }
 
@@ -484,6 +525,49 @@ mod tests {
                 token: usize::MAX
             }
         );
+    }
+
+    #[test]
+    fn quantized_decode_preserves_retrieval_on_needle_task() {
+        use unicaim_attention::Precision;
+        // The paper's precision ablation, end to end: hybrid pruning with
+        // int8 / cell3 key arenas still retrieves the needle.
+        let w = needle_task(256, 32, 3);
+        for precision in [Precision::Int8, Precision::Cell3Bit] {
+            let mut p = HybridStaticDynamic::new(80, 16, 32);
+            let cfg = SimConfig::reserved_decode_slots(96, 32, 16).with_precision(precision);
+            let r = simulate_decode(&w, &mut p, &cfg).unwrap();
+            assert!(
+                r.salient_recall > 0.8,
+                "{}: recall {} too low: {r:?}",
+                precision.label(),
+                r.salient_recall
+            );
+            assert!(r.output_cosine.is_finite());
+        }
+    }
+
+    #[test]
+    fn attention_over_scores_at_the_store_precision() {
+        use unicaim_attention::Precision;
+        let mut qstore = KvStore::with_precision(4, 3, Precision::Int8);
+        let mut fstore = KvStore::new(4, 3);
+        for (t, fill) in [(0usize, 0.3f32), (1, -0.7), (2, 0.9)] {
+            let e = KvEntry {
+                token_id: t,
+                key: vec![fill, -fill, fill * 0.5],
+                value: vec![fill + 1.0, fill, -fill],
+            };
+            qstore.append(e.clone()).unwrap();
+            fstore.append(e).unwrap();
+        }
+        let q = [0.6f32, -0.2, 0.4];
+        let quantized = attention_over(&qstore, &[0, 2], &q).unwrap();
+        let exact = attention_over(&fstore, &[0, 2], &q).unwrap();
+        for (a, b) in quantized.iter().zip(&exact) {
+            assert!(a.is_finite());
+            assert!((a - b).abs() < 0.05, "{quantized:?} vs {exact:?}");
+        }
     }
 
     #[test]

@@ -16,6 +16,7 @@ use crate::policies::{
     BlockTopK, FullCache, HybridStaticDynamic, OracleTopK, SnapKv, StreamingLlm, H2O,
 };
 use crate::policy::Policy;
+use crate::sim::SimConfig;
 
 /// A buildable, serializable description of one policy configuration.
 ///
@@ -160,6 +161,49 @@ impl PolicySpec {
         }
     }
 
+    /// Checks the spec is buildable **and** that its budget is consistent
+    /// with the slot budget of the [`SimConfig`] it is about to run under.
+    ///
+    /// The hybrid scheme's `H + M` split *is* the paper's fixed cache
+    /// size: a spec whose `H + M` differs from the session's capacity
+    /// (in either direction) silently mis-prunes — over-subscribed specs
+    /// spill static tokens into the reserved decode slots, while
+    /// under-subscribed ones strand capacity the policy will never fill.
+    /// Likewise a prefill budget below `H` truncates the static stage
+    /// behind the policy's back. Session and engine construction from a
+    /// spec ([`DecodeSession::prefill_spec`](crate::DecodeSession::prefill_spec),
+    /// [`DecodeEngine::run`](crate::DecodeEngine::run)) reject both.
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::InvalidSpec`] naming the mismatched budget, or any
+    /// [`PolicySpec::validate`] error.
+    pub fn validate_for(&self, config: &SimConfig) -> Result<(), HarnessError> {
+        self.validate()?;
+        if let PolicySpec::HybridStaticDynamic { h, m, .. } = *self {
+            if h + m != config.capacity {
+                return Err(HarnessError::InvalidSpec {
+                    reason: format!(
+                        "hybrid budget H + M = {h} + {m} = {} does not match the \
+                         session's cache capacity of {} slots",
+                        h + m,
+                        config.capacity
+                    ),
+                });
+            }
+            if config.prefill_budget < h {
+                return Err(HarnessError::InvalidSpec {
+                    reason: format!(
+                        "prefill budget {} cannot place the hybrid spec's H = {h} \
+                         static tokens",
+                        config.prefill_budget
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Builds a fresh policy instance. Policies are [`Send`] by trait
     /// bound, so the built box can cross scheduler threads.
     ///
@@ -235,6 +279,48 @@ mod tests {
             bad_alpha.validate(),
             Err(HarnessError::InvalidSpec { .. })
         ));
+    }
+
+    #[test]
+    fn validate_for_cross_checks_hybrid_budget_both_directions() {
+        let spec = PolicySpec::hybrid_for_share(96, 16, 32); // H=80, M=16
+                                                             // Matching slot budget: accepted.
+        spec.validate_for(&SimConfig::reserved_decode_slots(96, 32, 16))
+            .unwrap();
+        // Default prefill budget (= capacity ≥ H): also accepted.
+        spec.validate_for(&SimConfig::new(96, 32)).unwrap();
+        // Over-subscribed: the session has fewer slots than H + M.
+        let err = spec.validate_for(&SimConfig::new(64, 32)).unwrap_err();
+        assert!(
+            matches!(err, HarnessError::InvalidSpec { ref reason } if reason.contains("96")),
+            "{err:?}"
+        );
+        // Under-subscribed: the session has more slots than H + M.
+        assert!(matches!(
+            spec.validate_for(&SimConfig::new(128, 32)),
+            Err(HarnessError::InvalidSpec { .. })
+        ));
+        // Prefill budget too small to place the H static tokens.
+        assert!(matches!(
+            spec.validate_for(&SimConfig::new(96, 32).with_prefill_budget(40)),
+            Err(HarnessError::InvalidSpec { .. })
+        ));
+        // Non-hybrid specs only need to be buildable.
+        PolicySpec::Full
+            .validate_for(&SimConfig::new(8, 4))
+            .unwrap();
+        assert!(matches!(
+            PolicySpec::BlockTopK { block: 0 }.validate_for(&SimConfig::new(8, 4)),
+            Err(HarnessError::InvalidSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn from_name_default_hybrid_matches_its_documented_share() {
+        // The registry default (96, 16, 32) must pass its own cross-check
+        // against the 96-slot share it documents.
+        let spec = PolicySpec::from_name("hybrid_static_dynamic").unwrap();
+        spec.validate_for(&SimConfig::new(96, 32)).unwrap();
     }
 
     #[test]

@@ -339,6 +339,109 @@ fn batched_policies_share_the_budget_evenly() {
     }
 }
 
+/// Records every per-step selection a wrapped policy makes, so selections
+/// can be compared across runs at different key-arena precisions.
+struct SelectionProbe {
+    inner: Box<dyn Policy>,
+    selections: Vec<Vec<usize>>,
+}
+
+impl SelectionProbe {
+    fn new(inner: Box<dyn Policy>) -> Self {
+        Self {
+            inner,
+            selections: Vec::new(),
+        }
+    }
+}
+
+impl Policy for SelectionProbe {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+    fn prefill_keep(&mut self, attn: &Matrix, budget: usize) -> Vec<usize> {
+        self.inner.prefill_keep(attn, budget)
+    }
+    fn select(&mut self, step: usize, scored: &[(usize, f32)], k: usize) -> StepDecision {
+        let decision = self.inner.select(step, scored, k);
+        self.selections.push(decision.selected.clone());
+        decision
+    }
+    fn observe(&mut self, step: usize, weights: &[(usize, f32)]) {
+        self.inner.observe(step, weights);
+    }
+    fn evict(&mut self, step: usize, resident: &[usize]) -> Option<usize> {
+        self.inner.evict(step, resident)
+    }
+    fn note_inserted(&mut self, token: usize) {
+        self.inner.note_inserted(token);
+    }
+}
+
+/// Quantized parity (satellite): per-policy top-k selection overlap across
+/// key-arena precisions is **reported, not asserted** — quantization
+/// legitimately reorders near-tied scores, so the Jaccard overlap against
+/// the f32 run is diagnostic output (visible with `--nocapture`), while
+/// the structural invariants (runs complete, same step counts, finite
+/// fidelity, bounded overlap) are what the test pins.
+#[test]
+fn cross_precision_selection_overlap_is_reported() {
+    use std::collections::BTreeSet;
+    use unicaim_kvcache::Precision;
+
+    let w = small_workload(17, 48, 12);
+    let capacity = 32;
+    let k = 8;
+    println!("per-policy mean Jaccard overlap of selections vs the f32 run:");
+    for spec in policy_menu(capacity, k) {
+        let run = |precision: Precision| {
+            let mut probe = SelectionProbe::new(spec.build());
+            let cfg = SimConfig::new(capacity, k).with_precision(precision);
+            let r = simulate_decode(&w, &mut probe, &cfg).expect("contract upheld");
+            (probe.selections, r)
+        };
+        let (sel_f32, r_f32) = run(Precision::F32);
+        for precision in [Precision::Int8, Precision::Cell3Bit] {
+            let (sel_q, r_q) = run(precision);
+            assert_eq!(
+                sel_f32.len(),
+                sel_q.len(),
+                "{}: step counts differ",
+                spec.name()
+            );
+            let mut overlap_sum = 0.0f64;
+            let mut steps = 0usize;
+            for (a, b) in sel_f32.iter().zip(&sel_q) {
+                let sa: BTreeSet<usize> = a.iter().copied().collect();
+                let sb: BTreeSet<usize> = b.iter().copied().collect();
+                let union = sa.union(&sb).count();
+                if union == 0 {
+                    continue; // both empty: vacuous step
+                }
+                let inter = sa.intersection(&sb).count();
+                let jaccard = inter as f64 / union as f64;
+                assert!((0.0..=1.0).contains(&jaccard));
+                overlap_sum += jaccard;
+                steps += 1;
+            }
+            let mean = if steps == 0 {
+                1.0
+            } else {
+                overlap_sum / steps as f64
+            };
+            println!(
+                "  {:<24} {:>6}: overlap {:>6.3}, recall {:>5.3} (f32 {:>5.3})",
+                spec.name(),
+                precision.label(),
+                mean,
+                r_q.salient_recall,
+                r_f32.salient_recall
+            );
+            assert!(r_q.output_cosine.is_finite());
+        }
+    }
+}
+
 #[test]
 fn sessions_and_policies_are_send() {
     fn assert_send<T: Send>() {}
