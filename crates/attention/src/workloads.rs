@@ -513,6 +513,92 @@ pub fn mixed_batch(
         .collect()
 }
 
+/// Parameters of the Poisson-ish serving arrival generator
+/// ([`poisson_arrivals`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalSpec {
+    /// Number of requests to generate.
+    pub n_requests: usize,
+    /// Mean inter-arrival gap in scheduler ticks (exponentially
+    /// distributed, floored to whole ticks — several requests can share a
+    /// tick at high load).
+    pub mean_interarrival_ticks: f64,
+    /// Number of tenants arrivals are spread across (uniformly at random).
+    pub n_tenants: usize,
+    /// Every `high_priority_every`-th request (1-based cadence) is marked
+    /// high priority; `0` marks none.
+    pub high_priority_every: usize,
+    /// Base prompt length handed to [`mixed_batch`] (lengths then vary
+    /// 1×/1.5×/2× across the batch).
+    pub base_prefill: usize,
+    /// Base decode length handed to [`mixed_batch`] (varies 1×/1.5×).
+    pub decode_len: usize,
+    /// RNG seed (arrival gaps and tenant draws; workload content uses the
+    /// same seed through [`mixed_batch`]).
+    pub seed: u64,
+}
+
+/// One request arriving at a serving queue: *when* it lands, *who* sent
+/// it, *how urgent* it is, and the decode work it carries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalEvent {
+    /// Scheduler tick at which the request arrives.
+    pub at_tick: u64,
+    /// Tenant the request belongs to.
+    pub tenant: usize,
+    /// Whether the request is in the high-priority class.
+    pub high_priority: bool,
+    /// The decode work itself.
+    pub workload: DecodeWorkload,
+}
+
+/// Generates a Poisson-ish arrival trace: inter-arrival gaps are
+/// exponentially distributed with the spec's mean (floored to whole
+/// ticks), tenants are drawn uniformly, and the carried workloads are the
+/// heterogeneous [`mixed_batch`] mix. Deterministic per seed, and ticks
+/// are non-decreasing, so the trace can be replayed straight into a
+/// serving queue.
+///
+/// # Panics
+///
+/// Panics if `n_requests == 0`, `n_tenants == 0`, or
+/// `mean_interarrival_ticks` is not finite and positive.
+#[must_use]
+pub fn poisson_arrivals(spec: &ArrivalSpec) -> Vec<ArrivalEvent> {
+    assert!(spec.n_requests > 0, "arrival trace must contain requests");
+    assert!(spec.n_tenants > 0, "arrivals need at least one tenant");
+    assert!(
+        spec.mean_interarrival_ticks.is_finite() && spec.mean_interarrival_ticks > 0.0,
+        "mean inter-arrival must be positive"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(spec.seed ^ 0xA221_7AE5);
+    let workloads = mixed_batch(
+        spec.n_requests,
+        spec.base_prefill,
+        spec.decode_len,
+        spec.seed,
+    );
+    let mut tick = 0u64;
+    workloads
+        .into_iter()
+        .enumerate()
+        .map(|(i, workload)| {
+            if i > 0 {
+                // Inverse-CDF exponential draw, floored to whole ticks.
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                tick += (-u.ln() * spec.mean_interarrival_ticks).floor() as u64;
+            }
+            ArrivalEvent {
+                at_tick: tick,
+                tenant: rng.gen_range(0..spec.n_tenants),
+                high_priority: spec.high_priority_every != 0
+                    && (i + 1) % spec.high_priority_every == 0,
+                workload,
+            }
+        })
+        .collect()
+}
+
 /// A workload whose queries and keys come from an actual (random-weight)
 /// [`crate::TinyTransformer`] forward pass — realistic softmax statistics
 /// with no planted structure (salient sets are empty; use it for cost and
@@ -750,6 +836,72 @@ mod tests {
         assert_eq!(all.len(), 1, "only the true needle is ever salient");
         assert_eq!(all.iter().next().copied(), Some(128));
         assert_eq!(w.answer_steps.len(), 2);
+    }
+
+    fn sample_arrival_spec() -> ArrivalSpec {
+        ArrivalSpec {
+            n_requests: 40,
+            mean_interarrival_ticks: 3.0,
+            n_tenants: 3,
+            high_priority_every: 5,
+            base_prefill: 48,
+            decode_len: 8,
+            seed: 21,
+        }
+    }
+
+    #[test]
+    fn poisson_arrivals_are_deterministic_and_ordered() {
+        let spec = sample_arrival_spec();
+        let a = poisson_arrivals(&spec);
+        assert_eq!(a.len(), 40);
+        assert_eq!(a, poisson_arrivals(&spec));
+        assert_eq!(a[0].at_tick, 0);
+        for pair in a.windows(2) {
+            assert!(pair[0].at_tick <= pair[1].at_tick, "ticks must not regress");
+        }
+        let mut other = spec;
+        other.seed = 22;
+        assert_ne!(a, poisson_arrivals(&other));
+    }
+
+    #[test]
+    fn poisson_arrivals_respect_tenants_and_priority_cadence() {
+        let a = poisson_arrivals(&sample_arrival_spec());
+        assert!(a.iter().all(|e| e.tenant < 3));
+        // Uniform tenant draw over 40 requests hits every tenant.
+        let tenants: BTreeSet<usize> = a.iter().map(|e| e.tenant).collect();
+        assert_eq!(tenants.len(), 3);
+        for (i, e) in a.iter().enumerate() {
+            assert_eq!(e.high_priority, (i + 1) % 5 == 0, "request {i}");
+        }
+        // The carried workloads are the heterogeneous serving mix.
+        assert!(a[0].workload.name.starts_with("needle#0"));
+        assert!(a[1].workload.name.starts_with("multi_hop#1"));
+    }
+
+    #[test]
+    fn poisson_arrival_gaps_track_the_requested_mean() {
+        let mut spec = sample_arrival_spec();
+        spec.n_requests = 400;
+        spec.base_prefill = 32;
+        spec.decode_len = 4;
+        let a = poisson_arrivals(&spec);
+        let span = a.last().unwrap().at_tick - a[0].at_tick;
+        let mean_gap = span as f64 / (a.len() - 1) as f64;
+        // Flooring shaves up to one tick off the exponential mean of 3.
+        assert!(
+            (1.6..=3.6).contains(&mean_gap),
+            "mean gap {mean_gap} strayed from the requested mean of 3"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn poisson_arrivals_reject_nonpositive_mean() {
+        let mut spec = sample_arrival_spec();
+        spec.mean_interarrival_ticks = 0.0;
+        let _ = poisson_arrivals(&spec);
     }
 
     #[test]

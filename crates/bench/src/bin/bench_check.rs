@@ -1,16 +1,22 @@
-//! Perf regression gate: measures the saved-baseline suites (see
-//! [`unicaim_bench::suite`]) and compares each case against the medians
+//! Perf/behavior regression gate: measures the saved-baseline suites (see
+//! [`unicaim_bench::suite`]) and compares each case against the figures
 //! recorded in `results/baselines/<suite>.json`.
 //!
 //! Usage:
 //!
 //! * `bench_check --save` — run every suite and (re)write the baselines.
 //! * `bench_check [--tolerance <x>] [--suite <name>]...` — re-measure and
-//!   fail (exit 1) when any case is more than `x`× slower than its saved
-//!   baseline. The default tolerance of 4.0 is deliberately wide: saved
-//!   numbers come from whatever machine recorded them, so the gate catches
-//!   order-of-magnitude regressions (an accidentally quadratic loop, a
-//!   de-vectorized kernel), not percent-level noise.
+//!   fail (exit 1) when any case leaves its tolerance band. Each baseline
+//!   row may carry its own `tolerance`; rows without one use the global
+//!   `--tolerance` (default 4.0, deliberately wide: saved wall-clock
+//!   numbers come from whatever machine recorded them, so the global band
+//!   catches order-of-magnitude regressions — an accidentally quadratic
+//!   loop, a de-vectorized kernel — not percent-level noise).
+//!   Deterministic *metric* cases (unit other than ns/iter, e.g. the
+//!   `saturation` suite's tick-domain percentiles) are checked in **both**
+//!   directions against their tight per-case tolerance: the figures are
+//!   bit-identical across machines, so drift either way is a behavior
+//!   change.
 //! * `--baseline-dir <dir>` — read/write baselines somewhere else
 //!   (default `results/baselines`).
 //!
@@ -80,11 +86,13 @@ fn run_suite(suite_name: &str) -> Vec<BaselineRow> {
     suite(suite_name)
         .iter_mut()
         .map(|case| {
-            let median = measure(case);
-            println!("  {:<40} {median:>14.1} ns/iter", case.name);
+            let m = measure(case);
+            println!("  {:<40} {:>14.1} {}", case.name, m.value, m.unit);
             BaselineRow {
                 name: case.name.to_owned(),
-                median_ns_per_iter: median,
+                value: m.value,
+                unit: m.unit.to_owned(),
+                tolerance: case.tolerance,
             }
         })
         .collect()
@@ -112,28 +120,38 @@ fn check(opts: &Options) -> bool {
             serde_json::from_str(&text).expect("baseline JSON must parse");
         println!("checking suite `{suite_name}` against {}:", path.display());
         println!(
-            "  {:<40} {:>12} {:>12} {:>7}  status",
-            "case", "baseline", "fresh", "ratio"
+            "  {:<40} {:>12} {:>12} {:>7} {:>8}  status",
+            "case", "baseline", "fresh", "ratio", "tol"
         );
         for case in suite(suite_name).iter_mut() {
             let fresh = measure(case);
             let saved = baseline.iter().find(|row| row.name == case.name);
             match saved {
                 None => println!(
-                    "  {:<40} {:>12} {fresh:>12.1} {:>7}  NEW (no baseline; rerun --save)",
-                    case.name, "-", "-"
+                    "  {:<40} {:>12} {:>12.1} {:>7} {:>8}  NEW (no baseline; rerun --save)",
+                    case.name, "-", fresh.value, "-", "-"
                 ),
                 Some(row) => {
-                    let ratio = fresh / row.median_ns_per_iter.max(1e-9);
-                    let status = if ratio > opts.tolerance {
+                    let tolerance = row.tolerance.unwrap_or(opts.tolerance);
+                    let ratio = fresh.value / row.value.max(1e-9);
+                    // Exact agreement short-circuits the ratio test, so
+                    // deterministic zero-valued counters never divide by
+                    // the epsilon floor.
+                    let within = (fresh.value - row.value).abs() <= 1e-9
+                        || if case.is_metric() {
+                            ratio <= tolerance && ratio >= 1.0 / tolerance
+                        } else {
+                            ratio <= tolerance
+                        };
+                    let status = if within {
+                        "ok"
+                    } else {
                         regressed = true;
                         "REGRESSED"
-                    } else {
-                        "ok"
                     };
                     println!(
-                        "  {:<40} {:>12.1} {fresh:>12.1} {ratio:>6.2}x  {status}",
-                        case.name, row.median_ns_per_iter
+                        "  {:<40} {:>12.1} {:>12.1} {ratio:>6.2}x {tolerance:>7.2}x  {status}",
+                        case.name, row.value, fresh.value
                     );
                 }
             }
@@ -153,13 +171,15 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     if check(&opts) {
-        println!("\nall cases within {:.1}x of baseline", opts.tolerance);
+        println!(
+            "\nall cases within tolerance (global {:.1}x; per-case bands where recorded)",
+            opts.tolerance
+        );
         ExitCode::SUCCESS
     } else {
         println!(
-            "\nperf regression beyond {:.1}x detected (see REGRESSED rows); \
-             if intentional, refresh with `bench_check --save`",
-            opts.tolerance
+            "\nregression outside the tolerance band detected (see REGRESSED rows); \
+             if intentional, refresh with `bench_check --save`"
         );
         ExitCode::FAILURE
     }

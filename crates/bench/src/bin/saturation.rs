@@ -1,0 +1,118 @@
+//! Serving saturation sweep: drives the shared continuous-batching
+//! scenario ([`unicaim_bench::serving`]) from light load to past
+//! saturation and reports the tick-domain latency/throughput percentiles
+//! at each arrival rate.
+//!
+//! Every reported figure is measured in virtual-time ticks (one tick = one
+//! decode step per running session), so the table — and the `--json`
+//! dump — is bit-identical on every machine; only the wall-clock column
+//! printed to stdout varies. The saturated operating point is the one the
+//! `saturation` baseline suite pins via `bench_check`.
+//!
+//! Run with: `cargo run --release -p unicaim-bench --bin saturation
+//! [-- --json results/saturation.json]`
+
+use std::time::Instant;
+
+use serde::Serialize;
+use unicaim_bench::serving::{run_scenario, GATE_MEAN_INTERARRIVAL, GATE_REQUESTS};
+use unicaim_bench::{banner, json_output_path};
+use unicaim_kvcache::MetricsSummary;
+
+/// One sweep point: the arrival rate plus the full (deterministic,
+/// tick-domain) metrics summary at that rate.
+#[derive(Debug, Serialize)]
+struct SweepRow {
+    mean_interarrival_ticks: f64,
+    n_requests: usize,
+    summary: MetricsSummary,
+}
+
+fn main() {
+    banner(
+        "saturation",
+        "Continuous-batching serving core driven to saturation",
+    );
+    println!(
+        "{} Poisson-ish arrivals per point; every figure below is in deterministic",
+        GATE_REQUESTS
+    );
+    println!("virtual-time ticks except the wall-clock column.\n");
+    println!(
+        "{:>9} {:>5} {:>7} {:>8} {:>9} {:>9} {:>9} {:>10} {:>8} {:>9}",
+        "mean-gap",
+        "done",
+        "reject",
+        "preempt",
+        "p50-ttft",
+        "p95-ttft",
+        "p95-lat",
+        "tok/tick",
+        "min-occ",
+        "wall-ms"
+    );
+
+    let mut rows = Vec::new();
+    for mean in [8.0, 4.0, GATE_MEAN_INTERARRIVAL, 1.0] {
+        let start = Instant::now();
+        let report = run_scenario(mean, GATE_REQUESTS);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let s = report.summary.clone();
+        println!(
+            "{mean:>9.1} {:>5} {:>7} {:>8} {:>9.1} {:>9.1} {:>9.1} {:>10.3} {:>8} {wall_ms:>9.1}",
+            s.completed,
+            s.rejected,
+            s.preemptions,
+            s.p50_ttft_ticks,
+            s.p95_ttft_ticks,
+            s.p95_latency_ticks,
+            s.tokens_per_tick,
+            s.min_occupancy_between_arrivals,
+        );
+        assert_eq!(
+            s.completed + s.rejected,
+            s.submitted,
+            "every submitted request must retire or be rejected"
+        );
+        rows.push(SweepRow {
+            mean_interarrival_ticks: mean,
+            n_requests: GATE_REQUESTS,
+            summary: s,
+        });
+    }
+
+    // The acceptance certificate of the serving PR, enforced on every run:
+    // at the gated (saturated) point, sequences join mid-flight — the core
+    // never drains between the first admission and the last arrival —
+    // preemption is observable, and the bounded queues push back.
+    let gated = rows
+        .iter()
+        .find(|r| r.mean_interarrival_ticks == GATE_MEAN_INTERARRIVAL)
+        .expect("sweep covers the gated point");
+    assert!(
+        gated.summary.min_occupancy_between_arrivals > 0,
+        "occupancy drained to zero between arrivals: {:?}",
+        gated.summary
+    );
+    assert!(
+        gated.summary.preemptions > 0,
+        "no preemption at saturation: {:?}",
+        gated.summary
+    );
+    assert!(
+        gated.summary.rejected > 0,
+        "no backpressure at saturation: {:?}",
+        gated.summary
+    );
+    println!(
+        "\nsaturated point (mean gap {GATE_MEAN_INTERARRIVAL}): occupancy never drained \
+         between arrivals (min {} slots), {} preemptions, {} rejections",
+        gated.summary.min_occupancy_between_arrivals,
+        gated.summary.preemptions,
+        gated.summary.rejected
+    );
+
+    if let Some(path) = json_output_path() {
+        unicaim_bench::dump_json(&path, &rows);
+    }
+}

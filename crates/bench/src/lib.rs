@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod serving;
 pub mod suite;
 
 use std::io::Write as _;

@@ -1,0 +1,115 @@
+//! The shared serving-saturation scenario behind the `saturation` bench
+//! binary and the `saturation` regression suite.
+//!
+//! One fixed [`ServeCore`] shape (8 concurrent sessions × 96 slots, the
+//! hybrid policy sized for the share) replays Poisson-ish arrival traces
+//! from [`poisson_arrivals`] at a chosen load. Everything in the resulting
+//! [`ServeReport`] is measured in virtual-time ticks, so every field is
+//! **bit-identical across machines and runs** — which is what lets the
+//! `bench_check` gate pin latency percentiles to a ~0.1% band
+//! ([`METRIC_TOLERANCE`]) instead of the order-of-magnitude band raw
+//! wall-clock medians need.
+
+use unicaim_attention::workloads::{poisson_arrivals, ArrivalSpec};
+use unicaim_kvcache::{PolicySpec, ServeConfig, ServeCore, ServeReport};
+
+/// Shared slot budget of the scenario core (8 sessions × 96 slots).
+pub const TOTAL_CAPACITY: usize = 8 * 96;
+/// Slots charged per admitted request.
+pub const SESSION_SLOTS: usize = 96;
+/// Dynamic top-k width.
+pub const K: usize = 32;
+/// Reserved decode slots per session (the hybrid policy's `M`).
+pub const RESERVED_DECODE_SLOTS: usize = 16;
+/// Per-tenant queue bound — small enough that the saturated load
+/// genuinely exercises rejection/backpressure.
+pub const QUEUE_LIMIT: usize = 6;
+
+/// Mean inter-arrival gap (ticks) of the CI-gated baseline scenario:
+/// past saturation for this shape, so the baseline pins queueing,
+/// preemption, *and* rejection behavior at once.
+pub const GATE_MEAN_INTERARRIVAL: f64 = 2.0;
+/// Number of arrivals in the CI-gated baseline scenario.
+pub const GATE_REQUESTS: usize = 48;
+/// Tolerance band for the tick-domain metric cases: the values are exact,
+/// so anything beyond float-printing noise is a real behavior change.
+pub const METRIC_TOLERANCE: f64 = 1.001;
+
+/// The scenario's serving configuration.
+#[must_use]
+pub fn scenario_config() -> ServeConfig {
+    ServeConfig::new(TOTAL_CAPACITY, SESSION_SLOTS, K)
+        .with_reserved_decode_slots(RESERVED_DECODE_SLOTS)
+        .with_queue_limit(QUEUE_LIMIT)
+}
+
+/// The scenario's policy: the paper's hybrid scheme sized for the share.
+#[must_use]
+pub fn scenario_spec() -> PolicySpec {
+    PolicySpec::hybrid_for_share(SESSION_SLOTS, RESERVED_DECODE_SLOTS, K)
+}
+
+/// The arrival trace: mixed workloads over 3 tenants, every 5th request
+/// high-priority, exponential inter-arrival gaps at the given mean.
+#[must_use]
+pub fn arrival_spec(mean_interarrival_ticks: f64, n_requests: usize) -> ArrivalSpec {
+    ArrivalSpec {
+        n_requests,
+        mean_interarrival_ticks,
+        n_tenants: 3,
+        high_priority_every: 5,
+        base_prefill: 96,
+        decode_len: 24,
+        seed: 0xD2C,
+    }
+}
+
+/// Replays the scenario at the given load and returns the full report.
+///
+/// # Panics
+///
+/// Panics if the fixed scenario configuration is invalid or a session
+/// violates the harness contract — both would be bugs in this crate.
+#[must_use]
+pub fn run_scenario(mean_interarrival_ticks: f64, n_requests: usize) -> ServeReport {
+    let events = poisson_arrivals(&arrival_spec(mean_interarrival_ticks, n_requests));
+    let mut core = ServeCore::new(scenario_config()).expect("scenario config is valid");
+    let spec = scenario_spec();
+    core.run(&events, &mut |_| spec.clone())
+        .expect("scenario workloads uphold the harness contract")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gated_scenario_saturates_with_preemption_and_backpressure() {
+        let report = run_scenario(GATE_MEAN_INTERARRIVAL, GATE_REQUESTS);
+        let s = &report.summary;
+        assert_eq!(s.submitted, GATE_REQUESTS as u64);
+        assert_eq!(s.completed + s.rejected, s.submitted);
+        // The acceptance criteria of the serving PR, pinned here and in
+        // the saved baseline: mid-flight joins keep the core busy between
+        // arrivals, preemption fires, and the bounded queues push back.
+        assert!(s.min_occupancy_between_arrivals > 0, "{s:?}");
+        assert!(s.preemptions > 0, "{s:?}");
+        assert!(s.rejected > 0, "{s:?}");
+        assert!(s.p50_ttft_ticks > 0.0 && s.p95_latency_ticks >= s.p50_ttft_ticks);
+    }
+
+    #[test]
+    fn scenario_is_deterministic() {
+        let a = run_scenario(4.0, 12);
+        let b = run_scenario(4.0, 12);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn light_load_never_rejects() {
+        let report = run_scenario(48.0, 8);
+        assert_eq!(report.summary.rejected, 0);
+        assert_eq!(report.summary.preemptions, 0);
+        assert_eq!(report.summary.completed, 8);
+    }
+}

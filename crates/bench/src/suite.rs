@@ -1,22 +1,37 @@
-//! The saved-baseline perf suite: named, deterministic micro/meso
-//! benchmarks of the decode hot path, measured the same way the vendored
-//! criterion measures (fixed warm-up + sample schedule, median ns/iter).
+//! The saved-baseline perf/behavior suite: named, deterministic micro/meso
+//! benchmark cases of the decode hot path and the serving core.
 //!
-//! Three suites mirror the three criterion bench binaries:
+//! Cases come in two kinds ([`CaseKind`]):
+//!
+//! * **Timed** — wall-clock benchmarks measured the way the vendored
+//!   criterion measures (fixed warm-up + sample schedule, median ns/iter).
+//!   Machine-dependent, so the gate's tolerance is wide and one-sided
+//!   (only *slower* fails).
+//! * **Metric** — deterministic figures (virtual-time serving latencies,
+//!   counters) that are bit-identical on every machine, gated with a tight
+//!   per-case tolerance in *both* directions — drift either way is a
+//!   behavior change, not noise.
+//!
+//! Four suites:
 //!
 //! * `kernels` — the flat-layout kernels and the CAM search underneath
 //!   `UniCaimArray::cam_top_k`;
 //! * `policies` — full software decode simulations per policy;
 //! * `experiments` — the hardware engine loop, batched decode, and the
-//!   heavier figure/table sweeps.
+//!   heavier figure/table sweeps;
+//! * `saturation` — tick-domain latency/throughput percentiles of the
+//!   shared serving scenario ([`crate::serving`]).
 //!
-//! `bench_check --save` records each case's median ns/iter to
-//! `results/baselines/<suite>.json`; a plain `bench_check` run re-measures
-//! and fails when a case regresses beyond the tolerance band. Keeping the
-//! case definitions in library code (rather than inside the criterion
-//! bench binaries) lets the regression gate and the criterion benches
-//! share one source of truth for "what is the hot path".
+//! `bench_check --save` records each case's figure (and its per-case
+//! tolerance, when one is set) to `results/baselines/<suite>.json`; a
+//! plain `bench_check` run re-measures and fails when a case leaves its
+//! tolerance band. Keeping the case definitions in library code (rather
+//! than inside the criterion bench binaries) lets the regression gate and
+//! the criterion benches share one source of truth for "what is the hot
+//! path".
 
+use std::cell::OnceCell;
+use std::rc::Rc;
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
@@ -32,58 +47,133 @@ use unicaim_kvcache::{
     PolicySpec, SchedulerSpec, SimConfig,
 };
 
+/// How a case produces its figure (see the module docs for the gating
+/// semantics of each kind).
+pub enum CaseKind {
+    /// Wall-clock timed, criterion-style; the figure is median ns/iter.
+    Timed {
+        /// Iterations per timed sample (higher for cheaper routines).
+        iters: u64,
+        /// The routine under test.
+        run: Box<dyn FnMut()>,
+    },
+    /// A deterministic figure computed directly (no timing involved).
+    Metric {
+        /// Produces the figure.
+        eval: Box<dyn FnMut() -> f64>,
+        /// The figure's unit, recorded into the baseline (`"ticks"`, …).
+        unit: &'static str,
+    },
+}
+
 /// One named benchmark case.
 pub struct Case {
     /// Stable case name (the baseline key).
     pub name: &'static str,
-    /// Iterations per timed sample (higher for cheaper routines).
-    pub iters: u64,
-    run: Box<dyn FnMut()>,
+    /// Per-case tolerance recorded into the baseline; `None` falls back to
+    /// the gate's global `--tolerance`.
+    pub tolerance: Option<f64>,
+    /// How the figure is produced and gated.
+    pub kind: CaseKind,
 }
 
 impl Case {
     fn new(name: &'static str, iters: u64, run: impl FnMut() + 'static) -> Self {
         Self {
             name,
-            iters,
-            run: Box::new(run),
+            tolerance: None,
+            kind: CaseKind::Timed {
+                iters,
+                run: Box::new(run),
+            },
         }
+    }
+
+    fn metric(
+        name: &'static str,
+        tolerance: f64,
+        unit: &'static str,
+        eval: impl FnMut() -> f64 + 'static,
+    ) -> Self {
+        Self {
+            name,
+            tolerance: Some(tolerance),
+            kind: CaseKind::Metric {
+                eval: Box::new(eval),
+                unit,
+            },
+        }
+    }
+
+    /// True for [`CaseKind::Metric`] cases, whose tolerance band is
+    /// two-sided (deterministic figures drifting *either* way fail).
+    #[must_use]
+    pub fn is_metric(&self) -> bool {
+        matches!(self.kind, CaseKind::Metric { .. })
     }
 }
 
-/// Samples per case; the reported figure is the median.
+/// One measured figure with its unit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// The figure (median ns/iter for timed cases, the metric value
+    /// otherwise).
+    pub value: f64,
+    /// The figure's unit.
+    pub unit: &'static str,
+}
+
+/// Samples per timed case; the reported figure is the median.
 const SAMPLES: usize = 11;
 
-/// Measures one case: one unrecorded warm-up sample, then `SAMPLES` (11)
-/// timed samples of `case.iters` iterations each, reported as the median
-/// ns/iter (the same schedule as the vendored criterion).
-pub fn measure(case: &mut Case) -> f64 {
-    for _ in 0..case.iters {
-        (case.run)();
-    }
-    let mut samples = Vec::with_capacity(SAMPLES);
-    for _ in 0..SAMPLES {
-        let start = Instant::now();
-        for _ in 0..case.iters {
-            (case.run)();
+/// Measures one case. Timed cases run one unrecorded warm-up sample, then
+/// `SAMPLES` (11) timed samples of `iters` iterations each, reported as
+/// the median ns/iter (the same schedule as the vendored criterion);
+/// metric cases just evaluate their figure.
+pub fn measure(case: &mut Case) -> Measurement {
+    match &mut case.kind {
+        CaseKind::Timed { iters, run } => {
+            let iters = *iters;
+            for _ in 0..iters {
+                run();
+            }
+            let mut samples = Vec::with_capacity(SAMPLES);
+            for _ in 0..SAMPLES {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    run();
+                }
+                samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+            }
+            samples.sort_by(f64::total_cmp);
+            Measurement {
+                value: samples[samples.len() / 2],
+                unit: "ns/iter",
+            }
         }
-        samples.push(start.elapsed().as_nanos() as f64 / case.iters as f64);
+        CaseKind::Metric { eval, unit } => Measurement {
+            value: eval(),
+            unit,
+        },
     }
-    samples.sort_by(f64::total_cmp);
-    samples[samples.len() / 2]
 }
 
-/// A saved baseline entry: one case's recorded median.
+/// A saved baseline entry: one case's recorded figure.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BaselineRow {
     /// Case name.
     pub name: String,
-    /// Median nanoseconds per iteration at record time.
-    pub median_ns_per_iter: f64,
+    /// The figure at record time.
+    pub value: f64,
+    /// The figure's unit (`"ns/iter"` for timed cases).
+    pub unit: String,
+    /// Per-case tolerance; `null`/`None` defers to the gate's global
+    /// `--tolerance`.
+    pub tolerance: Option<f64>,
 }
 
 /// The suite names, in run order.
-pub const SUITE_NAMES: [&str; 3] = ["kernels", "policies", "experiments"];
+pub const SUITE_NAMES: [&str; 4] = ["kernels", "policies", "experiments", "saturation"];
 
 /// Builds a suite by name.
 ///
@@ -96,6 +186,7 @@ pub fn suite(name: &str) -> Vec<Case> {
         "kernels" => kernels_suite(),
         "policies" => policies_suite(),
         "experiments" => experiments_suite(),
+        "saturation" => saturation_suite(),
         other => panic!("unknown suite `{other}` (expected one of {SUITE_NAMES:?})"),
     }
 }
@@ -364,6 +455,46 @@ fn experiments_suite() -> Vec<Case> {
     ]
 }
 
+/// The tick-domain serving suite: latency/throughput percentiles and
+/// behavior counters of the CI-gated saturation scenario
+/// ([`crate::serving`]). All cases share one scenario run (the report is
+/// computed once, on first evaluation) and carry the tight
+/// [`METRIC_TOLERANCE`](crate::serving::METRIC_TOLERANCE) band — the
+/// figures are deterministic, so drift in either direction is a real
+/// change in scheduling behavior.
+fn saturation_suite() -> Vec<Case> {
+    use unicaim_kvcache::MetricsSummary;
+
+    let shared: Rc<OnceCell<MetricsSummary>> = Rc::new(OnceCell::new());
+    let metric = move |name: &'static str, unit: &'static str, pick: fn(&MetricsSummary) -> f64| {
+        let shared = Rc::clone(&shared);
+        Case::metric(name, crate::serving::METRIC_TOLERANCE, unit, move || {
+            pick(shared.get_or_init(|| {
+                crate::serving::run_scenario(
+                    crate::serving::GATE_MEAN_INTERARRIVAL,
+                    crate::serving::GATE_REQUESTS,
+                )
+                .summary
+            }))
+        })
+    };
+    vec![
+        metric("saturation/p50_ttft", "ticks", |s| s.p50_ttft_ticks),
+        metric("saturation/p95_ttft", "ticks", |s| s.p95_ttft_ticks),
+        metric("saturation/p95_latency", "ticks", |s| s.p95_latency_ticks),
+        metric("saturation/p99_latency", "ticks", |s| s.p99_latency_ticks),
+        metric("saturation/tokens_per_tick", "tokens/tick", |s| {
+            s.tokens_per_tick
+        }),
+        metric("saturation/completed", "requests", |s| s.completed as f64),
+        metric("saturation/rejected", "requests", |s| s.rejected as f64),
+        metric("saturation/preemptions", "count", |s| s.preemptions as f64),
+        metric("saturation/min_occupancy_between_arrivals", "slots", |s| {
+            s.min_occupancy_between_arrivals as f64
+        }),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -375,7 +506,10 @@ mod tests {
             let cases = suite(suite_name);
             assert!(!cases.is_empty());
             for case in &cases {
-                assert!(case.iters > 0);
+                match &case.kind {
+                    CaseKind::Timed { iters, .. } => assert!(*iters > 0),
+                    CaseKind::Metric { unit, .. } => assert!(!unit.is_empty()),
+                }
                 assert!(names.insert(case.name), "duplicate case {}", case.name);
             }
         }
@@ -386,8 +520,43 @@ mod tests {
         let mut case = Case::new("noop_add", 100, || {
             std::hint::black_box(3u64 + 4);
         });
-        let ns = measure(&mut case);
-        assert!(ns.is_finite() && ns >= 0.0);
+        assert!(!case.is_metric());
+        let m = measure(&mut case);
+        assert_eq!(m.unit, "ns/iter");
+        assert!(m.value.is_finite() && m.value >= 0.0);
+    }
+
+    #[test]
+    fn metric_cases_evaluate_without_timing() {
+        let mut case = Case::metric("answer", 1.001, "units", || 42.0);
+        assert!(case.is_metric());
+        assert_eq!(case.tolerance, Some(1.001));
+        assert_eq!(
+            measure(&mut case),
+            Measurement {
+                value: 42.0,
+                unit: "units"
+            }
+        );
+    }
+
+    #[test]
+    fn saturation_cases_share_one_scenario_run_and_are_deterministic() {
+        // Two full passes over the suite must agree exactly (fresh suite
+        // instances, so the second pass re-runs the scenario).
+        let run_all = || -> Vec<f64> {
+            suite("saturation")
+                .iter_mut()
+                .map(|case| {
+                    assert!(case.is_metric());
+                    measure(case).value
+                })
+                .collect()
+        };
+        let a = run_all();
+        let b = run_all();
+        assert_eq!(a, b);
+        assert!(a.iter().all(|v| v.is_finite()));
     }
 
     #[test]
@@ -398,10 +567,20 @@ mod tests {
 
     #[test]
     fn baseline_row_roundtrips_through_json() {
-        let rows = vec![BaselineRow {
-            name: "dot_gather/576x128/k64".into(),
-            median_ns_per_iter: 1234.5,
-        }];
+        let rows = vec![
+            BaselineRow {
+                name: "dot_gather/576x128/k64".into(),
+                value: 1234.5,
+                unit: "ns/iter".into(),
+                tolerance: None,
+            },
+            BaselineRow {
+                name: "saturation/p95_ttft".into(),
+                value: 31.0,
+                unit: "ticks".into(),
+                tolerance: Some(1.001),
+            },
+        ];
         let text = serde_json::to_string_pretty(&rows).unwrap();
         let back: Vec<BaselineRow> = serde_json::from_str(&text).unwrap();
         assert_eq!(back, rows);

@@ -19,6 +19,13 @@
 //! a batch of size 1 reproduces the single-sequence driver bit for bit —
 //! the equivalence is pinned by tests in `tests/properties.rs`.
 //!
+//! Both drivers run a *closed* batch to completion. The open-loop
+//! continuous-batching front end — arrivals over time, admission control,
+//! preemption — is [`ServeCore`](crate::ServeCore), which retires its
+//! completed requests through this module's same aggregation
+//! ([`BatchResult`]), so closed-batch and serving numbers are directly
+//! comparable.
+//!
 //! [`Sequential`]: crate::Sequential
 
 use serde::{Deserialize, Serialize};

@@ -47,6 +47,27 @@ pub trait Scheduler: Send + Sync {
     /// Propagates the first [`HarnessError`] any session's step raised
     /// (other sessions may be left mid-flight).
     fn run(&self, sessions: &mut [DecodeSession<'_, '_>]) -> Result<(), HarnessError>;
+
+    /// Advances every unfinished session by exactly one decode step — one
+    /// *serving tick*. The continuous-batching
+    /// [`ServeCore`](crate::ServeCore) drives its running set through this
+    /// instead of [`run`](Scheduler::run), so admissions and preemptions
+    /// can interleave between ticks. Finished sessions are skipped, and
+    /// sessions are independent, so any schedule of the per-session steps
+    /// yields identical results; the default is a sequential in-order
+    /// pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`HarnessError`] any session's step raised.
+    fn step_once(&self, sessions: &mut [DecodeSession<'_, '_>]) -> Result<(), HarnessError> {
+        for session in sessions.iter_mut() {
+            if !session.is_done() {
+                session.step()?;
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Single-threaded round-robin schedule: global tick `t` runs step `t` of
@@ -118,26 +139,26 @@ impl WorkerPool {
     pub fn workers(&self) -> usize {
         self.workers
     }
-}
 
-impl Scheduler for WorkerPool {
-    fn name(&self) -> &'static str {
-        "worker_pool"
-    }
-
-    fn run(&self, sessions: &mut [DecodeSession<'_, '_>]) -> Result<(), HarnessError> {
+    /// Applies `run_one` to every session, fanning across the pool. The
+    /// shared skeleton under both [`Scheduler::run`] (run to completion)
+    /// and [`Scheduler::step_once`] (advance one tick): workers claim the
+    /// next session off a queue, and the first error wins and stops the
+    /// claimers. Sessions are `Send` (policies are `Send` by trait bound),
+    /// so handing `&mut DecodeSession` to a scoped worker is safe.
+    fn fan_out<'w, 'p>(
+        &self,
+        sessions: &mut [DecodeSession<'w, 'p>],
+        run_one: impl Fn(&mut DecodeSession<'w, 'p>) -> Result<(), HarnessError> + Sync,
+    ) -> Result<(), HarnessError> {
         let workers = self.workers.min(sessions.len().max(1));
         if workers <= 1 {
             // No parallelism to exploit; skip the pool machinery.
             for session in sessions.iter_mut() {
-                session.run_to_completion()?;
+                run_one(session)?;
             }
             return Ok(());
         }
-        // Work queue: workers claim the next session and run it to
-        // completion. Sessions are `Send` (policies are `Send` by trait
-        // bound), so handing `&mut DecodeSession` to a scoped worker is
-        // safe; the first error wins and stops the claimers.
         let queue = Mutex::new(sessions.iter_mut());
         let first_error: Mutex<Option<HarnessError>> = Mutex::new(None);
         let mut pool = scoped_threadpool::Pool::new(workers);
@@ -149,7 +170,7 @@ impl Scheduler for WorkerPool {
                     }
                     let claimed = queue.lock().expect("session queue poisoned").next();
                     let Some(session) = claimed else { break };
-                    if let Err(e) = session.run_to_completion() {
+                    if let Err(e) = run_one(session) {
                         first_error
                             .lock()
                             .expect("error slot poisoned")
@@ -163,6 +184,25 @@ impl Scheduler for WorkerPool {
             Some(e) => Err(e),
             None => Ok(()),
         }
+    }
+}
+
+impl Scheduler for WorkerPool {
+    fn name(&self) -> &'static str {
+        "worker_pool"
+    }
+
+    fn run(&self, sessions: &mut [DecodeSession<'_, '_>]) -> Result<(), HarnessError> {
+        self.fan_out(sessions, DecodeSession::run_to_completion)
+    }
+
+    fn step_once(&self, sessions: &mut [DecodeSession<'_, '_>]) -> Result<(), HarnessError> {
+        self.fan_out(sessions, |session| {
+            if !session.is_done() {
+                session.step()?;
+            }
+            Ok(())
+        })
     }
 }
 
@@ -595,6 +635,44 @@ mod tests {
         Sequential.run(&mut sessions).unwrap();
         assert!(sessions.iter().all(DecodeSession::is_done));
         assert_eq!(engine.collect(sessions), expected);
+    }
+
+    #[test]
+    fn step_once_ticks_every_unfinished_session_in_lockstep() {
+        // Driving the batch tick-by-tick through step_once (on either
+        // scheduler) must reproduce the run-to-completion result exactly,
+        // with every session advancing one step per tick until it drains.
+        let workloads = sample_batch();
+        let spec = PolicySpec::StreamingLlm { n_sinks: 2 };
+        let engine = DecodeEngine::new(EngineConfig::new(5 * 24, 8));
+        let expected = engine.run(&workloads, &spec).unwrap();
+
+        for scheduler in [
+            Box::new(Sequential) as Box<dyn Scheduler>,
+            Box::new(WorkerPool::new(3)),
+        ] {
+            let mut sessions = engine.admit(&workloads, &mut |_| spec.build()).unwrap();
+            let mut ticks = 0usize;
+            while sessions.iter().any(|s| !s.is_done()) {
+                let before: Vec<usize> = sessions.iter().map(DecodeSession::next_step).collect();
+                scheduler.step_once(&mut sessions).unwrap();
+                for (session, before) in sessions.iter().zip(before) {
+                    let expected_step = (before + 1).min(session.steps());
+                    assert_eq!(session.next_step(), expected_step);
+                }
+                ticks += 1;
+            }
+            // Ragged batch: tick count is the longest sequence.
+            assert_eq!(
+                ticks,
+                workloads
+                    .iter()
+                    .map(|w| w.decode_queries.len())
+                    .max()
+                    .unwrap()
+            );
+            assert_eq!(engine.collect(sessions), expected);
+        }
     }
 
     #[test]

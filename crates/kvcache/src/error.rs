@@ -89,6 +89,13 @@ pub enum HarnessError {
         /// Human-readable description of the bad parameter.
         reason: String,
     },
+    /// A [`ServeConfig`](crate::ServeConfig) carries a parameter no
+    /// serving core can run under (zero-sized sessions, a session share
+    /// larger than the shared budget, an empty queue bound, …).
+    InvalidServeConfig {
+        /// Human-readable description of the bad parameter.
+        reason: String,
+    },
 }
 
 impl core::fmt::Display for HarnessError {
@@ -133,6 +140,9 @@ impl core::fmt::Display for HarnessError {
                 crate::PolicySpec::NAMES
             ),
             HarnessError::InvalidSpec { reason } => write!(f, "invalid policy spec: {reason}"),
+            HarnessError::InvalidServeConfig { reason } => {
+                write!(f, "invalid serve config: {reason}")
+            }
         }
     }
 }
@@ -167,6 +177,9 @@ mod tests {
             HarnessError::SelectedNonResident { step: 1, token: 2 },
             HarnessError::EmptyBatch,
             HarnessError::UnknownPolicy { name: "x".into() },
+            HarnessError::InvalidServeConfig {
+                reason: "session share of 0 slots".into(),
+            },
         ];
         let text = serde_json::to_string(&errors).unwrap();
         let back: Vec<HarnessError> = serde_json::from_str(&text).unwrap();

@@ -27,6 +27,12 @@
 //! * [`DecodeEngine`] — the batched driver: admits N sequences against one
 //!   shared slot budget and drives them with a pluggable [`Scheduler`]
 //!   ([`Sequential`] round-robin, or the parallel [`WorkerPool`]);
+//! * [`ServeCore`] — the continuous-batching server core: bounded
+//!   per-tenant request queues, admission control against the shared slot
+//!   budget, priority preemption with re-prefill, sequences joining and
+//!   leaving mid-flight, and a [`ServerMetrics`] surface (queue depth,
+//!   TTFT/latency percentiles, occupancy histogram) measured in
+//!   deterministic virtual-time ticks;
 //! * [`simulate_decode`] / [`simulate_batch`] — thin run-to-completion
 //!   wrappers over the above for the batch-scientific call sites.
 //!
@@ -64,8 +70,10 @@
 mod batch;
 mod engine;
 mod error;
+mod metrics;
 mod policy;
 mod score;
+mod serve;
 mod session;
 mod sim;
 mod spec;
@@ -75,11 +83,13 @@ pub mod policies;
 pub use batch::{simulate_batch, BatchConfig, BatchResult};
 pub use engine::{DecodeEngine, EngineConfig, Scheduler, SchedulerSpec, Sequential, WorkerPool};
 pub use error::HarnessError;
+pub use metrics::{MetricsSummary, ServerMetrics, OCCUPANCY_BUCKETS};
 pub use policies::{
     BlockTopK, FullCache, HybridStaticDynamic, OracleTopK, SnapKv, StreamingLlm, H2O,
 };
 pub use policy::{accumulated_prefill_scores, top_indices_by_score, Policy, StepDecision};
 pub use score::ScoreTable;
+pub use serve::{CompletedRequest, Priority, ServeConfig, ServeCore, ServeReport, SubmitOutcome};
 pub use session::{DecodeSession, StepOutcome};
 pub use sim::{
     attention_over, prefill_attention_matrix, ratio_capacity, simulate_decode, SimConfig, SimResult,

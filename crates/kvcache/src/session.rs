@@ -5,8 +5,11 @@
 //! Unlike the run-to-completion [`simulate_decode`](crate::simulate_decode)
 //! wrapper, a session is driven *incrementally* — `prefill` admits the
 //! sequence, `step` advances it one decode token, `finish` retires it into
-//! a [`SimResult`] — which is exactly the lifecycle a serving loop (or the
-//! [`DecodeEngine`](crate::DecodeEngine)'s schedulers) needs.
+//! a [`SimResult`] — which is exactly the lifecycle a serving loop needs:
+//! both the [`DecodeEngine`](crate::DecodeEngine)'s schedulers and the
+//! continuous-batching [`ServeCore`](crate::ServeCore) drive sessions
+//! through this interface (the serve core additionally *drops* sessions
+//! mid-flight on preemption and re-prefills them later).
 //!
 //! Every harness ↔ policy contract violation surfaces as a typed
 //! [`HarnessError`] instead of a panic, so one broken sequence can be
@@ -264,6 +267,14 @@ impl<'w, 'p> DecodeSession<'w, 'p> {
     #[must_use]
     pub fn remaining(&self) -> usize {
         self.steps() - self.next_step
+    }
+
+    /// Tokens generated so far (completed decode steps) — what a
+    /// preempting server discards when it evicts this session, so the
+    /// [`ServeCore`](crate::ServeCore) charges it as wasted work.
+    #[must_use]
+    pub fn tokens_generated(&self) -> usize {
+        self.next_step
     }
 
     /// True when every decode step has run.

@@ -101,6 +101,33 @@ impl PolicySpec {
         }
     }
 
+    /// Re-sizes this spec for a per-sequence slot share: the hybrid scheme
+    /// re-splits its budget (`H = share − M`, same `M`, `k`, recency
+    /// protection, and EWMA mode), since its `H + M` *is* the cache size
+    /// ([`PolicySpec::validate_for`]); every other policy is
+    /// share-agnostic and passes through unchanged. This is how a serving
+    /// front end maps one configured policy onto whatever share its
+    /// admission controller hands each request.
+    #[must_use]
+    pub fn for_share(&self, share: usize) -> Self {
+        match *self {
+            PolicySpec::HybridStaticDynamic {
+                m,
+                k,
+                protect_recent,
+                ewma_alpha,
+                ..
+            } => PolicySpec::HybridStaticDynamic {
+                h: share.saturating_sub(m),
+                m,
+                k,
+                protect_recent,
+                ewma_alpha,
+            },
+            ref other => other.clone(),
+        }
+    }
+
     /// Looks a spec up by policy display name, with documented default
     /// parameters: 4 sinks (`streaming_llm`), recent budget 16 (`h2o`),
     /// observation window 16 (`snapkv`), block size 8 (`block_topk`), and
@@ -336,6 +363,34 @@ mod tests {
                 ewma_alpha: None,
             }
         );
+    }
+
+    #[test]
+    fn for_share_resplits_only_the_hybrid_budget() {
+        let hybrid = PolicySpec::HybridStaticDynamic {
+            h: 80,
+            m: 16,
+            k: 32,
+            protect_recent: 2,
+            ewma_alpha: Some(0.5),
+        };
+        let resized = hybrid.for_share(48);
+        assert_eq!(
+            resized,
+            PolicySpec::HybridStaticDynamic {
+                h: 32,
+                m: 16,
+                k: 32,
+                protect_recent: 2,
+                ewma_alpha: Some(0.5),
+            }
+        );
+        resized
+            .validate_for(&SimConfig::reserved_decode_slots(48, 32, 16))
+            .unwrap();
+        // Share-agnostic policies pass through unchanged.
+        let streaming = PolicySpec::StreamingLlm { n_sinks: 4 };
+        assert_eq!(streaming.for_share(48), streaming);
     }
 
     #[test]

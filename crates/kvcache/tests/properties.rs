@@ -1,11 +1,14 @@
 //! Property-based tests of the policy/simulation invariants.
 
 use proptest::prelude::*;
-use unicaim_attention::workloads::{generate, NeedleSpec, WorkloadSpec};
+use unicaim_attention::workloads::{
+    generate, poisson_arrivals, ArrivalSpec, NeedleSpec, WorkloadSpec,
+};
 use unicaim_attention::Matrix;
 use unicaim_kvcache::{
-    simulate_batch, simulate_decode, BatchConfig, DecodeEngine, EngineConfig, HybridStaticDynamic,
-    Policy, PolicySpec, SchedulerSpec, ScoreTable, SimConfig, StepDecision, StreamingLlm,
+    simulate_batch, simulate_decode, BatchConfig, DecodeEngine, DecodeSession, EngineConfig,
+    HybridStaticDynamic, Policy, PolicySpec, Precision, SchedulerSpec, ScoreTable, ServeConfig,
+    ServeCore, SimConfig, StepDecision, StreamingLlm,
 };
 
 fn small_workload(
@@ -290,6 +293,60 @@ proptest! {
             )
             .expect("contract upheld");
             prop_assert_eq!(&batch.per_sequence[0], &expected);
+        }
+    }
+
+    /// Continuous batching is transparent to every sequence: under
+    /// staggered Poisson arrivals — sequences joining and leaving
+    /// mid-flight, queueing behind the slot budget, and (when the trace
+    /// carries high-priority requests) being preempted and re-prefilled —
+    /// each completed request's per-sequence result is bit-identical to
+    /// running that sequence alone at the same precision and policy. The
+    /// PR 2/4 equivalence ladder (single = batch-of-one = any scheduler)
+    /// extended to mid-flight join/leave.
+    #[test]
+    fn continuous_batching_matches_solo_sessions_bit_for_bit(
+        seed in 0u64..200,
+        mean in 1.0f64..6.0,
+        n_requests in 3usize..9,
+        high_every in 0usize..4,
+        precision_idx in 0usize..3,
+    ) {
+        let share = 28;
+        let k = 8;
+        let precision = [Precision::F32, Precision::Int8, Precision::Cell3Bit][precision_idx];
+        let events = poisson_arrivals(&ArrivalSpec {
+            n_requests,
+            mean_interarrival_ticks: mean,
+            n_tenants: 2,
+            high_priority_every: high_every,
+            base_prefill: 32,
+            decode_len: 8,
+            seed,
+        });
+        let spec = PolicySpec::hybrid_for_share(share, 4, k);
+        // Two concurrent sessions at most, so arrivals genuinely stagger,
+        // queue, and (with a high-priority cadence) preempt; the queue
+        // bound is wide enough that nothing is rejected.
+        let config = ServeConfig::new(2 * share, share, k)
+            .with_reserved_decode_slots(4)
+            .with_precision(precision)
+            .with_queue_limit(n_requests);
+        let mut core = ServeCore::new(config).expect("valid config");
+        let report = core
+            .run(&events, &mut |_| spec.clone())
+            .expect("contract upheld");
+        prop_assert_eq!(report.summary.rejected, 0);
+        prop_assert_eq!(report.completed.len(), n_requests);
+        for completed in &report.completed {
+            let mut solo = DecodeSession::prefill_spec(
+                &events[completed.id].workload,
+                &spec,
+                &config.session_config(),
+            )
+            .expect("solo prefill");
+            solo.run_to_completion().expect("solo run");
+            prop_assert_eq!(&completed.result, &solo.finish());
         }
     }
 
