@@ -13,6 +13,15 @@
 //! per-head slice of a multi-head projection is `stride == d_model`,
 //! `dim == d_head`, with the head offset folded into the buffer slice.
 //!
+//! The kernels themselves are generic over the [`Rows`] / [`QuantRows`]
+//! access traits: every row is one contiguous slice, but consecutive rows
+//! need not be — the paged views
+//! ([`PagedRows`](crate::paged::PagedRows),
+//! [`PagedQuantRows`](crate::paged::PagedQuantRows)) resolve each logical
+//! row into its page, so the same gather/attend kernels walk flat arenas
+//! and non-contiguous page tables alike (scalar parity between the two is
+//! property-tested).
+//!
 //! Ordering convention: all top-k selection in this module uses
 //! [`f32::total_cmp`] with an explicit ascending-index tie-break, so
 //! rankings are total and deterministic even in the presence of NaN
@@ -84,6 +93,69 @@ impl<'a> RowView<'a> {
     }
 }
 
+/// Row-addressable `f32` rows: the access contract the gather/attend
+/// kernels read keys and values through. Each row is one contiguous
+/// slice of length [`Rows::dim`], but consecutive rows need not be
+/// adjacent in memory — the flat [`RowView`] strides through one buffer
+/// while the paged [`PagedRows`](crate::paged::PagedRows) resolves each
+/// row into its page. Implementations are cheap `Copy` views, so kernels
+/// take them by value.
+pub trait Rows: Copy {
+    /// Logical row width.
+    fn dim(&self) -> usize;
+    /// Borrow row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` addresses past the underlying storage.
+    fn row(&self, r: usize) -> &[f32];
+}
+
+impl Rows for RowView<'_> {
+    fn dim(&self) -> usize {
+        RowView::dim(self)
+    }
+    #[inline]
+    fn row(&self, r: usize) -> &[f32] {
+        RowView::row(self, r)
+    }
+}
+
+/// The quantized twin of [`Rows`]: row-addressable `i8` levels with one
+/// `f32` dequantization scale per row. Implemented by the flat
+/// [`QuantRowView`] and the paged
+/// [`PagedQuantRows`](crate::paged::PagedQuantRows).
+pub trait QuantRows: Copy {
+    /// Logical row width.
+    fn dim(&self) -> usize;
+    /// Borrow the integer levels of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` addresses past the underlying storage.
+    fn row(&self, r: usize) -> &[i8];
+    /// The dequantization scale of row `r` (`value = scale · level`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` addresses past the underlying storage.
+    fn scale(&self, r: usize) -> f32;
+}
+
+impl QuantRows for QuantRowView<'_> {
+    fn dim(&self) -> usize {
+        QuantRowView::dim(self)
+    }
+    #[inline]
+    fn row(&self, r: usize) -> &[i8] {
+        QuantRowView::row(self, r)
+    }
+    #[inline]
+    fn scale(&self, r: usize) -> f32 {
+        QuantRowView::scale(self, r)
+    }
+}
+
 /// Number of independent accumulators in [`dot`]. Wide enough for the
 /// compiler to keep the loop in vector registers.
 const LANES: usize = 8;
@@ -123,7 +195,7 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
 /// # Panics
 ///
 /// Panics if a row extends past the key buffer.
-pub fn dot_prefix(query: &[f32], keys: RowView<'_>, scale: f32, out: &mut [f32]) {
+pub fn dot_prefix<K: Rows>(query: &[f32], keys: K, scale: f32, out: &mut [f32]) {
     for (r, o) in out.iter_mut().enumerate() {
         *o = dot(query, keys.row(r)) * scale;
     }
@@ -135,7 +207,7 @@ pub fn dot_prefix(query: &[f32], keys: RowView<'_>, scale: f32, out: &mut [f32])
 /// # Panics
 ///
 /// Panics if `rows.len() != out.len()` or a row is out of range.
-pub fn dot_gather(query: &[f32], keys: RowView<'_>, rows: &[usize], scale: f32, out: &mut [f32]) {
+pub fn dot_gather<K: Rows>(query: &[f32], keys: K, rows: &[usize], scale: f32, out: &mut [f32]) {
     assert_eq!(rows.len(), out.len(), "gather output length mismatch");
     for (&r, o) in rows.iter().zip(out.iter_mut()) {
         *o = dot(query, keys.row(r)) * scale;
@@ -148,7 +220,7 @@ pub fn dot_gather(query: &[f32], keys: RowView<'_>, rows: &[usize], scale: f32, 
 /// # Panics
 ///
 /// Panics if `out.len() != values.dim()` or lengths disagree.
-pub fn weighted_sum_gather(weights: &[f32], values: RowView<'_>, rows: &[usize], out: &mut [f32]) {
+pub fn weighted_sum_gather<V: Rows>(weights: &[f32], values: V, rows: &[usize], out: &mut [f32]) {
     assert_eq!(out.len(), values.dim(), "output/value dimension mismatch");
     assert_eq!(weights.len(), rows.len(), "weight/row count mismatch");
     for (&r, &w) in rows.iter().zip(weights) {
@@ -164,7 +236,7 @@ pub fn weighted_sum_gather(weights: &[f32], values: RowView<'_>, rows: &[usize],
 /// # Panics
 ///
 /// Panics if `out.len() != values.dim()`.
-pub fn weighted_sum_prefix(weights: &[f32], values: RowView<'_>, out: &mut [f32]) {
+pub fn weighted_sum_prefix<V: Rows>(weights: &[f32], values: V, out: &mut [f32]) {
     assert_eq!(out.len(), values.dim(), "output/value dimension mismatch");
     for (r, &w) in weights.iter().enumerate() {
         for (o, &x) in out.iter_mut().zip(values.row(r)) {
@@ -180,10 +252,10 @@ pub fn weighted_sum_prefix(weights: &[f32], values: RowView<'_>, out: &mut [f32]
 /// # Panics
 ///
 /// Panics if `query.len() != keys.dim()` or `out.len() != values.dim()`.
-pub fn attend_gather(
+pub fn attend_gather<K: Rows, V: Rows>(
     query: &[f32],
-    keys: RowView<'_>,
-    values: RowView<'_>,
+    keys: K,
+    values: V,
     rows: &[usize],
     scale: f32,
     weights: &mut Vec<f32>,
@@ -208,10 +280,10 @@ pub fn attend_gather(
 /// # Panics
 ///
 /// Panics if `query.len() != keys.dim()` or `out.len() != values.dim()`.
-pub fn attend_prefix(
+pub fn attend_prefix<K: Rows, V: Rows>(
     query: &[f32],
-    keys: RowView<'_>,
-    values: RowView<'_>,
+    keys: K,
+    values: V,
     n: usize,
     scale: f32,
     weights: &mut Vec<f32>,
@@ -438,10 +510,10 @@ pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
 /// # Panics
 ///
 /// Panics if a row extends past the key buffer.
-pub fn dot_prefix_q(
+pub fn dot_prefix_q<Q: QuantRows>(
     query_q: &[i8],
     query_scale: f32,
-    keys: QuantRowView<'_>,
+    keys: Q,
     scale: f32,
     out: &mut [f32],
 ) {
@@ -457,10 +529,10 @@ pub fn dot_prefix_q(
 /// # Panics
 ///
 /// Panics if `rows.len() != out.len()` or a row is out of range.
-pub fn dot_gather_q(
+pub fn dot_gather_q<Q: QuantRows>(
     query_q: &[i8],
     query_scale: f32,
-    keys: QuantRowView<'_>,
+    keys: Q,
     rows: &[usize],
     scale: f32,
     out: &mut [f32],
@@ -481,11 +553,11 @@ pub fn dot_gather_q(
 ///
 /// Panics if `query_q.len() != keys.dim()` or `out.len() != values.dim()`.
 #[allow(clippy::too_many_arguments)]
-pub fn attend_gather_q(
+pub fn attend_gather_q<Q: QuantRows, V: Rows>(
     query_q: &[i8],
     query_scale: f32,
-    keys: QuantRowView<'_>,
-    values: RowView<'_>,
+    keys: Q,
+    values: V,
     rows: &[usize],
     scale: f32,
     weights: &mut Vec<f32>,
@@ -511,11 +583,11 @@ pub fn attend_gather_q(
 ///
 /// Panics if `query_q.len() != keys.dim()` or `out.len() != values.dim()`.
 #[allow(clippy::too_many_arguments)]
-pub fn attend_prefix_q(
+pub fn attend_prefix_q<Q: QuantRows, V: Rows>(
     query_q: &[i8],
     query_scale: f32,
-    keys: QuantRowView<'_>,
-    values: RowView<'_>,
+    keys: Q,
+    values: V,
     n: usize,
     scale: f32,
     weights: &mut Vec<f32>,

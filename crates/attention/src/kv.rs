@@ -1,5 +1,5 @@
 //! Fixed-capacity KV storage with in-slot overwrite, laid out as a
-//! structure of arrays.
+//! logical page table over refcounted fixed-size pages.
 //!
 //! UniCAIM keeps the KV cache at a fixed physical size (`H + M` rows): a
 //! statically evicted token's row is directly overwritten by the newly
@@ -10,24 +10,31 @@
 //!
 //! # Layout
 //!
-//! Keys and values live in two contiguous row-major arenas (`capacity × dim`
-//! `f32`s each, slot `s` at `s*dim..(s+1)*dim`), with per-slot token ids in
-//! a parallel metadata vector and a token → slot index for O(log n) lookup
-//! and ascending-token iteration. The arenas are exposed to the flat
-//! [`kernels`](crate::kernels) as [`RowView`]s, so the decode hot path
-//! (score every resident, fused attention over a selection) runs over
-//! contiguous memory instead of chasing one heap allocation per token.
-//! Freed slots are zeroed so structural equality sees only logical content.
+//! Keys, values, and the quantized key shadow live in fixed-size
+//! [`Page`]s drawn from a shared [`PageArena`]; the store holds a logical
+//! page table mapping slot `s` to row `s % page_rows` of page
+//! `s / page_rows`. Rows never span pages, so slot `s` is still one
+//! contiguous `dim`-wide slice and the decode hot path (score every
+//! resident, fused attention over a selection) runs over the paged views
+//! ([`PagedRows`], [`PagedQuantRows`]) with one extra indirection per
+//! row. Pages are refcounted ([`PageHandle`]): cloning a store — or
+//! splicing a cached prefix into a fresh one via
+//! [`KvStore::from_shared_prefix`] — shares the physical pages, and any
+//! write or eviction that touches a shared page copies it first
+//! (copy-on-write, see the [`paged`](crate::paged) module docs). Freed
+//! slots are zeroed so structural equality sees only logical content.
 //!
 //! Token ids must be unique across occupied slots (the token → slot index
 //! requires it); writing a token that is already resident in a *different*
 //! slot is rejected with [`AttentionError::DuplicateToken`].
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use crate::kernels::{self, QuantRowView, RowView};
+use crate::kernels;
+use crate::paged::{Page, PageArena, PageHandle, PagedQuantRows, PagedRows, DEFAULT_PAGE_ROWS};
 use crate::AttentionError;
 
 /// Key-arena storage precision: how [`KvStore`] stores (and the decode
@@ -98,7 +105,7 @@ impl Precision {
 /// One stored token: key and value vectors plus the logical token id.
 ///
 /// This is the *exchange* type at the store boundary; internally the store
-/// keeps keys and values in flat arenas, not per-entry allocations.
+/// keeps keys and values in paged arenas, not per-entry allocations.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct KvEntry {
     /// Logical token position in the original sequence (0-based).
@@ -110,23 +117,27 @@ pub struct KvEntry {
 }
 
 /// A fixed-capacity KV cache addressed by physical slot, stored as a
-/// structure of arrays (see the `kv` module docs).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// logical page table over refcounted pages (see the `kv` module docs).
+///
+/// Cloning a `KvStore` is cheap: the clone shares every page with the
+/// original (refcounts bump, no row is copied), and copy-on-write keeps
+/// the two logically independent from the first mutation onward.
+/// Equality is *logical*: two stores compare equal when their per-slot
+/// contents match, regardless of how the rows are distributed over pages
+/// or which arena owns them.
+#[derive(Debug, Clone)]
 pub struct KvStore {
     dim: usize,
     capacity: usize,
     /// Key-arena storage precision.
     precision: Precision,
-    /// Key arena, `capacity × dim`, row-major by slot.
-    keys: Vec<f32>,
-    /// Quantized key arena, `capacity × dim` `i8` levels (empty for
-    /// [`Precision::F32`]); maintained in lockstep with `keys` on every
-    /// write/evict.
-    qkeys: Vec<i8>,
-    /// Per-slot dequantization scales (empty for [`Precision::F32`]).
-    qscales: Vec<f32>,
-    /// Value arena, `capacity × dim`, row-major by slot.
-    values: Vec<f32>,
+    /// Rows per page (fixed per arena).
+    page_rows: usize,
+    /// The arena pages are drawn from and recycled into.
+    arena: PageArena,
+    /// The page table: slot `s` lives in `pages[s / page_rows]` at row
+    /// `s % page_rows`. Always `ceil(capacity / page_rows)` entries.
+    pages: Vec<PageHandle>,
     /// Logical token held by each slot.
     tokens: Vec<Option<usize>>,
     /// Token → slot index (ascending-token iteration, O(log n) lookup).
@@ -137,13 +148,15 @@ pub struct KvStore {
 
 impl KvStore {
     /// Creates an empty store with `capacity` physical slots for vectors of
-    /// dimension `dim`, storing keys at full [`Precision::F32`].
+    /// dimension `dim`, storing keys at full [`Precision::F32`]. The store
+    /// draws its pages from a private [`PageArena`]; use
+    /// [`KvStore::with_arena`] to share one arena across stores.
     ///
     /// # Panics
     ///
     /// Panics if `dim == 0`: a zero-dimension store would hand out
     /// degenerate row views in which every slot aliases the same empty
-    /// row (see [`RowView::contiguous`]).
+    /// row.
     #[must_use]
     pub fn new(capacity: usize, dim: usize) -> Self {
         Self::with_precision(capacity, dim, Precision::F32)
@@ -151,7 +164,7 @@ impl KvStore {
 
     /// Creates an empty store whose key arena is kept at the given
     /// [`Precision`]. Quantized stores additionally maintain an `i8`
-    /// shadow key arena (1 byte/element) with one scale per slot; values
+    /// shadow key plane (1 byte/element) with one scale per slot; values
     /// stay `f32` in every mode.
     ///
     /// # Panics
@@ -160,22 +173,97 @@ impl KvStore {
     #[must_use]
     pub fn with_precision(capacity: usize, dim: usize, precision: Precision) -> Self {
         assert!(dim > 0, "KvStore requires dim > 0");
-        let (qkeys, qscales) = if precision.is_quantized() {
-            (vec![0i8; capacity * dim], vec![0.0f32; capacity])
-        } else {
-            (Vec::new(), Vec::new())
-        };
+        let arena = PageArena::new(dim, DEFAULT_PAGE_ROWS);
+        Self::with_arena(&arena, capacity, precision)
+    }
+
+    /// Creates an empty store drawing its pages from `arena` (the shape —
+    /// `dim`, rows per page — comes from the arena, and [`PageArena::new`]
+    /// already rejects degenerate shapes). Stores sharing one arena reuse
+    /// each other's recycled pages and share one set of
+    /// [`ArenaStats`](crate::paged::ArenaStats).
+    #[must_use]
+    pub fn with_arena(arena: &PageArena, capacity: usize, precision: Precision) -> Self {
+        let dim = arena.dim();
+        let page_rows = arena.page_rows();
+        let n_pages = capacity.div_ceil(page_rows);
+        let pages = (0..n_pages).map(|_| arena.alloc()).collect();
         Self {
             dim,
             capacity,
             precision,
-            keys: vec![0.0; capacity * dim],
-            qkeys,
-            qscales,
-            values: vec![0.0; capacity * dim],
+            page_rows,
+            arena: arena.clone(),
+            pages,
             tokens: vec![None; capacity],
             by_token: BTreeMap::new(),
             len: 0,
+        }
+    }
+
+    /// Creates a store whose first `shared.len()` page-table entries are
+    /// clones of `shared` (refcount bumps, **no row is copied**) holding
+    /// the prefix tokens `prefix_tokens` in slots `0..prefix_tokens.len()`;
+    /// the remaining pages are fresh allocations. This is the
+    /// prefix-splice fast path: the first write that lands on a shared
+    /// page (typically the first decoded token, which shares the
+    /// partially filled tail page) copies it on write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shared pages don't match the arena's page shape, if
+    /// they exceed the store's page table, if `prefix_tokens` addresses
+    /// rows past the shared pages (or `capacity`), or if a prefix token
+    /// id repeats.
+    #[must_use]
+    pub fn from_shared_prefix(
+        arena: &PageArena,
+        capacity: usize,
+        precision: Precision,
+        shared: &[PageHandle],
+        prefix_tokens: &[usize],
+    ) -> Self {
+        let dim = arena.dim();
+        let page_rows = arena.page_rows();
+        let n_pages = capacity.div_ceil(page_rows);
+        assert!(
+            shared.len() <= n_pages,
+            "shared prefix of {} pages exceeds the {n_pages}-page table",
+            shared.len()
+        );
+        assert!(
+            prefix_tokens.len() <= shared.len() * page_rows && prefix_tokens.len() <= capacity,
+            "{} prefix tokens do not fit the shared pages / capacity {capacity}",
+            prefix_tokens.len()
+        );
+        let mut pages: Vec<PageHandle> = Vec::with_capacity(n_pages);
+        for page in shared {
+            assert!(
+                page.dim() == dim && page.rows() == page_rows,
+                "shared page shape does not match the arena"
+            );
+            pages.push(Arc::clone(page));
+        }
+        pages.extend((shared.len()..n_pages).map(|_| arena.alloc()));
+        let mut tokens = vec![None; capacity];
+        let mut by_token = BTreeMap::new();
+        for (slot, &token) in prefix_tokens.iter().enumerate() {
+            tokens[slot] = Some(token);
+            assert!(
+                by_token.insert(token, slot).is_none(),
+                "prefix token {token} repeats"
+            );
+        }
+        Self {
+            dim,
+            capacity,
+            precision,
+            page_rows,
+            arena: arena.clone(),
+            pages,
+            tokens,
+            by_token,
+            len: prefix_tokens.len(),
         }
     }
 
@@ -209,46 +297,102 @@ impl KvStore {
         self.len == 0
     }
 
+    /// Rows per page in this store's page table.
+    #[must_use]
+    pub fn page_rows(&self) -> usize {
+        self.page_rows
+    }
+
+    /// The page table (one handle per `page_rows` slots).
+    #[must_use]
+    pub fn pages(&self) -> &[PageHandle] {
+        &self.pages
+    }
+
+    /// The refcount of page-table entry `idx` (1 = exclusively owned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is past the page table.
+    #[must_use]
+    pub fn page_refcount(&self, idx: usize) -> usize {
+        Arc::strong_count(&self.pages[idx])
+    }
+
+    /// The arena this store draws pages from.
+    #[must_use]
+    pub fn arena(&self) -> &PageArena {
+        &self.arena
+    }
+
     /// The first free slot index, if any.
     #[must_use]
     pub fn first_free_slot(&self) -> Option<usize> {
         self.tokens.iter().position(Option::is_none)
     }
 
-    /// The key arena as a [`RowView`] (slot `s` = row `s`; free slots are
-    /// zero rows).
+    /// The key plane as a [`PagedRows`] view (slot `s` = logical row `s`;
+    /// free slots are zero rows).
     #[must_use]
-    pub fn keys_view(&self) -> RowView<'_> {
-        RowView::contiguous(&self.keys, self.dim)
+    pub fn keys_view(&self) -> PagedRows<'_> {
+        PagedRows::keys(&self.pages, self.dim, self.page_rows)
     }
 
-    /// The value arena as a [`RowView`].
+    /// The value plane as a [`PagedRows`] view.
     #[must_use]
-    pub fn values_view(&self) -> RowView<'_> {
-        RowView::contiguous(&self.values, self.dim)
+    pub fn values_view(&self) -> PagedRows<'_> {
+        PagedRows::values(&self.pages, self.dim, self.page_rows)
     }
 
-    /// The quantized key arena as a [`QuantRowView`], or `None` for an
-    /// [`Precision::F32`] store. Free slots are zero rows with scale 0.
+    /// The quantized key plane as a [`PagedQuantRows`] view, or `None` for
+    /// an [`Precision::F32`] store. Free slots are zero rows with scale 0.
     #[must_use]
-    pub fn quant_keys_view(&self) -> Option<QuantRowView<'_>> {
+    pub fn quant_keys_view(&self) -> Option<PagedQuantRows<'_>> {
         self.precision
             .is_quantized()
-            .then(|| QuantRowView::contiguous(&self.qkeys, &self.qscales, self.dim))
+            .then(|| PagedQuantRows::new(&self.pages, self.dim, self.page_rows))
     }
 
-    /// Bytes the key arena occupies at this store's precision: `f32`
+    /// Bytes the key storage occupies at this store's precision: `f32`
     /// stores pay 4 bytes/element; quantized stores pay 1 byte/element
     /// plus one `f32` scale per slot (the ~4× reduction the quantized
     /// decode path exists for).
     #[must_use]
     pub fn key_arena_bytes(&self) -> usize {
         if self.precision.is_quantized() {
-            self.qkeys.len() * std::mem::size_of::<i8>()
-                + self.qscales.len() * std::mem::size_of::<f32>()
+            self.capacity * self.dim * std::mem::size_of::<i8>()
+                + self.capacity * std::mem::size_of::<f32>()
         } else {
-            self.keys.len() * std::mem::size_of::<f32>()
+            self.capacity * self.dim * std::mem::size_of::<f32>()
         }
+    }
+
+    /// Slot `s`'s page-table coordinates plus a shared page reference.
+    fn page_of(&self, slot: usize) -> (&Page, usize) {
+        (&self.pages[slot / self.page_rows], slot % self.page_rows)
+    }
+
+    fn key_row(&self, slot: usize) -> &[f32] {
+        let (page, row) = self.page_of(slot);
+        page.key_row(row)
+    }
+
+    fn value_row(&self, slot: usize) -> &[f32] {
+        let (page, row) = self.page_of(slot);
+        page.value_row(row)
+    }
+
+    /// Exclusive access to page-table entry `idx`, copying the page first
+    /// when it is shared (refcount > 1) so no other holder observes the
+    /// mutation. The displaced shared handle is offered back to the arena
+    /// (a no-op unless the other holders vanished in the meantime).
+    fn page_mut(&mut self, idx: usize) -> &mut Page {
+        if Arc::strong_count(&self.pages[idx]) > 1 {
+            let fresh = self.arena.cow_copy(&self.pages[idx]);
+            let displaced = std::mem::replace(&mut self.pages[idx], fresh);
+            self.arena.recycle(displaced);
+        }
+        Arc::get_mut(&mut self.pages[idx]).expect("page is exclusively owned after CoW")
     }
 
     /// The key of `slot` as the *scoring path* sees it: the quantize →
@@ -258,23 +402,20 @@ impl KvStore {
     #[must_use]
     pub fn dequantized_key(&self, slot: usize) -> Option<Vec<f32>> {
         self.token_at(slot)?;
-        let base = slot * self.dim;
         if self.precision.is_quantized() {
+            let (page, row) = self.page_of(slot);
             let mut out = vec![0.0f32; self.dim];
-            kernels::dequantize_row(
-                &self.qkeys[base..base + self.dim],
-                self.qscales[slot],
-                &mut out,
-            );
+            kernels::dequantize_row(page.quant_row(row), page.quant_scale(row), &mut out);
             Some(out)
         } else {
-            Some(self.keys[base..base + self.dim].to_vec())
+            Some(self.key_row(slot).to_vec())
         }
     }
 
     /// Writes `token`'s key/value into `slot` directly from slices
     /// (single-write-cycle in-place update, no per-entry allocation).
-    /// Returns the token that previously occupied the slot.
+    /// Returns the token that previously occupied the slot. Writing to a
+    /// slot on a shared page copies the page first.
     ///
     /// # Errors
     ///
@@ -316,13 +457,15 @@ impl KvStore {
         } else {
             self.len += 1;
         }
-        let base = slot * self.dim;
-        self.keys[base..base + self.dim].copy_from_slice(key);
-        self.values[base..base + self.dim].copy_from_slice(value);
-        if self.precision.is_quantized() {
-            self.qscales[slot] = self
-                .precision
-                .quantize_row(key, &mut self.qkeys[base..base + self.dim]);
+        let dim = self.dim;
+        let precision = self.precision;
+        let row = slot % self.page_rows;
+        let page = self.page_mut(slot / self.page_rows);
+        let base = row * dim;
+        page.keys[base..base + dim].copy_from_slice(key);
+        page.values[base..base + dim].copy_from_slice(value);
+        if precision.is_quantized() {
+            page.qscales[row] = precision.quantize_row(key, &mut page.qkeys[base..base + dim]);
         }
         self.tokens[slot] = Some(token);
         self.by_token.insert(token, slot);
@@ -378,8 +521,9 @@ impl KvStore {
         self.append_parts(entry.token_id, &entry.key, &entry.value)
     }
 
-    /// Clears a slot, returning its occupant. The freed arena rows are
-    /// zeroed.
+    /// Clears a slot, returning its occupant. The freed rows are zeroed;
+    /// evicting a slot on a shared page copies the page *before* zeroing,
+    /// so other holders keep the token.
     ///
     /// # Errors
     ///
@@ -395,13 +539,14 @@ impl KvStore {
         if let Some(token) = self.tokens[slot].take() {
             self.by_token.remove(&token);
             self.len -= 1;
-            let base = slot * self.dim;
-            self.keys[base..base + self.dim].fill(0.0);
-            self.values[base..base + self.dim].fill(0.0);
-            if self.precision.is_quantized() {
-                self.qkeys[base..base + self.dim].fill(0);
-                self.qscales[slot] = 0.0;
-            }
+            let dim = self.dim;
+            let row = slot % self.page_rows;
+            let page = self.page_mut(slot / self.page_rows);
+            let base = row * dim;
+            page.keys[base..base + dim].fill(0.0);
+            page.values[base..base + dim].fill(0.0);
+            page.qkeys[base..base + dim].fill(0);
+            page.qscales[row] = 0.0;
         }
         Ok(prev)
     }
@@ -415,24 +560,22 @@ impl KvStore {
     /// The key row of `slot`, if occupied.
     #[must_use]
     pub fn key_at(&self, slot: usize) -> Option<&[f32]> {
-        self.token_at(slot)
-            .map(|_| &self.keys[slot * self.dim..(slot + 1) * self.dim])
+        self.token_at(slot).map(|_| self.key_row(slot))
     }
 
     /// The value row of `slot`, if occupied.
     #[must_use]
     pub fn value_at(&self, slot: usize) -> Option<&[f32]> {
-        self.token_at(slot)
-            .map(|_| &self.values[slot * self.dim..(slot + 1) * self.dim])
+        self.token_at(slot).map(|_| self.value_row(slot))
     }
 
-    /// The entry in `slot`, if occupied, materialized out of the arenas.
+    /// The entry in `slot`, if occupied, materialized out of the pages.
     #[must_use]
     pub fn entry(&self, slot: usize) -> Option<KvEntry> {
         self.token_at(slot).map(|token_id| KvEntry {
             token_id,
-            key: self.keys[slot * self.dim..(slot + 1) * self.dim].to_vec(),
-            value: self.values[slot * self.dim..(slot + 1) * self.dim].to_vec(),
+            key: self.key_row(slot).to_vec(),
+            value: self.value_row(slot).to_vec(),
         })
     }
 
@@ -458,6 +601,48 @@ impl KvStore {
     #[must_use]
     pub fn tokens_ascending(&self) -> Vec<usize> {
         self.by_token.keys().copied().collect()
+    }
+}
+
+impl PartialEq for KvStore {
+    /// Logical equality: same shape, precision, occupancy, and per-slot
+    /// contents. Page-table layout (rows per page, which pages are
+    /// shared, which arena owns them) is invisible — a spliced store and
+    /// a cold-built one with the same rows compare equal.
+    fn eq(&self, other: &Self) -> bool {
+        if self.dim != other.dim
+            || self.capacity != other.capacity
+            || self.precision != other.precision
+            || self.tokens != other.tokens
+        {
+            return false;
+        }
+        for slot in 0..self.capacity {
+            if self.key_row(slot) != other.key_row(slot)
+                || self.value_row(slot) != other.value_row(slot)
+            {
+                return false;
+            }
+            if self.precision.is_quantized() {
+                let (sp, sr) = self.page_of(slot);
+                let (op, or) = other.page_of(slot);
+                if sp.quant_row(sr) != op.quant_row(or) || sp.quant_scale(sr) != op.quant_scale(or)
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl Drop for KvStore {
+    /// Returns every page-table entry to the arena; pages whose refcount
+    /// reaches zero go back to the free list for reuse.
+    fn drop(&mut self) {
+        for page in self.pages.drain(..) {
+            self.arena.recycle(page);
+        }
     }
 }
 
@@ -650,5 +835,95 @@ mod tests {
         let mut b = KvStore::new(2, 2);
         b.append(entry(2, 2, 0.4)).unwrap();
         assert_eq!(a, b, "eviction history must not leak into equality");
+    }
+
+    #[test]
+    fn clone_shares_pages_and_writes_copy_on_write() {
+        let mut a = KvStore::new(4, 2);
+        a.append(entry(1, 2, 0.1)).unwrap();
+        a.append(entry(2, 2, 0.2)).unwrap();
+        let b = a.clone();
+        assert_eq!(a.page_refcount(0), 2, "clone must share pages");
+        let before_cow = a.arena().stats().cow_copies;
+        a.write_slot(0, entry(9, 2, 0.9)).unwrap();
+        // The write copied the shared page; the clone is untouched.
+        assert_eq!(a.arena().stats().cow_copies, before_cow + 1);
+        assert_eq!(a.token_at(0), Some(9));
+        assert_eq!(b.token_at(0), Some(1));
+        assert_eq!(b.key_at(0).unwrap(), &[0.1, 0.1]);
+        assert_eq!(a.page_refcount(0), 1);
+        assert_eq!(b.page_refcount(0), 1);
+    }
+
+    #[test]
+    fn evicting_on_shared_page_copies_before_zeroing() {
+        // CoW edge case (satellite): eviction is a mutation like any
+        // other — a shared holder must keep the token.
+        let mut a = KvStore::with_precision(4, 2, Precision::Int8);
+        a.append(entry(1, 2, 0.5)).unwrap();
+        let b = a.clone();
+        a.evict_slot(0).unwrap();
+        assert_eq!(a.token_at(0), None);
+        assert_eq!(b.token_at(0), Some(1), "shared holder must keep the row");
+        assert_eq!(b.key_at(0).unwrap(), &[0.5, 0.5]);
+        assert_ne!(b.quant_keys_view().unwrap().scale(0), 0.0);
+        assert!(a.arena().stats().cow_copies >= 1);
+    }
+
+    #[test]
+    fn dropping_last_holder_returns_pages_to_free_list() {
+        // CoW edge case (satellite): refcount reaching zero recycles.
+        let arena = PageArena::new(2, 2);
+        let pages_for = |cap: usize| cap.div_ceil(2);
+        {
+            let mut store = KvStore::with_arena(&arena, 4, Precision::F32);
+            store.append(entry(1, 2, 0.3)).unwrap();
+            assert_eq!(arena.free_pages(), 0);
+        }
+        assert_eq!(arena.free_pages(), pages_for(4));
+        assert_eq!(arena.stats().recycled as usize, pages_for(4));
+        // A clone pair only recycles once both are gone.
+        let store = KvStore::with_arena(&arena, 2, Precision::F32);
+        let twin = store.clone();
+        drop(store);
+        assert_eq!(arena.free_pages(), pages_for(4) - pages_for(2));
+        drop(twin);
+        assert_eq!(arena.free_pages(), pages_for(4));
+    }
+
+    #[test]
+    fn from_shared_prefix_splices_pages_bit_identically() {
+        let arena = PageArena::new(3, 2);
+        let mut cold = KvStore::with_arena(&arena, 6, Precision::Cell3Bit);
+        for (i, t) in [4usize, 7, 9].iter().enumerate() {
+            cold.write_slot_parts(i, *t, &[0.1 * (i as f32 + 1.0); 3], &[0.2; 3])
+                .unwrap();
+        }
+        // Cache the pages covering the three prefix rows (2 of 3 pages).
+        let shared: Vec<PageHandle> = cold.pages()[..2].to_vec();
+        let spliced =
+            KvStore::from_shared_prefix(&arena, 6, Precision::Cell3Bit, &shared, &[4, 7, 9]);
+        assert_eq!(spliced, cold, "splice must reproduce the prefix exactly");
+        assert_eq!(spliced.len(), 3);
+        assert_eq!(spliced.slot_of_token(9), Some(2));
+        // Shared pages: cold + registry handle + spliced = refcount 3.
+        assert_eq!(spliced.page_refcount(0), 3);
+        // The tail page was freshly allocated, not shared.
+        assert_eq!(spliced.page_refcount(2), 1);
+    }
+
+    #[test]
+    fn equality_is_logical_across_page_geometries() {
+        let coarse = PageArena::new(2, 4);
+        let fine = PageArena::new(2, 1);
+        let mut a = KvStore::with_arena(&coarse, 3, Precision::Int8);
+        let mut b = KvStore::with_arena(&fine, 3, Precision::Int8);
+        for s in [&mut a, &mut b] {
+            s.append(entry(5, 2, 0.7)).unwrap();
+            s.append(entry(6, 2, 0.1)).unwrap();
+        }
+        assert_eq!(a, b, "page geometry must not affect equality");
+        b.evict_slot(1).unwrap();
+        assert_ne!(a, b);
     }
 }

@@ -37,12 +37,16 @@ pub mod llama;
 mod matrix;
 pub mod metrics;
 mod mha;
+pub mod paged;
 mod transformer;
 pub mod workloads;
 
 pub use kv::{KvEntry, KvStore, Precision};
 pub use matrix::{argtop_k, layer_norm_in_place, softmax_in_place, softmax_rows, Matrix};
 pub use mha::{attention_output, attention_scores, AttentionConfig, MultiHeadAttention};
+pub use paged::{
+    ArenaStats, Page, PageArena, PageHandle, PagedQuantRows, PagedRows, DEFAULT_PAGE_ROWS,
+};
 pub use transformer::{TinyTransformer, TransformerConfig};
 
 /// Errors reported by the attention substrate.

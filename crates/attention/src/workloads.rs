@@ -513,6 +513,50 @@ pub fn mixed_batch(
         .collect()
 }
 
+/// A multi-turn batch against one shared system prompt: every workload
+/// carries **bit-identical** prefill keys, values, and queries (same
+/// seed, same prompt structure — the generator's prefix draws precede and
+/// are independent of the decode draws), while each "turn" seeks the
+/// planted fact at a different decode step, so decode-side queries and
+/// ground-truth salient sets differ per session. This is the shape a
+/// shared-prefix cache exists for: N sessions whose prompts fingerprint
+/// identically but whose decodes diverge.
+///
+/// Names are suffixed `#<index>`; the prefix planes are what a
+/// `PrefixRegistry` fingerprints, and the name is deliberately excluded.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, or if `prefill_len`/`decode_len` are too small to
+/// plant the needle (`prefill_len ≥ 8` and `decode_len ≥ 2` are safe).
+#[must_use]
+pub fn shared_prefix_batch(
+    n: usize,
+    prefill_len: usize,
+    decode_len: usize,
+    seed: u64,
+) -> Vec<DecodeWorkload> {
+    assert!(n > 0, "batch must contain at least one workload");
+    let pos = prefill_len / 2;
+    (0..n)
+        .map(|i| {
+            let mut spec = base_spec("shared_prefix", prefill_len, decode_len, seed);
+            spec.needles.push(NeedleSpec {
+                position: pos,
+                prefill_mentions: vec![
+                    (pos + prefill_len / 8).min(prefill_len - 1),
+                    (pos + prefill_len / 4).min(prefill_len - 1),
+                ],
+                // The only per-turn variation: which decode step asks.
+                answer_steps: vec![(2 + 7 * i) % decode_len],
+            });
+            let mut w = generate(&spec);
+            w.name = format!("{}#{i}", w.name);
+            w
+        })
+        .collect()
+}
+
 /// Parameters of the Poisson-ish serving arrival generator
 /// ([`poisson_arrivals`]).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -663,6 +707,37 @@ mod tests {
     use super::*;
     use crate::metrics::cosine_similarity;
     use crate::mha::attention_scores;
+
+    #[test]
+    fn shared_prefix_batch_prefixes_are_bit_identical_and_turns_differ() {
+        let batch = shared_prefix_batch(6, 64, 12, 9);
+        assert_eq!(batch.len(), 6);
+        let first = &batch[0];
+        for w in &batch[1..] {
+            // The whole prefix — exactly what a prefix registry
+            // fingerprints — must match bit for bit.
+            assert_eq!(w.prefill_keys, first.prefill_keys);
+            assert_eq!(w.prefill_values, first.prefill_values);
+            assert_eq!(w.prefill_queries, first.prefill_queries);
+            assert_eq!(w.dim, first.dim);
+        }
+        // ...while the turns themselves diverge: some pair of sessions
+        // asks at different steps, with different queries.
+        assert!(
+            batch
+                .iter()
+                .any(|w| w.salient_at != first.salient_at || w.answer_steps != first.answer_steps),
+            "turns must vary across the batch"
+        );
+        assert!(batch
+            .iter()
+            .any(|w| w.decode_queries != first.decode_queries));
+        for (i, w) in batch.iter().enumerate() {
+            assert_eq!(w.name, format!("shared_prefix#{i}"));
+            assert_eq!(w.decode_queries.len(), 12);
+            assert!(w.salient_at.iter().any(|s| !s.is_empty()));
+        }
+    }
 
     #[test]
     fn needle_task_shapes_are_consistent() {

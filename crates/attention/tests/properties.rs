@@ -345,6 +345,93 @@ proptest! {
         }
     }
 
+    /// Paged parity (tentpole): every gather/attend kernel — f32 and the
+    /// quantized twins — produces **bit-identical** output whether it
+    /// walks a flat contiguous arena or a non-contiguous page table
+    /// holding the same logical rows, for every page geometry (including
+    /// rows straddling many small pages).
+    #[test]
+    fn paged_kernels_match_flat_bit_for_bit(
+        dim in 2usize..10,
+        n in 1usize..24,
+        page_rows in 1usize..7,
+        seed in 0u64..300,
+    ) {
+        use unicaim_attention::kernels::{
+            attend_gather, attend_gather_q, attend_prefix, attend_prefix_q, dot_gather,
+            dot_gather_q, dot_prefix, dot_prefix_q, quantize_row_i8, QuantRowView, RowView,
+        };
+        use unicaim_attention::{PageArena, Precision};
+        let keys = Matrix::random_normal(n, dim, 1.0, seed);
+        let values = Matrix::random_normal(n, dim, 1.0, seed ^ 1);
+        let query = Matrix::random_normal(1, dim, 1.0, seed ^ 2);
+        let arena = PageArena::new(dim, page_rows);
+        let mut store = KvStore::with_arena(&arena, n, Precision::Int8);
+        for t in 0..n {
+            store.write_slot_parts(t, t, keys.row(t), values.row(t)).unwrap();
+        }
+        // Flat copies of the exact planes the paged store holds.
+        let flat_keys: Vec<f32> =
+            (0..n).flat_map(|s| store.key_at(s).unwrap().to_vec()).collect();
+        let flat_values: Vec<f32> =
+            (0..n).flat_map(|s| store.value_at(s).unwrap().to_vec()).collect();
+        let paged_q = store.quant_keys_view().unwrap();
+        let flat_q: Vec<i8> = (0..n).flat_map(|s| paged_q.row(s).to_vec()).collect();
+        let flat_scales: Vec<f32> = (0..n).map(|s| paged_q.scale(s)).collect();
+        let flat_k = RowView::contiguous(&flat_keys, dim);
+        let flat_v = RowView::contiguous(&flat_values, dim);
+        let flat_qk = QuantRowView::contiguous(&flat_q, &flat_scales, dim);
+        let rows: Vec<usize> = (0..n).step_by(2).collect();
+        let scale = 1.0 / (dim as f32).sqrt();
+        let mut qq = vec![0i8; dim];
+        let qs = quantize_row_i8(query.row(0), &mut qq);
+
+        let (mut a, mut b) = (vec![0.0f32; n], vec![0.0f32; n]);
+        dot_prefix(query.row(0), store.keys_view(), scale, &mut a[..n]);
+        dot_prefix(query.row(0), flat_k, scale, &mut b[..n]);
+        prop_assert_eq!(&a, &b);
+        let (mut a, mut b) = (vec![0.0f32; rows.len()], vec![0.0f32; rows.len()]);
+        dot_gather(query.row(0), store.keys_view(), &rows, scale, &mut a);
+        dot_gather(query.row(0), flat_k, &rows, scale, &mut b);
+        prop_assert_eq!(&a, &b);
+        let (mut a, mut b) = (vec![0.0f32; n], vec![0.0f32; n]);
+        dot_prefix_q(&qq, qs, paged_q, scale, &mut a[..n]);
+        dot_prefix_q(&qq, qs, flat_qk, scale, &mut b[..n]);
+        prop_assert_eq!(&a, &b);
+        let (mut a, mut b) = (vec![0.0f32; rows.len()], vec![0.0f32; rows.len()]);
+        dot_gather_q(&qq, qs, paged_q, &rows, scale, &mut a);
+        dot_gather_q(&qq, qs, flat_qk, &rows, scale, &mut b);
+        prop_assert_eq!(&a, &b);
+
+        let (mut w1, mut w2) = (Vec::new(), Vec::new());
+        let (mut a, mut b) = (vec![0.0f32; dim], vec![0.0f32; dim]);
+        attend_gather(
+            query.row(0), store.keys_view(), store.values_view(),
+            &rows, scale, &mut w1, &mut a,
+        );
+        attend_gather(query.row(0), flat_k, flat_v, &rows, scale, &mut w2, &mut b);
+        prop_assert_eq!(&a, &b);
+        let (mut a, mut b) = (vec![0.0f32; dim], vec![0.0f32; dim]);
+        attend_prefix(
+            query.row(0), store.keys_view(), store.values_view(),
+            n, scale, &mut w1, &mut a,
+        );
+        attend_prefix(query.row(0), flat_k, flat_v, n, scale, &mut w2, &mut b);
+        prop_assert_eq!(&a, &b);
+        let (mut a, mut b) = (vec![0.0f32; dim], vec![0.0f32; dim]);
+        attend_gather_q(
+            &qq, qs, paged_q, store.values_view(), &rows, scale, &mut w1, &mut a,
+        );
+        attend_gather_q(&qq, qs, flat_qk, flat_v, &rows, scale, &mut w2, &mut b);
+        prop_assert_eq!(&a, &b);
+        let (mut a, mut b) = (vec![0.0f32; dim], vec![0.0f32; dim]);
+        attend_prefix_q(
+            &qq, qs, paged_q, store.values_view(), n, scale, &mut w1, &mut a,
+        );
+        attend_prefix_q(&qq, qs, flat_qk, flat_v, n, scale, &mut w2, &mut b);
+        prop_assert_eq!(&a, &b);
+    }
+
     /// Partial top-k selects exactly the same index set (and order) as a
     /// full total-ordered sort, including under heavy score ties.
     #[test]
@@ -365,8 +452,8 @@ proptest! {
 /// The KV store (and the types that cross the serving API with it) must be
 /// `Send + Sync`: the kvcache worker-pool scheduler moves per-sequence
 /// sessions — each owning a `KvStore` — across threads, and workloads are
-/// shared by reference. The store is plain owned data (flat arenas + a
-/// `BTreeMap` index), so this is a compile-time audit, not a runtime cost.
+/// shared by reference. The store's refcounted pages use `Arc` and the
+/// arena a `Mutex`, so this is a compile-time audit, not a runtime cost.
 #[test]
 fn kv_store_and_workloads_are_send_sync() {
     fn assert_send_sync<T: Send + Sync>() {}

@@ -175,6 +175,13 @@ fn scheduler_comparison() -> Vec<SchedulerRow> {
     let workers = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
+    if workers == 1 {
+        println!(
+            "\nWARNING: only 1 worker thread available — the WorkerPool degenerates \
+             to sequential execution, so every speedup below will read ~1.0x and \
+             says nothing about the scheduler."
+        );
+    }
     println!(
         "\nscheduler comparison (decode phase only, sessions admitted untimed; \
          {workers} worker threads available):"

@@ -1,0 +1,106 @@
+//! Shared-prefix reuse sweep: admits growing batches of sessions that
+//! share one system prompt through a single [`PrefixRegistry`]-backed
+//! scenario ([`unicaim_bench::prefix`]) and reports the end-to-end
+//! recompute savings at each batch size.
+//!
+//! Every figure is a deterministic counter or a ratio of deterministic
+//! flop totals from the reuse cost model, so the table — and the `--json`
+//! dump — is bit-identical on every machine; only the wall-clock column
+//! varies. The 8-session f32 point is the one the `prefix_reuse` baseline
+//! suite pins via `bench_check`, and this binary enforces the paging PR's
+//! acceptance floor (≥ 50% prefill-work reduction) on every run.
+//!
+//! Run with: `cargo run --release -p unicaim-bench --bin prefix_reuse
+//! [-- --json results/prefix_reuse.json]`
+//!
+//! [`PrefixRegistry`]: unicaim_kvcache::PrefixRegistry
+
+use std::time::Instant;
+
+use unicaim_bench::prefix::{run_point, GATE_SESSIONS, SWEEP};
+use unicaim_bench::{banner, json_output_path};
+use unicaim_kvcache::Precision;
+
+fn main() {
+    banner(
+        "prefix_reuse",
+        "Shared-prefix page splicing across co-tenant sessions",
+    );
+    println!(
+        "Each point admits N sessions sharing one {}-token prompt through one\n\
+         registry; `reduction` is the fraction of cold prefill work avoided.\n",
+        unicaim_bench::prefix::PREFILL_LEN
+    );
+    println!(
+        "{:>4} {:>5} {:>5} {:>6} {:>6} {:>9} {:>11} {:>11} {:>9} {:>4} {:>8}",
+        "N",
+        "prec",
+        "hits",
+        "splice",
+        "pages",
+        "bytes",
+        "cold-flops",
+        "spent-flops",
+        "reduction",
+        "cow",
+        "wall-ms"
+    );
+
+    let mut rows = Vec::new();
+    for precision in [Precision::F32, Precision::Int8] {
+        for sessions in SWEEP {
+            let start = Instant::now();
+            let point = run_point(sessions, precision);
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            println!(
+                "{:>4} {:>5} {:>5} {:>6} {:>6} {:>9} {:>11} {:>11} {:>8.1}% {:>4} {wall_ms:>8.1}",
+                point.sessions,
+                point.precision,
+                point.prefix_hits,
+                point.splices,
+                point.pages_shared,
+                point.bytes_saved,
+                point.flops_cold,
+                point.flops_spent,
+                point.work_reduction * 100.0,
+                point.cow_copies,
+            );
+            assert_eq!(
+                point.registry.collisions, 0,
+                "scenario prompts must not collide: {point:?}"
+            );
+            rows.push(point);
+        }
+    }
+
+    // The acceptance certificate of the paging PR, enforced on every run:
+    // at 8 sessions sharing one prefix, the registry splices every warm
+    // admission and saves at least half the cold prefill work — and the
+    // sharing is honest: decode writes CoW'd off the pinned pages.
+    for precision in ["f32", "int8"] {
+        let gated = rows
+            .iter()
+            .find(|p| p.sessions == GATE_SESSIONS && p.precision == precision)
+            .expect("sweep covers the gated point");
+        assert!(
+            gated.work_reduction >= 0.5,
+            "prefill-work reduction {:.3} below the 0.5 floor at {} sessions ({precision}): {gated:?}",
+            gated.work_reduction,
+            GATE_SESSIONS
+        );
+        assert_eq!(gated.prefix_hits, GATE_SESSIONS as u64 - 1, "{gated:?}");
+        assert!(gated.cow_copies > 0, "no CoW under sharing: {gated:?}");
+        println!(
+            "\ngated point ({GATE_SESSIONS} sessions, {precision}): {:.1}% of cold prefill work \
+             avoided, {} pages spliced, {} bytes not duplicated, {} CoW copies",
+            gated.work_reduction * 100.0,
+            gated.pages_shared,
+            gated.bytes_saved,
+            gated.cow_copies
+        );
+    }
+
+    if let Some(path) = json_output_path() {
+        unicaim_bench::dump_json(&path, &rows);
+    }
+}

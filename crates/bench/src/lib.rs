@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod prefix;
 pub mod serving;
 pub mod suite;
 

@@ -1,0 +1,183 @@
+//! The shared prefix-reuse scenario behind the `prefix_reuse` bench
+//! binary and the `prefix_reuse` regression suite.
+//!
+//! N sessions decode multi-turn requests against one shared system prompt
+//! ([`shared_prefix_batch`]: bit-identical prefill planes, per-turn decode
+//! queries) through one [`PrefixRegistry`]. The first admission pays the
+//! cold prefill and registers its attention matrix and page run; every
+//! later admission verifies the fingerprint, reuses the matrix, and
+//! splices the cached pages — then decodes to completion, which forces
+//! copy-on-write the moment its evictions touch the shared pages.
+//!
+//! All reported figures come from the deterministic flop model of
+//! [`ReuseReport`](unicaim_kvcache::ReuseReport) and the registry/arena
+//! counters, so every field is **bit-identical across machines** and the
+//! `bench_check` gate pins them to the same ~0.1% band as the saturation
+//! suite ([`crate::serving::METRIC_TOLERANCE`]).
+
+use serde::{Deserialize, Serialize};
+use unicaim_attention::workloads::shared_prefix_batch;
+use unicaim_kvcache::{
+    DecodeSession, PolicySpec, Precision, PrefixRegistry, PrefixStats, SimConfig,
+};
+
+/// Prompt length of the shared prefix.
+pub const PREFILL_LEN: usize = 192;
+/// Decode steps per turn — past the reserved window, so decodes also
+/// exercise eviction/recycle alongside the copy-on-write appends.
+pub const DECODE_LEN: usize = 24;
+/// Per-session slot capacity. Deliberately *not* sized so the kept prefix
+/// (`SESSION_SLOTS − RESERVED_DECODE_SLOTS` = 72 rows) fills whole 16-row
+/// pages: the fifth shared page is half-filled, so every session's first
+/// decode append lands inside a page the registry still pins and must
+/// copy-on-write — the scenario measures that, not just the splice.
+pub const SESSION_SLOTS: usize = 88;
+/// Dynamic top-k width.
+pub const K: usize = 32;
+/// Reserved decode slots (the hybrid policy's `M`).
+pub const RESERVED_DECODE_SLOTS: usize = 16;
+/// Page budget of the scenario registry — comfortably holds the one
+/// shared prefix (72 kept rows / 16-row pages = 5 pages).
+pub const REGISTRY_PAGES: usize = 64;
+/// Workload seed.
+pub const SEED: u64 = 0xCA1;
+/// Session count of the CI-gated point (the acceptance criterion: ≥ 50%
+/// prefill-work reduction at 8 sessions sharing one prefix).
+pub const GATE_SESSIONS: usize = 8;
+/// The sweep the `prefix_reuse` binary reports.
+pub const SWEEP: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// The deterministic outcome of one scenario point: `sessions` turns
+/// against one shared prompt, all admitted through one registry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrefixReusePoint {
+    /// Number of sessions (turns) sharing the prompt.
+    pub sessions: usize,
+    /// Key-arena precision label of the run (`f32` / `int8` / `cell3`).
+    pub precision: String,
+    /// Admissions that found the verified prefix cached.
+    pub prefix_hits: u64,
+    /// Admissions whose KV store was built by page-table splice.
+    pub splices: u64,
+    /// Cached pages spliced into sessions, summed over admissions.
+    pub pages_shared: u64,
+    /// Bytes of per-session KV storage the splices avoided duplicating.
+    pub bytes_saved: u64,
+    /// Modeled cost of prefilling every session cold (flops).
+    pub flops_cold: u64,
+    /// Modeled cost actually spent, hashing and verification included.
+    pub flops_spent: u64,
+    /// `1 − flops_spent / flops_cold` over the whole group.
+    pub work_reduction: f64,
+    /// Copy-on-write page copies the decodes forced (evictions landing on
+    /// pages still pinned by the registry).
+    pub cow_copies: u64,
+    /// Registry counters after the run.
+    pub registry: PrefixStats,
+}
+
+/// The scenario's session configuration.
+#[must_use]
+pub fn scenario_config(precision: Precision) -> SimConfig {
+    SimConfig::reserved_decode_slots(SESSION_SLOTS, K, RESERVED_DECODE_SLOTS)
+        .with_precision(precision)
+}
+
+/// The scenario's policy: the paper's hybrid scheme sized for the share.
+#[must_use]
+pub fn scenario_spec() -> PolicySpec {
+    PolicySpec::hybrid_for_share(SESSION_SLOTS, RESERVED_DECODE_SLOTS, K)
+}
+
+/// Runs one scenario point: admits `sessions` shared-prompt turns through
+/// one fresh registry, decodes each to completion, and folds the reuse
+/// reports into a [`PrefixReusePoint`].
+///
+/// # Panics
+///
+/// Panics if the fixed scenario shape is invalid or a session violates
+/// the harness contract — both would be bugs in this crate.
+#[must_use]
+pub fn run_point(sessions: usize, precision: Precision) -> PrefixReusePoint {
+    let batch = shared_prefix_batch(sessions, PREFILL_LEN, DECODE_LEN, SEED);
+    let dim = batch[0].dim;
+    let registry = PrefixRegistry::new(dim, REGISTRY_PAGES).expect("scenario registry is valid");
+    let config = scenario_config(precision);
+    let spec = scenario_spec();
+
+    let mut point = PrefixReusePoint {
+        sessions,
+        precision: precision.label().to_owned(),
+        prefix_hits: 0,
+        splices: 0,
+        pages_shared: 0,
+        bytes_saved: 0,
+        flops_cold: 0,
+        flops_spent: 0,
+        work_reduction: 0.0,
+        cow_copies: 0,
+        registry: PrefixStats::default(),
+    };
+    for workload in &batch {
+        let (mut session, reuse) =
+            DecodeSession::prefill_shared(workload, &spec, &config, &registry)
+                .expect("scenario workloads uphold the harness contract");
+        point.prefix_hits += u64::from(reuse.prefix_hit);
+        point.splices += u64::from(reuse.spliced);
+        point.pages_shared += reuse.pages_shared as u64;
+        point.bytes_saved += reuse.bytes_saved as u64;
+        point.flops_cold += reuse.flops_cold;
+        point.flops_spent += reuse.flops_spent;
+        // Decode to completion: the first append lands in the half-filled
+        // last shared page (still pinned by the registry) and must CoW.
+        session
+            .run_to_completion()
+            .expect("scenario sessions decode to completion");
+    }
+    point.work_reduction = 1.0 - point.flops_spent as f64 / point.flops_cold as f64;
+    point.cow_copies = registry.arena().stats().cow_copies;
+    point.registry = registry.stats();
+    point
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gated_point_meets_the_reuse_acceptance_floor() {
+        let point = run_point(GATE_SESSIONS, Precision::F32);
+        // The acceptance criterion of the paging PR, pinned here and in
+        // the saved baseline: at 8 sessions sharing one prefix, more than
+        // half the cold prefill work is avoided.
+        assert!(
+            point.work_reduction >= 0.5,
+            "work reduction {:.3} below the 0.5 acceptance floor: {point:?}",
+            point.work_reduction
+        );
+        assert_eq!(point.prefix_hits, GATE_SESSIONS as u64 - 1);
+        assert_eq!(point.splices, GATE_SESSIONS as u64 - 1);
+        assert_eq!(point.registry.collisions, 0);
+        assert!(point.pages_shared > 0 && point.bytes_saved > 0);
+        // Decoding past capacity must have forced CoW off shared pages.
+        assert!(point.cow_copies > 0, "{point:?}");
+    }
+
+    #[test]
+    fn a_single_session_reuses_nothing() {
+        let point = run_point(1, Precision::F32);
+        assert_eq!(point.prefix_hits, 0);
+        assert_eq!(point.splices, 0);
+        // The lone session pays the cold prefill plus fingerprint
+        // overhead: reduction is slightly negative, never positive.
+        assert!(point.work_reduction <= 0.0, "{point:?}");
+    }
+
+    #[test]
+    fn points_are_deterministic_and_monotone_in_sessions() {
+        let once = run_point(4, Precision::Int8);
+        assert_eq!(once, run_point(4, Precision::Int8));
+        let more = run_point(8, Precision::Int8);
+        assert!(more.work_reduction > once.work_reduction, "{more:?}");
+    }
+}

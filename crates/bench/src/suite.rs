@@ -12,7 +12,7 @@
 //!   per-case tolerance in *both* directions — drift either way is a
 //!   behavior change, not noise.
 //!
-//! Four suites:
+//! Five suites:
 //!
 //! * `kernels` — the flat-layout kernels and the CAM search underneath
 //!   `UniCaimArray::cam_top_k`;
@@ -20,7 +20,9 @@
 //! * `experiments` — the hardware engine loop, batched decode, and the
 //!   heavier figure/table sweeps;
 //! * `saturation` — tick-domain latency/throughput percentiles of the
-//!   shared serving scenario ([`crate::serving`]).
+//!   shared serving scenario ([`crate::serving`]);
+//! * `prefix_reuse` — shared-prefix splice counters and the modeled
+//!   prefill-work reduction of the paging scenario ([`crate::prefix`]).
 //!
 //! `bench_check --save` records each case's figure (and its per-case
 //! tolerance, when one is set) to `results/baselines/<suite>.json`; a
@@ -173,7 +175,13 @@ pub struct BaselineRow {
 }
 
 /// The suite names, in run order.
-pub const SUITE_NAMES: [&str; 4] = ["kernels", "policies", "experiments", "saturation"];
+pub const SUITE_NAMES: [&str; 5] = [
+    "kernels",
+    "policies",
+    "experiments",
+    "saturation",
+    "prefix_reuse",
+];
 
 /// Builds a suite by name.
 ///
@@ -187,6 +195,7 @@ pub fn suite(name: &str) -> Vec<Case> {
         "policies" => policies_suite(),
         "experiments" => experiments_suite(),
         "saturation" => saturation_suite(),
+        "prefix_reuse" => prefix_reuse_suite(),
         other => panic!("unknown suite `{other}` (expected one of {SUITE_NAMES:?})"),
     }
 }
@@ -495,6 +504,45 @@ fn saturation_suite() -> Vec<Case> {
     ]
 }
 
+/// The shared-prefix paging suite: splice counters and the modeled
+/// prefill-work reduction of the CI-gated reuse scenario
+/// ([`crate::prefix`]), all evaluated from one shared scenario run. Every
+/// figure is a deterministic count or a ratio of deterministic flop
+/// totals, so the cases carry the tight two-sided
+/// [`METRIC_TOLERANCE`](crate::serving::METRIC_TOLERANCE) band — the
+/// `work_reduction_8x` row is the PR's ≥ 50% acceptance criterion, pinned.
+fn prefix_reuse_suite() -> Vec<Case> {
+    use crate::prefix::PrefixReusePoint;
+
+    let shared: Rc<OnceCell<PrefixReusePoint>> = Rc::new(OnceCell::new());
+    let metric =
+        move |name: &'static str, unit: &'static str, pick: fn(&PrefixReusePoint) -> f64| {
+            let shared = Rc::clone(&shared);
+            Case::metric(name, crate::serving::METRIC_TOLERANCE, unit, move || {
+                pick(shared.get_or_init(|| {
+                    crate::prefix::run_point(crate::prefix::GATE_SESSIONS, Precision::F32)
+                }))
+            })
+        };
+    vec![
+        metric("prefix_reuse/work_reduction_8x", "fraction", |p| {
+            p.work_reduction
+        }),
+        metric("prefix_reuse/prefix_hits_8x", "count", |p| {
+            p.prefix_hits as f64
+        }),
+        metric("prefix_reuse/pages_shared_8x", "pages", |p| {
+            p.pages_shared as f64
+        }),
+        metric("prefix_reuse/bytes_saved_8x", "bytes", |p| {
+            p.bytes_saved as f64
+        }),
+        metric("prefix_reuse/cow_copies_8x", "pages", |p| {
+            p.cow_copies as f64
+        }),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -557,6 +605,21 @@ mod tests {
         let b = run_all();
         assert_eq!(a, b);
         assert!(a.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn prefix_reuse_cases_share_one_run_and_pin_the_acceptance_floor() {
+        let mut cases = suite("prefix_reuse");
+        let values: Vec<f64> = cases
+            .iter_mut()
+            .map(|case| {
+                assert!(case.is_metric());
+                measure(case).value
+            })
+            .collect();
+        // First row is work_reduction_8x — the PR's ≥ 50% gate.
+        assert!(values[0] >= 0.5, "work reduction {values:?}");
+        assert!(values.iter().all(|v| v.is_finite() && *v >= 0.0));
     }
 
     #[test]

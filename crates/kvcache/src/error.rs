@@ -96,6 +96,23 @@ pub enum HarnessError {
         /// Human-readable description of the bad parameter.
         reason: String,
     },
+    /// A [`PrefixRegistry`](crate::PrefixRegistry) was created with a
+    /// shape it cannot operate under (zero dimension, zero rows per page,
+    /// or a zero page budget that could never cache a prefix).
+    InvalidPrefixConfig {
+        /// Human-readable description of the bad parameter.
+        reason: String,
+    },
+    /// A workload was prefilled against a
+    /// [`PrefixRegistry`](crate::PrefixRegistry) whose page arena holds
+    /// rows of a different width — its cached pages could never splice
+    /// into this session's store.
+    PrefixDimMismatch {
+        /// Row width of the registry's page arena.
+        registry_dim: usize,
+        /// The workload's vector dimension.
+        workload_dim: usize,
+    },
 }
 
 impl core::fmt::Display for HarnessError {
@@ -143,6 +160,17 @@ impl core::fmt::Display for HarnessError {
             HarnessError::InvalidServeConfig { reason } => {
                 write!(f, "invalid serve config: {reason}")
             }
+            HarnessError::InvalidPrefixConfig { reason } => {
+                write!(f, "invalid prefix registry config: {reason}")
+            }
+            HarnessError::PrefixDimMismatch {
+                registry_dim,
+                workload_dim,
+            } => write!(
+                f,
+                "prefix registry pages hold rows of width {registry_dim}, \
+                 but the workload's vectors have dimension {workload_dim}"
+            ),
         }
     }
 }
@@ -179,6 +207,13 @@ mod tests {
             HarnessError::UnknownPolicy { name: "x".into() },
             HarnessError::InvalidServeConfig {
                 reason: "session share of 0 slots".into(),
+            },
+            HarnessError::InvalidPrefixConfig {
+                reason: "page budget of 0".into(),
+            },
+            HarnessError::PrefixDimMismatch {
+                registry_dim: 16,
+                workload_dim: 32,
             },
         ];
         let text = serde_json::to_string(&errors).unwrap();

@@ -33,6 +33,11 @@
 //!   leaving mid-flight, and a [`ServerMetrics`] surface (queue depth,
 //!   TTFT/latency percentiles, occupancy histogram) measured in
 //!   deterministic virtual-time ticks;
+//! * [`PrefixRegistry`] — content-addressed shared-prefix cache: sessions
+//!   admitted through [`DecodeSession::prefill_shared`] (or a
+//!   registry-equipped serve core) splice refcounted pages of an
+//!   already-prefilled prefix into their KV store instead of recomputing
+//!   it, bit-identically (copy-on-write isolates later mutation);
 //! * [`simulate_decode`] / [`simulate_batch`] — thin run-to-completion
 //!   wrappers over the above for the batch-scientific call sites.
 //!
@@ -72,6 +77,7 @@ mod engine;
 mod error;
 mod metrics;
 mod policy;
+mod prefix;
 mod score;
 mod serve;
 mod session;
@@ -88,9 +94,10 @@ pub use policies::{
     BlockTopK, FullCache, HybridStaticDynamic, OracleTopK, SnapKv, StreamingLlm, H2O,
 };
 pub use policy::{accumulated_prefill_scores, top_indices_by_score, Policy, StepDecision};
+pub use prefix::{PrefixRegistry, PrefixStats};
 pub use score::ScoreTable;
 pub use serve::{CompletedRequest, Priority, ServeConfig, ServeCore, ServeReport, SubmitOutcome};
-pub use session::{DecodeSession, StepOutcome};
+pub use session::{DecodeSession, ReuseReport, StepOutcome};
 pub use sim::{
     attention_over, prefill_attention_matrix, ratio_capacity, simulate_decode, SimConfig, SimResult,
 };

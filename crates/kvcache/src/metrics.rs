@@ -40,6 +40,9 @@ pub struct ServerMetrics {
     wait_ticks: Vec<u64>,
     ttft_ticks: Vec<u64>,
     latency_ticks: Vec<u64>,
+    prefix_hits: u64,
+    pages_shared: u64,
+    prefix_bytes_saved: u64,
 }
 
 impl ServerMetrics {
@@ -65,6 +68,9 @@ impl ServerMetrics {
             wait_ticks: Vec::new(),
             ttft_ticks: Vec::new(),
             latency_ticks: Vec::new(),
+            prefix_hits: 0,
+            pages_shared: 0,
+            prefix_bytes_saved: 0,
         }
     }
 
@@ -101,6 +107,19 @@ impl ServerMetrics {
     /// arrived.
     pub fn note_first_token(&mut self, ttft: u64) {
         self.ttft_ticks.push(ttft);
+    }
+
+    /// Records what an admission through the shared
+    /// [`PrefixRegistry`](crate::PrefixRegistry) reused: whether the
+    /// prefix was a verified hit, how many cached pages the session's
+    /// store now shares, and the bytes of per-session storage those
+    /// shared rows avoided duplicating.
+    pub fn note_prefix_reuse(&mut self, hit: bool, pages_shared: usize, bytes_saved: usize) {
+        if hit {
+            self.prefix_hits += 1;
+        }
+        self.pages_shared += pages_shared as u64;
+        self.prefix_bytes_saved += bytes_saved as u64;
     }
 
     /// Records a retirement: `latency` ticks end to end, `tokens` decode
@@ -236,6 +255,9 @@ impl ServerMetrics {
             p50_latency_ticks: percentile(&self.latency_ticks, 50.0),
             p95_latency_ticks: percentile(&self.latency_ticks, 95.0),
             p99_latency_ticks: percentile(&self.latency_ticks, 99.0),
+            prefix_hits: self.prefix_hits,
+            pages_shared: self.pages_shared,
+            prefix_bytes_saved: self.prefix_bytes_saved,
         }
     }
 }
@@ -313,6 +335,15 @@ pub struct MetricsSummary {
     pub p95_latency_ticks: f64,
     /// 99th-percentile end-to-end latency, ticks.
     pub p99_latency_ticks: f64,
+    /// Admissions whose prefix was already cached in the shared
+    /// [`PrefixRegistry`](crate::PrefixRegistry) (zero when the core runs
+    /// without one).
+    pub prefix_hits: u64,
+    /// Cached pages spliced into admitted sessions' stores, summed over
+    /// admissions.
+    pub pages_shared: u64,
+    /// Bytes of per-session KV storage avoided by those splices.
+    pub prefix_bytes_saved: u64,
 }
 
 #[cfg(test)]
@@ -386,6 +417,18 @@ mod tests {
         assert_eq!(s.tokens_per_tick, 8.0);
         assert_eq!(s.peak_resident_tokens, 40);
         assert_eq!(s.p50_latency_ticks, 9.0);
+    }
+
+    #[test]
+    fn prefix_reuse_counters_accumulate() {
+        let mut m = ServerMetrics::new(64);
+        m.note_prefix_reuse(false, 0, 0); // cold miss: nothing shared
+        m.note_prefix_reuse(true, 12, 9216);
+        m.note_prefix_reuse(true, 12, 9216);
+        let s = m.summary();
+        assert_eq!(s.prefix_hits, 2);
+        assert_eq!(s.pages_shared, 24);
+        assert_eq!(s.prefix_bytes_saved, 18432);
     }
 
     #[test]

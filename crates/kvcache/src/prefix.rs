@@ -1,0 +1,501 @@
+//! Shared-prefix registry: content-addressed caching of prefill work so
+//! that N sessions decoding against the same system prompt pay for the
+//! prompt once.
+//!
+//! A [`PrefixRegistry`] owns one [`PageArena`] and indexes cached prefill
+//! state by a fingerprint of the workload's prefix content (keys, values,
+//! and prefill queries — exactly the inputs that determine the prefill
+//! attention matrix and the store rows). Two things are cached per prefix:
+//!
+//! 1. the **prefill attention matrix** (the `O(P²·D)` ranking input every
+//!    policy consumes), shared behind an `Arc` so a hit skips the
+//!    quadratic recompute entirely, and
+//! 2. per `(precision, keep-set)` **variants**: the refcounted page run a
+//!    cold prefill wrote its kept rows into. A later session with the
+//!    same policy outcome splices those pages into its own table
+//!    ([`KvStore::from_shared_prefix`]) — bumping refcounts instead of
+//!    re-writing (and re-quantizing) every kept row.
+//!
+//! # Refcount / copy-on-write invariants
+//!
+//! The registry holds one [`PageHandle`] per cached page, so a cached
+//! page's refcount is `1 + number of sessions spliced onto it`. Sessions
+//! never mutate shared pages in place: the paged
+//! [`KvStore`](unicaim_attention::KvStore) copies-on-write the moment a
+//! decode write or eviction touches a page whose refcount is above 1,
+//! which keeps the registry's cached rows bit-stable no matter what the
+//! sessions spliced onto them do afterwards.
+//!
+//! # Eviction story
+//!
+//! The registry pins at most `max_pages` pages. When registering a new
+//! variant pushes it past the budget, whole prefix entries (matrix and
+//! all variants) are dropped in least-recently-used order — except the
+//! entry just touched — and their handles are returned to the arena.
+//! Pages still spliced into live sessions survive (the recycle is a no-op
+//! until the last holder drops); fully cold pages go back on the arena's
+//! free list zeroed.
+//!
+//! # Collisions
+//!
+//! The fingerprint is a 64-bit content hash, so the registry keeps the
+//! exact prefix content alongside it and verifies every lookup. A
+//! collision (same hash, different content) is counted in
+//! [`PrefixStats::collisions`] and reported as a miss that must **not**
+//! cache: the caller falls back to a cold prefill and leaves the resident
+//! entry untouched.
+
+use std::sync::{Arc, Mutex};
+
+use serde::{Deserialize, Serialize};
+use unicaim_attention::workloads::DecodeWorkload;
+use unicaim_attention::{Matrix, PageArena, PageHandle, Precision, DEFAULT_PAGE_ROWS};
+
+use crate::error::HarnessError;
+
+/// Hit/miss counters of a [`PrefixRegistry`] (monotonic over its
+/// lifetime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefixStats {
+    /// Lookups that found a verified matching prefix.
+    pub hits: u64,
+    /// Lookups that found no entry under the fingerprint.
+    pub misses: u64,
+    /// Lookups that found an entry whose content did not match (hash
+    /// collision) and fell back to a cold prefill.
+    pub collisions: u64,
+    /// Whole prefix entries dropped by LRU eviction under page pressure.
+    pub evictions: u64,
+}
+
+/// The outcome of a matrix lookup, before any policy has run.
+pub(crate) enum MatrixLookup {
+    /// Verified content match: the cached prefill attention matrix.
+    Hit(Arc<Matrix>),
+    /// No entry under this fingerprint.
+    Miss,
+    /// An entry exists under this fingerprint but its content differs —
+    /// the caller must do a cold prefill and must not cache the result.
+    Collision,
+}
+
+/// One cached `(precision, keep-set)` materialization of a prefix.
+#[derive(Debug)]
+struct Variant {
+    precision: Precision,
+    kept: Vec<usize>,
+    pages: Vec<PageHandle>,
+}
+
+/// One cached prefix: fingerprint, exact content for collision
+/// verification, the shared attention matrix, and any page-run variants.
+#[derive(Debug)]
+struct Entry {
+    fingerprint: u64,
+    content: Vec<u32>,
+    attn: Arc<Matrix>,
+    variants: Vec<Variant>,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    entries: Vec<Entry>,
+    clock: u64,
+    cached_pages: usize,
+    stats: PrefixStats,
+}
+
+/// Content-addressed cache of prefill work, shared across sessions and —
+/// through [`ServeCore::with_prefix_registry`](crate::ServeCore::with_prefix_registry)
+/// — across tenants of a serving core. Cloning a `PrefixRegistry` clones
+/// the *handle*: all clones share one index, one arena, and one set of
+/// counters.
+///
+/// See the module docs for the refcount/CoW invariants, the LRU eviction
+/// story, and collision handling.
+#[derive(Debug, Clone)]
+pub struct PrefixRegistry {
+    inner: Arc<Mutex<Inner>>,
+    arena: PageArena,
+    max_pages: usize,
+}
+
+impl PrefixRegistry {
+    /// A registry for prefixes of `dim`-wide rows, pinning at most
+    /// `max_pages` pages ([`DEFAULT_PAGE_ROWS`] rows each).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::InvalidPrefixConfig`] when `dim == 0` or
+    /// `max_pages == 0` (a registry that could never cache anything).
+    pub fn new(dim: usize, max_pages: usize) -> Result<Self, HarnessError> {
+        Self::with_shape(dim, DEFAULT_PAGE_ROWS, max_pages)
+    }
+
+    /// A registry with an explicit page geometry (`page_rows` rows per
+    /// page) — useful for forcing page-boundary and eviction behaviour in
+    /// tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::InvalidPrefixConfig`] when `dim == 0`,
+    /// `page_rows == 0`, or `max_pages == 0`.
+    pub fn with_shape(
+        dim: usize,
+        page_rows: usize,
+        max_pages: usize,
+    ) -> Result<Self, HarnessError> {
+        if dim == 0 {
+            return Err(HarnessError::InvalidPrefixConfig {
+                reason: "row dimension of 0".into(),
+            });
+        }
+        if page_rows == 0 {
+            return Err(HarnessError::InvalidPrefixConfig {
+                reason: "0 rows per page".into(),
+            });
+        }
+        if max_pages == 0 {
+            return Err(HarnessError::InvalidPrefixConfig {
+                reason: "page budget of 0".into(),
+            });
+        }
+        Ok(Self {
+            inner: Arc::new(Mutex::new(Inner::default())),
+            arena: PageArena::new(dim, page_rows),
+            max_pages,
+        })
+    }
+
+    /// Row width of every page this registry caches.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.arena.dim()
+    }
+
+    /// Maximum number of pages the registry will pin before evicting.
+    #[must_use]
+    pub fn page_budget(&self) -> usize {
+        self.max_pages
+    }
+
+    /// The page arena backing this registry. Sessions prefilled through
+    /// the registry draw their pages from it, so splices and cold
+    /// prefills share one free list.
+    #[must_use]
+    pub fn arena(&self) -> &PageArena {
+        &self.arena
+    }
+
+    /// Number of pages currently pinned by cached variants.
+    #[must_use]
+    pub fn cached_pages(&self) -> usize {
+        self.locked().cached_pages
+    }
+
+    /// Number of distinct prefixes currently resident.
+    #[must_use]
+    pub fn entries(&self) -> usize {
+        self.locked().entries.len()
+    }
+
+    /// A snapshot of the hit/miss/collision/eviction counters.
+    #[must_use]
+    pub fn stats(&self) -> PrefixStats {
+        self.locked().stats
+    }
+
+    fn locked(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("prefix registry mutex poisoned")
+    }
+
+    /// Looks up the cached prefill attention matrix for a prefix,
+    /// verifying the exact content against the stored copy.
+    pub(crate) fn lookup_matrix(&self, fingerprint: u64, content: &[u32]) -> MatrixLookup {
+        let mut inner = self.locked();
+        let clock = inner.clock + 1;
+        inner.clock = clock;
+        let Some(entry) = inner
+            .entries
+            .iter_mut()
+            .find(|e| e.fingerprint == fingerprint)
+        else {
+            inner.stats.misses += 1;
+            return MatrixLookup::Miss;
+        };
+        if entry.content != content {
+            inner.stats.collisions += 1;
+            return MatrixLookup::Collision;
+        }
+        entry.last_used = clock;
+        let attn = Arc::clone(&entry.attn);
+        inner.stats.hits += 1;
+        MatrixLookup::Hit(attn)
+    }
+
+    /// Caches the prefill attention matrix of a freshly computed prefix.
+    /// A no-op if an entry already resides under this fingerprint (the
+    /// resident entry wins; colliding content must not displace it).
+    pub(crate) fn insert_matrix(&self, fingerprint: u64, content: Vec<u32>, attn: Arc<Matrix>) {
+        let mut inner = self.locked();
+        if inner.entries.iter().any(|e| e.fingerprint == fingerprint) {
+            return;
+        }
+        let clock = inner.clock + 1;
+        inner.clock = clock;
+        inner.entries.push(Entry {
+            fingerprint,
+            content,
+            attn,
+            variants: Vec::new(),
+            last_used: clock,
+        });
+    }
+
+    /// Returns the cached page run for `(prefix, precision, keep-set)`,
+    /// if one was registered, cloning the handles (which bumps each
+    /// page's refcount — the splice).
+    pub(crate) fn lookup_variant(
+        &self,
+        fingerprint: u64,
+        precision: Precision,
+        kept: &[usize],
+    ) -> Option<Vec<PageHandle>> {
+        let mut inner = self.locked();
+        let clock = inner.clock + 1;
+        inner.clock = clock;
+        let entry = inner
+            .entries
+            .iter_mut()
+            .find(|e| e.fingerprint == fingerprint)?;
+        let variant = entry
+            .variants
+            .iter()
+            .find(|v| v.precision == precision && v.kept == kept)?;
+        let pages = variant.pages.clone();
+        entry.last_used = clock;
+        Some(pages)
+    }
+
+    /// Registers the page run a cold prefill produced for
+    /// `(prefix, precision, keep-set)`, then enforces the page budget by
+    /// LRU-evicting other entries. A no-op when the prefix entry is gone
+    /// (already evicted) or the variant is already cached.
+    pub(crate) fn register_variant(
+        &self,
+        fingerprint: u64,
+        precision: Precision,
+        kept: &[usize],
+        pages: &[PageHandle],
+    ) {
+        let mut inner = self.locked();
+        let clock = inner.clock + 1;
+        inner.clock = clock;
+        let Some(entry) = inner
+            .entries
+            .iter_mut()
+            .find(|e| e.fingerprint == fingerprint)
+        else {
+            return;
+        };
+        if entry
+            .variants
+            .iter()
+            .any(|v| v.precision == precision && v.kept == kept)
+        {
+            return;
+        }
+        entry.last_used = clock;
+        entry.variants.push(Variant {
+            precision,
+            kept: kept.to_vec(),
+            pages: pages.to_vec(),
+        });
+        inner.cached_pages += pages.len();
+        self.enforce_budget(&mut inner, fingerprint);
+    }
+
+    /// Drops least-recently-used entries (except `protected`) until the
+    /// pinned page count fits the budget, returning their handles to the
+    /// arena.
+    fn enforce_budget(&self, inner: &mut Inner, protected: u64) {
+        while inner.cached_pages > self.max_pages {
+            let Some(victim) = inner
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.fingerprint != protected)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+            else {
+                // Only the just-touched entry remains: an oversized
+                // single prefix stays resident rather than thrashing.
+                return;
+            };
+            let entry = inner.entries.swap_remove(victim);
+            for variant in entry.variants {
+                inner.cached_pages -= variant.pages.len();
+                for page in variant.pages {
+                    self.arena.recycle(page);
+                }
+            }
+            inner.stats.evictions += 1;
+        }
+    }
+}
+
+/// The content fingerprint of a workload's prefix: a 64-bit FNV-1a hash
+/// over the exact bit patterns of the prefill keys, values, and queries
+/// (plus the dimension and length), together with the flattened bit
+/// content itself for collision verification.
+#[must_use]
+pub(crate) fn prefix_fingerprint(workload: &DecodeWorkload) -> (u64, Vec<u32>) {
+    let prefill_len = workload.prefill_keys.len();
+    let mut content = Vec::with_capacity(2 + 3 * prefill_len * workload.dim);
+    content.push(u32::try_from(workload.dim).unwrap_or(u32::MAX));
+    content.push(u32::try_from(prefill_len).unwrap_or(u32::MAX));
+    for plane in [
+        &workload.prefill_keys,
+        &workload.prefill_values,
+        &workload.prefill_queries,
+    ] {
+        for row in plane {
+            content.extend(row.iter().map(|x| x.to_bits()));
+        }
+    }
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for word in &content {
+        for byte in word.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+    (hash, content)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> Arc<Matrix> {
+        Arc::new(Matrix::from_rows(&[vec![1.0, 0.0], vec![0.5, 0.5]]))
+    }
+
+    #[test]
+    fn degenerate_shapes_are_rejected() {
+        assert!(matches!(
+            PrefixRegistry::new(0, 4),
+            Err(HarnessError::InvalidPrefixConfig { .. })
+        ));
+        assert!(matches!(
+            PrefixRegistry::new(8, 0),
+            Err(HarnessError::InvalidPrefixConfig { .. })
+        ));
+        assert!(matches!(
+            PrefixRegistry::with_shape(8, 0, 4),
+            Err(HarnessError::InvalidPrefixConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn matrix_hits_after_insert_and_counts() {
+        let reg = PrefixRegistry::new(2, 4).unwrap();
+        let content = vec![1, 2, 3];
+        assert!(matches!(reg.lookup_matrix(7, &content), MatrixLookup::Miss));
+        reg.insert_matrix(7, content.clone(), matrix());
+        let MatrixLookup::Hit(attn) = reg.lookup_matrix(7, &content) else {
+            panic!("expected a hit");
+        };
+        assert_eq!(attn.row(1), &[0.5, 0.5]);
+        let stats = reg.stats();
+        assert_eq!((stats.misses, stats.hits, stats.collisions), (1, 1, 0));
+    }
+
+    #[test]
+    fn same_hash_different_content_is_a_collision() {
+        let reg = PrefixRegistry::new(2, 4).unwrap();
+        reg.insert_matrix(7, vec![1, 2, 3], matrix());
+        // Same fingerprint, different exact content: must not hit, and
+        // must not displace the resident entry.
+        assert!(matches!(
+            reg.lookup_matrix(7, &[9, 9, 9]),
+            MatrixLookup::Collision
+        ));
+        assert_eq!(reg.stats().collisions, 1);
+        assert!(matches!(
+            reg.lookup_matrix(7, &[1, 2, 3]),
+            MatrixLookup::Hit(_)
+        ));
+    }
+
+    #[test]
+    fn variant_lookup_bumps_refcounts() {
+        let reg = PrefixRegistry::with_shape(2, 2, 8).unwrap();
+        reg.insert_matrix(1, vec![1], matrix());
+        let pages = vec![reg.arena().alloc(), reg.arena().alloc()];
+        reg.register_variant(1, Precision::F32, &[0, 1, 2], &pages);
+        assert_eq!(reg.cached_pages(), 2);
+        let spliced = reg
+            .lookup_variant(1, Precision::F32, &[0, 1, 2])
+            .expect("variant was registered");
+        // caller's handle + registry's + the fresh clone
+        assert_eq!(std::sync::Arc::strong_count(&pages[0]), 3);
+        assert_eq!(spliced.len(), 2);
+        // A different keep set or precision is a distinct variant.
+        assert!(reg.lookup_variant(1, Precision::F32, &[0, 1]).is_none());
+        assert!(reg.lookup_variant(1, Precision::Int8, &[0, 1, 2]).is_none());
+    }
+
+    #[test]
+    fn lru_eviction_recycles_cold_pages() {
+        let reg = PrefixRegistry::with_shape(2, 2, 2).unwrap();
+        reg.insert_matrix(1, vec![1], matrix());
+        reg.register_variant(1, Precision::F32, &[0], &[reg.arena().alloc()]);
+        reg.insert_matrix(2, vec![2], matrix());
+        reg.register_variant(2, Precision::F32, &[0], &[reg.arena().alloc()]);
+        assert_eq!(reg.cached_pages(), 2);
+        // Touch prefix 1 so prefix 2 is the LRU victim.
+        assert!(matches!(reg.lookup_matrix(1, &[1]), MatrixLookup::Hit(_)));
+        reg.insert_matrix(3, vec![3], matrix());
+        reg.register_variant(3, Precision::F32, &[0], &[reg.arena().alloc()]);
+        assert_eq!(reg.cached_pages(), 2);
+        assert_eq!(reg.entries(), 2);
+        assert_eq!(reg.stats().evictions, 1);
+        // Prefix 2's page had no other holders: it went back zeroed.
+        assert_eq!(reg.arena().free_pages(), 1);
+        assert!(matches!(reg.lookup_matrix(2, &[2]), MatrixLookup::Miss));
+        assert!(matches!(reg.lookup_matrix(1, &[1]), MatrixLookup::Hit(_)));
+    }
+
+    #[test]
+    fn oversized_protected_entry_is_not_evicted() {
+        let reg = PrefixRegistry::with_shape(2, 2, 1).unwrap();
+        reg.insert_matrix(1, vec![1], matrix());
+        let pages = vec![reg.arena().alloc(), reg.arena().alloc()];
+        reg.register_variant(1, Precision::F32, &[0, 1, 2], &pages);
+        // Two pages pinned against a budget of one, but the entry that
+        // was just touched is protected: it stays rather than thrashing.
+        assert_eq!(reg.cached_pages(), 2);
+        assert_eq!(reg.entries(), 1);
+        assert_eq!(reg.stats().evictions, 0);
+    }
+
+    #[test]
+    fn fingerprint_separates_prefix_content() {
+        let a = unicaim_attention::workloads::needle_task(24, 6, 11);
+        let b = unicaim_attention::workloads::needle_task(24, 6, 12);
+        let (fp_a, content_a) = prefix_fingerprint(&a);
+        let (fp_a2, content_a2) = prefix_fingerprint(&a);
+        let (fp_b, content_b) = prefix_fingerprint(&b);
+        assert_eq!(fp_a, fp_a2);
+        assert_eq!(content_a, content_a2);
+        assert_ne!(fp_a, fp_b);
+        assert_ne!(content_a, content_b);
+        // Decode-side content is deliberately excluded: only the prefix
+        // determines the fingerprint.
+        let mut c = a.clone();
+        c.decode_queries[0][0] += 1.0;
+        assert_eq!(prefix_fingerprint(&c).0, fp_a);
+    }
+}

@@ -43,6 +43,7 @@ use crate::batch::{aggregate, BatchResult};
 use crate::engine::{Scheduler, SchedulerSpec};
 use crate::error::HarnessError;
 use crate::metrics::{MetricsSummary, ServerMetrics};
+use crate::prefix::PrefixRegistry;
 use crate::session::DecodeSession;
 use crate::sim::{SimConfig, SimResult};
 use crate::spec::PolicySpec;
@@ -275,6 +276,7 @@ pub struct ServeCore<'w> {
     metrics: ServerMetrics,
     tick: u64,
     next_id: usize,
+    prefix_registry: Option<PrefixRegistry>,
 }
 
 impl<'w> ServeCore<'w> {
@@ -297,8 +299,34 @@ impl<'w> ServeCore<'w> {
             metrics: ServerMetrics::new(config.total_capacity),
             tick: 0,
             next_id: 0,
+            prefix_registry: None,
             config,
         })
+    }
+
+    /// Equips the core with a shared [`PrefixRegistry`]: every admission
+    /// (initial or re-admission after preemption) goes through
+    /// [`DecodeSession::prefill_shared`], so requests from *any* tenant
+    /// that share a prefix splice its cached pages instead of
+    /// re-prefilling, and the reuse shows up in
+    /// [`ServerMetrics`](crate::ServerMetrics) (`prefix_hits`,
+    /// `pages_shared`, `prefix_bytes_saved`). Cloned registries share one
+    /// cache, so several cores can draw from the same pool.
+    ///
+    /// Admission results stay bit-identical with or without a registry
+    /// (see [`DecodeSession::prefill_shared`]); a dimension mismatch
+    /// between registry and workload surfaces as
+    /// [`HarnessError::PrefixDimMismatch`] at admission time.
+    #[must_use]
+    pub fn with_prefix_registry(mut self, registry: PrefixRegistry) -> Self {
+        self.prefix_registry = Some(registry);
+        self
+    }
+
+    /// The shared prefix registry, when one is equipped.
+    #[must_use]
+    pub fn prefix_registry(&self) -> Option<&PrefixRegistry> {
+        self.prefix_registry.as_ref()
     }
 
     /// The core's configuration.
@@ -523,10 +551,30 @@ impl<'w> ServeCore<'w> {
         Ok(())
     }
 
-    /// Prefills one request into a running session.
+    /// Prefills one request into a running session — through the shared
+    /// prefix registry when one is equipped.
     fn admit(&mut self, pending: Pending<'w>) -> Result<(), HarnessError> {
-        let session =
-            DecodeSession::prefill(pending.workload, pending.spec.build(), &self.session_config)?;
+        let session = match &self.prefix_registry {
+            Some(registry) => {
+                let (session, reuse) = DecodeSession::prefill_shared(
+                    pending.workload,
+                    &pending.spec,
+                    &self.session_config,
+                    registry,
+                )?;
+                self.metrics.note_prefix_reuse(
+                    reuse.prefix_hit,
+                    reuse.pages_shared,
+                    reuse.bytes_saved,
+                );
+                session
+            }
+            None => DecodeSession::prefill(
+                pending.workload,
+                pending.spec.build(),
+                &self.session_config,
+            )?,
+        };
         self.metrics
             .note_admitted(self.tick - pending.arrival_tick, pending.preemptions > 0);
         self.running.push(RunningMeta {
@@ -635,6 +683,39 @@ mod tests {
                 "{bad:?} must be rejected"
             );
         }
+    }
+
+    #[test]
+    fn registry_equipped_core_is_bit_identical_and_counts_reuse() {
+        // Two tenants, four requests against the *same* prompt: the
+        // registry-equipped core must decode every request bit-identically
+        // to the plain core while paying the prefill once.
+        let w = needle_task(48, 8, 3);
+        let run = |registry: Option<PrefixRegistry>| {
+            let mut core = ServeCore::new(small_config()).unwrap();
+            if let Some(registry) = registry {
+                core = core.with_prefix_registry(registry);
+            }
+            for tenant in 0..4 {
+                core.submit(&w, spec_for_share(), tenant % 2, Priority::Normal)
+                    .unwrap();
+            }
+            core.drain().unwrap();
+            core.report()
+        };
+        let plain = run(None);
+        let registry = PrefixRegistry::new(w.dim, 64).unwrap();
+        let shared = run(Some(registry.clone()));
+
+        assert_eq!(shared.completed, plain.completed);
+        assert_eq!(plain.summary.prefix_hits, 0);
+        assert_eq!(plain.summary.pages_shared, 0);
+        // First admission registers, the other three splice.
+        assert_eq!(shared.summary.prefix_hits, 3);
+        assert!(shared.summary.pages_shared > 0);
+        assert!(shared.summary.prefix_bytes_saved > 0);
+        assert_eq!(registry.stats().hits, 3);
+        assert_eq!(registry.stats().misses, 1);
     }
 
     #[test]

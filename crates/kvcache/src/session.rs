@@ -16,6 +16,7 @@
 //! retired without tearing down its batch.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 use unicaim_attention::kernels;
@@ -25,6 +26,7 @@ use unicaim_attention::{softmax_in_place, AttentionError, KvStore};
 
 use crate::error::HarnessError;
 use crate::policy::Policy;
+use crate::prefix::{prefix_fingerprint, MatrixLookup, PrefixRegistry};
 use crate::sim::{prefill_attention_matrix, SimConfig, SimResult};
 use crate::spec::PolicySpec;
 
@@ -48,6 +50,56 @@ impl PolicyHolder<'_> {
             PolicyHolder::Owned(p) => p.as_ref(),
             PolicyHolder::Borrowed(p) => *p,
         }
+    }
+}
+
+/// What [`DecodeSession::prefill_shared`] reused from (or contributed to)
+/// a [`PrefixRegistry`], plus a deterministic accounting of the prefill
+/// work actually spent versus what a cold prefill would have cost.
+///
+/// Flop counts use a fixed cost model (multiply-accumulates of the
+/// attention-matrix build, per-row store writes including quantization,
+/// and the fingerprint hash/verify passes), so the numbers are exactly
+/// reproducible across runs and platforms — they gate the `prefix_reuse`
+/// benchmark baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReuseReport {
+    /// The registry held a verified matching prefix (the attention-matrix
+    /// recompute was skipped).
+    pub prefix_hit: bool,
+    /// The KV store was built by splicing cached pages (the per-row
+    /// writes and quantization were skipped too).
+    pub spliced: bool,
+    /// The fingerprint matched a different prefix's entry (hash
+    /// collision): the session fell back to a cold prefill and cached
+    /// nothing.
+    pub collision: bool,
+    /// Cached pages this session's page table now shares with the
+    /// registry.
+    pub pages_shared: usize,
+    /// Kept prefix rows resident without being re-written.
+    pub rows_shared: usize,
+    /// Bytes of key/value/quantized-shadow storage those shared rows
+    /// would have duplicated under per-session flat arenas.
+    pub bytes_saved: usize,
+    /// What a cold prefill of this workload costs in the fixed flop
+    /// model.
+    pub flops_cold: u64,
+    /// What this prefill actually spent (hashing and verification
+    /// included).
+    pub flops_spent: u64,
+}
+
+impl ReuseReport {
+    /// Fraction of cold-prefill work avoided: `1 − spent/cold`. Slightly
+    /// negative on a cold miss (the fingerprint pass is pure overhead),
+    /// approaching 1 on a full splice of a long prefix.
+    #[must_use]
+    pub fn work_reduction(&self) -> f64 {
+        if self.flops_cold == 0 {
+            return 0.0;
+        }
+        1.0 - (self.flops_spent as f64) / (self.flops_cold as f64)
     }
 }
 
@@ -158,6 +210,130 @@ impl<'w> DecodeSession<'w, 'static> {
         spec.validate_for(config)?;
         Self::prefill(workload, spec.build(), config)
     }
+
+    /// Admits a sequence through a shared [`PrefixRegistry`]: when the
+    /// registry holds this workload's prefix, the prefill attention
+    /// matrix is reused instead of recomputed, and when it also holds a
+    /// page run for this `(precision, keep-set)`, the KV store is built
+    /// by **splicing** those refcounted pages into the session's page
+    /// table instead of re-writing every kept row.
+    ///
+    /// The policy's `prefill_keep` always runs (against the cached
+    /// matrix, which is verified bit-identical to a recompute), so a
+    /// spliced session decodes **bit-identically** to a cold one — later
+    /// writes and evictions copy-on-write away from the shared pages
+    /// (property-tested across every policy and precision in
+    /// `tests/properties.rs`). A fingerprint collision (same hash,
+    /// different prefix content) falls back to a cold prefill and caches
+    /// nothing.
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::InvalidSpec`] from [`PolicySpec::validate_for`],
+    /// [`HarnessError::PrefixDimMismatch`] when the registry's pages hold
+    /// rows of a different width than the workload; otherwise the
+    /// [`DecodeSession::prefill`] contract.
+    pub fn prefill_shared(
+        workload: &'w DecodeWorkload,
+        spec: &PolicySpec,
+        config: &SimConfig,
+        registry: &PrefixRegistry,
+    ) -> Result<(Self, ReuseReport), HarnessError> {
+        spec.validate_for(config)?;
+        if registry.dim() != workload.dim {
+            return Err(HarnessError::PrefixDimMismatch {
+                registry_dim: registry.dim(),
+                workload_dim: workload.dim,
+            });
+        }
+        let mut policy = PolicyHolder::Owned(spec.build());
+        let dim = workload.dim;
+        let prefill_len = workload.prefill_keys.len();
+        let (fingerprint, content) = prefix_fingerprint(workload);
+        let (attn, prefix_hit, collision) = match registry.lookup_matrix(fingerprint, &content) {
+            MatrixLookup::Hit(attn) => (attn, true, false),
+            MatrixLookup::Miss => {
+                let attn = Arc::new(prefill_attention_matrix(workload));
+                registry.insert_matrix(fingerprint, content.clone(), Arc::clone(&attn));
+                (attn, false, false)
+            }
+            MatrixLookup::Collision => (Arc::new(prefill_attention_matrix(workload)), false, true),
+        };
+        // The policy *always* ranks against the (verified-identical)
+        // matrix, so its internal state — and therefore every later
+        // decode decision — matches a cold prefill exactly.
+        let keep = policy
+            .as_mut()
+            .prefill_keep(&attn, config.prefill_budget.min(prefill_len));
+        validate_keep(&keep, config.capacity, prefill_len)?;
+
+        let mut spliced = false;
+        let mut pages_shared = 0;
+        let store = if collision {
+            let mut store =
+                KvStore::with_arena(registry.arena(), config.capacity, config.precision);
+            populate_store(&mut store, workload, &keep);
+            store
+        } else if let Some(pages) = registry.lookup_variant(fingerprint, config.precision, &keep) {
+            spliced = true;
+            pages_shared = pages.len();
+            KvStore::from_shared_prefix(
+                registry.arena(),
+                config.capacity,
+                config.precision,
+                &pages,
+                &keep,
+            )
+        } else {
+            let mut store =
+                KvStore::with_arena(registry.arena(), config.capacity, config.precision);
+            populate_store(&mut store, workload, &keep);
+            // Snapshot the prefix pages *before* any decode write: the
+            // session's own later writes copy-on-write away from them.
+            let prefix_pages = keep.len().div_ceil(store.page_rows());
+            registry.register_variant(
+                fingerprint,
+                config.precision,
+                &keep,
+                &store.pages()[..prefix_pages],
+            );
+            store
+        };
+
+        // Fixed deterministic cost model (multiply-accumulates): the
+        // causal matrix build is D·P(P+1)/2, each kept row write is D
+        // key + D value moves plus D quantization steps when the store
+        // keeps an i8 shadow, and the fingerprint hash/verify each touch
+        // every content word once.
+        let quantized = config.precision.is_quantized();
+        let matrix_flops = (dim as u64) * (prefill_len as u64) * (prefill_len as u64 + 1) / 2;
+        let write_flops = (keep.len() as u64) * (dim as u64) * if quantized { 3 } else { 2 };
+        let hash_flops = content.len() as u64;
+        let flops_cold = matrix_flops + write_flops;
+        let mut flops_spent = hash_flops;
+        if prefix_hit || collision {
+            flops_spent += hash_flops; // content verification pass
+        }
+        if !prefix_hit {
+            flops_spent += matrix_flops;
+        }
+        if !spliced {
+            flops_spent += write_flops;
+        }
+        let rows_shared = if spliced { keep.len() } else { 0 };
+        let row_bytes = 2 * 4 * dim + if quantized { dim + 4 } else { 0 };
+        let report = ReuseReport {
+            prefix_hit,
+            spliced,
+            collision,
+            pages_shared,
+            rows_shared,
+            bytes_saved: rows_shared * row_bytes,
+            flops_cold,
+            flops_spent,
+        };
+        Ok((Self::assemble(workload, policy, config, store), report))
+    }
 }
 
 impl<'w, 'p> DecodeSession<'w, 'p> {
@@ -181,41 +357,34 @@ impl<'w, 'p> DecodeSession<'w, 'p> {
         mut policy: PolicyHolder<'p>,
         config: &SimConfig,
     ) -> Result<Self, HarnessError> {
-        let dim = workload.dim;
         let prefill_len = workload.prefill_keys.len();
         let attn = prefill_attention_matrix(workload);
         let keep = policy
             .as_mut()
             .prefill_keep(&attn, config.prefill_budget.min(prefill_len));
-        if keep.len() > config.capacity {
-            return Err(HarnessError::PrefillOverBudget {
-                kept: keep.len(),
-                capacity: config.capacity,
-            });
-        }
-        let mut store = KvStore::with_precision(config.capacity, dim, config.precision);
-        for &t in &keep {
-            if t >= prefill_len {
-                return Err(HarnessError::PrefillOutOfRange {
-                    token: t,
-                    prefill_len,
-                });
-            }
-            match store.append_parts(t, &workload.prefill_keys[t], &workload.prefill_values[t]) {
-                Ok(_) => {}
-                Err(AttentionError::DuplicateToken { token, .. }) => {
-                    return Err(HarnessError::PrefillDuplicate { token })
-                }
-                Err(e) => unreachable!("prefill insert within checked bounds failed: {e}"),
-            }
-        }
+        validate_keep(&keep, config.capacity, prefill_len)?;
+        let mut store = KvStore::with_precision(config.capacity, workload.dim, config.precision);
+        populate_store(&mut store, workload, &keep);
+        Ok(Self::assemble(workload, policy, config, store))
+    }
+
+    /// Builds the session struct around an already-populated store — the
+    /// tail shared by the cold ([`prefill_holder`](Self::prefill_holder))
+    /// and spliced ([`DecodeSession::prefill_shared`]) admission paths.
+    fn assemble(
+        workload: &'w DecodeWorkload,
+        policy: PolicyHolder<'p>,
+        config: &SimConfig,
+        store: KvStore,
+    ) -> Self {
+        let dim = workload.dim;
         let salient_universe: BTreeSet<usize> = workload
             .salient_at
             .iter()
             .flat_map(|s| s.iter().copied())
             .collect();
         let resident_trace = vec![store.len()];
-        Ok(Self {
+        Self {
             workload,
             policy,
             config: *config,
@@ -247,7 +416,7 @@ impl<'w, 'p> DecodeSession<'w, 'p> {
             hits: Mean::new(),
             n_selected: Mean::new(),
             n_resident: Mean::new(),
-        })
+        }
     }
 
     /// Total number of decode steps this sequence has.
@@ -526,6 +695,45 @@ fn write_new_token(
     }
 }
 
+/// Checks a policy's prefill keep set against the harness contract, in
+/// the order the contract documents: budget first, then per token (in
+/// keep order) range before uniqueness. Shared by the cold and spliced
+/// admission paths so both reject an invalid keep set with the *same*
+/// typed error.
+fn validate_keep(keep: &[usize], capacity: usize, prefill_len: usize) -> Result<(), HarnessError> {
+    if keep.len() > capacity {
+        return Err(HarnessError::PrefillOverBudget {
+            kept: keep.len(),
+            capacity,
+        });
+    }
+    let mut seen = BTreeSet::new();
+    for &t in keep {
+        if t >= prefill_len {
+            return Err(HarnessError::PrefillOutOfRange {
+                token: t,
+                prefill_len,
+            });
+        }
+        if !seen.insert(t) {
+            return Err(HarnessError::PrefillDuplicate { token: t });
+        }
+    }
+    Ok(())
+}
+
+/// Appends a validated keep set's rows into a fresh store, in keep order
+/// (slot `i` holds token `keep[i]` — the layout
+/// [`KvStore::from_shared_prefix`] reproduces when splicing).
+fn populate_store(store: &mut KvStore, workload: &DecodeWorkload, keep: &[usize]) {
+    for &t in keep {
+        match store.append_parts(t, &workload.prefill_keys[t], &workload.prefill_values[t]) {
+            Ok(_) => {}
+            Err(e) => unreachable!("validated prefill insert failed: {e}"),
+        }
+    }
+}
+
 /// Resolves a policy's selection to physical slots (shared by the per-step
 /// core and [`attention_over`](crate::attention_over), so the residency
 /// contract is enforced — and worded — in exactly one place).
@@ -552,6 +760,65 @@ mod tests {
     use crate::simulate_decode;
     use unicaim_attention::workloads::needle_task;
     use unicaim_attention::Matrix;
+
+    #[test]
+    fn fingerprint_collision_falls_back_to_cold_prefill() {
+        let w = needle_task(64, 8, 5);
+        let cfg = SimConfig::new(32, 8);
+        let spec = PolicySpec::hybrid_for_share(32, 4, 8);
+        let mut cold = DecodeSession::prefill_spec(&w, &spec, &cfg).unwrap();
+        cold.run_to_completion().unwrap();
+        let expected = cold.finish();
+
+        // Plant an entry under this workload's fingerprint with *other*
+        // content: every lookup for the real prefix now collides.
+        let registry = PrefixRegistry::new(w.dim, 16).unwrap();
+        let (fingerprint, _) = prefix_fingerprint(&w);
+        registry.insert_matrix(
+            fingerprint,
+            vec![0xdead_beef],
+            Arc::new(Matrix::zeros(1, 1)),
+        );
+
+        let (mut session, report) =
+            DecodeSession::prefill_shared(&w, &spec, &cfg, &registry).unwrap();
+        assert!(report.collision);
+        assert!(!report.prefix_hit);
+        assert!(!report.spliced);
+        assert_eq!(report.rows_shared, 0);
+        session.run_to_completion().unwrap();
+        assert_eq!(session.finish(), expected);
+        // The colliding prefill cached nothing: the planted entry still
+        // owns the fingerprint and no pages were pinned.
+        assert_eq!(registry.stats().collisions, 1);
+        assert_eq!(registry.entries(), 1);
+        assert_eq!(registry.cached_pages(), 0);
+        // A second admission collides again — never a false hit.
+        let (_, again) = DecodeSession::prefill_shared(&w, &spec, &cfg, &registry).unwrap();
+        assert!(again.collision && !again.spliced);
+    }
+
+    #[test]
+    fn registry_dim_mismatch_is_a_typed_error() {
+        let w = needle_task(48, 6, 2);
+        let registry = PrefixRegistry::new(w.dim + 1, 16).unwrap();
+        let err = match DecodeSession::prefill_shared(
+            &w,
+            &PolicySpec::Full,
+            &SimConfig::new(64, 8),
+            &registry,
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("expected a dim-mismatch error"),
+        };
+        assert_eq!(
+            err,
+            HarnessError::PrefixDimMismatch {
+                registry_dim: w.dim + 1,
+                workload_dim: w.dim,
+            }
+        );
+    }
 
     #[test]
     fn session_steps_match_run_to_completion_wrapper() {

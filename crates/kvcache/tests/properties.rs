@@ -7,8 +7,8 @@ use unicaim_attention::workloads::{
 use unicaim_attention::Matrix;
 use unicaim_kvcache::{
     simulate_batch, simulate_decode, BatchConfig, DecodeEngine, DecodeSession, EngineConfig,
-    HybridStaticDynamic, Policy, PolicySpec, Precision, SchedulerSpec, ScoreTable, ServeConfig,
-    ServeCore, SimConfig, StepDecision, StreamingLlm,
+    HybridStaticDynamic, Policy, PolicySpec, Precision, PrefixRegistry, SchedulerSpec, ScoreTable,
+    ServeConfig, ServeCore, SimConfig, StepDecision, StreamingLlm,
 };
 
 fn small_workload(
@@ -381,6 +381,67 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Shared-prefix splicing is invisible to decode: for every shipped
+    /// policy and every key-arena precision, a session admitted through a
+    /// `PrefixRegistry` — whether it *registered* the prefix (cold path
+    /// that caches) or *spliced* it (page-table splice that skips the
+    /// prefill recompute entirely) — finishes with a `SimResult`
+    /// bit-identical to a plain cold prefill. The capacity is chosen so
+    /// decode overflows it, forcing evictions (and inserts) that mutate
+    /// pages still pinned by the registry: the copy-on-write layer is
+    /// what keeps the second session's splice pristine.
+    #[test]
+    fn spliced_sessions_decode_bit_identically_to_cold(
+        seed in 0u64..200,
+        precision_idx in 0usize..3,
+    ) {
+        let precision = Precision::ALL[precision_idx];
+        let w = small_workload(seed, 48, 12);
+        let capacity = 32;
+        let k = 8;
+        let cfg = SimConfig::new(capacity, k).with_precision(precision);
+        for spec in policy_menu(capacity, k) {
+            let mut cold = DecodeSession::prefill_spec(&w, &spec, &cfg).expect("cold prefill");
+            cold.run_to_completion().expect("cold run");
+            let expected = cold.finish();
+
+            let registry = PrefixRegistry::new(w.dim, 64).expect("valid registry");
+            // First admission: cold path, but registers matrix + pages.
+            let (mut first, warm_report) =
+                DecodeSession::prefill_shared(&w, &spec, &cfg, &registry)
+                    .expect("registering prefill");
+            prop_assert!(!warm_report.prefix_hit);
+            prop_assert!(!warm_report.spliced);
+            // Decode overflows capacity: evictions/inserts hit pages the
+            // registry still pins, so they must copy-on-write.
+            first.run_to_completion().expect("registering run");
+            prop_assert_eq!(&first.finish(), &expected);
+
+            // Second admission: verified hit, page-table splice.
+            let (mut second, hit_report) =
+                DecodeSession::prefill_shared(&w, &spec, &cfg, &registry)
+                    .expect("spliced prefill");
+            prop_assert!(hit_report.prefix_hit, "{}: expected a prefix hit", spec.name());
+            prop_assert!(hit_report.spliced, "{}: expected a page splice", spec.name());
+            prop_assert!(hit_report.rows_shared > 0);
+            prop_assert!(hit_report.bytes_saved > 0);
+            prop_assert!(hit_report.flops_spent < hit_report.flops_cold);
+            prop_assert!(hit_report.work_reduction() > 0.5,
+                "{}: splice saved only {:.3} of cold prefill work",
+                spec.name(), hit_report.work_reduction());
+            second.run_to_completion().expect("spliced run");
+            prop_assert_eq!(&second.finish(), &expected);
+
+            let stats = registry.stats();
+            prop_assert!(stats.hits >= 1);
+            prop_assert_eq!(stats.collisions, 0);
+        }
+    }
+}
+
 #[test]
 fn batched_policies_share_the_budget_evenly() {
     // Deterministic (non-proptest) sanity: a 4-sequence batch under each
@@ -436,11 +497,13 @@ impl Policy for SelectionProbe {
 }
 
 /// Quantized parity (satellite): per-policy top-k selection overlap across
-/// key-arena precisions is **reported, not asserted** — quantization
-/// legitimately reorders near-tied scores, so the Jaccard overlap against
-/// the f32 run is diagnostic output (visible with `--nocapture`), while
-/// the structural invariants (runs complete, same step counts, finite
-/// fidelity, bounded overlap) are what the test pins.
+/// key-arena precisions. Quantization legitimately reorders near-tied
+/// scores, so the exact Jaccard overlap against the f32 run stays
+/// diagnostic output (visible with `--nocapture`) — but a *loose* lower
+/// bound is asserted: observed means on this pinned workload sit at
+/// 0.64–1.00 (worst case `block_topk` under `cell3`), so a mean overlap
+/// below 0.3 would mean quantized scoring is selecting a substantially
+/// different set than f32, a regression no near-tie reordering explains.
 #[test]
 fn cross_precision_selection_overlap_is_reported() {
     use std::collections::BTreeSet;
@@ -493,6 +556,13 @@ fn cross_precision_selection_overlap_is_reported() {
                 mean,
                 r_q.salient_recall,
                 r_f32.salient_recall
+            );
+            assert!(
+                mean >= 0.3,
+                "{} at {}: mean selection overlap {mean:.3} vs f32 fell below the \
+                 loose 0.3 floor — quantized scoring has diverged structurally",
+                spec.name(),
+                precision.label()
             );
             assert!(r_q.output_cosine.is_finite());
         }

@@ -1,0 +1,109 @@
+//! Shared-prefix paging tour: the `PrefixRegistry` turning repeated
+//! prefills of one system prompt into page-table splices — refcounted
+//! page sharing, copy-on-write the moment a session diverges, and the
+//! serving core's cross-tenant reuse counters.
+//!
+//! Three stops:
+//!
+//! 1. two sessions share one prompt: the first prefills cold and registers
+//!    its pages; the second admission verifies the fingerprint and splices
+//!    them — skipping the O(P²·D) prefill recompute — yet finishes
+//!    bit-identical to a cold prefill of the same turn;
+//! 2. copy-on-write under the microscope: the spliced session's first
+//!    decode write lands in a page the registry still pins, so the store
+//!    copies that page, decodes diverge freely, and the cached prefix
+//!    stays pristine for the next admission;
+//! 3. a registry-equipped `ServeCore` sharing one prompt across tenants,
+//!    with the `prefix_hits` / `pages_shared` / `prefix_bytes_saved`
+//!    counters a capacity planner would read.
+//!
+//! Run with: `cargo run --release --example shared_prefix`
+
+use unicaim_repro::attention::workloads::shared_prefix_batch;
+use unicaim_repro::kvcache::{
+    DecodeSession, PolicySpec, PrefixRegistry, Priority, ServeConfig, ServeCore,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Eight multi-turn requests against one 96-token system prompt: the
+    // prefill planes are bit-identical, only the decode turns differ.
+    let batch = shared_prefix_batch(8, 96, 8, 17);
+    let config = ServeConfig::new(96, 48, 8).with_reserved_decode_slots(8);
+    let spec = PolicySpec::hybrid_for_share(48, 8, 8);
+    let session_config = config.session_config();
+
+    // 1. Splice instead of recompute. The registry is content-addressed:
+    //    the first admission misses, prefills cold, and registers its kept
+    //    pages; the second verifies the full prompt against the cached
+    //    entry and splices the page run into its own page table.
+    println!("-- splice instead of recompute ---------------------------------");
+    let registry = PrefixRegistry::new(batch[0].dim, 64)?;
+    let (mut first, cold) =
+        DecodeSession::prefill_shared(&batch[0], &spec, &session_config, &registry)?;
+    let (mut second, warm) =
+        DecodeSession::prefill_shared(&batch[1], &spec, &session_config, &registry)?;
+    println!(
+        "  first admission:  hit={} spliced={} — pays the cold prefill ({} flops)",
+        cold.prefix_hit, cold.spliced, cold.flops_spent,
+    );
+    println!(
+        "  second admission: hit={} spliced={} — {} pages / {} rows spliced, \
+         {} bytes not duplicated, {:.1}% of the work avoided",
+        warm.prefix_hit,
+        warm.spliced,
+        warm.pages_shared,
+        warm.rows_shared,
+        warm.bytes_saved,
+        warm.work_reduction() * 100.0,
+    );
+    assert!(warm.prefix_hit && warm.spliced && warm.work_reduction() > 0.5);
+
+    // The splice is invisible to the sequence: the spliced session's
+    // decode is bit-identical to a cold prefill of the same turn.
+    second.run_to_completion()?;
+    let mut solo = DecodeSession::prefill_spec(&batch[1], &spec, &session_config)?;
+    solo.run_to_completion()?;
+    assert_eq!(second.finish(), solo.finish());
+    println!("  spliced session matched its cold-prefill run bit for bit\n");
+
+    // 2. Copy-on-write keeps the shared pages pristine. The registry still
+    //    pins the cached page run, so the first session's decode writes
+    //    copy the touched page instead of mutating the shared one — and a
+    //    third admission still splices the untouched prefix.
+    println!("-- copy-on-write on divergence ---------------------------------");
+    first.run_to_completion()?;
+    let stats = registry.arena().stats();
+    println!(
+        "  after two full decodes: {} pages allocated, {} CoW copies, {} recycled",
+        stats.allocated, stats.cow_copies, stats.recycled,
+    );
+    assert!(stats.cow_copies > 0, "divergence must copy, not mutate");
+    let (_, third) = DecodeSession::prefill_shared(&batch[2], &spec, &session_config, &registry)?;
+    assert!(third.prefix_hit && third.spliced);
+    println!(
+        "  third admission still splices {} cached pages — earlier decodes never \
+         touched them\n",
+        third.pages_shared,
+    );
+
+    // 3. One registry across tenants inside the serving core. Every
+    //    admission after the first is a splice, and the server metrics
+    //    carry the reuse counters next to the latency percentiles.
+    println!("-- cross-tenant reuse in ServeCore -----------------------------");
+    let mut core =
+        ServeCore::new(config)?.with_prefix_registry(PrefixRegistry::new(batch[0].dim, 64)?);
+    for (i, w) in batch.iter().enumerate() {
+        core.submit(w, spec.clone(), i % 3, Priority::Normal)?;
+    }
+    core.drain()?;
+    let s = core.report().summary;
+    println!(
+        "  {} completed across 3 tenants: {} prefix hits, {} pages shared, \
+         {} bytes saved",
+        s.completed, s.prefix_hits, s.pages_shared, s.prefix_bytes_saved,
+    );
+    assert_eq!(s.completed, batch.len() as u64);
+    assert_eq!(s.prefix_hits, batch.len() as u64 - 1);
+    assert!(s.pages_shared > 0 && s.prefix_bytes_saved > 0);
+    Ok(())
+}
