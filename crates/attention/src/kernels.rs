@@ -26,8 +26,236 @@
 //! [`f32::total_cmp`] with an explicit ascending-index tie-break, so
 //! rankings are total and deterministic even in the presence of NaN
 //! (NaN sorts as the largest value, per IEEE 754 `totalOrder`).
+//!
+//! # Backend dispatch and the determinism contract
+//!
+//! Every kernel in the menu dispatches over a [`KernelBackend`] detected
+//! once per process (`is_x86_feature_detected!`, overridable with
+//! `UNICAIM_KERNEL_BACKEND=scalar|sse2|avx2`). Each kernel also exposes a
+//! `*_with(backend, …)` twin taking the tier explicitly, which the parity
+//! tests use to pin every tier against scalar. The contract:
+//!
+//! * **Integer paths are bit-exact across every tier.** [`dot_i8`] widens
+//!   `i8 → i16 → i32` with no rounding, so the quantized scoring kernels'
+//!   integer accumulation — and the quantizers [`quantize_row_i8`] /
+//!   [`quantize_row_cell3`], whose SIMD portion is only the exact max-abs
+//!   reduction — produce identical bits on scalar, SSE2, and AVX2.
+//! * **f32 paths are bounded-ulp and stable for a fixed tier.** The SSE2
+//!   tier is bit-identical to scalar by construction (same eight-lane
+//!   accumulator partition, same multiply-then-add per element, same
+//!   reduction order). The AVX2+FMA tier fuses multiply-add, skipping the
+//!   per-product rounding: for a length-`n` dot,
+//!   `|dot_avx2 − dot_scalar| ≤ 2·n·ε·Σ|aᵢ·bᵢ|` with `ε = 2⁻²⁴` (each
+//!   path's forward error versus the exact sum is at most `n·ε·Σ|aᵢ·bᵢ|`
+//!   to first order — standard recursive-summation analysis — and FMA
+//!   only removes rounding steps). Softmax is shared scalar code on every
+//!   tier. For a fixed tier, every kernel is deterministic: same inputs,
+//!   same bits, run to run and thread count to thread count.
+//! * **Chunked kernels only partition work.** [`dot_gather_chunked`] /
+//!   [`dot_gather_q_chunked`] split the gather into fixed-size chunks,
+//!   each writing a disjoint output range with the same per-row kernel,
+//!   so results are bit-identical for every worker count and chunk size.
+//!
+//! `UNICAIM_KERNEL_BACKEND=scalar` therefore reproduces the pre-dispatch
+//! kernel layer bit-for-bit.
+
+use std::sync::{Mutex, OnceLock};
 
 use crate::matrix::softmax_in_place;
+
+/// Environment variable forcing a kernel tier
+/// (`scalar`, `sse2`, or `avx2`); empty or unset means "detect".
+/// Unknown or unsupported values warn on stderr and fall back to the
+/// detected tier. Read once per process — changing it after the first
+/// kernel call has no effect.
+pub const BACKEND_ENV: &str = "UNICAIM_KERNEL_BACKEND";
+
+/// A SIMD tier the kernel layer can dispatch to.
+///
+/// Tiers are strictly host-gated: [`KernelBackend::detect`] picks the best
+/// tier the CPU supports, and explicit requests (via [`BACKEND_ENV`] or the
+/// `*_with` kernels) for an unsupported tier clamp to [`KernelBackend::Scalar`]
+/// (`KernelBackend::Scalar`), so an unsupported instruction can never be
+/// reached. On non-x86_64 hosts (e.g. aarch64, where a NEON tier is a
+/// future extension) every tier except scalar reports unsupported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelBackend {
+    /// Portable scalar kernels — the reference semantics for every tier.
+    Scalar,
+    /// SSE2 (baseline x86_64): bit-identical to scalar on f32 paths.
+    Sse2,
+    /// AVX2 + FMA: fused f32 paths, bounded-ulp versus scalar.
+    Avx2,
+}
+
+impl KernelBackend {
+    /// Every tier, scalar first.
+    pub const ALL: [KernelBackend; 3] = [
+        KernelBackend::Scalar,
+        KernelBackend::Sse2,
+        KernelBackend::Avx2,
+    ];
+
+    /// The best tier this CPU supports, detected via
+    /// `is_x86_feature_detected!` (AVX2 requires FMA too; non-x86_64
+    /// hosts always detect scalar).
+    #[must_use]
+    pub fn detect() -> Self {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                return KernelBackend::Avx2;
+            }
+            if std::arch::is_x86_feature_detected!("sse2") {
+                return KernelBackend::Sse2;
+            }
+        }
+        KernelBackend::Scalar
+    }
+
+    /// Stable lowercase name (also the [`BACKEND_ENV`] spelling).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelBackend::Scalar => "scalar",
+            KernelBackend::Sse2 => "sse2",
+            KernelBackend::Avx2 => "avx2",
+        }
+    }
+
+    /// Parses a [`BACKEND_ENV`] value (case-insensitive).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "scalar" => Some(KernelBackend::Scalar),
+            "sse2" => Some(KernelBackend::Sse2),
+            "avx2" => Some(KernelBackend::Avx2),
+            _ => None,
+        }
+    }
+
+    /// Whether this CPU can run the tier.
+    #[must_use]
+    pub fn is_supported(self) -> bool {
+        match self {
+            KernelBackend::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            KernelBackend::Sse2 => std::arch::is_x86_feature_detected!("sse2"),
+            #[cfg(target_arch = "x86_64")]
+            KernelBackend::Avx2 => {
+                std::arch::is_x86_feature_detected!("avx2")
+                    && std::arch::is_x86_feature_detected!("fma")
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => false,
+        }
+    }
+
+    /// The tiers this CPU supports, scalar first — what the parity tests
+    /// iterate.
+    #[must_use]
+    pub fn supported() -> Vec<Self> {
+        Self::ALL.into_iter().filter(|b| b.is_supported()).collect()
+    }
+
+    /// Clamps an unsupported tier to scalar so dispatch can never select
+    /// an instruction set the CPU lacks.
+    fn clamp(self) -> Self {
+        if self.is_supported() {
+            self
+        } else {
+            KernelBackend::Scalar
+        }
+    }
+}
+
+/// The process-wide kernel tier: [`BACKEND_ENV`] if set and valid,
+/// otherwise [`KernelBackend::detect`]. Resolved once and cached — every
+/// un-suffixed kernel in this module dispatches through it.
+#[must_use]
+pub fn active_backend() -> KernelBackend {
+    static ACTIVE: OnceLock<KernelBackend> = OnceLock::new();
+    *ACTIVE.get_or_init(|| match std::env::var(BACKEND_ENV) {
+        Ok(raw) if !raw.trim().is_empty() => {
+            let name = raw.trim();
+            let detected = KernelBackend::detect();
+            match KernelBackend::from_name(name) {
+                Some(requested) if requested.is_supported() => requested,
+                Some(requested) => {
+                    eprintln!(
+                        "warning: {BACKEND_ENV}={name} requests the {} tier, which this CPU \
+                         does not support; using detected tier {}",
+                        requested.label(),
+                        detected.label()
+                    );
+                    detected
+                }
+                None => {
+                    eprintln!(
+                        "warning: {BACKEND_ENV}={name} is not one of scalar|sse2|avx2; \
+                         using detected tier {}",
+                        detected.label()
+                    );
+                    detected
+                }
+            }
+        }
+        _ => KernelBackend::detect(),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Primitive dispatch: each tier supplies four primitives (f32 dot, i8
+// dot, axpy, max-abs); everything else in the menu is composed from them
+// plus shared scalar code, so the parity argument stays small.
+// ---------------------------------------------------------------------
+
+type DotF32Fn = fn(&[f32], &[f32]) -> f32;
+type DotI8Fn = fn(&[i8], &[i8]) -> i32;
+type AxpyFn = fn(f32, &[f32], &mut [f32]);
+type MaxAbsFn = fn(&[f32]) -> f32;
+
+fn dot_f32_fn(backend: KernelBackend) -> DotF32Fn {
+    match backend.clamp() {
+        #[cfg(target_arch = "x86_64")]
+        KernelBackend::Sse2 => crate::simd::dot_f32_sse2,
+        #[cfg(target_arch = "x86_64")]
+        KernelBackend::Avx2 => crate::simd::dot_f32_avx2,
+        _ => dot_scalar,
+    }
+}
+
+fn dot_i8_fn(backend: KernelBackend) -> DotI8Fn {
+    match backend.clamp() {
+        #[cfg(target_arch = "x86_64")]
+        KernelBackend::Sse2 => crate::simd::dot_i8_sse2,
+        #[cfg(target_arch = "x86_64")]
+        KernelBackend::Avx2 => crate::simd::dot_i8_avx2,
+        _ => dot_i8_scalar,
+    }
+}
+
+fn axpy_fn(backend: KernelBackend) -> AxpyFn {
+    match backend.clamp() {
+        #[cfg(target_arch = "x86_64")]
+        KernelBackend::Sse2 => crate::simd::axpy_sse2,
+        #[cfg(target_arch = "x86_64")]
+        KernelBackend::Avx2 => crate::simd::axpy_avx2,
+        _ => axpy_scalar,
+    }
+}
+
+fn maxabs_fn(backend: KernelBackend) -> MaxAbsFn {
+    match backend.clamp() {
+        #[cfg(target_arch = "x86_64")]
+        KernelBackend::Sse2 => crate::simd::maxabs_sse2,
+        #[cfg(target_arch = "x86_64")]
+        KernelBackend::Avx2 => crate::simd::maxabs_avx2,
+        _ => maxabs_scalar,
+    }
+}
 
 /// A borrowed view of row-major `f32` rows inside a flat buffer.
 ///
@@ -157,21 +385,14 @@ impl QuantRows for QuantRowView<'_> {
 }
 
 /// Number of independent accumulators in [`dot`]. Wide enough for the
-/// compiler to keep the loop in vector registers.
-const LANES: usize = 8;
+/// compiler to keep the loop in vector registers; the SIMD tiers keep the
+/// same 8-lane accumulator partition so their reductions line up with
+/// scalar (see the module docs).
+pub(crate) const LANES: usize = 8;
 
-/// Dot product with `LANES` independent accumulators (reassociated
-/// summation — results can differ from a strictly sequential sum in the
-/// last bits, which every consumer tolerates at ≤1e-5 relative error).
-///
-/// # Panics
-///
-/// Panics (in debug builds) if lengths differ; release builds truncate to
-/// the shorter slice.
-#[inline]
-#[must_use]
-pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len(), "dot of unequal lengths");
+/// Scalar f32 dot with `LANES` independent accumulators — the reference
+/// semantics every tier's f32 dot is measured against.
+fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
     let n = a.len().min(b.len());
     let chunks = n / LANES;
     let mut acc = [0.0f32; LANES];
@@ -189,6 +410,50 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     acc.iter().sum::<f32>() + tail
 }
 
+/// Scalar `out[i] += w · x[i]` — the reference semantics for every tier's
+/// weighted-sum accumulation.
+fn axpy_scalar(w: f32, x: &[f32], out: &mut [f32]) {
+    for (o, &v) in out.iter_mut().zip(x) {
+        *o += w * v;
+    }
+}
+
+/// Scalar max-abs fold — the reference semantics for the quantizers'
+/// range pass.
+fn maxabs_scalar(src: &[f32]) -> f32 {
+    src.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+}
+
+/// Dot product with `LANES` independent accumulators (reassociated
+/// summation — results can differ from a strictly sequential sum in the
+/// last bits, which every consumer tolerates at ≤1e-5 relative error).
+/// Dispatches over [`active_backend`]; see [`dot_with`].
+///
+/// # Panics
+///
+/// Panics (in debug builds) if lengths differ; release builds truncate to
+/// the shorter slice.
+#[inline]
+#[must_use]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    dot_with(active_backend(), a, b)
+}
+
+/// [`dot`] on an explicit tier. SSE2 is bit-identical to scalar; AVX2 is
+/// within `2·n·ε·Σ|aᵢ·bᵢ|` of scalar (`ε = 2⁻²⁴`; module docs derive the
+/// bound).
+///
+/// # Panics
+///
+/// Panics (in debug builds) if lengths differ; release builds truncate to
+/// the shorter slice.
+#[inline]
+#[must_use]
+pub fn dot_with(backend: KernelBackend, a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "dot of unequal lengths");
+    dot_f32_fn(backend)(a, b)
+}
+
 /// Scaled dots of `query` against rows `0..out.len()` of `keys`:
 /// `out[r] = scale · (query · keys[r])`.
 ///
@@ -196,6 +461,22 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
 ///
 /// Panics if a row extends past the key buffer.
 pub fn dot_prefix<K: Rows>(query: &[f32], keys: K, scale: f32, out: &mut [f32]) {
+    dot_prefix_with(active_backend(), query, keys, scale, out);
+}
+
+/// [`dot_prefix`] on an explicit tier.
+///
+/// # Panics
+///
+/// Panics if a row extends past the key buffer.
+pub fn dot_prefix_with<K: Rows>(
+    backend: KernelBackend,
+    query: &[f32],
+    keys: K,
+    scale: f32,
+    out: &mut [f32],
+) {
+    let dot = dot_f32_fn(backend);
     for (r, o) in out.iter_mut().enumerate() {
         *o = dot(query, keys.row(r)) * scale;
     }
@@ -208,7 +489,24 @@ pub fn dot_prefix<K: Rows>(query: &[f32], keys: K, scale: f32, out: &mut [f32]) 
 ///
 /// Panics if `rows.len() != out.len()` or a row is out of range.
 pub fn dot_gather<K: Rows>(query: &[f32], keys: K, rows: &[usize], scale: f32, out: &mut [f32]) {
+    dot_gather_with(active_backend(), query, keys, rows, scale, out);
+}
+
+/// [`dot_gather`] on an explicit tier.
+///
+/// # Panics
+///
+/// Panics if `rows.len() != out.len()` or a row is out of range.
+pub fn dot_gather_with<K: Rows>(
+    backend: KernelBackend,
+    query: &[f32],
+    keys: K,
+    rows: &[usize],
+    scale: f32,
+    out: &mut [f32],
+) {
     assert_eq!(rows.len(), out.len(), "gather output length mismatch");
+    let dot = dot_f32_fn(backend);
     for (&r, o) in rows.iter().zip(out.iter_mut()) {
         *o = dot(query, keys.row(r)) * scale;
     }
@@ -221,12 +519,26 @@ pub fn dot_gather<K: Rows>(query: &[f32], keys: K, rows: &[usize], scale: f32, o
 ///
 /// Panics if `out.len() != values.dim()` or lengths disagree.
 pub fn weighted_sum_gather<V: Rows>(weights: &[f32], values: V, rows: &[usize], out: &mut [f32]) {
+    weighted_sum_gather_with(active_backend(), weights, values, rows, out);
+}
+
+/// [`weighted_sum_gather`] on an explicit tier.
+///
+/// # Panics
+///
+/// Panics if `out.len() != values.dim()` or lengths disagree.
+pub fn weighted_sum_gather_with<V: Rows>(
+    backend: KernelBackend,
+    weights: &[f32],
+    values: V,
+    rows: &[usize],
+    out: &mut [f32],
+) {
     assert_eq!(out.len(), values.dim(), "output/value dimension mismatch");
     assert_eq!(weights.len(), rows.len(), "weight/row count mismatch");
+    let axpy = axpy_fn(backend);
     for (&r, &w) in rows.iter().zip(weights) {
-        for (o, &x) in out.iter_mut().zip(values.row(r)) {
-            *o += w * x;
-        }
+        axpy(w, values.row(r), out);
     }
 }
 
@@ -237,11 +549,24 @@ pub fn weighted_sum_gather<V: Rows>(weights: &[f32], values: V, rows: &[usize], 
 ///
 /// Panics if `out.len() != values.dim()`.
 pub fn weighted_sum_prefix<V: Rows>(weights: &[f32], values: V, out: &mut [f32]) {
+    weighted_sum_prefix_with(active_backend(), weights, values, out);
+}
+
+/// [`weighted_sum_prefix`] on an explicit tier.
+///
+/// # Panics
+///
+/// Panics if `out.len() != values.dim()`.
+pub fn weighted_sum_prefix_with<V: Rows>(
+    backend: KernelBackend,
+    weights: &[f32],
+    values: V,
+    out: &mut [f32],
+) {
     assert_eq!(out.len(), values.dim(), "output/value dimension mismatch");
+    let axpy = axpy_fn(backend);
     for (r, &w) in weights.iter().enumerate() {
-        for (o, &x) in out.iter_mut().zip(values.row(r)) {
-            *o += w * x;
-        }
+        axpy(w, values.row(r), out);
     }
 }
 
@@ -261,6 +586,35 @@ pub fn attend_gather<K: Rows, V: Rows>(
     weights: &mut Vec<f32>,
     out: &mut [f32],
 ) {
+    attend_gather_with(
+        active_backend(),
+        query,
+        keys,
+        values,
+        rows,
+        scale,
+        weights,
+        out,
+    );
+}
+
+/// [`attend_gather`] on an explicit tier (softmax is shared scalar code
+/// on every tier).
+///
+/// # Panics
+///
+/// Panics if `query.len() != keys.dim()` or `out.len() != values.dim()`.
+#[allow(clippy::too_many_arguments)]
+pub fn attend_gather_with<K: Rows, V: Rows>(
+    backend: KernelBackend,
+    query: &[f32],
+    keys: K,
+    values: V,
+    rows: &[usize],
+    scale: f32,
+    weights: &mut Vec<f32>,
+    out: &mut [f32],
+) {
     assert_eq!(query.len(), keys.dim(), "query/key dimension mismatch");
     out.fill(0.0);
     if rows.is_empty() {
@@ -268,9 +622,9 @@ pub fn attend_gather<K: Rows, V: Rows>(
     }
     weights.clear();
     weights.resize(rows.len(), 0.0);
-    dot_gather(query, keys, rows, scale, weights);
+    dot_gather_with(backend, query, keys, rows, scale, weights);
     softmax_in_place(weights);
-    weighted_sum_gather(weights, values, rows, out);
+    weighted_sum_gather_with(backend, weights, values, rows, out);
 }
 
 /// Fused attention over the contiguous row prefix `0..n` (the causal
@@ -289,6 +643,34 @@ pub fn attend_prefix<K: Rows, V: Rows>(
     weights: &mut Vec<f32>,
     out: &mut [f32],
 ) {
+    attend_prefix_with(
+        active_backend(),
+        query,
+        keys,
+        values,
+        n,
+        scale,
+        weights,
+        out,
+    );
+}
+
+/// [`attend_prefix`] on an explicit tier.
+///
+/// # Panics
+///
+/// Panics if `query.len() != keys.dim()` or `out.len() != values.dim()`.
+#[allow(clippy::too_many_arguments)]
+pub fn attend_prefix_with<K: Rows, V: Rows>(
+    backend: KernelBackend,
+    query: &[f32],
+    keys: K,
+    values: V,
+    n: usize,
+    scale: f32,
+    weights: &mut Vec<f32>,
+    out: &mut [f32],
+) {
     assert_eq!(query.len(), keys.dim(), "query/key dimension mismatch");
     out.fill(0.0);
     if n == 0 {
@@ -296,9 +678,9 @@ pub fn attend_prefix<K: Rows, V: Rows>(
     }
     weights.clear();
     weights.resize(n, 0.0);
-    dot_prefix(query, keys, scale, weights);
+    dot_prefix_with(backend, query, keys, scale, weights);
     softmax_in_place(weights);
-    weighted_sum_prefix(weights, values, out);
+    weighted_sum_prefix_with(backend, weights, values, out);
 }
 
 /// A borrowed view of row-major `i8` rows with one `f32` scale per row:
@@ -395,9 +777,20 @@ pub const CELL3_STEPS: f32 = 2.0;
 /// levels, round-to-nearest. Returns `scale` such that
 /// `src[i] ≈ scale · out[i]`; an all-zero row quantizes to zeros with
 /// scale 0.
-fn quantize_row(src: &[f32], steps: f32, out: &mut [i8]) -> f32 {
+///
+/// Only the (exact) max-abs reduction dispatches to SIMD; the
+/// divide/round/cast loop stays scalar because `f32::round` is
+/// round-half-away-from-zero, which vector instructions do not implement
+/// directly — keeping it scalar makes quantization bit-exact on every
+/// tier for finite inputs.
+fn quantize_row_with_backend(
+    backend: KernelBackend,
+    src: &[f32],
+    steps: f32,
+    out: &mut [i8],
+) -> f32 {
     assert_eq!(src.len(), out.len(), "quantize output length mismatch");
-    let maxabs = src.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+    let maxabs = maxabs_fn(backend)(src);
     if maxabs == 0.0 {
         out.fill(0);
         return 0.0;
@@ -419,7 +812,17 @@ fn quantize_row(src: &[f32], steps: f32, out: &mut [i8]) -> f32 {
 ///
 /// Panics if `src.len() != out.len()`.
 pub fn quantize_row_i8(src: &[f32], out: &mut [i8]) -> f32 {
-    quantize_row(src, INT8_STEPS, out)
+    quantize_row_i8_with(active_backend(), src, out)
+}
+
+/// [`quantize_row_i8`] on an explicit tier (bit-exact on every tier for
+/// finite inputs).
+///
+/// # Panics
+///
+/// Panics if `src.len() != out.len()`.
+pub fn quantize_row_i8_with(backend: KernelBackend, src: &[f32], out: &mut [i8]) -> f32 {
+    quantize_row_with_backend(backend, src, INT8_STEPS, out)
 }
 
 /// Snaps one row to the 3-bit multilevel cell's five signed levels
@@ -434,31 +837,65 @@ pub fn quantize_row_i8(src: &[f32], out: &mut [i8]) -> f32 {
 ///
 /// Panics if `src.len() != out.len()`.
 pub fn quantize_row_cell3(src: &[f32], out: &mut [i8]) -> f32 {
-    quantize_row(src, CELL3_STEPS, out)
+    quantize_row_cell3_with(active_backend(), src, out)
+}
+
+/// [`quantize_row_cell3`] on an explicit tier (bit-exact on every tier
+/// for finite inputs).
+///
+/// # Panics
+///
+/// Panics if `src.len() != out.len()`.
+pub fn quantize_row_cell3_with(backend: KernelBackend, src: &[f32], out: &mut [i8]) -> f32 {
+    quantize_row_with_backend(backend, src, CELL3_STEPS, out)
 }
 
 /// Quantizes a contiguous row-major `f32` arena (`src.len() / dim` rows)
 /// to `i8` with one scale per row — the bulk form of [`quantize_row_i8`],
 /// producing exactly the layout [`QuantRowView::contiguous`] reads.
 ///
+/// Allocates fresh vectors; steady-state callers (prefill, requantize,
+/// benchmarks) should prefer [`quantize_arena_i8_into`], which reuses
+/// caller scratch.
+///
 /// # Panics
 ///
 /// Panics if `dim == 0` or `src.len()` is not a multiple of `dim`.
 #[must_use]
 pub fn quantize_arena_i8(src: &[f32], dim: usize) -> (Vec<i8>, Vec<f32>) {
+    let mut q = Vec::new();
+    let mut scales = Vec::new();
+    quantize_arena_i8_into(src, dim, &mut q, &mut scales);
+    (q, scales)
+}
+
+/// Scratch-reusing form of [`quantize_arena_i8`]: clears and refills `q`
+/// and `scales` in place (reusing their capacity), so a loop that
+/// repeatedly quantizes arenas performs no steady-state allocation.
+///
+/// # Panics
+///
+/// Panics if `dim == 0` or `src.len()` is not a multiple of `dim`.
+pub fn quantize_arena_i8_into(src: &[f32], dim: usize, q: &mut Vec<i8>, scales: &mut Vec<f32>) {
     assert!(dim > 0, "quantize_arena_i8 requires dim > 0");
     assert!(
         src.len().is_multiple_of(dim),
         "arena length {} is not a multiple of dim {dim}",
         src.len()
     );
+    let backend = active_backend();
     let rows = src.len() / dim;
-    let mut q = vec![0i8; src.len()];
-    let mut scales = vec![0.0f32; rows];
+    q.clear();
+    q.resize(src.len(), 0);
+    scales.clear();
+    scales.resize(rows, 0.0);
     for r in 0..rows {
-        scales[r] = quantize_row_i8(&src[r * dim..(r + 1) * dim], &mut q[r * dim..(r + 1) * dim]);
+        scales[r] = quantize_row_i8_with(
+            backend,
+            &src[r * dim..(r + 1) * dim],
+            &mut q[r * dim..(r + 1) * dim],
+        );
     }
-    (q, scales)
 }
 
 /// Dequantizes integer levels back to `f32`: `out[i] = scale · q[i]`.
@@ -473,18 +910,9 @@ pub fn dequantize_row(q: &[i8], scale: f32, out: &mut [f32]) {
     }
 }
 
-/// Integer dot product with `LANES` independent `i32` accumulators — the
-/// quantized twin of [`dot`]. Exact (no rounding): `|a·b| ≤ 127²·dim`
-/// stays far inside `i32` for any realistic head dimension.
-///
-/// # Panics
-///
-/// Panics (in debug builds) if lengths differ; release builds truncate to
-/// the shorter slice.
-#[inline]
-#[must_use]
-pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
-    debug_assert_eq!(a.len(), b.len(), "dot of unequal lengths");
+/// Scalar integer dot with `LANES` independent `i32` accumulators — the
+/// reference semantics (and exact result) every tier reproduces.
+fn dot_i8_scalar(a: &[i8], b: &[i8]) -> i32 {
     let n = a.len().min(b.len());
     let chunks = n / LANES;
     let mut acc = [0i32; LANES];
@@ -502,6 +930,34 @@ pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
     acc.iter().sum::<i32>() + tail
 }
 
+/// Integer dot product with `LANES` independent `i32` accumulators — the
+/// quantized twin of [`dot`]. Exact (no rounding): `|a·b| ≤ 127²·dim`
+/// stays far inside `i32` for any realistic head dimension, so every
+/// backend tier returns identical bits.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if lengths differ; release builds truncate to
+/// the shorter slice.
+#[inline]
+#[must_use]
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    dot_i8_with(active_backend(), a, b)
+}
+
+/// [`dot_i8`] on an explicit tier (bit-exact on every tier).
+///
+/// # Panics
+///
+/// Panics (in debug builds) if lengths differ; release builds truncate to
+/// the shorter slice.
+#[inline]
+#[must_use]
+pub fn dot_i8_with(backend: KernelBackend, a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len(), "dot of unequal lengths");
+    dot_i8_fn(backend)(a, b)
+}
+
 /// Quantized twin of [`dot_prefix`]: scaled dots of a pre-quantized query
 /// against rows `0..out.len()` of the quantized key arena. The integer
 /// dot accumulates in `i32`; the combined rescale
@@ -517,8 +973,26 @@ pub fn dot_prefix_q<Q: QuantRows>(
     scale: f32,
     out: &mut [f32],
 ) {
+    dot_prefix_q_with(active_backend(), query_q, query_scale, keys, scale, out);
+}
+
+/// [`dot_prefix_q`] on an explicit tier (bit-exact on every tier: the
+/// integer dot is exact and the rescale is shared scalar code).
+///
+/// # Panics
+///
+/// Panics if a row extends past the key buffer.
+pub fn dot_prefix_q_with<Q: QuantRows>(
+    backend: KernelBackend,
+    query_q: &[i8],
+    query_scale: f32,
+    keys: Q,
+    scale: f32,
+    out: &mut [f32],
+) {
+    let dot = dot_i8_fn(backend);
     for (r, o) in out.iter_mut().enumerate() {
-        *o = dot_i8(query_q, keys.row(r)) as f32 * (scale * query_scale * keys.scale(r));
+        *o = dot(query_q, keys.row(r)) as f32 * (scale * query_scale * keys.scale(r));
     }
 }
 
@@ -537,9 +1011,35 @@ pub fn dot_gather_q<Q: QuantRows>(
     scale: f32,
     out: &mut [f32],
 ) {
+    dot_gather_q_with(
+        active_backend(),
+        query_q,
+        query_scale,
+        keys,
+        rows,
+        scale,
+        out,
+    );
+}
+
+/// [`dot_gather_q`] on an explicit tier (bit-exact on every tier).
+///
+/// # Panics
+///
+/// Panics if `rows.len() != out.len()` or a row is out of range.
+pub fn dot_gather_q_with<Q: QuantRows>(
+    backend: KernelBackend,
+    query_q: &[i8],
+    query_scale: f32,
+    keys: Q,
+    rows: &[usize],
+    scale: f32,
+    out: &mut [f32],
+) {
     assert_eq!(rows.len(), out.len(), "gather output length mismatch");
+    let dot = dot_i8_fn(backend);
     for (&r, o) in rows.iter().zip(out.iter_mut()) {
-        *o = dot_i8(query_q, keys.row(r)) as f32 * (scale * query_scale * keys.scale(r));
+        *o = dot(query_q, keys.row(r)) as f32 * (scale * query_scale * keys.scale(r));
     }
 }
 
@@ -563,6 +1063,36 @@ pub fn attend_gather_q<Q: QuantRows, V: Rows>(
     weights: &mut Vec<f32>,
     out: &mut [f32],
 ) {
+    attend_gather_q_with(
+        active_backend(),
+        query_q,
+        query_scale,
+        keys,
+        values,
+        rows,
+        scale,
+        weights,
+        out,
+    );
+}
+
+/// [`attend_gather_q`] on an explicit tier.
+///
+/// # Panics
+///
+/// Panics if `query_q.len() != keys.dim()` or `out.len() != values.dim()`.
+#[allow(clippy::too_many_arguments)]
+pub fn attend_gather_q_with<Q: QuantRows, V: Rows>(
+    backend: KernelBackend,
+    query_q: &[i8],
+    query_scale: f32,
+    keys: Q,
+    values: V,
+    rows: &[usize],
+    scale: f32,
+    weights: &mut Vec<f32>,
+    out: &mut [f32],
+) {
     assert_eq!(query_q.len(), keys.dim(), "query/key dimension mismatch");
     out.fill(0.0);
     if rows.is_empty() {
@@ -570,9 +1100,9 @@ pub fn attend_gather_q<Q: QuantRows, V: Rows>(
     }
     weights.clear();
     weights.resize(rows.len(), 0.0);
-    dot_gather_q(query_q, query_scale, keys, rows, scale, weights);
+    dot_gather_q_with(backend, query_q, query_scale, keys, rows, scale, weights);
     softmax_in_place(weights);
-    weighted_sum_gather(weights, values, rows, out);
+    weighted_sum_gather_with(backend, weights, values, rows, out);
 }
 
 /// Quantized twin of [`attend_prefix`]: fused attention over the
@@ -593,6 +1123,36 @@ pub fn attend_prefix_q<Q: QuantRows, V: Rows>(
     weights: &mut Vec<f32>,
     out: &mut [f32],
 ) {
+    attend_prefix_q_with(
+        active_backend(),
+        query_q,
+        query_scale,
+        keys,
+        values,
+        n,
+        scale,
+        weights,
+        out,
+    );
+}
+
+/// [`attend_prefix_q`] on an explicit tier.
+///
+/// # Panics
+///
+/// Panics if `query_q.len() != keys.dim()` or `out.len() != values.dim()`.
+#[allow(clippy::too_many_arguments)]
+pub fn attend_prefix_q_with<Q: QuantRows, V: Rows>(
+    backend: KernelBackend,
+    query_q: &[i8],
+    query_scale: f32,
+    keys: Q,
+    values: V,
+    n: usize,
+    scale: f32,
+    weights: &mut Vec<f32>,
+    out: &mut [f32],
+) {
     assert_eq!(query_q.len(), keys.dim(), "query/key dimension mismatch");
     out.fill(0.0);
     if n == 0 {
@@ -600,9 +1160,121 @@ pub fn attend_prefix_q<Q: QuantRows, V: Rows>(
     }
     weights.clear();
     weights.resize(n, 0.0);
-    dot_prefix_q(query_q, query_scale, keys, scale, weights);
+    dot_prefix_q_with(backend, query_q, query_scale, keys, scale, weights);
     softmax_in_place(weights);
-    weighted_sum_prefix(weights, values, out);
+    weighted_sum_prefix_with(backend, weights, values, out);
+}
+
+// ---------------------------------------------------------------------
+// Chunked intra-sequence fan-out
+// ---------------------------------------------------------------------
+
+/// Default chunk size (in rows) for the chunked gather kernels — the
+/// granule the decode session splits its resident scan into.
+pub const DEFAULT_SCAN_CHUNK: usize = 128;
+
+/// [`dot_gather`] with the gather split into fixed `chunk_rows`-sized
+/// chunks fanned out over up to `workers` threads. Each chunk writes its
+/// own disjoint range of `out` with the same per-row kernel, so the
+/// result is **bit-identical for every worker count and chunk size**
+/// (only the work partition changes); `workers <= 1` or a gather that
+/// fits one chunk runs inline with no thread traffic.
+///
+/// # Panics
+///
+/// Panics if `rows.len() != out.len()`, `chunk_rows == 0`, or a row is
+/// out of range.
+pub fn dot_gather_chunked<K: Rows + Sync>(
+    query: &[f32],
+    keys: K,
+    rows: &[usize],
+    scale: f32,
+    out: &mut [f32],
+    chunk_rows: usize,
+    workers: usize,
+) {
+    assert_eq!(rows.len(), out.len(), "gather output length mismatch");
+    assert!(chunk_rows > 0, "chunk_rows must be positive");
+    let backend = active_backend();
+    if workers <= 1 || rows.len() <= chunk_rows {
+        dot_gather_with(backend, query, keys, rows, scale, out);
+        return;
+    }
+    let threads = workers.min(rows.len().div_ceil(chunk_rows));
+    let jobs = Mutex::new(rows.chunks(chunk_rows).zip(out.chunks_mut(chunk_rows)));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let job = jobs.lock().expect("chunk queue poisoned").next();
+                let Some((rows_c, out_c)) = job else { break };
+                dot_gather_with(backend, query, keys, rows_c, scale, out_c);
+            });
+        }
+    });
+}
+
+/// Per-row quantized scoring with the **resident-scan rescale order**:
+/// `raw · ((query_scale · keys.scale(r)) · scale)` — the association the
+/// decode session has always used, which differs from [`dot_gather_q`]'s
+/// `(scale · query_scale) · keys.scale(r)` in the last bits. Keeping it
+/// pinned here is what lets `UNICAIM_KERNEL_BACKEND=scalar` reproduce
+/// pre-dispatch decode trajectories bit-for-bit.
+fn dot_gather_q_scan<Q: QuantRows>(
+    backend: KernelBackend,
+    query_q: &[i8],
+    query_scale: f32,
+    keys: Q,
+    rows: &[usize],
+    scale: f32,
+    out: &mut [f32],
+) {
+    let dot = dot_i8_fn(backend);
+    for (&r, o) in rows.iter().zip(out.iter_mut()) {
+        *o = dot(query_q, keys.row(r)) as f32 * (query_scale * keys.scale(r) * scale);
+    }
+}
+
+/// Quantized twin of [`dot_gather_chunked`], using the resident-scan
+/// rescale order `(query_scale · keys.scale(r)) · scale` (see the note on
+/// the internal scan kernel: this is the decode session's historical
+/// association, so scalar-tier decode stays bit-compatible with the
+/// pre-dispatch kernel layer). Bit-identical for every worker count and
+/// chunk size, and — because the integer dot is exact and the rescale is
+/// shared scalar code — across every backend tier too.
+///
+/// # Panics
+///
+/// Panics if `rows.len() != out.len()`, `chunk_rows == 0`, or a row is
+/// out of range.
+#[allow(clippy::too_many_arguments)]
+pub fn dot_gather_q_chunked<Q: QuantRows + Sync>(
+    query_q: &[i8],
+    query_scale: f32,
+    keys: Q,
+    rows: &[usize],
+    scale: f32,
+    out: &mut [f32],
+    chunk_rows: usize,
+    workers: usize,
+) {
+    assert_eq!(rows.len(), out.len(), "gather output length mismatch");
+    assert!(chunk_rows > 0, "chunk_rows must be positive");
+    let backend = active_backend();
+    if workers <= 1 || rows.len() <= chunk_rows {
+        dot_gather_q_scan(backend, query_q, query_scale, keys, rows, scale, out);
+        return;
+    }
+    let threads = workers.min(rows.len().div_ceil(chunk_rows));
+    let jobs = Mutex::new(rows.chunks(chunk_rows).zip(out.chunks_mut(chunk_rows)));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let job = jobs.lock().expect("chunk queue poisoned").next();
+                let Some((rows_c, out_c)) = job else { break };
+                dot_gather_q_scan(backend, query_q, query_scale, keys, rows_c, scale, out_c);
+            });
+        }
+    });
 }
 
 /// Indices `0..n` ranked best-first under `cmp` (where `Ordering::Less`
@@ -651,6 +1323,44 @@ mod tests {
         let b: Vec<f32> = (0..37).map(|i| 1.5 - (i as f32) * 0.125).collect();
         let naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
         assert!((dot(&a, &b) - naive).abs() <= 1e-4 * naive.abs().max(1.0));
+    }
+
+    #[test]
+    fn backend_names_roundtrip_and_scalar_is_always_supported() {
+        for backend in KernelBackend::ALL {
+            assert_eq!(KernelBackend::from_name(backend.label()), Some(backend));
+        }
+        assert_eq!(KernelBackend::from_name("AVX2"), Some(KernelBackend::Avx2));
+        assert_eq!(KernelBackend::from_name("neon"), None);
+        assert!(KernelBackend::Scalar.is_supported());
+        assert!(KernelBackend::supported().contains(&KernelBackend::Scalar));
+        assert!(active_backend().is_supported());
+        assert!(KernelBackend::detect().is_supported());
+    }
+
+    #[test]
+    fn unsupported_backend_clamps_to_scalar_dispatch() {
+        // Whatever the host, asking every tier for a dot must run (clamp
+        // guarantees unsupported tiers degrade to scalar, never UB) and
+        // the scalar tier must equal the un-suffixed reference exactly
+        // when it is the active backend's clamped target.
+        let a: Vec<f32> = (0..19).map(|i| (i as f32) * 0.5 - 4.0).collect();
+        let b: Vec<f32> = (0..19).map(|i| 2.0 - (i as f32) * 0.25).collect();
+        let scalar = dot_with(KernelBackend::Scalar, &a, &b);
+        for backend in KernelBackend::ALL {
+            let d = dot_with(backend, &a, &b);
+            assert!((d - scalar).abs() <= 1e-4 * scalar.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn every_supported_tier_matches_scalar_i8_exactly() {
+        let a: Vec<i8> = (0..133).map(|i| ((i * 37) % 255) as i8).collect();
+        let b: Vec<i8> = (0..133).map(|i| ((i * 91) % 253) as i8).collect();
+        let scalar = dot_i8_with(KernelBackend::Scalar, &a, &b);
+        for backend in KernelBackend::supported() {
+            assert_eq!(dot_i8_with(backend, &a, &b), scalar, "{}", backend.label());
+        }
     }
 
     #[test]
@@ -784,6 +1494,44 @@ mod tests {
     }
 
     #[test]
+    fn quantize_is_bit_exact_on_every_tier() {
+        let src: Vec<f32> = (0..67)
+            .map(|i| ((i * 29) % 31) as f32 * 0.17 - 2.0)
+            .collect();
+        let mut expect_q = vec![0i8; src.len()];
+        let expect_scale = quantize_row_i8_with(KernelBackend::Scalar, &src, &mut expect_q);
+        for backend in KernelBackend::supported() {
+            let mut q = vec![0i8; src.len()];
+            let scale = quantize_row_i8_with(backend, &src, &mut q);
+            assert_eq!(
+                scale.to_bits(),
+                expect_scale.to_bits(),
+                "{}",
+                backend.label()
+            );
+            assert_eq!(q, expect_q, "{}", backend.label());
+        }
+    }
+
+    #[test]
+    fn arena_into_matches_allocating_form_and_reuses_capacity() {
+        let dim = 9;
+        let src: Vec<f32> = (0..6 * dim)
+            .map(|i| ((i * 31) % 17) as f32 * 0.2 - 1.5)
+            .collect();
+        let (q0, s0) = quantize_arena_i8(&src, dim);
+        let mut q = vec![7i8; 1024];
+        let mut s = vec![9.0f32; 1024];
+        let cap_q = q.capacity();
+        let cap_s = s.capacity();
+        quantize_arena_i8_into(&src, dim, &mut q, &mut s);
+        assert_eq!(q, q0);
+        assert_eq!(s, s0);
+        assert_eq!(q.capacity(), cap_q, "scratch capacity must be reused");
+        assert_eq!(s.capacity(), cap_s, "scratch capacity must be reused");
+    }
+
+    #[test]
     fn cell3_snap_uses_five_levels() {
         let src = [1.0f32, -1.0, 0.1, 0.6, -0.4];
         let mut q = [0i8; 5];
@@ -828,6 +1576,51 @@ mod tests {
         for (x, y) in a.iter().zip(&f) {
             assert!((x - y).abs() <= 0.05 * y.abs().max(1.0), "{a:?} vs {f:?}");
         }
+    }
+
+    #[test]
+    fn chunked_gather_is_identical_for_every_worker_count_and_chunk_size() {
+        let dim = 13;
+        let n = 57;
+        let keys: Vec<f32> = (0..n * dim)
+            .map(|i| ((i * 23) % 19) as f32 * 0.15 - 1.2)
+            .collect();
+        let query: Vec<f32> = (0..dim).map(|i| 0.6 - (i as f32) * 0.07).collect();
+        let view = RowView::contiguous(&keys, dim);
+        let rows: Vec<usize> = (0..n).rev().collect();
+        let mut reference = vec![0.0f32; n];
+        dot_gather(&query, view, &rows, 0.5, &mut reference);
+        for workers in [1usize, 2, 4] {
+            for chunk in [1usize, 3, 8, 64] {
+                let mut out = vec![0.0f32; n];
+                dot_gather_chunked(&query, view, &rows, 0.5, &mut out, chunk, workers);
+                assert_eq!(out, reference, "workers {workers} chunk {chunk}");
+            }
+        }
+        // Quantized twin: same partition-invariance, including vs its own
+        // sequential path.
+        let (qkeys, scales) = quantize_arena_i8(&keys, dim);
+        let qview = QuantRowView::contiguous(&qkeys, &scales, dim);
+        let mut qq = vec![0i8; dim];
+        let qscale = quantize_row_i8(&query, &mut qq);
+        let mut q_reference = vec![0.0f32; n];
+        dot_gather_q_chunked(&qq, qscale, qview, &rows, 0.5, &mut q_reference, 64, 1);
+        for workers in [2usize, 4] {
+            for chunk in [1usize, 3, 8] {
+                let mut out = vec![0.0f32; n];
+                dot_gather_q_chunked(&qq, qscale, qview, &rows, 0.5, &mut out, chunk, workers);
+                assert_eq!(out, q_reference, "workers {workers} chunk {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_gather_handles_empty_rows() {
+        let keys = [1.0f32, 2.0, 3.0, 4.0];
+        let view = RowView::contiguous(&keys, 2);
+        let mut out: Vec<f32> = Vec::new();
+        dot_gather_chunked(&[1.0, 1.0], view, &[], 1.0, &mut out, 16, 4);
+        assert!(out.is_empty());
     }
 
     #[test]

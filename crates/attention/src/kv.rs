@@ -273,6 +273,55 @@ impl KvStore {
         self.precision
     }
 
+    /// Switches the key-arena precision in place, rebuilding the quantized
+    /// shadow plane page by page from the retained exact `f32` keys.
+    /// Shared pages are copied first (the usual copy-on-write), so other
+    /// holders never observe the change; free rows stay all-zero with
+    /// scale 0 (a zero row quantizes to zeros with scale 0). A no-op when
+    /// the precision already matches.
+    ///
+    /// The [`Precision::Int8`] path runs the bulk
+    /// [`kernels::quantize_arena_i8_into`] over each page's contiguous key
+    /// plane, reusing one scratch pair across all pages — no per-page (or
+    /// per-row) allocation.
+    pub fn requantize(&mut self, precision: Precision) {
+        if precision == self.precision {
+            return;
+        }
+        self.precision = precision;
+        let dim = self.dim;
+        let mut q_scratch: Vec<i8> = Vec::new();
+        let mut s_scratch: Vec<f32> = Vec::new();
+        for idx in 0..self.pages.len() {
+            let page = self.page_mut(idx);
+            match precision {
+                Precision::F32 => {
+                    page.qkeys.fill(0);
+                    page.qscales.fill(0.0);
+                }
+                Precision::Int8 => {
+                    kernels::quantize_arena_i8_into(
+                        &page.keys,
+                        dim,
+                        &mut q_scratch,
+                        &mut s_scratch,
+                    );
+                    page.qkeys.copy_from_slice(&q_scratch);
+                    page.qscales.copy_from_slice(&s_scratch);
+                }
+                Precision::Cell3Bit => {
+                    for row in 0..page.qscales.len() {
+                        let base = row * dim;
+                        page.qscales[row] = kernels::quantize_row_cell3(
+                            &page.keys[base..base + dim],
+                            &mut page.qkeys[base..base + dim],
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     /// Vector dimension.
     #[must_use]
     pub fn dim(&self) -> usize {
@@ -693,6 +742,42 @@ mod tests {
         let mut ids = store.token_ids();
         ids.sort_unstable();
         assert_eq!(ids, vec![2, 3]);
+    }
+
+    #[test]
+    fn requantize_matches_store_built_at_target_precision() {
+        let dim = 7;
+        let build = |precision| {
+            let mut store = KvStore::with_precision(5, dim, precision);
+            for t in 0..4usize {
+                let key: Vec<f32> = (0..dim)
+                    .map(|i| ((t * dim + i) as f32) * 0.3 - 2.0)
+                    .collect();
+                let value: Vec<f32> = (0..dim).map(|i| (i as f32) - t as f32).collect();
+                store
+                    .append(KvEntry {
+                        token_id: t,
+                        key,
+                        value,
+                    })
+                    .unwrap();
+            }
+            store
+        };
+        for source in Precision::ALL {
+            for target in Precision::ALL {
+                let mut store = build(source);
+                store.requantize(target);
+                assert_eq!(store.precision(), target);
+                assert_eq!(
+                    store,
+                    build(target),
+                    "{} -> {}",
+                    source.label(),
+                    target.label()
+                );
+            }
+        }
     }
 
     #[test]

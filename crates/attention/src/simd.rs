@@ -1,0 +1,342 @@
+//! SIMD implementations of the kernel-layer primitives, selected at
+//! runtime by [`KernelBackend`](crate::kernels::KernelBackend) dispatch.
+//!
+//! This is the only module in the crate allowed to contain `unsafe` code
+//! (the crate root is `#![deny(unsafe_code)]`; this file scopes a single
+//! `allow`). The safety architecture is deliberately narrow:
+//!
+//! * Every intrinsic lives in a private `#[target_feature]`-gated `*_impl`
+//!   function whose body is safe except for bounds-commented unaligned
+//!   loads/stores.
+//! * Each `*_impl` is reachable only through the safe `pub(crate)` wrapper
+//!   directly below it, and the wrappers are only ever selected by
+//!   `kernels::KernelBackend` dispatch, which clamps any tier that
+//!   `is_x86_feature_detected!` did not confirm down to scalar. The
+//!   `unsafe` call in each wrapper discharges exactly that obligation.
+//!
+//! Determinism notes (the kernel-layer contract these implementations
+//! uphold — see the `crate::kernels` module docs for the user-facing
+//! statement):
+//!
+//! * `dot_f32_sse2` is **bit-identical** to the scalar kernel: it keeps
+//!   the scalar kernel's eight independent accumulators as two `__m128`
+//!   registers, performs the same multiply-then-add per element, reduces
+//!   the lanes in the same left-to-right order, and adds the scalar tail
+//!   last.
+//! * `dot_f32_avx2` uses FMA, which skips the per-product rounding; it may
+//!   differ from scalar by at most `2·n·ε·Σ|aᵢ·bᵢ|` with `ε = 2⁻²⁴` (each
+//!   path's forward error versus the exact sum is bounded by
+//!   `n·ε·Σ|aᵢ·bᵢ|` to first order, and FMA only removes rounding steps).
+//! * The `i8` dots are exact integer arithmetic on every tier (widening
+//!   `i8 → i16 → i32`; `_madd_epi16` pair-sums stay below `2·127²`), so
+//!   they are bit-identical to scalar by construction.
+//! * `axpy` on SSE2 performs the identical per-element multiply-then-add
+//!   (bit-identical to scalar); the AVX2 tier fuses it.
+//! * `maxabs` is exact for finite inputs on every tier (`max`/`abs`
+//!   introduce no rounding); non-finite inputs are outside the quantizer
+//!   contract and may reduce differently across tiers.
+#![allow(unsafe_code)]
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) use x86::*;
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use core::arch::x86_64::{
+        __m128i, _mm256_add_epi32, _mm256_cvtepi8_epi16, _mm256_fmadd_ps, _mm256_loadu_ps,
+        _mm256_madd_epi16, _mm256_max_ps, _mm256_set1_ps, _mm256_setzero_ps, _mm256_setzero_si256,
+        _mm256_storeu_ps, _mm256_storeu_si256, _mm_add_epi32, _mm_add_ps, _mm_andnot_ps,
+        _mm_loadu_ps, _mm_loadu_si128, _mm_madd_epi16, _mm_max_ps, _mm_mul_ps, _mm_set1_ps,
+        _mm_setzero_ps, _mm_setzero_si128, _mm_srai_epi16, _mm_storeu_ps, _mm_storeu_si128,
+        _mm_unpackhi_epi8, _mm_unpacklo_epi8,
+    };
+
+    use crate::kernels::LANES;
+
+    /// i8 elements consumed per vectorized step of the integer dots.
+    const I8_STRIDE: usize = 16;
+
+    // ---------------------------------------------------------------
+    // SSE2 tier
+    // ---------------------------------------------------------------
+
+    /// f32 dot product, bit-identical to `kernels::dot_scalar`: the scalar
+    /// kernel's `LANES = 8` accumulators live in two `__m128` registers
+    /// (lanes 0–3 and 4–7), each element sees the same multiply-then-add,
+    /// and the reduction order (lane 0 → lane 7, then the tail) matches.
+    pub(crate) fn dot_f32_sse2(a: &[f32], b: &[f32]) -> f32 {
+        // SAFETY: only reachable via `KernelBackend` dispatch, which
+        // clamps to scalar unless `is_x86_feature_detected!("sse2")`.
+        unsafe { dot_f32_sse2_impl(a, b) }
+    }
+
+    #[target_feature(enable = "sse2")]
+    fn dot_f32_sse2_impl(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len().min(b.len());
+        let chunks = n / LANES;
+        let mut acc_lo = _mm_setzero_ps();
+        let mut acc_hi = _mm_setzero_ps();
+        for c in 0..chunks {
+            let base = c * LANES;
+            // SAFETY: `base + 8 <= chunks * LANES <= n`, in bounds of both.
+            unsafe {
+                let a_lo = _mm_loadu_ps(a.as_ptr().add(base));
+                let a_hi = _mm_loadu_ps(a.as_ptr().add(base + 4));
+                let b_lo = _mm_loadu_ps(b.as_ptr().add(base));
+                let b_hi = _mm_loadu_ps(b.as_ptr().add(base + 4));
+                acc_lo = _mm_add_ps(acc_lo, _mm_mul_ps(a_lo, b_lo));
+                acc_hi = _mm_add_ps(acc_hi, _mm_mul_ps(a_hi, b_hi));
+            }
+        }
+        let mut lanes = [0.0f32; LANES];
+        // SAFETY: `lanes` holds exactly two 4-lane stores.
+        unsafe {
+            _mm_storeu_ps(lanes.as_mut_ptr(), acc_lo);
+            _mm_storeu_ps(lanes.as_mut_ptr().add(4), acc_hi);
+        }
+        let mut tail = 0.0f32;
+        for i in chunks * LANES..n {
+            tail += a[i] * b[i];
+        }
+        lanes.iter().sum::<f32>() + tail
+    }
+
+    /// Integer i8 dot, exact (bit-identical to scalar): bytes sign-extend
+    /// to `i16` via the unpack-with-self + arithmetic-shift idiom, pair-sum
+    /// through `_mm_madd_epi16` (each pair ≤ `2·127² = 32258`, far inside
+    /// `i16`-product `i32` range), and accumulate in four `i32` lanes.
+    pub(crate) fn dot_i8_sse2(a: &[i8], b: &[i8]) -> i32 {
+        // SAFETY: only reachable via `KernelBackend` dispatch, which
+        // clamps to scalar unless `is_x86_feature_detected!("sse2")`.
+        unsafe { dot_i8_sse2_impl(a, b) }
+    }
+
+    #[target_feature(enable = "sse2")]
+    fn dot_i8_sse2_impl(a: &[i8], b: &[i8]) -> i32 {
+        let n = a.len().min(b.len());
+        let chunks = n / I8_STRIDE;
+        let mut acc = _mm_setzero_si128();
+        for c in 0..chunks {
+            let base = c * I8_STRIDE;
+            // SAFETY: `base + 16 <= chunks * I8_STRIDE <= n`, in bounds.
+            unsafe {
+                let av = _mm_loadu_si128(a.as_ptr().add(base).cast::<__m128i>());
+                let bv = _mm_loadu_si128(b.as_ptr().add(base).cast::<__m128i>());
+                let a_lo = _mm_srai_epi16::<8>(_mm_unpacklo_epi8(av, av));
+                let a_hi = _mm_srai_epi16::<8>(_mm_unpackhi_epi8(av, av));
+                let b_lo = _mm_srai_epi16::<8>(_mm_unpacklo_epi8(bv, bv));
+                let b_hi = _mm_srai_epi16::<8>(_mm_unpackhi_epi8(bv, bv));
+                acc = _mm_add_epi32(acc, _mm_madd_epi16(a_lo, b_lo));
+                acc = _mm_add_epi32(acc, _mm_madd_epi16(a_hi, b_hi));
+            }
+        }
+        let mut lanes = [0i32; 4];
+        // SAFETY: `lanes` holds exactly one 128-bit store.
+        unsafe {
+            _mm_storeu_si128(lanes.as_mut_ptr().cast::<__m128i>(), acc);
+        }
+        let mut total: i32 = lanes.iter().sum();
+        for i in chunks * I8_STRIDE..n {
+            total += i32::from(a[i]) * i32::from(b[i]);
+        }
+        total
+    }
+
+    /// `out[i] += w · x[i]`, bit-identical to scalar: each element sees the
+    /// same independent multiply-then-add regardless of vector width.
+    pub(crate) fn axpy_sse2(w: f32, x: &[f32], out: &mut [f32]) {
+        // SAFETY: only reachable via `KernelBackend` dispatch, which
+        // clamps to scalar unless `is_x86_feature_detected!("sse2")`.
+        unsafe { axpy_sse2_impl(w, x, out) }
+    }
+
+    #[target_feature(enable = "sse2")]
+    fn axpy_sse2_impl(w: f32, x: &[f32], out: &mut [f32]) {
+        let n = x.len().min(out.len());
+        let chunks = n / 4;
+        let wv = _mm_set1_ps(w);
+        for c in 0..chunks {
+            let base = c * 4;
+            // SAFETY: `base + 4 <= n`, in bounds of both slices.
+            unsafe {
+                let xv = _mm_loadu_ps(x.as_ptr().add(base));
+                let ov = _mm_loadu_ps(out.as_ptr().add(base));
+                _mm_storeu_ps(
+                    out.as_mut_ptr().add(base),
+                    _mm_add_ps(ov, _mm_mul_ps(wv, xv)),
+                );
+            }
+        }
+        for i in chunks * 4..n {
+            out[i] += w * x[i];
+        }
+    }
+
+    /// Max-abs reduction, exact for finite inputs (`max`/`abs` introduce no
+    /// rounding; the fold starts at `+0.0` like the scalar kernel).
+    pub(crate) fn maxabs_sse2(src: &[f32]) -> f32 {
+        // SAFETY: only reachable via `KernelBackend` dispatch, which
+        // clamps to scalar unless `is_x86_feature_detected!("sse2")`.
+        unsafe { maxabs_sse2_impl(src) }
+    }
+
+    #[target_feature(enable = "sse2")]
+    fn maxabs_sse2_impl(src: &[f32]) -> f32 {
+        let chunks = src.len() / 4;
+        let sign = _mm_set1_ps(-0.0);
+        let mut acc = _mm_setzero_ps();
+        for c in 0..chunks {
+            // SAFETY: `c * 4 + 4 <= src.len()`, in bounds.
+            unsafe {
+                let v = _mm_loadu_ps(src.as_ptr().add(c * 4));
+                acc = _mm_max_ps(acc, _mm_andnot_ps(sign, v));
+            }
+        }
+        let mut lanes = [0.0f32; 4];
+        // SAFETY: `lanes` holds exactly one 4-lane store.
+        unsafe {
+            _mm_storeu_ps(lanes.as_mut_ptr(), acc);
+        }
+        let mut m = lanes.iter().fold(0.0f32, |m, &x| m.max(x));
+        for &x in &src[chunks * 4..] {
+            m = m.max(x.abs());
+        }
+        m
+    }
+
+    // ---------------------------------------------------------------
+    // AVX2 + FMA tier
+    // ---------------------------------------------------------------
+
+    /// f32 dot product over one 8-lane FMA accumulator. Lane `l`
+    /// accumulates exactly the elements scalar lane `l` does and the
+    /// reduction order matches, so the only divergence from scalar is the
+    /// fused rounding — bounded by `2·n·ε·Σ|aᵢ·bᵢ|`, `ε = 2⁻²⁴`.
+    pub(crate) fn dot_f32_avx2(a: &[f32], b: &[f32]) -> f32 {
+        // SAFETY: only reachable via `KernelBackend` dispatch, which
+        // clamps to scalar unless avx2+fma were detected.
+        unsafe { dot_f32_avx2_impl(a, b) }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    fn dot_f32_avx2_impl(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len().min(b.len());
+        let chunks = n / LANES;
+        let mut acc = _mm256_setzero_ps();
+        for c in 0..chunks {
+            let base = c * LANES;
+            // SAFETY: `base + 8 <= chunks * LANES <= n`, in bounds of both.
+            unsafe {
+                let av = _mm256_loadu_ps(a.as_ptr().add(base));
+                let bv = _mm256_loadu_ps(b.as_ptr().add(base));
+                acc = _mm256_fmadd_ps(av, bv, acc);
+            }
+        }
+        let mut lanes = [0.0f32; LANES];
+        // SAFETY: `lanes` holds exactly one 8-lane store.
+        unsafe {
+            _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+        }
+        let mut tail = 0.0f32;
+        for i in chunks * LANES..n {
+            tail += a[i] * b[i];
+        }
+        lanes.iter().sum::<f32>() + tail
+    }
+
+    /// Integer i8 dot, exact (bit-identical to scalar): 16 bytes at a time
+    /// sign-extend to `i16` via `_mm256_cvtepi8_epi16`, pair-sum through
+    /// `_mm256_madd_epi16`, and accumulate in eight `i32` lanes.
+    pub(crate) fn dot_i8_avx2(a: &[i8], b: &[i8]) -> i32 {
+        // SAFETY: only reachable via `KernelBackend` dispatch, which
+        // clamps to scalar unless avx2+fma were detected.
+        unsafe { dot_i8_avx2_impl(a, b) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    fn dot_i8_avx2_impl(a: &[i8], b: &[i8]) -> i32 {
+        let n = a.len().min(b.len());
+        let chunks = n / I8_STRIDE;
+        let mut acc = _mm256_setzero_si256();
+        for c in 0..chunks {
+            let base = c * I8_STRIDE;
+            // SAFETY: `base + 16 <= chunks * I8_STRIDE <= n`, in bounds.
+            unsafe {
+                let av = _mm_loadu_si128(a.as_ptr().add(base).cast::<__m128i>());
+                let bv = _mm_loadu_si128(b.as_ptr().add(base).cast::<__m128i>());
+                let a16 = _mm256_cvtepi8_epi16(av);
+                let b16 = _mm256_cvtepi8_epi16(bv);
+                acc = _mm256_add_epi32(acc, _mm256_madd_epi16(a16, b16));
+            }
+        }
+        let mut lanes = [0i32; 8];
+        // SAFETY: `lanes` holds exactly one 256-bit store.
+        unsafe {
+            _mm256_storeu_si256(lanes.as_mut_ptr().cast(), acc);
+        }
+        let mut total: i32 = lanes.iter().sum();
+        for i in chunks * I8_STRIDE..n {
+            total += i32::from(a[i]) * i32::from(b[i]);
+        }
+        total
+    }
+
+    /// `out[i] = fma(w, x[i], out[i])` — fused on this tier, so each
+    /// element may differ from scalar by one rounding (≤ 1 ulp).
+    pub(crate) fn axpy_avx2(w: f32, x: &[f32], out: &mut [f32]) {
+        // SAFETY: only reachable via `KernelBackend` dispatch, which
+        // clamps to scalar unless avx2+fma were detected.
+        unsafe { axpy_avx2_impl(w, x, out) }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    fn axpy_avx2_impl(w: f32, x: &[f32], out: &mut [f32]) {
+        let n = x.len().min(out.len());
+        let chunks = n / LANES;
+        let wv = _mm256_set1_ps(w);
+        for c in 0..chunks {
+            let base = c * LANES;
+            // SAFETY: `base + 8 <= n`, in bounds of both slices.
+            unsafe {
+                let xv = _mm256_loadu_ps(x.as_ptr().add(base));
+                let ov = _mm256_loadu_ps(out.as_ptr().add(base));
+                _mm256_storeu_ps(out.as_mut_ptr().add(base), _mm256_fmadd_ps(wv, xv, ov));
+            }
+        }
+        for i in chunks * LANES..n {
+            // Keep the tail fused too, so the whole tier is uniform.
+            out[i] = w.mul_add(x[i], out[i]);
+        }
+    }
+
+    /// Max-abs reduction, exact for finite inputs.
+    pub(crate) fn maxabs_avx2(src: &[f32]) -> f32 {
+        // SAFETY: only reachable via `KernelBackend` dispatch, which
+        // clamps to scalar unless avx2+fma were detected.
+        unsafe { maxabs_avx2_impl(src) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    fn maxabs_avx2_impl(src: &[f32]) -> f32 {
+        let chunks = src.len() / LANES;
+        let sign = _mm256_set1_ps(-0.0);
+        let mut acc = _mm256_setzero_ps();
+        for c in 0..chunks {
+            // SAFETY: `c * 8 + 8 <= src.len()`, in bounds.
+            unsafe {
+                let v = _mm256_loadu_ps(src.as_ptr().add(c * LANES));
+                acc = _mm256_max_ps(acc, core::arch::x86_64::_mm256_andnot_ps(sign, v));
+            }
+        }
+        let mut lanes = [0.0f32; LANES];
+        // SAFETY: `lanes` holds exactly one 8-lane store.
+        unsafe {
+            _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+        }
+        let mut m = lanes.iter().fold(0.0f32, |m, &x| m.max(x));
+        for &x in &src[chunks * LANES..] {
+            m = m.max(x.abs());
+        }
+        m
+    }
+}

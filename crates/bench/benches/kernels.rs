@@ -171,6 +171,16 @@ fn bench_flat_kernels(c: &mut Criterion) {
             black_box(&out);
         });
     });
+    group.bench_function("quantize_arena_i8_into/576x128", |b| {
+        // The requantize hot path: whole-arena quantization into reused
+        // scratch (no per-call allocation after warm-up).
+        let mut q = Vec::new();
+        let mut s = Vec::new();
+        b.iter(|| {
+            kernels::quantize_arena_i8_into(keys.as_slice(), dim, &mut q, &mut s);
+            black_box((&q, &s));
+        });
+    });
     group.finish();
 }
 

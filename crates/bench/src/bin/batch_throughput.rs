@@ -37,7 +37,7 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 use unicaim_attention::workloads::{mixed_batch, DecodeWorkload};
-use unicaim_bench::{banner, dump_json, json_output_path};
+use unicaim_bench::{banner, dump_json, json_output_path, HostProvenance};
 use unicaim_kvcache::{
     prefill_attention_matrix, simulate_batch, BatchConfig, DecodeEngine, EngineConfig, PolicySpec,
     SchedulerSpec,
@@ -116,12 +116,31 @@ struct SpeedupRow {
     speedup: f64,
 }
 
-/// The full dump when a baseline is given: before, after, and the ratio.
+/// The full dump when a baseline is given: the measuring host, before,
+/// after, and the ratio.
 #[derive(Debug, Serialize)]
 struct Comparison {
+    host: HostProvenance,
     baseline: Vec<Row>,
     current: Vec<Row>,
     decode_speedup: Vec<SpeedupRow>,
+}
+
+/// The plain `--json` dump (no baseline): the measuring host plus the
+/// sweep rows. `--baseline` still accepts the bare pre-provenance row
+/// array alongside this schema.
+#[derive(Debug, Serialize, Deserialize)]
+struct ThroughputDump {
+    host: HostProvenance,
+    rows: Vec<Row>,
+}
+
+/// The saved scheduler comparison: the measuring host plus the
+/// Sequential-vs-WorkerPool cells.
+#[derive(Debug, Serialize)]
+struct SchedulerDump {
+    host: HostProvenance,
+    rows: Vec<SchedulerRow>,
 }
 
 /// One (policy, batch size) cell of the Sequential-vs-WorkerPool scheduler
@@ -171,10 +190,8 @@ fn scheduler_tokens_per_sec(
 
 /// Runs the Sequential-vs-WorkerPool comparison at the larger batch sizes
 /// (where there are sequences to fan out) and prints/returns the rows.
-fn scheduler_comparison() -> Vec<SchedulerRow> {
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
+fn scheduler_comparison(host: &HostProvenance) -> Vec<SchedulerRow> {
+    let workers = host.nproc;
     if workers == 1 {
         println!(
             "\nWARNING: only 1 worker thread available — the WorkerPool degenerates \
@@ -182,6 +199,7 @@ fn scheduler_comparison() -> Vec<SchedulerRow> {
              says nothing about the scheduler."
         );
     }
+    host.warn_if_scalar();
     println!(
         "\nscheduler comparison (decode phase only, sessions admitted untimed; \
          {workers} worker threads available):"
@@ -243,7 +261,10 @@ fn save_path() -> Option<String> {
     )
 }
 
-/// Parses `--baseline <path>` and loads the saved rows, if given.
+/// Parses `--baseline <path>` and loads the saved rows, if given. Accepts
+/// both the bare pre-provenance row array (e.g.
+/// `results/baselines/batch_throughput_pre.json`) and the
+/// provenance-stamped [`ThroughputDump`] this binary writes today.
 fn load_baseline() -> Option<Vec<Row>> {
     let args: Vec<String> = std::env::args().collect();
     let path = args
@@ -252,7 +273,10 @@ fn load_baseline() -> Option<Vec<Row>> {
         .and_then(|i| args.get(i + 1))?;
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
-    Some(serde_json::from_str(&text).expect("baseline rows must parse"))
+    Some(serde_json::from_str(&text).unwrap_or_else(|_| {
+        let dump: ThroughputDump = serde_json::from_str(&text).expect("baseline rows must parse");
+        dump.rows
+    }))
 }
 
 fn main() {
@@ -260,6 +284,8 @@ fn main() {
         "batch_throughput",
         "Batched decode throughput and aggregate fidelity",
     );
+    let host = HostProvenance::capture();
+    println!("kernel backend `{}`, nproc {}", host.backend, host.nproc);
     println!(
         "mixed needle/multi-hop/summary batch, base prompt {BASE_PREFILL} tokens, \
          {SHARE} shared slots per sequence, top-{K} selection\n"
@@ -338,9 +364,15 @@ fn main() {
          matrix) that the harness builds per sequence."
     );
 
-    let scheduler_rows = scheduler_comparison();
+    let scheduler_rows = scheduler_comparison(&host);
     if let Some(path) = save_path() {
-        dump_json(std::path::Path::new(&path), &scheduler_rows);
+        dump_json(
+            std::path::Path::new(&path),
+            &SchedulerDump {
+                host: host.clone(),
+                rows: scheduler_rows,
+            },
+        );
         println!("\nscheduler comparison saved to {path}");
     }
 
@@ -370,13 +402,14 @@ fn main() {
                 dump_json(
                     &path,
                     &Comparison {
+                        host,
                         baseline: baseline_rows,
                         current: rows,
                         decode_speedup,
                     },
                 );
             }
-            None => dump_json(&path, &rows),
+            None => dump_json(&path, &ThroughputDump { host, rows }),
         }
     }
 }

@@ -20,13 +20,19 @@
 //! * `--baseline-dir <dir>` — read/write baselines somewhere else
 //!   (default `results/baselines`).
 //!
+//! Baselines are stamped with the host that recorded them (the active
+//! kernel dispatch tier and `nproc`); pre-provenance baselines (a bare
+//! row array) still parse. The `simd_speedup` suite is only compared
+//! when the baseline's tier matches the current host's — speedup ratios
+//! recorded under AVX2 say nothing about a scalar-tier rerun.
+//!
 //! Run with: `cargo run --release -p unicaim-bench --bin bench_check`
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use unicaim_bench::banner;
-use unicaim_bench::suite::{measure, suite, BaselineRow, SUITE_NAMES};
+use unicaim_bench::suite::{measure, suite, BaselineFile, BaselineRow, SUITE_NAMES};
+use unicaim_bench::{banner, HostProvenance};
 
 struct Options {
     save: bool,
@@ -99,14 +105,46 @@ fn run_suite(suite_name: &str) -> Vec<BaselineRow> {
 }
 
 fn save(opts: &Options) {
+    let host = HostProvenance::capture();
+    println!(
+        "recording on backend `{}`, nproc {}",
+        host.backend, host.nproc
+    );
+    host.warn_if_scalar();
     for suite_name in &opts.suites {
         println!("recording suite `{suite_name}`:");
         let rows = run_suite(suite_name);
-        unicaim_bench::dump_json(&baseline_path(&opts.baseline_dir, suite_name), &rows);
+        unicaim_bench::dump_json(
+            &baseline_path(&opts.baseline_dir, suite_name),
+            &BaselineFile {
+                host: host.clone(),
+                rows,
+            },
+        );
     }
 }
 
+/// Parses a baseline file: the provenance-stamped [`BaselineFile`] schema,
+/// falling back to the bare `Vec<BaselineRow>` written before host
+/// provenance existed (attributed to an `"unknown"` backend, which the
+/// `simd_speedup` cross-tier skip treats as a mismatch).
+fn parse_baseline(text: &str) -> BaselineFile {
+    serde_json::from_str(text).unwrap_or_else(|_| BaselineFile {
+        host: HostProvenance {
+            backend: "unknown".to_owned(),
+            nproc: 0,
+        },
+        rows: serde_json::from_str(text).expect("baseline JSON must parse"),
+    })
+}
+
 fn check(opts: &Options) -> bool {
+    let host = HostProvenance::capture();
+    println!(
+        "checking on backend `{}`, nproc {}",
+        host.backend, host.nproc
+    );
+    host.warn_if_scalar();
     let mut regressed = false;
     for suite_name in &opts.suites {
         let path = baseline_path(&opts.baseline_dir, suite_name);
@@ -116,9 +154,23 @@ fn check(opts: &Options) -> bool {
                 path.display()
             )
         });
-        let baseline: Vec<BaselineRow> =
-            serde_json::from_str(&text).expect("baseline JSON must parse");
-        println!("checking suite `{suite_name}` against {}:", path.display());
+        let baseline_file = parse_baseline(&text);
+        if suite_name == "simd_speedup" && baseline_file.host.backend != host.backend {
+            println!(
+                "skipping suite `simd_speedup`: baseline was recorded on backend \
+                 `{}` but this host dispatches `{}` — speedup ratios are only \
+                 comparable within one tier (refresh with `bench_check --save`)",
+                baseline_file.host.backend, host.backend
+            );
+            continue;
+        }
+        let baseline = baseline_file.rows;
+        println!(
+            "checking suite `{suite_name}` against {} (recorded on backend `{}`, nproc {}):",
+            path.display(),
+            baseline_file.host.backend,
+            baseline_file.host.nproc
+        );
         println!(
             "  {:<40} {:>12} {:>12} {:>7} {:>8}  status",
             "case", "baseline", "fresh", "ratio", "tol"

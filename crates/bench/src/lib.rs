@@ -16,6 +16,51 @@ pub mod suite;
 use std::io::Write as _;
 use std::path::PathBuf;
 
+/// Host provenance stamped into benchmark JSON dumps: which kernel
+/// dispatch tier produced the numbers and how many cores were available.
+///
+/// Wall-clock figures recorded on an AVX2 host are not comparable to a
+/// scalar-tier re-measurement (and vice versa), so every saved baseline
+/// and throughput dump carries this record; `bench_check` uses it to skip
+/// cross-tier comparisons of the `simd_speedup` suite.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct HostProvenance {
+    /// Active kernel dispatch tier label (`"scalar"`, `"sse2"`, `"avx2"`)
+    /// — the runtime-detected tier, or the `UNICAIM_KERNEL_BACKEND`
+    /// override when one is set.
+    pub backend: String,
+    /// Available parallelism (`nproc`) at record time.
+    pub nproc: usize,
+}
+
+impl HostProvenance {
+    /// Captures the current host: the active kernel backend and core
+    /// count.
+    #[must_use]
+    pub fn capture() -> Self {
+        Self {
+            backend: unicaim_attention::active_backend().label().to_owned(),
+            nproc: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    }
+
+    /// Prints a warning (styled like the scheduler's `workers == 1`
+    /// warning) when the measurement is running on the scalar tier: the
+    /// `simd_speedup` figures degenerate to ~1.0x there and wall-clock
+    /// numbers are not comparable to SIMD-tier hosts.
+    pub fn warn_if_scalar(&self) {
+        if self.backend == "scalar" {
+            println!(
+                "\nWARNING: kernel dispatch resolved to the scalar tier (set or \
+                 detected) — SIMD speedup figures will read ~1.0x and wall-clock \
+                 numbers are not comparable to SIMD-tier hosts."
+            );
+        }
+    }
+}
+
 /// Parses the common `--json <path>` CLI option.
 #[must_use]
 pub fn json_output_path() -> Option<PathBuf> {

@@ -12,7 +12,7 @@
 //!   per-case tolerance in *both* directions — drift either way is a
 //!   behavior change, not noise.
 //!
-//! Five suites:
+//! Six suites:
 //!
 //! * `kernels` — the flat-layout kernels and the CAM search underneath
 //!   `UniCaimArray::cam_top_k`;
@@ -22,7 +22,11 @@
 //! * `saturation` — tick-domain latency/throughput percentiles of the
 //!   shared serving scenario ([`crate::serving`]);
 //! * `prefix_reuse` — shared-prefix splice counters and the modeled
-//!   prefill-work reduction of the paging scenario ([`crate::prefix`]).
+//!   prefill-work reduction of the paging scenario ([`crate::prefix`]);
+//! * `simd_speedup` — scalar-vs-dispatched kernel throughput ratios plus
+//!   the detected dispatch tier (ratio cases short-circuit to exactly 1.0
+//!   on scalar-tier hosts; `bench_check` compares the suite only within
+//!   one tier).
 //!
 //! `bench_check --save` records each case's figure (and its per-case
 //! tolerance, when one is set) to `results/baselines/<suite>.json`; a
@@ -174,13 +178,27 @@ pub struct BaselineRow {
     pub tolerance: Option<f64>,
 }
 
+/// One saved baseline file: the host that recorded it plus the rows.
+///
+/// Baselines recorded before host provenance existed are a bare
+/// `Vec<BaselineRow>`; `bench_check` still parses those (defaulting the
+/// backend to `"unknown"`), so `--save` is a refresh, not a migration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaselineFile {
+    /// The host that recorded the rows (kernel tier + core count).
+    pub host: crate::HostProvenance,
+    /// The recorded figures.
+    pub rows: Vec<BaselineRow>,
+}
+
 /// The suite names, in run order.
-pub const SUITE_NAMES: [&str; 5] = [
+pub const SUITE_NAMES: [&str; 6] = [
     "kernels",
     "policies",
     "experiments",
     "saturation",
     "prefix_reuse",
+    "simd_speedup",
 ];
 
 /// Builds a suite by name.
@@ -196,6 +214,7 @@ pub fn suite(name: &str) -> Vec<Case> {
         "experiments" => experiments_suite(),
         "saturation" => saturation_suite(),
         "prefix_reuse" => prefix_reuse_suite(),
+        "simd_speedup" => simd_speedup_suite(),
         other => panic!("unknown suite `{other}` (expected one of {SUITE_NAMES:?})"),
     }
 }
@@ -323,6 +342,17 @@ fn kernels_suite() -> Vec<Case> {
                     &mut out,
                 );
                 std::hint::black_box(&out);
+            }
+        }),
+        Case::new("quantize_arena_i8_into/576x128", 50, {
+            // The requantize hot path: repeated whole-arena quantization
+            // into reused scratch (no per-call allocation after warm-up).
+            let keys = keys.clone();
+            let mut q = Vec::new();
+            let mut scales = Vec::new();
+            move || {
+                kernels::quantize_arena_i8_into(keys.as_slice(), dim, &mut q, &mut scales);
+                std::hint::black_box((&q, &scales));
             }
         }),
         Case::new("partial_top_k/576/k64", 500, move || {
@@ -543,9 +573,205 @@ fn prefix_reuse_suite() -> Vec<Case> {
     ]
 }
 
+/// Scalar-vs-dispatched kernel throughput ratios.
+///
+/// Each ratio case times the scalar tier and the *active* dispatch tier
+/// of one kernel over the standard 576×128 arena and reports
+/// `scalar_ns / dispatched_ns`. On a host where dispatch resolves to the
+/// scalar tier (including under a `UNICAIM_KERNEL_BACKEND=scalar`
+/// override) the two paths are the same code, so the figure is defined
+/// as exactly 1.0 and no timing runs — trivially ≥ 1.0 on scalar-only
+/// hosts, as the gate requires. The `backend_tier` case records the
+/// active tier itself (1 = scalar, 2 = sse2, 3 = avx2); `bench_check`
+/// additionally skips cross-tier comparisons of this suite, and the
+/// ratio cases carry a wide band (8x, two-sided) because each gates a
+/// ratio of two wall-clock medians.
+fn simd_speedup_suite() -> Vec<Case> {
+    use unicaim_attention::kernels::KernelBackend;
+
+    /// Two-sided tolerance of the ratio cases.
+    const RATIO_TOLERANCE: f64 = 8.0;
+
+    /// Median ns of `iters` calls — the same warm-up + sample schedule
+    /// as [`measure`]'s timed path, reused here because one *case*
+    /// needs two timings.
+    fn median_ns(iters: u64, mut run: impl FnMut()) -> f64 {
+        for _ in 0..iters {
+            run();
+        }
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..iters {
+                run();
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(f64::total_cmp);
+        samples[samples.len() / 2]
+    }
+
+    let dim = 128;
+    let rows = 576;
+    let k = 64;
+    let keys = Matrix::random_normal(rows, dim, 1.0, 11);
+    let values = Matrix::random_normal(rows, dim, 1.0, 12);
+    let query = Matrix::random_normal(1, dim, 1.0, 13);
+    let gathered: Vec<usize> = (0..k).map(|i| (i * 9) % rows).collect();
+    let backend = kernels::active_backend();
+
+    vec![
+        Case::metric(
+            "simd_speedup/backend_tier",
+            1.001,
+            "tier",
+            move || match backend {
+                KernelBackend::Scalar => 1.0,
+                KernelBackend::Sse2 => 2.0,
+                KernelBackend::Avx2 => 3.0,
+            },
+        ),
+        Case::metric(
+            "simd_speedup/dot_gather/576x128/k64",
+            RATIO_TOLERANCE,
+            "x",
+            {
+                let keys = keys.clone();
+                let query = query.clone();
+                let gathered = gathered.clone();
+                move || {
+                    if backend == KernelBackend::Scalar {
+                        return 1.0;
+                    }
+                    let mut out = vec![0.0f32; k];
+                    let mut run = |tier: KernelBackend| {
+                        median_ns(200, || {
+                            kernels::dot_gather_with(
+                                tier,
+                                query.row(0),
+                                RowView::contiguous(keys.as_slice(), dim),
+                                &gathered,
+                                0.088,
+                                &mut out,
+                            );
+                            std::hint::black_box(&out);
+                        })
+                    };
+                    let scalar_ns = run(KernelBackend::Scalar);
+                    let simd_ns = run(backend);
+                    scalar_ns / simd_ns.max(1e-9)
+                }
+            },
+        ),
+        Case::metric(
+            "simd_speedup/dot_gather_q/576x128/k64",
+            RATIO_TOLERANCE,
+            "x",
+            {
+                let (qkeys, qscales) = kernels::quantize_arena_i8(keys.as_slice(), dim);
+                let mut query_q = vec![0i8; dim];
+                let query_scale = kernels::quantize_row_i8(query.row(0), &mut query_q);
+                let gathered = gathered.clone();
+                move || {
+                    if backend == KernelBackend::Scalar {
+                        return 1.0;
+                    }
+                    let mut out = vec![0.0f32; k];
+                    let mut run = |tier: KernelBackend| {
+                        median_ns(200, || {
+                            kernels::dot_gather_q_with(
+                                tier,
+                                &query_q,
+                                query_scale,
+                                QuantRowView::contiguous(&qkeys, &qscales, dim),
+                                &gathered,
+                                0.088,
+                                &mut out,
+                            );
+                            std::hint::black_box(&out);
+                        })
+                    };
+                    let scalar_ns = run(KernelBackend::Scalar);
+                    let simd_ns = run(backend);
+                    scalar_ns / simd_ns.max(1e-9)
+                }
+            },
+        ),
+        Case::metric(
+            "simd_speedup/attend_gather/576x128/k64",
+            RATIO_TOLERANCE,
+            "x",
+            move || {
+                if backend == KernelBackend::Scalar {
+                    return 1.0;
+                }
+                let mut weights = Vec::with_capacity(k);
+                let mut out = vec![0.0f32; dim];
+                let mut run = |tier: KernelBackend| {
+                    median_ns(200, || {
+                        kernels::attend_gather_with(
+                            tier,
+                            query.row(0),
+                            RowView::contiguous(keys.as_slice(), dim),
+                            RowView::contiguous(values.as_slice(), dim),
+                            &gathered,
+                            0.088,
+                            &mut weights,
+                            &mut out,
+                        );
+                        std::hint::black_box(&out);
+                    })
+                };
+                let scalar_ns = run(KernelBackend::Scalar);
+                let simd_ns = run(backend);
+                scalar_ns / simd_ns.max(1e-9)
+            },
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn simd_speedup_ratios_are_at_least_one_on_scalar_and_positive_everywhere() {
+        use unicaim_attention::kernels::KernelBackend;
+        let mut cases = suite("simd_speedup");
+        for case in &mut cases {
+            assert!(case.is_metric());
+            let m = measure(case);
+            assert!(m.value.is_finite() && m.value > 0.0, "{}: {m:?}", case.name);
+            if kernels::active_backend() == KernelBackend::Scalar && m.unit == "x" {
+                assert_eq!(
+                    m.value, 1.0,
+                    "{}: scalar tier must short-circuit",
+                    case.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_file_roundtrips_with_host_provenance() {
+        let file = BaselineFile {
+            host: crate::HostProvenance {
+                backend: "avx2".into(),
+                nproc: 8,
+            },
+            rows: vec![BaselineRow {
+                name: "simd_speedup/backend_tier".into(),
+                value: 3.0,
+                unit: "tier".into(),
+                tolerance: Some(1.001),
+            }],
+        };
+        let text = serde_json::to_string_pretty(&file).unwrap();
+        assert!(text.contains("\"backend\": \"avx2\""), "{text}");
+        assert!(text.contains("\"nproc\": 8"), "{text}");
+        let back: BaselineFile = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, file);
+    }
 
     #[test]
     fn all_suites_build_and_have_unique_names() {

@@ -151,6 +151,16 @@ impl WorkerPool {
         sessions: &mut [DecodeSession<'w, 'p>],
         run_one: impl Fn(&mut DecodeSession<'w, 'p>) -> Result<(), HarnessError> + Sync,
     ) -> Result<(), HarnessError> {
+        // Batch-level parallelism caps at the number of sessions; any
+        // spare threads are granted to the sessions themselves, which fan
+        // their *intra-sequence* resident scans across chunks (bit-inert:
+        // the chunked reduction is partition-invariant, property-tested).
+        // A single long sequence on an 8-thread pool thus scans with all
+        // 8 threads instead of 1.
+        let scan_workers = (self.workers / sessions.len().max(1)).max(1);
+        for session in sessions.iter_mut() {
+            session.set_scan_workers(scan_workers);
+        }
         let workers = self.workers.min(sessions.len().max(1));
         if workers <= 1 {
             // No parallelism to exploit; skip the pool machinery.

@@ -440,6 +440,40 @@ proptest! {
             prop_assert_eq!(stats.collisions, 0);
         }
     }
+
+    /// The intra-sequence chunked resident scan is bit-inert: for every
+    /// shipped policy and every key-arena precision, decode under any
+    /// `(scan_workers, scan_chunk)` combination finishes with a
+    /// `SimResult` bit-identical to the sequential single-worker scan.
+    /// This is the session-level face of the kernel-level
+    /// partition-invariance property: chunking only changes which thread
+    /// writes each disjoint output slice, never the per-row arithmetic
+    /// or the reduction order.
+    #[test]
+    fn chunked_scan_decode_is_identical_for_every_worker_count(
+        seed in 0u64..200,
+        precision_idx in 0usize..3,
+    ) {
+        let precision = Precision::ALL[precision_idx];
+        let w = small_workload(seed, 48, 12);
+        let capacity = 32;
+        let k = 8;
+        let cfg = SimConfig::new(capacity, k).with_precision(precision);
+        for spec in policy_menu(capacity, k) {
+            let run = |workers: usize, chunk: usize| {
+                let mut session =
+                    DecodeSession::prefill_spec(&w, &spec, &cfg).expect("prefill");
+                session.set_scan_workers(workers);
+                session.set_scan_chunk(chunk);
+                session.run_to_completion().expect("run");
+                session.finish()
+            };
+            let reference = run(1, unicaim_attention::kernels::DEFAULT_SCAN_CHUNK);
+            for (workers, chunk) in [(1, 1), (2, 3), (2, 64), (4, 1), (4, 7)] {
+                prop_assert_eq!(&run(workers, chunk), &reference);
+            }
+        }
+    }
 }
 
 #[test]
