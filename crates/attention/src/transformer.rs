@@ -217,6 +217,35 @@ impl TinyTransformer {
         tokens: &[usize],
         head: usize,
     ) -> Result<(Matrix, Matrix), AttentionError> {
+        self.layer_qk(tokens, self.layers.len().saturating_sub(1), head)
+    }
+
+    /// Queries and keys of one head at an arbitrary `layer` depth: runs the
+    /// blocks below `layer` with residual connections, then projects the
+    /// hidden states through that layer's Q/K weights — the per-depth Q/K
+    /// streams a multi-layer decode stack prunes against.
+    ///
+    /// `layer_qk(tokens, n_layers - 1, head)` is exactly
+    /// [`TinyTransformer::last_layer_qk`].
+    ///
+    /// Returns `(queries, keys)`, each `seq × d_head`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors; rejects a bad layer or head index with
+    /// [`AttentionError::IndexOutOfRange`].
+    pub fn layer_qk(
+        &self,
+        tokens: &[usize],
+        layer: usize,
+        head: usize,
+    ) -> Result<(Matrix, Matrix), AttentionError> {
+        if layer >= self.layers.len() {
+            return Err(AttentionError::IndexOutOfRange {
+                index: layer,
+                len: self.layers.len(),
+            });
+        }
         let n_heads = self.config.n_heads;
         if head >= n_heads {
             return Err(AttentionError::IndexOutOfRange {
@@ -225,11 +254,8 @@ impl TinyTransformer {
             });
         }
         let mut hidden = self.embed(tokens)?;
-        for (l, layer) in self.layers[..self.layers.len().saturating_sub(1)]
-            .iter()
-            .enumerate()
-        {
-            let attn = layer.forward(&hidden)?;
+        for (l, below) in self.layers[..layer].iter().enumerate() {
+            let attn = below.forward(&hidden)?;
             for r in 0..hidden.rows() {
                 let row = hidden.row_mut(r);
                 for (h, &a) in row.iter_mut().zip(attn.row(r)) {
@@ -238,9 +264,9 @@ impl TinyTransformer {
             }
             self.post_block(l, &mut hidden)?;
         }
-        let last = self.layers.last().expect("at least one layer");
-        let q = last.project_q(&hidden)?;
-        let k = last.project_k(&hidden)?;
+        let target = &self.layers[layer];
+        let q = target.project_q(&hidden)?;
+        let k = target.project_k(&hidden)?;
         let dh = self.config.d_model / n_heads;
         let lo = head * dh;
         let mut qs = Matrix::zeros(tokens.len(), dh);
@@ -335,6 +361,38 @@ mod tests {
     fn bad_head_rejected() {
         let m = model();
         assert!(m.last_layer_qk(&[1, 2, 3], 4).is_err());
+        assert!(m.layer_qk(&[1, 2, 3], 0, 4).is_err());
+    }
+
+    #[test]
+    fn layer_qk_at_last_layer_matches_last_layer_qk() {
+        let m = model();
+        let tokens: Vec<usize> = (0..24).map(|i| (i * 17) % 256).collect();
+        let last = m.config().n_layers - 1;
+        assert_eq!(
+            m.layer_qk(&tokens, last, 1).unwrap(),
+            m.last_layer_qk(&tokens, 1).unwrap()
+        );
+    }
+
+    #[test]
+    fn layer_qk_differs_across_depths() {
+        let m = model();
+        let tokens: Vec<usize> = (0..16).map(|i| (i * 29) % 256).collect();
+        let (q0, k0) = m.layer_qk(&tokens, 0, 0).unwrap();
+        let (q1, k1) = m.layer_qk(&tokens, 1, 0).unwrap();
+        assert_eq!(q0.rows(), 16);
+        assert_ne!(q0, q1);
+        assert_ne!(k0, k1);
+    }
+
+    #[test]
+    fn bad_layer_rejected() {
+        let m = model();
+        assert_eq!(
+            m.layer_qk(&[1, 2, 3], 2, 0),
+            Err(AttentionError::IndexOutOfRange { index: 2, len: 2 })
+        );
     }
 
     #[test]

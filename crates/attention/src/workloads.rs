@@ -688,6 +688,125 @@ pub fn transformer_trace(prefill_len: usize, decode_len: usize, seed: u64) -> De
     }
 }
 
+/// Per-layer decode workloads for a K-layer attention stack with
+/// depth-varying retrieval difficulty — the workload shape the DepthKV /
+/// LAVa observation predicts: **front layers spread salient mass over many
+/// diffuse facts** (they need a large share of the KV budget to keep them
+/// all resident), while **deep layers concentrate on a couple of sharp
+/// facts** (a small share suffices). A budget allocator that front-loads
+/// the global budget should therefore beat a uniform split at equal total
+/// memory.
+///
+/// All layers share `prefill_len`/`decode_len` (a stacked decode steps
+/// every layer once per step) but draw from distinct seeds, and layer `l`
+/// is named `layer_stack#L<l>`. The number of planted facts interpolates
+/// from `max(2, prefill_len / 6)` at layer 0 down to 2 at the deepest
+/// layer; a single-layer stack (`n_layers == 1`) gets the front-layer
+/// workload.
+///
+/// # Panics
+///
+/// Panics if `n_layers == 0` or `prefill_len`/`decode_len` are too small
+/// to plant the facts (`prefill_len ≥ 16` and `decode_len ≥ 4` are safe).
+#[must_use]
+pub fn layer_stack_tasks(
+    n_layers: usize,
+    prefill_len: usize,
+    decode_len: usize,
+    seed: u64,
+) -> Vec<DecodeWorkload> {
+    assert!(n_layers > 0, "a layer stack needs at least one layer");
+    let max_facts = (prefill_len / 6).max(2);
+    let min_facts = 2usize;
+    (0..n_layers)
+        .map(|l| {
+            let depth = if n_layers > 1 {
+                l as f64 / (n_layers - 1) as f64
+            } else {
+                0.0
+            };
+            let n_facts = ((max_facts as f64) * (1.0 - depth) + (min_facts as f64) * depth)
+                .round()
+                .max(min_facts as f64) as usize;
+            let mut spec = base_spec(
+                "layer_stack",
+                prefill_len,
+                decode_len,
+                seed.wrapping_add(1 + 31 * l as u64),
+            );
+            spec.diffuse_salient = (0..n_facts)
+                .map(|i| spec.n_sinks + i * (prefill_len - spec.n_sinks - 1) / n_facts)
+                .collect();
+            let mut w = generate(&spec);
+            w.name = format!("{}#L{l}", w.name);
+            w
+        })
+        .collect()
+}
+
+/// Per-layer decode workloads traced from an actual (random-weight)
+/// [`crate::TinyTransformer`] with `n_layers` attention blocks: layer `l`'s
+/// queries and keys come from [`crate::TinyTransformer::layer_qk`] at depth
+/// `l`, so a stacked decode session sees genuinely depth-dependent softmax
+/// statistics (no planted structure — salient sets are empty; use for cost
+/// and entropy studies, not retrieval scoring).
+///
+/// # Panics
+///
+/// Panics if `n_layers == 0` or `prefill_len + decode_len` exceeds the
+/// transformer's maximum sequence length.
+#[must_use]
+pub fn transformer_stack_trace(
+    n_layers: usize,
+    prefill_len: usize,
+    decode_len: usize,
+    seed: u64,
+) -> Vec<DecodeWorkload> {
+    use crate::transformer::{TinyTransformer, TransformerConfig};
+    assert!(n_layers > 0, "a layer stack needs at least one layer");
+    let total = prefill_len + decode_len;
+    let model = TinyTransformer::new(
+        TransformerConfig {
+            n_layers,
+            ..TransformerConfig::default()
+        },
+        seed,
+    )
+    .expect("valid config");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x57AC);
+    let tokens: Vec<usize> = (0..total).map(|_| rng.gen_range(0..256)).collect();
+    (0..n_layers)
+        .map(|l| {
+            let (q, k) = model.layer_qk(&tokens, l, 0).expect("sequence fits");
+            let dim = q.cols();
+            let to_rows = |m: &Matrix, lo: usize, hi: usize| -> Vec<Vec<f32>> {
+                (lo..hi).map(|t| m.row(t).to_vec()).collect()
+            };
+            let values: Vec<Vec<f32>> = (0..total)
+                .map(|_| {
+                    let mut v = unit(&mut rng, dim);
+                    for x in &mut v {
+                        *x *= 0.5;
+                    }
+                    v
+                })
+                .collect();
+            DecodeWorkload {
+                name: format!("transformer_stack#L{l}"),
+                dim,
+                prefill_keys: to_rows(&k, 0, prefill_len),
+                prefill_values: values[..prefill_len].to_vec(),
+                prefill_queries: to_rows(&q, 0, prefill_len),
+                decode_queries: to_rows(&q, prefill_len, total),
+                decode_keys: to_rows(&k, prefill_len, total),
+                decode_values: values[prefill_len..].to_vec(),
+                salient_at: vec![BTreeSet::new(); decode_len],
+                answer_steps: Vec::new(),
+            }
+        })
+        .collect()
+}
+
 /// A structure-free workload with Zipf-distributed key popularity, used for
 /// hardware cost sweeps where only the score distribution matters.
 #[must_use]
@@ -737,6 +856,50 @@ mod tests {
             assert_eq!(w.decode_queries.len(), 12);
             assert!(w.salient_at.iter().any(|s| !s.is_empty()));
         }
+    }
+
+    #[test]
+    fn layer_stack_tasks_front_loads_salient_mass() {
+        let stack = layer_stack_tasks(4, 192, 16, 7);
+        assert_eq!(stack.len(), 4);
+        let fact_count = |w: &DecodeWorkload| {
+            let mut facts = BTreeSet::new();
+            for s in &w.salient_at {
+                facts.extend(s.iter().copied());
+            }
+            facts.len()
+        };
+        for (l, w) in stack.iter().enumerate() {
+            assert_eq!(w.name, format!("layer_stack#L{l}"));
+            assert_eq!(w.prefill_keys.len(), 192);
+            assert_eq!(w.decode_queries.len(), 16);
+            assert!(!w.answer_steps.is_empty());
+        }
+        // The workload plants more facts up front than at depth (the picks
+        // are random subsets, so compare the planted spec sizes loosely).
+        assert!(
+            fact_count(&stack[0]) > fact_count(&stack[3]),
+            "front layer must carry more distinct salient facts ({} vs {})",
+            fact_count(&stack[0]),
+            fact_count(&stack[3])
+        );
+        // Deterministic per seed; single-layer stacks are valid.
+        assert_eq!(stack, layer_stack_tasks(4, 192, 16, 7));
+        assert_eq!(layer_stack_tasks(1, 64, 8, 3).len(), 1);
+    }
+
+    #[test]
+    fn transformer_stack_trace_varies_by_depth() {
+        let stack = transformer_stack_trace(3, 48, 6, 11);
+        assert_eq!(stack.len(), 3);
+        for (l, w) in stack.iter().enumerate() {
+            assert_eq!(w.name, format!("transformer_stack#L{l}"));
+            assert_eq!(w.prefill_keys.len(), 48);
+            assert_eq!(w.decode_queries.len(), 6);
+            assert!(w.answer_steps.is_empty());
+        }
+        assert_ne!(stack[0].prefill_keys, stack[2].prefill_keys);
+        assert_eq!(stack, transformer_stack_trace(3, 48, 6, 11));
     }
 
     #[test]

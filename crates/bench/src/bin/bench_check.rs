@@ -111,6 +111,7 @@ fn save(opts: &Options) {
         host.backend, host.nproc
     );
     host.warn_if_scalar();
+    host.warn_if_single_core();
     for suite_name in &opts.suites {
         println!("recording suite `{suite_name}`:");
         let rows = run_suite(suite_name);
@@ -145,6 +146,7 @@ fn check(opts: &Options) -> bool {
         host.backend, host.nproc
     );
     host.warn_if_scalar();
+    host.warn_if_single_core();
     let mut regressed = false;
     for suite_name in &opts.suites {
         let path = baseline_path(&opts.baseline_dir, suite_name);

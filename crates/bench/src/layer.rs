@@ -1,0 +1,179 @@
+//! The shared layer-budget scenario behind the `layer_budget` sweep
+//! binary and the `layer_budget` regression suite.
+//!
+//! A K-layer [`LayerStackSession`](unicaim_kvcache::LayerStackSession)
+//! decodes the depth-profiled [`layer_stack_tasks`] workloads — front
+//! layers carry many diffuse salient facts, deep layers few — under one
+//! global KV budget split by each registered [`AllocatorSpec`]. The
+//! scenario's gate point is sized so the uniform split *starves the
+//! front layers*: facts evicted at prefill can never be retrieved later,
+//! so any allocator that front-loads budget (statically like
+//! `depth_decayed`, or dynamically like `entropy_dynamic`) beats
+//! `uniform` on retrieval accuracy and salient F1 at **equal total
+//! memory** — the PR's acceptance criterion, pinned by this module's
+//! tests and by the saved `layer_budget` baseline.
+//!
+//! Everything reported is deterministic: counters are machine-independent,
+//! and the fidelity means are pure simulation outputs (bit-stable for a
+//! given kernel backend; the regression suite gates them with a modestly
+//! wider band than the counters to absorb cross-backend float drift).
+
+use serde::{Deserialize, Serialize};
+use unicaim_attention::workloads::layer_stack_tasks;
+use unicaim_attention::Precision;
+use unicaim_kvcache::{simulate_stack, AllocatorSpec, PolicySpec, StackConfig, StackResult};
+
+/// Prompt length of every layer's workload.
+pub const PREFILL_LEN: usize = 96;
+/// Decode steps per layer (all layers advance in lockstep).
+pub const DECODE_LEN: usize = 16;
+/// Dynamic top-k width of every layer's policy.
+pub const K: usize = 8;
+/// Reserved decode slots per layer (the hybrid policy's `M`).
+pub const RESERVED_DECODE_SLOTS: usize = 8;
+/// Workload seed.
+pub const SEED: u64 = 0x1A7E;
+/// Layer count of the CI-gated point.
+pub const GATE_LAYERS: usize = 4;
+/// Global budget of the CI-gated point: 24 slots per layer under the
+/// uniform split — too few for the fact-heavy front layers, comfortable
+/// for the deep ones, so the split quality is what the figures measure.
+pub const GATE_GLOBAL_BUDGET: usize = 96;
+/// Stack depths the `layer_budget` binary sweeps.
+pub const LAYER_SWEEP: [usize; 3] = [2, 4, 6];
+/// Per-layer budget shares the binary sweeps (global = share × layers).
+pub const BUDGET_PER_LAYER_SWEEP: [usize; 3] = [20, 24, 32];
+
+/// The deterministic outcome of one sweep point: one allocator driving a
+/// K-layer stack over the depth-profiled workloads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerBudgetPoint {
+    /// Allocator display name.
+    pub allocator: String,
+    /// Policy display name (shared by every layer).
+    pub policy: String,
+    /// Stack depth.
+    pub layers: usize,
+    /// Global slot budget shared by the whole stack.
+    pub global_budget: usize,
+    /// Key-arena precision label of the run (`f32` / `int8` / `cell3`).
+    pub precision: String,
+    /// Mean per-layer retrieval accuracy (fraction of answer steps at
+    /// which every salient token was selected).
+    pub mean_retrieval_accuracy: f64,
+    /// Mean per-layer salient F1.
+    pub mean_salient_f1: f64,
+    /// Mean per-layer output cosine vs exact attention.
+    pub mean_output_cosine: f64,
+    /// Sum of per-layer mean resident tokens — the stack's steady-state
+    /// occupancy, comparable against `global_budget` (never above it).
+    pub total_mean_resident: f64,
+    /// Budget-moving reallocation events (0 for static allocators).
+    pub reallocations: u64,
+    /// Evictions summed over layers (per-step overflow plus
+    /// allocator-forced shrinks).
+    pub total_evictions: u64,
+    /// Final per-layer budget split (`Σ == global_budget`).
+    pub budgets: Vec<usize>,
+}
+
+/// The scenario's policy: the paper's hybrid scheme, re-sized per layer
+/// by the stack ([`PolicySpec::for_share`]).
+#[must_use]
+pub fn scenario_spec(layers: usize, global_budget: usize) -> PolicySpec {
+    PolicySpec::hybrid_for_share(global_budget / layers.max(1), RESERVED_DECODE_SLOTS, K)
+}
+
+/// Runs one sweep point: `layers` depth-profiled workloads decoded to
+/// completion under `allocator`'s split of `global_budget`.
+///
+/// # Panics
+///
+/// Panics if the fixed scenario shape is invalid or a layer violates the
+/// harness contract — both would be bugs in this crate.
+#[must_use]
+pub fn run_point(
+    allocator: &AllocatorSpec,
+    layers: usize,
+    global_budget: usize,
+    precision: Precision,
+) -> LayerBudgetPoint {
+    let workloads = layer_stack_tasks(layers, PREFILL_LEN, DECODE_LEN, SEED);
+    let spec = scenario_spec(layers, global_budget);
+    let config = StackConfig::new(global_budget, K)
+        .with_reserved_decode_slots(RESERVED_DECODE_SLOTS)
+        .with_precision(precision);
+    let result = simulate_stack(&workloads, &spec, allocator, &config)
+        .expect("scenario stacks uphold the harness contract");
+    point_from(precision, global_budget, &result)
+}
+
+fn point_from(
+    precision: Precision,
+    global_budget: usize,
+    result: &StackResult,
+) -> LayerBudgetPoint {
+    LayerBudgetPoint {
+        allocator: result.allocator.clone(),
+        policy: result.policy.clone(),
+        layers: result.per_layer.len(),
+        global_budget,
+        precision: precision.label().to_owned(),
+        mean_retrieval_accuracy: result.mean_retrieval_accuracy,
+        mean_salient_f1: result.mean_salient_f1,
+        mean_output_cosine: result.mean_output_cosine,
+        total_mean_resident: result.total_mean_resident,
+        reallocations: result.reallocations as u64,
+        total_evictions: result.metrics.layer_evictions.iter().sum(),
+        budgets: result.budgets.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gate_point(allocator: &AllocatorSpec) -> LayerBudgetPoint {
+        run_point(allocator, GATE_LAYERS, GATE_GLOBAL_BUDGET, Precision::F32)
+    }
+
+    #[test]
+    fn depth_decayed_beats_uniform_at_equal_total_memory() {
+        let uniform = gate_point(&AllocatorSpec::Uniform);
+        let decayed = gate_point(&AllocatorSpec::from_name("depth_decayed").unwrap());
+        assert_eq!(uniform.global_budget, decayed.global_budget);
+        // The PR's acceptance criterion: at the gate point a non-uniform
+        // split wins on retrieval accuracy AND salient F1, with a solid
+        // margin so cross-backend float drift cannot flip the comparison.
+        assert!(
+            decayed.mean_retrieval_accuracy > uniform.mean_retrieval_accuracy + 0.02,
+            "retrieval: decayed {:.4} vs uniform {:.4}",
+            decayed.mean_retrieval_accuracy,
+            uniform.mean_retrieval_accuracy
+        );
+        assert!(
+            decayed.mean_salient_f1 > uniform.mean_salient_f1 + 0.02,
+            "f1: decayed {:.4} vs uniform {:.4}",
+            decayed.mean_salient_f1,
+            uniform.mean_salient_f1
+        );
+    }
+
+    #[test]
+    fn entropy_dynamic_reallocates_and_respects_the_global_budget() {
+        let dynamic = gate_point(&AllocatorSpec::from_name("entropy_dynamic").unwrap());
+        assert!(dynamic.reallocations > 0, "{dynamic:?}");
+        assert_eq!(
+            dynamic.budgets.iter().sum::<usize>(),
+            GATE_GLOBAL_BUDGET,
+            "{dynamic:?}"
+        );
+        assert!(dynamic.total_mean_resident <= GATE_GLOBAL_BUDGET as f64);
+    }
+
+    #[test]
+    fn points_are_deterministic() {
+        let spec = AllocatorSpec::from_name("depth_decayed").unwrap();
+        assert_eq!(gate_point(&spec), gate_point(&spec));
+    }
+}

@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod layer;
 pub mod prefix;
 pub mod serving;
 pub mod suite;
@@ -56,6 +57,20 @@ impl HostProvenance {
                 "\nWARNING: kernel dispatch resolved to the scalar tier (set or \
                  detected) — SIMD speedup figures will read ~1.0x and wall-clock \
                  numbers are not comparable to SIMD-tier hosts."
+            );
+        }
+    }
+
+    /// Prints a warning (same style as [`HostProvenance::warn_if_scalar`]
+    /// and the scheduler's `workers == 1` warning) when only one core is
+    /// available: parallel speedups degenerate to ~1.0x there, and timed
+    /// figures are not comparable to multi-core hosts.
+    pub fn warn_if_single_core(&self) {
+        if self.nproc == 1 {
+            println!(
+                "\nWARNING: only 1 worker thread available — parallel speedups \
+                 will read ~1.0x and wall-clock figures are not comparable to \
+                 multi-core hosts."
             );
         }
     }

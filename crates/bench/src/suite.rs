@@ -191,15 +191,34 @@ pub struct BaselineFile {
     pub rows: Vec<BaselineRow>,
 }
 
-/// The suite names, in run order.
-pub const SUITE_NAMES: [&str; 6] = [
-    "kernels",
-    "policies",
-    "experiments",
-    "saturation",
-    "prefix_reuse",
-    "simd_speedup",
+/// A suite builder function: produces one suite's cases.
+pub type SuiteBuilder = fn() -> Vec<Case>;
+
+/// The suite registry: every suite name paired with its builder, in run
+/// order. Adding an entry here is the *whole* registration —
+/// [`SUITE_NAMES`] (and with it `bench_check`'s `--suite` validation and
+/// run-everything default) derives from this slice at compile time.
+pub const SUITE_REGISTRY: [(&str, SuiteBuilder); 7] = [
+    ("kernels", kernels_suite),
+    ("policies", policies_suite),
+    ("experiments", experiments_suite),
+    ("saturation", saturation_suite),
+    ("prefix_reuse", prefix_reuse_suite),
+    ("simd_speedup", simd_speedup_suite),
+    ("layer_budget", layer_budget_suite),
 ];
+
+/// The suite names, in run order (derived from [`SUITE_REGISTRY`], so it
+/// can never drift from the buildable suites).
+pub const SUITE_NAMES: [&str; SUITE_REGISTRY.len()] = {
+    let mut names = [""; SUITE_REGISTRY.len()];
+    let mut i = 0;
+    while i < SUITE_REGISTRY.len() {
+        names[i] = SUITE_REGISTRY[i].0;
+        i += 1;
+    }
+    names
+};
 
 /// Builds a suite by name.
 ///
@@ -208,15 +227,12 @@ pub const SUITE_NAMES: [&str; 6] = [
 /// Panics on an unknown suite name (see [`SUITE_NAMES`]).
 #[must_use]
 pub fn suite(name: &str) -> Vec<Case> {
-    match name {
-        "kernels" => kernels_suite(),
-        "policies" => policies_suite(),
-        "experiments" => experiments_suite(),
-        "saturation" => saturation_suite(),
-        "prefix_reuse" => prefix_reuse_suite(),
-        "simd_speedup" => simd_speedup_suite(),
-        other => panic!("unknown suite `{other}` (expected one of {SUITE_NAMES:?})"),
+    for (registered, build) in SUITE_REGISTRY {
+        if registered == name {
+            return build();
+        }
     }
+    panic!("unknown suite `{name}` (expected one of {SUITE_NAMES:?})")
 }
 
 fn filled_array(rows: usize, dim: usize) -> UniCaimArray {
@@ -730,9 +746,132 @@ fn simd_speedup_suite() -> Vec<Case> {
     ]
 }
 
+/// The layer-budget allocation suite: fidelity and behavior figures of
+/// the CI-gated [`crate::layer`] scenario point, one run per registered
+/// allocator (shared across the suite's cases via a lazy cell).
+///
+/// The `*_margin` rows pin the PR's acceptance criterion — the
+/// non-uniform splits' retrieval/F1 *advantage* over `uniform` at equal
+/// total memory — so a regression that collapses the win fails even if
+/// every absolute figure stays in band. Counter rows carry the tight
+/// [`METRIC_TOLERANCE`](crate::serving::METRIC_TOLERANCE); fidelity means
+/// carry a modestly wider two-sided band (they are pure simulation
+/// outputs, bit-stable per kernel backend, but a future backend tier may
+/// drift them by floats-association noise).
+fn layer_budget_suite() -> Vec<Case> {
+    use crate::layer::LayerBudgetPoint;
+    use unicaim_kvcache::AllocatorSpec;
+
+    /// Two-sided tolerance of the fidelity-mean cases.
+    const FIDELITY_TOLERANCE: f64 = 1.05;
+
+    struct GatePoints {
+        uniform: LayerBudgetPoint,
+        depth_decayed: LayerBudgetPoint,
+        entropy_dynamic: LayerBudgetPoint,
+    }
+
+    let shared: Rc<OnceCell<GatePoints>> = Rc::new(OnceCell::new());
+    let metric = move |name: &'static str,
+                       tolerance: f64,
+                       unit: &'static str,
+                       pick: fn(&GatePoints) -> f64| {
+        let shared = Rc::clone(&shared);
+        Case::metric(name, tolerance, unit, move || {
+            pick(shared.get_or_init(|| {
+                let at = |spec: &AllocatorSpec| {
+                    crate::layer::run_point(
+                        spec,
+                        crate::layer::GATE_LAYERS,
+                        crate::layer::GATE_GLOBAL_BUDGET,
+                        Precision::F32,
+                    )
+                };
+                GatePoints {
+                    uniform: at(&AllocatorSpec::Uniform),
+                    depth_decayed: at(&AllocatorSpec::from_name("depth_decayed").unwrap()),
+                    entropy_dynamic: at(&AllocatorSpec::from_name("entropy_dynamic").unwrap()),
+                }
+            }))
+        })
+    };
+    let tight = crate::serving::METRIC_TOLERANCE;
+    vec![
+        metric(
+            "layer_budget/uniform_retrieval",
+            FIDELITY_TOLERANCE,
+            "fraction",
+            |g| g.uniform.mean_retrieval_accuracy,
+        ),
+        metric(
+            "layer_budget/depth_decayed_retrieval",
+            FIDELITY_TOLERANCE,
+            "fraction",
+            |g| g.depth_decayed.mean_retrieval_accuracy,
+        ),
+        metric(
+            "layer_budget/depth_decayed_retrieval_margin",
+            FIDELITY_TOLERANCE,
+            "fraction",
+            |g| g.depth_decayed.mean_retrieval_accuracy - g.uniform.mean_retrieval_accuracy,
+        ),
+        metric(
+            "layer_budget/depth_decayed_f1_margin",
+            FIDELITY_TOLERANCE,
+            "fraction",
+            |g| g.depth_decayed.mean_salient_f1 - g.uniform.mean_salient_f1,
+        ),
+        metric(
+            "layer_budget/entropy_dynamic_retrieval",
+            FIDELITY_TOLERANCE,
+            "fraction",
+            |g| g.entropy_dynamic.mean_retrieval_accuracy,
+        ),
+        metric(
+            "layer_budget/entropy_dynamic_reallocations",
+            tight,
+            "count",
+            |g| g.entropy_dynamic.reallocations as f64,
+        ),
+        metric("layer_budget/uniform_evictions", tight, "count", |g| {
+            g.uniform.total_evictions as f64
+        }),
+        metric(
+            "layer_budget/depth_decayed_front_budget",
+            tight,
+            "slots",
+            |g| g.depth_decayed.budgets[0] as f64,
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn layer_budget_cases_pin_the_non_uniform_win() {
+        let mut cases = suite("layer_budget");
+        let mut by_name = std::collections::BTreeMap::new();
+        for case in &mut cases {
+            assert!(case.is_metric());
+            by_name.insert(case.name, measure(case).value);
+        }
+        // The acceptance margins must be solidly positive — the saved
+        // baseline then keeps them there.
+        assert!(by_name["layer_budget/depth_decayed_retrieval_margin"] > 0.02);
+        assert!(by_name["layer_budget/depth_decayed_f1_margin"] > 0.02);
+        assert!(by_name["layer_budget/entropy_dynamic_reallocations"] >= 1.0);
+    }
+
+    #[test]
+    fn suite_names_derive_from_the_registry() {
+        assert_eq!(SUITE_NAMES.len(), SUITE_REGISTRY.len());
+        for (name, (registered, _)) in SUITE_NAMES.iter().zip(SUITE_REGISTRY.iter()) {
+            assert_eq!(name, registered);
+        }
+        assert!(SUITE_NAMES.contains(&"layer_budget"));
+    }
 
     #[test]
     fn simd_speedup_ratios_are_at_least_one_on_scalar_and_positive_everywhere() {

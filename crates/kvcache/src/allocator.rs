@@ -1,0 +1,604 @@
+//! Layer-wise KV budget allocation: how one global slot budget splits
+//! across a stack of attention layers.
+//!
+//! The single-layer harness prunes against a per-sequence capacity; a
+//! multi-layer decode ([`LayerStackSession`](crate::LayerStackSession))
+//! instead holds **one global HBM budget** that a [`BudgetAllocator`]
+//! divides among the layers. The menu mirrors the paper family:
+//!
+//! | Allocator | Split | Reference |
+//! |---|---|---|
+//! | [`Uniform`] | `global / K` per layer | the implicit baseline |
+//! | [`DepthDecayed`] | front-loaded geometric weights `decay^l` | DepthKV |
+//! | [`EntropyDynamic`] | periodic reallocation from observed per-layer attention entropy, with hysteresis | LAVa |
+//!
+//! All splits respect per-layer **floors** (each layer policy's
+//! [`PolicySpec::min_viable_share`](crate::PolicySpec::min_viable_share))
+//! and conserve the global budget exactly: `Σ budgets == global` after the
+//! initial split and after every reallocation event (property-tested in
+//! `tests/properties.rs`).
+//!
+//! [`AllocatorSpec`] is the serializable registry entry — benches and CLI
+//! binaries name an allocator as data, exactly like
+//! [`PolicySpec`](crate::PolicySpec) names a policy.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::HarnessError;
+
+/// Splits a global slot budget across the layers of a stacked decode and,
+/// for dynamic allocators, moves slots between layers mid-decode.
+///
+/// The contract, checked by the stack and by property tests:
+///
+/// * [`initial_split`](BudgetAllocator::initial_split) returns one budget
+///   per floor entry with `budget[l] >= floors[l]` and
+///   `Σ budgets == global` (callers guarantee `global >= Σ floors`);
+/// * [`envelope`](BudgetAllocator::envelope) returns per-layer *physical*
+///   ceilings with `envelope[l] >= initial_split[l]` — static allocators
+///   return the split itself (no slack ever needed), dynamic ones
+///   over-provision so budgets can grow without moving stored rows;
+/// * [`reallocate`](BudgetAllocator::reallocate) either returns `None`
+///   (budgets unchanged) or a full new budget vector that still conserves
+///   the global sum and respects every floor and ceiling.
+pub trait BudgetAllocator: Send {
+    /// The allocator's display name (matches [`AllocatorSpec::name`]).
+    fn name(&self) -> &'static str;
+
+    /// The initial per-layer budgets: one entry per layer, each at least
+    /// its floor, summing exactly to `global`.
+    fn initial_split(&self, global: usize, floors: &[usize]) -> Vec<usize>;
+
+    /// Per-layer physical slot ceilings the KV stores are built at. The
+    /// default is the initial split itself (no slack — the right answer
+    /// for any allocator that never moves budgets).
+    fn envelope(&self, global: usize, floors: &[usize]) -> Vec<usize> {
+        self.initial_split(global, floors)
+    }
+
+    /// Feeds the allocator one decode step's per-layer attention
+    /// entropies (normalized to `[0, 1]` by the stack). Default: ignored.
+    fn observe(&mut self, step: usize, entropies: &[f64]) {
+        let _ = (step, entropies);
+    }
+
+    /// Gives the allocator a chance to move budgets after `step`.
+    /// Returns the full new budget vector when anything changed, `None`
+    /// otherwise. Default: never reallocates.
+    fn reallocate(
+        &mut self,
+        step: usize,
+        budgets: &[usize],
+        floors: &[usize],
+        ceilings: &[usize],
+    ) -> Option<Vec<usize>> {
+        let _ = (step, budgets, floors, ceilings);
+        None
+    }
+}
+
+/// Weighted largest-remainder split of `global` across the layers: every
+/// layer gets its floor, and the spare `global − Σ floors` is distributed
+/// proportionally to `weights` (remainders broken by descending fraction,
+/// then by layer index, so the split is deterministic).
+fn split_with_floors(global: usize, weights: &[f64], floors: &[usize]) -> Vec<usize> {
+    debug_assert_eq!(weights.len(), floors.len());
+    let total_floor: usize = floors.iter().sum();
+    debug_assert!(global >= total_floor, "caller validates the floor sum");
+    let spare = global - total_floor;
+    let wsum: f64 = weights.iter().sum();
+    let mut budgets: Vec<usize> = floors.to_vec();
+    if spare == 0 || wsum <= 0.0 {
+        return budgets;
+    }
+    let exact: Vec<f64> = weights.iter().map(|w| spare as f64 * (w / wsum)).collect();
+    let mut assigned = 0usize;
+    let mut fracs: Vec<(usize, f64)> = Vec::with_capacity(weights.len());
+    for (l, e) in exact.iter().enumerate() {
+        let base = e.floor() as usize;
+        budgets[l] += base;
+        assigned += base;
+        fracs.push((l, e - e.floor()));
+    }
+    fracs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    for &(l, _) in fracs.iter().take(spare - assigned) {
+        budgets[l] += 1;
+    }
+    budgets
+}
+
+/// The uniform baseline: `global / K` slots per layer (remainder to the
+/// front layers), floors respected. Never reallocates, so its envelope is
+/// the split itself — a K=1 stack under `Uniform` is **bit-identical** to
+/// a plain [`DecodeSession`](crate::DecodeSession) (property-tested).
+#[derive(Debug, Clone, Default)]
+pub struct Uniform;
+
+impl BudgetAllocator for Uniform {
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+
+    fn initial_split(&self, global: usize, floors: &[usize]) -> Vec<usize> {
+        split_with_floors(global, &vec![1.0; floors.len()], floors)
+    }
+}
+
+/// DepthKV-style front-loaded geometric split: layer `l` gets weight
+/// `decay^l`, so early layers — which spread attention over many tokens —
+/// hold more of the budget than late, concentrated ones. `decay == 1.0`
+/// degenerates to [`Uniform`].
+#[derive(Debug, Clone)]
+pub struct DepthDecayed {
+    decay: f64,
+}
+
+impl DepthDecayed {
+    /// Creates the allocator with the given per-layer decay in `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `decay` is outside `(0, 1]` (construct through
+    /// [`AllocatorSpec::validate`] + [`AllocatorSpec::build`] to get a
+    /// typed error instead).
+    #[must_use]
+    pub fn new(decay: f64) -> Self {
+        assert!(
+            decay > 0.0 && decay <= 1.0,
+            "depth decay {decay} outside (0, 1]"
+        );
+        Self { decay }
+    }
+}
+
+impl BudgetAllocator for DepthDecayed {
+    fn name(&self) -> &'static str {
+        "depth_decayed"
+    }
+
+    fn initial_split(&self, global: usize, floors: &[usize]) -> Vec<usize> {
+        let weights: Vec<f64> = (0..floors.len())
+            .map(|l| self.decay.powi(l as i32))
+            .collect();
+        split_with_floors(global, &weights, floors)
+    }
+}
+
+/// LAVa-style dynamic reallocation: starts from a uniform split, watches
+/// normalized per-layer attention entropy during decode, and every
+/// `period` steps moves a small parcel of budget from the most
+/// *concentrated* layer (lowest mean entropy — its attention mass sits on
+/// few tokens, so pruning it is cheap) to the most *diffuse* one (highest
+/// mean entropy — it needs more residents to cover its attention mass).
+///
+/// Two stabilizers keep budgets from thrashing:
+///
+/// * **hysteresis** — no transfer happens unless the entropy gap between
+///   recipient and donor exceeds the margin, so near-tied layers never
+///   trade slots back and forth;
+/// * **parcel size** — each event moves at most `max(1, global / (8K))`
+///   slots, so one noisy window cannot swing a layer's budget.
+///
+/// Budgets stay within `[floor, ceiling]` per layer and always sum to the
+/// global budget; the envelope over-provisions each layer to twice its
+/// fair share (capped so the rest of the stack keeps its floors), which
+/// is the headroom budgets can grow into without moving stored rows.
+#[derive(Debug, Clone)]
+pub struct EntropyDynamic {
+    period: usize,
+    hysteresis: f64,
+    entropy_sums: Vec<f64>,
+    entropy_samples: usize,
+}
+
+impl EntropyDynamic {
+    /// Creates the allocator: reallocation every `period > 0` decode
+    /// steps, transfers gated by a normalized-entropy gap above
+    /// `hysteresis` (must be finite and non-negative).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero period or an invalid hysteresis (construct
+    /// through [`AllocatorSpec::validate`] + [`AllocatorSpec::build`] to
+    /// get a typed error instead).
+    #[must_use]
+    pub fn new(period: usize, hysteresis: f64) -> Self {
+        assert!(period > 0, "reallocation period must be nonzero");
+        assert!(
+            hysteresis.is_finite() && hysteresis >= 0.0,
+            "hysteresis margin {hysteresis} must be finite and non-negative"
+        );
+        Self {
+            period,
+            hysteresis,
+            entropy_sums: Vec::new(),
+            entropy_samples: 0,
+        }
+    }
+
+    /// Slots moved per reallocation event for a given stack shape.
+    fn parcel(global: usize, layers: usize) -> usize {
+        (global / (8 * layers.max(1))).max(1)
+    }
+}
+
+impl BudgetAllocator for EntropyDynamic {
+    fn name(&self) -> &'static str {
+        "entropy_dynamic"
+    }
+
+    fn initial_split(&self, global: usize, floors: &[usize]) -> Vec<usize> {
+        split_with_floors(global, &vec![1.0; floors.len()], floors)
+    }
+
+    fn envelope(&self, global: usize, floors: &[usize]) -> Vec<usize> {
+        let initial = self.initial_split(global, floors);
+        let total_floor: usize = floors.iter().sum();
+        initial
+            .iter()
+            .zip(floors)
+            .map(|(&b, &floor)| {
+                // Twice the fair share, but never so large that the other
+                // layers could not keep their floors if this layer grew to
+                // its ceiling.
+                (2 * b).min(global - (total_floor - floor)).max(b)
+            })
+            .collect()
+    }
+
+    fn observe(&mut self, _step: usize, entropies: &[f64]) {
+        if self.entropy_sums.len() != entropies.len() {
+            self.entropy_sums = vec![0.0; entropies.len()];
+            self.entropy_samples = 0;
+        }
+        for (sum, &e) in self.entropy_sums.iter_mut().zip(entropies) {
+            *sum += e;
+        }
+        self.entropy_samples += 1;
+    }
+
+    fn reallocate(
+        &mut self,
+        step: usize,
+        budgets: &[usize],
+        floors: &[usize],
+        ceilings: &[usize],
+    ) -> Option<Vec<usize>> {
+        if budgets.len() < 2 || self.entropy_samples == 0 || !(step + 1).is_multiple_of(self.period)
+        {
+            return None;
+        }
+        let means: Vec<f64> = self
+            .entropy_sums
+            .iter()
+            .map(|s| s / self.entropy_samples as f64)
+            .collect();
+        // The accumulation window ends at every event, hit or miss: stale
+        // entropy from before the last decision should not keep steering.
+        self.entropy_sums.iter_mut().for_each(|s| *s = 0.0);
+        self.entropy_samples = 0;
+
+        // Donor: most concentrated layer that can still give (above its
+        // floor). Recipient: most diffuse layer that can still take
+        // (below its ceiling). Ties break toward the front layer.
+        let donor = (0..budgets.len())
+            .filter(|&l| budgets[l] > floors[l])
+            .min_by(|&a, &b| means[a].partial_cmp(&means[b]).unwrap().then(a.cmp(&b)))?;
+        let recipient = (0..budgets.len())
+            .filter(|&l| budgets[l] < ceilings[l])
+            .max_by(|&a, &b| means[a].partial_cmp(&means[b]).unwrap().then(b.cmp(&a)))?;
+        if donor == recipient || means[recipient] - means[donor] <= self.hysteresis {
+            return None;
+        }
+        let delta = Self::parcel(budgets.iter().sum(), budgets.len())
+            .min(budgets[donor] - floors[donor])
+            .min(ceilings[recipient] - budgets[recipient]);
+        if delta == 0 {
+            return None;
+        }
+        let mut next = budgets.to_vec();
+        next[donor] -= delta;
+        next[recipient] += delta;
+        Some(next)
+    }
+}
+
+/// A buildable, serializable description of one budget-allocator
+/// configuration — the [`PolicySpec`](crate::PolicySpec) pattern applied
+/// to layer budgets.
+///
+/// ```
+/// use unicaim_kvcache::AllocatorSpec;
+///
+/// let spec = AllocatorSpec::DepthDecayed { decay: 0.7 };
+/// spec.validate().unwrap();
+/// assert_eq!(spec.build().name(), "depth_decayed");
+///
+/// let text = serde_json::to_string(&spec).unwrap();
+/// let back: AllocatorSpec = serde_json::from_str(&text).unwrap();
+/// assert_eq!(back, spec);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AllocatorSpec {
+    /// [`Uniform`]: `global / K` per layer.
+    Uniform,
+    /// [`DepthDecayed`]: front-loaded geometric split.
+    DepthDecayed {
+        /// Per-layer weight decay in `(0, 1]` (`1.0` is uniform).
+        decay: f64,
+    },
+    /// [`EntropyDynamic`]: LAVa-style periodic entropy-driven
+    /// reallocation.
+    EntropyDynamic {
+        /// Decode steps between reallocation events (must be nonzero).
+        period: usize,
+        /// Minimum normalized-entropy gap (recipient − donor) before any
+        /// budget moves — the anti-thrash margin.
+        hysteresis: f64,
+    },
+}
+
+impl AllocatorSpec {
+    /// Every registry name, in [`AllocatorSpec::from_name`] order. These
+    /// are the same strings the built allocators report from
+    /// [`BudgetAllocator::name`].
+    pub const NAMES: [&'static str; 3] = ["uniform", "depth_decayed", "entropy_dynamic"];
+
+    /// Looks a spec up by allocator display name, with documented default
+    /// parameters: decay `0.7` (`depth_decayed`); period `8`, hysteresis
+    /// `0.02` (`entropy_dynamic`).
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::UnknownAllocator`] for a name outside
+    /// [`AllocatorSpec::NAMES`].
+    pub fn from_name(name: &str) -> Result<Self, HarnessError> {
+        match name {
+            "uniform" => Ok(AllocatorSpec::Uniform),
+            "depth_decayed" => Ok(AllocatorSpec::DepthDecayed { decay: 0.7 }),
+            "entropy_dynamic" => Ok(AllocatorSpec::EntropyDynamic {
+                period: 8,
+                hysteresis: 0.02,
+            }),
+            other => Err(HarnessError::UnknownAllocator {
+                name: other.to_owned(),
+            }),
+        }
+    }
+
+    /// The display name the built allocator will report.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            AllocatorSpec::Uniform => "uniform",
+            AllocatorSpec::DepthDecayed { .. } => "depth_decayed",
+            AllocatorSpec::EntropyDynamic { .. } => "entropy_dynamic",
+        }
+    }
+
+    /// Checks the spec's parameters are buildable.
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::InvalidAllocator`] describing the bad parameter (a
+    /// decay outside `(0, 1]`, a zero period, or a non-finite/negative
+    /// hysteresis).
+    pub fn validate(&self) -> Result<(), HarnessError> {
+        match *self {
+            AllocatorSpec::Uniform => Ok(()),
+            AllocatorSpec::DepthDecayed { decay } if !(decay > 0.0 && decay <= 1.0) => {
+                Err(HarnessError::InvalidAllocator {
+                    reason: format!("depth_decayed decay {decay} outside (0, 1]"),
+                })
+            }
+            AllocatorSpec::DepthDecayed { .. } => Ok(()),
+            AllocatorSpec::EntropyDynamic { period: 0, .. } => {
+                Err(HarnessError::InvalidAllocator {
+                    reason: "entropy_dynamic period must be nonzero".to_owned(),
+                })
+            }
+            AllocatorSpec::EntropyDynamic { hysteresis, .. }
+                if !(hysteresis.is_finite() && hysteresis >= 0.0) =>
+            {
+                Err(HarnessError::InvalidAllocator {
+                    reason: format!(
+                        "entropy_dynamic hysteresis {hysteresis} must be finite and non-negative"
+                    ),
+                })
+            }
+            AllocatorSpec::EntropyDynamic { .. } => Ok(()),
+        }
+    }
+
+    /// Builds a fresh allocator instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`AllocatorSpec::validate`] (the stack
+    /// validates before building; call `validate` yourself when the spec
+    /// comes from untrusted data).
+    #[must_use]
+    pub fn build(&self) -> Box<dyn BudgetAllocator> {
+        match *self {
+            AllocatorSpec::Uniform => Box::new(Uniform),
+            AllocatorSpec::DepthDecayed { decay } => Box::new(DepthDecayed::new(decay)),
+            AllocatorSpec::EntropyDynamic { period, hysteresis } => {
+                Box::new(EntropyDynamic::new(period, hysteresis))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_name_resolves_and_builds_with_matching_name() {
+        for name in AllocatorSpec::NAMES {
+            let spec = AllocatorSpec::from_name(name).unwrap();
+            assert_eq!(spec.name(), name);
+            spec.validate().unwrap();
+            assert_eq!(spec.build().name(), name);
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_a_typed_error() {
+        assert_eq!(
+            AllocatorSpec::from_name("lava"),
+            Err(HarnessError::UnknownAllocator {
+                name: "lava".into()
+            })
+        );
+    }
+
+    #[test]
+    fn invalid_specs_fail_validation() {
+        for bad in [
+            AllocatorSpec::DepthDecayed { decay: 0.0 },
+            AllocatorSpec::DepthDecayed { decay: 1.5 },
+            AllocatorSpec::EntropyDynamic {
+                period: 0,
+                hysteresis: 0.1,
+            },
+            AllocatorSpec::EntropyDynamic {
+                period: 8,
+                hysteresis: -0.1,
+            },
+            AllocatorSpec::EntropyDynamic {
+                period: 8,
+                hysteresis: f64::NAN,
+            },
+        ] {
+            assert!(
+                matches!(bad.validate(), Err(HarnessError::InvalidAllocator { .. })),
+                "{bad:?} must fail validation"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_split_conserves_and_front_loads_the_remainder() {
+        let floors = vec![1usize; 3];
+        let split = Uniform.initial_split(100, &floors);
+        assert_eq!(split.iter().sum::<usize>(), 100);
+        assert_eq!(split, vec![34, 33, 33]);
+        assert_eq!(Uniform.envelope(100, &floors), split);
+    }
+
+    #[test]
+    fn uniform_split_respects_floors() {
+        // One layer's floor exceeds the fair share: it keeps its floor and
+        // the spare is split over the rest.
+        let floors = vec![40, 1, 1];
+        let split = Uniform.initial_split(60, &floors);
+        assert_eq!(split.iter().sum::<usize>(), 60);
+        assert!(split[0] >= 40);
+        assert!(split.iter().zip(&floors).all(|(b, f)| b >= f));
+    }
+
+    #[test]
+    fn depth_decayed_front_loads_geometrically() {
+        let floors = vec![1usize; 4];
+        let split = DepthDecayed::new(0.5).initial_split(120, &floors);
+        assert_eq!(split.iter().sum::<usize>(), 120);
+        for w in split.windows(2) {
+            assert!(w[0] > w[1], "front layers must hold more: {split:?}");
+        }
+        // decay 1.0 degenerates to the uniform split.
+        assert_eq!(
+            DepthDecayed::new(1.0).initial_split(100, &[1; 3]),
+            Uniform.initial_split(100, &[1; 3])
+        );
+    }
+
+    #[test]
+    fn entropy_dynamic_envelope_over_provisions_within_floor_safety() {
+        let alloc = EntropyDynamic::new(4, 0.0);
+        let floors = vec![5usize; 4];
+        let global = 80;
+        let initial = alloc.initial_split(global, &floors);
+        let env = alloc.envelope(global, &floors);
+        for (l, (&e, &b)) in env.iter().zip(&initial).enumerate() {
+            assert!(e >= b, "ceiling below initial at layer {l}");
+            // Even at its ceiling, every other layer keeps its floor.
+            let others_floor: usize = floors.iter().sum::<usize>() - floors[l];
+            assert!(e + others_floor <= global, "ceiling {e} starves floors");
+        }
+    }
+
+    #[test]
+    fn entropy_dynamic_moves_budget_toward_high_entropy_with_hysteresis() {
+        let mut alloc = EntropyDynamic::new(4, 0.1);
+        let floors = vec![2usize; 3];
+        let global = 60;
+        let budgets = alloc.initial_split(global, &floors);
+        let ceilings = alloc.envelope(global, &floors);
+        // Layer 2 is diffuse, layer 0 concentrated; the gap beats the
+        // hysteresis margin.
+        for step in 0..4 {
+            alloc.observe(step, &[0.2, 0.5, 0.9]);
+        }
+        let next = alloc.reallocate(3, &budgets, &floors, &ceilings).unwrap();
+        assert_eq!(next.iter().sum::<usize>(), global);
+        assert!(next[2] > budgets[2], "diffuse layer must gain: {next:?}");
+        assert!(next[0] < budgets[0], "concentrated layer must give");
+        // Off-period steps never fire.
+        alloc.observe(4, &[0.2, 0.5, 0.9]);
+        assert!(alloc.reallocate(4, &next, &floors, &ceilings).is_none());
+        // A gap inside the hysteresis margin never fires either.
+        let mut calm = EntropyDynamic::new(4, 0.5);
+        for step in 0..4 {
+            calm.observe(step, &[0.5, 0.55, 0.6]);
+        }
+        assert!(calm.reallocate(3, &budgets, &floors, &ceilings).is_none());
+    }
+
+    #[test]
+    fn entropy_dynamic_never_breaks_floors_or_ceilings() {
+        let mut alloc = EntropyDynamic::new(1, 0.0);
+        let floors = vec![3usize, 3, 3];
+        let global = 30;
+        let mut budgets = alloc.initial_split(global, &floors);
+        let ceilings = alloc.envelope(global, &floors);
+        // Hammer one extreme signal for many events: the donor must stop
+        // at its floor and the recipient at its ceiling.
+        for step in 0..64 {
+            alloc.observe(step, &[0.0, 0.5, 1.0]);
+            if let Some(next) = alloc.reallocate(step, &budgets, &floors, &ceilings) {
+                budgets = next;
+            }
+            assert_eq!(budgets.iter().sum::<usize>(), global);
+            for l in 0..3 {
+                assert!(budgets[l] >= floors[l], "floor broken at {l}: {budgets:?}");
+                assert!(
+                    budgets[l] <= ceilings[l],
+                    "ceiling broken at {l}: {budgets:?}"
+                );
+            }
+        }
+        assert!(
+            budgets[2] > budgets[0],
+            "budget must have flowed to layer 2"
+        );
+    }
+
+    #[test]
+    fn single_layer_stack_never_reallocates() {
+        let mut alloc = EntropyDynamic::new(1, 0.0);
+        alloc.observe(0, &[0.9]);
+        assert!(alloc.reallocate(0, &[32], &[1], &[64]).is_none());
+    }
+
+    #[test]
+    fn specs_roundtrip_through_json() {
+        let specs: Vec<AllocatorSpec> = AllocatorSpec::NAMES
+            .iter()
+            .map(|n| AllocatorSpec::from_name(n).unwrap())
+            .collect();
+        let text = serde_json::to_string_pretty(&specs).unwrap();
+        let back: Vec<AllocatorSpec> = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, specs);
+    }
+}

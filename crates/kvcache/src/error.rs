@@ -113,6 +113,27 @@ pub enum HarnessError {
         /// The workload's vector dimension.
         workload_dim: usize,
     },
+    /// A [`StackConfig`](crate::StackConfig) carries a parameter no layer
+    /// stack can run under (zero layers, per-layer workloads with
+    /// mismatched decode lengths, a global budget too small to give every
+    /// layer its policy's minimum viable share, …).
+    InvalidLayerConfig {
+        /// Human-readable description of the bad parameter.
+        reason: String,
+    },
+    /// An [`AllocatorSpec`](crate::AllocatorSpec) carries a parameter no
+    /// budget allocator can be built from (a decay factor outside `(0, 1]`,
+    /// a zero reallocation period, a negative hysteresis margin, …).
+    InvalidAllocator {
+        /// Human-readable description of the bad parameter.
+        reason: String,
+    },
+    /// [`AllocatorSpec::from_name`](crate::AllocatorSpec::from_name) was
+    /// given a name outside the registry.
+    UnknownAllocator {
+        /// The unrecognized name.
+        name: String,
+    },
 }
 
 impl core::fmt::Display for HarnessError {
@@ -171,6 +192,17 @@ impl core::fmt::Display for HarnessError {
                 "prefix registry pages hold rows of width {registry_dim}, \
                  but the workload's vectors have dimension {workload_dim}"
             ),
+            HarnessError::InvalidLayerConfig { reason } => {
+                write!(f, "invalid layer-stack config: {reason}")
+            }
+            HarnessError::InvalidAllocator { reason } => {
+                write!(f, "invalid allocator spec: {reason}")
+            }
+            HarnessError::UnknownAllocator { name } => write!(
+                f,
+                "unknown allocator `{name}` (expected one of {:?})",
+                crate::AllocatorSpec::NAMES
+            ),
         }
     }
 }
@@ -193,6 +225,14 @@ mod tests {
             name: "nope".into(),
         };
         assert!(u.to_string().contains("nope"));
+        let a = HarnessError::UnknownAllocator {
+            name: "nope".into(),
+        };
+        assert!(a.to_string().contains("nope") && a.to_string().contains("uniform"));
+        let l = HarnessError::InvalidLayerConfig {
+            reason: "zero layers".into(),
+        };
+        assert!(l.to_string().contains("zero layers"));
     }
 
     #[test]
@@ -215,6 +255,13 @@ mod tests {
                 registry_dim: 16,
                 workload_dim: 32,
             },
+            HarnessError::InvalidLayerConfig {
+                reason: "0 layers".into(),
+            },
+            HarnessError::InvalidAllocator {
+                reason: "decay of 0".into(),
+            },
+            HarnessError::UnknownAllocator { name: "x".into() },
         ];
         let text = serde_json::to_string(&errors).unwrap();
         let back: Vec<HarnessError> = serde_json::from_str(&text).unwrap();

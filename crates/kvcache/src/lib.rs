@@ -38,6 +38,12 @@
 //!   registry-equipped serve core) splice refcounted pages of an
 //!   already-prefilled prefix into their KV store instead of recomputing
 //!   it, bit-identically (copy-on-write isolates later mutation);
+//! * [`LayerStackSession`] — the multi-layer decode stack: K per-layer
+//!   [`DecodeSession`]s driven in lockstep under one *global* KV budget,
+//!   split across depths by a pluggable [`BudgetAllocator`]
+//!   ([`Uniform`], [`DepthDecayed`], or the entropy-driven
+//!   [`EntropyDynamic`] which re-balances budgets mid-decode), each
+//!   allocator buildable from a serializable [`AllocatorSpec`];
 //! * [`simulate_decode`] / [`simulate_batch`] — thin run-to-completion
 //!   wrappers over the above for the batch-scientific call sites.
 //!
@@ -72,6 +78,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod allocator;
 mod batch;
 mod engine;
 mod error;
@@ -83,9 +90,11 @@ mod serve;
 mod session;
 mod sim;
 mod spec;
+mod stack;
 
 pub mod policies;
 
+pub use allocator::{AllocatorSpec, BudgetAllocator, DepthDecayed, EntropyDynamic, Uniform};
 pub use batch::{simulate_batch, BatchConfig, BatchResult};
 pub use engine::{DecodeEngine, EngineConfig, Scheduler, SchedulerSpec, Sequential, WorkerPool};
 pub use error::HarnessError;
@@ -102,6 +111,7 @@ pub use sim::{
     attention_over, prefill_attention_matrix, ratio_capacity, simulate_decode, SimConfig, SimResult,
 };
 pub use spec::PolicySpec;
+pub use stack::{simulate_stack, LayerStackSession, StackConfig, StackResult};
 // The key-arena storage precision every session/batch config carries
 // (defined next to `KvStore` in the attention crate).
 pub use unicaim_attention::Precision;

@@ -145,6 +145,15 @@ pub struct DecodeSession<'w, 'p> {
     inv_sqrt_dim: f32,
     /// The next decode step to run; `steps()` when the session is done.
     next_step: usize,
+    /// Logical resident-token ceiling within the store's fixed physical
+    /// envelope. Defaults to the physical `config.capacity`, in which case
+    /// decode behavior is exactly the historical one (a free slot exists
+    /// iff `len < capacity`). A [`LayerStackSession`](crate::LayerStackSession)
+    /// lowers/raises it when a budget allocator moves slots between
+    /// layers; the insert stage refuses the free-slot fast path while the
+    /// session sits at (or above) the limit, forcing the policy's evict
+    /// decision instead.
+    capacity_limit: usize,
     /// Resident-token count after prefill and after each completed step —
     /// the occupancy trajectory the engine aggregates shared-array peaks
     /// from (deterministic per sequence, so any schedule reconstructs the
@@ -406,6 +415,7 @@ impl<'w, 'p> DecodeSession<'w, 'p> {
             salient_universe,
             inv_sqrt_dim: 1.0 / (dim as f32).sqrt(),
             next_step: 0,
+            capacity_limit: config.capacity,
             resident_trace,
             scan_workers: 1,
             scan_chunk: kernels::DEFAULT_SCAN_CHUNK,
@@ -473,6 +483,73 @@ impl<'w, 'p> DecodeSession<'w, 'p> {
     #[must_use]
     pub fn resident(&self) -> usize {
         self.store.len()
+    }
+
+    /// The logical resident-token ceiling the insert stage enforces
+    /// (defaults to the physical capacity; see
+    /// [`set_capacity_limit`](Self::set_capacity_limit)).
+    #[must_use]
+    pub fn capacity_limit(&self) -> usize {
+        self.capacity_limit
+    }
+
+    /// Sets the logical resident-token ceiling, clamped to the physical
+    /// store capacity. Raising it lets future inserts use free slots
+    /// again; lowering it below the current residency does **not** evict
+    /// by itself — call [`shrink_to_limit`](Self::shrink_to_limit) to
+    /// apply the new budget through the policy's eviction decision.
+    ///
+    /// With the limit at the physical capacity (the default), decode is
+    /// bit-identical to a session without a limit: a free slot exists iff
+    /// the residency is below capacity.
+    pub fn set_capacity_limit(&mut self, limit: usize) {
+        self.capacity_limit = limit.min(self.store.capacity());
+    }
+
+    /// Evicts through the policy until the residency is within the
+    /// logical [`capacity_limit`](Self::capacity_limit), returning how
+    /// many tokens were evicted. A policy that refuses to name a victim
+    /// (returns `None`) stops the shrink early — the session then sheds
+    /// the excess passively, by refusing inserts while over the limit.
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::EvictedNonResident`] when the policy names a
+    /// victim that is not resident (same contract as the per-step evict).
+    pub fn shrink_to_limit(&mut self) -> Result<usize, HarnessError> {
+        let mut evicted = 0;
+        while self.store.len() > self.capacity_limit {
+            self.resident_scratch.clear();
+            self.resident_scratch
+                .extend(self.store.iter_tokens().map(|(t, _)| t));
+            let step = self.next_step;
+            match self.policy.as_mut().evict(step, &self.resident_scratch) {
+                Some(victim) => {
+                    let slot = self.store.slot_of_token(victim).ok_or(
+                        HarnessError::EvictedNonResident {
+                            step,
+                            token: victim,
+                        },
+                    )?;
+                    match self.store.evict_slot(slot) {
+                        Ok(_) => evicted += 1,
+                        Err(e) => unreachable!("in-range slot evict failed: {e}"),
+                    }
+                }
+                None => break,
+            }
+        }
+        Ok(evicted)
+    }
+
+    /// The post-softmax attention weights over **all** residents observed
+    /// at the most recent completed step (token, weight pairs — the same
+    /// view the policy's `observe` hook received). Empty before the first
+    /// step. A layer stack reads this to estimate per-layer attention
+    /// entropy at zero extra hot-path cost.
+    #[must_use]
+    pub fn last_observed(&self) -> &[(usize, f32)] {
+        &self.observed
     }
 
     /// Sets how many worker threads the *intra-sequence* resident scan may
@@ -667,7 +744,8 @@ impl<'w, 'p> DecodeSession<'w, 'p> {
         let new_key = &workload.decode_keys[step];
         let new_value = &workload.decode_values[step];
         let mut inserted = false;
-        if let Some(slot) = self.store.first_free_slot() {
+        let below_limit = self.store.len() < self.capacity_limit;
+        if let Some(slot) = self.store.first_free_slot().filter(|_| below_limit) {
             write_new_token(&mut self.store, slot, new_token, new_key, new_value, step)?;
             policy.note_inserted(new_token);
             inserted = true;
@@ -1009,6 +1087,71 @@ mod tests {
     }
 
     use crate::policy::StepDecision;
+
+    #[test]
+    fn default_capacity_limit_is_the_physical_capacity_and_is_clamped() {
+        let w = needle_task(64, 8, 12);
+        let cfg = SimConfig::new(48, 8).with_prefill_budget(40);
+        let mut session =
+            DecodeSession::prefill(&w, Box::new(HybridStaticDynamic::new(40, 8, 8)), &cfg).unwrap();
+        assert_eq!(session.capacity_limit(), 48);
+        session.set_capacity_limit(10_000);
+        assert_eq!(session.capacity_limit(), 48, "clamped to physical capacity");
+        assert!(session.last_observed().is_empty(), "no step has run yet");
+        session.step().unwrap();
+        assert!(!session.last_observed().is_empty());
+        let sum: f32 = session.last_observed().iter().map(|&(_, w)| w).sum();
+        assert!((sum - 1.0).abs() < 1e-4, "observed weights are a softmax");
+    }
+
+    #[test]
+    fn capacity_limit_gates_inserts_and_shrinks_through_the_policy() {
+        let w = needle_task(64, 12, 8);
+        let cfg = SimConfig::new(48, 8).with_prefill_budget(40);
+        let mut session =
+            DecodeSession::prefill(&w, Box::new(HybridStaticDynamic::new(40, 8, 8)), &cfg).unwrap();
+        let before = session.resident();
+        assert_eq!(before, 40);
+        // Lowering the limit evicts nothing by itself...
+        session.set_capacity_limit(32);
+        assert_eq!(session.resident(), before);
+        // ...the explicit shrink applies it through the policy.
+        let evicted = session.shrink_to_limit().unwrap();
+        assert_eq!(evicted, before - 32);
+        assert_eq!(session.resident(), 32);
+        // Steps then hold the residency at the logical limit even though
+        // physical free slots exist.
+        while !session.is_done() {
+            let out = session.step().unwrap();
+            assert!(out.resident <= 32, "limit must gate inserts: {out:?}");
+        }
+        // Raising the limit re-opens the free slots.
+        let w2 = needle_task(64, 12, 8);
+        let mut grown =
+            DecodeSession::prefill(&w2, Box::new(HybridStaticDynamic::new(40, 8, 8)), &cfg)
+                .unwrap();
+        grown.set_capacity_limit(32);
+        grown.shrink_to_limit().unwrap();
+        grown.set_capacity_limit(44);
+        while !grown.is_done() {
+            grown.step().unwrap();
+        }
+        assert!(grown.resident() > 32, "raised limit must admit inserts");
+        assert!(grown.resident() <= 44);
+    }
+
+    #[test]
+    fn full_capacity_limit_is_bit_identical_to_no_limit() {
+        let w = needle_task(96, 16, 17);
+        let cfg = SimConfig::reserved_decode_slots(48, 16, 8);
+        let spec = crate::PolicySpec::hybrid_for_share(48, 8, 16);
+        let mut plain = DecodeSession::prefill_spec(&w, &spec, &cfg).unwrap();
+        plain.run_to_completion().unwrap();
+        let mut limited = DecodeSession::prefill_spec(&w, &spec, &cfg).unwrap();
+        limited.set_capacity_limit(48);
+        limited.run_to_completion().unwrap();
+        assert_eq!(plain.finish(), limited.finish());
+    }
 
     #[test]
     fn prefill_over_budget_is_a_typed_error() {

@@ -128,6 +128,26 @@ impl PolicySpec {
         }
     }
 
+    /// The smallest per-layer slot share this policy can meaningfully run
+    /// under — the floor a [`BudgetAllocator`](crate::BudgetAllocator)
+    /// must never push a layer's budget below.
+    ///
+    /// The hybrid scheme needs its `M` reserved decode slots plus at least
+    /// one static token (`m + 1`); StreamingLLM needs its sinks plus one
+    /// window slot; H2O needs its protected recents plus one heavy hitter;
+    /// BlockTopK needs one full block. Share-agnostic policies (full,
+    /// oracle, snapkv) degrade gracefully down to a single slot.
+    #[must_use]
+    pub fn min_viable_share(&self) -> usize {
+        match *self {
+            PolicySpec::StreamingLlm { n_sinks } => n_sinks + 1,
+            PolicySpec::H2O { recent_budget } => recent_budget + 1,
+            PolicySpec::BlockTopK { block } => block.max(1),
+            PolicySpec::HybridStaticDynamic { m, .. } => m + 1,
+            PolicySpec::Full | PolicySpec::OracleTopK | PolicySpec::SnapKv { .. } => 1,
+        }
+    }
+
     /// Looks a spec up by policy display name, with documented default
     /// parameters: 4 sinks (`streaming_llm`), recent budget 16 (`h2o`),
     /// observation window 16 (`snapkv`), block size 8 (`block_topk`), and
@@ -391,6 +411,23 @@ mod tests {
         // Share-agnostic policies pass through unchanged.
         let streaming = PolicySpec::StreamingLlm { n_sinks: 4 };
         assert_eq!(streaming.for_share(48), streaming);
+    }
+
+    #[test]
+    fn min_viable_share_tracks_the_policy_floors() {
+        assert_eq!(PolicySpec::Full.min_viable_share(), 1);
+        assert_eq!(PolicySpec::OracleTopK.min_viable_share(), 1);
+        assert_eq!(PolicySpec::SnapKv { obs_window: 16 }.min_viable_share(), 1);
+        assert_eq!(
+            PolicySpec::StreamingLlm { n_sinks: 4 }.min_viable_share(),
+            5
+        );
+        assert_eq!(PolicySpec::H2O { recent_budget: 16 }.min_viable_share(), 17);
+        assert_eq!(PolicySpec::BlockTopK { block: 8 }.min_viable_share(), 8);
+        assert_eq!(
+            PolicySpec::hybrid_for_share(96, 16, 32).min_viable_share(),
+            17
+        );
     }
 
     #[test]

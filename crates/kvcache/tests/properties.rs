@@ -6,9 +6,10 @@ use unicaim_attention::workloads::{
 };
 use unicaim_attention::Matrix;
 use unicaim_kvcache::{
-    simulate_batch, simulate_decode, BatchConfig, DecodeEngine, DecodeSession, EngineConfig,
-    HybridStaticDynamic, Policy, PolicySpec, Precision, PrefixRegistry, SchedulerSpec, ScoreTable,
-    ServeConfig, ServeCore, SimConfig, StepDecision, StreamingLlm,
+    simulate_batch, simulate_decode, simulate_stack, AllocatorSpec, BatchConfig, DecodeEngine,
+    DecodeSession, EngineConfig, HybridStaticDynamic, Policy, PolicySpec, Precision,
+    PrefixRegistry, SchedulerSpec, ScoreTable, ServeConfig, ServeCore, SimConfig, StackConfig,
+    StepDecision, StreamingLlm,
 };
 
 fn small_workload(
@@ -471,6 +472,84 @@ proptest! {
             let reference = run(1, unicaim_attention::kernels::DEFAULT_SCAN_CHUNK);
             for (workers, chunk) in [(1, 1), (2, 3), (2, 64), (4, 1), (4, 7)] {
                 prop_assert_eq!(&run(workers, chunk), &reference);
+            }
+        }
+    }
+
+    /// A one-layer stack under the `Uniform` allocator is the identity
+    /// wrapper: for every shipped policy and every key-arena precision,
+    /// its single per-layer `SimResult` is bit-identical to driving the
+    /// same workload through a plain `DecodeSession` — the stack's
+    /// capacity-limit gating, entropy taps, and allocator plumbing are
+    /// all invisible at K = 1.
+    #[test]
+    fn k1_uniform_stack_is_bit_identical_for_every_policy_and_precision(
+        seed in 0u64..200,
+        precision_idx in 0usize..3,
+    ) {
+        let precision = Precision::ALL[precision_idx];
+        let w = small_workload(seed, 48, 12);
+        let capacity = 32;
+        let k = 8;
+        let cfg = SimConfig::new(capacity, k).with_precision(precision);
+        let stack_cfg = StackConfig::new(capacity, k).with_precision(precision);
+        for spec in policy_menu(capacity, k) {
+            let mut solo = DecodeSession::prefill_spec(&w, &spec.for_share(capacity), &cfg)
+                .expect("solo prefill");
+            solo.run_to_completion().expect("solo run");
+            let expected = solo.finish();
+
+            let stacked = simulate_stack(
+                std::slice::from_ref(&w),
+                &spec,
+                &AllocatorSpec::Uniform,
+                &stack_cfg,
+            )
+            .expect("stacked run");
+            prop_assert_eq!(stacked.budgets.as_slice(), &[capacity][..]);
+            prop_assert_eq!(stacked.reallocations, 0);
+            prop_assert_eq!(&stacked.per_layer[0], &expected);
+        }
+    }
+
+    /// Every registered allocator conserves the global budget exactly and
+    /// never pushes a layer below its policy's minimum viable share (or
+    /// above its physical ceiling), from the initial split through an
+    /// arbitrary sequence of observe/reallocate events.
+    #[test]
+    fn allocators_conserve_budget_and_respect_policy_floors(
+        layers in 1usize..6,
+        spare in 0usize..64,
+        entropy_raw in proptest::collection::vec(0.0f64..1.0, 96),
+    ) {
+        for name in AllocatorSpec::NAMES {
+            let alloc_spec = AllocatorSpec::from_name(name).expect("registry name");
+            for policy in policy_menu(24, 8) {
+                let floors = vec![policy.min_viable_share(); layers];
+                let global = floors.iter().sum::<usize>() + spare;
+                let mut alloc = alloc_spec.build();
+                let mut budgets = alloc.initial_split(global, &floors);
+                let ceilings = alloc.envelope(global, &floors);
+                prop_assert_eq!(budgets.iter().sum::<usize>(), global);
+                for l in 0..layers {
+                    prop_assert!(ceilings[l] >= budgets[l]);
+                }
+                for step in 0..32usize {
+                    let entropies: Vec<f64> = (0..layers)
+                        .map(|l| entropy_raw[(step * layers + l) % entropy_raw.len()])
+                        .collect();
+                    alloc.observe(step, &entropies);
+                    if let Some(next) = alloc.reallocate(step, &budgets, &floors, &ceilings) {
+                        budgets = next;
+                    }
+                    prop_assert_eq!(budgets.iter().sum::<usize>(), global);
+                    for l in 0..layers {
+                        prop_assert!(budgets[l] >= floors[l],
+                            "{name}/{}: layer {l} below its policy floor", policy.name());
+                        prop_assert!(budgets[l] <= ceilings[l],
+                            "{name}/{}: layer {l} above its ceiling", policy.name());
+                    }
+                }
             }
         }
     }
