@@ -877,13 +877,29 @@ pub fn quantize_arena_i8(src: &[f32], dim: usize) -> (Vec<i8>, Vec<f32>) {
 ///
 /// Panics if `dim == 0` or `src.len()` is not a multiple of `dim`.
 pub fn quantize_arena_i8_into(src: &[f32], dim: usize, q: &mut Vec<i8>, scales: &mut Vec<f32>) {
+    quantize_arena_i8_into_with(active_backend(), src, dim, q, scales);
+}
+
+/// [`quantize_arena_i8_into`] on an explicit tier (the i8 quantizer is
+/// bit-identical across tiers for finite inputs, so the twin exists for
+/// uniformity with the rest of the kernel facade).
+///
+/// # Panics
+///
+/// Panics if `dim == 0` or `src.len()` is not a multiple of `dim`.
+pub fn quantize_arena_i8_into_with(
+    backend: KernelBackend,
+    src: &[f32],
+    dim: usize,
+    q: &mut Vec<i8>,
+    scales: &mut Vec<f32>,
+) {
     assert!(dim > 0, "quantize_arena_i8 requires dim > 0");
     assert!(
         src.len().is_multiple_of(dim),
         "arena length {} is not a multiple of dim {dim}",
         src.len()
     );
-    let backend = active_backend();
     let rows = src.len() / dim;
     q.clear();
     q.resize(src.len(), 0);
@@ -1193,9 +1209,39 @@ pub fn dot_gather_chunked<K: Rows + Sync>(
     chunk_rows: usize,
     workers: usize,
 ) {
+    dot_gather_chunked_with(
+        active_backend(),
+        query,
+        keys,
+        rows,
+        scale,
+        out,
+        chunk_rows,
+        workers,
+    );
+}
+
+/// [`dot_gather_chunked`] on an explicit tier (the partition is
+/// bit-inert, so the tier alone decides the numerics — same contract as
+/// [`dot_gather_with`]).
+///
+/// # Panics
+///
+/// Panics if `rows.len() != out.len()`, `chunk_rows == 0`, or a row is
+/// out of range.
+#[allow(clippy::too_many_arguments)]
+pub fn dot_gather_chunked_with<K: Rows + Sync>(
+    backend: KernelBackend,
+    query: &[f32],
+    keys: K,
+    rows: &[usize],
+    scale: f32,
+    out: &mut [f32],
+    chunk_rows: usize,
+    workers: usize,
+) {
     assert_eq!(rows.len(), out.len(), "gather output length mismatch");
     assert!(chunk_rows > 0, "chunk_rows must be positive");
-    let backend = active_backend();
     if workers <= 1 || rows.len() <= chunk_rows {
         dot_gather_with(backend, query, keys, rows, scale, out);
         return;
@@ -1205,7 +1251,13 @@ pub fn dot_gather_chunked<K: Rows + Sync>(
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
-                let job = jobs.lock().expect("chunk queue poisoned").next();
+                // A worker panicking mid-chunk poisons the queue but leaves
+                // the iterator consistent; recover and drain the rest (the
+                // panic itself still propagates when the scope joins).
+                let job = jobs
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .next();
                 let Some((rows_c, out_c)) = job else { break };
                 dot_gather_with(backend, query, keys, rows_c, scale, out_c);
             });
@@ -1257,9 +1309,41 @@ pub fn dot_gather_q_chunked<Q: QuantRows + Sync>(
     chunk_rows: usize,
     workers: usize,
 ) {
+    dot_gather_q_chunked_with(
+        active_backend(),
+        query_q,
+        query_scale,
+        keys,
+        rows,
+        scale,
+        out,
+        chunk_rows,
+        workers,
+    );
+}
+
+/// [`dot_gather_q_chunked`] on an explicit tier (exact integer dots, so
+/// every tier is bit-identical — the twin pins the tier for parity
+/// tests).
+///
+/// # Panics
+///
+/// Panics if `rows.len() != out.len()`, `chunk_rows == 0`, or a row is
+/// out of range.
+#[allow(clippy::too_many_arguments)]
+pub fn dot_gather_q_chunked_with<Q: QuantRows + Sync>(
+    backend: KernelBackend,
+    query_q: &[i8],
+    query_scale: f32,
+    keys: Q,
+    rows: &[usize],
+    scale: f32,
+    out: &mut [f32],
+    chunk_rows: usize,
+    workers: usize,
+) {
     assert_eq!(rows.len(), out.len(), "gather output length mismatch");
     assert!(chunk_rows > 0, "chunk_rows must be positive");
-    let backend = active_backend();
     if workers <= 1 || rows.len() <= chunk_rows {
         dot_gather_q_scan(backend, query_q, query_scale, keys, rows, scale, out);
         return;
@@ -1269,7 +1353,13 @@ pub fn dot_gather_q_chunked<Q: QuantRows + Sync>(
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
-                let job = jobs.lock().expect("chunk queue poisoned").next();
+                // See `dot_gather_chunked_with`: poison recovery keeps the
+                // drain panic-free while the worker's panic still surfaces
+                // at scope join.
+                let job = jobs
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .next();
                 let Some((rows_c, out_c)) = job else { break };
                 dot_gather_q_scan(backend, query_q, query_scale, keys, rows_c, scale, out_c);
             });

@@ -95,6 +95,7 @@ impl Precision {
     /// or if `src.len() != out.len()`.
     pub fn quantize_row(self, src: &[f32], out: &mut [i8]) -> f32 {
         match self {
+            // lint:allow(no-panic-in-lib): documented contract — callers gate on needs_quant(), and F32 stores allocate no shadow arena to quantize into
             Precision::F32 => unreachable!("f32 stores keep no quantized arena"),
             Precision::Int8 => kernels::quantize_row_i8(src, out),
             Precision::Cell3Bit => kernels::quantize_row_cell3(src, out),
@@ -441,6 +442,7 @@ impl KvStore {
             let displaced = std::mem::replace(&mut self.pages[idx], fresh);
             self.arena.recycle(displaced);
         }
+        // lint:allow(no-panic-in-lib): the branch above replaced any shared handle with a strong_count == 1 CoW copy, so get_mut cannot fail
         Arc::get_mut(&mut self.pages[idx]).expect("page is exclusively owned after CoW")
     }
 

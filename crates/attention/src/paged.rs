@@ -212,7 +212,12 @@ impl PageArena {
     }
 
     fn locked(&self) -> std::sync::MutexGuard<'_, ArenaInner> {
-        self.inner.lock().expect("page arena mutex poisoned")
+        // The free list stays valid even if a holder panicked mid-call
+        // (every mutation is a single push/pop), so recover from
+        // poisoning instead of cascading the panic across sessions.
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     fn take_or_create(&self) -> Page {

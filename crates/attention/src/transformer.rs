@@ -303,10 +303,12 @@ impl TinyTransformer {
             }
             self.post_block(l, &mut hidden)?;
         }
-        self.layers
-            .last()
-            .expect("at least one layer")
-            .attention_matrix(&hidden, head)
+        match self.layers.last() {
+            Some(layer) => layer.attention_matrix(&hidden, head),
+            None => Err(AttentionError::ShapeMismatch {
+                context: "transformer has no layers".to_string(),
+            }),
+        }
     }
 }
 

@@ -656,9 +656,11 @@ pub fn poisson_arrivals(spec: &ArrivalSpec) -> Vec<ArrivalEvent> {
 pub fn transformer_trace(prefill_len: usize, decode_len: usize, seed: u64) -> DecodeWorkload {
     use crate::transformer::{TinyTransformer, TransformerConfig};
     let total = prefill_len + decode_len;
+    // lint:allow(no-panic-in-lib): TransformerConfig::default() is validated by a unit test to construct
     let model = TinyTransformer::new(TransformerConfig::default(), seed).expect("valid config");
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x7A57);
     let tokens: Vec<usize> = (0..total).map(|_| rng.gen_range(0..256)).collect();
+    // lint:allow(no-panic-in-lib): the documented `# Panics` contract — total exceeding max_seq is a caller bug
     let (q, k) = model.last_layer_qk(&tokens, 0).expect("sequence fits");
     let dim = q.cols();
     let to_rows = |m: &Matrix, lo: usize, hi: usize| -> Vec<Vec<f32>> {
@@ -772,11 +774,13 @@ pub fn transformer_stack_trace(
         },
         seed,
     )
+    // lint:allow(no-panic-in-lib): default dims with a caller-chosen layer count stay a valid config for n_layers >= 1
     .expect("valid config");
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x57AC);
     let tokens: Vec<usize> = (0..total).map(|_| rng.gen_range(0..256)).collect();
     (0..n_layers)
         .map(|l| {
+            // lint:allow(no-panic-in-lib): the documented `# Panics` contract — total exceeding max_seq is a caller bug
             let (q, k) = model.layer_qk(&tokens, l, 0).expect("sequence fits");
             let dim = q.cols();
             let to_rows = |m: &Matrix, lo: usize, hi: usize| -> Vec<Vec<f32>> {

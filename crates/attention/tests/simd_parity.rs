@@ -186,7 +186,9 @@ fn empty_gather_and_single_row_arena_on_every_tier() {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    // `with_cases_env`: sanitizer jobs dial the count down via
+    // `UNICAIM_PROPTEST_CASES`; Miri clamps it to 2.
+    #![proptest_config(ProptestConfig::with_cases_env(64))]
 
     /// f32 dot: every supported tier stays within the derived FMA bound
     /// of scalar, and the SSE2 tier is bit-identical.

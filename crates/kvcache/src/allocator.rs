@@ -100,7 +100,7 @@ fn split_with_floors(global: usize, weights: &[f64], floors: &[usize]) -> Vec<us
         assigned += base;
         fracs.push((l, e - e.floor()));
     }
-    fracs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    fracs.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     for &(l, _) in fracs.iter().take(spare - assigned) {
         budgets[l] += 1;
     }
@@ -283,10 +283,10 @@ impl BudgetAllocator for EntropyDynamic {
         // (below its ceiling). Ties break toward the front layer.
         let donor = (0..budgets.len())
             .filter(|&l| budgets[l] > floors[l])
-            .min_by(|&a, &b| means[a].partial_cmp(&means[b]).unwrap().then(a.cmp(&b)))?;
+            .min_by(|&a, &b| means[a].total_cmp(&means[b]).then(a.cmp(&b)))?;
         let recipient = (0..budgets.len())
             .filter(|&l| budgets[l] < ceilings[l])
-            .max_by(|&a, &b| means[a].partial_cmp(&means[b]).unwrap().then(b.cmp(&a)))?;
+            .max_by(|&a, &b| means[a].total_cmp(&means[b]).then(b.cmp(&a)))?;
         if donor == recipient || means[recipient] - means[donor] <= self.hysteresis {
             return None;
         }

@@ -169,28 +169,41 @@ impl WorkerPool {
             }
             return Ok(());
         }
+        // Both mutexes guard single-step state transitions (an iterator
+        // `next`, an `Option` insert), so a worker panicking elsewhere
+        // cannot leave them mid-update: recover from poisoning rather
+        // than cascading a panic through every pool thread (the original
+        // panic still propagates when the scope joins).
+        use std::sync::PoisonError;
         let queue = Mutex::new(sessions.iter_mut());
         let first_error: Mutex<Option<HarnessError>> = Mutex::new(None);
         let mut pool = scoped_threadpool::Pool::new(workers);
         pool.scoped(|scope| {
             for _ in 0..workers {
                 scope.execute(|| loop {
-                    if first_error.lock().expect("error slot poisoned").is_some() {
+                    if first_error
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .is_some()
+                    {
                         break;
                     }
-                    let claimed = queue.lock().expect("session queue poisoned").next();
+                    let claimed = queue.lock().unwrap_or_else(PoisonError::into_inner).next();
                     let Some(session) = claimed else { break };
                     if let Err(e) = run_one(session) {
                         first_error
                             .lock()
-                            .expect("error slot poisoned")
+                            .unwrap_or_else(PoisonError::into_inner)
                             .get_or_insert(e);
                         break;
                     }
                 });
             }
         });
-        match first_error.into_inner().expect("error slot poisoned") {
+        match first_error
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+        {
             Some(e) => Err(e),
             None => Ok(()),
         }

@@ -207,7 +207,13 @@ impl PrefixRegistry {
     }
 
     fn locked(&self) -> std::sync::MutexGuard<'_, Inner> {
-        self.inner.lock().expect("prefix registry mutex poisoned")
+        // Registry state is valid between every entry/LRU update, so a
+        // tenant thread that panicked while holding the lock leaves a
+        // usable (at worst slightly stale) registry — recover instead of
+        // poisoning every other tenant.
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Looks up the cached prefill attention matrix for a prefix,

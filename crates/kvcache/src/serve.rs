@@ -477,14 +477,14 @@ impl<'w> ServeCore<'w> {
                 let result = session.finish();
                 self.metrics
                     .note_completed(self.tick - meta.request.arrival_tick, result.steps);
+                // lint:allow(no-panic-in-lib): is_done() requires at least one generated token, and the first step always records first_token_tick
+                let first_token_tick = meta.first_token_tick.expect("finished implies a token");
                 self.completed.push(CompletedRequest {
                     id: meta.request.id,
                     tenant: meta.request.tenant,
                     priority: meta.request.priority,
                     arrival_tick: meta.request.arrival_tick,
-                    first_token_tick: meta
-                        .first_token_tick
-                        .expect("a finished session generated tokens"),
+                    first_token_tick,
                     completion_tick: self.tick,
                     preemptions: meta.request.preemptions,
                     result,
@@ -543,7 +543,11 @@ impl<'w> ServeCore<'w> {
                         .is_some_and(|p| !high_only || p.priority == Priority::High)
                 });
                 let Some(tenant) = claimed else { break };
-                let pending = self.queues[tenant].pop_front().expect("non-empty front");
+                // `claimed` saw a front element; a vanished one means the
+                // cursor scan raced itself, so just stop admitting.
+                let Some(pending) = self.queues[tenant].pop_front() else {
+                    break;
+                };
                 self.rr_cursor = (tenant + 1) % n;
                 self.admit(pending)?;
             }

@@ -533,6 +533,7 @@ impl<'w, 'p> DecodeSession<'w, 'p> {
                     )?;
                     match self.store.evict_slot(slot) {
                         Ok(_) => evicted += 1,
+                        // lint:allow(no-panic-in-lib): slot came from slot_of_token two lines up, so it is in range and occupied
                         Err(e) => unreachable!("in-range slot evict failed: {e}"),
                     }
                 }
@@ -807,7 +808,10 @@ impl<'w, 'p> DecodeSession<'w, 'p> {
             mean_selected: self.n_selected.value(),
             mean_resident: self.n_resident.value(),
             steps: self.workload.decode_queries.len(),
-            answer_steps: usize::try_from(self.recall.count()).expect("step count fits usize"),
+            // Saturating conversion: one observation is pushed per decode
+            // step, and steps are usize-indexed, so the count fits on
+            // every real target (the clamp exists only to stay panic-free).
+            answer_steps: usize::try_from(self.recall.count()).unwrap_or(usize::MAX),
         }
     }
 }
@@ -829,6 +833,7 @@ fn write_new_token(
         Err(AttentionError::DuplicateToken { token, .. }) => {
             Err(HarnessError::DuplicateToken { step, token })
         }
+        // lint:allow(no-panic-in-lib): callers pass a slot below capacity and dim-matched rows, leaving DuplicateToken as the only reachable error
         Err(e) => unreachable!("in-range slot write failed: {e}"),
     }
 }
@@ -867,6 +872,7 @@ fn populate_store(store: &mut KvStore, workload: &DecodeWorkload, keep: &[usize]
     for &t in keep {
         match store.append_parts(t, &workload.prefill_keys[t], &workload.prefill_values[t]) {
             Ok(_) => {}
+            // lint:allow(no-panic-in-lib): the keep set was validated in-budget, in-range, and duplicate-free before this call
             Err(e) => unreachable!("validated prefill insert failed: {e}"),
         }
     }

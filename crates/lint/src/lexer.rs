@@ -1,0 +1,300 @@
+//! A small hand-rolled Rust source scanner.
+//!
+//! The rule engine must never fire on the *text* of a comment, a string
+//! literal, or a doc example — only on code — and conversely the
+//! `// SAFETY:` / `// lint:allow(...)` escapes live *only* in comments.
+//! This module splits a source file into per-line channels:
+//!
+//! * [`Line::code`] — the line with every comment, string-literal body,
+//!   and char-literal body blanked to spaces (delimiters preserved), so
+//!   byte columns still align with the raw source;
+//! * [`Line::comment`] — the concatenated text of every comment that
+//!   (partially) sits on the line;
+//! * [`Line::raw`] — the untouched source line (used by rules that need
+//!   string-literal values, e.g. registry-name extraction).
+//!
+//! The scanner understands line comments, nested block comments, plain /
+//! byte / raw string literals (`"…"`, `b"…"`, `r#"…"#`), char literals,
+//! and distinguishes lifetimes (`'a`) from char literals (`'a'`). It is
+//! deliberately *not* a full lexer — `syn` is off the table under the
+//! vendored no-network constraint — but it is exact for the constructs
+//! the rules match on.
+
+/// One scanned source line, split into channels (see module docs).
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// The untouched source line (no trailing newline).
+    pub raw: String,
+    /// Code channel: comments and literal bodies blanked to spaces.
+    pub code: String,
+    /// Comment channel: the text of comments on this line.
+    pub comment: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nested block comment at the given depth.
+    BlockComment(u32),
+    /// String literal; `true` while the next char is escaped.
+    Str(bool),
+    /// Raw string literal terminated by `"` + this many `#`s.
+    RawStr(u32),
+    /// Char literal; `true` while the next char is escaped.
+    Char(bool),
+}
+
+/// Scans `src` into per-line channels.
+#[must_use]
+pub fn scan(src: &str) -> Vec<Line> {
+    let mut lines = Vec::new();
+    let mut state = State::Code;
+    for raw_line in src.split('\n') {
+        let mut line = Line {
+            raw: raw_line.to_string(),
+            code: String::with_capacity(raw_line.len()),
+            comment: String::new(),
+        };
+        // A line comment never crosses a newline.
+        if state == State::LineComment {
+            state = State::Code;
+        }
+        let chars: Vec<char> = raw_line.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            match state {
+                State::Code => {
+                    if c == '/' && chars.get(i + 1) == Some(&'/') {
+                        state = State::LineComment;
+                        line.code.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        state = State::BlockComment(1);
+                        line.code.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    if c == '"' {
+                        // `r"…"` / `br#"…"#` raw strings have no escapes;
+                        // count the `#`s between the `r` and this quote.
+                        let mut j = i;
+                        let mut hashes = 0u32;
+                        while j > 0 && chars[j - 1] == '#' {
+                            hashes += 1;
+                            j -= 1;
+                        }
+                        let is_raw = j > 0
+                            && (chars[j - 1] == 'r'
+                                && (j < 2 || !is_ident_char(chars[j - 2]) || chars[j - 2] == 'b'));
+                        state = if is_raw {
+                            State::RawStr(hashes)
+                        } else {
+                            State::Str(false)
+                        };
+                        line.code.push('"');
+                        i += 1;
+                        continue;
+                    }
+                    if c == '\'' {
+                        // `'x'` / `'\n'` are char literals; `'a` (no closing
+                        // quote after one char) is a lifetime and stays code.
+                        let next = chars.get(i + 1);
+                        let is_char_lit = match next {
+                            Some('\\') => true,
+                            Some(_) => chars.get(i + 2) == Some(&'\''),
+                            None => false,
+                        };
+                        if is_char_lit {
+                            state = State::Char(false);
+                            line.code.push('\'');
+                            i += 1;
+                            continue;
+                        }
+                        line.code.push(c);
+                        i += 1;
+                        continue;
+                    }
+                    line.code.push(c);
+                    i += 1;
+                }
+                State::LineComment => {
+                    line.comment.push(c);
+                    line.code.push(' ');
+                    i += 1;
+                }
+                State::BlockComment(depth) => {
+                    if c == '*' && chars.get(i + 1) == Some(&'/') {
+                        state = if depth == 1 {
+                            State::Code
+                        } else {
+                            State::BlockComment(depth - 1)
+                        };
+                        line.code.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        state = State::BlockComment(depth + 1);
+                        line.comment.push_str("/*");
+                        line.code.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    line.comment.push(c);
+                    line.code.push(' ');
+                    i += 1;
+                }
+                State::Str(escaped) => {
+                    if escaped {
+                        state = State::Str(false);
+                    } else if c == '\\' {
+                        state = State::Str(true);
+                    } else if c == '"' {
+                        state = State::Code;
+                        line.code.push('"');
+                        i += 1;
+                        continue;
+                    }
+                    line.code.push(' ');
+                    i += 1;
+                }
+                State::RawStr(hashes) => {
+                    if c == '"' {
+                        let closes = (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'));
+                        if closes {
+                            state = State::Code;
+                            line.code.push('"');
+                            for _ in 0..hashes {
+                                line.code.push('#');
+                            }
+                            i += 1 + hashes as usize;
+                            continue;
+                        }
+                    }
+                    line.code.push(' ');
+                    i += 1;
+                }
+                State::Char(escaped) => {
+                    if escaped {
+                        state = State::Char(false);
+                    } else if c == '\\' {
+                        state = State::Char(true);
+                    } else if c == '\'' {
+                        state = State::Code;
+                        line.code.push('\'');
+                        i += 1;
+                        continue;
+                    }
+                    line.code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+        lines.push(line);
+    }
+    lines
+}
+
+/// Whether `c` can appear in a Rust identifier.
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Finds the byte offset of `needle` in `hay` at an identifier boundary
+/// (neither neighbour is an identifier char), starting at `from`.
+#[must_use]
+pub fn find_word(hay: &str, needle: &str, from: usize) -> Option<usize> {
+    let mut start = from;
+    while let Some(rel) = hay.get(start..).and_then(|h| h.find(needle)) {
+        let at = start + rel;
+        let before_ok = at == 0 || !hay[..at].chars().next_back().is_some_and(is_ident_char);
+        let after_ok = !hay[at + needle.len()..]
+            .chars()
+            .next()
+            .is_some_and(is_ident_char);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        start = at + needle.len();
+    }
+    None
+}
+
+/// Whether `hay` contains `needle` at an identifier boundary.
+#[must_use]
+pub fn contains_word(hay: &str, needle: &str) -> bool {
+    find_word(hay, needle, 0).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_blanked_from_code() {
+        let lines = scan("let x = 1; // unsafe here\nunsafe {}\n");
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(lines[0].comment.contains("unsafe here"));
+        assert!(lines[1].code.contains("unsafe"));
+    }
+
+    #[test]
+    fn strings_are_blanked_but_delimited() {
+        let lines = scan(r#"let s = ".unwrap() panic!"; s.len();"#);
+        assert!(!lines[0].code.contains(".unwrap()"));
+        assert!(lines[0].code.contains("s.len()"));
+        assert!(lines[0].code.contains('"'));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let lines = scan("let s = r#\"has \"quotes\" and unsafe\"#; foo();");
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(lines[0].code.contains("foo()"));
+    }
+
+    #[test]
+    fn block_comments_span_lines_and_nest() {
+        let lines = scan("a(); /* one /* two */ still */ b();\n/* open\nunsafe\n*/ c();");
+        assert!(lines[0].code.contains("a()"));
+        assert!(lines[0].code.contains("b()"));
+        assert!(!lines[0].code.contains("two"));
+        assert!(!lines[2].code.contains("unsafe"));
+        assert!(lines[2].comment.contains("unsafe"));
+        assert!(lines[3].code.contains("c()"));
+    }
+
+    #[test]
+    fn lifetimes_stay_code_char_literals_blank() {
+        let lines = scan("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; }");
+        assert!(lines[0].code.contains("<'a>"));
+        assert!(!lines[0].code.contains("'x'"));
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(contains_word("unsafe {", "unsafe"));
+        assert!(!contains_word("deny(unsafe_code)", "unsafe"));
+        assert!(!contains_word("not_unsafe {", "unsafe"));
+        assert!(contains_word("x.unwrap()", "unwrap"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_terminate() {
+        let lines = scan(r#"let s = "a\"b.unwrap()"; t();"#);
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].code.contains("t()"));
+    }
+
+    #[test]
+    fn columns_align_with_raw() {
+        let src = r#"call("text", 'c', x) // tail"#;
+        let lines = scan(src);
+        assert_eq!(lines[0].code.len(), src.len());
+        assert_eq!(lines[0].code.find("x)"), src.find("x)"));
+    }
+}

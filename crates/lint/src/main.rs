@@ -1,0 +1,101 @@
+//! CI-gating binary: lints the workspace (or one file), prints findings,
+//! optionally dumps a JSON report, and exits non-zero on violations.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use unicaim_lint::{lint_source, lint_workspace, ALL_RULES};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json: Option<PathBuf> = None;
+    let mut file: Option<PathBuf> = None;
+    let mut as_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = PathBuf::from(args.next().unwrap_or_else(|| usage("--root"))),
+            "--json" => {
+                json = Some(PathBuf::from(
+                    args.next().unwrap_or_else(|| usage("--json")),
+                ))
+            }
+            "--file" => {
+                file = Some(PathBuf::from(
+                    args.next().unwrap_or_else(|| usage("--file")),
+                ))
+            }
+            "--as" => as_path = Some(args.next().unwrap_or_else(|| usage("--as"))),
+            "--list-rules" => {
+                for rule in ALL_RULES {
+                    println!("{rule}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            other => usage(other),
+        }
+    }
+
+    if let Some(path) = file {
+        // Single-file mode: lint `path` as if it sat at `--as <rel>` (the
+        // rel path decides which rules apply). Used to replay fixtures.
+        let rel = as_path.unwrap_or_else(|| path.to_string_lossy().into_owned());
+        let src = match std::fs::read_to_string(&path) {
+            Ok(src) => src,
+            Err(err) => {
+                eprintln!("error: cannot read {}: {err}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let (diags, _) = lint_source(&rel, &src);
+        for d in &diags {
+            println!("{}:{} [{}] {}", d.path, d.line, d.rule, d.message);
+        }
+        return if diags.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    let report = lint_workspace(&root);
+    for d in &report.violations {
+        println!("{}:{} [{}] {}", d.path, d.line, d.rule, d.message);
+    }
+    println!(
+        "unicaim-lint: {} file(s) scanned, {} violation(s), {} allow escape(s)",
+        report.files_scanned,
+        report.violations.len(),
+        report.allows.len()
+    );
+    if let Some(path) = json {
+        let text = match serde_json::to_string_pretty(&report) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("error: serializing report: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(err) = std::fs::write(&path, text + "\n") {
+            eprintln!("error: writing {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("report written to {}", path.display());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(arg: &str) -> ! {
+    eprintln!(
+        "unexpected argument `{arg}`\n\
+         usage: unicaim-lint [--root DIR] [--json PATH] [--file PATH --as REL] [--list-rules]"
+    );
+    std::process::exit(2);
+}

@@ -1,0 +1,14 @@
+//! Negative fixture (linted as the kernel facade): a dispatching kernel
+//! without its `*_with` twin, and an orphaned twin whose dispatching
+//! counterpart is gone.
+
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let backend = active_backend();
+    dot_impl(backend, a, b)
+}
+
+pub fn axpy_with(_backend: u8, w: f32, x: &[f32], out: &mut [f32]) {
+    for (o, v) in out.iter_mut().zip(x) {
+        *o += w * v;
+    }
+}

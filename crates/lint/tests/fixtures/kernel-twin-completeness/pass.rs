@@ -1,0 +1,14 @@
+//! Positive fixture (linted as the kernel facade): the dispatching kernel
+//! and its explicit-backend twin travel together.
+
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    dot_with(active_backend(), a, b)
+}
+
+pub fn dot_with(_backend: u8, a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+pub fn helper_without_dispatch(a: &[f32]) -> f32 {
+    a.iter().sum()
+}

@@ -1,0 +1,7 @@
+//! Negative fixture: wall-clock reads in a deterministic library path.
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> (Instant, SystemTime) {
+    (Instant::now(), SystemTime::now())
+}

@@ -1,0 +1,10 @@
+//! Positive fixture: deterministic tick-domain accounting, no wall-clock.
+
+pub struct Ticks(pub u64);
+
+impl Ticks {
+    pub fn advance(&mut self) -> u64 {
+        self.0 += 1;
+        self.0
+    }
+}

@@ -1,0 +1,12 @@
+//! Negative fixture: panicking constructs in a library path.
+
+pub fn head(xs: &[usize]) -> usize {
+    xs.first().copied().unwrap()
+}
+
+pub fn pick(flag: bool) -> usize {
+    if flag {
+        panic!("flag set");
+    }
+    0
+}

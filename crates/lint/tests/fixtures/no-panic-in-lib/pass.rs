@@ -1,0 +1,20 @@
+//! Positive fixture: typed errors in library paths; panics confined to a
+//! `#[cfg(test)]` module or justified with a reasoned escape.
+
+pub fn head(xs: &[usize]) -> Result<usize, String> {
+    xs.first().copied().ok_or_else(|| "empty".to_string())
+}
+
+pub fn validated(xs: &[usize]) -> usize {
+    // lint:allow(no-panic-in-lib): the caller validated non-emptiness one frame up
+    xs.first().copied().expect("validated non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let xs = [1usize];
+        assert_eq!(xs.first().copied().unwrap(), 1);
+    }
+}

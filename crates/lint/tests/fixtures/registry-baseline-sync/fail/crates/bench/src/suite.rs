@@ -1,0 +1,7 @@
+//! Registry fixture (fail): `policies` has no baseline, `stale` has no
+//! registry entry, and the whitelist names a ghost file.
+
+pub const SUITE_REGISTRY: [(&str, SuiteBuilder); 2] = [
+    ("kernels", kernels_suite),
+    ("policies", policies_suite),
+];

@@ -1,0 +1,7 @@
+//! Registry fixture (pass): every suite has a saved baseline and the
+//! whitelist is consistent.
+
+pub const SUITE_REGISTRY: [(&str, SuiteBuilder); 2] = [
+    ("kernels", kernels_suite),
+    ("policies", policies_suite),
+];

@@ -1,0 +1,9 @@
+//! Negative fixture (linted as the SIMD module): a public
+//! `#[target_feature]` function that skips the `*_impl` + wrapper
+//! convention. Linted at any other path, the attribute alone violates
+//! confinement.
+
+#[target_feature(enable = "avx2")]
+pub fn dot_fast(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}

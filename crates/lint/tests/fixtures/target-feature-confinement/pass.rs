@@ -1,0 +1,13 @@
+//! Positive fixture (linted as the SIMD module): a private `*_impl`
+//! intrinsic behind its safe wrapper.
+
+pub(crate) fn dot_fast(a: &[f32], b: &[f32]) -> f32 {
+    // SAFETY: only reachable via backend dispatch, which confirmed the
+    // target feature at runtime.
+    unsafe { dot_fast_impl(a, b) }
+}
+
+#[target_feature(enable = "avx2")]
+fn dot_fast_impl(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}

@@ -1,0 +1,7 @@
+//! Negative fixture: `allow(unsafe_code)` outside the SIMD module, and an
+//! `unsafe` block with no SAFETY comment anywhere nearby.
+#![allow(unsafe_code)]
+
+pub fn read_first(xs: &[f32]) -> f32 {
+    unsafe { *xs.get_unchecked(0) }
+}

@@ -1,0 +1,7 @@
+//! Positive fixture: every `unsafe` carries an adjacent SAFETY comment.
+
+pub fn read_first(xs: &[f32]) -> f32 {
+    // SAFETY: the caller guarantees `xs` is non-empty, so index 0 is in
+    // bounds.
+    unsafe { *xs.get_unchecked(0) }
+}

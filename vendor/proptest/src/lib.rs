@@ -278,18 +278,35 @@ pub mod test_runner {
     }
 
     impl ProptestConfig {
-        /// Config running `cases` cases per property.
+        /// Config running exactly `cases` cases per property.
         #[must_use]
         pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+
+        /// Like [`ProptestConfig::with_cases`], but the count yields to the
+        /// `UNICAIM_PROPTEST_CASES` environment override and is clamped to
+        /// at most 2 cases under Miri, whose interpreter runs orders of
+        /// magnitude slower than native code. Properties whose coverage
+        /// depends on an exact count should keep `with_cases`.
+        #[must_use]
+        pub fn with_cases_env(default_cases: u32) -> Self {
+            let cases = std::env::var("UNICAIM_PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse::<u32>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(default_cases);
+            let cases = if cfg!(miri) { cases.min(2) } else { cases };
             Self { cases }
         }
     }
 
     impl Default for ProptestConfig {
         /// 64 cases: enough to exercise invariants while keeping the suite
-        /// fast (upstream proptest defaults to 256).
+        /// fast (upstream proptest defaults to 256), subject to the same
+        /// environment/Miri scaling as [`ProptestConfig::with_cases_env`].
         fn default() -> Self {
-            Self { cases: 64 }
+            Self::with_cases_env(64)
         }
     }
 
